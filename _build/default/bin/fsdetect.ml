@@ -1,0 +1,313 @@
+(* fsdetect — compile-time false-sharing analysis for OpenMP loop nests.
+
+   Subcommands:
+     analyze    run the FS cost model on a mini-C file or a bundled kernel
+     simulate   execute on the simulated multicore and report measured times
+     advise     chunk-size / padding advice to eliminate false sharing
+     eliminate  rewrite the program (padding / spreading) and print it
+     compare    model vs predictor vs runtime trace detector, per chunk
+     kernels    list bundled kernels
+     dump       parse a file and dump the program and its loop nests *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type source = From_file of string | From_kernel of Kernels.Kernel.t
+
+let load ~file ~kernel =
+  match (file, kernel) with
+  | Some f, None -> Ok (From_file f)
+  | None, Some k -> (
+      match Kernels.Registry.find k with
+      | Some kern -> Ok (From_kernel kern)
+      | None ->
+          Error
+            (Printf.sprintf "unknown kernel %S (try: %s)" k
+               (String.concat ", " (Kernels.Registry.names ()))))
+  | Some _, Some _ -> Error "give either FILE or --kernel, not both"
+  | None, None -> Error "give a FILE or --kernel NAME"
+
+let checked_of = function
+  | From_file f ->
+      Minic.Typecheck.check_program (Minic.Parser.parse_program (read_file f))
+  | From_kernel k -> Kernels.Kernel.parse k
+
+let func_of src func =
+  match (func, src) with
+  | Some f, _ -> Ok f
+  | None, From_kernel k -> Ok k.Kernels.Kernel.func
+  | None, From_file f -> (
+      let checked = checked_of (From_file f) in
+      match Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog
+      with
+      | [ one ] -> Ok one
+      | [] -> Error "no function with an omp parallel for; use --func"
+      | several ->
+          Error
+            (Printf.sprintf "several parallel functions (%s); use --func"
+               (String.concat ", " several)))
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Mini-C source file to analyze.")
+
+let kernel_arg =
+  Arg.(value & opt (some string) None
+       & info [ "kernel"; "k" ] ~docv:"NAME" ~doc:"Use a bundled kernel.")
+
+let func_arg =
+  Arg.(value & opt (some string) None
+       & info [ "func"; "f" ] ~docv:"FUNC" ~doc:"Kernel function name.")
+
+let threads_arg =
+  Arg.(value & opt int 8
+       & info [ "threads"; "t" ] ~docv:"N" ~doc:"OpenMP team size.")
+
+let wrap f = (try f () with
+  | Minic.Parser.Error (m, l) ->
+      Printf.eprintf "parse error (line %d): %s\n" l m; exit 1
+  | Minic.Lexer.Error (m, l) ->
+      Printf.eprintf "lex error (line %d): %s\n" l m; exit 1
+  | Minic.Preproc.Error (m, l) ->
+      Printf.eprintf "preprocessor error (line %d): %s\n" l m; exit 1
+  | Minic.Typecheck.Type_error m ->
+      Printf.eprintf "type error: %s\n" m; exit 1
+  | Loopir.Lower.Lower_error m ->
+      Printf.eprintf "analysis error: %s\n" m; exit 1
+  | Sys_error m -> Printf.eprintf "%s\n" m; exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze file kernel func threads fs_chunk nfs_chunk predict contention =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src -> (
+      match func_of src func with
+      | Error e -> Printf.eprintf "%s\n" e; exit 1
+      | Ok func ->
+          let checked = checked_of src in
+          let fs_chunk, nfs_chunk =
+            match src with
+            | From_kernel k ->
+                ( Option.value ~default:k.Kernels.Kernel.fs_chunk fs_chunk,
+                  Option.value ~default:k.Kernels.Kernel.nfs_chunk nfs_chunk )
+            | From_file _ ->
+                ( Option.value ~default:1 fs_chunk,
+                  Option.value ~default:16 nfs_chunk )
+          in
+          let nest =
+            Loopir.Lower.lower checked ~func
+              ~params:[ ("num_threads", threads) ]
+          in
+          Format.printf "%a@." Loopir.Loop_nest.pp nest;
+          let mode =
+            match predict with
+            | Some runs -> Fsmodel.Overhead_percent.Predicted runs
+            | None -> Fsmodel.Overhead_percent.Full
+          in
+          let a =
+            Fsmodel.Overhead_percent.analyze ~mode ~contention ~threads
+              ~fs_chunk ~nfs_chunk ~func checked
+          in
+          Format.printf "%a@.%a@." Fsmodel.Overhead_percent.pp a
+            Costmodel.Total_cost.pp a.Fsmodel.Overhead_percent.breakdown)
+
+let analyze_cmd =
+  let fs_chunk =
+    Arg.(value & opt (some int) None
+         & info [ "fs-chunk" ] ~docv:"C" ~doc:"FS-prone chunk size.")
+  in
+  let nfs_chunk =
+    Arg.(value & opt (some int) None
+         & info [ "nfs-chunk" ] ~docv:"C" ~doc:"Optimized chunk size.")
+  in
+  let predict =
+    Arg.(value & opt (some int) None
+         & info [ "predict" ] ~docv:"RUNS"
+             ~doc:"Use the linear-regression predictor over RUNS chunk runs.")
+  in
+  let contention =
+    Arg.(value & flag
+         & info [ "contention" ]
+             ~doc:"Include the shared-cache/bandwidth contention extension \
+                   in the Eq. 1 total.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the compile-time FS cost model")
+    Term.(const analyze $ file_arg $ kernel_arg $ func_arg $ threads_arg
+          $ fs_chunk $ nfs_chunk $ predict $ contention)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate kernel threads chunk window =
+  wrap @@ fun () ->
+  match load ~file:None ~kernel:(Some kernel) with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok (From_kernel k) ->
+      let m =
+        Execsim.Run.measure ?chunk ~interleave_window:window ~threads k
+      in
+      Format.printf "%a@." Execsim.Run.pp_measurement m
+  | Ok (From_file _) -> assert false
+
+let simulate_cmd =
+  let kernel_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KERNEL" ~doc:"Bundled kernel name.")
+  in
+  let chunk =
+    Arg.(value & opt (some int) None
+         & info [ "chunk"; "c" ] ~docv:"C" ~doc:"Chunk-size override.")
+  in
+  let window =
+    Arg.(value & opt int 4
+         & info [ "window" ] ~docv:"W" ~doc:"Thread interleave window.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a kernel on the simulated coherent multicore")
+    Term.(const simulate $ kernel_pos $ threads_arg $ chunk $ window)
+
+(* ------------------------------------------------------------------ *)
+(* advise                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let advise file kernel func threads =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src -> (
+      match func_of src func with
+      | Error e -> Printf.eprintf "%s\n" e; exit 1
+      | Ok func ->
+          let checked = checked_of src in
+          let a = Fsmodel.Advisor.advise ~threads ~func checked in
+          Format.printf "%a@." Fsmodel.Advisor.pp a)
+
+let advise_cmd =
+  Cmd.v
+    (Cmd.info "advise" ~doc:"Chunk-size and padding advice to eliminate FS")
+    Term.(const advise $ file_arg $ kernel_arg $ func_arg $ threads_arg)
+
+(* ------------------------------------------------------------------ *)
+(* eliminate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eliminate file kernel func threads =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src -> (
+      match func_of src func with
+      | Error e -> Printf.eprintf "%s\n" e; exit 1
+      | Ok func -> (
+          let checked = checked_of src in
+          match Fsmodel.Eliminate.eliminate ~threads ~func checked with
+          | after, plan ->
+              Format.printf "/* fsdetect: %a*/@.%s"
+                Fsmodel.Eliminate.pp_plan plan
+                (Minic.Pretty.program_to_string after.Minic.Typecheck.prog)
+          | exception Fsmodel.Eliminate.Unsupported m ->
+              Printf.eprintf "cannot eliminate: %s\n" m;
+              exit 1))
+
+let eliminate_cmd =
+  Cmd.v
+    (Cmd.info "eliminate"
+       ~doc:
+         "Rewrite the program to remove false sharing (struct padding / \
+          element spreading) and print the result")
+    Term.(const eliminate $ file_arg $ kernel_arg $ func_arg $ threads_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_detectors kernel threads chunks =
+  wrap @@ fun () ->
+  match load ~file:None ~kernel:(Some kernel) with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok (From_kernel k) ->
+      let chunks = match chunks with [] -> [ 1; 2; 4; 8; 16; 32 ] | l -> l in
+      let c = Baseline.Compare.run ~chunks ~threads k in
+      Format.printf "%a@." Baseline.Compare.pp c
+  | Ok (From_file _) -> assert false
+
+let compare_cmd =
+  let kernel_pos =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KERNEL" ~doc:"Bundled kernel name.")
+  in
+  let chunks =
+    Arg.(value & opt (list int) []
+         & info [ "chunks" ] ~docv:"C1,C2,..."
+             ~doc:"Chunk sizes to sweep (default 1,2,4,8,16,32).")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Sweep chunk sizes with the compile-time model, the predictor and \
+          a runtime trace-based detector, and report their agreement")
+    Term.(const compare_detectors $ kernel_pos $ threads_arg $ chunks)
+
+(* ------------------------------------------------------------------ *)
+(* kernels, dump                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  List.iter
+    (fun k ->
+      Printf.printf "%-18s %s (func %s, chunks %d vs %d)\n"
+        k.Kernels.Kernel.name k.Kernels.Kernel.description
+        k.Kernels.Kernel.func k.Kernels.Kernel.fs_chunk
+        k.Kernels.Kernel.nfs_chunk)
+    (Kernels.Registry.all ())
+
+let kernels_cmd =
+  Cmd.v (Cmd.info "kernels" ~doc:"List bundled kernels")
+    Term.(const kernels $ const ())
+
+let dump file kernel threads =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src ->
+      let checked = checked_of src in
+      Format.printf "%s@."
+        (Minic.Pretty.program_to_string checked.Minic.Typecheck.prog);
+      List.iter
+        (fun f ->
+          List.iter
+            (fun nest -> Format.printf "%a@." Loopir.Loop_nest.pp nest)
+            (Loopir.Lower.lower_all checked ~func:f
+               ~params:[ ("num_threads", threads) ]))
+        (Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog)
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"Parse and dump a program and its loop nests")
+    Term.(const dump $ file_arg $ kernel_arg $ threads_arg)
+
+let () =
+  let info =
+    Cmd.info "fsdetect" ~version:"1.0.0"
+      ~doc:"Compile-time detection of false sharing via loop cost modeling"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; simulate_cmd; advise_cmd; eliminate_cmd;
+            compare_cmd; kernels_cmd; dump_cmd ]))

@@ -1,0 +1,1 @@
+examples/chunk_tuning.ml: Execsim Format Fsmodel Kernels List Loopir Printf

@@ -1,0 +1,1 @@
+examples/chunk_tuning.mli:

@@ -1,0 +1,1 @@
+examples/fix_false_sharing.mli:

@@ -1,0 +1,1 @@
+examples/heat_study.ml: Execsim Format Fsmodel Kernels List Printf

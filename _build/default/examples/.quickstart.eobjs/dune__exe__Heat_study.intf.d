@@ -1,0 +1,1 @@
+examples/heat_study.mli:

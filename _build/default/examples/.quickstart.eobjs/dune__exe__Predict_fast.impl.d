@@ -1,0 +1,1 @@
+examples/predict_fast.ml: Float Format Fsmodel Kernels List Loopir Unix

@@ -1,0 +1,1 @@
+examples/predict_fast.mli:

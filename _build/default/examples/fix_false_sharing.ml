@@ -1,0 +1,92 @@
+(* The full workflow the paper's §VI sketches, end to end: detect false
+   sharing at compile time, transform the data layout to remove it, and
+   confirm on the simulated machine that both the modeled count and the
+   measured time improve — without touching the loop.
+
+   Run with: dune exec examples/fix_false_sharing.exe *)
+
+let measure_kernel name checked ~func ~init ~threads =
+  (* package an already-transformed program for the measurement harness *)
+  let kernel =
+    {
+      Kernels.Kernel.name;
+      description = "";
+      source = Minic.Pretty.program_to_string checked.Minic.Typecheck.prog;
+      func;
+      init_func = init;
+      fs_chunk = 1;
+      nfs_chunk = 8;
+      pred_runs = 10;
+    }
+  in
+  Execsim.Run.measure ~threads kernel
+
+let () =
+  let threads = 8 in
+  let kernel = Kernels.Matvec.kernel ~rows:4800 ~cols:8 () in
+  let checked = Kernels.Kernel.parse kernel in
+  Format.printf
+    "Matrix-vector product, %d simulated threads, schedule(static,1):@.@."
+    threads;
+  (* 1. detect *)
+  let before =
+    Fsmodel.Overhead_percent.analyze ~threads ~fs_chunk:1 ~nfs_chunk:8
+      ~func:"matvec" checked
+  in
+  Format.printf "before: %a@." Fsmodel.Overhead_percent.pp before;
+  let advice = Fsmodel.Advisor.advise ~threads ~func:"matvec" checked in
+  List.iter
+    (fun v ->
+      Format.printf
+        "        victim %s: %dB between neighbour threads' writes@."
+        v.Fsmodel.Advisor.base v.Fsmodel.Advisor.parallel_stride)
+    advice.Fsmodel.Advisor.victims;
+  (* 2. transform *)
+  let after_checked, plan =
+    Fsmodel.Eliminate.eliminate ~threads ~func:"matvec" checked
+  in
+  Format.printf "@.transform: %a@." Fsmodel.Eliminate.pp_plan plan;
+  (* 3. re-model *)
+  let after =
+    Fsmodel.Overhead_percent.analyze ~threads ~fs_chunk:1 ~nfs_chunk:8
+      ~func:"matvec" after_checked
+  in
+  Format.printf "after:  %a@.@." Fsmodel.Overhead_percent.pp after;
+  (* 4. confirm on the simulated machine *)
+  let m_before =
+    measure_kernel "matvec-before" checked ~func:"matvec" ~init:(Some "init")
+      ~threads
+  in
+  let m_after =
+    measure_kernel "matvec-after" after_checked ~func:"matvec"
+      ~init:(Some "init") ~threads
+  in
+  Format.printf
+    "simulated wall time: %.5f s -> %.5f s (%.1f%% faster)@.\
+     simulated FS misses: %d -> %d@."
+    m_before.Execsim.Run.seconds m_after.Execsim.Run.seconds
+    (100.
+    *. (m_before.Execsim.Run.seconds -. m_after.Execsim.Run.seconds)
+    /. m_before.Execsim.Run.seconds)
+    m_before.Execsim.Run.stats.Cachesim.Stats.coherence_false
+    m_after.Execsim.Run.stats.Cachesim.Stats.coherence_false;
+  (* 5. same numerical result *)
+  let value checked =
+    let it = Execsim.Interp.create ~threads checked in
+    Execsim.Interp.exec it ~func:"init";
+    Execsim.Interp.exec it ~func:"matvec";
+    Execsim.Value.to_float
+      (Execsim.Interp.read_global it "y"
+         [ Execsim.Interp.Idx (match plan.Fsmodel.Eliminate.rewrites with
+            | [ Fsmodel.Eliminate.Spread_array { factor; _ } ] -> 7 * factor
+            | _ -> 7) ])
+  in
+  let v_after = value after_checked in
+  let it = Execsim.Interp.create ~threads checked in
+  Execsim.Interp.exec it ~func:"init";
+  Execsim.Interp.exec it ~func:"matvec";
+  let v_before =
+    Execsim.Value.to_float
+      (Execsim.Interp.read_global it "y" [ Execsim.Interp.Idx 7 ])
+  in
+  Format.printf "y[7] unchanged: %.6f = %.6f@." v_before v_after

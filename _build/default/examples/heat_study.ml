@@ -1,0 +1,41 @@
+(* Heat-diffusion study: modeled vs simulated ("measured") false-sharing
+   overhead across team sizes — a scaled-down rendition of the paper's
+   Table I / Fig. 8 workflow on the 48-core machine model.
+
+   Run with: dune exec examples/heat_study.exe *)
+
+let () =
+  let kernel = Kernels.Heat.kernel ~rows:10 ~cols:7682 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let fs_chunk = kernel.Kernels.Kernel.fs_chunk in
+  let nfs_chunk = kernel.Kernels.Kernel.nfs_chunk in
+  Format.printf
+    "Heat diffusion, chunk %d (FS) vs chunk %d (no FS), simulated machine:@.@."
+    fs_chunk nfs_chunk;
+  let rows =
+    List.map
+      (fun threads ->
+        let c = Execsim.Run.measured_fs_percent ~threads kernel in
+        let a =
+          Fsmodel.Overhead_percent.analyze ~threads ~fs_chunk ~nfs_chunk
+            ~func:kernel.Kernels.Kernel.func checked
+        in
+        [
+          string_of_int threads;
+          Printf.sprintf "%.5f" c.Execsim.Run.fs.Execsim.Run.seconds;
+          Printf.sprintf "%.5f" c.Execsim.Run.nfs.Execsim.Run.seconds;
+          Fsmodel.Report.pct c.Execsim.Run.percent;
+          Fsmodel.Report.pct a.Fsmodel.Overhead_percent.percent;
+          Fsmodel.Report.kcount a.Fsmodel.Overhead_percent.n_fs;
+        ])
+      [ 2; 4; 8; 16; 24; 32; 40; 48 ]
+  in
+  print_endline
+    (Fsmodel.Report.table
+       ~header:
+         [ "threads"; "T_fs (s)"; "T_nfs (s)"; "measured FS"; "modeled FS";
+           "N_fs cases" ]
+       rows);
+  Format.printf
+    "@.Both columns should rise from 2 threads, saturate once a full cache@.\
+     line (8 doubles) is shared by 8 distinct threads, and stay high.@."

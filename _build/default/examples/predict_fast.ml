@@ -1,0 +1,56 @@
+(* The linear-regression predictor (paper §III-E): how much modeling work
+   does it save, and how close does it land to the full evaluation?
+
+   Run with: dune exec examples/predict_fast.exe *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let threads = 16 in
+  List.iter
+    (fun (kernel : Kernels.Kernel.t) ->
+      let checked = Kernels.Kernel.parse kernel in
+      let nest =
+        Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func
+          ~params:[ ("num_threads", threads) ]
+      in
+      let cfg =
+        { (Fsmodel.Model.default_config ~threads ()) with
+          Fsmodel.Model.chunk = Some kernel.Kernels.Kernel.fs_chunk }
+      in
+      let full, t_full = time (fun () -> Fsmodel.Model.run cfg ~nest ~checked) in
+      let pred, t_pred =
+        time (fun () ->
+            Fsmodel.Predict.predict ~runs:kernel.Kernels.Kernel.pred_runs cfg
+              ~nest ~checked)
+      in
+      let err =
+        if full.Fsmodel.Model.fs_cases = 0 then 0.
+        else
+          100.
+          *. Float.abs
+               (float_of_int
+                  (pred.Fsmodel.Predict.predicted_fs
+                  - full.Fsmodel.Model.fs_cases))
+          /. float_of_int full.Fsmodel.Model.fs_cases
+      in
+      Format.printf
+        "%-18s full: %s cases, %d iters, %.3fs | predicted: %s from %d iters \
+         (%.0fx less work), %.3fs | error %.1f%%@."
+        kernel.Kernels.Kernel.name
+        (Fsmodel.Report.kcount full.Fsmodel.Model.fs_cases)
+        full.Fsmodel.Model.iterations_evaluated t_full
+        (Fsmodel.Report.kcount pred.Fsmodel.Predict.predicted_fs)
+        pred.Fsmodel.Predict.iterations_evaluated
+        (float_of_int full.Fsmodel.Model.iterations_evaluated
+        /. float_of_int (max 1 pred.Fsmodel.Predict.iterations_evaluated))
+        t_pred err)
+    [
+      Kernels.Heat.kernel ();
+      Kernels.Dft.kernel ();
+      Kernels.Linreg_kernel.kernel ();
+      Kernels.Saxpy.kernel ();
+    ]

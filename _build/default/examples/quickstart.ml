@@ -1,0 +1,60 @@
+(* Quickstart: feed an OpenMP C loop to the compile-time model and ask
+   where the false sharing is and what it costs.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+#define N 8192
+
+double hist[64];
+double data[N];
+
+void accumulate(void) {
+  int i;
+  int b;
+  /* each thread accumulates into its own bucket... which shares a cache
+     line with seven neighbours.  A classic. */
+  #pragma omp parallel for private(i,b) schedule(static,1)
+  for (b = 0; b < 64; b++) {
+    for (i = 0; i < N / num_threads; i++) {
+      hist[b] += data[i];
+    }
+  }
+}
+|}
+
+let () =
+  let threads = 8 in
+  (* 1. front end: preprocess, parse, typecheck *)
+  let prog = Minic.Parser.parse_program source in
+  let checked = Minic.Typecheck.check_program prog in
+  (* 2. lower to a loop nest with affine array references *)
+  let nest =
+    Loopir.Lower.lower checked ~func:"accumulate"
+      ~params:[ ("num_threads", threads) ]
+  in
+  Format.printf "Lowered nest:@.%a@.@." Loopir.Loop_nest.pp nest;
+  (* 3. run the false-sharing cost model (paper §III, steps 1-4) *)
+  let cfg = Fsmodel.Model.default_config ~threads () in
+  let r = Fsmodel.Model.run cfg ~nest ~checked in
+  Format.printf
+    "Full model: %d false-sharing cases over %d iterations (%d per thread)@."
+    r.Fsmodel.Model.fs_cases r.Fsmodel.Model.iterations_evaluated
+    r.Fsmodel.Model.thread_steps;
+  (* 4. and the fast linear-regression predictor (§III-E) *)
+  let p = Fsmodel.Predict.predict ~runs:8 cfg ~nest ~checked in
+  Format.printf
+    "Predictor:  ~%d cases from %d chunk runs (%d of %d iterations, %s)@."
+    p.Fsmodel.Predict.predicted_fs p.Fsmodel.Predict.runs_evaluated
+    p.Fsmodel.Predict.iterations_evaluated p.Fsmodel.Predict.full_iterations
+    (Format.asprintf "%a" Fsmodel.Linreg.pp p.Fsmodel.Predict.line);
+  (* 5. overhead as a share of loop time, FS chunk vs optimized chunk *)
+  let a =
+    Fsmodel.Overhead_percent.analyze ~threads ~fs_chunk:1 ~nfs_chunk:8
+      ~func:"accumulate" checked
+  in
+  Format.printf "Overhead:   %a@.@." Fsmodel.Overhead_percent.pp a;
+  (* 6. what would fix it? *)
+  let advice = Fsmodel.Advisor.advise ~threads ~func:"accumulate" checked in
+  Format.printf "%a@." Fsmodel.Advisor.pp advice

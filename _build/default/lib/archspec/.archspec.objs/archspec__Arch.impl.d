@@ -1,0 +1,1 @@
+lib/archspec/arch.ml: Cache_geom Format Latency

@@ -1,0 +1,1 @@
+lib/archspec/arch.mli: Cache_geom Format Latency

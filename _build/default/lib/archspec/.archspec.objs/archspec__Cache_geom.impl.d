@@ -1,0 +1,1 @@
+lib/archspec/cache_geom.ml: Format

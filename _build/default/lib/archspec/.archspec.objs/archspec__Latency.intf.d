@@ -1,0 +1,1 @@
+lib/archspec/latency.mli: Format

@@ -1,0 +1,88 @@
+type t = {
+  name : string;
+  cores : int;
+  cores_per_socket : int;
+  freq_ghz : float;
+  core : Latency.t;
+  l1 : Cache_geom.t;
+  l2 : Cache_geom.t;
+  l3 : Cache_geom.t;
+  mem_latency : int;
+  mem_bandwidth_bytes_per_cycle : float;
+  coherence_latency : int;
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_miss_latency : int;
+}
+
+let paper_machine =
+  {
+    name = "opteron-48core";
+    cores = 48;
+    cores_per_socket = 12;
+    freq_ghz = 2.2;
+    core = Latency.default;
+    l1 =
+      Cache_geom.v ~hit_latency:3 ~name:"L1d" ~size_bytes:(64 * 1024)
+        ~line_bytes:64 ~associativity:2 ();
+    l2 =
+      Cache_geom.v ~hit_latency:14 ~name:"L2" ~size_bytes:(512 * 1024)
+        ~line_bytes:64 ~associativity:16 ();
+    l3 =
+      Cache_geom.v ~hit_latency:50 ~name:"L3" ~size_bytes:(10240 * 1024)
+        ~line_bytes:64 ~associativity:20 ();
+    mem_latency = 220;
+    mem_bandwidth_bytes_per_cycle = 12.;
+    coherence_latency = 130;
+    tlb_entries = 48;
+    page_bytes = 4096;
+    tlb_miss_latency = 30;
+  }
+
+let small_test_machine =
+  {
+    name = "tiny-4core";
+    cores = 4;
+    cores_per_socket = 4;
+    freq_ghz = 1.0;
+    core = Latency.default;
+    l1 =
+      Cache_geom.v ~hit_latency:2 ~name:"L1d" ~size_bytes:1024 ~line_bytes:64
+        ~associativity:2 ();
+    l2 =
+      Cache_geom.v ~hit_latency:8 ~name:"L2" ~size_bytes:4096 ~line_bytes:64
+        ~associativity:4 ();
+    l3 =
+      Cache_geom.v ~hit_latency:20 ~name:"L3" ~size_bytes:16384 ~line_bytes:64
+        ~associativity:8 ();
+    mem_latency = 100;
+    mem_bandwidth_bytes_per_cycle = 3.;
+    coherence_latency = 60;
+    tlb_entries = 8;
+    page_bytes = 4096;
+    tlb_miss_latency = 20;
+  }
+
+let with_line_bytes t bytes =
+  let redo (g : Cache_geom.t) =
+    Cache_geom.v ~hit_latency:g.Cache_geom.hit_latency ~name:g.Cache_geom.name
+      ~size_bytes:g.Cache_geom.size_bytes ~line_bytes:bytes
+      ~associativity:g.Cache_geom.associativity ()
+  in
+  { t with l1 = redo t.l1; l2 = redo t.l2; l3 = redo t.l3 }
+
+let sockets t =
+  (t.cores + t.cores_per_socket - 1) / t.cores_per_socket
+
+let line_bytes t =
+  let b = t.l1.Cache_geom.line_bytes in
+  if t.l2.Cache_geom.line_bytes <> b || t.l3.Cache_geom.line_bytes <> b then
+    invalid_arg "Arch.line_bytes: cache levels disagree on line size";
+  b
+
+let cycles_to_seconds t cycles = cycles /. (t.freq_ghz *. 1e9)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %d cores (%d/socket) @@ %.1f GHz@ %a %a %a@ mem=%dcy coherence=%dcy@]"
+    t.name t.cores t.cores_per_socket t.freq_ghz Cache_geom.pp t.l1
+    Cache_geom.pp t.l2 Cache_geom.pp t.l3 t.mem_latency t.coherence_latency

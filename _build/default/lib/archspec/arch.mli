@@ -1,0 +1,49 @@
+(** Whole-machine description: core count, clock, cache hierarchy, memory and
+    coherence latencies, TLB.
+
+    [paper_machine] reproduces the geometry of the paper's testbed (§IV-B):
+    four 2.2 GHz 12-core processors (48 cores), per-core 64 KB L1 and 512 KB
+    L2, a 10240 KB L3 shared by the 12 cores of a socket, and 64-byte lines
+    at every level. *)
+
+type t = {
+  name : string;
+  cores : int;  (** total hardware cores *)
+  cores_per_socket : int;
+  freq_ghz : float;  (** core clock, used to convert cycles to seconds *)
+  core : Latency.t;  (** per-core issue/latency model *)
+  l1 : Cache_geom.t;  (** private, per core *)
+  l2 : Cache_geom.t;  (** private, per core *)
+  l3 : Cache_geom.t;  (** shared by the cores of one socket *)
+  mem_latency : int;  (** cycles to fetch a line from DRAM *)
+  mem_bandwidth_bytes_per_cycle : float;
+      (** sustainable DRAM bandwidth of the whole machine, used by the
+          contention extension to detect bus saturation *)
+  coherence_latency : int;
+      (** cycles for an invalidation-induced refetch: the cost of one
+          false-sharing (or true-sharing) coherence miss — a cache-to-cache
+          transfer or a refetch after invalidation *)
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_miss_latency : int;  (** cycles per TLB miss (page-walk) *)
+}
+
+val paper_machine : t
+(** The 48-core machine of the paper's evaluation. *)
+
+val small_test_machine : t
+(** A tiny machine (4 cores, small caches) used by unit tests so that
+    capacity effects are reachable with small workloads. *)
+
+val with_line_bytes : t -> int -> t
+(** The same machine with a different cache-line size at every level (for
+    line-size sensitivity studies).  @raise Invalid_argument if the new
+    size is not a power of two or does not divide the cache capacities. *)
+
+val sockets : t -> int
+val line_bytes : t -> int
+(** Line size shared by all levels. @raise Invalid_argument if levels
+    disagree (the paper's model assumes one line size, §IV-B). *)
+
+val cycles_to_seconds : t -> float -> float
+val pp : Format.formatter -> t -> unit

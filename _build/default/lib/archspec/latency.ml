@@ -1,0 +1,58 @@
+type op_class =
+  | Int_alu
+  | Int_mul
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Fp_special
+  | Load
+  | Store
+  | Branch
+
+let all_classes =
+  [ Int_alu; Int_mul; Fp_add; Fp_mul; Fp_div; Fp_special; Load; Store; Branch ]
+
+let op_class_name = function
+  | Int_alu -> "int_alu"
+  | Int_mul -> "int_mul"
+  | Fp_add -> "fp_add"
+  | Fp_mul -> "fp_mul"
+  | Fp_div -> "fp_div"
+  | Fp_special -> "fp_special"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+
+type t = {
+  name : string;
+  issue_width : int;
+  latency : op_class -> int;
+  units_per_cycle : op_class -> int;
+}
+
+let default =
+  let latency = function
+    | Int_alu -> 1
+    | Int_mul -> 3
+    | Fp_add -> 4
+    | Fp_mul -> 4
+    | Fp_div -> 20
+    | Fp_special -> 40
+    | Load -> 3 (* L1-hit latency; misses are the cache model's job *)
+    | Store -> 1
+    | Branch -> 1
+  and units_per_cycle = function
+    | Int_alu -> 3
+    | Int_mul -> 1
+    | Fp_add -> 1
+    | Fp_mul -> 1
+    | Fp_div -> 1
+    | Fp_special -> 1
+    | Load -> 2
+    | Store -> 1
+    | Branch -> 1
+  in
+  { name = "generic-ooo-3wide"; issue_width = 3; latency; units_per_cycle }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(issue=%d)" t.name t.issue_width

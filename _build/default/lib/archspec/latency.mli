@@ -1,0 +1,33 @@
+(** Operation classes, latencies and issue resources of a modeled CPU core.
+
+    This is the machine side of the Open64-style processor model (paper
+    Fig. 3): the model schedules the operations of one innermost-loop
+    iteration against the available functional units ([units_per_cycle]) and
+    accounts for dependence stalls using per-class result [latency]. *)
+
+type op_class =
+  | Int_alu  (** integer add/sub/compare/logic *)
+  | Int_mul  (** integer multiply, divide, modulo *)
+  | Fp_add  (** floating-point add/sub *)
+  | Fp_mul  (** floating-point multiply *)
+  | Fp_div  (** floating-point divide *)
+  | Fp_special  (** sin, cos, sqrt, exp... (libm-style) *)
+  | Load  (** memory read issue slot (cache latency modeled separately) *)
+  | Store  (** memory write issue slot *)
+  | Branch  (** conditional branch *)
+
+val all_classes : op_class list
+val op_class_name : op_class -> string
+
+type t = {
+  name : string;
+  issue_width : int;  (** max instructions issued per cycle *)
+  latency : op_class -> int;  (** result latency in cycles *)
+  units_per_cycle : op_class -> int;  (** ops of this class issuable/cycle *)
+}
+
+val default : t
+(** A generic 3-wide out-of-order core, close to the 2012-era AMD Opteron
+    cores of the paper's testbed. *)
+
+val pp : Format.formatter -> t -> unit

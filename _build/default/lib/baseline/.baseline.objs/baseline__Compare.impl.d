@@ -1,0 +1,1 @@
+lib/baseline/compare.ml: Archspec Array Format Fsmodel Kernels List Loopir Trace_detector

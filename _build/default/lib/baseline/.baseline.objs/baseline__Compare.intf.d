@@ -1,0 +1,1 @@
+lib/baseline/compare.mli: Archspec Format Kernels

@@ -1,0 +1,1 @@
+lib/baseline/trace_detector.ml: Cachesim Execsim Format Kernels

@@ -1,0 +1,1 @@
+lib/baseline/trace_detector.mli: Archspec Format Kernels

@@ -1,0 +1,103 @@
+type row = {
+  chunk : int;
+  model_fs_cases : int;
+  predicted_fs_cases : int;
+  runtime_fs_misses : int;
+  model_iterations : int;
+  predictor_iterations : int;
+  runtime_accesses : int;
+}
+
+type t = {
+  kernel : string;
+  threads : int;
+  rows : row list;
+  rank_agreement : float;
+}
+
+let ranks xs =
+  (* average ranks for ties *)
+  let idx = List.mapi (fun i x -> (x, i)) xs in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) idx in
+  let n = List.length xs in
+  let rank_of = Array.make n 0. in
+  let arr = Array.of_list sorted in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && fst arr.(!j + 1) = fst arr.(!i) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2. +. 1. in
+    for k = !i to !j do
+      rank_of.(snd arr.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list rank_of
+
+let spearman xs ys =
+  let n = List.length xs in
+  if n < 2 || n <> List.length ys then 1.0
+  else begin
+    let rx = ranks xs and ry = ranks ys in
+    let mean l = List.fold_left ( +. ) 0. l /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let num =
+      List.fold_left2 (fun acc a b -> acc +. ((a -. mx) *. (b -. my))) 0. rx ry
+    in
+    let sq l m =
+      List.fold_left (fun acc a -> acc +. ((a -. m) *. (a -. m))) 0. l
+    in
+    let den = sqrt (sq rx mx *. sq ry my) in
+    if den = 0. then 1.0 else num /. den
+  end
+
+let run ?(arch = Archspec.Arch.paper_machine) ?(chunks = [ 1; 2; 4; 8; 16; 32 ])
+    ~threads (kernel : Kernels.Kernel.t) =
+  let checked = Kernels.Kernel.parse kernel in
+  let nest =
+    Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func
+      ~params:[ ("num_threads", threads) ]
+  in
+  let rows =
+    List.map
+      (fun chunk ->
+        let cfg =
+          { (Fsmodel.Model.default_config ~arch ~threads ()) with
+            Fsmodel.Model.chunk = Some chunk }
+        in
+        let full = Fsmodel.Model.run cfg ~nest ~checked in
+        let pred =
+          Fsmodel.Predict.predict ~runs:kernel.Kernels.Kernel.pred_runs cfg
+            ~nest ~checked
+        in
+        let rt = Trace_detector.detect ~arch ~chunk ~threads kernel in
+        {
+          chunk;
+          model_fs_cases = full.Fsmodel.Model.fs_cases;
+          predicted_fs_cases = pred.Fsmodel.Predict.predicted_fs;
+          runtime_fs_misses = rt.Trace_detector.fs_misses;
+          model_iterations = full.Fsmodel.Model.iterations_evaluated;
+          predictor_iterations = pred.Fsmodel.Predict.iterations_evaluated;
+          runtime_accesses = rt.Trace_detector.accesses_traced;
+        })
+      chunks
+  in
+  let rank_agreement =
+    spearman
+      (List.map (fun r -> float_of_int r.model_fs_cases) rows)
+      (List.map (fun r -> float_of_int r.runtime_fs_misses) rows)
+  in
+  { kernel = kernel.Kernels.Kernel.name; threads; rows; rank_agreement }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s on %d threads (rank agreement %.2f)@,\
+     chunk  model-FS  predicted-FS  runtime-FS  model-iters  pred-iters  traced@,"
+    t.kernel t.threads t.rank_agreement;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%5d  %8d  %12d  %10d  %11d  %10d  %6d@," r.chunk
+        r.model_fs_cases r.predicted_fs_cases r.runtime_fs_misses
+        r.model_iterations r.predictor_iterations r.runtime_accesses)
+    t.rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Compile-time model vs runtime detector, head to head: do both methods
+    rank chunk sizes the same way, and what does each cost? *)
+
+type row = {
+  chunk : int;
+  model_fs_cases : int;  (** compile-time model (full evaluation) *)
+  predicted_fs_cases : int;  (** §III-E predictor, few chunk runs *)
+  runtime_fs_misses : int;  (** trace-based detector (must execute) *)
+  model_iterations : int;  (** model work: iterations evaluated *)
+  predictor_iterations : int;
+  runtime_accesses : int;  (** detector work: accesses traced *)
+}
+
+type t = {
+  kernel : string;
+  threads : int;
+  rows : row list;
+  rank_agreement : float;
+      (** Spearman rank correlation between the model's and the detector's
+          chunk-size ordering; 1.0 = identical ranking *)
+}
+
+val run :
+  ?arch:Archspec.Arch.t ->
+  ?chunks:int list ->
+  threads:int ->
+  Kernels.Kernel.t ->
+  t
+(** Default chunk list: 1, 2, 4, 8, 16, 32. *)
+
+val spearman : float list -> float list -> float
+(** Rank correlation (exposed for tests); returns 1.0 for lists shorter
+    than 2. *)
+
+val pp : Format.formatter -> t -> unit

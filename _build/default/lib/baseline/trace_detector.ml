@@ -1,0 +1,33 @@
+type report = {
+  threads : int;
+  chunk : int;
+  accesses_traced : int;
+  fs_misses : int;
+  true_sharing_misses : int;
+  invalidations : int;
+  wall_seconds_simulated : float;
+}
+
+let detect ?arch ?interleave_window ?chunk ~threads (kernel : Kernels.Kernel.t)
+    =
+  let chunk =
+    match chunk with Some c -> c | None -> kernel.Kernels.Kernel.fs_chunk
+  in
+  let m = Execsim.Run.measure ?arch ?interleave_window ~chunk ~threads kernel in
+  let st = m.Execsim.Run.stats in
+  {
+    threads;
+    chunk;
+    accesses_traced = Cachesim.Stats.accesses st;
+    fs_misses = st.Cachesim.Stats.coherence_false;
+    true_sharing_misses = st.Cachesim.Stats.coherence_true;
+    invalidations = st.Cachesim.Stats.invalidations_sent;
+    wall_seconds_simulated = m.Execsim.Run.seconds;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "runtime detector: %d threads, chunk %d: %d accesses traced, %d FS \
+     misses, %d true-sharing misses, %d invalidations"
+    r.threads r.chunk r.accesses_traced r.fs_misses r.true_sharing_misses
+    r.invalidations

@@ -1,0 +1,32 @@
+(** A runtime false-sharing detector in the style of the binary-
+    instrumentation tools the paper cites as related work (§V: memory
+    tracing fed to a cache simulator): execute the program, trace every
+    memory reference, classify invalidation misses at word granularity
+    into true and false sharing.
+
+    This is the comparator for the paper's key qualitative claim: the
+    compile-time model reaches the same conclusions {e without executing
+    the program} (and, with the §III-E predictor, after evaluating only a
+    few chunk runs), while the runtime detector must trace every access
+    of a full run. *)
+
+type report = {
+  threads : int;
+  chunk : int;
+  accesses_traced : int;  (** instrumentation work performed *)
+  fs_misses : int;  (** invalidation misses on untouched words *)
+  true_sharing_misses : int;
+  invalidations : int;
+  wall_seconds_simulated : float;
+}
+
+val detect :
+  ?arch:Archspec.Arch.t ->
+  ?interleave_window:int ->
+  ?chunk:int ->
+  threads:int ->
+  Kernels.Kernel.t ->
+  report
+(** Run the kernel under the tracer (init untimed, kernel traced). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/cachesim/coherence.mli: Archspec Stats

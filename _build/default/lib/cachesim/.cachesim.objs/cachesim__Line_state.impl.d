@@ -1,0 +1,1 @@
+lib/cachesim/line_state.ml: Format

@@ -1,0 +1,1 @@
+lib/cachesim/lru_stack.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/cachesim/private_cache.ml: Archspec Lru_stack

@@ -1,0 +1,1 @@
+lib/cachesim/private_cache.mli: Archspec

@@ -1,0 +1,285 @@
+type source = L1 | L2 | L3 | C2C | Memory
+type miss_kind = Cold | Capacity | Coherence_true | Coherence_false
+
+type result = { latency : int; source : source; miss : miss_kind option }
+
+type dir_entry = {
+  mutable holders : int;  (* bitmask over cores *)
+  mutable dirty : int option;  (* core owning a Modified copy *)
+  mutable dirty_words : int;
+      (* words written by the current dirty owner since it acquired the
+         line in Modified state; used to classify first-access misses that
+         steal a dirty line (an RFO on a falsely-shared line is a
+         false-sharing miss even if the requester never held the line) *)
+  pending : int array;
+      (* per core: mask of 4-byte words written remotely since this core
+         lost its copy to an invalidation; 0 when the core was never
+         invalidated on this line *)
+}
+
+type t = {
+  arch : Archspec.Arch.t;
+  cores : int;
+  line_bytes : int;
+  priv : Private_cache.t array;
+  l3 : unit Lru_stack.t array;  (* one per socket *)
+  dir : (int, dir_entry) Hashtbl.t;
+  stats : Stats.t array;
+}
+
+let word_bytes = 4
+
+let create ?cores (arch : Archspec.Arch.t) =
+  let cores = match cores with Some c -> c | None -> arch.Archspec.Arch.cores in
+  if cores < 1 then invalid_arg "Coherence.create: cores < 1";
+  let sockets =
+    (cores + arch.Archspec.Arch.cores_per_socket - 1)
+    / arch.Archspec.Arch.cores_per_socket
+  in
+  {
+    arch;
+    cores;
+    line_bytes = Archspec.Arch.line_bytes arch;
+    priv =
+      Array.init cores (fun _ ->
+          Private_cache.create ~l1:arch.Archspec.Arch.l1
+            ~l2:arch.Archspec.Arch.l2);
+    l3 =
+      Array.init sockets (fun _ ->
+          Lru_stack.create
+            ~capacity:(Archspec.Cache_geom.lines arch.Archspec.Arch.l3));
+    dir = Hashtbl.create 4096;
+    stats = Array.init cores (fun _ -> Stats.create ());
+  }
+
+let socket_of t core = core / t.arch.Archspec.Arch.cores_per_socket
+
+let word_mask ~line_bytes ~addr ~size =
+  let off = addr mod line_bytes in
+  let first = off / word_bytes in
+  let last = (off + size - 1) / word_bytes in
+  let rec go m w = if w > last then m else go (m lor (1 lsl w)) (w + 1) in
+  go 0 first
+
+let entry_of t line =
+  match Hashtbl.find_opt t.dir line with
+  | Some e -> Some e
+  | None -> None
+
+let new_entry t line =
+  let e =
+    { holders = 0; dirty = None; dirty_words = 0;
+      pending = Array.make t.cores 0 }
+  in
+  Hashtbl.replace t.dir line e;
+  e
+
+let bit core = 1 lsl core
+let others_holding e core = e.holders land lnot (bit core)
+
+(* A core's private hierarchy dropped a line (capacity eviction):
+   directory forgets it; a dirty copy is written back. *)
+let handle_eviction t core victim =
+  match entry_of t victim with
+  | None -> ()
+  | Some e ->
+      e.holders <- e.holders land lnot (bit core);
+      (match e.dirty with
+      | Some o when o = core ->
+          e.dirty <- None;
+          e.dirty_words <- 0;
+          t.stats.(core).Stats.writebacks <-
+            t.stats.(core).Stats.writebacks + 1;
+          (* the written-back line lands in the evictor's socket L3 *)
+          ignore (Lru_stack.access t.l3.(socket_of t core) victim ())
+      | Some _ | None -> ());
+      (* a voluntary eviction means the next miss is a capacity miss, not a
+         coherence miss *)
+      e.pending.(core) <- 0
+
+(* Invalidate every other holder of [line]; record the written words in
+   their pending masks for later true/false-sharing classification. *)
+let invalidate_others t core line e mask =
+  let st = t.stats.(core) in
+  for o = 0 to t.cores - 1 do
+    if o <> core && e.holders land bit o <> 0 then begin
+      ignore (Private_cache.invalidate t.priv.(o) line);
+      e.holders <- e.holders land lnot (bit o);
+      e.pending.(o) <- e.pending.(o) lor mask;
+      st.Stats.invalidations_sent <- st.Stats.invalidations_sent + 1;
+      t.stats.(o).Stats.invalidations_received <-
+        t.stats.(o).Stats.invalidations_received + 1
+    end
+  done
+
+let upgrade_latency t = (t.arch.Archspec.Arch.coherence_latency + 1) / 2
+
+(* one access fully inside one line *)
+let access_line t ~core ~addr ~size ~write =
+  let st = t.stats.(core) in
+  if write then st.Stats.stores <- st.Stats.stores + 1
+  else st.Stats.loads <- st.Stats.loads + 1;
+  let line = addr / t.line_bytes in
+  let mask = word_mask ~line_bytes:t.line_bytes ~addr ~size in
+  let hit, evicted = Private_cache.access t.priv.(core) line in
+  Option.iter (handle_eviction t core) evicted;
+  let finish_write e =
+    if write then begin
+      (* write-invalidate: drop all other copies, become Modified *)
+      if others_holding e core <> 0 then invalidate_others t core line e mask;
+      (match e.dirty with
+      | Some o when o = core -> e.dirty_words <- e.dirty_words lor mask
+      | Some _ | None -> e.dirty_words <- mask);
+      e.dirty <- Some core
+    end
+  in
+  match hit with
+  | Private_cache.L1_hit | Private_cache.L2_hit ->
+      let base_latency, source =
+        match hit with
+        | Private_cache.L1_hit ->
+            st.Stats.l1_hits <- st.Stats.l1_hits + 1;
+            (t.arch.Archspec.Arch.l1.Archspec.Cache_geom.hit_latency, L1)
+        | Private_cache.L2_hit ->
+            st.Stats.l2_hits <- st.Stats.l2_hits + 1;
+            (t.arch.Archspec.Arch.l2.Archspec.Cache_geom.hit_latency, L2)
+        | Private_cache.Priv_miss -> assert false
+      in
+      if not write then begin
+        (* read hit: no coherence state can change, skip the directory *)
+        st.Stats.stall_cycles <- st.Stats.stall_cycles + base_latency;
+        { latency = base_latency; source; miss = None }
+      end
+      else begin
+      let e =
+        match entry_of t line with
+        | Some e -> e
+        | None ->
+            (* holding a line the directory does not know cannot happen *)
+            assert false
+      in
+      let latency =
+        if write && not (Line_state.writable
+                           (if e.dirty = Some core then Line_state.Modified
+                            else if others_holding e core = 0 then
+                              Line_state.Exclusive
+                            else Line_state.Shared))
+        then begin
+          (* write hit on a Shared line: upgrade *)
+          st.Stats.upgrades <- st.Stats.upgrades + 1;
+          base_latency + upgrade_latency t
+        end
+        else base_latency
+      in
+      finish_write e;
+      st.Stats.stall_cycles <- st.Stats.stall_cycles + latency;
+      { latency; source; miss = None }
+      end
+  | Private_cache.Priv_miss ->
+      let e, kind, fetch_latency, source =
+        match entry_of t line with
+        | None ->
+            let e = new_entry t line in
+            st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
+            ignore (Lru_stack.access t.l3.(socket_of t core) line ());
+            (e, Cold, t.arch.Archspec.Arch.mem_latency, Memory)
+        | Some e ->
+            (* words dirtied by a remote Modified copy, captured before the
+               fetch downgrades it *)
+            let remote_dirty_words =
+              match e.dirty with
+              | Some o when o <> core -> Some e.dirty_words
+              | Some _ | None -> None
+            in
+            let fetch_latency, source =
+              match e.dirty with
+              | Some o when o <> core ->
+                  (* remote dirty copy: cache-to-cache transfer; the owner
+                     keeps a Shared copy on a read, loses it on a write
+                     (handled by finish_write) *)
+                  st.Stats.c2c_transfers <- st.Stats.c2c_transfers + 1;
+                  e.dirty <- None;
+                  e.dirty_words <- 0;
+                  t.stats.(o).Stats.writebacks <-
+                    t.stats.(o).Stats.writebacks + 1;
+                  ignore (Lru_stack.access t.l3.(socket_of t o) line ());
+                  (t.arch.Archspec.Arch.coherence_latency, C2C)
+              | Some _ | None ->
+                  let l3 = t.l3.(socket_of t core) in
+                  if Lru_stack.mem l3 line then begin
+                    ignore (Lru_stack.access l3 line ());
+                    st.Stats.l3_hits <- st.Stats.l3_hits + 1;
+                    (t.arch.Archspec.Arch.l3.Archspec.Cache_geom.hit_latency, L3)
+                  end
+                  else begin
+                    st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
+                    ignore (Lru_stack.access l3 line ());
+                    (t.arch.Archspec.Arch.mem_latency, Memory)
+                  end
+            in
+            let kind =
+              let p = e.pending.(core) in
+              if p <> 0 then
+                if p land mask <> 0 then Coherence_true else Coherence_false
+              else
+                match remote_dirty_words with
+                | Some w ->
+                    (* stealing a dirty line: sharing miss even on the
+                       core's first access *)
+                    if w land mask <> 0 then Coherence_true
+                    else Coherence_false
+                | None -> Capacity
+            in
+            (e, kind, fetch_latency, source)
+      in
+      (match kind with
+      | Cold -> st.Stats.cold_misses <- st.Stats.cold_misses + 1
+      | Capacity -> st.Stats.capacity_misses <- st.Stats.capacity_misses + 1
+      | Coherence_true -> st.Stats.coherence_true <- st.Stats.coherence_true + 1
+      | Coherence_false ->
+          st.Stats.coherence_false <- st.Stats.coherence_false + 1);
+      e.pending.(core) <- 0;
+      e.holders <- e.holders lor bit core;
+      finish_write e;
+      st.Stats.stall_cycles <- st.Stats.stall_cycles + fetch_latency;
+      { latency = fetch_latency; source; miss = Some kind }
+
+let access t ~core ~addr ~size ~write =
+  if core < 0 || core >= t.cores then invalid_arg "Coherence.access: bad core";
+  if size <= 0 then invalid_arg "Coherence.access: size <= 0";
+  (* split accesses that straddle a line boundary *)
+  let rec go addr size acc_latency worst =
+    let line_end = ((addr / t.line_bytes) + 1) * t.line_bytes in
+    let here = min size (line_end - addr) in
+    let r = access_line t ~core ~addr ~size:here ~write in
+    let worst =
+      match (worst, r.miss) with
+      | None, _ -> Some r
+      | Some w, Some _ when w.miss = None -> Some r
+      | Some w, _ -> Some w
+    in
+    if here = size then
+      let w = Option.get worst in
+      { w with latency = acc_latency + r.latency }
+    else go (addr + here) (size - here) (acc_latency + r.latency) worst
+  in
+  go addr size 0 None
+
+let read t ~core ~addr ~size = access t ~core ~addr ~size ~write:false
+let write t ~core ~addr ~size = access t ~core ~addr ~size ~write:true
+
+let stats_of_core t core = t.stats.(core)
+let aggregate_stats t = Stats.sum (Array.to_list t.stats)
+
+let holders_of_line t line =
+  match entry_of t line with
+  | None -> []
+  | Some e ->
+      let rec go c acc =
+        if c < 0 then acc
+        else go (c - 1) (if e.holders land bit c <> 0 then c :: acc else acc)
+      in
+      go (t.cores - 1) []
+
+let dirty_owner_of_line t line =
+  match entry_of t line with None -> None | Some e -> e.dirty

@@ -1,0 +1,13 @@
+type t = Modified | Exclusive | Shared | Invalid
+
+let name = function
+  | Modified -> "M"
+  | Exclusive -> "E"
+  | Shared -> "S"
+  | Invalid -> "I"
+
+let writable = function
+  | Modified | Exclusive -> true
+  | Shared | Invalid -> false
+
+let pp ppf t = Format.pp_print_string ppf (name t)

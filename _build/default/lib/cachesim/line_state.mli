@@ -1,0 +1,9 @@
+(** MESI coherence states for lines held in private caches. *)
+
+type t = Modified | Exclusive | Shared | Invalid
+
+val name : t -> string
+val writable : t -> bool
+(** true for Modified and Exclusive *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+(* Doubly-linked list threaded through a hash table: O(1) insert, move-to-
+   front, and bottom eviction. *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* toward the top (MRU) *)
+  mutable next : 'a node option;  (* toward the bottom (LRU) *)
+}
+
+type 'a t = {
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  tbl : (int, 'a node) Hashtbl.t;
+  cap : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru_stack.create: capacity < 1";
+  { head = None; tail = None; tbl = Hashtbl.create 64; cap = capacity }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.tbl
+let mem t key = Hashtbl.mem t.tbl key
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n -> Some n.value
+  | None -> None
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some nx -> nx.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let access t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n;
+      None
+  | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      if Hashtbl.length t.tbl > t.cap then begin
+        match t.tail with
+        | Some bottom ->
+            unlink t bottom;
+            Hashtbl.remove t.tbl bottom.key;
+            Some (bottom.key, bottom.value)
+        | None -> assert false
+      end
+      else None
+
+let update t key f =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- f n.value;
+      true
+  | None -> false
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl key;
+      Some n.value
+  | None -> None
+
+let distance t key =
+  if not (Hashtbl.mem t.tbl key) then None
+  else begin
+    let rec go d = function
+      | None -> None
+      | Some n -> if n.key = key then Some d else go (d + 1) n.next
+    in
+    go 0 t.head
+  end
+
+let to_alist t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None

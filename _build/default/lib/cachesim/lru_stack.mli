@@ -1,0 +1,41 @@
+(** An LRU stack over integer keys (cache-line indices) with an arbitrary
+    payload per entry.
+
+    This is the data structure behind the paper's stack-distance analysis
+    (§III-C): most-recently-used on top, least-recently-used at the bottom,
+    eviction from the bottom when capacity is exceeded — i.e. a fully
+    associative LRU cache.  All operations are O(1) except {!distance} and
+    {!to_alist}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is the maximum number of entries; use [max_int] for an
+    unbounded stack.  @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+val mem : 'a t -> int -> bool
+val find : 'a t -> int -> 'a option
+(** [find] does not touch recency. *)
+
+val access : 'a t -> int -> 'a -> (int * 'a) option
+(** [access t key payload] inserts [key] at the top (or moves it to the top,
+    replacing its payload).  Returns the evicted bottom entry if the insert
+    overflowed capacity. *)
+
+val update : 'a t -> int -> ('a -> 'a) -> bool
+(** Update the payload in place without touching recency; returns [false]
+    when absent. *)
+
+val remove : 'a t -> int -> 'a option
+(** Remove an entry (invalidation). *)
+
+val distance : 'a t -> int -> int option
+(** 0-based stack distance of a key: the number of distinct entries above
+    it.  O(distance). *)
+
+val to_alist : 'a t -> (int * 'a) list
+(** Entries from most- to least-recently used. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,42 @@
+type t = { l1 : unit Lru_stack.t; l2 : unit Lru_stack.t }
+
+type hit = L1_hit | L2_hit | Priv_miss
+
+let create ~l1 ~l2 =
+  {
+    l1 = Lru_stack.create ~capacity:(Archspec.Cache_geom.lines l1);
+    l2 = Lru_stack.create ~capacity:(Archspec.Cache_geom.lines l2);
+  }
+
+(* Fill [line] into both levels; an L2 victim is back-invalidated from L1
+   (inclusion) and reported. *)
+let fill t line =
+  ignore (Lru_stack.access t.l1 line ());
+  match Lru_stack.access t.l2 line () with
+  | Some (victim, ()) ->
+      ignore (Lru_stack.remove t.l1 victim);
+      Some victim
+  | None -> None
+
+let access t line =
+  if Lru_stack.mem t.l1 line then begin
+    ignore (Lru_stack.access t.l1 line ());
+    (L1_hit, None)
+  end
+  else if Lru_stack.mem t.l2 line then begin
+    ignore (Lru_stack.access t.l2 line ());
+    ignore (Lru_stack.access t.l1 line ());
+    (L2_hit, None)
+  end
+  else begin
+    let evicted = fill t line in
+    (Priv_miss, evicted)
+  end
+
+let invalidate t line =
+  let in_l2 = Lru_stack.remove t.l2 line <> None in
+  let in_l1 = Lru_stack.remove t.l1 line <> None in
+  in_l1 || in_l2
+
+let holds t line = Lru_stack.mem t.l2 line || Lru_stack.mem t.l1 line
+let lines_held t = Lru_stack.size t.l2

@@ -1,0 +1,16 @@
+(** A set-associative cache with per-set LRU replacement — the variant the
+    paper's model deliberately does {e not} use (§III-C argues fully
+    associative modeling is valid for highly associative caches).  Provided
+    for the ablation benchmark comparing both replacement models. *)
+
+type t
+
+val create : Archspec.Cache_geom.t -> t
+
+val access : t -> int -> [ `Hit | `Miss of int option ]
+(** [access t line] touches a line; on a miss the per-set LRU victim (if
+    the set was full) is returned. *)
+
+val mem : t -> int -> bool
+val invalidate : t -> int -> bool
+val size : t -> int

@@ -1,0 +1,104 @@
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable c2c_transfers : int;
+  mutable mem_fetches : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable coherence_true : int;
+  mutable coherence_false : int;
+  mutable upgrades : int;
+  mutable invalidations_sent : int;
+  mutable invalidations_received : int;
+  mutable writebacks : int;
+  mutable stall_cycles : int;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    l3_hits = 0;
+    c2c_transfers = 0;
+    mem_fetches = 0;
+    cold_misses = 0;
+    capacity_misses = 0;
+    coherence_true = 0;
+    coherence_false = 0;
+    upgrades = 0;
+    invalidations_sent = 0;
+    invalidations_received = 0;
+    writebacks = 0;
+    stall_cycles = 0;
+  }
+
+let accesses t = t.loads + t.stores
+
+let misses t =
+  t.cold_misses + t.capacity_misses + t.coherence_true + t.coherence_false
+
+let coherence_misses t = t.coherence_true + t.coherence_false
+
+let add_into acc x =
+  acc.loads <- acc.loads + x.loads;
+  acc.stores <- acc.stores + x.stores;
+  acc.l1_hits <- acc.l1_hits + x.l1_hits;
+  acc.l2_hits <- acc.l2_hits + x.l2_hits;
+  acc.l3_hits <- acc.l3_hits + x.l3_hits;
+  acc.c2c_transfers <- acc.c2c_transfers + x.c2c_transfers;
+  acc.mem_fetches <- acc.mem_fetches + x.mem_fetches;
+  acc.cold_misses <- acc.cold_misses + x.cold_misses;
+  acc.capacity_misses <- acc.capacity_misses + x.capacity_misses;
+  acc.coherence_true <- acc.coherence_true + x.coherence_true;
+  acc.coherence_false <- acc.coherence_false + x.coherence_false;
+  acc.upgrades <- acc.upgrades + x.upgrades;
+  acc.invalidations_sent <- acc.invalidations_sent + x.invalidations_sent;
+  acc.invalidations_received <-
+    acc.invalidations_received + x.invalidations_received;
+  acc.writebacks <- acc.writebacks + x.writebacks;
+  acc.stall_cycles <- acc.stall_cycles + x.stall_cycles
+
+let sum l =
+  let acc = create () in
+  List.iter (add_into acc) l;
+  acc
+
+let sub a b =
+  {
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    l1_hits = a.l1_hits - b.l1_hits;
+    l2_hits = a.l2_hits - b.l2_hits;
+    l3_hits = a.l3_hits - b.l3_hits;
+    c2c_transfers = a.c2c_transfers - b.c2c_transfers;
+    mem_fetches = a.mem_fetches - b.mem_fetches;
+    cold_misses = a.cold_misses - b.cold_misses;
+    capacity_misses = a.capacity_misses - b.capacity_misses;
+    coherence_true = a.coherence_true - b.coherence_true;
+    coherence_false = a.coherence_false - b.coherence_false;
+    upgrades = a.upgrades - b.upgrades;
+    invalidations_sent = a.invalidations_sent - b.invalidations_sent;
+    invalidations_received =
+      a.invalidations_received - b.invalidations_received;
+    writebacks = a.writebacks - b.writebacks;
+    stall_cycles = a.stall_cycles - b.stall_cycles;
+  }
+
+let copy t = sum [ t ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses: %d (%d ld, %d st)@,\
+     hits: L1 %d, L2 %d, L3 %d, c2c %d, mem %d@,\
+     misses: cold %d, capacity %d, coherence-true %d, coherence-false %d@,\
+     upgrades %d, inval sent %d recv %d, writebacks %d@,\
+     stall cycles %d@]"
+    (accesses t) t.loads t.stores t.l1_hits t.l2_hits t.l3_hits
+    t.c2c_transfers t.mem_fetches t.cold_misses t.capacity_misses
+    t.coherence_true t.coherence_false t.upgrades t.invalidations_sent
+    t.invalidations_received t.writebacks t.stall_cycles

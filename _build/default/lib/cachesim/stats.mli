@@ -1,0 +1,38 @@
+(** Counters collected by the coherent-cache simulator. *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable c2c_transfers : int;  (** lines sourced from a remote dirty copy *)
+  mutable mem_fetches : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable coherence_true : int;
+      (** invalidation misses where the core touches remotely-written words *)
+  mutable coherence_false : int;
+      (** invalidation misses on untouched words — false sharing *)
+  mutable upgrades : int;  (** write hits on Shared lines *)
+  mutable invalidations_sent : int;
+  mutable invalidations_received : int;
+  mutable writebacks : int;
+  mutable stall_cycles : int;  (** memory-stall cycles accumulated *)
+}
+
+val create : unit -> t
+val accesses : t -> int
+val misses : t -> int
+val coherence_misses : t -> int
+val add_into : t -> t -> unit
+(** [add_into acc x] accumulates [x] into [acc]. *)
+
+val sum : t list -> t
+
+val sub : t -> t -> t
+(** [sub a b] is the counter-wise difference [a - b]; used to isolate the
+    activity of one measured phase from a running simulator. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/detect.ml: Array List Ownership Thread_cache_state

@@ -1,0 +1,1 @@
+lib/core/detect.mli: Ownership Thread_cache_state

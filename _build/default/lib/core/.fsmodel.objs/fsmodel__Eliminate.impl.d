@@ -1,0 +1,1 @@
+lib/core/eliminate.ml: Advisor Archspec Format Hashtbl List Minic Option

@@ -1,0 +1,1 @@
+lib/core/eliminate.mli: Advisor Archspec Format Minic

@@ -1,0 +1,1 @@
+lib/core/fs_counter.ml: Array Hashtbl List Ownership Thread_cache_state

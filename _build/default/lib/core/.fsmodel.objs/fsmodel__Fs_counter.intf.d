@@ -1,0 +1,1 @@
+lib/core/fs_counter.mli: Ownership Thread_cache_state

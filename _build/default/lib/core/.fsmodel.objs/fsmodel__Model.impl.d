@@ -1,0 +1,1 @@
+lib/core/model.ml: Archspec Array Fs_counter List Loopir Ompsched Option Ownership

@@ -1,0 +1,1 @@
+lib/core/overhead_percent.ml: Archspec Costmodel Format List Loopir Minic Model Predict

@@ -1,0 +1,1 @@
+lib/core/overhead_percent.mli: Archspec Costmodel Format Minic

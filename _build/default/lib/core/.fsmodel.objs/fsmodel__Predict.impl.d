@@ -1,0 +1,1 @@
+lib/core/predict.ml: Costmodel Float Linreg List Loopir Model Ompsched

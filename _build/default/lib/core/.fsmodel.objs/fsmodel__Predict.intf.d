@@ -1,0 +1,1 @@
+lib/core/predict.mli: Linreg Loopir Minic Model

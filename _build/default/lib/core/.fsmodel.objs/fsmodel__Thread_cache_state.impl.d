@@ -1,0 +1,1 @@
+lib/core/thread_cache_state.ml: Archspec Cachesim

@@ -1,0 +1,40 @@
+(** FS elimination advisor — the paper's stated future work (§VI) built on
+    the cost model: search chunk sizes for the smallest one that removes
+    (almost all) false sharing, and point at the victim data structures
+    with a padding suggestion.
+
+    The chunk search uses the §III-E predictor, so advice costs a few
+    chunk runs per candidate, not a full-loop evaluation. *)
+
+type victim = {
+  base : string;  (** the falsely-shared array *)
+  repr : string;  (** a representative written reference *)
+  parallel_stride : int;
+      (** bytes between consecutive parallel iterations' writes *)
+  padding_bytes : int;
+      (** padding per element that would push neighbours onto distinct
+          lines *)
+}
+
+type advice = {
+  threads : int;
+  sweep : (int * int) list;  (** (chunk, predicted FS cases), ascending *)
+  best_chunk : int option;
+      (** smallest candidate whose FS is below [threshold] of chunk 1's
+          (None when even the largest candidate does not reach it) *)
+  victims : victim list;  (** written refs whose stride < line size *)
+}
+
+val advise :
+  ?arch:Archspec.Arch.t ->
+  ?chunks:int list ->
+  ?threshold:float ->
+  ?pred_runs:int ->
+  threads:int ->
+  func:string ->
+  Minic.Typecheck.checked ->
+  advice
+(** Defaults: chunks [1;2;4;8;16;32;64], threshold 0.05, 16 prediction
+    runs. *)
+
+val pp : Format.formatter -> advice -> unit

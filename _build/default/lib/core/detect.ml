@@ -1,0 +1,16 @@
+let fs_cases_for_insert ~states ~me ~line =
+  let n = Array.length states in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if j <> me && Thread_cache_state.holds_modified states.(j) line then
+      incr count
+  done;
+  !count
+
+let fs_cases_for_iteration ~states ~me entries =
+  List.fold_left
+    (fun acc { Ownership.line; written } ->
+      let fs = fs_cases_for_insert ~states ~me ~line in
+      ignore (Thread_cache_state.insert states.(me) ~line ~written);
+      acc + fs)
+    0 entries

@@ -1,0 +1,200 @@
+type rewrite =
+  | Pad_struct of { struct_name : string; pad_bytes : int }
+  | Spread_array of { base : string; factor : int }
+
+type plan = { rewrites : rewrite list }
+
+exception Unsupported of string
+
+let rec elem_of = function
+  | Minic.Ast.Tarray (t, _) -> elem_of t
+  | t -> t
+
+let rec dims_of = function
+  | Minic.Ast.Tarray (t, _) -> 1 + dims_of t
+  | _ -> 0
+
+let plan_for (checked : Minic.Typecheck.checked) ~line_bytes victims =
+  let rewrites =
+    List.map
+      (fun (v : Advisor.victim) ->
+        let ty =
+          match
+            List.assoc_opt v.Advisor.base checked.Minic.Typecheck.global_types
+          with
+          | Some t -> t
+          | None -> raise (Unsupported ("unknown victim " ^ v.Advisor.base))
+        in
+        match elem_of ty with
+        | Minic.Ast.Tstruct s ->
+            Pad_struct { struct_name = s; pad_bytes = v.Advisor.padding_bytes }
+        | Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong
+        | Minic.Ast.Tfloat | Minic.Ast.Tdouble ->
+            let stride = max 1 v.Advisor.parallel_stride in
+            Spread_array
+              {
+                base = v.Advisor.base;
+                factor = (line_bytes + stride - 1) / stride;
+              }
+        | Minic.Ast.Tvoid | Minic.Ast.Tarray _ ->
+            raise (Unsupported ("victim " ^ v.Advisor.base
+                                ^ " has an unsupported element type")))
+      victims
+  in
+  (* dedupe struct pads targeting the same struct *)
+  let seen = Hashtbl.create 4 in
+  let rewrites =
+    List.filter
+      (fun r ->
+        let key =
+          match r with
+          | Pad_struct { struct_name; _ } -> "s:" ^ struct_name
+          | Spread_array { base; _ } -> "a:" ^ base
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      rewrites
+  in
+  { rewrites }
+
+(* ---------------------------------------------------------------- *)
+(* AST rewriting                                                      *)
+(* ---------------------------------------------------------------- *)
+
+(* depth of an Index-only access path below [base]; None when the
+   expression is not such a path *)
+let rec depth_from_base base = function
+  | Minic.Ast.Ident v when v = base -> Some 0
+  | Minic.Ast.Index (p, _) ->
+      Option.map (fun d -> d + 1) (depth_from_base base p)
+  | _ -> None
+
+let rec spread_expr ~base ~dims ~factor e =
+  let rw = spread_expr ~base ~dims ~factor in
+  match e with
+  | Minic.Ast.Index (p, idx) ->
+      let idx' = rw idx in
+      let scaled =
+        match depth_from_base base p with
+        | Some d when d = dims - 1 ->
+            Minic.Ast.Binop (Minic.Ast.Mul, idx', Minic.Ast.Int_lit factor)
+        | _ -> idx'
+      in
+      Minic.Ast.Index (rw p, scaled)
+  | Minic.Ast.Int_lit _ | Minic.Ast.Float_lit _ | Minic.Ast.Ident _ -> e
+  | Minic.Ast.Binop (op, a, b) -> Minic.Ast.Binop (op, rw a, rw b)
+  | Minic.Ast.Unop (op, a) -> Minic.Ast.Unop (op, rw a)
+  | Minic.Ast.Field (p, f) -> Minic.Ast.Field (rw p, f)
+  | Minic.Ast.Call (f, args) -> Minic.Ast.Call (f, List.map rw args)
+
+let rec spread_stmt ~base ~dims ~factor s =
+  let rw_e = spread_expr ~base ~dims ~factor in
+  let rw_s = spread_stmt ~base ~dims ~factor in
+  match s with
+  | Minic.Ast.Sexpr e -> Minic.Ast.Sexpr (rw_e e)
+  | Minic.Ast.Sassign (l, op, r) -> Minic.Ast.Sassign (rw_e l, op, rw_e r)
+  | Minic.Ast.Sdecl (t, n, init) ->
+      Minic.Ast.Sdecl (t, n, Option.map rw_e init)
+  | Minic.Ast.Sblock ss -> Minic.Ast.Sblock (List.map rw_s ss)
+  | Minic.Ast.Sif (c, t, e) ->
+      Minic.Ast.Sif (rw_e c, rw_s t, Option.map rw_s e)
+  | Minic.Ast.Sfor loop ->
+      Minic.Ast.Sfor
+        {
+          loop with
+          Minic.Ast.init_expr = rw_e loop.Minic.Ast.init_expr;
+          cond = rw_e loop.Minic.Ast.cond;
+          step =
+            {
+              loop.Minic.Ast.step with
+              Minic.Ast.step_by = rw_e loop.Minic.Ast.step.Minic.Ast.step_by;
+            };
+          body = rw_s loop.Minic.Ast.body;
+        }
+  | Minic.Ast.Swhile (c, body) -> Minic.Ast.Swhile (rw_e c, rw_s body)
+  | Minic.Ast.Sbreak -> Minic.Ast.Sbreak
+  | Minic.Ast.Scontinue -> Minic.Ast.Scontinue
+  | Minic.Ast.Sreturn e -> Minic.Ast.Sreturn (Option.map rw_e e)
+
+(* enlarge the innermost dimension of an array type *)
+let rec inflate_innermost factor = function
+  | Minic.Ast.Tarray (((Minic.Ast.Tarray _) as inner), n) ->
+      Minic.Ast.Tarray (inflate_innermost factor inner, n)
+  | Minic.Ast.Tarray (elem, n) -> Minic.Ast.Tarray (elem, n * factor)
+  | t -> t
+
+let apply_one (prog : Minic.Ast.program) rewrite =
+  match rewrite with
+  | Pad_struct { struct_name; pad_bytes } ->
+      let globals =
+        List.map
+          (function
+            | Minic.Ast.Gstruct_def (s, fields) when s = struct_name ->
+                Minic.Ast.Gstruct_def
+                  ( s,
+                    fields
+                    @ [ (Minic.Ast.Tarray (Minic.Ast.Tchar, pad_bytes),
+                         "_fs_pad") ] )
+            | g -> g)
+          prog.Minic.Ast.globals
+      in
+      { prog with Minic.Ast.globals }
+  | Spread_array { base; factor } ->
+      let dims =
+        match
+          List.find_map
+            (function
+              | Minic.Ast.Gvar (t, n) when n = base -> Some (dims_of t)
+              | _ -> None)
+            prog.Minic.Ast.globals
+        with
+        | Some d -> d
+        | None -> raise (Unsupported ("no global named " ^ base))
+      in
+      let globals =
+        List.map
+          (function
+            | Minic.Ast.Gvar (t, n) when n = base ->
+                Minic.Ast.Gvar (inflate_innermost factor t, n)
+            | Minic.Ast.Gfunc f ->
+                Minic.Ast.Gfunc
+                  {
+                    f with
+                    Minic.Ast.body =
+                      List.map (spread_stmt ~base ~dims ~factor)
+                        f.Minic.Ast.body;
+                  }
+            | g -> g)
+          prog.Minic.Ast.globals
+      in
+      { prog with Minic.Ast.globals }
+
+let apply (checked : Minic.Typecheck.checked) plan =
+  let prog =
+    List.fold_left apply_one checked.Minic.Typecheck.prog plan.rewrites
+  in
+  Minic.Typecheck.check_program prog
+
+let eliminate ?(arch = Archspec.Arch.paper_machine) ~threads ~func checked =
+  let advice = Advisor.advise ~arch ~threads ~func checked in
+  let plan =
+    plan_for checked ~line_bytes:(Archspec.Arch.line_bytes arch)
+      advice.Advisor.victims
+  in
+  (apply checked plan, plan)
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>";
+  if plan.rewrites = [] then Format.fprintf ppf "no rewrites needed@,";
+  List.iter
+    (function
+      | Pad_struct { struct_name; pad_bytes } ->
+          Format.fprintf ppf "pad struct %s with %d byte(s)@," struct_name
+            pad_bytes
+      | Spread_array { base; factor } ->
+          Format.fprintf ppf "spread array %s by %dx@," base factor)
+    plan.rewrites;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** FS elimination by data-layout transformation — the future work the paper
+    sketches in §VI, using the transformations its related work describes
+    (Jeremiassen & Eggers: array padding and alignment).
+
+    Two rewrites, chosen per victim found by {!Advisor}:
+
+    - {b struct padding}: when the victim array's elements are structs, a
+      [char _fs_pad[k]] tail field pushes consecutive elements onto
+      different cache lines (e.g. the 40-byte linreg accumulator grows to
+      64 bytes);
+    - {b element spreading}: when the elements are scalars, the array is
+      inflated by a factor [line_bytes / elem_size] and every subscript on
+      the victim's element dimension is multiplied by the same factor, so
+      neighbouring parallel iterations no longer share a line (classic
+      inter-element padding, traded against memory footprint).
+
+    The transform rewrites the whole program (all functions, including
+    initialization), re-typechecks it, and returns the new program; the
+    kernel's own loads/stores are preserved reference-for-reference, so the
+    model and the execution simulator can be re-run on the result to
+    confirm the false sharing is gone. *)
+
+type rewrite =
+  | Pad_struct of { struct_name : string; pad_bytes : int }
+  | Spread_array of { base : string; factor : int }
+
+type plan = { rewrites : rewrite list }
+
+exception Unsupported of string
+
+val plan_for :
+  Minic.Typecheck.checked -> line_bytes:int -> Advisor.victim list -> plan
+(** Decide a rewrite per victim.  @raise Unsupported when a victim's array
+    element is neither a struct nor a scalar (not produced by the current
+    frontend). *)
+
+val apply : Minic.Typecheck.checked -> plan -> Minic.Typecheck.checked
+(** Apply the plan and re-typecheck.  Spreading renames nothing; programs
+    keep working with the same function names. *)
+
+val eliminate :
+  ?arch:Archspec.Arch.t ->
+  threads:int ->
+  func:string ->
+  Minic.Typecheck.checked ->
+  Minic.Typecheck.checked * plan
+(** [eliminate ~threads ~func checked] = advise, plan, apply. *)
+
+val pp_plan : Format.formatter -> plan -> unit

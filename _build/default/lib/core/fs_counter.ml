@@ -1,0 +1,53 @@
+type t = {
+  states : Thread_cache_state.t array;
+  modified : (int, int) Hashtbl.t;  (* line -> bitmask of writer-holders *)
+}
+
+let create ~threads ~capacity =
+  if threads < 1 || threads > 62 then
+    invalid_arg "Fs_counter.create: threads must be in 1..62";
+  {
+    states = Array.init threads (fun _ -> Thread_cache_state.create ~capacity);
+    modified = Hashtbl.create 4096;
+  }
+
+let mask_of t line =
+  match Hashtbl.find_opt t.modified line with Some m -> m | None -> 0
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+let clear_bit t line tid =
+  match Hashtbl.find_opt t.modified line with
+  | Some m ->
+      let m' = m land lnot (1 lsl tid) in
+      if m' = 0 then Hashtbl.remove t.modified line
+      else Hashtbl.replace t.modified line m'
+  | None -> ()
+
+let process t ~me ~line ~written =
+  let fs = popcount (mask_of t line land lnot (1 lsl me)) in
+  let prior_written = Thread_cache_state.holds_modified t.states.(me) line in
+  (match Thread_cache_state.insert t.states.(me) ~line ~written with
+  | Some (evicted, _) -> clear_bit t evicted me
+  | None -> ());
+  if written || prior_written then
+    Hashtbl.replace t.modified line (mask_of t line lor (1 lsl me));
+  fs
+
+let process_entries t ~me entries =
+  List.fold_left
+    (fun acc { Ownership.line; written } ->
+      acc + process t ~me ~line ~written)
+    0 entries
+
+let invalidate_others t ~me ~line =
+  Array.iteri
+    (fun j s ->
+      if j <> me then
+        if Thread_cache_state.invalidate s line then clear_bit t line j)
+    t.states
+
+let state t i = t.states.(i)
+let threads t = Array.length t.states

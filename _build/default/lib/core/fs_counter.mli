@@ -1,0 +1,25 @@
+(** The model's FS-counting engine: per-thread stack-distance cache states
+    plus an O(1) bitmask index of which threads hold each line in written
+    state.  Semantically identical to folding {!Detect.fs_cases_for_insert}
+    over the states (tests cross-check the two); this version makes the
+    1-to-All comparison a popcount. *)
+
+type t
+
+val create : threads:int -> capacity:int -> t
+(** @raise Invalid_argument when [threads] is outside [1..62]. *)
+
+val process : t -> me:int -> line:int -> written:bool -> int
+(** Count the FS cases triggered by thread [me] inserting [line] (the φ
+    comparison against all other states), then insert it. *)
+
+val process_entries : t -> me:int -> Ownership.entry list -> int
+
+val invalidate_others : t -> me:int -> line:int -> unit
+(** Drop [line] from every other thread's state (write-invalidate
+    ablation). *)
+
+val state : t -> int -> Thread_cache_state.t
+(** Direct access to one thread's stack (for tests). *)
+
+val threads : t -> int

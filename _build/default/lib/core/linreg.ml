@@ -1,0 +1,47 @@
+type line = { a : float; b : float }
+
+let fit_paper pts =
+  if pts = [] then invalid_arg "Linreg.fit_paper: no points";
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. pts in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. pts in
+  if sxx = 0. then invalid_arg "Linreg.fit_paper: all x are zero";
+  let a = sxy /. sxx in
+  let n = float_of_int (List.length pts) in
+  let b = List.fold_left (fun acc (x, y) -> acc +. (y -. (a *. x))) 0. pts /. n in
+  { a; b }
+
+let fit_ols pts =
+  if pts = [] then invalid_arg "Linreg.fit_ols: no points";
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. pts in
+  let mx = sx /. n and my = sy /. n in
+  let sxx =
+    List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) *. (x -. mx))) 0. pts
+  in
+  if sxx = 0. then fit_paper pts
+  else begin
+    let sxy =
+      List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. pts
+    in
+    let a = sxy /. sxx in
+    { a; b = my -. (a *. mx) }
+  end
+
+let predict { a; b } x = (a *. x) +. b
+
+let residual_rms line pts =
+  match pts with
+  | [] -> 0.
+  | _ ->
+      let n = float_of_int (List.length pts) in
+      let ss =
+        List.fold_left
+          (fun acc (x, y) ->
+            let e = y -. predict line x in
+            acc +. (e *. e))
+          0. pts
+      in
+      sqrt (ss /. n)
+
+let pp ppf { a; b } = Format.fprintf ppf "y = %.4f x %+.4f" a b

@@ -1,0 +1,21 @@
+(** Least-squares line fitting for the FS prediction model (paper §III-E).
+
+    The paper derives, from minimizing [(a·x + b − y)ᵀ(a·x + b − y)] the
+    two-step solution [a = Σxᵢyᵢ / Σxᵢ²], [b = Σ(yᵢ − a·xᵢ)/n]; {!fit_paper}
+    implements those formulas verbatim.  {!fit_ols} is the standard
+    mean-centered ordinary least squares, provided for comparison (they
+    agree exactly on data that is exactly linear through any intercept
+    close to zero, which Fig. 6 shows FS counts are). *)
+
+type line = { a : float; b : float }
+
+val fit_paper : (float * float) list -> line
+(** @raise Invalid_argument on an empty list or all-zero x. *)
+
+val fit_ols : (float * float) list -> line
+(** Standard OLS; for a single point or zero x-variance the slope falls
+    back to [fit_paper]'s. *)
+
+val predict : line -> float -> float
+val residual_rms : line -> (float * float) list -> float
+val pp : Format.formatter -> line -> unit

@@ -1,0 +1,209 @@
+type stack_policy = Level_l1 | Level_l2 | Lines of int | Unbounded
+
+type config = {
+  arch : Archspec.Arch.t;
+  threads : int;
+  chunk : int option;
+  params : (string * int) list;
+  stack : stack_policy;
+  invalidate_on_write : bool;
+}
+
+let default_config ?(arch = Archspec.Arch.paper_machine) ~threads () =
+  {
+    arch;
+    threads;
+    chunk = None;
+    params = [ ("num_threads", threads) ];
+    stack = Level_l1;
+    invalidate_on_write = false;
+  }
+
+type run_sample = { chunk_run : int; cumulative_fs : int }
+
+type result = {
+  fs_cases : int;
+  thread_steps : int;
+  iterations_evaluated : int;
+  chunk_runs : int;
+  samples : run_sample list;
+  truncated : bool;
+}
+
+exception Stop
+
+type state = {
+  mutable fs : int;
+  mutable steps : int;
+  mutable iters : int;
+  mutable runs : int;
+  mutable samples : run_sample list;
+  mutable truncated : bool;
+}
+
+let capacity_of cfg =
+  match cfg.stack with
+  | Level_l1 -> Archspec.Cache_geom.lines cfg.arch.Archspec.Arch.l1
+  | Level_l2 -> Archspec.Cache_geom.lines cfg.arch.Archspec.Arch.l2
+  | Lines n -> n
+  | Unbounded -> max_int
+
+let run ?max_chunk_runs ?(record_samples = false) cfg
+    ~(nest : Loopir.Loop_nest.t) ~checked =
+  if cfg.threads < 1 then invalid_arg "Model.run: threads < 1";
+  if cfg.threads > 62 then
+    invalid_arg "Model.run: more than 62 threads (bitmask fast path)";
+  (match Loopir.Loop_nest.schedule_kind nest with
+  | `Static -> ()
+  | `Dynamic | `Guided ->
+      invalid_arg
+        "Model.run: the FS cost model covers schedule(static) only (the \
+         paper's round-robin assumption, §III); dynamic and guided \
+         assignments are execution-dependent");
+  let arch = cfg.arch in
+  let line_bytes = Archspec.Arch.line_bytes arch in
+  let layout = Loopir.Layout.make ~line_bytes checked in
+  let loops = Array.of_list nest.Loopir.Loop_nest.loops in
+  let nloops = Array.length loops in
+  let d = nest.Loopir.Loop_nest.parallel_depth in
+  let var_slots =
+    List.map (fun (l : Loopir.Loop_nest.loop) -> l.Loopir.Loop_nest.var)
+      nest.Loopir.Loop_nest.loops
+  in
+  let own =
+    Ownership.compile ~layout ~line_bytes ~params:cfg.params ~var_slots nest
+  in
+  let chunk_spec =
+    match cfg.chunk with
+    | Some c -> Some c
+    | None -> Loopir.Loop_nest.chunk_spec nest
+  in
+  let counter =
+    Fs_counter.create ~threads:cfg.threads ~capacity:(capacity_of cfg)
+  in
+  let process_entry t { Ownership.line; written } =
+    let fs = Fs_counter.process counter ~me:t ~line ~written in
+    if cfg.invalidate_on_write && written then
+      Fs_counter.invalidate_others counter ~me:t ~line;
+    fs
+  in
+  let idx = Array.make nloops 0 in
+  let lookup v =
+    match List.assoc_opt v cfg.params with
+    | Some k -> Some k
+    | None ->
+        (* outer induction variables currently pinned in [idx] *)
+        let rec go i =
+          if i >= nloops then None
+          else if loops.(i).Loopir.Loop_nest.var = v then Some idx.(i)
+          else go (i + 1)
+        in
+        go 0
+  in
+  let st =
+    { fs = 0; steps = 0; iters = 0; runs = 0; samples = []; truncated = false }
+  in
+  let run_limit = Option.value ~default:max_int max_chunk_runs in
+  let complete_chunk_run () =
+    st.runs <- st.runs + 1;
+    if record_samples then
+      st.samples <- { chunk_run = st.runs; cumulative_fs = st.fs } :: st.samples;
+    if st.runs >= run_limit then begin
+      st.truncated <- true;
+      raise Stop
+    end
+  in
+  (* Evaluate the parallel region for the outer-variable values currently in
+     [idx]. *)
+  let eval_region () =
+    let ploop = loops.(d) in
+    let par_lower = Loopir.Expr_eval.eval lookup ploop.Loopir.Loop_nest.lower in
+    let par_trip = Loopir.Loop_nest.trip_count ploop ~env:lookup in
+    if par_trip > 0 then begin
+      (* inner loop geometry, parallel variable pinned at its lower bound *)
+      idx.(d) <- par_lower;
+      let inner = Array.sub loops (d + 1) (nloops - d - 1) in
+      let inner_lowers =
+        Array.map
+          (fun (l : Loopir.Loop_nest.loop) ->
+            Loopir.Expr_eval.eval lookup l.Loopir.Loop_nest.lower)
+          inner
+      in
+      let inner_trips =
+        Array.map
+          (fun (l : Loopir.Loop_nest.loop) ->
+            Loopir.Loop_nest.trip_count l ~env:lookup)
+          inner
+      in
+      let inner_per_par = Array.fold_left ( * ) 1 inner_trips in
+      if inner_per_par > 0 then begin
+        let chunk =
+          match chunk_spec with
+          | Some c -> c
+          | None ->
+              (* schedule(static) without a chunk: contiguous blocks *)
+              Ompsched.Schedule.block_chunk ~threads:cfg.threads
+                ~total:par_trip
+        in
+        let sched =
+          Ompsched.Schedule.make ~threads:cfg.threads ~chunk ~total:par_trip
+        in
+        let max_par_steps = Ompsched.Schedule.max_steps_per_thread sched in
+        let max_steps = max_par_steps * inner_per_par in
+        let run_span = chunk * inner_per_par in
+        for s = 0 to max_steps - 1 do
+          let k_par = s / inner_per_par in
+          let k_in = s mod inner_per_par in
+          for t = 0 to cfg.threads - 1 do
+            match Ompsched.Schedule.nth_iter_of_thread sched ~tid:t k_par with
+            | None -> ()
+            | Some q ->
+                idx.(d) <-
+                  par_lower + (q * ploop.Loopir.Loop_nest.step);
+                (* mixed-radix decomposition of the inner iteration *)
+                let rem = ref k_in in
+                for j = Array.length inner - 1 downto 0 do
+                  let trip = inner_trips.(j) in
+                  let v = !rem mod trip in
+                  rem := !rem / trip;
+                  idx.(d + 1 + j) <-
+                    inner_lowers.(j) + (v * inner.(j).Loopir.Loop_nest.step)
+                done;
+                let entries = Ownership.lines own idx in
+                List.iter
+                  (fun e -> st.fs <- st.fs + process_entry t e)
+                  entries;
+                st.iters <- st.iters + 1
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ()
+        done;
+        (* a trailing partial chunk run still counts as a run *)
+        if max_steps mod run_span <> 0 then complete_chunk_run ()
+      end
+    end
+  in
+  (* enumerate the sequential outer loops *)
+  let rec outer level =
+    if level = d then eval_region ()
+    else begin
+      let loop = loops.(level) in
+      let lo = Loopir.Expr_eval.eval lookup loop.Loopir.Loop_nest.lower in
+      let hi = Loopir.Expr_eval.eval lookup loop.Loopir.Loop_nest.upper_excl in
+      let v = ref lo in
+      while !v < hi do
+        idx.(level) <- !v;
+        outer (level + 1);
+        v := !v + loop.Loopir.Loop_nest.step
+      done
+    end
+  in
+  (try outer 0 with Stop -> ());
+  {
+    fs_cases = st.fs;
+    thread_steps = st.steps;
+    iterations_evaluated = st.iters;
+    chunk_runs = st.runs;
+    samples = List.rev st.samples;
+    truncated = st.truncated;
+  }

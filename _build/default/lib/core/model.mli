@@ -1,0 +1,58 @@
+(** The compile-time false-sharing cost model (paper §III): evaluates the
+    loop nest symbolically — [all_iterations / num_threads] lockstep steps,
+    each performing steps 2–4 (ownership lists, stack-distance update,
+    1-to-All detection) — and returns the total number of FS cases.
+
+    Threads advance in lockstep, one innermost iteration per step, through
+    their [schedule(static, chunk)] shares; sequential loops enclosing the
+    parallel loop are executed in order (cache states persist across them).
+    Inner loop bounds are evaluated per region with the parallel variable
+    at its lower bound (rectangular-inner assumption). *)
+
+type stack_policy =
+  | Level_l1  (** stack sized as the private L1 — the paper's setting *)
+  | Level_l2
+  | Lines of int
+  | Unbounded  (** ablation: no eviction (stale lines accumulate) *)
+
+type config = {
+  arch : Archspec.Arch.t;
+  threads : int;
+  chunk : int option;  (** overrides the pragma's chunk size when given *)
+  params : (string * int) list;
+      (** bindings for free identifiers in bounds; bind ["num_threads"]
+          consistently with [threads] *)
+  stack : stack_policy;
+  invalidate_on_write : bool;
+      (** ablation: remove a written line from other threads' states
+          (the paper's model does not) *)
+}
+
+val default_config :
+  ?arch:Archspec.Arch.t -> threads:int -> unit -> config
+(** Paper machine, pragma chunk, L1 stack, no invalidation;
+    [params = \[("num_threads", threads)\]]. *)
+
+type run_sample = { chunk_run : int; cumulative_fs : int }
+
+type result = {
+  fs_cases : int;  (** the paper's [N_fs_model] *)
+  thread_steps : int;  (** lockstep steps evaluated (per-thread depth) *)
+  iterations_evaluated : int;  (** innermost iterations across all threads *)
+  chunk_runs : int;  (** complete chunk runs evaluated *)
+  samples : run_sample list;
+      (** cumulative FS after each chunk run (empty unless
+          [record_samples]) *)
+  truncated : bool;  (** stopped early by [max_chunk_runs] *)
+}
+
+val run :
+  ?max_chunk_runs:int ->
+  ?record_samples:bool ->
+  config ->
+  nest:Loopir.Loop_nest.t ->
+  checked:Minic.Typecheck.checked ->
+  result
+(** Evaluate the model.  [max_chunk_runs] bounds the evaluation (used by
+    the linear-regression predictor, §III-E); [record_samples] keeps the
+    per-chunk-run cumulative series (paper Fig. 6). *)

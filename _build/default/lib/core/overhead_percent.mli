@@ -1,0 +1,38 @@
+(** End-to-end FS-overhead estimation — the right-hand side of paper Eq. 5:
+    compare the FS-case counts of an FS-prone chunk size against an
+    optimized chunk size, normalize through the Eq. 1 cost model, and
+    report the percentage of loop execution time lost to false sharing. *)
+
+type mode =
+  | Full  (** evaluate every iteration (the paper's FS cost model) *)
+  | Predicted of int
+      (** evaluate only this many chunk runs and extrapolate (§III-E) *)
+
+type analysis = {
+  threads : int;
+  fs_chunk : int;
+  nfs_chunk : int;
+  n_fs : int;  (** FS cases with the FS-prone chunk *)
+  n_nfs : int;  (** FS cases with the optimized chunk *)
+  percent : float;  (** modeled FS share of execution time, in % *)
+  breakdown : Costmodel.Total_cost.breakdown;
+      (** Eq. 1 breakdown of the FS-chunk loop *)
+}
+
+val analyze :
+  ?mode:mode ->
+  ?arch:Archspec.Arch.t ->
+  ?fs_cost_factor:float ->
+  ?contention:bool ->
+  threads:int ->
+  fs_chunk:int ->
+  nfs_chunk:int ->
+  func:string ->
+  Minic.Typecheck.checked ->
+  analysis
+(** Lowers [func] with [num_threads] bound to [threads], runs the model for
+    both chunk sizes, and converts
+    [(N_fs − N_nfs) · coherence_latency / threads] cycles into a share of
+    the nest's total modeled time. *)
+
+val pp : Format.formatter -> analysis -> unit

@@ -1,0 +1,86 @@
+type entry = { line : int; written : bool }
+
+type compiled_ref = {
+  const_off : int;  (* base address + constant offset *)
+  terms : (int * int) array;  (* (slot, coefficient) pairs *)
+  size : int;
+  write : bool;
+}
+
+type t = { refs : compiled_ref array; line_bytes : int }
+
+let compile ~layout ~line_bytes ~params ~var_slots (nest : Loopir.Loop_nest.t)
+    =
+  let slot_of v =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if x = v then Some i else go (i + 1) rest
+    in
+    go 0 var_slots
+  in
+  let compile_ref (r : Loopir.Array_ref.t) =
+    let base = Loopir.Layout.addr_of layout r.Loopir.Array_ref.base in
+    let off = r.Loopir.Array_ref.offset in
+    (* fold parameters into the constant part *)
+    let folded =
+      Loopir.Affine.subst
+        (fun v ->
+          match List.assoc_opt v params with
+          | Some k -> Some (Loopir.Affine.const k)
+          | None -> None)
+        off
+    in
+    let terms =
+      List.map
+        (fun v ->
+          match slot_of v with
+          | Some slot -> (slot, Loopir.Affine.coeff folded v)
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Ownership.compile: variable %s of %s is neither a loop \
+                    variable nor a parameter"
+                   v r.Loopir.Array_ref.repr))
+        (Loopir.Affine.vars folded)
+    in
+    {
+      const_off = base + Loopir.Affine.const_part folded;
+      terms = Array.of_list terms;
+      size = r.Loopir.Array_ref.size_bytes;
+      write = Loopir.Array_ref.is_write r;
+    }
+  in
+  {
+    refs = Array.of_list (List.map compile_ref nest.Loopir.Loop_nest.refs);
+    line_bytes;
+  }
+
+let lines t idx =
+  let acc = ref [] in
+  (* first-touch order with write-domination; reference lists are short so a
+     linear merge beats hashing *)
+  let rec merge line written = function
+    | [] -> acc := { line; written } :: !acc
+    | e :: _ when e.line = line ->
+        if written && not e.written then
+          acc :=
+            List.map
+              (fun x -> if x.line = line then { x with written = true } else x)
+              !acc
+    | _ :: rest -> merge line written rest
+  in
+  Array.iter
+    (fun r ->
+      let addr = ref r.const_off in
+      Array.iter
+        (fun (slot, coeff) -> addr := !addr + (coeff * idx.(slot)))
+        r.terms;
+      let first = !addr / t.line_bytes in
+      let last = (!addr + r.size - 1) / t.line_bytes in
+      for line = first to last do
+        merge line r.write !acc
+      done)
+    t.refs;
+  List.rev !acc
+
+let ref_count t = Array.length t.refs

@@ -1,0 +1,31 @@
+(** Step 2 of the paper's method (§III-B): the cache-line ownership list —
+    for given values of the loop indices, the set of cache lines a thread
+    reads/writes in that iteration.
+
+    References are compiled once (base addresses resolved through
+    {!Loopir.Layout}, parameters folded) so that per-iteration evaluation is
+    a handful of integer multiply-adds.  Lines touched more than once in an
+    iteration are merged, a write dominating reads. *)
+
+type entry = { line : int; written : bool }
+
+type t
+
+val compile :
+  layout:Loopir.Layout.t ->
+  line_bytes:int ->
+  params:(string * int) list ->
+  var_slots:string list ->
+  Loopir.Loop_nest.t ->
+  t
+(** [var_slots] fixes the order in which {!lines} expects index values
+    (normally the nest's loop variables, outermost first).
+    @raise Invalid_argument if a reference uses a variable outside
+    [var_slots] and [params]. *)
+
+val lines : t -> int array -> entry list
+(** Ownership list for the iteration whose index values are given in
+    [var_slots] order.  The result is freshly allocated, deduplicated,
+    in first-touch order. *)
+
+val ref_count : t -> int

@@ -1,0 +1,63 @@
+type fit_method = Paper | Ols
+
+type prediction = {
+  predicted_fs : int;
+  line : Linreg.line;
+  runs_evaluated : int;
+  x_max : int;
+  iterations_evaluated : int;
+  full_iterations : int;
+  samples : Model.run_sample list;
+}
+
+let env_of (cfg : Model.config) v = List.assoc_opt v cfg.Model.params
+
+let x_max (cfg : Model.config) ~(nest : Loopir.Loop_nest.t) =
+  let env = env_of cfg in
+  let trips = Costmodel.Cache_model.trips_of_nest ~env nest in
+  let d = nest.Loopir.Loop_nest.parallel_depth in
+  let regions =
+    List.fold_left ( * ) 1 (List.filteri (fun i _ -> i < d) trips |> List.map snd)
+  in
+  let par_trip = snd (List.nth trips d) in
+  let chunk =
+    match cfg.Model.chunk with
+    | Some c -> c
+    | None -> (
+        match Loopir.Loop_nest.chunk_spec nest with
+        | Some c -> c
+        | None ->
+            Ompsched.Schedule.block_chunk ~threads:cfg.Model.threads
+              ~total:par_trip)
+  in
+  let per_run = cfg.Model.threads * chunk in
+  regions * ((par_trip + per_run - 1) / per_run)
+
+let predict ?(runs = 20) ?(fit = Paper) (cfg : Model.config) ~nest ~checked =
+  let r = Model.run ~max_chunk_runs:runs ~record_samples:true cfg ~nest ~checked in
+  let pts =
+    List.map
+      (fun { Model.chunk_run; cumulative_fs } ->
+        (float_of_int chunk_run, float_of_int cumulative_fs))
+      r.Model.samples
+  in
+  let line =
+    match fit with
+    | Paper -> Linreg.fit_paper pts
+    | Ols -> Linreg.fit_ols pts
+  in
+  let x_max = x_max cfg ~nest in
+  let predicted =
+    int_of_float (Float.round (Linreg.predict line (float_of_int x_max)))
+  in
+  let env = env_of cfg in
+  let full_iterations = Loopir.Loop_nest.total_iterations nest ~env in
+  {
+    predicted_fs = max 0 predicted;
+    line;
+    runs_evaluated = r.Model.chunk_runs;
+    x_max;
+    iterations_evaluated = r.Model.iterations_evaluated;
+    full_iterations;
+    samples = r.Model.samples;
+  }

@@ -1,0 +1,30 @@
+(** The FS prediction model (paper §III-E): evaluate only the first few
+    chunk runs with the full model, fit [y = a·x + b] on the cumulative FS
+    counts, and extrapolate to [x_max] (the total number of chunk runs) —
+    replacing millions of evaluated iterations with a few chunk runs. *)
+
+type fit_method = Paper  (** the paper's normal equations *) | Ols
+
+type prediction = {
+  predicted_fs : int;  (** [y_max = a·x_max + b], clamped at 0 *)
+  line : Linreg.line;
+  runs_evaluated : int;  (** chunk runs actually evaluated *)
+  x_max : int;  (** total chunk runs of the whole nest *)
+  iterations_evaluated : int;  (** model work spent on the prediction *)
+  full_iterations : int;
+      (** innermost iterations the full model would evaluate *)
+  samples : Model.run_sample list;
+}
+
+val x_max : Model.config -> nest:Loopir.Loop_nest.t -> int
+(** Total chunk runs: [ceil(parallel iterations / (threads * chunk))]
+    summed over the sequential outer iterations. *)
+
+val predict :
+  ?runs:int ->
+  ?fit:fit_method ->
+  Model.config ->
+  nest:Loopir.Loop_nest.t ->
+  checked:Minic.Typecheck.checked ->
+  prediction
+(** [runs] defaults to 20 (the paper uses 10–50 depending on kernel). *)

@@ -1,0 +1,50 @@
+let group_digits s =
+  let n = String.length s in
+  let buf = Buffer.create (n + (n / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let kcount n =
+  if abs n < 1000 then string_of_int n
+  else group_digits (string_of_int (n / 1000)) ^ "K"
+
+let pct f = Printf.sprintf "%.1f%%" f
+let seconds f = Printf.sprintf "%.4f" f
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    String.sub s 0 !n
+  in
+  let render_row row =
+    rtrim
+      (String.concat "  "
+         (List.mapi
+            (fun c w ->
+              let cell = Option.value ~default:"" (List.nth_opt row c) in
+              cell ^ String.make (max 0 (w - String.length cell)) ' ')
+            widths))
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row header :: sep :: List.map render_row rows)

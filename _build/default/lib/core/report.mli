@@ -1,0 +1,13 @@
+(** Plain-text table rendering for benchmark output and the CLI. *)
+
+val table : header:string list -> string list list -> string
+(** Render rows under a header with aligned columns. *)
+
+val kcount : int -> string
+(** Format a count in thousands with digit grouping, paper-style:
+    [94421123] is ["94,421K"]; values below 1000 print as-is. *)
+
+val pct : float -> string
+(** One-decimal percentage, e.g. ["6.9%"]. *)
+
+val seconds : float -> string

@@ -1,0 +1,22 @@
+type t = bool Cachesim.Lru_stack.t
+
+let create ~capacity : t = Cachesim.Lru_stack.create ~capacity
+
+let of_cache geom =
+  create ~capacity:(Archspec.Cache_geom.lines geom)
+
+let insert (t : t) ~line ~written =
+  let written =
+    written
+    || match Cachesim.Lru_stack.find t line with Some w -> w | None -> false
+  in
+  Cachesim.Lru_stack.access t line written
+
+let holds (t : t) line = Cachesim.Lru_stack.mem t line
+
+let holds_modified (t : t) line =
+  match Cachesim.Lru_stack.find t line with Some w -> w | None -> false
+
+let invalidate (t : t) line = Cachesim.Lru_stack.remove t line <> None
+let size (t : t) = Cachesim.Lru_stack.size t
+let clear (t : t) = Cachesim.Lru_stack.clear t

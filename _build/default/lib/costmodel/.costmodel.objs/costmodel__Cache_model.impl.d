@@ -1,0 +1,1 @@
+lib/costmodel/cache_model.ml: Archspec Cachesim Float Format List Loopir Option

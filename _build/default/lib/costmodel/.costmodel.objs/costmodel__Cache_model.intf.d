@@ -1,0 +1,1 @@
+lib/costmodel/cache_model.mli: Archspec Cachesim Format Loopir

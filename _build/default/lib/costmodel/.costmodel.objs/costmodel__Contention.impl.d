@@ -1,0 +1,1 @@
+lib/costmodel/contention.ml: Archspec Cache_model Cachesim Float Format List Loopir Processor_model

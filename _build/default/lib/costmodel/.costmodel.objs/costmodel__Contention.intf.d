@@ -1,0 +1,1 @@
+lib/costmodel/contention.mli: Archspec Format Loopir Minic

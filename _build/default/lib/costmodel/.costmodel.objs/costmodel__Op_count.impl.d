@@ -1,0 +1,1 @@
+lib/costmodel/op_count.ml: Archspec Format Hashtbl Latency List Minic Option

@@ -1,0 +1,1 @@
+lib/costmodel/op_count.mli: Archspec Format Minic

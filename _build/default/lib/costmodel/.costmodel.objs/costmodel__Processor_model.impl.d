@@ -1,0 +1,1 @@
+lib/costmodel/processor_model.ml: Archspec Float Format Latency List Loopir Minic Op_count

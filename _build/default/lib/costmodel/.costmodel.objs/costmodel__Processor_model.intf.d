@@ -1,0 +1,1 @@
+lib/costmodel/processor_model.mli: Archspec Format Loopir Minic Op_count

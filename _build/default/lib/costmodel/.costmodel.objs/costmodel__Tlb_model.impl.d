@@ -1,0 +1,1 @@
+lib/costmodel/tlb_model.ml: Archspec Cache_model Float Format List Loopir

@@ -1,0 +1,1 @@
+lib/costmodel/tlb_model.mli: Archspec Format Loopir

@@ -1,0 +1,1 @@
+lib/costmodel/total_cost.ml: Archspec Cache_model Contention Format List Loopir Ompsched Processor_model Tlb_model

@@ -1,0 +1,1 @@
+lib/costmodel/total_cost.mli: Archspec Format Loopir Minic Ompsched

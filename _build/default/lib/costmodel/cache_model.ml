@@ -1,0 +1,198 @@
+type group_cost = {
+  group : Loopir.Ref_group.t;
+  lines_per_iter : float;
+  reuse_volume_bytes : int option;
+  source : Cachesim.Coherence.source;
+  penalty_per_iter : float;
+}
+
+type t = { groups : group_cost list; cycles_per_iter : float }
+
+let round_up x a = (x + a - 1) / a * a
+
+(* Trip counts per loop, outer variables pinned at their lower bounds. *)
+let trips_of_nest ~env (nest : Loopir.Loop_nest.t) =
+  let rec go env_acc = function
+    | [] -> []
+    | (loop : Loopir.Loop_nest.loop) :: rest ->
+        let lookup v =
+          match List.assoc_opt v env_acc with
+          | Some n -> Some n
+          | None -> env v
+        in
+        let trip = Loopir.Loop_nest.trip_count loop ~env:lookup in
+        let lo =
+          try Loopir.Expr_eval.eval lookup loop.Loopir.Loop_nest.lower
+          with _ -> 0
+        in
+        (loop.Loopir.Loop_nest.var, trip)
+        :: go ((loop.Loopir.Loop_nest.var, lo) :: env_acc) rest
+  in
+  go [] nest.Loopir.Loop_nest.loops
+
+(* Dense-span approximation: bytes touched by a reference as the given
+   variables sweep their trips. *)
+let span_bytes ~trips ~levels (r : Loopir.Array_ref.t) =
+  List.fold_left
+    (fun acc v ->
+      let c = abs (Loopir.Affine.coeff r.Loopir.Array_ref.offset v) in
+      let trip = Option.value ~default:1 (List.assoc_opt v trips) in
+      acc + (c * max 0 (trip - 1)))
+    r.Loopir.Array_ref.size_bytes levels
+
+let footprint_bytes ~line_bytes ~trips ~levels refs =
+  let groups = Loopir.Ref_group.form ~line_bytes refs in
+  List.fold_left
+    (fun acc (g : Loopir.Ref_group.t) ->
+      acc + round_up (span_bytes ~trips ~levels g.Loopir.Ref_group.leader)
+              line_bytes)
+    0 groups
+
+let analyze ~(arch : Archspec.Arch.t) ~env (nest : Loopir.Loop_nest.t) =
+  let line = Archspec.Arch.line_bytes arch in
+  let trips = trips_of_nest ~env nest in
+  let loop_vars =
+    List.map (fun (l : Loopir.Loop_nest.loop) -> l.Loopir.Loop_nest.var)
+      nest.Loopir.Loop_nest.loops
+  in
+  let nvars = List.length loop_vars in
+  let inner_var = List.nth loop_vars (nvars - 1) in
+  let vars_inside idx =
+    List.filteri (fun i _ -> i > idx) loop_vars
+  in
+  let groups = Loopir.Ref_group.form ~line_bytes:line nest.Loopir.Loop_nest.refs in
+  let capacity = function
+    | Cachesim.Coherence.L1 -> arch.Archspec.Arch.l1.Archspec.Cache_geom.size_bytes
+    | Cachesim.Coherence.L2 -> arch.Archspec.Arch.l2.Archspec.Cache_geom.size_bytes
+    | Cachesim.Coherence.L3 -> arch.Archspec.Arch.l3.Archspec.Cache_geom.size_bytes
+    | Cachesim.Coherence.C2C | Cachesim.Coherence.Memory -> max_int
+  in
+  let latency = function
+    | Cachesim.Coherence.L1 -> arch.Archspec.Arch.l1.Archspec.Cache_geom.hit_latency
+    | Cachesim.Coherence.L2 -> arch.Archspec.Arch.l2.Archspec.Cache_geom.hit_latency
+    | Cachesim.Coherence.L3 -> arch.Archspec.Arch.l3.Archspec.Cache_geom.hit_latency
+    | Cachesim.Coherence.C2C -> arch.Archspec.Arch.coherence_latency
+    | Cachesim.Coherence.Memory -> arch.Archspec.Arch.mem_latency
+  in
+  let l1_hit = latency Cachesim.Coherence.L1 in
+  let level_holding volume =
+    if volume <= capacity Cachesim.Coherence.L1 then Cachesim.Coherence.L1
+    else if volume <= capacity Cachesim.Coherence.L2 then Cachesim.Coherence.L2
+    else if volume <= capacity Cachesim.Coherence.L3 then Cachesim.Coherence.L3
+    else Cachesim.Coherence.Memory
+  in
+  (* Reuse carried by the innermost enclosing loop whose variable is absent
+     from the subscript. *)
+  let carried_reuse (g : Loopir.Ref_group.t) =
+    let off = g.Loopir.Ref_group.leader.Loopir.Array_ref.offset in
+    let rec find idx best =
+      if idx >= nvars then best
+      else begin
+        let v = List.nth loop_vars idx in
+        let best =
+          if Loopir.Affine.coeff off v = 0 then Some idx else best
+        in
+        find (idx + 1) best
+      end
+    in
+    match find 0 None with
+    | Some idx ->
+        Some
+          (footprint_bytes ~line_bytes:line ~trips ~levels:(vars_inside idx)
+             nest.Loopir.Loop_nest.refs)
+    | None -> None
+  in
+  (* Cross-group reuse: a group whose offset lags a sibling group of the
+     same base by k strides of some enclosing loop re-touches that
+     sibling's lines k iterations of that loop later. *)
+  let cross_group_reuse (g : Loopir.Ref_group.t) =
+    let leader = g.Loopir.Ref_group.leader in
+    let candidates =
+      List.filter
+        (fun (other : Loopir.Ref_group.t) ->
+          other != g
+          && other.Loopir.Ref_group.leader.Loopir.Array_ref.base
+             = leader.Loopir.Array_ref.base)
+        groups
+    in
+    List.filter_map
+      (fun (other : Loopir.Ref_group.t) ->
+        match
+          Loopir.Affine.is_const
+            (Loopir.Affine.sub
+               other.Loopir.Ref_group.leader.Loopir.Array_ref.offset
+               leader.Loopir.Array_ref.offset)
+        with
+        | Some d when d > 0 ->
+            (* find an enclosing loop whose stride divides the gap *)
+            let rec find idx =
+              if idx >= nvars then None
+              else begin
+                let v = List.nth loop_vars idx in
+                let c = Loopir.Affine.coeff leader.Loopir.Array_ref.offset v in
+                let trip = Option.value ~default:1 (List.assoc_opt v trips) in
+                if c > 0 && d mod c = 0 && d / c >= 1 && d / c < trip then
+                  Some
+                    (d / c
+                    * footprint_bytes ~line_bytes:line ~trips
+                        ~levels:(vars_inside idx) nest.Loopir.Loop_nest.refs)
+                else find (idx + 1)
+              end
+            in
+            find 0
+        | Some _ | None -> None)
+      candidates
+    |> function
+    | [] -> None
+    | l -> Some (List.fold_left min max_int l)
+  in
+  let group_costs =
+    List.map
+      (fun (g : Loopir.Ref_group.t) ->
+        let off = g.Loopir.Ref_group.leader.Loopir.Array_ref.offset in
+        let c_in = abs (Loopir.Affine.coeff off inner_var) in
+        let lines_per_iter =
+          if c_in = 0 then 0.
+          else Float.min 1. (float_of_int c_in /. float_of_int line)
+        in
+        let reuse_volume_bytes =
+          match carried_reuse g with
+          | Some v -> Some v
+          | None -> cross_group_reuse g
+        in
+        let source =
+          match reuse_volume_bytes with
+          | Some v -> level_holding v
+          | None -> Cachesim.Coherence.Memory
+        in
+        let penalty = max 0 (latency source - l1_hit) in
+        let penalty_per_iter = lines_per_iter *. float_of_int penalty in
+        { group = g; lines_per_iter; reuse_volume_bytes; source;
+          penalty_per_iter })
+      groups
+  in
+  {
+    groups = group_costs;
+    cycles_per_iter =
+      List.fold_left (fun acc c -> acc +. c.penalty_per_iter) 0. group_costs;
+  }
+
+let source_name = function
+  | Cachesim.Coherence.L1 -> "L1"
+  | Cachesim.Coherence.L2 -> "L2"
+  | Cachesim.Coherence.L3 -> "L3"
+  | Cachesim.Coherence.C2C -> "c2c"
+  | Cachesim.Coherence.Memory -> "mem"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cache %.3f cy/iter@," t.cycles_per_iter;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s: %.3f lines/iter, reuse %s, from %s, %.3f cy/iter@,"
+        c.group.Loopir.Ref_group.leader.Loopir.Array_ref.repr c.lines_per_iter
+        (match c.reuse_volume_bytes with
+        | Some v -> string_of_int v ^ "B"
+        | None -> "none")
+        (source_name c.source) c.penalty_per_iter)
+    t.groups;
+  Format.fprintf ppf "@]"

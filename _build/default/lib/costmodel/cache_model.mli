@@ -1,0 +1,60 @@
+(** The Open64-style cache model (paper Fig. 4, §II-B2): predicts per-
+    iteration cache-miss cycles from footprints of reference groups.
+
+    Method (a footprint approximation of stack-distance analysis):
+    - references are partitioned into {!Loopir.Ref_group} groups; spatial
+      reuse inside a group costs one footprint;
+    - a group touching new lines every iteration (subscript varies with the
+      innermost variable) misses at rate [stride / line_bytes] per
+      iteration;
+    - temporal reuse is carried by the innermost enclosing loop whose
+      variable is absent from the subscript; the reuse survives in a cache
+      level iff the footprint of the data touched between reuses fits that
+      level's capacity;
+    - cross-group reuse (e.g. [A\[i+1\]\[j\]] feeding [A\[i-1\]\[j\]] two
+      outer iterations later) is detected when two groups of one base
+      differ by an integer multiple of an enclosing loop's stride.
+
+    Each group's misses are then charged the latency of the closest level
+    that holds its reuse set, minus the L1 hit latency already accounted by
+    the processor model. *)
+
+type group_cost = {
+  group : Loopir.Ref_group.t;
+  lines_per_iter : float;  (** new lines touched per innermost iteration *)
+  reuse_volume_bytes : int option;
+      (** bytes between reuses; [None] = streaming, no reuse *)
+  source : Cachesim.Coherence.source;  (** level serving this group's misses *)
+  penalty_per_iter : float;  (** extra cycles per innermost iteration *)
+}
+
+type t = {
+  groups : group_cost list;
+  cycles_per_iter : float;  (** [Cache_c] per innermost iteration *)
+}
+
+val analyze :
+  arch:Archspec.Arch.t ->
+  env:(string -> int option) ->
+  Loopir.Loop_nest.t ->
+  t
+(** [env] must bind parameters used in the bounds (e.g. [num_threads]).
+    Outer-variable-dependent bounds are evaluated at the outer variables'
+    lower bounds. *)
+
+val trips_of_nest :
+  env:(string -> int option) -> Loopir.Loop_nest.t -> (string * int) list
+(** Trip count of every loop level, outer variables pinned at their lower
+    bounds (exposed for the TLB model and tests). *)
+
+val footprint_bytes :
+  line_bytes:int ->
+  trips:(string * int) list ->
+  levels:string list ->
+  Loopir.Array_ref.t list ->
+  int
+(** Bytes touched by one execution of the sub-nest spanned by the loop
+    variables [levels] (innermost portion), using the dense-span
+    approximation.  Exposed for tests and the TLB model. *)
+
+val pp : Format.formatter -> t -> unit

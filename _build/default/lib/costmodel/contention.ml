@@ -1,0 +1,85 @@
+type t = {
+  shared_cache_cycles_per_iter : float;
+  bandwidth_cycles_per_iter : float;
+  cycles_per_iter : float;
+  demand_bytes_per_cycle : float;
+  oversubscription : float;
+}
+
+let analyze ~(arch : Archspec.Arch.t) ~threads ~env ~checked
+    (nest : Loopir.Loop_nest.t) =
+  let base = Cache_model.analyze ~arch ~env nest in
+  (* shared-cache pressure: re-run the cache model with the per-thread L3
+     share *)
+  let sharers = min threads arch.Archspec.Arch.cores_per_socket in
+  let shared_cache_cycles_per_iter =
+    if sharers <= 1 then 0.
+    else begin
+      let shrunken_l3 =
+        let g = arch.Archspec.Arch.l3 in
+        let per_way = Archspec.Cache_geom.sets g * g.Archspec.Cache_geom.line_bytes in
+        (* shrink in whole ways so the geometry stays valid *)
+        let ways = max 1 (g.Archspec.Cache_geom.associativity / sharers) in
+        Archspec.Cache_geom.v
+          ~hit_latency:g.Archspec.Cache_geom.hit_latency ~name:"L3/share"
+          ~size_bytes:(ways * per_way)
+          ~line_bytes:g.Archspec.Cache_geom.line_bytes ~associativity:ways ()
+      in
+      let pressured =
+        Cache_model.analyze
+          ~arch:{ arch with Archspec.Arch.l3 = shrunken_l3 }
+          ~env nest
+      in
+      Float.max 0.
+        (pressured.Cache_model.cycles_per_iter
+        -. base.Cache_model.cycles_per_iter)
+    end
+  in
+  (* bandwidth: bytes each iteration moves to/from DRAM *)
+  let line = Archspec.Arch.line_bytes arch in
+  let dram_bytes_per_iter =
+    List.fold_left
+      (fun acc g ->
+        match g.Cache_model.source with
+        | Cachesim.Coherence.Memory ->
+            acc +. (g.Cache_model.lines_per_iter *. float_of_int line)
+        | Cachesim.Coherence.L1 | Cachesim.Coherence.L2
+        | Cachesim.Coherence.L3 | Cachesim.Coherence.C2C ->
+            acc)
+      0. base.Cache_model.groups
+  in
+  let proc =
+    Processor_model.of_nest checked ~core:arch.Archspec.Arch.core nest
+  in
+  let base_cycles_per_iter =
+    Float.max 1.
+      (proc.Processor_model.cycles_per_iter
+      +. base.Cache_model.cycles_per_iter
+      +. shared_cache_cycles_per_iter)
+  in
+  let demand_bytes_per_cycle =
+    float_of_int threads *. dram_bytes_per_iter /. base_cycles_per_iter
+  in
+  let peak = arch.Archspec.Arch.mem_bandwidth_bytes_per_cycle in
+  let oversubscription = if peak <= 0. then 0. else demand_bytes_per_cycle /. peak in
+  let bandwidth_cycles_per_iter =
+    if oversubscription <= 1. then 0.
+    else
+      (* the memory-bound fraction of the iteration stretches by the
+         oversubscription ratio *)
+      base.Cache_model.cycles_per_iter *. (oversubscription -. 1.)
+  in
+  {
+    shared_cache_cycles_per_iter;
+    bandwidth_cycles_per_iter;
+    cycles_per_iter = shared_cache_cycles_per_iter +. bandwidth_cycles_per_iter;
+    demand_bytes_per_cycle;
+    oversubscription;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "contention %.3f cy/iter (shared-cache %.3f, bandwidth %.3f; demand \
+     %.2f B/cy, x%.2f of peak)"
+    t.cycles_per_iter t.shared_cache_cycles_per_iter
+    t.bandwidth_cycles_per_iter t.demand_bytes_per_cycle t.oversubscription

@@ -1,0 +1,37 @@
+(** Shared-resource contention — the model extension the paper names as
+    future work (§VI: "other cache contention issues … such as shared cache
+    and bus interferences").
+
+    Two effects, both estimated per innermost iteration:
+
+    - {b shared-cache pressure}: the L3 is shared by the cores of a socket,
+      so a team of [t] threads effectively sees [size/min(t, per_socket)]
+      each.  We re-run the {!Cache_model} against the shrunken L3 and
+      charge the difference — reuse that fit a private L3 but not the
+      per-thread share moves out to memory.
+
+    - {b memory-bandwidth saturation}: each thread demands
+      [bytes_per_iter / cycles_per_iter] of DRAM bandwidth; when the team's
+      aggregate demand exceeds the machine's sustainable bandwidth, memory
+      stalls inflate by the oversubscription ratio.
+
+    Both are zero for a single thread, and the second is zero whenever the
+    working set is cache-resident — matching intuition and the simulator. *)
+
+type t = {
+  shared_cache_cycles_per_iter : float;
+  bandwidth_cycles_per_iter : float;
+  cycles_per_iter : float;  (** sum of the two *)
+  demand_bytes_per_cycle : float;  (** the team's aggregate DRAM demand *)
+  oversubscription : float;  (** demand / peak; <= 1 means no saturation *)
+}
+
+val analyze :
+  arch:Archspec.Arch.t ->
+  threads:int ->
+  env:(string -> int option) ->
+  checked:Minic.Typecheck.checked ->
+  Loopir.Loop_nest.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+open Archspec
+
+type t = {
+  counts : (Latency.op_class * int) list;
+  recurrence_latency : int;
+}
+
+type ctx = {
+  structs : Minic.Ctypes.struct_env;
+  type_of : string -> Minic.Ast.ctype option;
+  core : Latency.t;
+  tally : (Latency.op_class, int) Hashtbl.t;
+}
+
+let bump ctx cls n =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt ctx.tally cls) in
+  Hashtbl.replace ctx.tally cls (cur + n)
+
+let expr_is_float ctx e =
+  try
+    Minic.Ctypes.is_float
+      (Minic.Typecheck.type_of_expr ctx.structs ctx.type_of e)
+  with Minic.Typecheck.Type_error _ -> false
+
+let class_of_binop ctx op a b =
+  let fl = expr_is_float ctx a || expr_is_float ctx b in
+  match op with
+  | Minic.Ast.Add | Minic.Ast.Sub ->
+      if fl then Latency.Fp_add else Latency.Int_alu
+  | Minic.Ast.Mul -> if fl then Latency.Fp_mul else Latency.Int_mul
+  | Minic.Ast.Div -> if fl then Latency.Fp_div else Latency.Int_mul
+  | Minic.Ast.Mod -> Latency.Int_mul
+  | Minic.Ast.Lt | Minic.Ast.Le | Minic.Ast.Gt | Minic.Ast.Ge | Minic.Ast.Eq
+  | Minic.Ast.Ne | Minic.Ast.And | Minic.Ast.Or ->
+      Latency.Int_alu
+
+let is_memory_access = function
+  | Minic.Ast.Index _ | Minic.Ast.Field _ -> true
+  | Minic.Ast.Ident _ | Minic.Ast.Int_lit _ | Minic.Ast.Float_lit _
+  | Minic.Ast.Binop _ | Minic.Ast.Unop _ | Minic.Ast.Call _ ->
+      false
+
+(* Count operations of an expression evaluated for its value. *)
+let rec count_expr ctx e =
+  match e with
+  | Minic.Ast.Int_lit _ | Minic.Ast.Float_lit _ | Minic.Ast.Ident _ -> ()
+  | Minic.Ast.Binop (op, a, b) ->
+      bump ctx (class_of_binop ctx op a b) 1;
+      count_expr ctx a;
+      count_expr ctx b
+  | Minic.Ast.Unop (Minic.Ast.Neg, a) ->
+      bump ctx (if expr_is_float ctx a then Latency.Fp_add else Latency.Int_alu) 1;
+      count_expr ctx a
+  | Minic.Ast.Unop (Minic.Ast.Not, a) ->
+      bump ctx Latency.Int_alu 1;
+      count_expr ctx a
+  | Minic.Ast.Call (_, args) ->
+      bump ctx Latency.Fp_special 1;
+      List.iter (count_expr ctx) args
+  | Minic.Ast.Index _ | Minic.Ast.Field _ ->
+      count_path ctx e;
+      bump ctx Latency.Load 1
+
+(* Address arithmetic of an access path; subscripts are value reads. *)
+and count_path ctx e =
+  match e with
+  | Minic.Ast.Index (p, idx) ->
+      bump ctx Latency.Int_mul 1;
+      bump ctx Latency.Int_alu 1;
+      count_expr ctx idx;
+      count_path ctx p
+  | Minic.Ast.Field (p, _) ->
+      bump ctx Latency.Int_alu 1;
+      count_path ctx p
+  | Minic.Ast.Ident _ -> ()
+  | Minic.Ast.Int_lit _ | Minic.Ast.Float_lit _ | Minic.Ast.Binop _
+  | Minic.Ast.Unop _ | Minic.Ast.Call _ ->
+      count_expr ctx e
+
+(* Longest dependence chain of [rhs] along paths that start at [target]
+   (structural equality); None when [rhs] does not read [target]. *)
+let rec chain_latency ctx target rhs =
+  if rhs = target then Some 0
+  else
+    match rhs with
+    | Minic.Ast.Binop (op, a, b) -> (
+        let lat = ctx.core.Latency.latency (class_of_binop ctx op a b) in
+        match (chain_latency ctx target a, chain_latency ctx target b) with
+        | Some la, Some lb -> Some (max la lb + lat)
+        | Some la, None -> Some (la + lat)
+        | None, Some lb -> Some (lb + lat)
+        | None, None -> None)
+    | Minic.Ast.Unop (_, a) ->
+        Option.map
+          (fun l -> l + ctx.core.Latency.latency Latency.Int_alu)
+          (chain_latency ctx target a)
+    | Minic.Ast.Call (_, args) ->
+        let sub = List.filter_map (chain_latency ctx target) args in
+        if sub = [] then None
+        else
+          Some
+            (List.fold_left max 0 sub
+            + ctx.core.Latency.latency Latency.Fp_special)
+    | Minic.Ast.Int_lit _ | Minic.Ast.Float_lit _ | Minic.Ast.Ident _
+    | Minic.Ast.Index _ | Minic.Ast.Field _ ->
+        None
+
+let assign_class ctx op lhs =
+  let fl = expr_is_float ctx lhs in
+  match op with
+  | Minic.Ast.A_add | Minic.Ast.A_sub ->
+      Some (if fl then Latency.Fp_add else Latency.Int_alu)
+  | Minic.Ast.A_mul -> Some (if fl then Latency.Fp_mul else Latency.Int_mul)
+  | Minic.Ast.A_div -> Some (if fl then Latency.Fp_div else Latency.Int_mul)
+  | Minic.Ast.A_set -> None
+
+let rec count_stmt ctx recur = function
+  | Minic.Ast.Sexpr e ->
+      count_expr ctx e;
+      recur
+  | Minic.Ast.Sassign (lhs, op, rhs) ->
+      count_expr ctx rhs;
+      (* the store (and, for compound assignment, the extra load + op) *)
+      if is_memory_access lhs then begin
+        count_path ctx lhs;
+        bump ctx Latency.Store 1
+      end;
+      let recur =
+        match assign_class ctx op lhs with
+        | Some cls ->
+            bump ctx cls 1;
+            if is_memory_access lhs then bump ctx Latency.Load 1;
+            (* s (op)= e is a loop-carried recurrence through (op) *)
+            max recur (ctx.core.Latency.latency cls)
+        | None -> (
+            (* s = f(s, ...): recurrence through the chain reading s *)
+            match chain_latency ctx lhs rhs with
+            | Some l -> max recur l
+            | None -> recur)
+      in
+      recur
+  | Minic.Ast.Sdecl (_, _, init) ->
+      Option.iter (count_expr ctx) init;
+      recur
+  | Minic.Ast.Sblock stmts -> List.fold_left (count_stmt ctx) recur stmts
+  | Minic.Ast.Sif (c, then_, else_) ->
+      count_expr ctx c;
+      bump ctx Latency.Branch 1;
+      let recur = count_stmt ctx recur then_ in
+      (match else_ with Some s -> count_stmt ctx recur s | None -> recur)
+  | Minic.Ast.Sfor _ | Minic.Ast.Swhile _ ->
+      recur (* nested loops are not part of one iteration *)
+  | Minic.Ast.Sbreak | Minic.Ast.Scontinue ->
+      bump ctx Latency.Branch 1;
+      recur
+  | Minic.Ast.Sreturn e ->
+      Option.iter (count_expr ctx) e;
+      recur
+
+let of_body structs ~type_of ~core stmts =
+  let ctx = { structs; type_of; core; tally = Hashtbl.create 16 } in
+  let recurrence_latency = List.fold_left (count_stmt ctx) 0 stmts in
+  let counts =
+    List.filter_map
+      (fun cls ->
+        match Hashtbl.find_opt ctx.tally cls with
+        | Some n when n > 0 -> Some (cls, n)
+        | _ -> None)
+      Latency.all_classes
+  in
+  { counts; recurrence_latency }
+
+let get t cls = Option.value ~default:0 (List.assoc_opt cls t.counts)
+let total_ops t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.counts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  List.iter
+    (fun (cls, n) -> Format.fprintf ppf "%s=%d " (Latency.op_class_name cls) n)
+    t.counts;
+  Format.fprintf ppf "recurrence=%dcy@]" t.recurrence_latency

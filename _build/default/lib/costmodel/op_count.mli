@@ -1,0 +1,26 @@
+(** Operation census of an innermost loop body, feeding the processor model
+    (paper Fig. 3): how many operations of each {!Archspec.Latency.op_class}
+    one iteration executes, and the longest dependence chain. *)
+
+type t = {
+  counts : (Archspec.Latency.op_class * int) list;
+      (** per-class totals; classes with zero count omitted *)
+  recurrence_latency : int;
+      (** longest loop-carried dependence cycle in latency units, e.g. the
+          floating-point add of a running sum ([s += ...]); 0 when the body
+          has no recurrence *)
+}
+
+val of_body :
+  Minic.Ctypes.struct_env ->
+  type_of:(string -> Minic.Ast.ctype option) ->
+  core:Archspec.Latency.t ->
+  Minic.Ast.stmt list ->
+  t
+(** Count operations of one iteration.  Memory reads/writes of shared
+    arrays count as [Load]/[Store] issue slots plus the address arithmetic
+    of their subscripts; scalar locals live in registers and are free. *)
+
+val get : t -> Archspec.Latency.op_class -> int
+val total_ops : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Archspec
+
+type t = {
+  resource_cycles : float;
+  dependency_cycles : float;
+  cycles_per_iter : float;
+}
+
+let of_op_count ~core (ops : Op_count.t) =
+  let unit_bound =
+    List.fold_left
+      (fun acc (cls, n) ->
+        let units = max 1 (core.Latency.units_per_cycle cls) in
+        max acc (float_of_int n /. float_of_int units))
+      0. ops.Op_count.counts
+  in
+  let issue_bound =
+    float_of_int (Op_count.total_ops ops)
+    /. float_of_int (max 1 core.Latency.issue_width)
+  in
+  let resource_cycles = Float.max unit_bound issue_bound in
+  let dependency_cycles = float_of_int ops.Op_count.recurrence_latency in
+  {
+    resource_cycles;
+    dependency_cycles;
+    cycles_per_iter = Float.max resource_cycles dependency_cycles;
+  }
+
+let of_nest (checked : Minic.Typecheck.checked) ~core
+    (nest : Loopir.Loop_nest.t) =
+  let f =
+    match Minic.Ast.find_func checked.Minic.Typecheck.prog
+            nest.Loopir.Loop_nest.func with
+    | Some f -> f
+    | None -> invalid_arg "Processor_model.of_nest: unknown function"
+  in
+  let locals = Minic.Typecheck.locals_of_func checked f in
+  let type_of v =
+    match List.assoc_opt v locals with
+    | Some t -> Some t
+    | None -> List.assoc_opt v checked.Minic.Typecheck.global_types
+  in
+  let ops =
+    Op_count.of_body checked.Minic.Typecheck.structs ~type_of ~core
+      nest.Loopir.Loop_nest.body
+  in
+  of_op_count ~core ops
+
+let pp ppf t =
+  Format.fprintf ppf "machine %.2f cy/iter (resource %.2f, dependency %.2f)"
+    t.cycles_per_iter t.resource_cycles t.dependency_cycles

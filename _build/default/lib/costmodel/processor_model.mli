@@ -1,0 +1,25 @@
+(** The Open64-style processor model (paper Fig. 3): estimated CPU cycles to
+    execute one iteration of the innermost loop,
+    [Machine_c_per_iter = max(Resource_c, Dependency_latency_c)].
+
+    [Resource_c] schedules the iteration's operations against the core's
+    functional units and overall issue width; [Dependency_latency_c] is the
+    loop-carried recurrence bound (a reduction cannot retire faster than
+    its add latency per iteration). *)
+
+type t = {
+  resource_cycles : float;
+  dependency_cycles : float;
+  cycles_per_iter : float;  (** max of the two *)
+}
+
+val of_op_count : core:Archspec.Latency.t -> Op_count.t -> t
+
+val of_nest :
+  Minic.Typecheck.checked ->
+  core:Archspec.Latency.t ->
+  Loopir.Loop_nest.t ->
+  t
+(** Convenience: census the nest's innermost body and evaluate. *)
+
+val pp : Format.formatter -> t -> unit

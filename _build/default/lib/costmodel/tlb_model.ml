@@ -1,0 +1,46 @@
+type t = {
+  pages_per_iter : float;
+  fits_reach : bool;
+  cycles_per_iter : float;
+}
+
+let analyze ~(arch : Archspec.Arch.t) ~env (nest : Loopir.Loop_nest.t) =
+  let page = arch.Archspec.Arch.page_bytes in
+  let reach = arch.Archspec.Arch.tlb_entries * page in
+  let trips = Cache_model.trips_of_nest ~env nest in
+  let loop_vars = List.map fst trips in
+  let nvars = List.length loop_vars in
+  let inner_var = List.nth loop_vars (nvars - 1) in
+  let groups =
+    Loopir.Ref_group.form ~line_bytes:page nest.Loopir.Loop_nest.refs
+  in
+  (* working set of one innermost traversal, at page granularity *)
+  let inner_footprint =
+    Cache_model.footprint_bytes ~line_bytes:page ~trips
+      ~levels:[ inner_var ] nest.Loopir.Loop_nest.refs
+  in
+  let fits_reach = inner_footprint <= reach in
+  let pages_per_iter =
+    List.fold_left
+      (fun acc (g : Loopir.Ref_group.t) ->
+        let c =
+          abs
+            (Loopir.Affine.coeff
+               g.Loopir.Ref_group.leader.Loopir.Array_ref.offset inner_var)
+        in
+        if c = 0 then acc
+        else acc +. Float.min 1. (float_of_int c /. float_of_int page))
+      0. groups
+  in
+  let cycles_per_iter =
+    (* pages are re-walked only when the traversal exceeds TLB reach; a
+       resident working set pays only cold walks, amortized to ~0 *)
+    if fits_reach then 0.
+    else pages_per_iter *. float_of_int arch.Archspec.Arch.tlb_miss_latency
+  in
+  { pages_per_iter; fits_reach; cycles_per_iter }
+
+let pp ppf t =
+  Format.fprintf ppf "tlb %.4f cy/iter (%.4f pages/iter, %s)"
+    t.cycles_per_iter t.pages_per_iter
+    (if t.fits_reach then "fits reach" else "exceeds reach")

@@ -1,0 +1,18 @@
+(** TLB cost model — "the TLB is modeled as another level of cache"
+    (paper §II-B2): page-granularity footprints against the TLB reach,
+    charging the page-walk latency for each new page.  Same reuse logic as
+    {!Cache_model} with one capacity level. *)
+
+type t = {
+  pages_per_iter : float;  (** new pages touched per innermost iteration *)
+  fits_reach : bool;  (** working set within TLB reach *)
+  cycles_per_iter : float;  (** [TLB_c] per innermost iteration *)
+}
+
+val analyze :
+  arch:Archspec.Arch.t ->
+  env:(string -> int option) ->
+  Loopir.Loop_nest.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

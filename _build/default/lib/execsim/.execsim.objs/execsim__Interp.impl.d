@@ -1,0 +1,1 @@
+lib/execsim/interp.ml: Archspec Array Costmodel Format Hashtbl List Loopir Mem Minic Ompsched Option Value

@@ -1,0 +1,1 @@
+lib/execsim/interp.mli: Loopir Mem Minic Value

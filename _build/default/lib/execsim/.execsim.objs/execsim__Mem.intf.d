@@ -1,0 +1,1 @@
+lib/execsim/mem.mli: Minic Value

@@ -1,0 +1,1 @@
+lib/execsim/run.ml: Archspec Array Cachesim Float Format Interp Kernels Ompsched Option

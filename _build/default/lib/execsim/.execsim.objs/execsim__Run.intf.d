@@ -1,0 +1,1 @@
+lib/execsim/run.mli: Archspec Cachesim Format Kernels

@@ -1,0 +1,1 @@
+lib/execsim/value.ml: Float Format Minic

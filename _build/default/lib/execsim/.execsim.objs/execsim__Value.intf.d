@@ -1,0 +1,1 @@
+lib/execsim/value.mli: Format Minic

@@ -1,0 +1,578 @@
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type sink = {
+  mem_access : tid:int -> addr:int -> size:int -> write:bool -> unit;
+  cpu : tid:int -> float -> unit;
+  region_begin : threads:int -> unit;
+  region_end : chunks_per_thread:int -> unit;
+}
+
+let null_sink =
+  {
+    mem_access = (fun ~tid:_ ~addr:_ ~size:_ ~write:_ -> ());
+    cpu = (fun ~tid:_ _ -> ());
+    region_begin = (fun ~threads:_ -> ());
+    region_end = (fun ~chunks_per_thread:_ -> ());
+  }
+
+type t = {
+  checked : Minic.Typecheck.checked;
+  layout : Loopir.Layout.t;
+  mem : Mem.t;
+  threads : int;
+  chunk_override : int option;
+  window : int;
+  sink : sink;
+  compiled : (string, compiled_func) Hashtbl.t;
+  loop_iter_cost : float;
+}
+
+(* Functions compile once into closures over (tid, frame); a frame is the
+   function's locals as a value array — no hashing on the hot path. *)
+and frame = Value.t array
+and compiled_func = { nslots : int; body : t -> int -> frame -> unit }
+
+let create ?(threads = 1) ?chunk_override ?(interleave_window = 4)
+    ?(sink = null_sink) checked =
+  if threads < 1 then invalid_arg "Interp.create: threads < 1";
+  if interleave_window < 1 then invalid_arg "Interp.create: window < 1";
+  let layout = Loopir.Layout.make checked in
+  {
+    checked;
+    layout;
+    mem = Mem.create (Loopir.Layout.total_bytes layout);
+    threads;
+    chunk_override;
+    window = interleave_window;
+    sink;
+    compiled = Hashtbl.create 8;
+    loop_iter_cost =
+      float_of_int Ompsched.Overhead.default.Ompsched.Overhead.loop_per_iter;
+  }
+
+let layout t = t.layout
+let memory t = t.mem
+let structs t = t.checked.Minic.Typecheck.structs
+
+let global_type t name =
+  List.assoc_opt name t.checked.Minic.Typecheck.global_types
+
+(* ---------------------------------------------------------------- *)
+(* Compilation                                                        *)
+(* ---------------------------------------------------------------- *)
+
+type ctx = {
+  rt : t;
+  mutable slots : (string * Minic.Ast.ctype) list;  (* name, static type *)
+}
+
+let slot_of ctx name =
+  let rec go i = function
+    | [] -> None
+    | (n, _) :: _ when n = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 ctx.slots
+
+let slot_type ctx name = List.assoc_opt name ctx.slots
+
+let add_slot ctx name ty =
+  if slot_of ctx name = None then ctx.slots <- ctx.slots @ [ (name, ty) ]
+
+(* compiled address of an access path rooted at a global; bounds checks are
+   compiled in with the statically-known dimensions *)
+let rec compile_addr ctx e : (int -> frame -> int) * Minic.Ast.ctype =
+  match e with
+  | Minic.Ast.Ident v -> (
+      match global_type ctx.rt v with
+      | Some ty ->
+          let base = Loopir.Layout.addr_of ctx.rt.layout v in
+          ((fun _ _ -> base), ty)
+      | None -> err "%s is not a global (locals have no address)" v)
+  | Minic.Ast.Index (p, idx) -> (
+      let addr_p, ty = compile_addr ctx p in
+      let idx_v = compile_expr ctx idx in
+      match ty with
+      | Minic.Ast.Tarray (elem, n) ->
+          let esz = Minic.Ctypes.sizeof (structs ctx.rt) elem in
+          let repr = Minic.Pretty.expr_to_string e in
+          ( (fun tid frame ->
+              let i = Value.to_int (idx_v tid frame) in
+              if i < 0 || i >= n then
+                err "index %d out of bounds [0,%d) in %s" i n repr;
+              addr_p tid frame + (i * esz)),
+            elem )
+      | _ -> err "subscript of non-array %s" (Minic.Pretty.expr_to_string p))
+  | Minic.Ast.Field (p, f) -> (
+      let addr_p, ty = compile_addr ctx p in
+      match ty with
+      | Minic.Ast.Tstruct s ->
+          let off = Minic.Ctypes.field_offset (structs ctx.rt) s f in
+          let fty = Minic.Ctypes.field_type (structs ctx.rt) s f in
+          ((fun tid frame -> addr_p tid frame + off), fty)
+      | _ -> err "field of non-struct %s" (Minic.Pretty.expr_to_string p))
+  | _ -> err "not an access path: %s" (Minic.Pretty.expr_to_string e)
+
+and compile_load ctx e : int -> frame -> Value.t =
+  let addr, ty = compile_addr ctx e in
+  match ty with
+  | Minic.Ast.Tarray _ | Minic.Ast.Tstruct _ ->
+      err "reading aggregate %s" (Minic.Pretty.expr_to_string e)
+  | _ ->
+      let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+      let rt = ctx.rt in
+      fun tid frame ->
+        let a = addr tid frame in
+        rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+        Mem.load rt.mem ~ty ~addr:a
+
+and compile_expr ctx e : int -> frame -> Value.t =
+  match e with
+  | Minic.Ast.Int_lit n ->
+      let v = Value.V_int n in
+      fun _ _ -> v
+  | Minic.Ast.Float_lit f ->
+      let v = Value.V_float f in
+      fun _ _ -> v
+  | Minic.Ast.Ident name -> (
+      match slot_of ctx name with
+      | Some slot -> fun _ frame -> frame.(slot)
+      | None -> (
+          if name = "num_threads" then begin
+            let v = Value.V_int ctx.rt.threads in
+            fun _ _ -> v
+          end
+          else
+            match global_type ctx.rt name with
+            | Some _ -> compile_load ctx e
+            | None -> err "unbound identifier %s" name))
+  | Minic.Ast.Binop (Minic.Ast.And, a, b) ->
+      let ca = compile_expr ctx a and cb = compile_expr ctx b in
+      fun tid frame ->
+        if Value.truthy (ca tid frame) then
+          Value.of_bool (Value.truthy (cb tid frame))
+        else Value.V_int 0
+  | Minic.Ast.Binop (Minic.Ast.Or, a, b) ->
+      let ca = compile_expr ctx a and cb = compile_expr ctx b in
+      fun tid frame ->
+        if Value.truthy (ca tid frame) then Value.V_int 1
+        else Value.of_bool (Value.truthy (cb tid frame))
+  | Minic.Ast.Binop (op, a, b) ->
+      let ca = compile_expr ctx a and cb = compile_expr ctx b in
+      fun tid frame -> Value.binop op (ca tid frame) (cb tid frame)
+  | Minic.Ast.Unop (op, a) ->
+      let ca = compile_expr ctx a in
+      fun tid frame -> Value.unop op (ca tid frame)
+  | Minic.Ast.Index _ | Minic.Ast.Field _ -> compile_load ctx e
+  | Minic.Ast.Call (f, args) ->
+      let cargs = List.map (compile_expr ctx) args in
+      (* specialize the common unary case *)
+      (match cargs with
+      | [ one ] ->
+          fun tid frame -> Value.builtin f [ one tid frame ]
+      | _ -> fun tid frame -> Value.builtin f (List.map (fun c -> c tid frame) cargs))
+
+(* compiled store into an lvalue *)
+let compile_store ctx lhs : (int -> frame -> Value.t) * (int -> frame -> Value.t -> unit) =
+  match lhs with
+  | Minic.Ast.Ident name when slot_of ctx name <> None ->
+      let slot = Option.get (slot_of ctx name) in
+      ( (fun _ frame -> frame.(slot)),
+        fun _ frame v -> frame.(slot) <- v )
+  | Minic.Ast.Ident _ | Minic.Ast.Index _ | Minic.Ast.Field _ ->
+      let addr, ty = compile_addr ctx lhs in
+      (match ty with
+      | Minic.Ast.Tarray _ | Minic.Ast.Tstruct _ ->
+          err "assigning aggregate %s" (Minic.Pretty.expr_to_string lhs)
+      | _ -> ());
+      let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+      let rt = ctx.rt in
+      ( (fun tid frame ->
+          let a = addr tid frame in
+          rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+          Mem.load rt.mem ~ty ~addr:a),
+        fun tid frame v ->
+          let a = addr tid frame in
+          rt.sink.mem_access ~tid ~addr:a ~size ~write:true;
+          Mem.store rt.mem ~ty ~addr:a (Value.convert ty v) )
+  | _ -> err "invalid assignment target %s" (Minic.Pretty.expr_to_string lhs)
+
+exception Return_exc
+exception Break_exc
+exception Continue_exc
+
+let binop_of_assign = function
+  | Minic.Ast.A_add -> Minic.Ast.Add
+  | Minic.Ast.A_sub -> Minic.Ast.Sub
+  | Minic.Ast.A_mul -> Minic.Ast.Mul
+  | Minic.Ast.A_div -> Minic.Ast.Div
+  | Minic.Ast.A_set -> assert false
+
+(* estimated CPU cost of one execution of a statement, from the processor
+   model (computed once at compile time) *)
+let stmt_cost ctx stmt =
+  let type_of_var v =
+    match slot_type ctx v with
+    | Some ty -> Some ty
+    | None -> (
+        match global_type ctx.rt v with
+        | Some ty -> Some ty
+        | None -> List.assoc_opt v Minic.Typecheck.implicit_params)
+  in
+  let ops =
+    Costmodel.Op_count.of_body (structs ctx.rt) ~type_of:type_of_var
+      ~core:Archspec.Latency.default [ stmt ]
+  in
+  (Costmodel.Processor_model.of_op_count ~core:Archspec.Latency.default ops)
+    .Costmodel.Processor_model.cycles_per_iter
+
+type compiled_stmt = t -> int -> frame -> unit
+
+let rec compile_stmt ctx stmt : compiled_stmt =
+  (* charge each statement's own work exactly once: compound statements
+     delegate to their children, an [if] owns only its condition *)
+  let cost =
+    match stmt with
+    | Minic.Ast.Sexpr _ | Minic.Ast.Sassign _ | Minic.Ast.Sdecl _
+    | Minic.Ast.Sreturn _ ->
+        stmt_cost ctx stmt
+    | Minic.Ast.Sif (c, _, _) -> stmt_cost ctx (Minic.Ast.Sexpr c) +. 1.
+    | Minic.Ast.Sbreak | Minic.Ast.Scontinue -> 1.
+    | Minic.Ast.Sblock _ | Minic.Ast.Sfor _ | Minic.Ast.Swhile _ -> 0.
+  in
+  let body : compiled_stmt =
+    match stmt with
+    | Minic.Ast.Sexpr e ->
+        let ce = compile_expr ctx e in
+        fun _ tid frame -> ignore (ce tid frame)
+    | Minic.Ast.Sassign (lhs, Minic.Ast.A_set, rhs) ->
+        let crhs = compile_expr ctx rhs in
+        let _, store = compile_store ctx lhs in
+        fun _ tid frame -> store tid frame (crhs tid frame)
+    | Minic.Ast.Sassign (lhs, op, rhs) ->
+        let crhs = compile_expr ctx rhs in
+        let load, store = compile_store ctx lhs in
+        let op = binop_of_assign op in
+        fun _ tid frame ->
+          let rv = crhs tid frame in
+          let old = load tid frame in
+          store tid frame (Value.binop op old rv)
+    | Minic.Ast.Sdecl (ty, name, init) -> (
+        add_slot ctx name ty;
+        let slot = Option.get (slot_of ctx name) in
+        match init with
+        | Some e ->
+            let ce = compile_expr ctx e in
+            fun _ tid frame -> frame.(slot) <- Value.convert ty (ce tid frame)
+        | None ->
+            let zero = Value.zero_of ty in
+            fun _ _ frame -> frame.(slot) <- zero)
+    | Minic.Ast.Sblock stmts ->
+        let cs = List.map (compile_stmt ctx) stmts in
+        let arr = Array.of_list cs in
+        fun rt tid frame ->
+          for i = 0 to Array.length arr - 1 do
+            arr.(i) rt tid frame
+          done
+    | Minic.Ast.Sif (c, then_, else_) -> (
+        let cc = compile_expr ctx c in
+        let ct = compile_stmt ctx then_ in
+        match else_ with
+        | Some e ->
+            let ce = compile_stmt ctx e in
+            fun rt tid frame ->
+              if Value.truthy (cc tid frame) then ct rt tid frame
+              else ce rt tid frame
+        | None ->
+            fun rt tid frame ->
+              if Value.truthy (cc tid frame) then ct rt tid frame)
+    | Minic.Ast.Sfor loop -> (
+        match loop.Minic.Ast.pragma with
+        | Some pragma -> compile_parallel_for ctx loop pragma
+        | None -> compile_seq_for ctx loop)
+    | Minic.Ast.Swhile (c, body) ->
+        let cc = compile_expr ctx c in
+        let cbody = compile_stmt ctx body in
+        fun rt tid frame ->
+          (try
+             while Value.truthy (cc tid frame) do
+               rt.sink.cpu ~tid rt.loop_iter_cost;
+               try cbody rt tid frame with Continue_exc -> ()
+             done
+           with Break_exc -> ())
+    | Minic.Ast.Sbreak -> fun _ _ _ -> raise Break_exc
+    | Minic.Ast.Scontinue -> fun _ _ _ -> raise Continue_exc
+    | Minic.Ast.Sreturn _ -> fun _ _ _ -> raise Return_exc
+  in
+  if cost = 0. then body
+  else
+    fun rt tid frame ->
+      rt.sink.cpu ~tid cost;
+      body rt tid frame
+
+and induction_slot ctx loop =
+  let v = loop.Minic.Ast.init_var in
+  (* the induction variable always lives in a slot, mirroring the
+     tree-walking interpreter's environment semantics *)
+  add_slot ctx v Minic.Ast.Tint;
+  Option.get (slot_of ctx v)
+
+and compile_seq_for ctx loop : compiled_stmt =
+  let slot = induction_slot ctx loop in
+  let cinit = compile_expr ctx loop.Minic.Ast.init_expr in
+  let ccond = compile_expr ctx loop.Minic.Ast.cond in
+  let cstep = compile_expr ctx loop.Minic.Ast.step.Minic.Ast.step_by in
+  let cbody = compile_stmt ctx loop.Minic.Ast.body in
+  fun rt tid frame ->
+    frame.(slot) <- cinit tid frame;
+    (try
+       while Value.truthy (ccond tid frame) do
+         rt.sink.cpu ~tid rt.loop_iter_cost;
+         (try cbody rt tid frame with Continue_exc -> ());
+         frame.(slot) <-
+           Value.binop Minic.Ast.Add frame.(slot) (cstep tid frame)
+       done
+     with Break_exc -> ())
+
+and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
+  let slot = induction_slot ctx loop in
+  let cinit = compile_expr ctx loop.Minic.Ast.init_expr in
+  let cstep = compile_expr ctx loop.Minic.Ast.step.Minic.Ast.step_by in
+  let var = loop.Minic.Ast.init_var in
+  let cupper =
+    match loop.Minic.Ast.cond with
+    | Minic.Ast.Binop (Minic.Ast.Lt, Minic.Ast.Ident v, e) when v = var ->
+        let ce = compile_expr ctx e in
+        fun tid frame -> Value.to_int (ce tid frame)
+    | Minic.Ast.Binop (Minic.Ast.Le, Minic.Ast.Ident v, e) when v = var ->
+        let ce = compile_expr ctx e in
+        fun tid frame -> Value.to_int (ce tid frame) + 1
+    | _ ->
+        err "parallel loop condition must be 'var < bound' or 'var <= bound'"
+  in
+  let cbody = compile_stmt ctx loop.Minic.Ast.body in
+  let reduction = pragma.Minic.Ast.reduction in
+  let reduction_slots =
+    List.concat_map
+      (fun (op, vars) ->
+        List.filter_map
+          (fun v ->
+            Option.map (fun s -> (op, s)) (slot_of ctx v))
+          vars)
+      reduction
+  in
+  fun rt tid0 frame ->
+    let lower = Value.to_int (cinit tid0 frame) in
+    let step = Value.to_int (cstep tid0 frame) in
+    if step <= 0 then err "parallel loop with non-positive step";
+    let upper = cupper tid0 frame in
+    let total = if upper <= lower then 0 else (upper - lower + step - 1) / step in
+    let threads = rt.threads in
+    let chunk_clause =
+      match rt.chunk_override with
+      | Some c -> Some c
+      | None -> (
+          match pragma.Minic.Ast.schedule with
+          | Some
+              ( Minic.Ast.Sched_static c
+              | Minic.Ast.Sched_dynamic c
+              | Minic.Ast.Sched_guided c ) ->
+              c
+          | None -> None)
+    in
+    let kind =
+      match pragma.Minic.Ast.schedule with
+      | Some (Minic.Ast.Sched_dynamic _) -> `Dynamic
+      | Some (Minic.Ast.Sched_guided _) -> `Guided
+      | Some (Minic.Ast.Sched_static _) | None -> `Static
+    in
+    rt.sink.region_begin ~threads;
+    let chunks_grabbed = Array.make threads 0 in
+    (* next_iter tid: the iteration a thread executes next, or None; each
+       kind deals chunks its own way *)
+    let next_iter =
+      match kind with
+      | `Static ->
+          let chunk =
+            match chunk_clause with
+            | Some c -> c
+            | None -> Ompsched.Schedule.block_chunk ~threads ~total
+          in
+          let sched = Ompsched.Schedule.make ~threads ~chunk ~total in
+          let cursors = Array.make threads 0 in
+          fun tid ->
+            let k = cursors.(tid) in
+            (match
+               Ompsched.Schedule.nth_iter_of_thread sched ~tid k
+             with
+            | Some q ->
+                if k mod chunk = 0 then
+                  chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
+                cursors.(tid) <- k + 1;
+                Some q
+            | None -> None)
+      | `Dynamic ->
+          (* threads grab the next [chunk] iterations from a shared
+             counter whenever their current chunk is exhausted *)
+          let chunk = max 1 (Option.value ~default:1 chunk_clause) in
+          let next = ref 0 in
+          let pos = Array.make threads 0 in
+          let stop = Array.make threads 0 in
+          fun tid ->
+            if pos.(tid) < stop.(tid) then begin
+              let q = pos.(tid) in
+              pos.(tid) <- q + 1;
+              Some q
+            end
+            else if !next >= total then None
+            else begin
+              let s = !next in
+              let len = min chunk (total - s) in
+              next := s + len;
+              chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
+              pos.(tid) <- s + 1;
+              stop.(tid) <- s + len;
+              Some s
+            end
+      | `Guided ->
+          (* chunk ~ remaining/threads, decaying, bounded below by the
+             clause's minimum *)
+          let min_chunk = max 1 (Option.value ~default:1 chunk_clause) in
+          let next = ref 0 in
+          let pos = Array.make threads 0 in
+          let stop = Array.make threads 0 in
+          fun tid ->
+            if pos.(tid) < stop.(tid) then begin
+              let q = pos.(tid) in
+              pos.(tid) <- q + 1;
+              Some q
+            end
+            else if !next >= total then None
+            else begin
+              let s = !next in
+              let remaining = total - s in
+              let len =
+                min remaining
+                  (max min_chunk ((remaining + threads - 1) / threads))
+              in
+              next := s + len;
+              chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
+              pos.(tid) <- s + 1;
+              stop.(tid) <- s + len;
+              Some s
+            end
+    in
+    (* firstprivate-style frames *)
+    let frames = Array.init threads (fun _ -> Array.copy frame) in
+    List.iter
+      (fun (op, s) ->
+        let neutral =
+          match op with
+          | Minic.Ast.Mul -> Value.V_float 1.
+          | _ -> Value.V_float 0.
+        in
+        Array.iter (fun f -> f.(s) <- neutral) frames)
+      reduction_slots;
+    let live = ref threads in
+    let done_ = Array.make threads false in
+    while !live > 0 do
+      for tid = 0 to threads - 1 do
+        if not done_.(tid) then begin
+          let w = ref 0 in
+          let continue_ = ref true in
+          while !continue_ && !w < rt.window do
+            match next_iter tid with
+            | Some q -> (
+                frames.(tid).(slot) <- Value.V_int (lower + (q * step));
+                rt.sink.cpu ~tid rt.loop_iter_cost;
+                (try cbody rt tid frames.(tid) with
+                | Continue_exc -> ()
+                | Break_exc ->
+                    err "break out of an OpenMP worksharing loop");
+                incr w)
+            | None ->
+                done_.(tid) <- true;
+                decr live;
+                continue_ := false
+          done
+        end
+      done
+    done;
+    (* fold reductions back into the caller's frame *)
+    List.iter
+      (fun (op, s) ->
+        let acc =
+          Array.fold_left
+            (fun acc f -> Value.binop op acc f.(s))
+            frame.(s) frames
+        in
+        frame.(s) <- acc)
+      reduction_slots;
+    let chunks_per_thread = Array.fold_left max 0 chunks_grabbed in
+    rt.sink.region_end ~chunks_per_thread
+
+let compile_func t (f : Minic.Ast.func) : compiled_func =
+  let locals = Minic.Typecheck.locals_of_func t.checked f in
+  let ctx = { rt = t; slots = locals } in
+  let cs = List.map (compile_stmt ctx) f.Minic.Ast.body in
+  let arr = Array.of_list cs in
+  let nslots = List.length ctx.slots in
+  {
+    nslots;
+    body =
+      (fun rt tid frame ->
+        try
+          for i = 0 to Array.length arr - 1 do
+            arr.(i) rt tid frame
+          done
+        with Return_exc -> ());
+  }
+
+let compiled_of t ~func =
+  match Hashtbl.find_opt t.compiled func with
+  | Some c -> c
+  | None ->
+      let f =
+        match Minic.Ast.find_func t.checked.Minic.Typecheck.prog func with
+        | Some f -> f
+        | None -> err "no function named %s" func
+      in
+      if f.Minic.Ast.params <> [] then
+        err "%s takes parameters; only parameterless kernels can be executed"
+          func;
+      let c = compile_func t f in
+      Hashtbl.replace t.compiled func c;
+      c
+
+let exec t ~func =
+  let c = compiled_of t ~func in
+  let frame = Array.make (max 1 c.nslots) (Value.V_int 0) in
+  c.body t 0 frame
+
+type sel = Idx of int | Fld of string
+
+let read_global t name sels =
+  let addr0 =
+    try Loopir.Layout.addr_of t.layout name
+    with Not_found -> err "unknown global %s" name
+  in
+  let ty0 =
+    match global_type t name with Some ty -> ty | None -> assert false
+  in
+  let addr, ty =
+    List.fold_left
+      (fun (addr, ty) sel ->
+        match (sel, ty) with
+        | Idx i, Minic.Ast.Tarray (elem, n) ->
+            if i < 0 || i >= n then err "read_global: index out of bounds";
+            (addr + (i * Minic.Ctypes.sizeof (structs t) elem), elem)
+        | Fld f, Minic.Ast.Tstruct s ->
+            ( addr + Minic.Ctypes.field_offset (structs t) s f,
+              Minic.Ctypes.field_type (structs t) s f )
+        | Idx _, _ -> err "read_global: index into non-array"
+        | Fld _, _ -> err "read_global: field of non-struct")
+      (addr0, ty0) sels
+  in
+  Mem.load t.mem ~ty ~addr

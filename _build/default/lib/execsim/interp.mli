@@ -1,0 +1,55 @@
+(** A mini-C interpreter with OpenMP semantics, instrumented for the cache
+    simulator.
+
+    Sequential code runs on thread 0.  A [#pragma omp parallel for] loop
+    spawns the configured team: iterations are dealt according to the
+    schedule clause — [static] round-robin chunks (contiguous blocks when
+    no chunk is given, per the OpenMP default), [dynamic] from a shared
+    chunk counter, or [guided] with decaying chunk sizes — and the threads
+    are interleaved in windows of [interleave_window] parallel iterations,
+    modeling that real threads execute several of their own iterations
+    between coherence interactions (window 1 = adversarial lockstep,
+    larger = more slack).  The kernels are race-free, so the interleaving
+    does not affect computed values, only the simulated cache behaviour.
+    Functions are compiled to closures once (locals in array frames,
+    addresses and costs resolved statically), so repeated execution is
+    cheap.
+
+    Every access to a memory-resident global is reported through the
+    {!sink}, along with estimated CPU cycles per executed statement
+    (processor model) and region boundaries for overhead accounting. *)
+
+type sink = {
+  mem_access : tid:int -> addr:int -> size:int -> write:bool -> unit;
+  cpu : tid:int -> float -> unit;
+  region_begin : threads:int -> unit;
+  region_end : chunks_per_thread:int -> unit;
+}
+
+val null_sink : sink
+
+type t
+
+val create :
+  ?threads:int ->
+  ?chunk_override:int ->
+  ?interleave_window:int ->
+  ?sink:sink ->
+  Minic.Typecheck.checked ->
+  t
+(** Defaults: 1 thread, pragma chunk, window 4, no instrumentation. *)
+
+val layout : t -> Loopir.Layout.t
+val memory : t -> Mem.t
+
+exception Runtime_error of string
+
+val exec : t -> func:string -> unit
+(** Execute a function body (arguments are not supported — kernels take
+    none).  @raise Runtime_error on unsupported constructs. *)
+
+type sel = Idx of int | Fld of string
+
+val read_global : t -> string -> sel list -> Value.t
+(** [read_global t "a" [Idx 3; Fld "x"]] reads [a\[3\].x] — for checking
+    results in tests and examples. *)

@@ -1,0 +1,31 @@
+type t = Bytes.t
+
+let create n = Bytes.make n '\000'
+let size = Bytes.length
+
+let load t ~ty ~addr =
+  match ty with
+  | Minic.Ast.Tchar -> Value.V_int (Char.code (Bytes.get t addr))
+  | Minic.Ast.Tint -> Value.V_int (Int32.to_int (Bytes.get_int32_le t addr))
+  | Minic.Ast.Tlong -> Value.V_int (Int64.to_int (Bytes.get_int64_le t addr))
+  | Minic.Ast.Tfloat ->
+      Value.V_float (Int32.float_of_bits (Bytes.get_int32_le t addr))
+  | Minic.Ast.Tdouble ->
+      Value.V_float (Int64.float_of_bits (Bytes.get_int64_le t addr))
+  | Minic.Ast.Tvoid | Minic.Ast.Tstruct _ | Minic.Ast.Tarray _ ->
+      invalid_arg "Mem.load: non-scalar type"
+
+let store t ~ty ~addr v =
+  match ty with
+  | Minic.Ast.Tchar ->
+      Bytes.set t addr (Char.chr (Value.to_int v land 0xff))
+  | Minic.Ast.Tint ->
+      Bytes.set_int32_le t addr (Int32.of_int (Value.to_int v))
+  | Minic.Ast.Tlong ->
+      Bytes.set_int64_le t addr (Int64.of_int (Value.to_int v))
+  | Minic.Ast.Tfloat ->
+      Bytes.set_int32_le t addr (Int32.bits_of_float (Value.to_float v))
+  | Minic.Ast.Tdouble ->
+      Bytes.set_int64_le t addr (Int64.bits_of_float (Value.to_float v))
+  | Minic.Ast.Tvoid | Minic.Ast.Tstruct _ | Minic.Ast.Tarray _ ->
+      invalid_arg "Mem.store: non-scalar type"

@@ -1,0 +1,14 @@
+(** Flat byte-addressed memory for the interpreter, little-endian, with
+    typed scalar accessors matching {!Minic.Ctypes} sizes. *)
+
+type t
+
+val create : int -> t
+(** Zero-initialized, like C statics. *)
+
+val size : t -> int
+
+val load : t -> ty:Minic.Ast.ctype -> addr:int -> Value.t
+(** @raise Invalid_argument for non-scalar types or out-of-bounds access. *)
+
+val store : t -> ty:Minic.Ast.ctype -> addr:int -> Value.t -> unit

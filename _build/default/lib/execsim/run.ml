@@ -1,0 +1,96 @@
+type measurement = {
+  threads : int;
+  chunk : int option;
+  wall_cycles : float;
+  seconds : float;
+  per_thread_cycles : float array;
+  stats : Cachesim.Stats.t;
+}
+
+let overhead = Ompsched.Overhead.default
+
+let measure ?(arch = Archspec.Arch.paper_machine) ?(interleave_window = 4)
+    ?(run_init = true) ?chunk ~threads (kernel : Kernels.Kernel.t) =
+  let checked = Kernels.Kernel.parse kernel in
+  let coherence = Cachesim.Coherence.create ~cores:threads arch in
+  let cycles = Array.make threads 0. in
+  let timing = ref false in
+  let sink =
+    {
+      Interp.mem_access =
+        (fun ~tid ~addr ~size ~write ->
+          let r = Cachesim.Coherence.access coherence ~core:tid ~addr ~size ~write in
+          if !timing then
+            cycles.(tid) <- cycles.(tid) +. float_of_int r.Cachesim.Coherence.latency);
+      cpu =
+        (fun ~tid c -> if !timing then cycles.(tid) <- cycles.(tid) +. c);
+      region_begin =
+        (fun ~threads:team ->
+          if !timing then begin
+            (* workers wait at the fork while the master runs ahead *)
+            let m = cycles.(0) in
+            for t = 1 to min team threads - 1 do
+              cycles.(t) <- Float.max cycles.(t) m
+            done
+          end);
+      region_end =
+        (fun ~chunks_per_thread ->
+          if !timing then begin
+            let ovh =
+              float_of_int
+                (Ompsched.Overhead.parallel_overhead_cycles overhead ~threads
+                   ~chunks_per_thread)
+            in
+            (* implicit barrier at region end *)
+            let m = Array.fold_left Float.max 0. cycles +. ovh in
+            Array.fill cycles 0 threads m
+          end);
+    }
+  in
+  let interp =
+    Interp.create ~threads ?chunk_override:chunk ~interleave_window ~sink
+      checked
+  in
+  (match (run_init, kernel.Kernels.Kernel.init_func) with
+  | true, Some init -> Interp.exec interp ~func:init
+  | true, None | false, _ -> ());
+  let before = Cachesim.Stats.copy (Cachesim.Coherence.aggregate_stats coherence) in
+  timing := true;
+  Interp.exec interp ~func:kernel.Kernels.Kernel.func;
+  timing := false;
+  let stats =
+    Cachesim.Stats.sub (Cachesim.Coherence.aggregate_stats coherence) before
+  in
+  let wall = Array.fold_left Float.max 0. cycles in
+  {
+    threads;
+    chunk;
+    wall_cycles = wall;
+    seconds = Archspec.Arch.cycles_to_seconds arch wall;
+    per_thread_cycles = cycles;
+    stats;
+  }
+
+type comparison = { fs : measurement; nfs : measurement; percent : float }
+
+let measured_fs_percent ?arch ?interleave_window ?fs_chunk ?nfs_chunk ~threads
+    (kernel : Kernels.Kernel.t) =
+  let fs_chunk =
+    Option.value ~default:kernel.Kernels.Kernel.fs_chunk fs_chunk
+  in
+  let nfs_chunk =
+    Option.value ~default:kernel.Kernels.Kernel.nfs_chunk nfs_chunk
+  in
+  let fs = measure ?arch ?interleave_window ~chunk:fs_chunk ~threads kernel in
+  let nfs = measure ?arch ?interleave_window ~chunk:nfs_chunk ~threads kernel in
+  let percent =
+    if fs.wall_cycles <= 0. then 0.
+    else 100. *. (fs.wall_cycles -. nfs.wall_cycles) /. fs.wall_cycles
+  in
+  { fs; nfs; percent }
+
+let pp_measurement ppf m =
+  Format.fprintf ppf
+    "@[<v>%d threads, chunk %s: wall %.0f cycles (%.4f s)@,%a@]" m.threads
+    (match m.chunk with Some c -> string_of_int c | None -> "(pragma)")
+    m.wall_cycles m.seconds Cachesim.Stats.pp m.stats

@@ -1,0 +1,49 @@
+(** The "measured" side of the paper's evaluation, on the simulated
+    machine: execute a kernel through {!Interp}, feed every memory access
+    into the MESI simulator, and account per-thread cycles
+    (CPU + memory stalls + OpenMP overheads).  Wall time is the barrier-
+    synchronized critical path.
+
+    [measured_fs_percent] reproduces the left-hand side of paper Eq. 5:
+    [(T_fs − T_nfs) / T_fs]. *)
+
+type measurement = {
+  threads : int;
+  chunk : int option;  (** the override used; [None] = the pragma's clause *)
+  wall_cycles : float;
+  seconds : float;
+  per_thread_cycles : float array;
+  stats : Cachesim.Stats.t;  (** kernel-phase aggregate (init excluded) *)
+}
+
+val measure :
+  ?arch:Archspec.Arch.t ->
+  ?interleave_window:int ->
+  ?run_init:bool ->
+  ?chunk:int ->
+  threads:int ->
+  Kernels.Kernel.t ->
+  measurement
+(** Run (optionally) the kernel's init function untimed-but-traced (warm
+    caches, realistic first-touch), then the kernel function timed.
+    [chunk] overrides the pragma's chunk size; omitted, the pragma's own
+    schedule clause applies unchanged.  [interleave_window] defaults to 4
+    parallel iterations between thread switches. *)
+
+type comparison = {
+  fs : measurement;  (** the FS-prone chunk *)
+  nfs : measurement;  (** the optimized chunk *)
+  percent : float;  (** measured FS effect on execution time, % *)
+}
+
+val measured_fs_percent :
+  ?arch:Archspec.Arch.t ->
+  ?interleave_window:int ->
+  ?fs_chunk:int ->
+  ?nfs_chunk:int ->
+  threads:int ->
+  Kernels.Kernel.t ->
+  comparison
+(** Chunk sizes default to the kernel's paper configuration. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,81 @@
+type t = V_int of int | V_float of float
+
+let is_float_type = Minic.Ctypes.is_float
+
+let zero_of ty = if is_float_type ty then V_float 0. else V_int 0
+
+let to_int = function V_int n -> n | V_float f -> int_of_float f
+let to_float = function V_int n -> float_of_int n | V_float f -> f
+let truthy = function V_int 0 -> false | V_float 0. -> false | _ -> true
+let of_bool b = V_int (if b then 1 else 0)
+
+let arith fop iop a b =
+  match (a, b) with
+  | V_int x, V_int y -> V_int (iop x y)
+  | _ -> V_float (fop (to_float a) (to_float b))
+
+let compare_vals a b =
+  match (a, b) with
+  | V_int x, V_int y -> compare x y
+  | _ -> compare (to_float a) (to_float b)
+
+let binop op a b =
+  match op with
+  | Minic.Ast.Add -> arith ( +. ) ( + ) a b
+  | Minic.Ast.Sub -> arith ( -. ) ( - ) a b
+  | Minic.Ast.Mul -> arith ( *. ) ( * ) a b
+  | Minic.Ast.Div -> (
+      match (a, b) with
+      | V_int _, V_int 0 -> raise Division_by_zero
+      | V_int x, V_int y -> V_int (x / y)
+      | _ -> V_float (to_float a /. to_float b))
+  | Minic.Ast.Mod -> (
+      match (a, b) with
+      | V_int _, V_int 0 -> raise Division_by_zero
+      | V_int x, V_int y -> V_int (x mod y)
+      | _ -> V_float (Float.rem (to_float a) (to_float b)))
+  | Minic.Ast.Lt -> of_bool (compare_vals a b < 0)
+  | Minic.Ast.Le -> of_bool (compare_vals a b <= 0)
+  | Minic.Ast.Gt -> of_bool (compare_vals a b > 0)
+  | Minic.Ast.Ge -> of_bool (compare_vals a b >= 0)
+  | Minic.Ast.Eq -> of_bool (compare_vals a b = 0)
+  | Minic.Ast.Ne -> of_bool (compare_vals a b <> 0)
+  | Minic.Ast.And -> of_bool (truthy a && truthy b)
+  | Minic.Ast.Or -> of_bool (truthy a || truthy b)
+
+let unop op a =
+  match op with
+  | Minic.Ast.Neg -> (
+      match a with V_int n -> V_int (-n) | V_float f -> V_float (-.f))
+  | Minic.Ast.Not -> of_bool (not (truthy a))
+
+let builtin name args =
+  let unary f =
+    match args with
+    | [ a ] -> V_float (f (to_float a))
+    | _ -> invalid_arg (name ^ ": bad arity")
+  in
+  let binary f =
+    match args with
+    | [ a; b ] -> V_float (f (to_float a) (to_float b))
+    | _ -> invalid_arg (name ^ ": bad arity")
+  in
+  match name with
+  | "sin" -> unary sin
+  | "cos" -> unary cos
+  | "tan" -> unary tan
+  | "sqrt" -> unary sqrt
+  | "fabs" -> unary Float.abs
+  | "exp" -> unary exp
+  | "log" -> unary log
+  | "pow" -> binary Float.pow
+  | "fmin" -> binary Float.min
+  | "fmax" -> binary Float.max
+  | _ -> invalid_arg ("unknown builtin " ^ name)
+
+let convert ty v =
+  if is_float_type ty then V_float (to_float v) else V_int (to_int v)
+
+let pp ppf = function
+  | V_int n -> Format.pp_print_int ppf n
+  | V_float f -> Format.fprintf ppf "%g" f

@@ -1,0 +1,28 @@
+(** Runtime values of the mini-C interpreter, with C-like conversions. *)
+
+type t = V_int of int | V_float of float
+
+val zero_of : Minic.Ast.ctype -> t
+val is_float_type : Minic.Ast.ctype -> bool
+
+val to_int : t -> int
+(** Floats truncate toward zero, as a C cast. *)
+
+val to_float : t -> float
+val truthy : t -> bool
+val of_bool : bool -> t
+
+val binop : Minic.Ast.binop -> t -> t -> t
+(** C semantics: arithmetic promotes to float when either side is float;
+    [/] and [%] on ints truncate; comparisons and logic yield [V_int 0/1].
+    @raise Division_by_zero. *)
+
+val unop : Minic.Ast.unop -> t -> t
+val builtin : string -> t list -> t
+(** Math builtins (sin, cos, ...) over doubles.
+    @raise Invalid_argument for an unknown builtin or bad arity. *)
+
+val convert : Minic.Ast.ctype -> t -> t
+(** Coerce a value for storage into a location of the given scalar type. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kernels/linreg_kernel.ml: Kernel Printf

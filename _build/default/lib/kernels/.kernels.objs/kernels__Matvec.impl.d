@@ -1,0 +1,1 @@
+lib/kernels/matvec.ml: Kernel Printf

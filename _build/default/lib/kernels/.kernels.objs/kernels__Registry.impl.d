@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Dft Heat Kernel Linreg_kernel List Matvec Saxpy Stencil1d Transpose

@@ -1,0 +1,1 @@
+lib/kernels/saxpy.ml: Kernel Printf

@@ -1,0 +1,1 @@
+lib/kernels/stencil1d.ml: Kernel Printf

@@ -1,0 +1,1 @@
+lib/kernels/transpose.ml: Kernel Printf

@@ -1,0 +1,1 @@
+lib/kernels/transpose.mli: Kernel

@@ -1,0 +1,46 @@
+(* 30720 samples = 16 * LCM-of-team-sizes(480) * 4: the inner trip is
+   divisible by threads*chunk for chunks 1 and 16 at every measured team
+   size, keeping static scheduling balanced. *)
+let source ?(freqs = 16) ?(samples = 30720) () =
+  Printf.sprintf
+    {|#define K %d
+#define N %d
+
+double in_re[N];
+double tmp_re[N];
+double tmp_im[N];
+
+void init(void) {
+  int n;
+  for (n = 0; n < N; n++) {
+    in_re[n] = sin(0.05 * n) + 0.5 * sin(0.17 * n);
+    tmp_re[n] = 0.0;
+    tmp_im[n] = 0.0;
+  }
+}
+
+void dft(void) {
+  int k;
+  int n;
+  for (k = 0; k < K; k++) {
+    #pragma omp parallel for private(n) schedule(static,1)
+    for (n = 0; n < N; n++) {
+      tmp_re[n] = in_re[n] * cos(6.283185307179586 * k * n / N);
+      tmp_im[n] = 0.0 - in_re[n] * sin(6.283185307179586 * k * n / N);
+    }
+  }
+}
+|}
+    freqs samples
+
+let kernel ?freqs ?samples () =
+  {
+    Kernel.name = "dft";
+    description = "discrete Fourier transform, inner loop parallel";
+    source = source ?freqs ?samples ();
+    func = "dft";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 16;
+    pred_runs = 50;
+  }

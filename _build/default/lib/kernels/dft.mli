@@ -1,0 +1,12 @@
+(** Discrete-Fourier-transform kernel (paper §IV-B, Tables II and V,
+    Fig. 9): for each output frequency [k], the inner loop over samples is
+    parallelized; each thread writes [tmp_re\[n\]]/[tmp_im\[n\]] for its
+    assigned [n] — with [schedule(static,1)] neighbouring threads share
+    every 64-byte line of both arrays.  The paper's non-FS chunk is 16. *)
+
+val source : ?freqs:int -> ?samples:int -> unit -> string
+(** Defaults: 16 output frequencies over 30720 samples (the inner trip is
+    divisible by [threads * chunk] for chunks 1 and 16 at every measured
+    team size). *)
+
+val kernel : ?freqs:int -> ?samples:int -> unit -> Kernel.t

@@ -1,0 +1,49 @@
+(* The interior column count (cols-2) should be divisible by
+   threads*chunk for every team size measured (2..48 and chunk 64), so
+   that static scheduling stays load-balanced and timing differences
+   reflect false sharing, not stragglers.  The default interior width
+   30720 = 64 * LCM-of-team-sizes(480) satisfies all of 2,4,8,16,24,32,
+   40,48. *)
+let source ?(rows = 18) ?(cols = 30722) () =
+  Printf.sprintf
+    {|#define ROWS %d
+#define COLS %d
+
+double A[ROWS][COLS];
+double B[ROWS][COLS];
+
+void init(void) {
+  int i;
+  int j;
+  for (i = 0; i < ROWS; i++) {
+    for (j = 0; j < COLS; j++) {
+      A[i][j] = 0.001 * i + 0.002 * j;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void heat_step(void) {
+  int i;
+  int j;
+  for (i = 1; i < ROWS - 1; i++) {
+    #pragma omp parallel for private(j) schedule(static,1)
+    for (j = 1; j < COLS - 1; j++) {
+      B[i][j] = 0.25 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);
+    }
+  }
+}
+|}
+    rows cols
+
+let kernel ?rows ?cols () =
+  {
+    Kernel.name = "heat";
+    description = "2-D heat diffusion (5-point Jacobi), inner loop parallel";
+    source = source ?rows ?cols ();
+    func = "heat_step";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 64;
+    pred_runs = 20;
+  }

@@ -1,0 +1,12 @@
+(** Heat-diffusion kernel (paper §IV-B, Tables I and IV, Fig. 8): a 2-D
+    five-point Jacobi sweep, parallelized at the {e innermost} loop level —
+    with [schedule(static,1)] adjacent columns of a row go to different
+    threads, so the eight-doubles-per-line writes to [B\[i\]\[j\]]
+    false-share heavily.  The paper's non-FS configuration uses chunk 64.
+
+    The default grid is short and wide (18 × 30722): the parallel inner
+    trip (30720) is divisible by [threads * chunk] for every measured team
+    size, so static scheduling is perfectly balanced. *)
+
+val source : ?rows:int -> ?cols:int -> unit -> string
+val kernel : ?rows:int -> ?cols:int -> unit -> Kernel.t

@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  func : string;
+  init_func : string option;
+  fs_chunk : int;
+  nfs_chunk : int;
+  pred_runs : int;
+}
+
+let parse t = Minic.Typecheck.check_program (Minic.Parser.parse_program t.source)

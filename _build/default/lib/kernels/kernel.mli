@@ -1,0 +1,18 @@
+(** A benchmark kernel: mini-C source plus the paper's experiment
+    parameters (FS-prone and optimized chunk sizes, prediction depth). *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  func : string;  (** the OpenMP-parallel kernel function *)
+  init_func : string option;  (** sequential initialization to run first *)
+  fs_chunk : int;  (** chunk size exhibiting false sharing *)
+  nfs_chunk : int;  (** optimized chunk size (paper's non-FS case) *)
+  pred_runs : int;  (** chunk runs the paper's prediction evaluates *)
+}
+
+val parse : t -> Minic.Typecheck.checked
+(** Parse and typecheck the kernel's source.
+    @raise Minic.Parser.Error or Minic.Typecheck.Type_error on bad source —
+    kernels ship with the library, so failures indicate a bug. *)

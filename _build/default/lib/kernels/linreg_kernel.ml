@@ -1,0 +1,61 @@
+(* 4800 work units = 10 * LCM-of-team-sizes(480): the parallel trip is
+   divisible by threads*chunk for chunks 1 and 10 at every measured team
+   size, keeping static scheduling balanced. *)
+let source ?(nacc = 4800) ?(m = 512) () =
+  Printf.sprintf
+    {|#define NACC %d
+#define M %d
+
+struct point {
+  double x;
+  double y;
+};
+
+struct acc {
+  double sx;
+  double sxx;
+  double sy;
+  double syy;
+  double sxy;
+};
+
+struct acc tid_args[NACC];
+struct point points[M];
+
+void init(void) {
+  int i;
+  for (i = 0; i < M; i++) {
+    points[i].x = 0.01 * i;
+    points[i].y = 3.0 + 0.5 * points[i].x;
+  }
+}
+
+void linear_regression(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (j = 0; j < NACC; j++) {
+    for (i = 0; i < M / num_threads; i++) {
+      tid_args[j].sx += points[i].x;
+      tid_args[j].sxx += points[i].x * points[i].x;
+      tid_args[j].sy += points[i].y;
+      tid_args[j].syy += points[i].y * points[i].y;
+      tid_args[j].sxy += points[i].x * points[i].y;
+    }
+  }
+}
+|}
+    nacc m
+
+let kernel ?nacc ?m () =
+  {
+    Kernel.name = "linear_regression";
+    description =
+      "Phoenix linear regression, outer loop parallel, struct accumulators";
+    source = source ?nacc ?m ();
+    func = "linear_regression";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 10;
+    pred_runs = 10;
+  }

@@ -1,0 +1,19 @@
+(** Phoenix linear-regression kernel (paper Fig. 1, §II-A, Tables III and
+    VI): the {e outermost} loop over work units is parallelized with
+    [schedule(static,1)], so adjacent threads update adjacent 40-byte
+    [struct acc] accumulator elements of [tid_args] — classic false sharing
+    on every inner iteration.  The inner trip count is [M / num_threads],
+    which makes both the total work and the modeled FS count shrink with
+    the team size (the effect discussed for Table III).
+
+    The paper's point data lives behind a per-unit pointer; our dialect has
+    no pointers, so all units stream the same read-only [points] array —
+    read sharing, which cannot cause false sharing, preserving the access
+    pattern that matters (see DESIGN.md substitutions). *)
+
+val source : ?nacc:int -> ?m:int -> unit -> string
+(** [nacc] work units (default 4800, balanced for chunks 1 and 10 at every
+    measured team size), [m] total points (default 512; each unit streams
+    [m / num_threads] of them, as in the paper's kernel). *)
+
+val kernel : ?nacc:int -> ?m:int -> unit -> Kernel.t

@@ -1,0 +1,47 @@
+let source ?(rows = 960) ?(cols = 256) () =
+  Printf.sprintf
+    {|#define ROWS %d
+#define COLS %d
+
+double A[ROWS][COLS];
+double x[COLS];
+double y[ROWS];
+
+void init(void) {
+  int i;
+  int j;
+  for (j = 0; j < COLS; j++) {
+    x[j] = 1.0 / (1.0 + j);
+  }
+  for (i = 0; i < ROWS; i++) {
+    y[i] = 0.0;
+    for (j = 0; j < COLS; j++) {
+      A[i][j] = 0.25 * i - 0.125 * j;
+    }
+  }
+}
+
+void matvec(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < ROWS; i++) {
+    for (j = 0; j < COLS; j++) {
+      y[i] += A[i][j] * x[j];
+    }
+  }
+}
+|}
+    rows cols
+
+let kernel ?rows ?cols () =
+  {
+    Kernel.name = "matvec";
+    description = "dense matrix-vector product, outer loop parallel";
+    source = source ?rows ?cols ();
+    func = "matvec";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 8;
+    pred_runs = 12;
+  }

@@ -1,0 +1,8 @@
+(** Dense matrix-vector product, outer loop parallel: with
+    [schedule(static,1)] adjacent threads read-modify-write adjacent
+    8-byte elements of the result vector [y] on every inner iteration —
+    the same accumulator-ping-pong pattern as the linear-regression
+    kernel, but on a plain scalar array. *)
+
+val source : ?rows:int -> ?cols:int -> unit -> string
+val kernel : ?rows:int -> ?cols:int -> unit -> Kernel.t

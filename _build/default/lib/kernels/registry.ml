@@ -1,0 +1,15 @@
+let all () =
+  [
+    Heat.kernel ();
+    Dft.kernel ();
+    Linreg_kernel.kernel ();
+    Saxpy.kernel ();
+    Stencil1d.kernel ();
+    Matvec.kernel ();
+    Transpose.kernel ();
+  ]
+
+let find name =
+  List.find_opt (fun k -> k.Kernel.name = name) (all ())
+
+let names () = List.map (fun k -> k.Kernel.name) (all ())

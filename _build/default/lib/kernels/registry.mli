@@ -1,0 +1,7 @@
+(** All bundled kernels, by name. *)
+
+val all : unit -> Kernel.t list
+(** Default-sized instances of every kernel. *)
+
+val find : string -> Kernel.t option
+val names : unit -> string list

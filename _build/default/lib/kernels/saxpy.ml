@@ -1,0 +1,36 @@
+let source ?(n = 30720) () =
+  Printf.sprintf
+    {|#define N %d
+
+double x[N];
+double y[N];
+
+void init(void) {
+  int i;
+  for (i = 0; i < N; i++) {
+    x[i] = 1.0 * i;
+    y[i] = 0.5 * i;
+  }
+}
+
+void saxpy(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < N; i++) {
+    y[i] += 2.5 * x[i];
+  }
+}
+|}
+    n
+
+let kernel ?n () =
+  {
+    Kernel.name = "saxpy";
+    description = "vector update y += a*x, single parallel loop";
+    source = source ?n ();
+    func = "saxpy";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 8;
+    pred_runs = 16;
+  }

@@ -1,0 +1,6 @@
+(** SAXPY-style vector update, inner-parallel — a minimal quickstart kernel:
+    [y\[i\] += a \* x\[i\]] with [schedule(static,1)] false-shares every
+    line of [y]; chunk 8 (one line of doubles) removes it entirely. *)
+
+val source : ?n:int -> unit -> string
+val kernel : ?n:int -> unit -> Kernel.t

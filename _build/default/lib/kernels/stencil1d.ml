@@ -1,0 +1,40 @@
+let source ?(n = 30722) ?(steps = 16) () =
+  Printf.sprintf
+    {|#define N %d
+#define STEPS %d
+
+double u[N];
+double v[N];
+
+void init(void) {
+  int i;
+  for (i = 0; i < N; i++) {
+    u[i] = 0.0001 * i * i;
+    v[i] = 0.0;
+  }
+}
+
+void stencil(void) {
+  int t;
+  int i;
+  for (t = 0; t < STEPS; t++) {
+    #pragma omp parallel for private(i) schedule(static,1)
+    for (i = 1; i < N - 1; i++) {
+      v[i] = 0.5 * u[i] + 0.25 * (u[i-1] + u[i+1]);
+    }
+  }
+}
+|}
+    n steps
+
+let kernel ?n ?steps () =
+  {
+    Kernel.name = "stencil1d";
+    description = "1-D 3-point stencil under a sequential time loop";
+    source = source ?n ?steps ();
+    func = "stencil";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 16;
+    pred_runs = 20;
+  }

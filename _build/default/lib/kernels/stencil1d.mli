@@ -1,0 +1,6 @@
+(** 1-D three-point stencil over a time loop — exercises cross-group
+    temporal reuse in the cache model and boundary-only false sharing at
+    larger chunks. *)
+
+val source : ?n:int -> ?steps:int -> unit -> string
+val kernel : ?n:int -> ?steps:int -> unit -> Kernel.t

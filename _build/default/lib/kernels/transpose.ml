@@ -1,0 +1,42 @@
+let source ?(n = 480) () =
+  Printf.sprintf
+    {|#define N %d
+
+double A[N][N];
+double B[N][N];
+
+void init(void) {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = 1.0 * i * N + j;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void transpose(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      B[j][i] = A[i][j];
+    }
+  }
+}
+|}
+    n
+
+let kernel ?n () =
+  {
+    Kernel.name = "transpose";
+    description = "matrix transpose, outer loop parallel, column writes";
+    source = source ?n ();
+    func = "transpose";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 8;
+    pred_runs = 12;
+  }

@@ -1,0 +1,7 @@
+(** Matrix transpose, outer loop parallel: the write [B\[j\]\[i\]] strides
+    one element per {e parallel} iteration, so with [schedule(static,1)]
+    every inner iteration makes neighbouring threads write the same line
+    of a [B] column — false sharing across the entire output matrix. *)
+
+val source : ?n:int -> unit -> string
+val kernel : ?n:int -> unit -> Kernel.t

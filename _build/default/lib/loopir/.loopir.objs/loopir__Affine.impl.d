@@ -1,0 +1,1 @@
+lib/loopir/affine.ml: Format Int List Map Minic Option String

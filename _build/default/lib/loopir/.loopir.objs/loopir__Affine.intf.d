@@ -1,0 +1,1 @@
+lib/loopir/affine.mli: Format Minic

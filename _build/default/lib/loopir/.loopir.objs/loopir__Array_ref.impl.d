@@ -1,0 +1,1 @@
+lib/loopir/array_ref.ml: Affine Format

@@ -1,0 +1,1 @@
+lib/loopir/array_ref.mli: Affine Format

@@ -1,0 +1,1 @@
+lib/loopir/expr_eval.mli: Minic

@@ -1,0 +1,1 @@
+lib/loopir/layout.ml: Format List Minic

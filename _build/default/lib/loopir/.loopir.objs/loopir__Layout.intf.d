@@ -1,0 +1,1 @@
+lib/loopir/layout.mli: Format Minic

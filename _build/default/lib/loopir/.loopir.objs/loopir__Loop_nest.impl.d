@@ -1,0 +1,1 @@
+lib/loopir/loop_nest.ml: Array_ref Expr_eval Format List Minic Option String

@@ -1,0 +1,1 @@
+lib/loopir/loop_nest.mli: Array_ref Format Minic

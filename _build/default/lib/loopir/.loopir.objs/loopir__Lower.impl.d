@@ -1,0 +1,1 @@
+lib/loopir/lower.ml: Affine Array_ref Ast Ctypes Expr_eval Format List Loop_nest Minic Option Pretty Typecheck

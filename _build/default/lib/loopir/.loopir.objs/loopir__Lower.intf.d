@@ -1,0 +1,1 @@
+lib/loopir/lower.mli: Loop_nest Minic

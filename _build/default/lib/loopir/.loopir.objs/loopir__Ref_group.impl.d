@@ -1,0 +1,1 @@
+lib/loopir/ref_group.ml: Affine Array_ref List

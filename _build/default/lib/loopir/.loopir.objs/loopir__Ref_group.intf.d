@@ -1,0 +1,1 @@
+lib/loopir/ref_group.mli: Array_ref

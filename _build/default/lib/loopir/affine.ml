@@ -1,0 +1,115 @@
+module Smap = Map.Make (String)
+
+type t = { const : int; terms : int Smap.t }
+(* invariant: no zero coefficients in [terms] *)
+
+let normalize terms = Smap.filter (fun _ c -> c <> 0) terms
+let const c = { const = c; terms = Smap.empty }
+let zero = const 0
+let var v = { const = 0; terms = Smap.singleton v 1 }
+
+let add a b =
+  {
+    const = a.const + b.const;
+    terms =
+      normalize
+        (Smap.union (fun _ ca cb -> Some (ca + cb)) a.terms b.terms);
+  }
+
+let neg a = { const = -a.const; terms = Smap.map (fun c -> -c) a.terms }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = Smap.map (fun c -> k * c) a.terms }
+
+let is_const a = if Smap.is_empty a.terms then Some a.const else None
+
+let mul a b =
+  match (is_const a, is_const b) with
+  | Some ka, _ -> Some (scale ka b)
+  | _, Some kb -> Some (scale kb a)
+  | None, None -> None
+
+let const_part a = a.const
+let coeff a v = match Smap.find_opt v a.terms with Some c -> c | None -> 0
+let vars a = List.map fst (Smap.bindings a.terms)
+
+let eval env a =
+  Smap.fold (fun v c acc -> acc + (c * env v)) a.terms a.const
+
+let subst f a =
+  Smap.fold
+    (fun v c acc ->
+      match f v with
+      | Some e -> add acc (scale c e)
+      | None -> add acc (scale c (var v)))
+    a.terms (const a.const)
+
+let equal a b = a.const = b.const && Smap.equal Int.equal a.terms b.terms
+
+let compare a b =
+  let c = Int.compare a.const b.const in
+  if c <> 0 then c else Smap.compare Int.compare a.terms b.terms
+
+let pp ppf a =
+  let open Format in
+  let first = ref true in
+  let sep ppf c =
+    if !first then begin
+      first := false;
+      if c < 0 then pp_print_string ppf "-"
+    end
+    else pp_print_string ppf (if c < 0 then " - " else " + ")
+  in
+  Smap.iter
+    (fun v c ->
+      sep ppf c;
+      let m = abs c in
+      if m = 1 then pp_print_string ppf v else fprintf ppf "%d*%s" m v)
+    a.terms;
+  if a.const <> 0 || !first then begin
+    sep ppf a.const;
+    pp_print_int ppf (abs a.const)
+  end
+
+let to_string a = Format.asprintf "%a" pp a
+
+let rec of_expr lookup expr =
+  let open Minic.Ast in
+  match expr with
+  | Int_lit n -> Some (const n)
+  | Float_lit _ -> None
+  | Ident v -> lookup v
+  | Unop (Neg, e) -> Option.map neg (of_expr lookup e)
+  | Unop (Not, _) -> None
+  | Binop (Add, a, b) -> (
+      match (of_expr lookup a, of_expr lookup b) with
+      | Some a, Some b -> Some (add a b)
+      | _ -> None)
+  | Binop (Sub, a, b) -> (
+      match (of_expr lookup a, of_expr lookup b) with
+      | Some a, Some b -> Some (sub a b)
+      | _ -> None)
+  | Binop (Mul, a, b) -> (
+      match (of_expr lookup a, of_expr lookup b) with
+      | Some a, Some b -> mul a b
+      | _ -> None)
+  | Binop (Div, a, b) -> (
+      (* only constant / constant folds; affine / constant is not affine in
+         general because of integer truncation *)
+      match (of_expr lookup a, of_expr lookup b) with
+      | Some a, Some b -> (
+          match (is_const a, is_const b) with
+          | Some ka, Some kb when kb <> 0 -> Some (const (ka / kb))
+          | _ -> None)
+      | _ -> None)
+  | Binop (Mod, a, b) -> (
+      match (of_expr lookup a, of_expr lookup b) with
+      | Some a, Some b -> (
+          match (is_const a, is_const b) with
+          | Some ka, Some kb when kb <> 0 -> Some (const (ka mod kb))
+          | _ -> None)
+      | _ -> None)
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) -> None
+  | Index _ | Field _ | Call _ -> None

@@ -1,0 +1,45 @@
+(** Affine integer expressions [c0 + c1*v1 + ... + cn*vn] over named
+    variables (loop induction variables).
+
+    Array subscripts and byte offsets are represented this way so the model
+    can compute, for any assignment of loop indices, the exact cache line a
+    reference touches. *)
+
+type t
+(** Immutable; terms with zero coefficients are never stored. *)
+
+val const : int -> t
+val var : string -> t
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val mul : t -> t -> t option
+(** [mul a b] is [Some] product when at least one side is constant. *)
+
+val is_const : t -> int option
+val const_part : t -> int
+val coeff : t -> string -> int
+val vars : t -> string list
+(** Variables with non-zero coefficient, sorted. *)
+
+val eval : (string -> int) -> t -> int
+(** @raise Not_found if a variable is unbound. *)
+
+val subst : (string -> t option) -> t -> t
+(** Substitute variables by affine expressions. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_expr : (string -> t option) -> Minic.Ast.expr -> t option
+(** [of_expr lookup e] converts an integer AST expression to affine form;
+    [lookup] resolves identifiers (loop variables to themselves, parameters
+    to constants).  Returns [None] when [e] is not affine (e.g. a product of
+    two variables) or contains unsupported constructs.  Division and modulo
+    by constants are folded only when the operand is itself constant. *)

@@ -1,0 +1,22 @@
+type access = Read | Write
+
+type t = {
+  base : string;
+  offset : Affine.t;
+  size_bytes : int;
+  access : access;
+  repr : string;
+}
+
+let v ~base ~offset ~size_bytes ~access ~repr =
+  { base; offset; size_bytes; access; repr }
+
+let is_write r = r.access = Write
+let access_name = function Read -> "R" | Write -> "W"
+
+let pp ppf r =
+  Format.fprintf ppf "%s %s (%s + %a, %dB)" (access_name r.access) r.repr
+    r.base Affine.pp r.offset r.size_bytes
+
+let byte_addr ~addr_of_base ~env r =
+  addr_of_base r.base + Affine.eval env r.offset

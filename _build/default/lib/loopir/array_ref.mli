@@ -1,0 +1,31 @@
+(** A memory reference of the innermost loop body: a named global array (or
+    scalar) plus an affine byte offset in the loop induction variables.
+
+    This is the "array reference list" of the paper's step 1 (§III-A): base
+    name, indices, access type, and — for arrays of structured types — the
+    field's byte offset folded into [offset]. *)
+
+type access = Read | Write
+
+type t = {
+  base : string;  (** global symbol the access is rooted at *)
+  offset : Affine.t;  (** byte offset from the base, affine in loop vars *)
+  size_bytes : int;  (** bytes touched (the scalar element size) *)
+  access : access;
+  repr : string;  (** source-level rendering, e.g. ["A[i][j+1]"] *)
+}
+
+val v :
+  base:string ->
+  offset:Affine.t ->
+  size_bytes:int ->
+  access:access ->
+  repr:string ->
+  t
+
+val is_write : t -> bool
+val access_name : access -> string
+val pp : Format.formatter -> t -> unit
+
+val byte_addr : addr_of_base:(string -> int) -> env:(string -> int) -> t -> int
+(** Concrete byte address of the reference for given loop index values. *)

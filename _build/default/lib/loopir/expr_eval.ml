@@ -1,0 +1,35 @@
+exception Unbound of string
+exception Not_integer of string
+
+let rec eval env expr =
+  let open Minic.Ast in
+  match expr with
+  | Int_lit n -> n
+  | Float_lit _ -> raise (Not_integer "float literal")
+  | Ident v -> (
+      match env v with Some n -> n | None -> raise (Unbound v))
+  | Unop (Neg, e) -> -eval env e
+  | Unop (Not, e) -> if eval env e = 0 then 1 else 0
+  | Binop (op, a, b) -> (
+      let a = eval env a in
+      let b () = eval env b in
+      match op with
+      | Add -> a + b ()
+      | Sub -> a - b ()
+      | Mul -> a * b ()
+      | Div ->
+          let d = b () in
+          if d = 0 then raise Division_by_zero else a / d
+      | Mod ->
+          let d = b () in
+          if d = 0 then raise Division_by_zero else a mod d
+      | Lt -> if a < b () then 1 else 0
+      | Le -> if a <= b () then 1 else 0
+      | Gt -> if a > b () then 1 else 0
+      | Ge -> if a >= b () then 1 else 0
+      | Eq -> if a = b () then 1 else 0
+      | Ne -> if a <> b () then 1 else 0
+      | And -> if a <> 0 && b () <> 0 then 1 else 0
+      | Or -> if a <> 0 || b () <> 0 then 1 else 0)
+  | Index _ | Field _ -> raise (Not_integer "memory access")
+  | Call (f, _) -> raise (Not_integer ("call to " ^ f))

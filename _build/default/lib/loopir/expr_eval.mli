@@ -1,0 +1,11 @@
+(** Integer evaluation of AST expressions under an environment — used for
+    loop bounds (which may use parameters like [num_threads]) and pragma
+    constants. *)
+
+exception Unbound of string
+exception Not_integer of string
+
+val eval : (string -> int option) -> Minic.Ast.expr -> int
+(** C-like semantics: relational and logical operators yield 0/1, division
+    truncates toward zero.  @raise Unbound for unresolvable identifiers,
+    [Division_by_zero], or @raise Not_integer for float literals and calls. *)

@@ -1,0 +1,34 @@
+type entry = { name : string; addr : int; size : int }
+type t = { entries : entry list; total : int }
+
+let round_up x a = (x + a - 1) / a * a
+
+let make ?(line_bytes = 64) (checked : Minic.Typecheck.checked) =
+  let addr = ref 0 in
+  let entries =
+    List.map
+      (fun (name, ty) ->
+        let size = Minic.Ctypes.sizeof checked.Minic.Typecheck.structs ty in
+        let a = round_up !addr line_bytes in
+        addr := a + size;
+        { name; addr = a; size })
+      checked.Minic.Typecheck.global_types
+  in
+  { entries; total = round_up !addr line_bytes }
+
+let find t name =
+  match List.find_opt (fun e -> e.name = name) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let addr_of t name = (find t name).addr
+let size_of t name = (find t name).size
+let total_bytes t = t.total
+let globals t = List.map (fun e -> (e.name, e.addr, e.size)) t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e -> Format.fprintf ppf "%8d..%8d  %s@," e.addr (e.addr + e.size) e.name)
+    t.entries;
+  Format.fprintf ppf "total %d bytes@]" t.total

@@ -1,0 +1,23 @@
+(** Virtual memory layout of global variables.
+
+    The paper's step-2 assumption (§III-B) is that every array is aligned to
+    a cache-line boundary so relative cache lines are known at compile time;
+    this module realizes that assumption by assigning each global a
+    line-aligned base address.  The execution simulator shares the same
+    layout so measured and modeled sides see the same lines. *)
+
+type t
+
+val make : ?line_bytes:int -> Minic.Typecheck.checked -> t
+(** Assign addresses in declaration order, each aligned up to [line_bytes]
+    (default 64). *)
+
+val addr_of : t -> string -> int
+(** @raise Not_found for unknown globals. *)
+
+val size_of : t -> string -> int
+val total_bytes : t -> int
+val globals : t -> (string * int * int) list
+(** (name, address, size) in address order. *)
+
+val pp : Format.formatter -> t -> unit

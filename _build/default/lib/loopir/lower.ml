@@ -1,0 +1,265 @@
+exception Lower_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Lower_error s)) fmt
+
+open Minic
+
+(* ---------------------------------------------------------------- *)
+(* Locating the pragma'd loop and its enclosing sequential loops      *)
+(* ---------------------------------------------------------------- *)
+
+let rec all_chains_in_stmts stmts = List.concat_map all_chains_in_stmt stmts
+
+and all_chains_in_stmt = function
+  | Ast.Sfor loop ->
+      if loop.Ast.pragma <> None then [ ([], loop) ]
+      else
+        List.map
+          (fun (encl, p) -> (loop :: encl, p))
+          (all_chains_in_stmt loop.Ast.body)
+  | Ast.Sblock stmts -> all_chains_in_stmts stmts
+  | Ast.Sif (_, then_, else_) ->
+      all_chains_in_stmt then_
+      @ (match else_ with Some s -> all_chains_in_stmt s | None -> [])
+  | Ast.Swhile (_, body) -> all_chains_in_stmt body
+  | Ast.Sexpr _ | Ast.Sassign _ | Ast.Sdecl _ | Ast.Sbreak | Ast.Scontinue
+  | Ast.Sreturn _ ->
+      []
+
+let find_chain_in_stmts stmts =
+  match all_chains_in_stmts stmts with [] -> None | c :: _ -> Some c
+
+(* Collect the perfect nest below a loop: descend while the body is exactly
+   one [for]; anything else is the innermost body. *)
+let body_stmts = function Ast.Sblock l -> l | s -> [ s ]
+
+let rec collect_nest (loop : Ast.for_loop) =
+  match body_stmts loop.Ast.body with
+  | [ Ast.Sfor inner ] ->
+      let loops, body = collect_nest inner in
+      (loop :: loops, body)
+  | stmts -> ([ loop ], stmts)
+
+(* ---------------------------------------------------------------- *)
+(* Loop normalization                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let normalize_loop params (loop : Ast.for_loop) : Loop_nest.loop =
+  let v = loop.Ast.init_var in
+  let step =
+    let env x = List.assoc_opt x params in
+    try Expr_eval.eval env loop.Ast.step.Ast.step_by with
+    | Expr_eval.Unbound x ->
+        err "step of loop %s references unbound identifier %s" v x
+    | Expr_eval.Not_integer m -> err "step of loop %s is not integral (%s)" v m
+  in
+  if step <= 0 then err "loop %s has non-positive step %d" v step;
+  let upper_excl =
+    match loop.Ast.cond with
+    | Ast.Binop (Ast.Lt, Ast.Ident x, e) when x = v -> e
+    | Ast.Binop (Ast.Le, Ast.Ident x, e) when x = v ->
+        Ast.Binop (Ast.Add, e, Ast.Int_lit 1)
+    | Ast.Binop (Ast.Gt, e, Ast.Ident x) when x = v -> e
+    | Ast.Binop (Ast.Ge, e, Ast.Ident x) when x = v ->
+        Ast.Binop (Ast.Add, e, Ast.Int_lit 1)
+    | _ ->
+        err "condition of loop %s must have the form '%s < bound' or '%s <= bound'"
+          v v v
+  in
+  { Loop_nest.var = v; lower = loop.Ast.init_expr; upper_excl; step }
+
+(* ---------------------------------------------------------------- *)
+(* Reference collection                                               *)
+(* ---------------------------------------------------------------- *)
+
+type ref_ctx = {
+  structs : Ctypes.struct_env;
+  type_of : string -> Ast.ctype option;  (* full scope: locals over globals *)
+  shared_global : string -> bool;
+  loop_vars : string list;
+  params : (string * int) list;
+  acc : Array_ref.t list ref;
+}
+
+let affine_of_subscript ctx repr e =
+  let lookup v =
+    if List.mem v ctx.loop_vars then Some (Affine.var v)
+    else
+      match List.assoc_opt v ctx.params with
+      | Some k -> Some (Affine.const k)
+      | None -> None
+  in
+  match Affine.of_expr lookup e with
+  | Some a -> a
+  | None ->
+      err "subscript %s of reference %s is not affine in the loop variables"
+        (Pretty.expr_to_string e) repr
+
+(* Analyze an access path (Ident/Index/Field chain).  Returns the resolved
+   (base, byte-offset, element-type) when the root is a shared global, and
+   the subscript expressions encountered (whose own reads must be
+   collected). *)
+let rec analyze_path ctx e :
+    (string * Affine.t * Ast.ctype) option * Ast.expr list =
+  match e with
+  | Ast.Ident v ->
+      if ctx.shared_global v then
+        match ctx.type_of v with
+        | Some t -> (Some (v, Affine.zero, t), [])
+        | None -> (None, [])
+      else (None, [])
+  | Ast.Index (p, idx) -> (
+      let root, subs = analyze_path ctx p in
+      match root with
+      | Some (base, off, Ast.Tarray (elem, _)) ->
+          let repr = Pretty.expr_to_string e in
+          let ia = affine_of_subscript ctx repr idx in
+          let esz = Ctypes.sizeof ctx.structs elem in
+          (Some (base, Affine.add off (Affine.scale esz ia), elem), idx :: subs)
+      | Some (base, _, _) -> err "subscript applied to non-array %s" base
+      | None -> (None, idx :: subs))
+  | Ast.Field (p, f) -> (
+      let root, subs = analyze_path ctx p in
+      match root with
+      | Some (base, off, Ast.Tstruct s) ->
+          let foff = Ctypes.field_offset ctx.structs s f in
+          let ft = Ctypes.field_type ctx.structs s f in
+          (Some (base, Affine.add off (Affine.const foff), ft), subs)
+      | Some (base, _, _) -> err "field .%s applied to non-struct %s" f base
+      | None -> (None, subs))
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Binop _ | Ast.Unop _ | Ast.Call _ ->
+      (None, [])
+
+let emit ctx access e =
+  match analyze_path ctx e with
+  | Some (base, offset, elem), subs ->
+      let size =
+        match elem with
+        | Ast.Tarray _ | Ast.Tstruct _ ->
+            err "reference %s does not resolve to a scalar element"
+              (Pretty.expr_to_string e)
+        | t -> Ctypes.sizeof ctx.structs t
+      in
+      let r =
+        Array_ref.v ~base ~offset ~size_bytes:size ~access
+          ~repr:(Pretty.expr_to_string e)
+      in
+      ctx.acc := r :: !(ctx.acc);
+      subs
+  | None, subs -> subs
+
+let rec collect_reads ctx e =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+  | Ast.Ident _ | Ast.Index _ | Ast.Field _ ->
+      let subs = emit ctx Array_ref.Read e in
+      List.iter (collect_reads ctx) subs
+  | Ast.Binop (_, a, b) ->
+      collect_reads ctx a;
+      collect_reads ctx b
+  | Ast.Unop (_, a) -> collect_reads ctx a
+  | Ast.Call (_, args) -> List.iter (collect_reads ctx) args
+
+let collect_write ctx lhs ~compound =
+  match lhs with
+  | Ast.Ident _ | Ast.Index _ | Ast.Field _ ->
+      (* subscript reads happen once for the address computation *)
+      let subs =
+        if compound then emit ctx Array_ref.Read lhs else []
+      in
+      List.iter (collect_reads ctx) subs;
+      let subs_w = emit ctx Array_ref.Write lhs in
+      if not compound then List.iter (collect_reads ctx) subs_w
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Binop _ | Ast.Unop _ | Ast.Call _ ->
+      err "assignment target %s is not an access path"
+        (Pretty.expr_to_string lhs)
+
+let rec collect_stmt ctx = function
+  | Ast.Sexpr e -> collect_reads ctx e
+  | Ast.Sassign (lhs, op, rhs) ->
+      collect_reads ctx rhs;
+      collect_write ctx lhs ~compound:(op <> Ast.A_set)
+  | Ast.Sdecl (_, _, init) -> Option.iter (collect_reads ctx) init
+  | Ast.Sblock stmts -> List.iter (collect_stmt ctx) stmts
+  | Ast.Sif (c, then_, else_) ->
+      collect_reads ctx c;
+      collect_stmt ctx then_;
+      Option.iter (collect_stmt ctx) else_
+  | Ast.Sfor _ | Ast.Swhile _ ->
+      err "imperfect loop nest: a further loop inside the innermost body"
+  | Ast.Sbreak | Ast.Scontinue ->
+      err "break/continue inside a modeled loop body is not supported"
+  | Ast.Sreturn e -> Option.iter (collect_reads ctx) e
+
+(* ---------------------------------------------------------------- *)
+(* Entry points                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let find_parallel_functions (prog : Ast.program) =
+  List.filter_map
+    (fun (f : Ast.func) ->
+      match find_chain_in_stmts f.Ast.body with
+      | Some _ -> Some f.Ast.fname
+      | None -> None)
+    (Ast.funcs prog)
+
+let lower_chain (checked : Typecheck.checked) ~func ~params (f : Ast.func)
+    (outer, (ploop : Ast.for_loop)) =
+  let pragma = Option.get ploop.Ast.pragma in
+  let nest_loops, innermost_body = collect_nest ploop in
+  let all_loops = outer @ nest_loops in
+  let loops = List.map (normalize_loop params) all_loops in
+  let parallel_depth = List.length outer in
+  let loop_vars = List.map (fun (l : Loop_nest.loop) -> l.Loop_nest.var) loops in
+  let locals = Typecheck.locals_of_func checked f in
+  let type_of v =
+    match List.assoc_opt v locals with
+    | Some t -> Some t
+    | None -> List.assoc_opt v checked.Typecheck.global_types
+  in
+  let privatized =
+    pragma.Ast.private_vars
+    @ List.concat_map snd pragma.Ast.reduction
+    @ loop_vars
+  in
+  let shared_global v =
+    List.mem_assoc v checked.Typecheck.global_types
+    && (not (List.mem_assoc v locals))
+    && not (List.mem v privatized)
+  in
+  let ctx =
+    {
+      structs = checked.Typecheck.structs;
+      type_of;
+      shared_global;
+      loop_vars;
+      params;
+      acc = ref [];
+    }
+  in
+  List.iter (collect_stmt ctx) innermost_body;
+  {
+    Loop_nest.func;
+    loops;
+    parallel_depth;
+    pragma;
+    refs = List.rev !(ctx.acc);
+    body = innermost_body;
+  }
+
+let func_of (checked : Typecheck.checked) func =
+  match Ast.find_func checked.Typecheck.prog func with
+  | Some f -> f
+  | None -> err "no function named %s" func
+
+let lower (checked : Typecheck.checked) ~func ~params =
+  let f = func_of checked func in
+  match find_chain_in_stmts f.Ast.body with
+  | Some chain -> lower_chain checked ~func ~params f chain
+  | None -> err "function %s contains no omp parallel for" func
+
+let lower_all (checked : Typecheck.checked) ~func ~params =
+  let f = func_of checked func in
+  List.map
+    (lower_chain checked ~func ~params f)
+    (all_chains_in_stmts f.Ast.body)

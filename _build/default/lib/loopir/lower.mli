@@ -1,0 +1,37 @@
+(** Lowering: find the OpenMP-annotated loop nest of a function and build a
+    {!Loop_nest.t} — the paper's compiler pass over the IR (§IV) that
+    collects loop bounds, steps, index variables, chunk size, and the array
+    reference list of the innermost loop body.
+
+    Shared global arrays/scalars produce references; locals, loop indices,
+    [private]- and [reduction]-clause variables are thread-private and
+    produce none. *)
+
+exception Lower_error of string
+
+val lower :
+  Minic.Typecheck.checked ->
+  func:string ->
+  params:(string * int) list ->
+  Loop_nest.t
+(** [lower checked ~func ~params] locates the (first) [#pragma omp parallel
+    for] loop in [func], normalizes the enclosing and enclosed loops, and
+    extracts the innermost references.  [params] binds free identifiers in
+    bounds and steps (e.g. [("num_threads", 8)]).
+
+    @raise Lower_error when there is no pragma loop, the nest is imperfect
+    (statements between loop levels), a loop step is not a positive
+    constant, a condition is not [var < e] / [var <= e], or a subscript is
+    not affine in the loop variables. *)
+
+val lower_all :
+  Minic.Typecheck.checked ->
+  func:string ->
+  params:(string * int) list ->
+  Loop_nest.t list
+(** Every parallel loop nest of [func], in source order ([lower] returns
+    the first).  Parallel loops nested inside another parallel loop are not
+    descended into (nested parallelism is not modeled). *)
+
+val find_parallel_functions : Minic.Ast.program -> string list
+(** Names of functions containing at least one OpenMP parallel-for. *)

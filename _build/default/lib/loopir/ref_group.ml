@@ -1,0 +1,35 @@
+type t = {
+  leader : Array_ref.t;
+  members : Array_ref.t list;
+  has_write : bool;
+}
+
+let same_group ~line_bytes (a : Array_ref.t) (b : Array_ref.t) =
+  a.Array_ref.base = b.Array_ref.base
+  &&
+  match Affine.is_const (Affine.sub a.Array_ref.offset b.Array_ref.offset) with
+  | Some d -> abs d < line_bytes
+  | None -> false
+
+let form ~line_bytes refs =
+  let groups = ref [] in
+  List.iter
+    (fun r ->
+      let rec place = function
+        | [] -> groups := !groups @ [ ref [ r ] ]
+        | g :: rest ->
+            if List.exists (same_group ~line_bytes r) !g then g := r :: !g
+            else place rest
+      in
+      place !groups)
+    refs;
+  List.map
+    (fun g ->
+      let members = List.rev !g in
+      match members with
+      | [] -> assert false
+      | leader :: _ ->
+          { leader; members; has_write = List.exists Array_ref.is_write members })
+    !groups
+
+let count ~line_bytes refs = List.length (form ~line_bytes refs)

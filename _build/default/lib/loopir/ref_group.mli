@@ -1,0 +1,17 @@
+(** Reference groups in the Open64 cache-model sense (§II-B2): references to
+    the same array whose byte offsets differ by a constant smaller than the
+    line size exhibit group-spatial reuse and contribute a single footprint
+    ([a\[i\]] and [a\[i+1\]] count once). *)
+
+type t = {
+  leader : Array_ref.t;
+  members : Array_ref.t list;  (** includes the leader *)
+  has_write : bool;
+}
+
+val form : line_bytes:int -> Array_ref.t list -> t list
+(** Partition references into groups: same base, offset difference constant
+    with absolute value < [line_bytes]. *)
+
+val count : line_bytes:int -> Array_ref.t list -> int
+(** Number of groups — the per-iteration footprint count. *)

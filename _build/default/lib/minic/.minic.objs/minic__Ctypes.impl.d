@@ -1,0 +1,1 @@
+lib/minic/ctypes.ml: Ast List

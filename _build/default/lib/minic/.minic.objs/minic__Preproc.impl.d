@@ -1,0 +1,1 @@
+lib/minic/preproc.ml: Lexer List Printf String Token

@@ -1,0 +1,136 @@
+type ctype =
+  | Tvoid
+  | Tchar
+  | Tint
+  | Tlong
+  | Tfloat
+  | Tdouble
+  | Tstruct of string
+  | Tarray of ctype * int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr
+  | Field of expr * string
+  | Call of string * expr list
+
+type assign_op = A_set | A_add | A_sub | A_mul | A_div
+
+type schedule =
+  | Sched_static of int option
+  | Sched_dynamic of int option
+  | Sched_guided of int option
+
+type pragma = {
+  private_vars : string list;
+  shared_vars : string list;
+  reduction : (binop * string list) list;
+  schedule : schedule option;
+  num_threads : int option;
+}
+
+let empty_pragma =
+  {
+    private_vars = [];
+    shared_vars = [];
+    reduction = [];
+    schedule = None;
+    num_threads = None;
+  }
+
+type step = { step_var : string; step_by : expr }
+
+type stmt =
+  | Sexpr of expr
+  | Sassign of expr * assign_op * expr
+  | Sdecl of ctype * string * expr option
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Sfor of for_loop
+  | Swhile of expr * stmt
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+
+and for_loop = {
+  pragma : pragma option;
+  init_var : string;
+  init_expr : expr;
+  cond : expr;
+  step : step;
+  body : stmt;
+}
+
+type global =
+  | Gstruct_def of string * (ctype * string) list
+  | Gvar of ctype * string
+  | Gfunc of func
+
+and func = {
+  ret : ctype;
+  fname : string;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+type program = { macros : Preproc.macros; globals : global list }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let assign_op_name = function
+  | A_set -> "="
+  | A_add -> "+="
+  | A_sub -> "-="
+  | A_mul -> "*="
+  | A_div -> "/="
+
+let struct_defs p =
+  List.filter_map
+    (function Gstruct_def (n, fs) -> Some (n, fs) | Gvar _ | Gfunc _ -> None)
+    p.globals
+
+let global_vars p =
+  List.filter_map
+    (function Gvar (t, n) -> Some (n, t) | Gstruct_def _ | Gfunc _ -> None)
+    p.globals
+
+let funcs p =
+  List.filter_map
+    (function Gfunc f -> Some f | Gstruct_def _ | Gvar _ -> None)
+    p.globals
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) (funcs p)

@@ -1,0 +1,102 @@
+(** Abstract syntax of the mini-C dialect. *)
+
+type ctype =
+  | Tvoid
+  | Tchar
+  | Tint
+  | Tlong
+  | Tfloat
+  | Tdouble
+  | Tstruct of string
+  | Tarray of ctype * int  (** element type, dimension *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr  (** [a\[i\]] *)
+  | Field of expr * string  (** [a.f] *)
+  | Call of string * expr list  (** math builtins: sin, cos, sqrt, ... *)
+
+type assign_op = A_set | A_add | A_sub | A_mul | A_div
+
+(** OpenMP worksharing annotation attached to a [for] loop. *)
+type schedule =
+  | Sched_static of int option  (** [schedule(static[,chunk])] *)
+  | Sched_dynamic of int option  (** [schedule(dynamic[,chunk])] *)
+  | Sched_guided of int option  (** [schedule(guided[,min_chunk])] *)
+
+type pragma = {
+  private_vars : string list;
+  shared_vars : string list;
+  reduction : (binop * string list) list;
+  schedule : schedule option;
+  num_threads : int option;
+}
+
+val empty_pragma : pragma
+
+(** Loop step, normalized from [i++], [i--], [i += k], [i = i + k]. *)
+type step = { step_var : string; step_by : expr }
+
+type stmt =
+  | Sexpr of expr
+  | Sassign of expr * assign_op * expr  (** lvalue, op, rvalue *)
+  | Sdecl of ctype * string * expr option
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Sfor of for_loop
+  | Swhile of expr * stmt
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+
+and for_loop = {
+  pragma : pragma option;
+  init_var : string;
+  init_expr : expr;
+  cond : expr;  (** must be [init_var < e], [<=], [>], or [>=] *)
+  step : step;
+  body : stmt;
+}
+
+type global =
+  | Gstruct_def of string * (ctype * string) list
+  | Gvar of ctype * string
+  | Gfunc of func
+
+and func = {
+  ret : ctype;
+  fname : string;
+  params : (ctype * string) list;
+  body : stmt list;
+}
+
+type program = { macros : Preproc.macros; globals : global list }
+
+val binop_name : binop -> string
+val assign_op_name : assign_op -> string
+
+val struct_defs : program -> (string * (ctype * string) list) list
+val global_vars : program -> (string * ctype) list
+val funcs : program -> func list
+val find_func : program -> string -> func option

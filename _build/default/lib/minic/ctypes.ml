@@ -1,0 +1,66 @@
+type struct_env = (string * (Ast.ctype * string) list) list
+
+exception Unknown_struct of string
+exception Unknown_field of string * string
+
+let struct_env_of_program p = Ast.struct_defs p
+
+let fields_of env name =
+  match List.assoc_opt name env with
+  | Some fs -> fs
+  | None -> raise (Unknown_struct name)
+
+let round_up x a = (x + a - 1) / a * a
+
+let rec alignof env = function
+  | Ast.Tvoid -> 1
+  | Ast.Tchar -> 1
+  | Ast.Tint -> 4
+  | Ast.Tlong -> 8
+  | Ast.Tfloat -> 4
+  | Ast.Tdouble -> 8
+  | Ast.Tarray (t, _) -> alignof env t
+  | Ast.Tstruct name ->
+      List.fold_left
+        (fun a (t, _) -> max a (alignof env t))
+        1 (fields_of env name)
+
+let rec sizeof env = function
+  | Ast.Tvoid -> 0
+  | Ast.Tchar -> 1
+  | Ast.Tint -> 4
+  | Ast.Tlong -> 8
+  | Ast.Tfloat -> 4
+  | Ast.Tdouble -> 8
+  | Ast.Tarray (t, n) -> n * sizeof env t
+  | Ast.Tstruct name as ty ->
+      let off =
+        List.fold_left
+          (fun off (t, _) -> round_up off (alignof env t) + sizeof env t)
+          0 (fields_of env name)
+      in
+      round_up off (alignof env ty)
+
+let field_offset env sname fname =
+  let rec go off = function
+    | [] -> raise (Unknown_field (sname, fname))
+    | (t, f) :: rest ->
+        let off = round_up off (alignof env t) in
+        if f = fname then off else go (off + sizeof env t) rest
+  in
+  go 0 (fields_of env sname)
+
+let field_type env sname fname =
+  match List.find_opt (fun (_, f) -> f = fname) (fields_of env sname) with
+  | Some (t, _) -> t
+  | None -> raise (Unknown_field (sname, fname))
+
+let scalar = function
+  | Ast.Tchar | Ast.Tint | Ast.Tlong | Ast.Tfloat | Ast.Tdouble -> true
+  | Ast.Tvoid | Ast.Tstruct _ | Ast.Tarray _ -> false
+
+let is_float = function
+  | Ast.Tfloat | Ast.Tdouble -> true
+  | Ast.Tvoid | Ast.Tchar | Ast.Tint | Ast.Tlong | Ast.Tstruct _
+  | Ast.Tarray _ ->
+      false

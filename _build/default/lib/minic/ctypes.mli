@@ -1,0 +1,30 @@
+(** Sizes, alignments and struct layouts, following the usual LP64 C ABI
+    (char 1, int 4, long 8, float 4, double 8; structs padded to the maximum
+    field alignment).
+
+    The false-sharing model needs exact byte offsets of every reference —
+    including fields of structured array elements (paper §IV: "memory
+    offsets for arrays storing structured data types") — which this module
+    provides. *)
+
+type struct_env = (string * (Ast.ctype * string) list) list
+(** Struct definitions by name, fields in declaration order. *)
+
+exception Unknown_struct of string
+exception Unknown_field of string * string  (** struct, field *)
+
+val struct_env_of_program : Ast.program -> struct_env
+
+val sizeof : struct_env -> Ast.ctype -> int
+val alignof : struct_env -> Ast.ctype -> int
+
+val field_offset : struct_env -> string -> string -> int
+(** [field_offset env struct_name field] is the byte offset of [field]. *)
+
+val field_type : struct_env -> string -> string -> Ast.ctype
+
+val scalar : Ast.ctype -> bool
+(** true for char/int/long/float/double *)
+
+val is_float : Ast.ctype -> bool
+(** true for float/double *)

@@ -1,0 +1,148 @@
+exception Error of string * int
+
+let keyword_of = function
+  | "int" -> Some Token.KW_INT
+  | "long" -> Some Token.KW_LONG
+  | "float" -> Some Token.KW_FLOAT
+  | "double" -> Some Token.KW_DOUBLE
+  | "char" -> Some Token.KW_CHAR
+  | "void" -> Some Token.KW_VOID
+  | "struct" -> Some Token.KW_STRUCT
+  | "for" -> Some Token.KW_FOR
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "return" -> Some Token.KW_RETURN
+  | "while" -> Some Token.KW_WHILE
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* The lexer walks the string with an index and a current line counter.  A
+   leading '#' introduces a directive that consumes the rest of the line. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { Token.tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let rec skip_block_comment start_line =
+    if !i + 1 >= n then raise (Error ("unterminated comment", start_line))
+    else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+    else begin
+      if src.[!i] = '\n' then incr line;
+      incr i;
+      skip_block_comment start_line
+    end
+  in
+  let read_line_rest () =
+    let start = !i in
+    while !i < n && src.[!i] <> '\n' do incr i done;
+    String.sub src start (!i - start)
+  in
+  let read_number () =
+    let start = !i in
+    while !i < n && is_digit src.[!i] do incr i done;
+    let is_float =
+      (!i < n && src.[!i] = '.')
+      || (!i < n && (src.[!i] = 'e' || src.[!i] = 'E'))
+    in
+    if is_float then begin
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let s = String.sub src start (!i - start) in
+      emit (Token.FLOAT_LIT (float_of_string s))
+    end
+    else begin
+      let s = String.sub src start (!i - start) in
+      (* swallow integer suffixes: 100L, 100UL *)
+      while !i < n && (src.[!i] = 'l' || src.[!i] = 'L' || src.[!i] = 'u'
+                       || src.[!i] = 'U') do incr i done;
+      emit (Token.INT_LIT (int_of_string s))
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then ignore (read_line_rest ())
+    else if c = '/' && peek 1 = Some '*' then begin
+      let start_line = !line in
+      i := !i + 2;
+      skip_block_comment start_line
+    end
+    else if c = '#' then begin
+      incr i;
+      let rest = read_line_rest () in
+      let rest = String.trim rest in
+      if String.length rest >= 6 && String.sub rest 0 6 = "pragma" then
+        emit (Token.PRAGMA (String.trim (String.sub rest 6 (String.length rest - 6))))
+      else
+        raise
+          (Error
+             ( "unsupported preprocessor directive (run Preproc first): #"
+               ^ rest,
+               !line ))
+    end
+    else if is_digit c then read_number ()
+    else if c = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+    then read_number ()
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      match keyword_of s with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT s)
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match c, peek 1 with
+      | '+', Some '+' -> two Token.PLUSPLUS
+      | '+', Some '=' -> two Token.PLUSEQ
+      | '-', Some '-' -> two Token.MINUSMINUS
+      | '-', Some '=' -> two Token.MINUSEQ
+      | '*', Some '=' -> two Token.STAREQ
+      | '/', Some '=' -> two Token.SLASHEQ
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '=', Some '=' -> two Token.EQEQ
+      | '!', Some '=' -> two Token.NE
+      | '&', Some '&' -> two Token.AMPAMP
+      | '|', Some '|' -> two Token.BARBAR
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '=', _ -> one Token.ASSIGN
+      | '!', _ -> one Token.BANG
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | '.', _ -> one Token.DOT
+      | ':', _ -> one Token.COLON
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit Token.EOF;
+  List.rev !toks

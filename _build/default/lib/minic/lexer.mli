@@ -1,0 +1,13 @@
+(** Hand-written lexer for the mini-C dialect.
+
+    [#pragma] lines become single {!Token.PRAGMA} tokens carrying the rest of
+    the line.  [#define] lines must be stripped beforehand by {!Preproc};
+    encountering one here is an error.  Both [//] and [/* ... */] comments
+    are skipped. *)
+
+exception Error of string * int  (** message, line number *)
+
+val tokenize : string -> Token.located list
+(** Tokenize a whole source string.  The result always ends with
+    {!Token.EOF}.  @raise Error on an unrecognized character or an
+    unterminated comment. *)

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the mini-C dialect.
+
+    The entry point {!parse_program} runs the preprocessor, lexes, and builds
+    an {!Ast.program}.  Macro identifiers are folded to integer literals at
+    parse time, and array dimensions must be constant expressions.  An
+    OpenMP [#pragma] is only legal immediately before a [for] statement. *)
+
+exception Error of string * int  (** message, line *)
+
+val parse_program : string -> Ast.program
+(** Parse a full translation unit from source text. *)
+
+val parse_pragma : Preproc.macros -> string -> int -> Ast.pragma
+(** [parse_pragma macros text line] parses the text after [#pragma]; only
+    [omp parallel for] pragmas (with [private], [shared], [reduction],
+    [schedule(static[,chunk])] and [num_threads] clauses) are accepted. *)
+
+val parse_expr_string : Preproc.macros -> string -> Ast.expr
+(** Parse a standalone expression (used by tests and by tools). *)

@@ -1,0 +1,118 @@
+type macros = (string * int) list
+
+exception Error of string * int
+
+let lookup macros name = List.assoc_opt name macros
+
+(* Constant-expression evaluation over a token list: a classic precedence
+   cascade (add < mul < unary < atom).  Used both for macro bodies and for
+   array-dimension expressions. *)
+let eval_tokens macros toks line =
+  let toks = ref (List.map (fun { Token.tok; _ } -> tok) toks) in
+  let peek () = match !toks with [] -> Token.EOF | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let fail msg = raise (Error (msg, line)) in
+  let rec atom () =
+    match peek () with
+    | Token.INT_LIT n -> advance (); n
+    | Token.IDENT s -> (
+        advance ();
+        match lookup macros s with
+        | Some v -> v
+        | None -> fail (Printf.sprintf "undefined macro %S in constant" s))
+    | Token.LPAREN ->
+        advance ();
+        let v = add_level () in
+        (match peek () with
+        | Token.RPAREN -> advance ()
+        | _ -> fail "expected ')' in constant expression");
+        v
+    | Token.MINUS -> advance (); -atom ()
+    | Token.PLUS -> advance (); atom ()
+    | t -> fail ("unexpected token in constant expression: " ^ Token.to_string t)
+  and mul_level () =
+    let rec go acc =
+      match peek () with
+      | Token.STAR -> advance (); go (acc * atom ())
+      | Token.SLASH ->
+          advance ();
+          let d = atom () in
+          if d = 0 then fail "division by zero in constant expression";
+          go (acc / d)
+      | Token.PERCENT ->
+          advance ();
+          let d = atom () in
+          if d = 0 then fail "modulo by zero in constant expression";
+          go (acc mod d)
+      | _ -> acc
+    in
+    go (atom ())
+  and add_level () =
+    let rec go acc =
+      match peek () with
+      | Token.PLUS -> advance (); go (acc + mul_level ())
+      | Token.MINUS -> advance (); go (acc - mul_level ())
+      | _ -> acc
+    in
+    go (mul_level ())
+  in
+  let v = add_level () in
+  (match peek () with
+  | Token.EOF -> ()
+  | t -> fail ("trailing token in constant expression: " ^ Token.to_string t));
+  v
+
+let eval_const_expr macros src =
+  eval_tokens macros (Lexer.tokenize src) 0
+
+let split_lines s =
+  String.split_on_char '\n' s
+
+let is_define line =
+  let t = String.trim line in
+  String.length t > 7 && String.sub t 0 7 = "#define"
+
+let parse_define macros line lineno =
+  let t = String.trim line in
+  let rest = String.trim (String.sub t 7 (String.length t - 7)) in
+  (* name is the leading identifier; everything after is the body *)
+  let len = String.length rest in
+  let rec name_end i =
+    if i < len
+       && ((rest.[i] >= 'a' && rest.[i] <= 'z')
+           || (rest.[i] >= 'A' && rest.[i] <= 'Z')
+           || (rest.[i] >= '0' && rest.[i] <= '9')
+           || rest.[i] = '_')
+    then name_end (i + 1)
+    else i
+  in
+  let e = name_end 0 in
+  if e = 0 then raise (Error ("#define without a name", lineno));
+  let name = String.sub rest 0 e in
+  if e < len && rest.[e] = '(' then
+    raise (Error ("function-like macros are not supported", lineno));
+  let body = String.trim (String.sub rest e (len - e)) in
+  if body = "" then raise (Error ("#define without a value", lineno));
+  let value =
+    try eval_tokens macros (Lexer.tokenize body) lineno
+    with Lexer.Error (m, _) -> raise (Error (m, lineno))
+  in
+  (name, value)
+
+let run src =
+  let lines = split_lines src in
+  let macros = ref [] in
+  let out =
+    List.mapi
+      (fun idx line ->
+        if is_define line then begin
+          let name, value = parse_define !macros line (idx + 1) in
+          macros := (name, value) :: !macros;
+          ""
+        end
+        else line)
+      lines
+  in
+  (* keep definition order: first definition first, with later shadowing
+     handled by List.assoc_opt scanning from the most recent *)
+  (!macros, String.concat "\n" out)

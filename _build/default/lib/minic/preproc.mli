@@ -1,0 +1,23 @@
+(** Tiny preprocessor: collects object-like [#define NAME expr] macros.
+
+    Only integer-valued constant macros are supported — enough for the
+    problem-size constants ([N], [M], chunk sizes) that the paper's kernels
+    use.  The right-hand side may reference earlier macros and use
+    [+ - * / % ( )].  Define lines are blanked out (line numbers preserved);
+    everything else, including [#pragma] lines, passes through untouched. *)
+
+type macros = (string * int) list
+(** Macro table in definition order; later definitions shadow earlier ones
+    when looked up with {!lookup}. *)
+
+exception Error of string * int
+
+val run : string -> macros * string
+(** [run src] returns the macro table and the source with [#define] lines
+    blanked. *)
+
+val lookup : macros -> string -> int option
+
+val eval_const_expr : macros -> string -> int
+(** Evaluate a constant integer expression (used for array dimensions and
+    pragma chunk sizes).  @raise Error on non-constant input. *)

@@ -1,0 +1,148 @@
+open Format
+
+(* Render the declarator part of a (possibly array) type around a name:
+   [int a[2][3]] rather than OCaml-style nesting. *)
+let rec base_type = function
+  | Ast.Tarray (t, _) -> base_type t
+  | t -> t
+
+let rec array_dims = function
+  | Ast.Tarray (t, n) -> n :: array_dims t
+  | _ -> []
+
+let pp_base ppf = function
+  | Ast.Tvoid -> pp_print_string ppf "void"
+  | Ast.Tchar -> pp_print_string ppf "char"
+  | Ast.Tint -> pp_print_string ppf "int"
+  | Ast.Tlong -> pp_print_string ppf "long"
+  | Ast.Tfloat -> pp_print_string ppf "float"
+  | Ast.Tdouble -> pp_print_string ppf "double"
+  | Ast.Tstruct s -> fprintf ppf "struct %s" s
+  | Ast.Tarray _ -> assert false
+
+let pp_ctype ppf t =
+  pp_base ppf (base_type t);
+  List.iter (fun d -> fprintf ppf "[%d]" d) (array_dims t)
+
+let pp_declarator ppf (t, name) =
+  fprintf ppf "%a %s" pp_base (base_type t) name;
+  List.iter (fun d -> fprintf ppf "[%d]" d) (array_dims t)
+
+(* Precedence levels for minimal parenthesisation *)
+let prec_of_binop = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Ne -> 3
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+
+let rec pp_expr_prec prec ppf = function
+  | Ast.Int_lit n -> pp_print_int ppf n
+  | Ast.Float_lit f ->
+      if Float.is_integer f && Float.abs f < 1e15 then fprintf ppf "%.1f" f
+      else fprintf ppf "%g" f
+  | Ast.Ident v -> pp_print_string ppf v
+  | Ast.Unop (Ast.Neg, (Ast.Unop (Ast.Neg, _) as e)) ->
+      (* avoid "--x", which would lex as the decrement operator *)
+      fprintf ppf "-(%a)" (pp_expr_prec 0) e
+  | Ast.Unop (Ast.Neg, e) -> fprintf ppf "-%a" (pp_expr_prec 7) e
+  | Ast.Unop (Ast.Not, e) -> fprintf ppf "!%a" (pp_expr_prec 7) e
+  | Ast.Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      let body ppf () =
+        fprintf ppf "%a %s %a" (pp_expr_prec p) a (Ast.binop_name op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if p < prec then fprintf ppf "(%a)" body () else body ppf ()
+  | Ast.Index (e, i) ->
+      fprintf ppf "%a[%a]" (pp_expr_prec 8) e (pp_expr_prec 0) i
+  | Ast.Field (e, f) -> fprintf ppf "%a.%s" (pp_expr_prec 8) e f
+  | Ast.Call (f, args) ->
+      fprintf ppf "%s(%a)" f
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           (pp_expr_prec 0))
+        args
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_pragma ppf (p : Ast.pragma) =
+  fprintf ppf "#pragma omp parallel for";
+  (match p.Ast.private_vars with
+  | [] -> ()
+  | vs -> fprintf ppf " private(%s)" (String.concat "," vs));
+  (match p.Ast.shared_vars with
+  | [] -> ()
+  | vs -> fprintf ppf " shared(%s)" (String.concat "," vs));
+  List.iter
+    (fun (op, vs) ->
+      fprintf ppf " reduction(%s:%s)" (Ast.binop_name op) (String.concat "," vs))
+    p.Ast.reduction;
+  (match p.Ast.schedule with
+  | Some (Ast.Sched_static None) -> fprintf ppf " schedule(static)"
+  | Some (Ast.Sched_static (Some c)) -> fprintf ppf " schedule(static,%d)" c
+  | Some (Ast.Sched_dynamic None) -> fprintf ppf " schedule(dynamic)"
+  | Some (Ast.Sched_dynamic (Some c)) -> fprintf ppf " schedule(dynamic,%d)" c
+  | Some (Ast.Sched_guided None) -> fprintf ppf " schedule(guided)"
+  | Some (Ast.Sched_guided (Some c)) -> fprintf ppf " schedule(guided,%d)" c
+  | None -> ());
+  match p.Ast.num_threads with
+  | Some n -> fprintf ppf " num_threads(%d)" n
+  | None -> ()
+
+let rec pp_stmt ppf = function
+  | Ast.Sexpr e -> fprintf ppf "%a;" pp_expr e
+  | Ast.Sassign (l, op, r) ->
+      fprintf ppf "%a %s %a;" pp_expr l (Ast.assign_op_name op) pp_expr r
+  | Ast.Sdecl (t, name, init) -> (
+      match init with
+      | None -> fprintf ppf "%a;" pp_declarator (t, name)
+      | Some e -> fprintf ppf "%a = %a;" pp_declarator (t, name) pp_expr e)
+  | Ast.Sblock stmts ->
+      fprintf ppf "{@;<0 2>@[<v>%a@]@,}"
+        (pp_print_list ~pp_sep:pp_print_cut pp_stmt)
+        stmts
+  | Ast.Sif (c, t, e) -> (
+      fprintf ppf "if (%a) %a" pp_expr c pp_stmt t;
+      match e with
+      | Some s -> fprintf ppf " else %a" pp_stmt s
+      | None -> ())
+  | Ast.Sfor loop ->
+      (match loop.Ast.pragma with
+      | Some p -> fprintf ppf "%a@," pp_pragma p
+      | None -> ());
+      fprintf ppf "for (%s = %a; %a; %s += %a) %a" loop.Ast.init_var pp_expr
+        loop.Ast.init_expr pp_expr loop.Ast.cond loop.Ast.step.Ast.step_var
+        pp_expr loop.Ast.step.Ast.step_by pp_stmt loop.Ast.body
+  | Ast.Swhile (c, body) ->
+      fprintf ppf "while (%a) %a" pp_expr c pp_stmt body
+  | Ast.Sbreak -> pp_print_string ppf "break;"
+  | Ast.Scontinue -> pp_print_string ppf "continue;"
+  | Ast.Sreturn None -> pp_print_string ppf "return;"
+  | Ast.Sreturn (Some e) -> fprintf ppf "return %a;" pp_expr e
+
+let pp_global ppf = function
+  | Ast.Gstruct_def (name, fields) ->
+      fprintf ppf "@[<v>struct %s {@;<0 2>@[<v>%a@]@,};@]" name
+        (pp_print_list ~pp_sep:pp_print_cut (fun ppf (t, f) ->
+             fprintf ppf "%a;" pp_declarator (t, f)))
+        fields
+  | Ast.Gvar (t, name) -> fprintf ppf "%a;" pp_declarator (t, name)
+  | Ast.Gfunc f ->
+      fprintf ppf "@[<v>%a %s(%a) {@;<0 2>@[<v>%a@]@,}@]" pp_base
+        (base_type f.Ast.ret) f.Ast.fname
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+           pp_declarator)
+        (List.map (fun (t, n) -> (t, n)) f.Ast.params)
+        (pp_print_list ~pp_sep:pp_print_cut pp_stmt)
+        f.Ast.body
+
+let pp_program ppf (p : Ast.program) =
+  fprintf ppf "@[<v>%a@]"
+    (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "@,@,") pp_global)
+    p.Ast.globals
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let program_to_string p = Format.asprintf "%a@." pp_program p

@@ -1,0 +1,11 @@
+(** Pretty-printer: renders the AST back to C-like text (used in reports and
+    round-trip tests). *)
+
+val pp_ctype : Format.formatter -> Ast.ctype -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_pragma : Format.formatter -> Ast.pragma -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

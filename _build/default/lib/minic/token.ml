@@ -1,0 +1,105 @@
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_LONG
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_CHAR
+  | KW_VOID
+  | KW_STRUCT
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_WHILE
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | COLON
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | PLUSPLUS
+  | MINUSMINUS
+  | PRAGMA of string
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_LONG -> "long"
+  | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double"
+  | KW_CHAR -> "char"
+  | KW_VOID -> "void"
+  | KW_STRUCT -> "struct"
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_RETURN -> "return"
+  | KW_WHILE -> "while"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | BANG -> "!"
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | PRAGMA s -> "#pragma " ^ s
+  | EOF -> "<eof>"
+
+type located = { tok : t; line : int }

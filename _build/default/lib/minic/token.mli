@@ -1,0 +1,63 @@
+(** Tokens of the mini-C dialect.
+
+    The dialect covers what the paper's analysis consumes: scalar and struct
+    types, multi-dimensional global arrays, [for]-loop nests, compound
+    assignments, arithmetic/relational expressions, calls to a few math
+    builtins, and [#pragma omp parallel for] annotations (kept as raw text
+    tokens, parsed by {!Pragma}). *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_LONG
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_CHAR
+  | KW_VOID
+  | KW_STRUCT
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_WHILE
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | COLON
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | AMPAMP
+  | BARBAR
+  | BANG
+  | PLUSPLUS
+  | MINUSMINUS
+  | PRAGMA of string  (** raw text after [#pragma], one full line *)
+  | EOF
+
+val to_string : t -> string
+
+type located = { tok : t; line : int }

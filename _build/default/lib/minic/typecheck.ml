@@ -1,0 +1,227 @@
+exception Type_error of string
+
+type checked = {
+  prog : Ast.program;
+  structs : Ctypes.struct_env;
+  global_types : (string * Ast.ctype) list;
+}
+
+let builtins =
+  [
+    ("sin", 1); ("cos", 1); ("tan", 1); ("sqrt", 1); ("fabs", 1); ("exp", 1);
+    ("log", 1); ("pow", 2); ("fmin", 2); ("fmax", 2);
+  ]
+
+let implicit_params = [ ("num_threads", Ast.Tint) ]
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let numeric = function
+  | Ast.Tchar | Ast.Tint | Ast.Tlong | Ast.Tfloat | Ast.Tdouble -> true
+  | Ast.Tvoid | Ast.Tstruct _ | Ast.Tarray _ -> false
+
+let integral = function
+  | Ast.Tchar | Ast.Tint | Ast.Tlong -> true
+  | Ast.Tvoid | Ast.Tfloat | Ast.Tdouble | Ast.Tstruct _ | Ast.Tarray _ ->
+      false
+
+(* usual arithmetic conversions, restricted to our scalar set *)
+let promote a b =
+  let rank = function
+    | Ast.Tdouble -> 5
+    | Ast.Tfloat -> 4
+    | Ast.Tlong -> 3
+    | Ast.Tint -> 2
+    | Ast.Tchar -> 1
+    | Ast.Tvoid | Ast.Tstruct _ | Ast.Tarray _ -> 0
+  in
+  if rank a >= rank b then a else b
+
+let rec type_of_expr structs lookup expr =
+  match expr with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Float_lit _ -> Ast.Tdouble
+  | Ast.Ident v -> (
+      match lookup v with
+      | Some t -> t
+      | None -> err "undeclared identifier %S" v)
+  | Ast.Unop (Ast.Neg, e) ->
+      let t = type_of_expr structs lookup e in
+      if numeric t then t else err "unary - applied to non-numeric value"
+  | Ast.Unop (Ast.Not, e) ->
+      let t = type_of_expr structs lookup e in
+      if numeric t then Ast.Tint else err "! applied to non-numeric value"
+  | Ast.Binop (op, a, b) -> (
+      let ta = type_of_expr structs lookup a in
+      let tb = type_of_expr structs lookup b in
+      if not (numeric ta && numeric tb) then
+        err "operator %s applied to non-numeric operands" (Ast.binop_name op);
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> promote ta tb
+      | Ast.Mod ->
+          if integral ta && integral tb then promote ta tb
+          else err "%% requires integer operands"
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And | Ast.Or
+        ->
+          Ast.Tint)
+  | Ast.Index (e, idx) -> (
+      let te = type_of_expr structs lookup e in
+      let ti = type_of_expr structs lookup idx in
+      if not (integral ti) then err "array subscript is not an integer";
+      match te with
+      | Ast.Tarray (t, _) -> t
+      | _ -> err "subscripted value is not an array")
+  | Ast.Field (e, f) -> (
+      let te = type_of_expr structs lookup e in
+      match te with
+      | Ast.Tstruct s -> (
+          try Ctypes.field_type structs s f
+          with
+          | Ctypes.Unknown_field (s, f) -> err "struct %s has no field %s" s f
+          | Ctypes.Unknown_struct s -> err "unknown struct %s" s)
+      | _ -> err "field access .%s on a non-struct value" f)
+  | Ast.Call (name, args) -> (
+      match List.assoc_opt name builtins with
+      | None -> err "call to unknown function %S (only math builtins)" name
+      | Some arity ->
+          if List.length args <> arity then
+            err "%s expects %d argument(s), got %d" name arity
+              (List.length args);
+          List.iter
+            (fun a ->
+              let t = type_of_expr structs lookup a in
+              if not (numeric t) then err "%s argument is not numeric" name)
+            args;
+          Ast.Tdouble)
+
+let rec is_lvalue = function
+  | Ast.Ident _ -> true
+  | Ast.Index (e, _) | Ast.Field (e, _) -> is_lvalue e
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Binop _ | Ast.Unop _ | Ast.Call _ ->
+      false
+
+let rec check_type_resolves structs = function
+  | Ast.Tstruct s ->
+      if List.assoc_opt s structs = None then err "unknown struct %s" s
+  | Ast.Tarray (t, n) ->
+      if n <= 0 then err "array dimension must be positive";
+      check_type_resolves structs t
+  | Ast.Tvoid | Ast.Tchar | Ast.Tint | Ast.Tlong | Ast.Tfloat | Ast.Tdouble ->
+      ()
+
+(* scope is an association list, innermost first *)
+let rec check_stmt structs scope stmt =
+  let lookup scope v = List.assoc_opt v scope in
+  let typeof scope e = type_of_expr structs (lookup scope) e in
+  match stmt with
+  | Ast.Sexpr e ->
+      ignore (typeof scope e);
+      scope
+  | Ast.Sassign (lhs, _op, rhs) ->
+      if not (is_lvalue lhs) then err "assignment target is not an lvalue";
+      let tl = typeof scope lhs in
+      let tr = typeof scope rhs in
+      if not (numeric tl) then err "assignment target is not scalar";
+      if not (numeric tr) then err "assigned value is not scalar";
+      scope
+  | Ast.Sdecl (ty, name, init) ->
+      check_type_resolves structs ty;
+      (match init with
+      | None -> ()
+      | Some e ->
+          let t = typeof scope e in
+          if not (numeric t && numeric ty) then
+            err "initializer of %s is not scalar" name);
+      (name, ty) :: scope
+  | Ast.Sblock stmts ->
+      ignore (List.fold_left (check_stmt structs) scope stmts);
+      scope
+  | Ast.Sif (cond, then_, else_) ->
+      let tc = typeof scope cond in
+      if not (numeric tc) then err "if condition is not numeric";
+      ignore (check_stmt structs scope then_);
+      (match else_ with
+      | Some s -> ignore (check_stmt structs scope s)
+      | None -> ());
+      scope
+  | Ast.Sfor loop ->
+      let scope' =
+        match List.assoc_opt loop.Ast.init_var scope with
+        | Some t ->
+            if not (integral t) then
+              err "loop variable %s is not integral" loop.Ast.init_var;
+            scope
+        | None -> (loop.Ast.init_var, Ast.Tint) :: scope
+      in
+      ignore (typeof scope' loop.Ast.init_expr);
+      let tc = typeof scope' loop.Ast.cond in
+      if not (numeric tc) then err "loop condition is not numeric";
+      if loop.Ast.step.Ast.step_var <> loop.Ast.init_var then
+        err "loop step variable %s differs from induction variable %s"
+          loop.Ast.step.Ast.step_var loop.Ast.init_var;
+      ignore (typeof scope' loop.Ast.step.Ast.step_by);
+      ignore (check_stmt structs scope' loop.Ast.body);
+      scope
+  | Ast.Swhile (cond, body) ->
+      let tc = typeof scope cond in
+      if not (numeric tc) then err "while condition is not numeric";
+      ignore (check_stmt structs scope body);
+      scope
+  | Ast.Sbreak | Ast.Scontinue -> scope
+  | Ast.Sreturn None -> scope
+  | Ast.Sreturn (Some e) ->
+      ignore (typeof scope e);
+      scope
+
+let check_func structs global_types (f : Ast.func) =
+  List.iter (fun (t, _) -> check_type_resolves structs t) f.Ast.params;
+  let scope =
+    List.map (fun (t, n) -> (n, t)) f.Ast.params
+    @ global_types @ implicit_params
+  in
+  ignore (List.fold_left (check_stmt structs) scope f.Ast.body)
+
+let check_program prog =
+  let structs = Ctypes.struct_env_of_program prog in
+  (* struct field types must resolve (and not be recursive by construction:
+     a struct can only reference structs defined before it) *)
+  let rec check_structs seen = function
+    | [] -> ()
+    | (name, fields) :: rest ->
+        if List.mem_assoc name seen then err "duplicate struct %s" name;
+        List.iter (fun (t, _) -> check_type_resolves seen t) fields;
+        check_structs ((name, fields) :: seen) rest
+  in
+  check_structs [] structs;
+  let global_types = Ast.global_vars prog in
+  let rec check_dup = function
+    | [] -> ()
+    | (n, _) :: rest ->
+        if List.mem_assoc n rest then err "duplicate global %s" n;
+        check_dup rest
+  in
+  check_dup global_types;
+  List.iter (fun (_, t) -> check_type_resolves structs t) global_types;
+  List.iter (check_func structs global_types) (Ast.funcs prog);
+  { prog; structs; global_types }
+
+let locals_of_func checked (f : Ast.func) =
+  let acc = ref (List.map (fun (t, n) -> (n, t)) f.Ast.params) in
+  let add name ty = if not (List.mem_assoc name !acc) then acc := (name, ty) :: !acc in
+  let rec go = function
+    | Ast.Sdecl (ty, name, _) -> add name ty
+    | Ast.Sblock ss -> List.iter go ss
+    | Ast.Sif (_, t, e) -> (
+        go t;
+        match e with Some s -> go s | None -> ())
+    | Ast.Sfor loop ->
+        if not (List.mem_assoc loop.Ast.init_var checked.global_types) then
+          add loop.Ast.init_var Ast.Tint;
+        go loop.Ast.body
+    | Ast.Swhile (_, body) -> go body
+    | Ast.Sexpr _ | Ast.Sassign _ | Ast.Sbreak | Ast.Scontinue
+    | Ast.Sreturn _ ->
+        ()
+  in
+  List.iter go f.Ast.body;
+  List.rev !acc

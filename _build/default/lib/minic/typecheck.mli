@@ -1,0 +1,37 @@
+(** Static checks and expression typing for mini-C programs. *)
+
+exception Type_error of string
+
+type checked = {
+  prog : Ast.program;
+  structs : Ctypes.struct_env;
+  global_types : (string * Ast.ctype) list;
+}
+
+val check_program : Ast.program -> checked
+(** Validates the whole program: struct references resolve, every identifier
+    is in scope, indexing is applied to arrays, field access to structs,
+    assignment targets are scalar lvalues, conditions and operands are
+    numeric, and math builtins are called with the right arity.
+    @raise Type_error otherwise. *)
+
+val builtins : (string * int) list
+(** Supported math builtins with their arity: sin, cos, tan, sqrt, fabs,
+    exp, log, pow, fmin, fmax. *)
+
+val implicit_params : (string * Ast.ctype) list
+(** Identifiers that are always in scope without a declaration —
+    [num_threads : int], the OpenMP team size the compile-time model is
+    given (paper §III: "the compiler needs information about the number of
+    threads executing the loop").  They are analysis parameters, not
+    memory-resident globals. *)
+
+val type_of_expr :
+  Ctypes.struct_env -> (string -> Ast.ctype option) -> Ast.expr -> Ast.ctype
+(** [type_of_expr structs lookup e] types [e] with [lookup] resolving
+    variables.  @raise Type_error on ill-typed expressions. *)
+
+val locals_of_func : checked -> Ast.func -> (string * Ast.ctype) list
+(** All local declarations of a function (params, [Sdecl]s anywhere in the
+    body, and loop induction variables, which default to [int]).  Used by
+    the lowering pass and the interpreter to build scopes. *)

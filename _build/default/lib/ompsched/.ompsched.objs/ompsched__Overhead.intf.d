@@ -1,0 +1,1 @@
+lib/ompsched/overhead.mli:

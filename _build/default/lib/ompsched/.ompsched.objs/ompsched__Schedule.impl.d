@@ -1,0 +1,1 @@
+lib/ompsched/schedule.ml: Format List

@@ -1,0 +1,1 @@
+lib/ompsched/schedule.mli: Format

@@ -1,0 +1,1 @@
+lib/ompsched/team.ml: Archspec Format Printf

@@ -1,0 +1,1 @@
+lib/ompsched/team.mli: Archspec Format

@@ -1,0 +1,20 @@
+type t = {
+  fork_join_base : int;
+  fork_join_per_thread : int;
+  per_chunk : int;
+  loop_per_iter : int;
+}
+
+let default =
+  {
+    fork_join_base = 12_000;
+    fork_join_per_thread = 900;
+    per_chunk = 10;
+    loop_per_iter = 2;
+  }
+
+let parallel_overhead_cycles t ~threads ~chunks_per_thread =
+  t.fork_join_base + (t.fork_join_per_thread * threads)
+  + (t.per_chunk * chunks_per_thread)
+
+let loop_overhead_cycles t ~iters = t.loop_per_iter * iters

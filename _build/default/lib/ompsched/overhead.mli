@@ -1,0 +1,22 @@
+(** OpenMP runtime overheads in cycles — the [Parallel_Overhead_c] and
+    [Loop_Overhead_c] inputs of the paper's Eq. 1 (§II-B3).
+
+    Values follow the magnitudes reported for OpenMP runtimes of the
+    paper's era (EPCC-style microbenchmarks): region fork/join costs tens
+    of thousands of cycles and grows with the team, static scheduling
+    costs a few cycles per dispatched chunk. *)
+
+type t = {
+  fork_join_base : int;  (** cycles to enter+exit a parallel region *)
+  fork_join_per_thread : int;  (** additional cycles per team member *)
+  per_chunk : int;  (** static-schedule dispatch cost per chunk *)
+  loop_per_iter : int;  (** induction increment + bound check, per iteration *)
+}
+
+val default : t
+
+val parallel_overhead_cycles : t -> threads:int -> chunks_per_thread:int -> int
+(** Per-thread share of the parallel overhead for one parallel region. *)
+
+val loop_overhead_cycles : t -> iters:int -> int
+(** Loop bookkeeping cycles for [iters] iterations executed by one thread. *)

@@ -1,0 +1,14 @@
+type t = { threads : int; arch : Archspec.Arch.t }
+
+let make ?(arch = Archspec.Arch.paper_machine) ~threads () =
+  if threads < 1 || threads > arch.Archspec.Arch.cores then
+    invalid_arg
+      (Printf.sprintf "Team.make: threads=%d not in 1..%d" threads
+         arch.Archspec.Arch.cores);
+  { threads; arch }
+
+let socket_of t tid = tid / t.arch.Archspec.Arch.cores_per_socket
+let share_socket t a b = socket_of t a = socket_of t b
+
+let pp ppf t =
+  Format.fprintf ppf "%d threads on %s" t.threads t.arch.Archspec.Arch.name

@@ -1,0 +1,14 @@
+(** A team of OpenMP threads pinned one-per-core in order (thread [i] on
+    core [i]), as in the paper's experiments. *)
+
+type t = { threads : int; arch : Archspec.Arch.t }
+
+val make : ?arch:Archspec.Arch.t -> threads:int -> unit -> t
+(** Default architecture is {!Archspec.Arch.paper_machine}.
+    @raise Invalid_argument if [threads] is not within [1 .. arch.cores]. *)
+
+val socket_of : t -> int -> int
+(** Socket hosting a thread's core. *)
+
+val share_socket : t -> int -> int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Archspec Cachesim Coherence Format Fun List Lru_stack Private_cache QCheck2 QCheck_alcotest Set_assoc Stats String

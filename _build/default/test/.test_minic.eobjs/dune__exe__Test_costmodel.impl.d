@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Archspec Cache_model Cachesim Contention Costmodel Kernels List Loopir Minic Op_count Option Processor_model Tlb_model Total_cost

@@ -1,0 +1,1 @@
+test/test_execsim.ml: Alcotest Array Cachesim Execsim Float Format Fsmodel Interp Kernels List Loopir Mem Minic Printf Run Value

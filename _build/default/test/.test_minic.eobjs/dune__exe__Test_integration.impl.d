@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Archspec Array Buffer Cachesim Execsim Fsmodel Fun Hashtbl Kernels List Loopir Minic Ompsched Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Execsim Fsmodel Kernels List Loopir Minic Option Printf

@@ -1,0 +1,1 @@
+test/test_loopir.ml: Affine Alcotest Array_ref Expr_eval Kernels Layout List Loop_nest Loopir Lower Minic QCheck2 QCheck_alcotest Ref_group

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Ctypes Lexer List Minic Option Parser Preproc Pretty Printf QCheck2 QCheck_alcotest String Token Typecheck

@@ -1,0 +1,1 @@
+test/test_ompsched.ml: Alcotest List Ompsched Option Overhead QCheck2 QCheck_alcotest Schedule Team

@@ -1,0 +1,81 @@
+(* Tests for the runtime trace-based detector and the model-vs-runtime
+   comparison harness. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let saxpy = Kernels.Saxpy.kernel ~n:512 ()
+
+let test_detector_finds_fs () =
+  let r = Baseline.Trace_detector.detect ~threads:4 ~chunk:1 saxpy in
+  check Alcotest.bool "fs misses found" true (r.Baseline.Trace_detector.fs_misses > 0);
+  check Alcotest.int "traced everything (3 per iteration)" (3 * 512)
+    r.Baseline.Trace_detector.accesses_traced
+
+let test_detector_clean_with_good_chunk () =
+  let r = Baseline.Trace_detector.detect ~threads:4 ~chunk:8 saxpy in
+  check Alcotest.int "no fs misses" 0 r.Baseline.Trace_detector.fs_misses
+
+let test_spearman () =
+  check (Alcotest.float 1e-9) "identity" 1.
+    (Baseline.Compare.spearman [ 1.; 2.; 3. ] [ 10.; 20.; 30. ]);
+  check (Alcotest.float 1e-9) "reversed" (-1.)
+    (Baseline.Compare.spearman [ 1.; 2.; 3. ] [ 30.; 20.; 10. ]);
+  check (Alcotest.float 1e-9) "short lists" 1.
+    (Baseline.Compare.spearman [ 1. ] [ 5. ]);
+  (* constant series: zero variance -> defined as full agreement *)
+  check (Alcotest.float 1e-9) "constant" 1.
+    (Baseline.Compare.spearman [ 1.; 1.; 1. ] [ 3.; 2.; 1. ])
+
+let test_spearman_with_ties () =
+  let r = Baseline.Compare.spearman [ 1.; 1.; 2.; 3. ] [ 5.; 5.; 7.; 9. ] in
+  check Alcotest.bool "ties handled, strong agreement" true (r > 0.9)
+
+let test_compare_ranks_agree () =
+  let c =
+    Baseline.Compare.run ~chunks:[ 1; 2; 4; 8 ] ~threads:4 saxpy
+  in
+  check Alcotest.bool "rank agreement high" true
+    (c.Baseline.Compare.rank_agreement >= 0.79);
+  (* chunk 1 must dominate chunk 8 in both methods *)
+  let row chunk =
+    List.find (fun r -> r.Baseline.Compare.chunk = chunk)
+      c.Baseline.Compare.rows
+  in
+  let r1 = row 1 and r8 = row 8 in
+  check Alcotest.bool "model: chunk1 worse" true
+    (r1.Baseline.Compare.model_fs_cases > r8.Baseline.Compare.model_fs_cases);
+  check Alcotest.bool "runtime: chunk1 worse" true
+    (r1.Baseline.Compare.runtime_fs_misses
+    >= r8.Baseline.Compare.runtime_fs_misses);
+  (* the predictor is cheaper than the full model, which needs no trace *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool "predictor cheaper or equal" true
+        (r.Baseline.Compare.predictor_iterations
+        <= r.Baseline.Compare.model_iterations))
+    c.Baseline.Compare.rows
+
+let test_compare_kernel_name () =
+  let c = Baseline.Compare.run ~chunks:[ 1; 8 ] ~threads:2 saxpy in
+  check Alcotest.string "kernel" "saxpy" c.Baseline.Compare.kernel;
+  check Alcotest.int "rows" 2 (List.length c.Baseline.Compare.rows);
+  if c.Baseline.Compare.rows = [] then fail "rows empty"
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "trace_detector",
+        [
+          Alcotest.test_case "finds fs" `Quick test_detector_finds_fs;
+          Alcotest.test_case "clean chunk" `Quick
+            test_detector_clean_with_good_chunk;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "spearman" `Quick test_spearman;
+          Alcotest.test_case "spearman ties" `Quick test_spearman_with_ties;
+          Alcotest.test_case "ranks agree" `Quick test_compare_ranks_agree;
+          Alcotest.test_case "metadata" `Quick test_compare_kernel_name;
+        ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for the cache simulator: LRU stacks (against a reference model),
+   set-associative caches, private hierarchies, and the MESI-coherent
+   multicore with true/false-sharing classification. *)
+
+open Cachesim
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Lru_stack vs a reference implementation                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_lru = struct
+  type t = { mutable entries : (int * int) list; cap : int }
+
+  let create cap = { entries = []; cap }
+
+  let access t k v =
+    let removed = List.remove_assoc k t.entries in
+    t.entries <- (k, v) :: removed;
+    if List.length t.entries > t.cap then begin
+      let rec split acc = function
+        | [] -> assert false
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split (x :: acc) rest
+      in
+      let keep, evicted = split [] t.entries in
+      t.entries <- keep;
+      Some evicted
+    end
+    else None
+
+  let remove t k =
+    let r = List.assoc_opt k t.entries in
+    t.entries <- List.remove_assoc k t.entries;
+    r
+
+  let distance t k =
+    let rec go i = function
+      | [] -> None
+      | (k', _) :: rest -> if k' = k then Some i else go (i + 1) rest
+    in
+    go 0 t.entries
+
+  let to_alist t = t.entries
+end
+
+let test_cache_geom_validation () =
+  let v size line assoc =
+    Archspec.Cache_geom.v ~name:"t" ~size_bytes:size ~line_bytes:line
+      ~associativity:assoc ()
+  in
+  (match v 1024 48 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-power-of-two line");
+  (match v 1000 64 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "size not multiple of line*assoc");
+  (match v 1024 64 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero associativity");
+  let g = v 1024 64 2 in
+  check Alcotest.int "lines" 16 (Archspec.Cache_geom.lines g);
+  check Alcotest.int "sets" 8 (Archspec.Cache_geom.sets g);
+  check Alcotest.bool "not fully assoc" false
+    (Archspec.Cache_geom.fully_associative g);
+  check Alcotest.int "line of addr" 2
+    (Archspec.Cache_geom.line_of_addr g 130);
+  let fa = v 1024 64 16 in
+  check Alcotest.bool "fully assoc" true
+    (Archspec.Cache_geom.fully_associative fa)
+
+let test_arch_helpers () =
+  let a = Archspec.Arch.paper_machine in
+  check Alcotest.int "sockets" 4 (Archspec.Arch.sockets a);
+  check Alcotest.int "line" 64 (Archspec.Arch.line_bytes a);
+  check (Alcotest.float 1e-12) "cycles to seconds" 1e-9
+    (Archspec.Arch.cycles_to_seconds a 2.2);
+  check Alcotest.bool "pp smoke" true
+    (String.length (Format.asprintf "%a" Archspec.Arch.pp a) > 20)
+
+let test_lru_basic () =
+  let s = Lru_stack.create ~capacity:2 in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "no evict" None (Lru_stack.access s 1 "a");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "no evict 2" None (Lru_stack.access s 2 "b");
+  (* touch 1 so 2 becomes LRU *)
+  ignore (Lru_stack.access s 1 "a'");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "evicts 2" (Some (2, "b")) (Lru_stack.access s 3 "c");
+  check (Alcotest.option Alcotest.string) "payload updated" (Some "a'")
+    (Lru_stack.find s 1);
+  check (Alcotest.option Alcotest.int) "distance of MRU" (Some 0)
+    (Lru_stack.distance s 3);
+  check (Alcotest.option Alcotest.int) "distance of 1" (Some 1)
+    (Lru_stack.distance s 1)
+
+let test_lru_update_remove () =
+  let s = Lru_stack.create ~capacity:4 in
+  ignore (Lru_stack.access s 1 10);
+  ignore (Lru_stack.access s 2 20);
+  check Alcotest.bool "update hits" true (Lru_stack.update s 1 (fun v -> v + 1));
+  check (Alcotest.option Alcotest.int) "updated" (Some 11) (Lru_stack.find s 1);
+  (* update must not change recency: 1 is still LRU *)
+  check (Alcotest.option Alcotest.int) "recency unchanged" (Some 1)
+    (Lru_stack.distance s 1);
+  check Alcotest.bool "update miss" false (Lru_stack.update s 9 Fun.id);
+  check (Alcotest.option Alcotest.int) "remove" (Some 11) (Lru_stack.remove s 1);
+  check Alcotest.bool "gone" false (Lru_stack.mem s 1);
+  Lru_stack.clear s;
+  check Alcotest.int "cleared" 0 (Lru_stack.size s)
+
+type op = Access of int | Remove of int
+
+let op_gen =
+  QCheck2.Gen.(
+    map2
+      (fun b k -> if b then Access (abs k mod 12) else Remove (abs k mod 12))
+      bool small_int)
+
+let prop_lru_matches_reference =
+  QCheck2.Test.make ~name:"Lru_stack matches reference model" ~count:300
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 0 60) op_gen))
+    (fun (cap, ops) ->
+      let s = Lru_stack.create ~capacity:cap in
+      let r = Ref_lru.create cap in
+      List.for_all
+        (fun op ->
+          match op with
+          | Access k ->
+              let e1 = Lru_stack.access s k k in
+              let e2 = Ref_lru.access r k k in
+              e1 = e2
+              && Lru_stack.to_alist s = Ref_lru.to_alist r
+              && Lru_stack.distance s k = Ref_lru.distance r k
+          | Remove k ->
+              let r1 = Lru_stack.remove s k in
+              let r2 = Ref_lru.remove r k in
+              r1 = r2 && Lru_stack.to_alist s = Ref_lru.to_alist r)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Set_assoc                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_assoc () =
+  (* 2 sets, 2 ways: lines 0,2,4.. map to set 0 *)
+  let geom =
+    Archspec.Cache_geom.v ~name:"t" ~size_bytes:(4 * 64) ~line_bytes:64
+      ~associativity:2 ()
+  in
+  let c = Set_assoc.create geom in
+  check Alcotest.int "sets" 2 (Archspec.Cache_geom.sets geom);
+  (match Set_assoc.access c 0 with `Miss None -> () | _ -> fail "cold 0");
+  (match Set_assoc.access c 2 with `Miss None -> () | _ -> fail "cold 2");
+  (match Set_assoc.access c 0 with `Hit -> () | _ -> fail "hit 0");
+  (* third line in set 0 evicts LRU (=2) *)
+  (match Set_assoc.access c 4 with
+  | `Miss (Some 2) -> ()
+  | _ -> fail "conflict evicts 2");
+  (* set 1 unaffected *)
+  (match Set_assoc.access c 1 with `Miss None -> () | _ -> fail "set 1 cold");
+  check Alcotest.bool "invalidate" true (Set_assoc.invalidate c 0);
+  check Alcotest.bool "gone" false (Set_assoc.mem c 0)
+
+(* ------------------------------------------------------------------ *)
+(* Private_cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_l1 =
+  Archspec.Cache_geom.v ~name:"L1" ~size_bytes:(2 * 64) ~line_bytes:64
+    ~associativity:2 ()
+
+let tiny_l2 =
+  Archspec.Cache_geom.v ~name:"L2" ~size_bytes:(4 * 64) ~line_bytes:64
+    ~associativity:4 ()
+
+let test_private_cache_levels () =
+  let p = Private_cache.create ~l1:tiny_l1 ~l2:tiny_l2 in
+  (match Private_cache.access p 1 with
+  | Private_cache.Priv_miss, None -> ()
+  | _ -> fail "cold miss");
+  (match Private_cache.access p 1 with
+  | Private_cache.L1_hit, None -> ()
+  | _ -> fail "L1 hit");
+  ignore (Private_cache.access p 2);
+  ignore (Private_cache.access p 3);
+  (* line 1 fell out of 2-line L1 but stays in 4-line L2 *)
+  match Private_cache.access p 1 with
+  | Private_cache.L2_hit, None -> ()
+  | _ -> fail "L2 hit after L1 eviction"
+
+let test_private_cache_eviction_reported () =
+  let p = Private_cache.create ~l1:tiny_l1 ~l2:tiny_l2 in
+  List.iter (fun l -> ignore (Private_cache.access p l)) [ 1; 2; 3; 4 ];
+  match Private_cache.access p 5 with
+  | Private_cache.Priv_miss, Some 1 ->
+      check Alcotest.bool "1 fully gone" false (Private_cache.holds p 1)
+  | _ -> fail "L2 eviction of line 1 must be reported"
+
+let prop_private_inclusion =
+  QCheck2.Test.make ~name:"L1 content is included in L2" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 15))
+    (fun lines ->
+      let p = Private_cache.create ~l1:tiny_l1 ~l2:tiny_l2 in
+      List.iter (fun l -> ignore (Private_cache.access p l)) lines;
+      (* any line that hits in L1 must also be in the private hierarchy
+         (holds), and invalidation drops both levels *)
+      List.for_all
+        (fun l ->
+          match Private_cache.access p l with
+          | Private_cache.L1_hit, _ -> Private_cache.holds p l
+          | _ -> true)
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* Coherence                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arch = Archspec.Arch.paper_machine
+
+let test_word_mask () =
+  check Alcotest.int "first word" 0b1
+    (Coherence.word_mask ~line_bytes:64 ~addr:0 ~size:4);
+  check Alcotest.int "double spans 2 words" 0b1100
+    (Coherence.word_mask ~line_bytes:64 ~addr:(64 + 8) ~size:8);
+  check Alcotest.int "last word" (1 lsl 15)
+    (Coherence.word_mask ~line_bytes:64 ~addr:60 ~size:4)
+
+let test_coherence_cold_then_hit () =
+  let c = Coherence.create ~cores:2 arch in
+  let r = Coherence.read c ~core:0 ~addr:0 ~size:8 in
+  check Alcotest.bool "cold" true (r.Coherence.miss = Some Coherence.Cold);
+  let r2 = Coherence.read c ~core:0 ~addr:8 ~size:8 in
+  check Alcotest.bool "same line hits L1" true (r2.Coherence.miss = None);
+  check Alcotest.int "L1 latency" arch.Archspec.Arch.l1.Archspec.Cache_geom.hit_latency
+    r2.Coherence.latency
+
+let test_coherence_write_invalidates () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.read c ~core:0 ~addr:0 ~size:8);
+  ignore (Coherence.read c ~core:1 ~addr:0 ~size:8);
+  check (Alcotest.list Alcotest.int) "both hold" [ 0; 1 ]
+    (Coherence.holders_of_line c 0);
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  check (Alcotest.list Alcotest.int) "only writer" [ 0 ]
+    (Coherence.holders_of_line c 0);
+  check (Alcotest.option Alcotest.int) "dirty owner" (Some 0)
+    (Coherence.dirty_owner_of_line c 0);
+  let st1 = Coherence.stats_of_core c 1 in
+  check Alcotest.int "inval received" 1 st1.Stats.invalidations_received
+
+let test_false_vs_true_sharing () =
+  let c = Coherence.create ~cores:2 arch in
+  (* core1 caches the line, core0 writes word 0, core1 re-reads word 8:
+     untouched word => false sharing *)
+  ignore (Coherence.read c ~core:1 ~addr:8 ~size:8);
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  let r = Coherence.read c ~core:1 ~addr:8 ~size:8 in
+  check Alcotest.bool "false sharing" true
+    (r.Coherence.miss = Some Coherence.Coherence_false);
+  (* now core0 writes word 8 and core1 reads word 8: true sharing *)
+  ignore (Coherence.write c ~core:0 ~addr:8 ~size:8);
+  let r2 = Coherence.read c ~core:1 ~addr:8 ~size:8 in
+  check Alcotest.bool "true sharing" true
+    (r2.Coherence.miss = Some Coherence.Coherence_true);
+  let agg = Coherence.aggregate_stats c in
+  check Alcotest.int "one FS miss" 1 agg.Stats.coherence_false;
+  check Alcotest.int "one TS miss" 1 agg.Stats.coherence_true
+
+let test_c2c_transfer () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  let r = Coherence.read c ~core:1 ~addr:0 ~size:8 in
+  check Alcotest.bool "c2c source" true (r.Coherence.source = Coherence.C2C);
+  check Alcotest.int "c2c latency" arch.Archspec.Arch.coherence_latency
+    r.Coherence.latency;
+  (* the dirty copy was downgraded *)
+  check (Alcotest.option Alcotest.int) "no dirty owner" None
+    (Coherence.dirty_owner_of_line c 0)
+
+let test_upgrade_on_shared_write () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.read c ~core:0 ~addr:0 ~size:8);
+  ignore (Coherence.read c ~core:1 ~addr:0 ~size:8);
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  let st0 = Coherence.stats_of_core c 0 in
+  check Alcotest.int "upgrade counted" 1 st0.Stats.upgrades
+
+let test_silent_e_to_m () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.read c ~core:0 ~addr:0 ~size:8);
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  let st0 = Coherence.stats_of_core c 0 in
+  check Alcotest.int "no upgrade from E" 0 st0.Stats.upgrades;
+  check Alcotest.int "no invalidations" 0 st0.Stats.invalidations_sent
+
+let test_line_straddling_access () =
+  let c = Coherence.create ~cores:1 arch in
+  let r = Coherence.read c ~core:0 ~addr:60 ~size:8 in
+  (* touches lines 0 and 1: two cold fetches *)
+  check Alcotest.bool "latency of two fetches" true
+    (r.Coherence.latency >= 2 * arch.Archspec.Arch.mem_latency);
+  let st = Coherence.stats_of_core c 0 in
+  check Alcotest.int "two cold misses" 2 st.Stats.cold_misses
+
+let test_l3_shared_within_socket () =
+  let c = Coherence.create ~cores:2 arch in
+  (* core0 loads, evicts nothing; core1's miss on a clean line should hit
+     the shared L3 of the socket (cores 0 and 1 share a socket) *)
+  ignore (Coherence.read c ~core:0 ~addr:0 ~size:8);
+  let r = Coherence.read c ~core:1 ~addr:0 ~size:8 in
+  check Alcotest.bool "L3 hit" true (r.Coherence.source = Coherence.L3)
+
+(* qcheck: MESI invariant — at most one dirty owner, and the dirty owner
+   holds the line *)
+let prop_single_dirty_owner =
+  let acc_gen =
+    QCheck2.Gen.(
+      map3
+        (fun core addr write -> (abs core mod 3, abs addr mod 512 * 4, write))
+        small_int small_int bool)
+  in
+  QCheck2.Test.make ~name:"at most one dirty owner per line" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 120) acc_gen)
+    (fun ops ->
+      let c = Coherence.create ~cores:3 Archspec.Arch.small_test_machine in
+      List.iter
+        (fun (core, addr, write) ->
+          ignore (Coherence.access c ~core ~addr ~size:4 ~write))
+        ops;
+      List.for_all
+        (fun line ->
+          match Coherence.dirty_owner_of_line c line with
+          | None -> true
+          | Some o ->
+              let holders = Coherence.holders_of_line c line in
+              holders = [ o ])
+        (List.init 40 (fun l -> l)))
+
+let test_read_hit_keeps_dirty () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:8);
+  (* the owner's own read hit must not disturb the Modified state *)
+  ignore (Coherence.read c ~core:0 ~addr:8 ~size:8);
+  check (Alcotest.option Alcotest.int) "still dirty" (Some 0)
+    (Coherence.dirty_owner_of_line c 0)
+
+let test_writeback_on_eviction () =
+  let arch = Archspec.Arch.small_test_machine in
+  let c = Coherence.create ~cores:1 arch in
+  (* dirty a line, then push enough lines through the tiny private caches
+     to evict it *)
+  ignore (Coherence.write c ~core:0 ~addr:0 ~size:4);
+  let lines = Archspec.Cache_geom.lines arch.Archspec.Arch.l2 in
+  for l = 1 to lines + 2 do
+    ignore (Coherence.read c ~core:0 ~addr:(l * 64) ~size:4)
+  done;
+  let st = Coherence.stats_of_core c 0 in
+  check Alcotest.bool "writeback happened" true (st.Stats.writebacks >= 1);
+  check (Alcotest.option Alcotest.int) "no dirty owner" None
+    (Coherence.dirty_owner_of_line c 0);
+  (* refetch finds it clean in L3 (written back there) *)
+  let r = Coherence.read c ~core:0 ~addr:0 ~size:4 in
+  check Alcotest.bool "L3 after writeback" true
+    (r.Coherence.source = Coherence.L3);
+  check Alcotest.bool "classified capacity" true
+    (r.Coherence.miss = Some Coherence.Capacity)
+
+let test_upgrade_latency_charged () =
+  let c = Coherence.create ~cores:2 arch in
+  ignore (Coherence.read c ~core:0 ~addr:0 ~size:8);
+  ignore (Coherence.read c ~core:1 ~addr:0 ~size:8);
+  let hit = Coherence.read c ~core:0 ~addr:0 ~size:8 in
+  let upg = Coherence.write c ~core:0 ~addr:0 ~size:8 in
+  check Alcotest.bool "upgrade costs more than a plain hit" true
+    (upg.Coherence.latency > hit.Coherence.latency)
+
+let test_stats_sum_sub () =
+  let a = Stats.create () in
+  a.Stats.loads <- 5;
+  a.Stats.coherence_false <- 2;
+  let b = Stats.create () in
+  b.Stats.loads <- 3;
+  let s = Stats.sum [ a; b ] in
+  check Alcotest.int "sum loads" 8 s.Stats.loads;
+  let d = Stats.sub s b in
+  check Alcotest.int "sub loads" 5 d.Stats.loads;
+  check Alcotest.int "accesses" 8 (Stats.accesses s);
+  check Alcotest.int "coh misses" 2 (Stats.coherence_misses s)
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "archspec",
+        [
+          Alcotest.test_case "geometry validation" `Quick
+            test_cache_geom_validation;
+          Alcotest.test_case "arch helpers" `Quick test_arch_helpers;
+        ] );
+      ( "lru_stack",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "update/remove" `Quick test_lru_update_remove;
+          QCheck_alcotest.to_alcotest prop_lru_matches_reference;
+        ] );
+      ("set_assoc", [ Alcotest.test_case "sets" `Quick test_set_assoc ]);
+      ( "private_cache",
+        [
+          Alcotest.test_case "levels" `Quick test_private_cache_levels;
+          Alcotest.test_case "eviction reported" `Quick
+            test_private_cache_eviction_reported;
+          QCheck_alcotest.to_alcotest prop_private_inclusion;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "word mask" `Quick test_word_mask;
+          Alcotest.test_case "cold then hit" `Quick
+            test_coherence_cold_then_hit;
+          Alcotest.test_case "write invalidates" `Quick
+            test_coherence_write_invalidates;
+          Alcotest.test_case "false vs true sharing" `Quick
+            test_false_vs_true_sharing;
+          Alcotest.test_case "cache-to-cache" `Quick test_c2c_transfer;
+          Alcotest.test_case "upgrade" `Quick test_upgrade_on_shared_write;
+          Alcotest.test_case "silent E->M" `Quick test_silent_e_to_m;
+          Alcotest.test_case "line straddle" `Quick
+            test_line_straddling_access;
+          Alcotest.test_case "shared L3" `Quick test_l3_shared_within_socket;
+          QCheck_alcotest.to_alcotest prop_single_dirty_owner;
+          Alcotest.test_case "read hit keeps dirty" `Quick
+            test_read_hit_keeps_dirty;
+          Alcotest.test_case "writeback on eviction" `Quick
+            test_writeback_on_eviction;
+          Alcotest.test_case "upgrade latency" `Quick
+            test_upgrade_latency_charged;
+        ] );
+      ("stats", [ Alcotest.test_case "sum/sub" `Quick test_stats_sum_sub ]);
+    ]

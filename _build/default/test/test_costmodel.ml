@@ -1,0 +1,423 @@
+(* Tests for the Open64-style cost models: operation census, processor
+   model, cache/TLB footprint models, and the Eq. 1 total. *)
+
+open Costmodel
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let checked_of src =
+  Minic.Typecheck.check_program (Minic.Parser.parse_program src)
+
+let lower ?(threads = 4) ~func checked =
+  Loopir.Lower.lower checked ~func ~params:[ ("num_threads", threads) ]
+
+let heat_checked = Kernels.Kernel.parse (Kernels.Heat.kernel ~rows:10 ~cols:66 ())
+let heat_nest = lower ~func:"heat_step" heat_checked
+
+let type_of_in checked (f : Minic.Ast.func) =
+  let locals = Minic.Typecheck.locals_of_func checked f in
+  fun v ->
+    match List.assoc_opt v locals with
+    | Some t -> Some t
+    | None ->
+        List.assoc_opt v checked.Minic.Typecheck.global_types
+
+let ops_of checked ~func =
+  let f = Option.get (Minic.Ast.find_func checked.Minic.Typecheck.prog func) in
+  let nest = lower ~func checked in
+  Op_count.of_body checked.Minic.Typecheck.structs
+    ~type_of:(type_of_in checked f) ~core:Archspec.Latency.default
+    nest.Loopir.Loop_nest.body
+
+(* ------------------------------------------------------------------ *)
+(* Op_count                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_opcount_heat () =
+  let ops = ops_of heat_checked ~func:"heat_step" in
+  check Alcotest.int "loads" 4 (Op_count.get ops Archspec.Latency.Load);
+  check Alcotest.int "stores" 1 (Op_count.get ops Archspec.Latency.Store);
+  check Alcotest.int "fp adds" 3 (Op_count.get ops Archspec.Latency.Fp_add);
+  check Alcotest.int "fp muls" 1 (Op_count.get ops Archspec.Latency.Fp_mul);
+  (* B[i][j] = ... has no loop-carried recurrence *)
+  check Alcotest.int "no recurrence" 0 ops.Op_count.recurrence_latency
+
+let test_opcount_reduction_recurrence () =
+  let checked =
+    checked_of
+      "double s[8];\ndouble a[64];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 64; i++) { s[0] += a[i]; } }"
+  in
+  let ops = ops_of checked ~func:"f" in
+  (* s[0] += e is a recurrence through an fp add *)
+  check Alcotest.int "recurrence = fp_add latency"
+    (Archspec.Latency.default.Archspec.Latency.latency Archspec.Latency.Fp_add)
+    ops.Op_count.recurrence_latency
+
+let test_opcount_explicit_recurrence () =
+  let checked =
+    checked_of
+      "double s[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 64; i++) { s[1] = s[1] * 1.5 + 2.0; } }"
+  in
+  let ops = ops_of checked ~func:"f" in
+  let core = Archspec.Latency.default in
+  check Alcotest.int "mul+add chain"
+    (core.Archspec.Latency.latency Archspec.Latency.Fp_mul
+    + core.Archspec.Latency.latency Archspec.Latency.Fp_add)
+    ops.Op_count.recurrence_latency
+
+let test_opcount_call () =
+  let checked =
+    checked_of
+      "double a[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 8; i++) { a[i] = sin(1.0 * i); } }"
+  in
+  let ops = ops_of checked ~func:"f" in
+  check Alcotest.int "special" 1 (Op_count.get ops Archspec.Latency.Fp_special)
+
+let test_opcount_int_ops () =
+  let checked =
+    checked_of
+      "int a[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 8; i++) { a[i] = i * 3 + i / 2; } }"
+  in
+  let ops = ops_of checked ~func:"f" in
+  (* i*3 (mul), i/2 (counted as int_mul), + (alu), plus address arith *)
+  check Alcotest.bool "int muls >= 2" true
+    (Op_count.get ops Archspec.Latency.Int_mul >= 2);
+  check Alcotest.bool "alu > 0" true
+    (Op_count.get ops Archspec.Latency.Int_alu > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Processor model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_processor_resource_bound () =
+  let pm =
+    Processor_model.of_nest heat_checked ~core:Archspec.Latency.default
+      heat_nest
+  in
+  (* 3 fp adds on one fp-add unit: at least 3 cycles *)
+  check Alcotest.bool "at least 3 cycles" true
+    (pm.Processor_model.cycles_per_iter >= 3.);
+  check Alcotest.bool "resource dominates (no recurrence)" true
+    (pm.Processor_model.cycles_per_iter = pm.Processor_model.resource_cycles)
+
+let test_processor_dependency_bound () =
+  let checked =
+    checked_of
+      "double s[8];\ndouble a[64];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 64; i++) { s[0] += a[i]; } }"
+  in
+  let nest = lower ~func:"f" checked in
+  let pm =
+    Processor_model.of_nest checked ~core:Archspec.Latency.default nest
+  in
+  check (Alcotest.float 0.001) "dependency = 4" 4.
+    pm.Processor_model.dependency_cycles;
+  check Alcotest.bool "dependency bound" true
+    (pm.Processor_model.cycles_per_iter >= 4.)
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let env4 v = if v = "num_threads" then Some 4 else None
+
+let test_trips_of_nest () =
+  let trips = Cache_model.trips_of_nest ~env:env4 heat_nest in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "trips" [ ("i", 8); ("j", 64) ] trips
+
+let test_footprint () =
+  (* one ref marching 8B per j over 64 iters: 512B -> 8 lines = 512B *)
+  let refs =
+    [ Loopir.Array_ref.v ~base:"a"
+        ~offset:(Loopir.Affine.scale 8 (Loopir.Affine.var "j"))
+        ~size_bytes:8 ~access:Loopir.Array_ref.Read ~repr:"a[j]" ]
+  in
+  check Alcotest.int "footprint" 512
+    (Cache_model.footprint_bytes ~line_bytes:64 ~trips:[ ("j", 64) ]
+       ~levels:[ "j" ] refs)
+
+let test_cache_model_heat () =
+  let r = Cache_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 heat_nest in
+  check Alcotest.int "four groups" 4 (List.length r.Cache_model.groups);
+  (* the small 10x66 grid fits everywhere; every group's misses resolve at
+     some level and the total cost is finite and non-negative *)
+  check Alcotest.bool "non-negative" true (r.Cache_model.cycles_per_iter >= 0.)
+
+let test_cache_model_invariant_ref_free () =
+  (* tid_args[j].sx with inner loop i: invariant in i => reuse carried by i,
+     fits L1 => no cache penalty *)
+  let k = Kernels.Linreg_kernel.kernel ~nacc:64 ~m:256 () in
+  let checked = Kernels.Kernel.parse k in
+  let nest = lower ~func:"linear_regression" checked in
+  let r = Cache_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 nest in
+  List.iter
+    (fun g ->
+      if g.Cache_model.group.Loopir.Ref_group.leader.Loopir.Array_ref.base
+         = "tid_args"
+      then begin
+        check Alcotest.bool "tid_args from L1" true
+          (g.Cache_model.source = Cachesim.Coherence.L1);
+        check (Alcotest.float 0.0001) "no penalty" 0.
+          g.Cache_model.penalty_per_iter
+      end)
+    r.Cache_model.groups
+
+let test_cache_model_streaming_from_memory () =
+  (* a huge array touched once: no reuse, misses served by memory *)
+  let checked =
+    checked_of
+      "double a[2000000];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 2000000; i++) { a[i] = 1.0; } }"
+  in
+  let nest = lower ~func:"f" checked in
+  let r = Cache_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 nest in
+  match r.Cache_model.groups with
+  | [ g ] ->
+      check Alcotest.bool "memory" true
+        (g.Cache_model.source = Cachesim.Coherence.Memory);
+      check Alcotest.bool "1/8 lines per iter" true
+        (abs_float (g.Cache_model.lines_per_iter -. 0.125) < 1e-9)
+  | _ -> fail "one group"
+
+let test_cache_model_temporal_reuse_level () =
+  (* in_re[n] re-read every k: working set ~ 3 arrays; sized to fit L2 but
+     not L1 *)
+  let k = Kernels.Dft.kernel ~freqs:4 ~samples:8192 () in
+  (* 3 * 64KB = 192KB: > L1 (64KB), <= L2 (512KB) *)
+  let checked = Kernels.Kernel.parse k in
+  let nest = lower ~func:"dft" checked in
+  let r = Cache_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 nest in
+  List.iter
+    (fun g ->
+      if g.Cache_model.group.Loopir.Ref_group.leader.Loopir.Array_ref.base
+         = "in_re"
+      then
+        check Alcotest.bool "reuse at L2" true
+          (g.Cache_model.source = Cachesim.Coherence.L2))
+    r.Cache_model.groups
+
+let test_cache_model_cross_group_reuse () =
+  (* A[i-1][j] re-touches A[i+1][j]'s lines two outer iterations later *)
+  let r = Cache_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 heat_nest in
+  let lagging =
+    List.find_opt
+      (fun g ->
+        g.Cache_model.group.Loopir.Ref_group.leader.Loopir.Array_ref.repr
+        = "A[i - 1][j]")
+      r.Cache_model.groups
+  in
+  match lagging with
+  | Some g ->
+      check Alcotest.bool "has reuse volume" true
+        (g.Cache_model.reuse_volume_bytes <> None)
+  | None -> fail "A[i-1][j] group not found"
+
+(* ------------------------------------------------------------------ *)
+(* TLB model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_tlb_small_fits () =
+  let r = Tlb_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 heat_nest in
+  check Alcotest.bool "fits reach" true r.Tlb_model.fits_reach;
+  check (Alcotest.float 1e-9) "no cost" 0. r.Tlb_model.cycles_per_iter
+
+let test_tlb_large_exceeds () =
+  let checked =
+    checked_of
+      "double a[4000000];\ndouble b[4000000];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 4000000; i++) { a[i] = b[i]; } }"
+  in
+  let nest = lower ~func:"f" checked in
+  let r = Tlb_model.analyze ~arch:Archspec.Arch.paper_machine ~env:env4 nest in
+  check Alcotest.bool "exceeds reach" false r.Tlb_model.fits_reach;
+  check Alcotest.bool "cost > 0" true (r.Tlb_model.cycles_per_iter > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Total cost                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_total_cost_components () =
+  let b =
+    Total_cost.compute ~arch:Archspec.Arch.paper_machine ~threads:4
+      ~fs_cases:1000 ~env:env4 ~checked:heat_checked heat_nest
+  in
+  check Alcotest.bool "machine > 0" true (b.Total_cost.machine_cycles > 0.);
+  check Alcotest.bool "fs > 0" true (b.Total_cost.false_sharing_cycles > 0.);
+  check Alcotest.bool "total = sum" true
+    (abs_float
+       (b.Total_cost.total_cycles
+       -. (b.Total_cost.machine_cycles +. b.Total_cost.cache_cycles
+          +. b.Total_cost.tlb_cycles +. b.Total_cost.parallel_overhead_cycles
+          +. b.Total_cost.loop_overhead_cycles
+          +. b.Total_cost.false_sharing_cycles))
+    < 1e-6);
+  (* 8 regions (outer i), 64/4 = 16 parallel iters per thread *)
+  check Alcotest.int "regions" 8 b.Total_cost.regions;
+  check Alcotest.int "iters per thread" (8 * 16) b.Total_cost.iters_per_thread;
+  check Alcotest.bool "seconds consistent" true
+    (abs_float
+       (b.Total_cost.seconds
+       -. Archspec.Arch.cycles_to_seconds Archspec.Arch.paper_machine
+            b.Total_cost.total_cycles)
+    < 1e-12)
+
+let test_total_cost_fs_factor () =
+  let compute f =
+    Total_cost.compute ~fs_cost_factor:f ~arch:Archspec.Arch.paper_machine
+      ~threads:4 ~fs_cases:1000 ~env:env4 ~checked:heat_checked heat_nest
+  in
+  let a = compute 0.1 and b = compute 0.2 in
+  check (Alcotest.float 1e-6) "fs cycles scale linearly"
+    (2. *. a.Total_cost.false_sharing_cycles)
+    b.Total_cost.false_sharing_cycles
+
+let test_fs_percent () =
+  let b =
+    Total_cost.compute ~arch:Archspec.Arch.paper_machine ~threads:4
+      ~fs_cases:0 ~env:env4 ~checked:heat_checked heat_nest
+  in
+  check (Alcotest.float 1e-9) "no fs, 0%" 0. (Total_cost.fs_percent ~fs:b)
+
+(* ------------------------------------------------------------------ *)
+(* Contention (§VI extension)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let streaming_checked =
+  checked_of
+    "double a[4000000];\ndouble b[4000000];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 4000000; i++) { a[i] = 2.0 * b[i]; } }"
+
+let test_contention_single_thread_free () =
+  let nest = lower ~func:"f" streaming_checked in
+  let c =
+    Contention.analyze ~arch:Archspec.Arch.paper_machine ~threads:1 ~env:env4
+      ~checked:streaming_checked nest
+  in
+  check (Alcotest.float 1e-9) "no shared-cache cost alone" 0.
+    c.Contention.shared_cache_cycles_per_iter
+
+let test_contention_bandwidth_saturates () =
+  let nest = lower ~func:"f" streaming_checked in
+  let at threads =
+    Contention.analyze ~arch:Archspec.Arch.paper_machine ~threads ~env:env4
+      ~checked:streaming_checked nest
+  in
+  let c1 = at 1 and c48 = at 48 in
+  check Alcotest.bool "demand grows with team" true
+    (c48.Contention.demand_bytes_per_cycle
+    > c1.Contention.demand_bytes_per_cycle);
+  check Alcotest.bool "48 streaming threads saturate the bus" true
+    (c48.Contention.oversubscription > 1.);
+  check Alcotest.bool "stalls inflate" true
+    (c48.Contention.bandwidth_cycles_per_iter > 0.);
+  check (Alcotest.float 1e-9) "one thread does not" 0.
+    c1.Contention.bandwidth_cycles_per_iter
+
+let test_contention_cache_resident_free () =
+  (* a small array re-traversed under an outer loop: reuse carried by the
+     outer level keeps it cache-resident, so there is no steady-state DRAM
+     demand and no bandwidth stall even at 48 threads *)
+  let checked =
+    checked_of
+      {|double a[64];
+void f(void) {
+  int t;
+  int i;
+  for (t = 0; t < 100; t++) {
+    #pragma omp parallel for private(i) schedule(static,1)
+    for (i = 0; i < 64; i++) {
+      a[i] = a[i] + 1.0;
+    }
+  }
+}
+|}
+  in
+  let nest = lower ~func:"f" checked in
+  let c =
+    Contention.analyze ~arch:Archspec.Arch.paper_machine ~threads:48 ~env:env4
+      ~checked nest
+  in
+  check (Alcotest.float 1e-9) "no DRAM demand" 0.
+    c.Contention.demand_bytes_per_cycle;
+  check (Alcotest.float 1e-9) "no bandwidth stall" 0.
+    c.Contention.bandwidth_cycles_per_iter
+
+let test_total_cost_contention_flag () =
+  let nest = lower ~func:"f" streaming_checked in
+  let compute c =
+    Total_cost.compute ~contention:c ~arch:Archspec.Arch.paper_machine
+      ~threads:48 ~fs_cases:0 ~env:env4 ~checked:streaming_checked nest
+  in
+  let off = compute false and on = compute true in
+  check (Alcotest.float 1e-9) "off = zero term" 0.
+    off.Total_cost.contention_cycles;
+  check Alcotest.bool "on > off" true
+    (on.Total_cost.total_cycles > off.Total_cost.total_cycles)
+
+let test_with_line_bytes () =
+  let a32 = Archspec.Arch.with_line_bytes Archspec.Arch.paper_machine 32 in
+  check Alcotest.int "line" 32 (Archspec.Arch.line_bytes a32);
+  check Alcotest.int "capacity kept"
+    Archspec.Arch.paper_machine.Archspec.Arch.l1.Archspec.Cache_geom.size_bytes
+    a32.Archspec.Arch.l1.Archspec.Cache_geom.size_bytes;
+  match Archspec.Arch.with_line_bytes Archspec.Arch.paper_machine 37 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-power-of-two line must be rejected"
+
+let () =
+  Alcotest.run "costmodel"
+    [
+      ( "op_count",
+        [
+          Alcotest.test_case "heat census" `Quick test_opcount_heat;
+          Alcotest.test_case "reduction recurrence" `Quick
+            test_opcount_reduction_recurrence;
+          Alcotest.test_case "explicit recurrence" `Quick
+            test_opcount_explicit_recurrence;
+          Alcotest.test_case "builtin call" `Quick test_opcount_call;
+          Alcotest.test_case "integer ops" `Quick test_opcount_int_ops;
+        ] );
+      ( "processor",
+        [
+          Alcotest.test_case "resource bound" `Quick
+            test_processor_resource_bound;
+          Alcotest.test_case "dependency bound" `Quick
+            test_processor_dependency_bound;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "trips" `Quick test_trips_of_nest;
+          Alcotest.test_case "footprint" `Quick test_footprint;
+          Alcotest.test_case "heat analysis" `Quick test_cache_model_heat;
+          Alcotest.test_case "invariant ref free" `Quick
+            test_cache_model_invariant_ref_free;
+          Alcotest.test_case "streaming from memory" `Quick
+            test_cache_model_streaming_from_memory;
+          Alcotest.test_case "temporal reuse level" `Quick
+            test_cache_model_temporal_reuse_level;
+          Alcotest.test_case "cross-group reuse" `Quick
+            test_cache_model_cross_group_reuse;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "small fits" `Quick test_tlb_small_fits;
+          Alcotest.test_case "large exceeds" `Quick test_tlb_large_exceeds;
+        ] );
+      ( "total",
+        [
+          Alcotest.test_case "components" `Quick test_total_cost_components;
+          Alcotest.test_case "fs factor" `Quick test_total_cost_fs_factor;
+          Alcotest.test_case "fs percent" `Quick test_fs_percent;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "single thread free" `Quick
+            test_contention_single_thread_free;
+          Alcotest.test_case "bandwidth saturates" `Quick
+            test_contention_bandwidth_saturates;
+          Alcotest.test_case "cache resident free" `Quick
+            test_contention_cache_resident_free;
+          Alcotest.test_case "total-cost flag" `Quick
+            test_total_cost_contention_flag;
+          Alcotest.test_case "with_line_bytes" `Quick test_with_line_bytes;
+        ] );
+    ]

@@ -1,0 +1,527 @@
+(* Tests for the execution simulator: values, memory, the interpreter's
+   computed results (against OCaml recomputations), determinism, and the
+   measurement harness. *)
+
+open Execsim
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let checked_of src =
+  Minic.Typecheck.check_program (Minic.Parser.parse_program src)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_binops () =
+  (match Value.binop Minic.Ast.Div (Value.V_int 7) (Value.V_int 2) with
+  | Value.V_int 3 -> ()
+  | _ -> fail "int division truncates");
+  (match Value.binop Minic.Ast.Div (Value.V_int 7) (Value.V_float 2.) with
+  | Value.V_float f -> check (Alcotest.float 1e-9) "promotes" 3.5 f
+  | _ -> fail "mixed promotes to float");
+  (match Value.binop Minic.Ast.Mod (Value.V_int 7) (Value.V_int 0) with
+  | exception Division_by_zero -> ()
+  | _ -> fail "mod by zero");
+  (match Value.binop Minic.Ast.Lt (Value.V_int 1) (Value.V_float 1.5) with
+  | Value.V_int 1 -> ()
+  | _ -> fail "comparison yields 1");
+  match Value.unop Minic.Ast.Not (Value.V_float 0.) with
+  | Value.V_int 1 -> ()
+  | _ -> fail "!0.0 = 1"
+
+let test_value_convert () =
+  (match Value.convert Minic.Ast.Tint (Value.V_float 3.9) with
+  | Value.V_int 3 -> ()
+  | _ -> fail "float->int truncates");
+  match Value.convert Minic.Ast.Tdouble (Value.V_int 3) with
+  | Value.V_float 3. -> ()
+  | _ -> fail "int->double"
+
+let test_value_builtin () =
+  (match Value.builtin "sqrt" [ Value.V_float 9. ] with
+  | Value.V_float f -> check (Alcotest.float 1e-9) "sqrt" 3. f
+  | _ -> fail "sqrt");
+  (match Value.builtin "pow" [ Value.V_int 2; Value.V_int 10 ] with
+  | Value.V_float f -> check (Alcotest.float 1e-9) "pow" 1024. f
+  | _ -> fail "pow");
+  match Value.builtin "sin" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "arity"
+
+(* ------------------------------------------------------------------ *)
+(* Mem                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_roundtrip () =
+  let m = Mem.create 64 in
+  Mem.store m ~ty:Minic.Ast.Tdouble ~addr:0 (Value.V_float 3.25);
+  (match Mem.load m ~ty:Minic.Ast.Tdouble ~addr:0 with
+  | Value.V_float f -> check (Alcotest.float 1e-12) "double" 3.25 f
+  | _ -> fail "double");
+  Mem.store m ~ty:Minic.Ast.Tint ~addr:8 (Value.V_int (-42));
+  (match Mem.load m ~ty:Minic.Ast.Tint ~addr:8 with
+  | Value.V_int (-42) -> ()
+  | _ -> fail "int");
+  Mem.store m ~ty:Minic.Ast.Tlong ~addr:16 (Value.V_int 1_000_000_000_000);
+  (match Mem.load m ~ty:Minic.Ast.Tlong ~addr:16 with
+  | Value.V_int 1_000_000_000_000 -> ()
+  | _ -> fail "long");
+  Mem.store m ~ty:Minic.Ast.Tfloat ~addr:24 (Value.V_float 1.5);
+  (match Mem.load m ~ty:Minic.Ast.Tfloat ~addr:24 with
+  | Value.V_float 1.5 -> ()
+  | _ -> fail "float");
+  Mem.store m ~ty:Minic.Ast.Tchar ~addr:30 (Value.V_int 65);
+  (match Mem.load m ~ty:Minic.Ast.Tchar ~addr:30 with
+  | Value.V_int 65 -> ()
+  | _ -> fail "char");
+  check Alcotest.bool "zero init" true
+    (Mem.load m ~ty:Minic.Ast.Tint ~addr:60 = Value.V_int 0)
+
+(* ------------------------------------------------------------------ *)
+(* Interp correctness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_saxpy_values () =
+  List.iter
+    (fun (threads, chunk, window) ->
+      let k = Kernels.Saxpy.kernel ~n:64 () in
+      let checked = Kernels.Kernel.parse k in
+      let it =
+        Interp.create ~threads ~chunk_override:chunk
+          ~interleave_window:window checked
+      in
+      Interp.exec it ~func:"init";
+      Interp.exec it ~func:"saxpy";
+      List.iter
+        (fun i ->
+          match Interp.read_global it "y" [ Interp.Idx i ] with
+          | Value.V_float f ->
+              check (Alcotest.float 1e-9)
+                (Printf.sprintf "y[%d] t%d c%d w%d" i threads chunk window)
+                ((0.5 *. float_of_int i) +. (2.5 *. float_of_int i))
+                f
+          | _ -> fail "not a float")
+        [ 0; 1; 31; 63 ])
+    [ (1, 1, 1); (2, 1, 1); (4, 3, 2); (8, 8, 4) ]
+
+let test_interp_linreg_values () =
+  let k = Kernels.Linreg_kernel.kernel ~nacc:8 ~m:64 () in
+  let threads = 4 in
+  let checked = Kernels.Kernel.parse k in
+  let it = Interp.create ~threads checked in
+  Interp.exec it ~func:"init";
+  Interp.exec it ~func:"linear_regression";
+  (* every unit j accumulates over i < 64/4 = 16 points *)
+  let expected_sx = ref 0. and expected_sxy = ref 0. in
+  for i = 0 to 15 do
+    let x = 0.01 *. float_of_int i in
+    let y = 3.0 +. (0.5 *. x) in
+    expected_sx := !expected_sx +. x;
+    expected_sxy := !expected_sxy +. (x *. y)
+  done;
+  List.iter
+    (fun j ->
+      (match Interp.read_global it "tid_args" [ Interp.Idx j; Interp.Fld "sx" ] with
+      | Value.V_float f ->
+          check (Alcotest.float 1e-9) (Printf.sprintf "sx[%d]" j) !expected_sx f
+      | _ -> fail "sx");
+      match
+        Interp.read_global it "tid_args" [ Interp.Idx j; Interp.Fld "sxy" ]
+      with
+      | Value.V_float f ->
+          check (Alcotest.float 1e-9) (Printf.sprintf "sxy[%d]" j)
+            !expected_sxy f
+      | _ -> fail "sxy")
+    [ 0; 3; 7 ]
+
+let test_interp_heat_values () =
+  let k = Kernels.Heat.kernel ~rows:6 ~cols:10 () in
+  let checked = Kernels.Kernel.parse k in
+  let it = Interp.create ~threads:2 checked in
+  Interp.exec it ~func:"init";
+  Interp.exec it ~func:"heat_step";
+  let a i j = (0.001 *. float_of_int i) +. (0.002 *. float_of_int j) in
+  let expect i j = 0.25 *. (a (i-1) j +. a (i+1) j +. a i (j-1) +. a i (j+1)) in
+  List.iter
+    (fun (i, j) ->
+      match Interp.read_global it "B" [ Interp.Idx i; Interp.Idx j ] with
+      | Value.V_float f ->
+          check (Alcotest.float 1e-9) (Printf.sprintf "B[%d][%d]" i j)
+            (expect i j) f
+      | _ -> fail "B")
+    [ (1, 1); (2, 5); (4, 8) ];
+  (* boundary untouched *)
+  match Interp.read_global it "B" [ Interp.Idx 0; Interp.Idx 3 ] with
+  | Value.V_float 0. -> ()
+  | _ -> fail "boundary must remain zero"
+
+let test_interp_reduction_clause () =
+  let src =
+    {|double a[32];
+void init(void) {
+  int i;
+  for (i = 0; i < 32; i++) { a[i] = 1.0 * i; }
+}
+void f(void) {
+  int i;
+  double s;
+  s = 100.0;
+  #pragma omp parallel for reduction(+:s)
+  for (i = 0; i < 32; i++) {
+    s += a[i];
+  }
+  a[0] = s;
+}
+|}
+  in
+  let checked = checked_of src in
+  let it = Interp.create ~threads:4 checked in
+  Interp.exec it ~func:"init";
+  Interp.exec it ~func:"f";
+  match Interp.read_global it "a" [ Interp.Idx 0 ] with
+  | Value.V_float f ->
+      (* 100 + sum 0..31 = 100 + 496 *)
+      check (Alcotest.float 1e-9) "reduction" 596. f
+  | _ -> fail "reduction result"
+
+let test_interp_if_and_locals () =
+  let src =
+    {|int out[8];
+void f(void) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    int v = i * 2;
+    if (v >= 8) { out[i] = v; } else { out[i] = 0 - v; }
+  }
+}
+|}
+  in
+  let checked = checked_of src in
+  let it = Interp.create checked in
+  Interp.exec it ~func:"f";
+  (match Interp.read_global it "out" [ Interp.Idx 2 ] with
+  | Value.V_int (-4) -> ()
+  | v -> fail (Format.asprintf "out[2] = %a" Value.pp v));
+  match Interp.read_global it "out" [ Interp.Idx 5 ] with
+  | Value.V_int 10 -> ()
+  | _ -> fail "out[5]"
+
+let test_interp_out_of_bounds () =
+  let src = "int a[4];\nvoid f(void) { a[7] = 1; }" in
+  let checked = checked_of src in
+  let it = Interp.create checked in
+  match Interp.exec it ~func:"f" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "out of bounds must raise"
+
+let test_interp_errors () =
+  let checked = checked_of "int a;\nvoid g(int x) { a = x; }" in
+  let it = Interp.create checked in
+  (match Interp.exec it ~func:"g" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "parameterized function rejected");
+  match Interp.exec it ~func:"nope" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "unknown function"
+
+(* ------------------------------------------------------------------ *)
+(* Run / measurement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_saxpy = Kernels.Saxpy.kernel ~n:512 ()
+
+let test_measure_deterministic () =
+  let m1 = Run.measure ~threads:4 ~chunk:1 small_saxpy in
+  let m2 = Run.measure ~threads:4 ~chunk:1 small_saxpy in
+  check (Alcotest.float 0.) "deterministic wall" m1.Run.wall_cycles
+    m2.Run.wall_cycles;
+  check Alcotest.int "deterministic misses"
+    (Cachesim.Stats.misses m1.Run.stats)
+    (Cachesim.Stats.misses m2.Run.stats)
+
+let test_measure_exact_access_counts () =
+  (* saxpy body: read x[i], read y[i] (compound), write y[i] *)
+  let m = Run.measure ~threads:2 ~chunk:1 small_saxpy in
+  check Alcotest.int "loads" (2 * 512) m.Run.stats.Cachesim.Stats.loads;
+  check Alcotest.int "stores" 512 m.Run.stats.Cachesim.Stats.stores
+
+let test_measure_fs_effect_positive () =
+  let c = Run.measured_fs_percent ~threads:4 small_saxpy in
+  check Alcotest.bool "chunk1 slower than chunk8" true
+    (c.Run.fs.Run.wall_cycles > c.Run.nfs.Run.wall_cycles);
+  check Alcotest.bool "percent positive" true (c.Run.percent > 0.);
+  check Alcotest.bool "fs misses present" true
+    (c.Run.fs.Run.stats.Cachesim.Stats.coherence_false > 0);
+  check Alcotest.int "no fs misses with line-aligned chunks" 0
+    c.Run.nfs.Run.stats.Cachesim.Stats.coherence_false
+
+let test_measure_single_thread_no_coherence () =
+  let m = Run.measure ~threads:1 ~chunk:1 small_saxpy in
+  check Alcotest.int "no coherence misses" 0
+    (Cachesim.Stats.coherence_misses m.Run.stats);
+  check Alcotest.int "no invalidations" 0
+    m.Run.stats.Cachesim.Stats.invalidations_sent
+
+let test_measure_wall_is_max () =
+  let m = Run.measure ~threads:4 ~chunk:1 small_saxpy in
+  let mx = Array.fold_left Float.max 0. m.Run.per_thread_cycles in
+  check (Alcotest.float 0.) "wall = max thread" mx m.Run.wall_cycles
+
+let dyn_src kind =
+  Printf.sprintf
+    {|double a[100];
+int count[100];
+void f(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(%s)
+  for (i = 0; i < 100; i++) {
+    a[i] = 3.0 * i;
+    count[i] += 1;
+  }
+}
+|}
+    kind
+
+let test_dynamic_and_guided_schedules () =
+  (* every iteration executes exactly once and computes the right value,
+     whatever the schedule *)
+  List.iter
+    (fun kind ->
+      let checked = checked_of (dyn_src kind) in
+      let it = Interp.create ~threads:4 checked in
+      Interp.exec it ~func:"f";
+      List.iter
+        (fun i ->
+          (match Interp.read_global it "count" [ Interp.Idx i ] with
+          | Value.V_int 1 -> ()
+          | Value.V_int n ->
+              fail (Printf.sprintf "%s: count[%d] = %d" kind i n)
+          | _ -> fail "count type");
+          match Interp.read_global it "a" [ Interp.Idx i ] with
+          | Value.V_float f ->
+              check (Alcotest.float 1e-9)
+                (Printf.sprintf "%s a[%d]" kind i)
+                (3.0 *. float_of_int i)
+                f
+          | _ -> fail "a type")
+        [ 0; 1; 37; 99 ])
+    [ "dynamic"; "dynamic,7"; "guided"; "guided,3" ]
+
+let test_dynamic_spreads_work () =
+  (* compound update under dynamic scheduling and windowed interleaving *)
+  let src =
+    {|double x[64];
+double y[64];
+void init(void) {
+  int i;
+  for (i = 0; i < 64; i++) { x[i] = 1.0 * i; y[i] = 0.5 * i; }
+}
+void saxpy(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(dynamic,2)
+  for (i = 0; i < 64; i++) {
+    y[i] += 2.5 * x[i];
+  }
+}
+|}
+  in
+  let checked = checked_of src in
+  let it = Interp.create ~threads:4 checked in
+  Interp.exec it ~func:"init";
+  Interp.exec it ~func:"saxpy";
+  match Interp.read_global it "y" [ Interp.Idx 33 ] with
+  | Value.V_float f -> check (Alcotest.float 1e-9) "y[33]" (33. *. 3.0) f
+  | _ -> fail "float"
+
+let test_model_rejects_dynamic () =
+  let checked = checked_of (dyn_src "dynamic") in
+  let nest =
+    Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 4) ]
+  in
+  let cfg = Fsmodel.Model.default_config ~threads:4 () in
+  match Fsmodel.Model.run cfg ~nest ~checked with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "the model must reject non-static schedules"
+
+let test_window_reduces_fs () =
+  (* larger interleave window batches a thread's writes to a line, so FS
+     misses cannot increase *)
+  let w1 = Run.measure ~interleave_window:1 ~threads:2 ~chunk:1 small_saxpy in
+  let w8 = Run.measure ~interleave_window:8 ~threads:2 ~chunk:1 small_saxpy in
+  check Alcotest.bool "window batches transfers" true
+    (w8.Run.stats.Cachesim.Stats.coherence_false
+    <= w1.Run.stats.Cachesim.Stats.coherence_false)
+
+let test_exec_twice_accumulates () =
+  (* compiled functions are cached and re-runnable; the compound update
+     accumulates across runs *)
+  let k = Kernels.Saxpy.kernel ~n:32 () in
+  let checked = Kernels.Kernel.parse k in
+  let it = Interp.create ~threads:2 checked in
+  Interp.exec it ~func:"init";
+  Interp.exec it ~func:"saxpy";
+  Interp.exec it ~func:"saxpy";
+  match Interp.read_global it "y" [ Interp.Idx 9 ] with
+  | Value.V_float f ->
+      check (Alcotest.float 1e-9) "two updates" ((0.5 +. 5.0) *. 9.) f
+  | _ -> fail "float"
+
+let test_read_global_errors () =
+  let checked = checked_of "struct s { int a; };\nstruct s v[2];\nint g;\n" in
+  let it = Interp.create checked in
+  (match Interp.read_global it "zzz" [] with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "unknown global");
+  (match Interp.read_global it "v" [ Interp.Idx 5 ] with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "oob");
+  (match Interp.read_global it "g" [ Interp.Fld "a" ] with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "field of scalar");
+  match Interp.read_global it "g" [] with
+  | Value.V_int 0 -> ()
+  | _ -> fail "zero-initialized"
+
+let test_while_break_continue () =
+  let src =
+    {|int out[16];
+int evens;
+void f(void) {
+  int i;
+  i = 0;
+  while (1) {
+    if (i >= 16) { break; }
+    out[i] = i * i;
+    i = i + 1;
+  }
+  evens = 0;
+  for (i = 0; i < 16; i++) {
+    if (i % 2 == 1) { continue; }
+    evens = evens + 1;
+  }
+  out[0] = evens;
+}
+|}
+  in
+  let checked = checked_of src in
+  let it = Interp.create checked in
+  Interp.exec it ~func:"f";
+  (match Interp.read_global it "out" [ Interp.Idx 5 ] with
+  | Value.V_int 25 -> ()
+  | v -> fail (Format.asprintf "out[5] = %a" Value.pp v));
+  (match Interp.read_global it "out" [ Interp.Idx 15 ] with
+  | Value.V_int 225 -> ()
+  | _ -> fail "while covered all 16");
+  match Interp.read_global it "out" [ Interp.Idx 0 ] with
+  | Value.V_int 8 -> ()
+  | v -> fail (Format.asprintf "evens = %a" Value.pp v)
+
+let test_break_in_parallel_rejected () =
+  let src =
+    "int a[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 8; i++) { if (i == 3) { break; } a[i] = 1; } }"
+  in
+  let checked = checked_of src in
+  let it = Interp.create ~threads:2 checked in
+  match Interp.exec it ~func:"f" with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> fail "break out of a worksharing loop must be rejected"
+
+let test_continue_in_parallel_ok () =
+  let src =
+    "int a[16];\nvoid f(void) {\n#pragma omp parallel for schedule(static,1)\nfor (int i = 0; i < 16; i++) { if (i % 4 == 0) { continue; } a[i] = i; } }"
+  in
+  let checked = checked_of src in
+  let it = Interp.create ~threads:4 checked in
+  Interp.exec it ~func:"f";
+  (match Interp.read_global it "a" [ Interp.Idx 8 ] with
+  | Value.V_int 0 -> ()
+  | _ -> fail "skipped iteration");
+  match Interp.read_global it "a" [ Interp.Idx 9 ] with
+  | Value.V_int 9 -> ()
+  | _ -> fail "executed iteration"
+
+let test_triangular_loop () =
+  (* inner bound depends on the parallel variable *)
+  let src =
+    {|double a[16][16];
+double rowsum[16];
+void f(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j <= i; j++) {
+      rowsum[i] += 1.0;
+    }
+  }
+}
+|}
+  in
+  let checked = checked_of src in
+  let it = Interp.create ~threads:4 checked in
+  Interp.exec it ~func:"f";
+  List.iter
+    (fun i ->
+      match Interp.read_global it "rowsum" [ Interp.Idx i ] with
+      | Value.V_float f ->
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "rowsum[%d]" i)
+            (float_of_int (i + 1))
+            f
+      | _ -> fail "float")
+    [ 0; 7; 15 ]
+
+let () =
+  Alcotest.run "execsim"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "binops" `Quick test_value_binops;
+          Alcotest.test_case "convert" `Quick test_value_convert;
+          Alcotest.test_case "builtins" `Quick test_value_builtin;
+        ] );
+      ("mem", [ Alcotest.test_case "roundtrip" `Quick test_mem_roundtrip ]);
+      ( "interp",
+        [
+          Alcotest.test_case "saxpy values" `Quick test_interp_saxpy_values;
+          Alcotest.test_case "linreg values" `Quick test_interp_linreg_values;
+          Alcotest.test_case "heat values" `Quick test_interp_heat_values;
+          Alcotest.test_case "reduction clause" `Quick
+            test_interp_reduction_clause;
+          Alcotest.test_case "if + locals" `Quick test_interp_if_and_locals;
+          Alcotest.test_case "bounds check" `Quick test_interp_out_of_bounds;
+          Alcotest.test_case "errors" `Quick test_interp_errors;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "deterministic" `Quick test_measure_deterministic;
+          Alcotest.test_case "exact access counts" `Quick
+            test_measure_exact_access_counts;
+          Alcotest.test_case "fs effect positive" `Quick
+            test_measure_fs_effect_positive;
+          Alcotest.test_case "single thread" `Quick
+            test_measure_single_thread_no_coherence;
+          Alcotest.test_case "wall is max" `Quick test_measure_wall_is_max;
+          Alcotest.test_case "window reduces fs" `Quick test_window_reduces_fs;
+          Alcotest.test_case "dynamic and guided schedules" `Quick
+            test_dynamic_and_guided_schedules;
+          Alcotest.test_case "dynamic compound update" `Quick
+            test_dynamic_spreads_work;
+          Alcotest.test_case "model rejects dynamic" `Quick
+            test_model_rejects_dynamic;
+          Alcotest.test_case "exec twice accumulates" `Quick
+            test_exec_twice_accumulates;
+          Alcotest.test_case "read_global errors" `Quick
+            test_read_global_errors;
+          Alcotest.test_case "triangular inner bound" `Quick
+            test_triangular_loop;
+          Alcotest.test_case "while/break/continue" `Quick
+            test_while_break_continue;
+          Alcotest.test_case "break in parallel rejected" `Quick
+            test_break_in_parallel_rejected;
+          Alcotest.test_case "continue in parallel" `Quick
+            test_continue_in_parallel_ok;
+        ] );
+    ]

@@ -1,0 +1,454 @@
+(* Cross-library integration tests.
+
+   The strongest invariant in the repo: for every kernel, the compile-time
+   side (lowered affine references evaluated over the iteration space) and
+   the runtime side (the interpreter's actual loads/stores) must touch the
+   SAME multiset of (address, size, kind) — the model reasons about exactly
+   the accesses the program performs.  Any frontend, lowering, layout or
+   interpreter bug breaks the equality. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let checked_of src =
+  Minic.Typecheck.check_program (Minic.Parser.parse_program src)
+
+(* enumerate the nest's iteration space and collect every reference's
+   concrete (addr, size, write) with multiplicity *)
+let model_accesses ~threads (checked : Minic.Typecheck.checked) ~func =
+  let params = [ ("num_threads", threads) ] in
+  let nest = Loopir.Lower.lower checked ~func ~params in
+  let layout = Loopir.Layout.make checked in
+  let tbl = Hashtbl.create 1024 in
+  let bump key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let loops = Array.of_list nest.Loopir.Loop_nest.loops in
+  let values = Hashtbl.create 8 in
+  let env v =
+    match Hashtbl.find_opt values v with
+    | Some n -> Some n
+    | None -> List.assoc_opt v params
+  in
+  let rec walk level =
+    if level = Array.length loops then
+      List.iter
+        (fun (r : Loopir.Array_ref.t) ->
+          let addr =
+            Loopir.Array_ref.byte_addr
+              ~addr_of_base:(Loopir.Layout.addr_of layout)
+              ~env:(fun v -> Option.get (env v))
+              r
+          in
+          bump (addr, r.Loopir.Array_ref.size_bytes, Loopir.Array_ref.is_write r))
+        nest.Loopir.Loop_nest.refs
+    else begin
+      let loop = loops.(level) in
+      let lo = Loopir.Expr_eval.eval env loop.Loopir.Loop_nest.lower in
+      let hi = Loopir.Expr_eval.eval env loop.Loopir.Loop_nest.upper_excl in
+      let v = ref lo in
+      while !v < hi do
+        Hashtbl.replace values loop.Loopir.Loop_nest.var !v;
+        walk (level + 1);
+        v := !v + loop.Loopir.Loop_nest.step
+      done;
+      Hashtbl.remove values loop.Loopir.Loop_nest.var
+    end
+  in
+  walk 0;
+  tbl
+
+(* run the interpreter and collect the same multiset from the hook *)
+let interp_accesses ~threads (checked : Minic.Typecheck.checked) ~func ~init =
+  let tbl = Hashtbl.create 1024 in
+  let recording = ref false in
+  let sink =
+    {
+      Execsim.Interp.null_sink with
+      Execsim.Interp.mem_access =
+        (fun ~tid:_ ~addr ~size ~write ->
+          if !recording then begin
+            let key = (addr, size, write) in
+            Hashtbl.replace tbl key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+          end);
+    }
+  in
+  let it = Execsim.Interp.create ~threads ~sink checked in
+  Option.iter (fun f -> Execsim.Interp.exec it ~func:f) init;
+  recording := true;
+  Execsim.Interp.exec it ~func;
+  tbl
+
+let tables_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun key count ok -> ok && Hashtbl.find_opt b key = Some count)
+       a true
+
+let diff_summary a b =
+  let missing = ref 0 and extra = ref 0 in
+  Hashtbl.iter
+    (fun key c ->
+      let c' = Option.value ~default:0 (Hashtbl.find_opt b key) in
+      if c > c' then missing := !missing + (c - c'))
+    a;
+  Hashtbl.iter
+    (fun key c ->
+      let c' = Option.value ~default:0 (Hashtbl.find_opt a key) in
+      if c > c' then extra := !extra + (c - c'))
+    b;
+  Printf.sprintf "%d accesses only in model, %d only in interpreter" !missing
+    !extra
+
+let assert_access_agreement ~threads (kernel : Kernels.Kernel.t) =
+  let checked = Kernels.Kernel.parse kernel in
+  let model =
+    model_accesses ~threads checked ~func:kernel.Kernels.Kernel.func
+  in
+  let dynamic =
+    interp_accesses ~threads checked ~func:kernel.Kernels.Kernel.func
+      ~init:kernel.Kernels.Kernel.init_func
+  in
+  if not (tables_equal model dynamic) then
+    fail
+      (Printf.sprintf "%s (T=%d): %s" kernel.Kernels.Kernel.name threads
+         (diff_summary model dynamic));
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) model 0 in
+  check Alcotest.bool
+    (kernel.Kernels.Kernel.name ^ " nonempty")
+    true (total > 0)
+
+let test_access_agreement_kernels () =
+  List.iter
+    (fun (kernel, threads) -> assert_access_agreement ~threads kernel)
+    [
+      (Kernels.Heat.kernel ~rows:6 ~cols:34 (), 4);
+      (Kernels.Dft.kernel ~freqs:3 ~samples:40 (), 4);
+      (Kernels.Linreg_kernel.kernel ~nacc:6 ~m:24 (), 3);
+      (Kernels.Saxpy.kernel ~n:48 (), 4);
+      (Kernels.Stencil1d.kernel ~n:42 ~steps:3 (), 4);
+      (Kernels.Matvec.kernel ~rows:20 ~cols:12 (), 4);
+      (Kernels.Transpose.kernel ~n:24 (), 4);
+    ]
+
+let test_access_agreement_struct_and_if () =
+  (* conditionals: the model is control-flow-insensitive and counts both
+     branches, so restrict to a kernel whose branches touch the same
+     locations *)
+  let src =
+    {|struct cell { double v; int tag; };
+struct cell grid[40];
+double out[40];
+void init(void) {
+  int i;
+  for (i = 0; i < 40; i++) { grid[i].v = 0.5 * i; grid[i].tag = i; }
+}
+void f(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,2)
+  for (i = 0; i < 40; i++) {
+    out[i] = grid[i].v * 2.0 + grid[i].tag;
+  }
+}
+|}
+  in
+  let checked = checked_of src in
+  let model = model_accesses ~threads:4 checked ~func:"f" in
+  let dynamic =
+    interp_accesses ~threads:4 checked ~func:"f" ~init:(Some "init")
+  in
+  if not (tables_equal model dynamic) then
+    fail (diff_summary model dynamic)
+
+let test_access_agreement_after_eliminate () =
+  (* the padding transform preserves the access structure: re-lowering the
+     transformed program still matches its interpreter *)
+  let kernel = Kernels.Linreg_kernel.kernel ~nacc:8 ~m:16 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let after, _ = Fsmodel.Eliminate.eliminate ~threads:4 ~func:"linear_regression" checked in
+  let model = model_accesses ~threads:4 after ~func:"linear_regression" in
+  let dynamic =
+    interp_accesses ~threads:4 after ~func:"linear_regression"
+      ~init:(Some "init")
+  in
+  if not (tables_equal model dynamic) then fail (diff_summary model dynamic)
+
+let test_access_set_invariant_under_schedule () =
+  (* the schedule changes WHO runs an iteration, never WHAT it accesses:
+     the interpreter's access multiset is identical for static, dynamic and
+     guided, and matches the model's enumeration of the iteration space *)
+  let src kind =
+    Printf.sprintf
+      {|double x[96];
+double y[96];
+void f(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(%s)
+  for (i = 0; i < 96; i++) {
+    y[i] += 2.0 * x[i];
+  }
+}
+|}
+      kind
+  in
+  let reference = model_accesses ~threads:4 (checked_of (src "static,1")) ~func:"f" in
+  List.iter
+    (fun kind ->
+      let dynamic =
+        interp_accesses ~threads:4 (checked_of (src kind)) ~func:"f" ~init:None
+      in
+      if not (tables_equal reference dynamic) then
+        fail (kind ^ ": " ^ diff_summary reference dynamic))
+    [ "static,1"; "static,5"; "static"; "dynamic,1"; "dynamic,3"; "guided" ]
+
+(* The model's iteration count must equal what the interpreter executes:
+   cross-check via total access counts (iterations x refs). *)
+let test_iteration_counts () =
+  List.iter
+    (fun threads ->
+      let kernel = Kernels.Dft.kernel ~freqs:3 ~samples:48 () in
+      let checked = Kernels.Kernel.parse kernel in
+      let nest =
+        Loopir.Lower.lower checked ~func:"dft"
+          ~params:[ ("num_threads", threads) ]
+      in
+      let cfg = Fsmodel.Model.default_config ~threads () in
+      let r = Fsmodel.Model.run cfg ~nest ~checked in
+      let dynamic =
+        interp_accesses ~threads checked ~func:"dft" ~init:None
+      in
+      let traced = Hashtbl.fold (fun _ c acc -> acc + c) dynamic 0 in
+      check Alcotest.int
+        (Printf.sprintf "iters x refs = traced (T=%d)" threads)
+        (r.Fsmodel.Model.iterations_evaluated
+        * List.length nest.Loopir.Loop_nest.refs)
+        traced)
+    [ 1; 3; 4 ]
+
+(* The model on the simulator's own FS classification: when the model says
+   zero FS cases, the simulator must report zero false-sharing misses
+   after a cold start. *)
+let test_zero_fs_agreement () =
+  let kernel = Kernels.Saxpy.kernel ~n:512 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest =
+    Loopir.Lower.lower checked ~func:"saxpy"
+      ~params:[ ("num_threads", 4) ]
+  in
+  let cfg =
+    { (Fsmodel.Model.default_config ~threads:4 ()) with
+      Fsmodel.Model.chunk = Some 8 }
+  in
+  let r = Fsmodel.Model.run cfg ~nest ~checked in
+  check Alcotest.int "model says none" 0 r.Fsmodel.Model.fs_cases;
+  let m = Execsim.Run.measure ~run_init:false ~threads:4 ~chunk:8 kernel in
+  check Alcotest.int "simulator agrees" 0
+    m.Execsim.Run.stats.Cachesim.Stats.coherence_false
+
+(* ------------------------------------------------------------------ *)
+(* Randomized kernels: Model vs a brute-force oracle                    *)
+(*                                                                      *)
+(* Generate small random 2-level kernels (random affine subscripts,     *)
+(* random access types), then count FS cases two ways:                  *)
+(*   - the production path: Lower -> Ownership (compiled affine) ->     *)
+(*     Fs_counter (bitmask) driven by Model.run;                        *)
+(*   - an oracle written here: direct evaluation of the source          *)
+(*     subscript expressions with Expr_eval, per-iteration dedup done   *)
+(*     with sorted lists, phi-counting with the reference Detect over   *)
+(*     Thread_cache_state.                                              *)
+(* Any disagreement flags a bug in lowering, affine compilation,        *)
+(* ownership dedup, eviction bookkeeping, or the bitmask index.         *)
+(* ------------------------------------------------------------------ *)
+
+type rand_ref = { arr : int; c_i : int; c_j : int; c0 : int; is_write : bool }
+
+type rand_kernel = {
+  trip_i : int;  (* parallel loop *)
+  trip_j : int;  (* inner loop *)
+  arr_sizes : int array;
+  krefs : rand_ref list;
+  threads : int;
+  chunk : int;
+}
+
+let rand_kernel_gen =
+  let open QCheck2.Gen in
+  let* trip_i = int_range 2 7 in
+  let* trip_j = int_range 1 5 in
+  let* n_arrays = int_range 1 3 in
+  let* arr_sizes = array_size (return n_arrays) (int_range 40 90) in
+  let ref_gen =
+    let* arr = int_range 0 (n_arrays - 1) in
+    let* c_i = int_range 0 3 in
+    let* c_j = int_range 0 2 in
+    let* c0 = int_range 0 4 in
+    let* is_write = bool in
+    (* keep the maximum index in bounds *)
+    let maxidx = (c_i * (trip_i - 1)) + (c_j * (trip_j - 1)) + c0 in
+    if maxidx < arr_sizes.(arr) then
+      return (Some { arr; c_i; c_j; c0; is_write })
+    else return None
+  in
+  let* raw = list_size (int_range 1 4) ref_gen in
+  let krefs = List.filter_map Fun.id raw in
+  let* threads = int_range 1 4 in
+  let* chunk = int_range 1 3 in
+  return { trip_i; trip_j; arr_sizes; krefs; threads; chunk }
+
+let subscript r = Printf.sprintf "%d*i + %d*j + %d" r.c_i r.c_j r.c0
+
+let source_of_rand k =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun a n -> Buffer.add_string buf (Printf.sprintf "double a%d[%d];\n" a n))
+    k.arr_sizes;
+  Buffer.add_string buf "void f(void) {\nint i;\nint j;\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "#pragma omp parallel for private(i,j) schedule(static,%d)\n" k.chunk);
+  Buffer.add_string buf
+    (Printf.sprintf "for (i = 0; i < %d; i++) {\nfor (j = 0; j < %d; j++) {\n"
+       k.trip_i k.trip_j);
+  List.iter
+    (fun r ->
+      if r.is_write then
+        Buffer.add_string buf
+          (Printf.sprintf "a%d[%s] = 1.0;\n" r.arr (subscript r))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "a%d[%s];\n" r.arr (subscript r)))
+    k.krefs;
+  Buffer.add_string buf "}\n}\n}\n";
+  Buffer.contents buf
+
+(* the oracle: no Affine, no Ownership, no Fs_counter *)
+let oracle_fs (k : rand_kernel) checked =
+  let layout = Loopir.Layout.make checked in
+  let arch = Archspec.Arch.paper_machine in
+  let capacity = Archspec.Cache_geom.lines arch.Archspec.Arch.l1 in
+  let states =
+    Array.init k.threads (fun _ ->
+        Fsmodel.Thread_cache_state.create ~capacity)
+  in
+  let line_of r i j =
+    let base = Loopir.Layout.addr_of layout (Printf.sprintf "a%d" r.arr) in
+    (base + (8 * ((r.c_i * i) + (r.c_j * j) + r.c0))) / 64
+  in
+  let fs = ref 0 in
+  let sched =
+    Ompsched.Schedule.make ~threads:k.threads ~chunk:k.chunk ~total:k.trip_i
+  in
+  let steps = Ompsched.Schedule.max_steps_per_thread sched * k.trip_j in
+  for s = 0 to steps - 1 do
+    let k_par = s / k.trip_j and j = s mod k.trip_j in
+    for tid = 0 to k.threads - 1 do
+      match Ompsched.Schedule.nth_iter_of_thread sched ~tid k_par with
+      | None -> ()
+      | Some i ->
+          (* per-iteration ownership list: dedup lines, writes dominate,
+             first-touch order *)
+          let entries =
+            List.fold_left
+              (fun acc r ->
+                let line = line_of r i j in
+                if List.mem_assoc line acc then
+                  List.map
+                    (fun (l, w) ->
+                      if l = line then (l, w || r.is_write) else (l, w))
+                    acc
+                else acc @ [ (line, r.is_write) ])
+              [] k.krefs
+          in
+          List.iter
+            (fun (line, written) ->
+              fs := !fs + Fsmodel.Detect.fs_cases_for_insert ~states ~me:tid ~line;
+              ignore
+                (Fsmodel.Thread_cache_state.insert states.(tid) ~line ~written))
+            entries
+    done
+  done;
+  !fs
+
+let prop_model_matches_oracle =
+  QCheck2.Test.make ~name:"Model.run equals the brute-force oracle" ~count:200
+    ~print:source_of_rand rand_kernel_gen (fun k ->
+      match
+        let src = source_of_rand k in
+        let checked = checked_of src in
+        if k.krefs = [] then true
+        else begin
+          let nest =
+            Loopir.Lower.lower checked ~func:"f"
+              ~params:[ ("num_threads", k.threads) ]
+          in
+          let cfg = Fsmodel.Model.default_config ~threads:k.threads () in
+          let r = Fsmodel.Model.run cfg ~nest ~checked in
+          r.Fsmodel.Model.fs_cases = oracle_fs k checked
+        end
+      with
+      | ok -> ok
+      | exception Loopir.Lower.Lower_error _ ->
+          (* kernels whose only refs are reads still lower fine; any other
+             lowering failure is a generator bug worth seeing *)
+          false)
+
+(* End-to-end: CLI-style pipeline from raw source text to a report. *)
+let test_pipeline_from_source () =
+  let src =
+    {|#define N 256
+double data[N];
+double acc[32];
+void kern(void) {
+  int b;
+  int i;
+  #pragma omp parallel for private(b,i) schedule(static,1)
+  for (b = 0; b < 32; b++) {
+    for (i = 0; i < N / num_threads; i++) {
+      acc[b] += data[i];
+    }
+  }
+}
+|}
+  in
+  let checked = checked_of src in
+  let a =
+    Fsmodel.Overhead_percent.analyze ~threads:8 ~fs_chunk:1 ~nfs_chunk:8
+      ~func:"kern" checked
+  in
+  check Alcotest.bool "fs found" true (a.Fsmodel.Overhead_percent.n_fs > 0);
+  check Alcotest.int "none with line chunks" 0
+    a.Fsmodel.Overhead_percent.n_nfs;
+  let advice = Fsmodel.Advisor.advise ~threads:8 ~func:"kern" checked in
+  check (Alcotest.option Alcotest.int) "advice" (Some 8)
+    advice.Fsmodel.Advisor.best_chunk;
+  let after, _ = Fsmodel.Eliminate.eliminate ~threads:8 ~func:"kern" checked in
+  let a' =
+    Fsmodel.Overhead_percent.analyze ~threads:8 ~fs_chunk:1 ~nfs_chunk:8
+      ~func:"kern" after
+  in
+  check Alcotest.int "eliminated" 0 a'.Fsmodel.Overhead_percent.n_fs
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "model = interpreter",
+        [
+          Alcotest.test_case "access multisets agree (all kernels)" `Quick
+            test_access_agreement_kernels;
+          Alcotest.test_case "structs and scaling" `Quick
+            test_access_agreement_struct_and_if;
+          Alcotest.test_case "after elimination" `Quick
+            test_access_agreement_after_eliminate;
+          Alcotest.test_case "schedule invariance" `Quick
+            test_access_set_invariant_under_schedule;
+          Alcotest.test_case "iteration counts" `Quick test_iteration_counts;
+          Alcotest.test_case "zero-FS agreement" `Quick
+            test_zero_fs_agreement;
+          QCheck_alcotest.to_alcotest prop_model_matches_oracle;
+        ] );
+      ( "end to end",
+        [ Alcotest.test_case "source to report" `Quick
+            test_pipeline_from_source ] );
+    ]

@@ -1,0 +1,222 @@
+(* Tests for the bundled kernels: they parse, typecheck, lower, and have
+   the structure the paper describes. *)
+
+let check = Alcotest.check
+
+let test_all_parse_and_lower () =
+  List.iter
+    (fun (k : Kernels.Kernel.t) ->
+      let checked = Kernels.Kernel.parse k in
+      List.iter
+        (fun threads ->
+          let nest =
+            Loopir.Lower.lower checked ~func:k.Kernels.Kernel.func
+              ~params:[ ("num_threads", threads) ]
+          in
+          check Alcotest.bool
+            (k.Kernels.Kernel.name ^ " has refs")
+            true
+            (nest.Loopir.Loop_nest.refs <> []);
+          check Alcotest.bool
+            (k.Kernels.Kernel.name ^ " has a write")
+            true
+            (List.exists Loopir.Array_ref.is_write nest.Loopir.Loop_nest.refs))
+        [ 2; 48 ];
+      match k.Kernels.Kernel.init_func with
+      | Some init ->
+          check Alcotest.bool
+            (k.Kernels.Kernel.name ^ " init exists")
+            true
+            (Minic.Ast.find_func checked.Minic.Typecheck.prog init <> None)
+      | None -> ())
+    (Kernels.Registry.all ())
+
+let test_registry () =
+  check Alcotest.int "seven kernels" 7 (List.length (Kernels.Registry.all ()));
+  check Alcotest.bool "find heat" true (Kernels.Registry.find "heat" <> None);
+  check Alcotest.bool "unknown" true (Kernels.Registry.find "zzz" = None);
+  check
+    (Alcotest.list Alcotest.string)
+    "names"
+    [ "heat"; "dft"; "linear_regression"; "saxpy"; "stencil1d"; "matvec";
+      "transpose" ]
+    (Kernels.Registry.names ())
+
+let test_parallel_levels () =
+  let depth name =
+    let k = Option.get (Kernels.Registry.find name) in
+    let checked = Kernels.Kernel.parse k in
+    let nest =
+      Loopir.Lower.lower checked ~func:k.Kernels.Kernel.func
+        ~params:[ ("num_threads", 4) ]
+    in
+    (nest.Loopir.Loop_nest.parallel_depth, Loopir.Loop_nest.depth nest)
+  in
+  (* heat and dft parallelize the innermost loop (paper §IV-B); linreg the
+     outermost (Fig. 1) *)
+  check (Alcotest.pair Alcotest.int Alcotest.int) "heat inner" (1, 2)
+    (depth "heat");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dft inner" (1, 2)
+    (depth "dft");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "linreg outer" (0, 2)
+    (depth "linear_regression")
+
+let test_linreg_inner_trip_uses_num_threads () =
+  let k = Kernels.Linreg_kernel.kernel ~nacc:8 ~m:64 () in
+  let checked = Kernels.Kernel.parse k in
+  let total threads =
+    let nest =
+      Loopir.Lower.lower checked ~func:"linear_regression"
+        ~params:[ ("num_threads", threads) ]
+    in
+    Loopir.Loop_nest.total_iterations nest ~env:(fun v ->
+        if v = "num_threads" then Some threads else None)
+  in
+  (* paper: each unit processes M/num_threads points *)
+  check Alcotest.int "T=2" (8 * 32) (total 2);
+  check Alcotest.int "T=8" (8 * 8) (total 8)
+
+let test_balanced_defaults () =
+  (* default sizes are divisible by threads*chunk for both chunk settings
+     at every measured team size *)
+  List.iter
+    (fun (k : Kernels.Kernel.t) ->
+      let checked = Kernels.Kernel.parse k in
+      List.iter
+        (fun threads ->
+          let nest =
+            Loopir.Lower.lower checked ~func:k.Kernels.Kernel.func
+              ~params:[ ("num_threads", threads) ]
+          in
+          let trip =
+            Loopir.Loop_nest.trip_count
+              (Loopir.Loop_nest.parallel_loop nest)
+              ~env:(fun v -> if v = "num_threads" then Some threads else None)
+          in
+          List.iter
+            (fun chunk ->
+              check Alcotest.int
+                (Printf.sprintf "%s T=%d c=%d balanced"
+                   k.Kernels.Kernel.name threads chunk)
+                0
+                (trip mod (threads * chunk)))
+            [ k.Kernels.Kernel.fs_chunk; k.Kernels.Kernel.nfs_chunk ])
+        [ 2; 4; 8; 16; 24; 32; 40; 48 ])
+    [ Kernels.Heat.kernel (); Kernels.Dft.kernel ();
+      Kernels.Linreg_kernel.kernel () ]
+
+let test_fs_nfs_chunks_differ () =
+  List.iter
+    (fun (k : Kernels.Kernel.t) ->
+      check Alcotest.bool
+        (k.Kernels.Kernel.name ^ " nfs > fs chunk")
+        true
+        (k.Kernels.Kernel.nfs_chunk > k.Kernels.Kernel.fs_chunk))
+    (Kernels.Registry.all ())
+
+let test_kernel_model_shapes () =
+  (* chunked runs must produce strictly fewer FS cases on every kernel *)
+  List.iter
+    (fun (k : Kernels.Kernel.t) ->
+      let small =
+        match k.Kernels.Kernel.name with
+        | "heat" -> Kernels.Heat.kernel ~rows:6 ~cols:258 ()
+        | "dft" -> Kernels.Dft.kernel ~freqs:4 ~samples:256 ()
+        | "linear_regression" -> Kernels.Linreg_kernel.kernel ~nacc:64 ~m:64 ()
+        | "saxpy" -> Kernels.Saxpy.kernel ~n:512 ()
+        | "matvec" -> Kernels.Matvec.kernel ~rows:64 ~cols:32 ()
+        | "transpose" -> Kernels.Transpose.kernel ~n:64 ()
+        | _ -> Kernels.Stencil1d.kernel ~n:514 ~steps:2 ()
+      in
+      let checked = Kernels.Kernel.parse small in
+      let nest =
+        Loopir.Lower.lower checked ~func:small.Kernels.Kernel.func
+          ~params:[ ("num_threads", 4) ]
+      in
+      let run chunk =
+        let cfg =
+          { (Fsmodel.Model.default_config ~threads:4 ()) with
+            Fsmodel.Model.chunk = Some chunk }
+        in
+        (Fsmodel.Model.run cfg ~nest ~checked).Fsmodel.Model.fs_cases
+      in
+      let fs = run small.Kernels.Kernel.fs_chunk in
+      let nfs = run small.Kernels.Kernel.nfs_chunk in
+      check Alcotest.bool
+        (small.Kernels.Kernel.name ^ ": fs chunk worse")
+        true (fs > nfs))
+    (Kernels.Registry.all ())
+
+let test_matvec_values_and_victim () =
+  let k = Kernels.Matvec.kernel ~rows:16 ~cols:8 () in
+  let checked = Kernels.Kernel.parse k in
+  let it = Execsim.Interp.create ~threads:4 checked in
+  Execsim.Interp.exec it ~func:"init";
+  Execsim.Interp.exec it ~func:"matvec";
+  let expect i =
+    let acc = ref 0. in
+    for j = 0 to 7 do
+      acc :=
+        !acc
+        +. ((0.25 *. float_of_int i) -. (0.125 *. float_of_int j))
+           /. (1.0 +. float_of_int j)
+    done;
+    !acc
+  in
+  (match Execsim.Interp.read_global it "y" [ Execsim.Interp.Idx 5 ] with
+  | Execsim.Value.V_float f ->
+      check (Alcotest.float 1e-9) "y[5]" (expect 5) f
+  | _ -> Alcotest.fail "float");
+  let advice = Fsmodel.Advisor.advise ~threads:4 ~func:"matvec" checked in
+  match advice.Fsmodel.Advisor.victims with
+  | [ v ] ->
+      check Alcotest.string "victim" "y" v.Fsmodel.Advisor.base;
+      check Alcotest.int "pad" 56 v.Fsmodel.Advisor.padding_bytes
+  | _ -> Alcotest.fail "one victim"
+
+let test_transpose_values_and_fs () =
+  let k = Kernels.Transpose.kernel ~n:16 () in
+  let checked = Kernels.Kernel.parse k in
+  let it = Execsim.Interp.create ~threads:4 checked in
+  Execsim.Interp.exec it ~func:"init";
+  Execsim.Interp.exec it ~func:"transpose";
+  (match
+     Execsim.Interp.read_global it "B" [ Execsim.Interp.Idx 3; Execsim.Interp.Idx 7 ]
+   with
+  | Execsim.Value.V_float f ->
+      check (Alcotest.float 1e-9) "B[3][7] = A[7][3]" ((7. *. 16.) +. 3.) f
+  | _ -> Alcotest.fail "float");
+  (* the write B[j][i] strides 8 bytes per parallel iteration: heavy FS at
+     chunk 1, none at chunk 8 *)
+  let nest =
+    Loopir.Lower.lower checked ~func:"transpose"
+      ~params:[ ("num_threads", 4) ]
+  in
+  let run chunk =
+    let cfg =
+      { (Fsmodel.Model.default_config ~threads:4 ()) with
+        Fsmodel.Model.chunk = Some chunk }
+    in
+    (Fsmodel.Model.run cfg ~nest ~checked).Fsmodel.Model.fs_cases
+  in
+  check Alcotest.bool "fs at chunk 1" true (run 1 > 100);
+  check Alcotest.int "no fs at chunk 8" 0 (run 8)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "parse and lower" `Quick test_all_parse_and_lower;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "parallel levels" `Quick test_parallel_levels;
+          Alcotest.test_case "linreg num_threads trip" `Quick
+            test_linreg_inner_trip_uses_num_threads;
+          Alcotest.test_case "balanced defaults" `Quick test_balanced_defaults;
+          Alcotest.test_case "chunk config sane" `Quick
+            test_fs_nfs_chunks_differ;
+          Alcotest.test_case "model shapes" `Quick test_kernel_model_shapes;
+          Alcotest.test_case "matvec" `Quick test_matvec_values_and_victim;
+          Alcotest.test_case "transpose" `Quick test_transpose_values_and_fs;
+        ] );
+    ]

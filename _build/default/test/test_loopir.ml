@@ -1,0 +1,479 @@
+(* Tests for the loop IR: affine arithmetic, expression evaluation, memory
+   layout, lowering, loop-nest geometry, reference grouping. *)
+
+open Loopir
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let env_of l v = List.assoc_opt v l
+let env_exn l v = List.assoc v l
+
+(* ------------------------------------------------------------------ *)
+(* Affine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_affine_algebra () =
+  let a = Affine.add (Affine.scale 3 (Affine.var "i")) (Affine.const 5) in
+  check Alcotest.int "coeff i" 3 (Affine.coeff a "i");
+  check Alcotest.int "const" 5 (Affine.const_part a);
+  let b = Affine.sub a (Affine.var "i") in
+  check Alcotest.int "coeff after sub" 2 (Affine.coeff b "i");
+  let z = Affine.sub b b in
+  check (Alcotest.option Alcotest.int) "zero" (Some 0) (Affine.is_const z);
+  check Alcotest.bool "equal" true (Affine.equal b b);
+  check Alcotest.bool "not equal" false (Affine.equal a b)
+
+let test_affine_mul () =
+  let i = Affine.var "i" in
+  (match Affine.mul (Affine.const 4) i with
+  | Some p -> check Alcotest.int "4*i coeff" 4 (Affine.coeff p "i")
+  | None -> fail "const*var should multiply");
+  match Affine.mul i i with
+  | None -> ()
+  | Some _ -> fail "var*var is not affine"
+
+let test_affine_eval_subst () =
+  let a =
+    Affine.add
+      (Affine.add (Affine.scale 2 (Affine.var "i")) (Affine.var "j"))
+      (Affine.const 1)
+  in
+  check Alcotest.int "eval" 12 (Affine.eval (env_exn [ ("i", 4); ("j", 3) ]) a);
+  let s =
+    Affine.subst
+      (fun v -> if v = "j" then Some (Affine.scale 5 (Affine.var "k")) else None)
+      a
+  in
+  check Alcotest.int "subst eval" 24
+    (Affine.eval (env_exn [ ("i", 4); ("k", 3) ]) s)
+
+let test_affine_of_expr () =
+  let parse s = Minic.Parser.parse_expr_string [] s in
+  let lookup v =
+    if v = "i" || v = "j" then Some (Affine.var v)
+    else if v = "N" then Some (Affine.const 10)
+    else None
+  in
+  (match Affine.of_expr lookup (parse "2*i + j - 3") with
+  | Some a ->
+      check Alcotest.int "2i" 2 (Affine.coeff a "i");
+      check Alcotest.int "j" 1 (Affine.coeff a "j");
+      check Alcotest.int "c" (-3) (Affine.const_part a)
+  | None -> fail "affine expr rejected");
+  (match Affine.of_expr lookup (parse "i * N") with
+  | Some a -> check Alcotest.int "i*N" 10 (Affine.coeff a "i")
+  | None -> fail "i*N is affine when N is const");
+  (match Affine.of_expr lookup (parse "i * j") with
+  | None -> ()
+  | Some _ -> fail "i*j must be rejected");
+  (match Affine.of_expr lookup (parse "i / 2") with
+  | None -> ()
+  | Some _ -> fail "i/2 must be rejected (truncation)");
+  match Affine.of_expr lookup (parse "N / 3") with
+  | Some a ->
+      check (Alcotest.option Alcotest.int) "N/3" (Some 3) (Affine.is_const a)
+  | None -> fail "const division folds"
+
+(* qcheck: affine add/scale laws under evaluation *)
+let affine_gen =
+  let open QCheck2.Gen in
+  let term =
+    map2
+      (fun v c -> Affine.scale c (Affine.var ("v" ^ string_of_int (abs v mod 3))))
+      small_int (int_range (-5) 5)
+  in
+  map2
+    (fun terms c -> List.fold_left Affine.add (Affine.const c) terms)
+    (list_size (int_range 0 4) term)
+    (int_range (-10) 10)
+
+let prop_affine_add_eval =
+  QCheck2.Test.make ~name:"eval (a + b) = eval a + eval b" ~count:300
+    QCheck2.Gen.(pair affine_gen affine_gen)
+    (fun (a, b) ->
+      let env v = match v with "v0" -> 2 | "v1" -> -3 | _ -> 7 in
+      Affine.eval env (Affine.add a b) = Affine.eval env a + Affine.eval env b)
+
+let prop_affine_scale_eval =
+  QCheck2.Test.make ~name:"eval (k * a) = k * eval a" ~count:300
+    QCheck2.Gen.(pair (int_range (-6) 6) affine_gen)
+    (fun (k, a) ->
+      let env v = match v with "v0" -> 5 | "v1" -> 1 | _ -> -2 in
+      Affine.eval env (Affine.scale k a) = k * Affine.eval env a)
+
+(* ------------------------------------------------------------------ *)
+(* Expr_eval                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_eval () =
+  let parse s = Minic.Parser.parse_expr_string [] s in
+  let env = env_of [ ("x", 7); ("y", -2) ] in
+  check Alcotest.int "arith" 12 (Expr_eval.eval env (parse "x + y + x"));
+  check Alcotest.int "div trunc" 3 (Expr_eval.eval env (parse "x / 2"));
+  check Alcotest.int "mod" 1 (Expr_eval.eval env (parse "x % 2"));
+  check Alcotest.int "cmp true" 1 (Expr_eval.eval env (parse "x > y"));
+  check Alcotest.int "cmp false" 0 (Expr_eval.eval env (parse "x < y"));
+  check Alcotest.int "logic" 1 (Expr_eval.eval env (parse "x > 0 && y < 0"));
+  (match Expr_eval.eval env (parse "z + 1") with
+  | exception Expr_eval.Unbound "z" -> ()
+  | _ -> fail "unbound must raise");
+  (match Expr_eval.eval env (parse "x / 0") with
+  | exception Division_by_zero -> ()
+  | _ -> fail "div by zero");
+  match Expr_eval.eval env (parse "1.5") with
+  | exception Expr_eval.Not_integer _ -> ()
+  | _ -> fail "float literal is not an integer"
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checked_of src =
+  Minic.Typecheck.check_program (Minic.Parser.parse_program src)
+
+let test_layout () =
+  let checked = checked_of "char c;\ndouble a[10];\nint b[3];\n" in
+  let l = Layout.make ~line_bytes:64 checked in
+  check Alcotest.int "c addr" 0 (Layout.addr_of l "c");
+  check Alcotest.int "a aligned" 64 (Layout.addr_of l "a");
+  check Alcotest.int "b aligned" 192 (Layout.addr_of l "b");
+  check Alcotest.int "a size" 80 (Layout.size_of l "a");
+  check Alcotest.int "total rounded" 256 (Layout.total_bytes l);
+  let gs = Layout.globals l in
+  List.iteri
+    (fun i (_, addr, size) ->
+      match List.nth_opt gs (i + 1) with
+      | Some (_, addr', _) ->
+          check Alcotest.bool "no overlap" true (addr + size <= addr')
+      | None -> ())
+    gs;
+  match Layout.addr_of l "zz" with
+  | exception Not_found -> ()
+  | _ -> fail "unknown global"
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lower_src ?(params = [ ("num_threads", 4) ]) ~func src =
+  Lower.lower (checked_of src) ~func ~params
+
+let test_lower_heat_shape () =
+  let k = Kernels.Heat.kernel ~rows:10 ~cols:66 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"heat_step"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "depth" 2 (Loop_nest.depth nest);
+  check Alcotest.int "parallel depth" 1 nest.Loop_nest.parallel_depth;
+  check Alcotest.int "refs" 5 (List.length nest.Loop_nest.refs);
+  let writes = List.filter Array_ref.is_write nest.Loop_nest.refs in
+  (match writes with
+  | [ w ] ->
+      check Alcotest.string "write base" "B" w.Array_ref.base;
+      check Alcotest.int "row stride" (66 * 8)
+        (Affine.coeff w.Array_ref.offset "i");
+      check Alcotest.int "col stride" 8 (Affine.coeff w.Array_ref.offset "j")
+  | _ -> fail "exactly one write");
+  check Alcotest.int "chunk" 1 (Loop_nest.chunk_size nest)
+
+let test_lower_linreg_offsets () =
+  let k = Kernels.Linreg_kernel.kernel ~nacc:16 ~m:32 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"linear_regression"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "parallel depth" 0 nest.Loop_nest.parallel_depth;
+  let field_offsets =
+    List.filter_map
+      (fun (r : Array_ref.t) ->
+        if r.Array_ref.base = "tid_args" && Array_ref.is_write r then
+          Some (Affine.const_part r.Array_ref.offset)
+        else None)
+      nest.Loop_nest.refs
+  in
+  check (Alcotest.list Alcotest.int) "struct field offsets"
+    [ 0; 8; 16; 24; 32 ] field_offsets;
+  List.iter
+    (fun (r : Array_ref.t) ->
+      if r.Array_ref.base = "tid_args" then
+        check Alcotest.int "40B stride over j" 40
+          (Affine.coeff r.Array_ref.offset "j"))
+    nest.Loop_nest.refs
+
+let test_lower_private_excluded () =
+  let src =
+    {|int a[16];
+int priv;
+void f(void) {
+  int i;
+  #pragma omp parallel for private(i, priv)
+  for (i = 0; i < 16; i++) {
+    priv = a[i];
+    a[i] = priv + 1;
+  }
+}
+|}
+  in
+  let nest = lower_src ~func:"f" src in
+  check Alcotest.bool "no priv refs" true
+    (List.for_all (fun r -> r.Array_ref.base = "a") nest.Loop_nest.refs)
+
+let test_lower_reduction_excluded () =
+  let src =
+    {|double a[16];
+double s;
+void f(void) {
+  int i;
+  #pragma omp parallel for reduction(+:s)
+  for (i = 0; i < 16; i++) {
+    s += a[i];
+  }
+}
+|}
+  in
+  let nest = lower_src ~func:"f" src in
+  check Alcotest.bool "reduction var not a ref" true
+    (List.for_all (fun r -> r.Array_ref.base = "a") nest.Loop_nest.refs)
+
+let test_lower_compound_assign_refs () =
+  let src =
+    "double a[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 8; i++) { a[i] += 1.0; } }"
+  in
+  let nest = lower_src ~func:"f" src in
+  let reads, writes =
+    List.partition (fun r -> not (Array_ref.is_write r)) nest.Loop_nest.refs
+  in
+  check Alcotest.int "one read" 1 (List.length reads);
+  check Alcotest.int "one write" 1 (List.length writes)
+
+let test_lower_two_arrays () =
+  let src =
+    "int b[8];\ndouble a[8];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 8; i++) { a[i] = 1.0; b[i] = 0; } }"
+  in
+  let nest = lower_src ~func:"f" src in
+  check Alcotest.int "refs" 2 (List.length nest.Loop_nest.refs)
+
+let expect_lower_error name src ~func =
+  match lower_src ~func src with
+  | exception Lower.Lower_error _ -> ()
+  | _ -> fail (name ^ ": expected Lower_error")
+
+let test_lower_errors () =
+  expect_lower_error "no pragma" ~func:"f"
+    "int a[4];\nvoid f(void) { int i; for (i = 0; i < 4; i++) { a[i] = 1; } }";
+  expect_lower_error "unknown function" ~func:"zzz" "int a;\n";
+  expect_lower_error "imperfect nest" ~func:"f"
+    {|int a[4];
+void f(void) {
+  int i; int j;
+  #pragma omp parallel for
+  for (i = 0; i < 4; i++) {
+    a[i] = 0;
+    for (j = 0; j < 4; j++) {
+      a[j] = 1;
+    }
+  }
+}
+|};
+  expect_lower_error "non-affine subscript" ~func:"f"
+    "int a[100];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 10; i++) { a[i*i] = 1; } }";
+  expect_lower_error "bad condition" ~func:"f"
+    "int a[10];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i != 10; i++) { a[i] = 1; } }";
+  expect_lower_error "while in innermost body" ~func:"f"
+    "int a[10];\nint j;\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 10; i++) { while (a[i] < 3) { a[i] += 1; } } }";
+  expect_lower_error "break in modeled body" ~func:"f"
+    "int a[10];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 0; i < 10; i++) { if (i == 3) { break; } a[i] = 1; } }"
+
+let test_lower_all () =
+  let src =
+    {|double a[32];
+double b[32];
+void f(void) {
+  int i;
+  #pragma omp parallel for private(i)
+  for (i = 0; i < 32; i++) { a[i] = 1.0; }
+  #pragma omp parallel for private(i) schedule(static,4)
+  for (i = 0; i < 32; i++) { b[i] = a[i]; }
+}
+|}
+  in
+  let checked = checked_of src in
+  let nests = Lower.lower_all checked ~func:"f" ~params:[] in
+  check Alcotest.int "two nests" 2 (List.length nests);
+  (match nests with
+  | [ n1; n2 ] ->
+      check Alcotest.int "first writes a" 1 (List.length n1.Loop_nest.refs);
+      check Alcotest.int "second has read+write" 2
+        (List.length n2.Loop_nest.refs);
+      check (Alcotest.option Alcotest.int) "chunks differ" (Some 4)
+        (Loop_nest.chunk_spec n2)
+  | _ -> fail "two nests");
+  (* [lower] picks the first *)
+  let first = Lower.lower checked ~func:"f" ~params:[] in
+  check Alcotest.string "first ref base" "a"
+    (List.hd first.Loop_nest.refs).Array_ref.base
+
+let test_lower_step_gt_one () =
+  let nest =
+    lower_src ~func:"f"
+      "double y[64];\nvoid f(void) {\n#pragma omp parallel for schedule(static,1)\nfor (int i = 0; i < 64; i += 4) { y[i] = 1.0; } }"
+  in
+  let loop = Loop_nest.parallel_loop nest in
+  check Alcotest.int "step" 4 loop.Loop_nest.step;
+  check Alcotest.int "trip" 16 (Loop_nest.trip_count loop ~env:(env_of []))
+
+let test_find_parallel_functions () =
+  let checked =
+    checked_of
+      {|int a[4];
+void seq(void) { a[0] = 1; }
+void par(void) {
+  #pragma omp parallel for
+  for (int i = 0; i < 4; i++) { a[i] = i; }
+}
+|}
+  in
+  check (Alcotest.list Alcotest.string) "parallel funcs" [ "par" ]
+    (Lower.find_parallel_functions checked.Minic.Typecheck.prog)
+
+(* ------------------------------------------------------------------ *)
+(* Loop_nest geometry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_trip_count () =
+  let nest =
+    lower_src ~func:"f"
+      "int a[100];\nvoid f(void) {\n#pragma omp parallel for schedule(static,2)\nfor (int i = 3; i <= 17; i += 2) { a[i] = 1; } }"
+  in
+  let loop = Loop_nest.parallel_loop nest in
+  check Alcotest.int "trip (3..17 step2 incl)" 8
+    (Loop_nest.trip_count loop ~env:(env_of []));
+  check Alcotest.int "chunk" 2 (Loop_nest.chunk_size nest)
+
+let test_trip_count_empty () =
+  let nest =
+    lower_src ~func:"f"
+      "int a[10];\nvoid f(void) {\n#pragma omp parallel for\nfor (int i = 5; i < 5; i++) { a[i] = 1; } }"
+  in
+  check Alcotest.int "empty" 0
+    (Loop_nest.trip_count (Loop_nest.parallel_loop nest) ~env:(env_of []))
+
+let test_total_iterations_rect () =
+  let k = Kernels.Heat.kernel ~rows:10 ~cols:66 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"heat_step"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "8*64" 512
+    (Loop_nest.total_iterations nest ~env:(env_of []))
+
+let test_total_iterations_triangular () =
+  let src =
+    {|double a[40][40];
+void f(void) {
+  int i; int j;
+  #pragma omp parallel for private(j)
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < i; j++) {
+      a[i][j] = 1.0;
+    }
+  }
+}
+|}
+  in
+  let nest = lower_src ~func:"f" src in
+  check Alcotest.int "0+1+..+7" 28
+    (Loop_nest.total_iterations nest ~env:(env_of []))
+
+let test_total_iterations_param () =
+  let k = Kernels.Linreg_kernel.kernel ~nacc:16 ~m:32 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"linear_regression"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "16 * 32/4" 128
+    (Loop_nest.total_iterations nest ~env:(env_of [ ("num_threads", 4) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Ref groups                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ref_groups_heat () =
+  let k = Kernels.Heat.kernel ~rows:10 ~cols:66 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"heat_step"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "groups" 4
+    (Ref_group.count ~line_bytes:64 nest.Loop_nest.refs);
+  let groups = Ref_group.form ~line_bytes:64 nest.Loop_nest.refs in
+  let b_groups =
+    List.filter
+      (fun (g : Ref_group.t) -> g.Ref_group.leader.Array_ref.base = "B")
+      groups
+  in
+  match b_groups with
+  | [ g ] -> check Alcotest.bool "B written" true g.Ref_group.has_write
+  | _ -> fail "one B group"
+
+let test_ref_groups_same_line_fields () =
+  let k = Kernels.Linreg_kernel.kernel ~nacc:16 ~m:32 () in
+  let nest =
+    Lower.lower (Kernels.Kernel.parse k) ~func:"linear_regression"
+      ~params:[ ("num_threads", 4) ]
+  in
+  check Alcotest.int "two groups" 2
+    (Ref_group.count ~line_bytes:64 nest.Loop_nest.refs)
+
+let () =
+  Alcotest.run "loopir"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "algebra" `Quick test_affine_algebra;
+          Alcotest.test_case "mul" `Quick test_affine_mul;
+          Alcotest.test_case "eval/subst" `Quick test_affine_eval_subst;
+          Alcotest.test_case "of_expr" `Quick test_affine_of_expr;
+          QCheck_alcotest.to_alcotest prop_affine_add_eval;
+          QCheck_alcotest.to_alcotest prop_affine_scale_eval;
+        ] );
+      ("expr_eval", [ Alcotest.test_case "semantics" `Quick test_expr_eval ]);
+      ("layout", [ Alcotest.test_case "addresses" `Quick test_layout ]);
+      ( "lower",
+        [
+          Alcotest.test_case "heat shape" `Quick test_lower_heat_shape;
+          Alcotest.test_case "linreg offsets" `Quick
+            test_lower_linreg_offsets;
+          Alcotest.test_case "private excluded" `Quick
+            test_lower_private_excluded;
+          Alcotest.test_case "reduction excluded" `Quick
+            test_lower_reduction_excluded;
+          Alcotest.test_case "compound assign" `Quick
+            test_lower_compound_assign_refs;
+          Alcotest.test_case "two arrays" `Quick test_lower_two_arrays;
+          Alcotest.test_case "errors" `Quick test_lower_errors;
+          Alcotest.test_case "lower_all" `Quick test_lower_all;
+          Alcotest.test_case "step > 1" `Quick test_lower_step_gt_one;
+          Alcotest.test_case "find parallel funcs" `Quick
+            test_find_parallel_functions;
+        ] );
+      ( "loop_nest",
+        [
+          Alcotest.test_case "trip count" `Quick test_trip_count;
+          Alcotest.test_case "empty trip" `Quick test_trip_count_empty;
+          Alcotest.test_case "total iters rect" `Quick
+            test_total_iterations_rect;
+          Alcotest.test_case "total iters triangular" `Quick
+            test_total_iterations_triangular;
+          Alcotest.test_case "total iters param" `Quick
+            test_total_iterations_param;
+        ] );
+      ( "ref_group",
+        [
+          Alcotest.test_case "heat groups" `Quick test_ref_groups_heat;
+          Alcotest.test_case "field groups" `Quick
+            test_ref_groups_same_line_fields;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the OpenMP scheduling model. *)
+
+open Ompsched
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let test_owner_round_robin () =
+  let s = Schedule.make ~threads:3 ~chunk:2 ~total:12 in
+  (* chunks: [0,1]->t0 [2,3]->t1 [4,5]->t2 [6,7]->t0 ... *)
+  check Alcotest.int "iter 0" 0 (Schedule.owner s 0);
+  check Alcotest.int "iter 1" 0 (Schedule.owner s 1);
+  check Alcotest.int "iter 2" 1 (Schedule.owner s 2);
+  check Alcotest.int "iter 5" 2 (Schedule.owner s 5);
+  check Alcotest.int "iter 6 wraps" 0 (Schedule.owner s 6);
+  check Alcotest.int "chunk run of 5" 0 (Schedule.chunk_run_of_iter s 5);
+  check Alcotest.int "chunk run of 6" 1 (Schedule.chunk_run_of_iter s 6)
+
+let test_iters_of_thread () =
+  let s = Schedule.make ~threads:2 ~chunk:2 ~total:10 in
+  check (Alcotest.list Alcotest.int) "thread 0" [ 0; 1; 4; 5; 8; 9 ]
+    (Schedule.iters_of_thread s ~tid:0);
+  check (Alcotest.list Alcotest.int) "thread 1" [ 2; 3; 6; 7 ]
+    (Schedule.iters_of_thread s ~tid:1)
+
+let test_nth_iter () =
+  let s = Schedule.make ~threads:2 ~chunk:2 ~total:10 in
+  check (Alcotest.option Alcotest.int) "t0 k2" (Some 4)
+    (Schedule.nth_iter_of_thread s ~tid:0 2);
+  check (Alcotest.option Alcotest.int) "t1 past end" None
+    (Schedule.nth_iter_of_thread s ~tid:1 4);
+  check (Alcotest.option Alcotest.int) "bad tid" None
+    (Schedule.nth_iter_of_thread s ~tid:7 0)
+
+let test_counts () =
+  let s = Schedule.make ~threads:2 ~chunk:2 ~total:10 in
+  check Alcotest.int "t0" 6 (Schedule.count_of_thread s ~tid:0);
+  check Alcotest.int "t1" 4 (Schedule.count_of_thread s ~tid:1);
+  check Alcotest.int "max steps" 6 (Schedule.max_steps_per_thread s)
+
+let test_block_chunk () =
+  check Alcotest.int "even" 25 (Schedule.block_chunk ~threads:4 ~total:100);
+  check Alcotest.int "uneven rounds up" 26
+    (Schedule.block_chunk ~threads:4 ~total:101);
+  check Alcotest.int "never zero" 1 (Schedule.block_chunk ~threads:8 ~total:0);
+  (* with the block chunk every thread gets at most one chunk *)
+  let total = 101 and threads = 4 in
+  let s =
+    Schedule.make ~threads ~chunk:(Schedule.block_chunk ~threads ~total) ~total
+  in
+  check Alcotest.int "one run" 1 (Schedule.chunk_runs_total s);
+  check Alcotest.bool "contiguous per thread" true
+    (List.for_all
+       (fun tid ->
+         match Schedule.iters_of_thread s ~tid with
+         | [] -> true
+         | first :: _ as l ->
+             List.mapi (fun k _ -> first + k) l = l)
+       (List.init threads (fun t -> t)))
+
+let test_chunk_runs_total () =
+  let s = Schedule.make ~threads:4 ~chunk:3 ~total:100 in
+  (* 100 / (4*3) = 8.33 -> 9 *)
+  check Alcotest.int "runs" 9 (Schedule.chunk_runs_total s)
+
+let test_degenerate () =
+  let s = Schedule.make ~threads:8 ~chunk:4 ~total:0 in
+  check Alcotest.int "no iters" 0 (Schedule.count_of_thread s ~tid:0);
+  check Alcotest.int "no runs" 0 (Schedule.chunk_runs_total s);
+  match Schedule.make ~threads:0 ~chunk:1 ~total:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "threads=0 must be rejected"
+
+(* qcheck: the schedule partitions 0..total-1 exactly *)
+let sched_gen =
+  QCheck2.Gen.(
+    map3
+      (fun threads chunk total ->
+        Schedule.make ~threads:(1 + (abs threads mod 8))
+          ~chunk:(1 + (abs chunk mod 7))
+          ~total:(abs total mod 200))
+      small_int small_int small_int)
+
+let prop_partition =
+  QCheck2.Test.make ~name:"iters_of_thread partitions the iteration space"
+    ~count:200 sched_gen (fun s ->
+      let all =
+        List.concat
+          (List.init s.Schedule.threads (fun tid ->
+               Schedule.iters_of_thread s ~tid))
+      in
+      let sorted = List.sort compare all in
+      sorted = List.init s.Schedule.total (fun i -> i))
+
+let prop_owner_consistent =
+  QCheck2.Test.make ~name:"owner agrees with iters_of_thread" ~count:200
+    sched_gen (fun s ->
+      List.for_all
+        (fun tid ->
+          List.for_all
+            (fun q -> Schedule.owner s q = tid)
+            (Schedule.iters_of_thread s ~tid))
+        (List.init s.Schedule.threads (fun t -> t)))
+
+let prop_counts_sum =
+  QCheck2.Test.make ~name:"count_of_thread sums to total" ~count:200 sched_gen
+    (fun s ->
+      List.fold_left
+        (fun acc tid -> acc + Schedule.count_of_thread s ~tid)
+        0
+        (List.init s.Schedule.threads (fun t -> t))
+      = s.Schedule.total)
+
+let prop_nth_matches_list =
+  QCheck2.Test.make ~name:"nth_iter_of_thread enumerates iters_of_thread"
+    ~count:200 sched_gen (fun s ->
+      List.for_all
+        (fun tid ->
+          let l = Schedule.iters_of_thread s ~tid in
+          List.mapi (fun k _ -> Schedule.nth_iter_of_thread s ~tid k) l
+          = List.map Option.some l
+          && Schedule.nth_iter_of_thread s ~tid (List.length l) = None)
+        (List.init s.Schedule.threads (fun t -> t)))
+
+let test_team () =
+  let t = Team.make ~threads:24 () in
+  check Alcotest.int "socket of 0" 0 (Team.socket_of t 0);
+  check Alcotest.int "socket of 12" 1 (Team.socket_of t 12);
+  check Alcotest.bool "share" true (Team.share_socket t 0 11);
+  check Alcotest.bool "differ" false (Team.share_socket t 11 12);
+  (match Team.make ~threads:49 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "too many threads");
+  match Team.make ~threads:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero threads"
+
+let test_overhead () =
+  let o = Overhead.default in
+  let a = Overhead.parallel_overhead_cycles o ~threads:2 ~chunks_per_thread:1 in
+  let b = Overhead.parallel_overhead_cycles o ~threads:8 ~chunks_per_thread:1 in
+  check Alcotest.bool "grows with team" true (b > a);
+  let c = Overhead.parallel_overhead_cycles o ~threads:2 ~chunks_per_thread:9 in
+  check Alcotest.bool "grows with chunks" true (c > a);
+  check Alcotest.int "loop overhead linear"
+    (10 * o.Overhead.loop_per_iter)
+    (Overhead.loop_overhead_cycles o ~iters:10)
+
+let () =
+  Alcotest.run "ompsched"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "round robin" `Quick test_owner_round_robin;
+          Alcotest.test_case "iters of thread" `Quick test_iters_of_thread;
+          Alcotest.test_case "nth iter" `Quick test_nth_iter;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "block chunk" `Quick test_block_chunk;
+          Alcotest.test_case "chunk runs" `Quick test_chunk_runs_total;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          QCheck_alcotest.to_alcotest prop_partition;
+          QCheck_alcotest.to_alcotest prop_owner_consistent;
+          QCheck_alcotest.to_alcotest prop_counts_sum;
+          QCheck_alcotest.to_alcotest prop_nth_matches_list;
+        ] );
+      ("team", [ Alcotest.test_case "sockets" `Quick test_team ]);
+      ("overhead", [ Alcotest.test_case "formulas" `Quick test_overhead ]);
+    ]
