@@ -1,0 +1,27 @@
+.PHONY: all build verify bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: full build + the whole alcotest/qcheck suite.
+verify:
+	dune build
+	dune runtest
+
+# Full reproduction harness (all figures/tables + bechamel micros).
+bench: build
+	./_build/default/bench/main.exe
+
+# Quick smoke of the bench pipelines (small instances, no micros),
+# with a wall-clock line; also leaves BENCH.json behind.
+bench-smoke: build
+	@start=$$(date +%s.%N); \
+	./_build/default/bench/main.exe --quick --no-micro; \
+	end=$$(date +%s.%N); \
+	awk -v s="$$start" -v e="$$end" \
+	  'BEGIN { printf "bench-smoke wall-clock: %.2fs\n", e - s }'
+
+clean:
+	dune clean

@@ -16,17 +16,24 @@
      compare  compile-time model vs runtime trace detector
      micro  bechamel micro-benchmarks (one per table/figure pipeline)
 
-   Usage: main.exe [--quick] [--only ID] [--no-micro]
+   Usage: main.exe [--quick] [--only ID] [--no-micro] [--domains N]
 
    "Measured" columns come from the MESI execution simulator (the repo's
    stand-in for the paper's hardware testbed; see DESIGN.md), so absolute
    seconds differ from the paper — shapes and model-vs-measured agreement
    are the reproduction targets.  Paper values are printed alongside where
-   the paper reports them. *)
+   the paper reports them.
+
+   Independent configuration sweeps (per-thread-count studies, chunk
+   sweeps) run through Fsmodel.Par_sweep, so they spread over OCaml
+   domains when more than one is available; --domains pins the count
+   (results are identical at any value).  Wall-clock per section and the
+   headline FS counts are also written to BENCH.json. *)
 
 let quick = ref false
 let only : string option ref = ref None
 let micro_enabled = ref true
+let domains = ref (Fsmodel.Par_sweep.recommended_domains ())
 
 let () =
   let rec parse = function
@@ -40,13 +47,23 @@ let () =
     | "--no-micro" :: rest ->
         micro_enabled := false;
         parse rest
+    | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some d when d >= 1 -> domains := d
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "unknown argument %s\nusage: main.exe [--quick] [--only ID] [--no-micro]\n"
+          "unknown argument %s\n\
+           usage: main.exe [--quick] [--only ID] [--no-micro] [--domains N]\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+let par_map f xs = Fsmodel.Par_sweep.map ~domains:!domains f xs
 
 let thread_set () =
   if !quick then [ 2; 8; 24; 48 ] else [ 2; 4; 8; 16; 24; 32; 40; 48 ]
@@ -63,6 +80,8 @@ let linreg_kernel () =
   if !quick then Kernels.Linreg_kernel.kernel ~nacc:1200 ~m:256 ()
   else Kernels.Linreg_kernel.kernel ()
 
+let section_times : (string * float) list ref = ref []
+
 let section id title f =
   let run =
     match !only with None -> true | Some wanted -> wanted = id
@@ -71,7 +90,9 @@ let section id title f =
     Printf.printf "\n== %s: %s ==\n\n" id title;
     let t0 = Unix.gettimeofday () in
     f ();
-    Printf.printf "\n[%s done in %.1fs]\n" id (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    section_times := (id, dt) :: !section_times;
+    Printf.printf "\n[%s done in %.1fs]\n" id dt
   end
 
 let pct = Fsmodel.Report.pct
@@ -97,7 +118,7 @@ let study (kernel : Kernels.Kernel.t) =
   | None ->
       let checked = Kernels.Kernel.parse kernel in
       let rows =
-        List.map
+        par_map
           (fun threads ->
             let meas = Execsim.Run.measured_fs_percent ~threads kernel in
             let full =
@@ -163,29 +184,37 @@ let fig2 () =
      flattening around chunk ~10-30 (about 30%% total improvement).\n\n"
     threads;
   let chunks = [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 15; 20; 25; 30 ] in
-  let base = ref None in
-  let rows =
-    List.map
+  (* every chunk is an independent (simulator, predictor) pair, so sweep
+     them in parallel and compute the vs-chunk-1 column afterwards *)
+  let points =
+    par_map
       (fun chunk ->
         let m = Execsim.Run.measure ~chunk ~threads kernel in
-        if !base = None then base := Some m.Execsim.Run.seconds;
         let cfg =
           { (Fsmodel.Model.default_config ~threads ()) with
             Fsmodel.Model.chunk = Some chunk }
         in
         let p = Fsmodel.Predict.predict ~runs:10 cfg ~nest ~checked in
+        (chunk, m.Execsim.Run.seconds, p.Fsmodel.Predict.predicted_fs))
+      chunks
+  in
+  let base =
+    match points with (_, s, _) :: _ -> Some s | [] -> None
+  in
+  let rows =
+    List.map
+      (fun (chunk, seconds, predicted_fs) ->
         let speedup =
-          match !base with
-          | Some b when m.Execsim.Run.seconds > 0. ->
-              Printf.sprintf "%.1f%%"
-                (100. *. (b -. m.Execsim.Run.seconds) /. b)
+          match base with
+          | Some b when seconds > 0. ->
+              Printf.sprintf "%.1f%%" (100. *. (b -. seconds) /. b)
           | _ -> "-"
         in
         [ string_of_int chunk;
-          Printf.sprintf "%.5f" m.Execsim.Run.seconds;
+          Printf.sprintf "%.5f" seconds;
           speedup;
-          kcount p.Fsmodel.Predict.predicted_fs ])
-      chunks
+          kcount predicted_fs ])
+      points
   in
   print_endline
     (Fsmodel.Report.table
@@ -440,8 +469,8 @@ let ablate () =
   Printf.printf
     "(a) Stack-distance policy (DFT, %d threads, chunk 1): the LRU capacity\n\
      bound (paper step 3) prevents stale-line overcounting.\n\n" threads;
-  List.iter
-    (fun (name, cfg) -> Printf.printf "  %-28s %9d FS cases\n" name (run cfg))
+  par_map
+    (fun (name, cfg) -> (name, run cfg))
     [
       ("L1-sized stack (paper)", base);
       ("L2-sized stack", { base with Fsmodel.Model.stack = Fsmodel.Model.Level_l2 });
@@ -449,7 +478,8 @@ let ablate () =
       ("unbounded stack", { base with Fsmodel.Model.stack = Fsmodel.Model.Unbounded });
       ("L1 + write-invalidate",
        { base with Fsmodel.Model.invalidate_on_write = true });
-    ];
+    ]
+  |> List.iter (fun (name, fs) -> Printf.printf "  %-28s %9d FS cases\n" name fs);
   (* (b) predictor depth, on heat whose per-run FS count has a small
      warm-up transient (the first touch of every line), so depth matters *)
   let hk = Kernels.Heat.kernel ~rows:10 ~cols:3842 () in
@@ -532,7 +562,7 @@ let ablate () =
   Printf.printf
     "\n(d) Simulated FS misses by schedule kind (vector update, %d threads):\n\n"
     threads;
-  List.iter
+  par_map
     (fun sched ->
       let kernel =
         {
@@ -564,10 +594,12 @@ void f(void) {
         }
       in
       let m = Execsim.Run.measure ~threads kernel in
-      Printf.printf "  schedule(%-9s) %6d FS misses, wall %.5f s\n" sched
-        m.Execsim.Run.stats.Cachesim.Stats.coherence_false
-        m.Execsim.Run.seconds)
-    [ "static,1"; "static,8"; "static"; "dynamic,1"; "dynamic,8"; "guided" ];
+      (sched, m))
+    [ "static,1"; "static,8"; "static"; "dynamic,1"; "dynamic,8"; "guided" ]
+  |> List.iter (fun (sched, m) ->
+         Printf.printf "  schedule(%-9s) %6d FS misses, wall %.5f s\n" sched
+           m.Execsim.Run.stats.Cachesim.Stats.coherence_false
+           m.Execsim.Run.seconds);
   (* (e) contention extension (§VI): shared-cache + bandwidth terms *)
   Printf.printf
     "\n(e) Contention extension (paper §VI future work), streaming vector\n\
@@ -615,7 +647,7 @@ let lines_section () =
   in
   let checked = Kernels.Kernel.parse kernel in
   let rows =
-    List.map
+    par_map
       (fun line ->
         let arch =
           Archspec.Arch.with_line_bytes Archspec.Arch.paper_machine line
@@ -757,6 +789,59 @@ let micro () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* BENCH.json                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable run record: wall-clock per pipeline section plus the
+   headline FS counts accumulated in [study_cache].  Hand-rolled printer —
+   the numbers are ints/floats and the strings are section ids and kernel
+   names, so no escaping is needed. *)
+let write_bench_json ~total path =
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"quick\": %b,\n" !quick;
+  bpf "  \"domains\": %d,\n" !domains;
+  bpf "  \"total_seconds\": %.3f,\n" total;
+  bpf "  \"sections\": [\n";
+  let sections = List.rev !section_times in
+  List.iteri
+    (fun i (id, dt) ->
+      bpf "    { \"id\": %S, \"seconds\": %.3f }%s\n" id dt
+        (if i = List.length sections - 1 then "" else ","))
+    sections;
+  bpf "  ],\n";
+  bpf "  \"fs_counts\": [\n";
+  let entries =
+    Hashtbl.fold
+      (fun kernel rows acc ->
+        List.fold_left
+          (fun acc (r : row) -> (kernel, r) :: acc)
+          acc rows)
+      study_cache []
+    |> List.sort compare
+  in
+  List.iteri
+    (fun i (kernel, (r : row)) ->
+      bpf
+        "    { \"kernel\": %S, \"threads\": %d, \"model_fs\": %d, \
+         \"pred_fs\": %d, \"sim_fs_misses\": %d, \"model_percent\": %.2f, \
+         \"measured_percent\": %.2f }%s\n"
+        kernel r.threads r.full.Fsmodel.Overhead_percent.n_fs
+        r.pred.Fsmodel.Overhead_percent.n_fs
+        r.meas.Execsim.Run.fs.Execsim.Run.stats
+          .Cachesim.Stats.coherence_false
+        r.full.Fsmodel.Overhead_percent.percent
+        r.meas.Execsim.Run.percent
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  bpf "  ]\n";
+  bpf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -765,6 +850,7 @@ let () =
     "Reproduction harness: Tolubaeva, Yan, Chapman — Compile-Time Detection\n\
      of False Sharing via Loop Cost Modeling (2012)%s\n"
     (if !quick then " [quick mode]" else "");
+  let t0 = Unix.gettimeofday () in
   section "fig2" "execution time vs chunk size (linear regression)" fig2;
   section "tab1" "measured vs modeled FS overhead — heat diffusion" tab1;
   section "tab2" "measured vs modeled FS overhead — DFT" tab2;
@@ -779,4 +865,9 @@ let () =
   section "lines" "false sharing vs cache-line size" lines_section;
   section "ablate" "design-choice ablations" ablate;
   section "compare" "compile-time model vs runtime detector" compare_section;
-  section "micro" "bechamel micro-benchmarks" micro
+  section "micro" "bechamel micro-benchmarks" micro;
+  let total = Unix.gettimeofday () -. t0 in
+  write_bench_json ~total "BENCH.json";
+  Printf.printf "\n[total %.1fs over %d domain%s — wrote BENCH.json]\n" total
+    !domains
+    (if !domains = 1 then "" else "s")

@@ -1,1 +1,1 @@
-lib/cachesim/coherence.ml: Archspec Array Hashtbl Line_state Lru_stack Option Private_cache Stats
+lib/cachesim/coherence.ml: Archspec Array Int_table Line_state Lru_stack Option Private_cache Stats

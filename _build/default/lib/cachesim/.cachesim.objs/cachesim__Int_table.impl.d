@@ -1,0 +1,1 @@
+lib/cachesim/int_table.ml: Array

@@ -1,1 +1,1 @@
-lib/cachesim/lru_stack.ml: Hashtbl List
+lib/cachesim/lru_stack.ml: Int_table List Option

@@ -1,0 +1,44 @@
+(** An open-addressing hash table specialized for [int] keys.
+
+    Replaces generic [Hashtbl] on the simulation hot paths: multiplicative
+    integer hashing (no polymorphic hash), linear probing over a flat key
+    array (no bucket chains, no boxed key cells), backward-shift deletion
+    (no tombstones).  Lookups allocate nothing: {!find_slot} returns a slot
+    index that {!value_at} dereferences.
+
+    Keys may be any [int] except [absent_key] (cache-line indices and byte
+    addresses are non-negative, so this never bites in practice). *)
+
+type 'a t
+
+val absent_key : int
+(** The reserved key ([min_int]). *)
+
+val create : ?initial:int -> unit -> 'a t
+(** [initial] is a capacity hint (rounded up to a power of two). *)
+
+val length : 'a t -> int
+
+val find_slot : 'a t -> int -> int
+(** Slot of a key, or [-1] when absent.  Slots are invalidated by the next
+    [set]/[remove]/[clear]. *)
+
+val key_at : 'a t -> int -> int
+val value_at : 'a t -> int -> 'a
+val set_at : 'a t -> int -> 'a -> unit
+(** Replace the value in an occupied slot (no rehash, no resize). *)
+
+val mem : 'a t -> int -> bool
+val get : 'a t -> int -> default:'a -> 'a
+(** Lookup without allocation; [default] when absent. *)
+
+val find_opt : 'a t -> int -> 'a option
+val set : 'a t -> int -> 'a -> unit
+(** Insert or replace. *)
+
+val remove : 'a t -> int -> bool
+(** [true] when the key was present. *)
+
+val clear : 'a t -> unit
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

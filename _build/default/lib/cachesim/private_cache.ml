@@ -8,34 +8,40 @@ let create ~l1 ~l2 =
     l2 = Lru_stack.create ~capacity:(Archspec.Cache_geom.lines l2);
   }
 
-(* Fill [line] into both levels; an L2 victim is back-invalidated from L1
-   (inclusion) and reported. *)
-let fill t line =
-  ignore (Lru_stack.access t.l1 line ());
-  match Lru_stack.access t.l2 line () with
-  | Some (victim, ()) ->
-      ignore (Lru_stack.remove t.l1 victim);
-      Some victim
-  | None -> None
+(* packed result codes for the allocation-free path; evicted lines are
+   always >= 0, so small negatives are free *)
+let hit_l1 = -1
+let hit_l2 = -2
+let miss = -3
 
-let access t line =
-  if Lru_stack.mem t.l1 line then begin
-    ignore (Lru_stack.access t.l1 line ());
-    (L1_hit, None)
-  end
-  else if Lru_stack.mem t.l2 line then begin
-    ignore (Lru_stack.access t.l2 line ());
-    ignore (Lru_stack.access t.l1 line ());
-    (L2_hit, None)
+let access_fast t line =
+  if Lru_stack.touch t.l1 line then hit_l1
+  else if Lru_stack.touch t.l2 line then begin
+    ignore (Lru_stack.access_int t.l1 line ());
+    hit_l2
   end
   else begin
-    let evicted = fill t line in
-    (Priv_miss, evicted)
+    (* fill both levels; an L2 victim is back-invalidated from L1
+       (inclusion) and reported *)
+    ignore (Lru_stack.access_int t.l1 line ());
+    let victim = Lru_stack.access_int t.l2 line () in
+    if victim = Lru_stack.no_key then miss
+    else begin
+      ignore (Lru_stack.remove_key t.l1 victim);
+      victim
+    end
   end
 
+let access t line =
+  match access_fast t line with
+  | -1 -> (L1_hit, None)
+  | -2 -> (L2_hit, None)
+  | -3 -> (Priv_miss, None)
+  | victim -> (Priv_miss, Some victim)
+
 let invalidate t line =
-  let in_l2 = Lru_stack.remove t.l2 line <> None in
-  let in_l1 = Lru_stack.remove t.l1 line <> None in
+  let in_l2 = Lru_stack.remove_key t.l2 line in
+  let in_l1 = Lru_stack.remove_key t.l1 line in
   in_l1 || in_l2
 
 let holds t line = Lru_stack.mem t.l2 line || Lru_stack.mem t.l1 line

@@ -12,6 +12,15 @@ type hit = L1_hit | L2_hit | Priv_miss
 
 val create : l1:Archspec.Cache_geom.t -> l2:Archspec.Cache_geom.t -> t
 
+val hit_l1 : int
+val hit_l2 : int
+val miss : int
+
+val access_fast : t -> int -> int
+(** Allocation-free {!access}: [{!hit_l1}] = L1 hit, [{!hit_l2}] = L2 hit,
+    [{!miss}] = miss with no eviction, and any value [>= 0] is a miss that
+    evicted that line from the hierarchy. *)
+
 val access : t -> int -> hit * int option
 (** [access t line] touches a line: on [L1_hit] recency is updated; on
     [L2_hit] the line is promoted into L1; on [Priv_miss] the line is filled

@@ -1,1 +1,1 @@
-lib/core/advisor.ml: Archspec Format Hashtbl List Loopir Model Option Predict
+lib/core/advisor.ml: Archspec Format Hashtbl List Loopir Model Option Par_sweep Predict

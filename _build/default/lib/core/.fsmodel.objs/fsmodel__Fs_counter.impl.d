@@ -1,1 +1,1 @@
-lib/core/fs_counter.ml: Array Hashtbl List Ownership Thread_cache_state
+lib/core/fs_counter.ml: Array Cachesim List Ownership Thread_cache_state

@@ -1,1 +1,1 @@
-lib/core/model.ml: Archspec Array Fs_counter List Loopir Ompsched Option Ownership
+lib/core/model.ml: Archspec Array Detect Fs_counter Hashtbl List Loopir Ompsched Option Ownership Thread_cache_state

@@ -1,0 +1,1 @@
+lib/core/par_sweep.ml: Array Atomic Domain List

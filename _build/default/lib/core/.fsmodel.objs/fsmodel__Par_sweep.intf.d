@@ -1,0 +1,1 @@
+lib/core/par_sweep.mli:

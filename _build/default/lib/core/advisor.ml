@@ -42,13 +42,15 @@ let find_victims ~line_bytes (nest : Loopir.Loop_nest.t) =
 
 let advise ?(arch = Archspec.Arch.paper_machine)
     ?(chunks = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(threshold = 0.05)
-    ?(pred_runs = 16) ~threads ~func checked =
+    ?(pred_runs = 16) ?domains ~threads ~func checked =
   let nest =
     Loopir.Lower.lower checked ~func ~params:[ ("num_threads", threads) ]
   in
   let base_cfg = Model.default_config ~arch ~threads () in
+  (* each candidate chunk is an independent predictor run: sweep them
+     across domains *)
   let sweep =
-    List.map
+    Par_sweep.map ?domains
       (fun chunk ->
         let cfg = { base_cfg with Model.chunk = Some chunk } in
         let p = Predict.predict ~runs:pred_runs cfg ~nest ~checked in

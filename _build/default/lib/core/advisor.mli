@@ -30,11 +30,14 @@ val advise :
   ?chunks:int list ->
   ?threshold:float ->
   ?pred_runs:int ->
+  ?domains:int ->
   threads:int ->
   func:string ->
   Minic.Typecheck.checked ->
   advice
 (** Defaults: chunks [1;2;4;8;16;32;64], threshold 0.05, 16 prediction
-    runs. *)
+    runs.  The candidate sweep runs through {!Par_sweep.map} ([domains]
+    defaults to the recommended domain count; results are identical at
+    any domain count). *)
 
 val pp : Format.formatter -> advice -> unit

@@ -1,40 +1,77 @@
+(* Which threads hold a line in written state, indexed by line.  Up to 62
+   threads the per-line mask is a single immediate int (the historical fast
+   path); beyond that it is a Cachesim.Bitset.  Either way the 1-to-All
+   comparison is a constant-time popcount and the hot path allocates
+   nothing (Small path) or only one bitset per distinct line (Big path). *)
+
+type masks =
+  | Small of int Cachesim.Int_table.t  (* line -> bitmask of writer-holders *)
+  | Big of Cachesim.Bitset.t Cachesim.Int_table.t
+
 type t = {
   states : Thread_cache_state.t array;
-  modified : (int, int) Hashtbl.t;  (* line -> bitmask of writer-holders *)
+  masks : masks;
 }
 
+let small_limit = 62
+
 let create ~threads ~capacity =
-  if threads < 1 || threads > 62 then
-    invalid_arg "Fs_counter.create: threads must be in 1..62";
+  if threads < 1 then invalid_arg "Fs_counter.create: threads < 1";
   {
     states = Array.init threads (fun _ -> Thread_cache_state.create ~capacity);
-    modified = Hashtbl.create 4096;
+    masks =
+      (if threads <= small_limit then
+         Small (Cachesim.Int_table.create ~initial:4096 ())
+       else Big (Cachesim.Int_table.create ~initial:4096 ()));
   }
 
-let mask_of t line =
-  match Hashtbl.find_opt t.modified line with Some m -> m | None -> 0
-
-let popcount n =
-  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
-  go n 0
-
 let clear_bit t line tid =
-  match Hashtbl.find_opt t.modified line with
-  | Some m ->
-      let m' = m land lnot (1 lsl tid) in
-      if m' = 0 then Hashtbl.remove t.modified line
-      else Hashtbl.replace t.modified line m'
-  | None -> ()
+  match t.masks with
+  | Small tbl ->
+      let s = Cachesim.Int_table.find_slot tbl line in
+      if s >= 0 then begin
+        let m = Cachesim.Int_table.value_at tbl s land lnot (1 lsl tid) in
+        if m = 0 then ignore (Cachesim.Int_table.remove tbl line)
+        else Cachesim.Int_table.set_at tbl s m
+      end
+  | Big tbl ->
+      let s = Cachesim.Int_table.find_slot tbl line in
+      if s >= 0 then Cachesim.Bitset.unset (Cachesim.Int_table.value_at tbl s) tid
 
 let process t ~me ~line ~written =
-  let fs = popcount (mask_of t line land lnot (1 lsl me)) in
   let prior_written = Thread_cache_state.holds_modified t.states.(me) line in
-  (match Thread_cache_state.insert t.states.(me) ~line ~written with
-  | Some (evicted, _) -> clear_bit t evicted me
-  | None -> ());
-  if written || prior_written then
-    Hashtbl.replace t.modified line (mask_of t line lor (1 lsl me));
-  fs
+  let evicted = Thread_cache_state.insert_fast t.states.(me) ~line ~written in
+  (* the evicted line is never [line] itself, so its mask update cannot
+     move [line]'s table entry once we probe below *)
+  if evicted <> Thread_cache_state.no_line then clear_bit t evicted me;
+  match t.masks with
+  | Small tbl ->
+      let s = Cachesim.Int_table.find_slot tbl line in
+      let mask = if s >= 0 then Cachesim.Int_table.value_at tbl s else 0 in
+      let fs = Cachesim.Bitset.popcount (mask land lnot (1 lsl me)) in
+      if written || prior_written then
+        if s >= 0 then Cachesim.Int_table.set_at tbl s (mask lor (1 lsl me))
+        else Cachesim.Int_table.set tbl line (mask lor (1 lsl me));
+      fs
+  | Big tbl ->
+      let s = Cachesim.Int_table.find_slot tbl line in
+      let fs =
+        if s >= 0 then
+          Cachesim.Bitset.count_excluding (Cachesim.Int_table.value_at tbl s) me
+        else 0
+      in
+      if written || prior_written then begin
+        let bs =
+          if s >= 0 then Cachesim.Int_table.value_at tbl s
+          else begin
+            let bs = Cachesim.Bitset.create ~bits:(Array.length t.states) in
+            Cachesim.Int_table.set tbl line bs;
+            bs
+          end
+        in
+        Cachesim.Bitset.set bs me
+      end;
+      fs
 
 let process_entries t ~me entries =
   List.fold_left

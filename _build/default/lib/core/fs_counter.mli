@@ -2,12 +2,15 @@
     plus an O(1) bitmask index of which threads hold each line in written
     state.  Semantically identical to folding {!Detect.fs_cases_for_insert}
     over the states (tests cross-check the two); this version makes the
-    1-to-All comparison a popcount. *)
+    1-to-All comparison a constant-time SWAR popcount.
+
+    Up to 62 threads the per-line mask is a single word; wider thread
+    counts transparently switch to a {!Cachesim.Bitset} per line. *)
 
 type t
 
 val create : threads:int -> capacity:int -> t
-(** @raise Invalid_argument when [threads] is outside [1..62]. *)
+(** @raise Invalid_argument when [threads < 1]. *)
 
 val process : t -> me:int -> line:int -> written:bool -> int
 (** Count the FS cases triggered by thread [me] inserting [line] (the φ

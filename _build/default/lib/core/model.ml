@@ -30,6 +30,8 @@ type result = {
   truncated : bool;
 }
 
+type engine = [ `Fast | `Reference ]
+
 exception Stop
 
 type state = {
@@ -48,11 +50,22 @@ let capacity_of cfg =
   | Lines n -> n
   | Unbounded -> max_int
 
-let run ?max_chunk_runs ?(record_samples = false) cfg
-    ~(nest : Loopir.Loop_nest.t) ~checked =
+(* Geometry of one parallel region, evaluated with the current outer-index
+   values (and the parallel variable pinned at its lower bound). *)
+type region = {
+  par_lower : int;
+  par_step : int;
+  inner : Loopir.Loop_nest.loop array;
+  inner_lowers : int array;
+  inner_trips : int array;
+  inner_per_par : int;
+  chunk : int;
+  sched : Ompsched.Schedule.t;
+}
+
+let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
+    cfg ~(nest : Loopir.Loop_nest.t) ~checked =
   if cfg.threads < 1 then invalid_arg "Model.run: threads < 1";
-  if cfg.threads > 62 then
-    invalid_arg "Model.run: more than 62 threads (bitmask fast path)";
   (match Loopir.Loop_nest.schedule_kind nest with
   | `Static -> ()
   | `Dynamic | `Guided ->
@@ -78,27 +91,25 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
     | Some c -> Some c
     | None -> Loopir.Loop_nest.chunk_spec nest
   in
-  let counter =
-    Fs_counter.create ~threads:cfg.threads ~capacity:(capacity_of cfg)
-  in
-  let process_entry t { Ownership.line; written } =
-    let fs = Fs_counter.process counter ~me:t ~line ~written in
-    if cfg.invalidate_on_write && written then
-      Fs_counter.invalidate_others counter ~me:t ~line;
-    fs
-  in
   let idx = Array.make nloops 0 in
+  (* variable lookup, precompiled: each name resolves once to either a
+     parameter value or a loop slot read from [idx], instead of walking
+     the params assoc list on every bound evaluation *)
+  let env : (string, [ `Param of int | `Slot of int ]) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun i (l : Loopir.Loop_nest.loop) ->
+      Hashtbl.replace env l.Loopir.Loop_nest.var (`Slot i))
+    loops;
+  (* params shadow loop variables, first binding winning (assoc order) *)
+  List.iter (fun (v, k) -> Hashtbl.replace env v (`Param k))
+    (List.rev cfg.params);
   let lookup v =
-    match List.assoc_opt v cfg.params with
-    | Some k -> Some k
-    | None ->
-        (* outer induction variables currently pinned in [idx] *)
-        let rec go i =
-          if i >= nloops then None
-          else if loops.(i).Loopir.Loop_nest.var = v then Some idx.(i)
-          else go (i + 1)
-        in
-        go 0
+    match Hashtbl.find_opt env v with
+    | Some (`Param k) -> Some k
+    | Some (`Slot i) -> Some idx.(i)
+    | None -> None
   in
   let st =
     { fs = 0; steps = 0; iters = 0; runs = 0; samples = []; truncated = false }
@@ -113,13 +124,14 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
       raise Stop
     end
   in
-  (* Evaluate the parallel region for the outer-variable values currently in
-     [idx]. *)
-  let eval_region () =
+  (* Region geometry for the outer-variable values currently in [idx];
+     [None] when the region executes no iterations. *)
+  let region_geometry () =
     let ploop = loops.(d) in
     let par_lower = Loopir.Expr_eval.eval lookup ploop.Loopir.Loop_nest.lower in
     let par_trip = Loopir.Loop_nest.trip_count ploop ~env:lookup in
-    if par_trip > 0 then begin
+    if par_trip <= 0 then None
+    else begin
       (* inner loop geometry, parallel variable pinned at its lower bound *)
       idx.(d) <- par_lower;
       let inner = Array.sub loops (d + 1) (nloops - d - 1) in
@@ -136,7 +148,8 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
           inner
       in
       let inner_per_par = Array.fold_left ( * ) 1 inner_trips in
-      if inner_per_par > 0 then begin
+      if inner_per_par <= 0 then None
+      else begin
         let chunk =
           match chunk_spec with
           | Some c -> c
@@ -145,33 +158,126 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
               Ompsched.Schedule.block_chunk ~threads:cfg.threads
                 ~total:par_trip
         in
-        let sched =
-          Ompsched.Schedule.make ~threads:cfg.threads ~chunk ~total:par_trip
-        in
-        let max_par_steps = Ompsched.Schedule.max_steps_per_thread sched in
-        let max_steps = max_par_steps * inner_per_par in
-        let run_span = chunk * inner_per_par in
+        Some
+          {
+            par_lower;
+            par_step = ploop.Loopir.Loop_nest.step;
+            inner;
+            inner_lowers;
+            inner_trips;
+            inner_per_par;
+            chunk;
+            sched =
+              Ompsched.Schedule.make ~threads:cfg.threads ~chunk
+                ~total:par_trip;
+          }
+      end
+    end
+  in
+  (* Fast engine: incremental odometer over the inner loops (no div/mod on
+     the step counter), ownership lists strength-reduced through a cursor
+     into a reused buffer, FS counting through the bitmask counter. *)
+  let eval_region_fast counter cur buf =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let n_inner = Array.length r.inner in
+        let max_par_steps = Ompsched.Schedule.max_steps_per_thread r.sched in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = r.chunk * r.inner_per_par in
+        for l = 0 to d - 1 do
+          Ownership.cursor_set cur l idx.(l)
+        done;
+        let pos = Array.make (max 1 n_inner) 0 in
+        for j = 0 to n_inner - 1 do
+          Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j)
+        done;
+        let k_par = ref 0 in
         for s = 0 to max_steps - 1 do
-          let k_par = s / inner_per_par in
-          let k_in = s mod inner_per_par in
           for t = 0 to cfg.threads - 1 do
-            match Ompsched.Schedule.nth_iter_of_thread sched ~tid:t k_par with
+            let q = Ompsched.Schedule.nth_iter_int r.sched ~tid:t !k_par in
+            if q >= 0 then begin
+              Ownership.cursor_set cur d (r.par_lower + (q * r.par_step));
+              Ownership.fill cur buf;
+              for i = 0 to Ownership.buf_len buf - 1 do
+                let line = Ownership.buf_line buf i in
+                let written = Ownership.buf_written buf i in
+                let fs = Fs_counter.process counter ~me:t ~line ~written in
+                if cfg.invalidate_on_write && written then
+                  Fs_counter.invalidate_others counter ~me:t ~line;
+                st.fs <- st.fs + fs
+              done;
+              st.iters <- st.iters + 1
+            end
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ();
+          (* advance the inner odometer (innermost varies fastest); a full
+             wrap moves every thread to its next parallel iteration *)
+          let rec bump j =
+            if j < 0 then incr k_par
+            else begin
+              let p = pos.(j) + 1 in
+              if p = r.inner_trips.(j) then begin
+                pos.(j) <- 0;
+                Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j);
+                bump (j - 1)
+              end
+              else begin
+                pos.(j) <- p;
+                Ownership.cursor_set cur (d + 1 + j)
+                  (r.inner_lowers.(j)
+                  + (p * r.inner.(j).Loopir.Loop_nest.step))
+              end
+            end
+          in
+          bump (n_inner - 1)
+        done;
+        (* a trailing partial chunk run still counts as a run *)
+        if max_steps mod run_span <> 0 then complete_chunk_run ()
+  in
+  (* Reference engine: the direct transcription of the paper's procedure —
+     per-step div/mod index decomposition, freshly built ownership lists,
+     and the 1-to-All φ comparison as a scan over all other thread states.
+     Kept as the oracle the fast engine is property-checked against. *)
+  let eval_region_ref states =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let max_par_steps = Ompsched.Schedule.max_steps_per_thread r.sched in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = r.chunk * r.inner_per_par in
+        for s = 0 to max_steps - 1 do
+          let k_par = s / r.inner_per_par in
+          let k_in = s mod r.inner_per_par in
+          for t = 0 to cfg.threads - 1 do
+            match Ompsched.Schedule.nth_iter_of_thread r.sched ~tid:t k_par with
             | None -> ()
             | Some q ->
-                idx.(d) <-
-                  par_lower + (q * ploop.Loopir.Loop_nest.step);
+                idx.(d) <- r.par_lower + (q * r.par_step);
                 (* mixed-radix decomposition of the inner iteration *)
                 let rem = ref k_in in
-                for j = Array.length inner - 1 downto 0 do
-                  let trip = inner_trips.(j) in
+                for j = Array.length r.inner - 1 downto 0 do
+                  let trip = r.inner_trips.(j) in
                   let v = !rem mod trip in
                   rem := !rem / trip;
                   idx.(d + 1 + j) <-
-                    inner_lowers.(j) + (v * inner.(j).Loopir.Loop_nest.step)
+                    r.inner_lowers.(j)
+                    + (v * r.inner.(j).Loopir.Loop_nest.step)
                 done;
-                let entries = Ownership.lines own idx in
+                let entries = Ownership.lines_ref own idx in
                 List.iter
-                  (fun e -> st.fs <- st.fs + process_entry t e)
+                  (fun { Ownership.line; written } ->
+                    let fs = Detect.fs_cases_for_insert ~states ~me:t ~line in
+                    ignore
+                      (Thread_cache_state.insert states.(t) ~line ~written);
+                    if cfg.invalidate_on_write && written then
+                      Array.iteri
+                        (fun j s ->
+                          if j <> t then
+                            ignore (Thread_cache_state.invalidate s line))
+                        states;
+                    st.fs <- st.fs + fs)
                   entries;
                 st.iters <- st.iters + 1
           done;
@@ -180,12 +286,10 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
         done;
         (* a trailing partial chunk run still counts as a run *)
         if max_steps mod run_span <> 0 then complete_chunk_run ()
-      end
-    end
   in
   (* enumerate the sequential outer loops *)
-  let rec outer level =
-    if level = d then eval_region ()
+  let rec outer body level =
+    if level = d then body ()
     else begin
       let loop = loops.(level) in
       let lo = Loopir.Expr_eval.eval lookup loop.Loopir.Loop_nest.lower in
@@ -193,12 +297,27 @@ let run ?max_chunk_runs ?(record_samples = false) cfg
       let v = ref lo in
       while !v < hi do
         idx.(level) <- !v;
-        outer (level + 1);
+        outer body (level + 1);
         v := !v + loop.Loopir.Loop_nest.step
       done
     end
   in
-  (try outer 0 with Stop -> ());
+  (try
+     match engine with
+     | `Fast ->
+         let counter =
+           Fs_counter.create ~threads:cfg.threads ~capacity:(capacity_of cfg)
+         in
+         let cur = Ownership.cursor own in
+         let buf = Ownership.buffer () in
+         outer (fun () -> eval_region_fast counter cur buf) 0
+     | `Reference ->
+         let states =
+           Array.init cfg.threads (fun _ ->
+               Thread_cache_state.create ~capacity:(capacity_of cfg))
+         in
+         outer (fun () -> eval_region_ref states) 0
+   with Stop -> ());
   {
     fs_cases = st.fs;
     thread_steps = st.steps;

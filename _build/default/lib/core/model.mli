@@ -35,6 +35,16 @@ val default_config :
 
 type run_sample = { chunk_run : int; cumulative_fs : int }
 
+type engine = [ `Fast | `Reference ]
+(** [`Fast] (the default) is the allocation-free engine: ownership lists
+    strength-reduced through an incremental cursor into a reused buffer,
+    inner indices advanced by an odometer instead of per-step div/mod,
+    and FS counting through {!Fs_counter}'s bitmask popcount.
+    [`Reference] is the direct transcription of the paper's procedure
+    ({!Ownership.lines_ref} + {!Detect.fs_cases_for_insert}); it exists
+    as the oracle the fast engine is property-checked against.  Both
+    produce identical results. *)
+
 type result = {
   fs_cases : int;  (** the paper's [N_fs_model] *)
   thread_steps : int;  (** lockstep steps evaluated (per-thread depth) *)
@@ -49,6 +59,7 @@ type result = {
 val run :
   ?max_chunk_runs:int ->
   ?record_samples:bool ->
+  ?engine:engine ->
   config ->
   nest:Loopir.Loop_nest.t ->
   checked:Minic.Typecheck.checked ->

@@ -7,7 +7,7 @@ type compiled_ref = {
   write : bool;
 }
 
-type t = { refs : compiled_ref array; line_bytes : int }
+type t = { refs : compiled_ref array; line_bytes : int; nslots : int }
 
 let compile ~layout ~line_bytes ~params ~var_slots (nest : Loopir.Loop_nest.t)
     =
@@ -53,9 +53,10 @@ let compile ~layout ~line_bytes ~params ~var_slots (nest : Loopir.Loop_nest.t)
   {
     refs = Array.of_list (List.map compile_ref nest.Loopir.Loop_nest.refs);
     line_bytes;
+    nslots = List.length var_slots;
   }
 
-let lines t idx =
+let lines_ref t idx =
   let acc = ref [] in
   (* first-touch order with write-domination; reference lists are short so a
      linear merge beats hashing *)
@@ -83,4 +84,106 @@ let lines t idx =
     t.refs;
   List.rev !acc
 
+let lines = lines_ref
+
 let ref_count t = Array.length t.refs
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation: a cursor keeps one running address per
+   reference and updates it from index deltas (strength reduction of the
+   per-iteration multiply-adds), and a reusable buffer receives the
+   deduplicated ownership list without allocating. *)
+
+type cursor = {
+  own : t;
+  addr : int array;  (* running address of each reference *)
+  cur : int array;  (* current index value of each slot *)
+  slot_refs : (int * int) array array;
+      (* per slot: the (ref index, coefficient) pairs it feeds *)
+}
+
+let cursor t =
+  let per_slot = Array.make t.nslots [] in
+  Array.iteri
+    (fun r cref ->
+      Array.iter
+        (fun (slot, coeff) ->
+          if coeff <> 0 then per_slot.(slot) <- (r, coeff) :: per_slot.(slot))
+        cref.terms)
+    t.refs;
+  {
+    own = t;
+    addr = Array.map (fun cref -> cref.const_off) t.refs;
+    cur = Array.make (max 1 t.nslots) 0;
+    slot_refs = Array.map (fun l -> Array.of_list (List.rev l)) per_slot;
+  }
+
+let cursor_set c slot v =
+  let dv = v - Array.unsafe_get c.cur slot in
+  if dv <> 0 then begin
+    let refs = Array.unsafe_get c.slot_refs slot in
+    for i = 0 to Array.length refs - 1 do
+      let r, coeff = Array.unsafe_get refs i in
+      Array.unsafe_set c.addr r (Array.unsafe_get c.addr r + (coeff * dv))
+    done;
+    Array.unsafe_set c.cur slot v
+  end
+
+type buffer = {
+  mutable lin : int array;
+  mutable wr : bool array;
+  mutable len : int;
+}
+
+let buffer () = { lin = Array.make 8 0; wr = Array.make 8 false; len = 0 }
+
+let buf_len b = b.len
+let buf_line b i = b.lin.(i)
+let buf_written b i = b.wr.(i)
+
+let push b line written =
+  (* linear-scan dedup with write domination; ownership lists are a
+     handful of entries, first-touch order is preserved *)
+  let n = b.len in
+  let rec seek i =
+    if i >= n then begin
+      if n = Array.length b.lin then begin
+        let lin = Array.make (2 * n) 0 and wr = Array.make (2 * n) false in
+        Array.blit b.lin 0 lin 0 n;
+        Array.blit b.wr 0 wr 0 n;
+        b.lin <- lin;
+        b.wr <- wr
+      end;
+      b.lin.(n) <- line;
+      b.wr.(n) <- written;
+      b.len <- n + 1
+    end
+    else if Array.unsafe_get b.lin i = line then begin
+      if written && not (Array.unsafe_get b.wr i) then
+        Array.unsafe_set b.wr i true
+    end
+    else seek (i + 1)
+  in
+  seek 0
+
+let fill c b =
+  b.len <- 0;
+  let t = c.own in
+  for r = 0 to Array.length t.refs - 1 do
+    let cref = Array.unsafe_get t.refs r in
+    let addr = Array.unsafe_get c.addr r in
+    let first = addr / t.line_bytes in
+    let last = (addr + cref.size - 1) / t.line_bytes in
+    for line = first to last do
+      push b line cref.write
+    done
+  done
+
+let fold_lines c b ~init ~f =
+  fill c b;
+  let acc = ref init in
+  for i = 0 to b.len - 1 do
+    acc := f !acc ~line:(Array.unsafe_get b.lin i)
+             ~written:(Array.unsafe_get b.wr i)
+  done;
+  !acc

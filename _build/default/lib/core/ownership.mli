@@ -28,4 +28,49 @@ val lines : t -> int array -> entry list
     [var_slots] order.  The result is freshly allocated, deduplicated,
     in first-touch order. *)
 
+val lines_ref : t -> int array -> entry list
+(** Alias of {!lines}: the list-building reference implementation the
+    incremental {!cursor}/{!fill} engine is checked against. *)
+
 val ref_count : t -> int
+
+(** {2 Incremental evaluation}
+
+    The allocation-free engine behind {!Model}'s fast path: a {!cursor}
+    keeps one running address per compiled reference and folds index
+    changes in as deltas ([coefficient * (new - old)] per affected
+    reference — the strength-reduced form of re-evaluating every affine
+    term), and a {!buffer} is refilled in place with the deduplicated
+    ownership list.  {!fill} produces exactly the entries {!lines} would,
+    in the same first-touch order with the same write domination. *)
+
+type cursor
+
+val cursor : t -> cursor
+(** A cursor positioned at index value 0 in every slot. *)
+
+val cursor_set : cursor -> int -> int -> unit
+(** [cursor_set c slot v] moves one index to [v]; O(refs using slot),
+    free when the value is unchanged. *)
+
+type buffer
+
+val buffer : unit -> buffer
+(** A reusable ownership-list buffer; it grows to the largest list ever
+    filled into it and is reset by each {!fill}. *)
+
+val buf_len : buffer -> int
+val buf_line : buffer -> int -> int
+val buf_written : buffer -> int -> bool
+
+val fill : cursor -> buffer -> unit
+(** Replace [buffer]'s contents with the ownership list at the cursor's
+    current index values. *)
+
+val fold_lines :
+  cursor ->
+  buffer ->
+  init:'a ->
+  f:('a -> line:int -> written:bool -> 'a) ->
+  'a
+(** {!fill} then fold over the buffer. *)

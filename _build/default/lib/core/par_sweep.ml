@@ -1,0 +1,50 @@
+(* Independent model/predictor evaluations (one per configuration) have no
+   shared mutable state — each Model.run builds its own counter and cache
+   states — so a sweep parallelizes trivially across OCaml domains.  Work
+   is dealt by an atomic cursor; results are keyed by input index, so the
+   output order (and content) is identical however many domains run. *)
+
+let recommended_domains () =
+  max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let len = Array.length items in
+  let n =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Par_sweep.map: domains < 1";
+        d
+    | None -> recommended_domains ()
+  in
+  if n <= 1 || len <= 1 then List.map f xs
+  else begin
+    let results = Array.make len None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < len then begin
+          let r = try Ok (f items.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms =
+      Array.init (min n len - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join doms;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let mapi ?domains f xs =
+  map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)

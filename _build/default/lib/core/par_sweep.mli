@@ -1,0 +1,18 @@
+(** Parallel configuration sweeps over OCaml domains.
+
+    [map f xs] evaluates [f] on every element, fanning the work out over
+    domains when more than one is available, and returns the results in
+    input order.  Each element must be an independent computation (every
+    {!Model.run} / {!Predict.predict} call builds its own state, so model
+    sweeps qualify).  Results are bit-identical to [List.map f xs]
+    whatever the domain count; a raised exception is re-raised in the
+    calling domain. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1..8]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [domains] defaults to {!recommended_domains}; [1] forces the
+    sequential path.  @raise Invalid_argument when [domains < 1]. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

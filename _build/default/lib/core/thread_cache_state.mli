@@ -8,6 +8,9 @@
 
 type t
 
+val no_line : int
+(** Sentinel returned by {!insert_fast} when nothing was evicted. *)
+
 val create : capacity:int -> t
 (** [capacity] in lines ({!of_cache} derives it from a geometry); use
     [max_int] for the unbounded-stack ablation. *)
@@ -18,6 +21,9 @@ val insert : t -> line:int -> written:bool -> (int * bool) option
 (** Insert or refresh a line; a line once written stays in written state
     (it is dirty until evicted).  Returns the LRU entry (line, written)
     evicted by the insertion, if any. *)
+
+val insert_fast : t -> line:int -> written:bool -> int
+(** Allocation-free {!insert}: returns the evicted line, or {!no_line}. *)
 
 val holds : t -> int -> bool
 val holds_modified : t -> int -> bool

@@ -1,1 +1,1 @@
-lib/execsim/interp.ml: Archspec Array Costmodel Format Hashtbl List Loopir Mem Minic Ompsched Option Value
+lib/execsim/interp.ml: Archspec Array Costmodel Float Format Hashtbl List Loopir Mem Minic Ompsched Option Value

@@ -1,1 +1,1 @@
-lib/execsim/mem.ml: Bytes Char Int32 Int64 Minic Value
+lib/execsim/mem.ml: Bytes Char Float Int32 Int64 Minic Value

@@ -93,13 +93,13 @@ let rec compile_addr ctx e : (int -> frame -> int) * Minic.Ast.ctype =
       | None -> err "%s is not a global (locals have no address)" v)
   | Minic.Ast.Index (p, idx) -> (
       let addr_p, ty = compile_addr ctx p in
-      let idx_v = compile_expr ctx idx in
+      let idx_v = compile_expr_i ctx idx in
       match ty with
       | Minic.Ast.Tarray (elem, n) ->
           let esz = Minic.Ctypes.sizeof (structs ctx.rt) elem in
           let repr = Minic.Pretty.expr_to_string e in
           ( (fun tid frame ->
-              let i = Value.to_int (idx_v tid frame) in
+              let i = idx_v tid frame in
               if i < 0 || i >= n then
                 err "index %d out of bounds [0,%d) in %s" i n repr;
               addr_p tid frame + (i * esz)),
@@ -174,6 +174,319 @@ and compile_expr ctx e : int -> frame -> Value.t =
           fun tid frame -> Value.builtin f [ one tid frame ]
       | _ -> fun tid frame -> Value.builtin f (List.map (fun c -> c tid frame) cargs))
 
+(* ---- typed compilation ---------------------------------------------
+   Mini-C is statically typed, so most expressions are known int or known
+   float at compile time.  Compiling them to [int]/[float]-returning
+   closures removes the per-node [Value.t] boxing that dominated the
+   interpreter's allocation (~8 GB per quick bench run).  The generic
+   [compile_expr] remains the semantics reference and the fallback for
+   anything the typed paths don't cover; the typed closures perform the
+   same sink accesses in the same order (operands right-to-left, matching
+   the generic applications; rhs before lhs-read before lhs-write). *)
+
+(* static type of an access path, mirroring compile_addr's resolution *)
+and path_type ctx e : Minic.Ast.ctype option =
+  match e with
+  | Minic.Ast.Ident v -> global_type ctx.rt v
+  | Minic.Ast.Index (p, _) -> (
+      match path_type ctx p with
+      | Some (Minic.Ast.Tarray (elem, _)) -> Some elem
+      | _ -> None)
+  | Minic.Ast.Field (p, f) -> (
+      match path_type ctx p with
+      | Some (Minic.Ast.Tstruct s) ->
+          Some (Minic.Ctypes.field_type (structs ctx.rt) s f)
+      | _ -> None)
+  | _ -> None
+
+(* whether the generic evaluator would produce a V_float; mirrors the
+   resolution order of compile_expr (slots shadow num_threads and
+   globals) and the promotion rules of Value.binop *)
+and expr_is_float ctx e =
+  match e with
+  | Minic.Ast.Int_lit _ -> false
+  | Minic.Ast.Float_lit _ -> true
+  | Minic.Ast.Ident name -> (
+      match slot_type ctx name with
+      | Some ty -> Value.is_float_type ty
+      | None ->
+          if name = "num_threads" then false
+          else (
+            match global_type ctx.rt name with
+            | Some ty -> Value.is_float_type ty
+            | None -> false))
+  | Minic.Ast.Binop
+      ((Minic.Ast.Add | Minic.Ast.Sub | Minic.Ast.Mul | Minic.Ast.Div
+       | Minic.Ast.Mod), a, b) ->
+      expr_is_float ctx a || expr_is_float ctx b
+  | Minic.Ast.Binop (_, _, _) -> false (* comparisons and &&/|| are ints *)
+  | Minic.Ast.Unop (Minic.Ast.Neg, a) -> expr_is_float ctx a
+  | Minic.Ast.Unop (Minic.Ast.Not, _) -> false
+  | Minic.Ast.Index _ | Minic.Ast.Field _ -> (
+      match path_type ctx e with
+      | Some ty -> Value.is_float_type ty
+      | None -> false)
+  | Minic.Ast.Call (_, _) -> true (* every builtin returns a float *)
+
+and compile_load_i ctx e : int -> frame -> int =
+  let addr, ty = compile_addr ctx e in
+  let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+  let rt = ctx.rt in
+  fun tid frame ->
+    let a = addr tid frame in
+    rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+    Mem.load_int rt.mem ~ty ~addr:a
+
+and compile_load_f ctx e : int -> frame -> float =
+  let addr, ty = compile_addr ctx e in
+  let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+  let rt = ctx.rt in
+  fun tid frame ->
+    let a = addr tid frame in
+    rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+    Mem.load_float rt.mem ~ty ~addr:a
+
+and compile_expr_i ctx e : int -> frame -> int =
+  let fallback () =
+    let ce = compile_expr ctx e in
+    fun tid frame -> Value.to_int (ce tid frame)
+  in
+  match e with
+  | Minic.Ast.Int_lit n -> fun _ _ -> n
+  | Minic.Ast.Ident name -> (
+      match slot_of ctx name with
+      | Some slot -> fun _ frame -> Value.to_int frame.(slot)
+      | None ->
+          if name = "num_threads" then begin
+            let n = ctx.rt.threads in
+            fun _ _ -> n
+          end
+          else (
+            match path_type ctx e with
+            | Some (Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong) ->
+                compile_load_i ctx e
+            | _ -> fallback ()))
+  | Minic.Ast.Binop
+      ((Minic.Ast.Add | Minic.Ast.Sub | Minic.Ast.Mul) as op, a, b)
+    when not (expr_is_float ctx a || expr_is_float ctx b) ->
+      let ca = compile_expr_i ctx a and cb = compile_expr_i ctx b in
+      (* operands right-to-left, like the generic application *)
+      (match op with
+      | Minic.Ast.Add ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame + y
+      | Minic.Ast.Sub ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame - y
+      | _ ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame * y)
+  | Minic.Ast.Binop ((Minic.Ast.Div | Minic.Ast.Mod) as op, a, b)
+    when not (expr_is_float ctx a || expr_is_float ctx b) ->
+      let ca = compile_expr_i ctx a and cb = compile_expr_i ctx b in
+      (match op with
+      | Minic.Ast.Div ->
+          fun tid frame ->
+            let y = cb tid frame in
+            if y = 0 then raise Division_by_zero;
+            ca tid frame / y
+      | _ ->
+          fun tid frame ->
+            let y = cb tid frame in
+            if y = 0 then raise Division_by_zero;
+            ca tid frame mod y)
+  | Minic.Ast.Binop
+      ((Minic.Ast.Lt | Minic.Ast.Le | Minic.Ast.Gt | Minic.Ast.Ge
+       | Minic.Ast.Eq | Minic.Ast.Ne | Minic.Ast.And | Minic.Ast.Or),
+       _, _)
+  | Minic.Ast.Unop (Minic.Ast.Not, _) ->
+      let cc = compile_cond ctx e in
+      fun tid frame -> if cc tid frame then 1 else 0
+  | Minic.Ast.Unop (Minic.Ast.Neg, a) when not (expr_is_float ctx a) ->
+      let ca = compile_expr_i ctx a in
+      fun tid frame -> -ca tid frame
+  | Minic.Ast.Index _ | Minic.Ast.Field _ -> (
+      match path_type ctx e with
+      | Some (Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong) ->
+          compile_load_i ctx e
+      | _ -> fallback ())
+  | _ -> fallback ()
+
+(* evaluate as float, promoting a statically-int expression *)
+and compile_expr_as_f ctx e : int -> frame -> float =
+  if expr_is_float ctx e then compile_expr_f ctx e
+  else
+    let ci = compile_expr_i ctx e in
+    fun tid frame -> float_of_int (ci tid frame)
+
+and compile_expr_f ctx e : int -> frame -> float =
+  let fallback () =
+    let ce = compile_expr ctx e in
+    fun tid frame -> Value.to_float (ce tid frame)
+  in
+  match e with
+  | Minic.Ast.Float_lit f -> fun _ _ -> f
+  | Minic.Ast.Int_lit n ->
+      let f = float_of_int n in
+      fun _ _ -> f
+  | Minic.Ast.Ident name -> (
+      match slot_of ctx name with
+      | Some slot -> fun _ frame -> Value.to_float frame.(slot)
+      | None -> (
+          match path_type ctx e with
+          | Some (Minic.Ast.Tfloat | Minic.Ast.Tdouble) ->
+              compile_load_f ctx e
+          | _ -> fallback ()))
+  | Minic.Ast.Binop
+      ((Minic.Ast.Add | Minic.Ast.Sub | Minic.Ast.Mul | Minic.Ast.Div) as op,
+       a, b) ->
+      let ca = compile_expr_as_f ctx a and cb = compile_expr_as_f ctx b in
+      (match op with
+      | Minic.Ast.Add ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame +. y
+      | Minic.Ast.Sub ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame -. y
+      | Minic.Ast.Mul ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame *. y
+      | _ ->
+          fun tid frame ->
+            let y = cb tid frame in
+            ca tid frame /. y)
+  | Minic.Ast.Binop (Minic.Ast.Mod, a, b) ->
+      let ca = compile_expr_as_f ctx a and cb = compile_expr_as_f ctx b in
+      fun tid frame ->
+        let y = cb tid frame in
+        Float.rem (ca tid frame) y
+  | Minic.Ast.Unop (Minic.Ast.Neg, a) ->
+      let ca = compile_expr_as_f ctx a in
+      fun tid frame -> -.(ca tid frame)
+  | Minic.Ast.Index _ | Minic.Ast.Field _ -> (
+      match path_type ctx e with
+      | Some (Minic.Ast.Tfloat | Minic.Ast.Tdouble) -> compile_load_f ctx e
+      | _ -> fallback ())
+  | Minic.Ast.Call (name, [ a ]) -> (
+      let g =
+        match name with
+        | "sin" -> Some sin
+        | "cos" -> Some cos
+        | "tan" -> Some tan
+        | "sqrt" -> Some sqrt
+        | "fabs" -> Some Float.abs
+        | "exp" -> Some exp
+        | "log" -> Some log
+        | _ -> None
+      in
+      match g with
+      | Some g ->
+          let ca = compile_expr_as_f ctx a in
+          fun tid frame -> g (ca tid frame)
+      | None -> fallback ())
+  | Minic.Ast.Call (name, [ a; b ]) -> (
+      let g =
+        match name with
+        | "pow" -> Some Float.pow
+        | "fmin" -> Some Float.min
+        | "fmax" -> Some Float.max
+        | _ -> None
+      in
+      match g with
+      | Some g ->
+          let ca = compile_expr_as_f ctx a
+          and cb = compile_expr_as_f ctx b in
+          fun tid frame ->
+            let y = cb tid frame in
+            g (ca tid frame) y
+      | None -> fallback ())
+  | _ -> fallback ()
+
+and compile_cond ctx e : int -> frame -> bool =
+  match e with
+  | Minic.Ast.Binop
+      ((Minic.Ast.Lt | Minic.Ast.Le | Minic.Ast.Gt | Minic.Ast.Ge
+       | Minic.Ast.Eq | Minic.Ast.Ne) as op, a, b) ->
+      if expr_is_float ctx a || expr_is_float ctx b then begin
+        let ca = compile_expr_as_f ctx a and cb = compile_expr_as_f ctx b in
+        match op with
+        | Minic.Ast.Lt ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame < y
+        | Minic.Ast.Le ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame <= y
+        | Minic.Ast.Gt ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame > y
+        | Minic.Ast.Ge ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame >= y
+        | Minic.Ast.Eq ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame = y
+        | _ ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame <> y
+      end
+      else begin
+        let ca = compile_expr_i ctx a and cb = compile_expr_i ctx b in
+        match op with
+        | Minic.Ast.Lt ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame < y
+        | Minic.Ast.Le ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame <= y
+        | Minic.Ast.Gt ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame > y
+        | Minic.Ast.Ge ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame >= y
+        | Minic.Ast.Eq ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame = y
+        | _ ->
+            fun tid frame ->
+              let y = cb tid frame in
+              ca tid frame <> y
+      end
+  | Minic.Ast.Binop (Minic.Ast.And, a, b) ->
+      let ca = compile_cond ctx a and cb = compile_cond ctx b in
+      fun tid frame -> ca tid frame && cb tid frame
+  | Minic.Ast.Binop (Minic.Ast.Or, a, b) ->
+      let ca = compile_cond ctx a and cb = compile_cond ctx b in
+      fun tid frame -> ca tid frame || cb tid frame
+  | Minic.Ast.Unop (Minic.Ast.Not, a) ->
+      let ca = compile_cond ctx a in
+      fun tid frame -> not (ca tid frame)
+  | _ ->
+      if expr_is_float ctx e then begin
+        let cf = compile_expr_f ctx e in
+        fun tid frame -> cf tid frame <> 0.
+      end
+      else
+        let ci = compile_expr_i ctx e in
+        fun tid frame -> ci tid frame <> 0
+
 (* compiled store into an lvalue *)
 let compile_store ctx lhs : (int -> frame -> Value.t) * (int -> frame -> Value.t -> unit) =
   match lhs with
@@ -209,6 +522,148 @@ let binop_of_assign = function
   | Minic.Ast.A_mul -> Minic.Ast.Mul
   | Minic.Ast.A_div -> Minic.Ast.Div
   | Minic.Ast.A_set -> assert false
+
+let float_fn_of = function
+  | Minic.Ast.Add -> ( +. )
+  | Minic.Ast.Sub -> ( -. )
+  | Minic.Ast.Mul -> ( *. )
+  | Minic.Ast.Div -> ( /. )
+  | _ -> assert false
+
+(* typed assignment: evaluate the rhs unboxed and store without building
+   a Value.t.  Sink order matches the generic path exactly: rhs accesses,
+   then (for compound ops) the lhs read, then the lhs write.  Falls back
+   to the generic compile_store path whenever static types get exotic
+   (e.g. an int lvalue with a float rhs). *)
+let compile_assign ctx lhs op rhs : int -> frame -> unit =
+  let generic () =
+    match op with
+    | Minic.Ast.A_set ->
+        let crhs = compile_expr ctx rhs in
+        let _, store = compile_store ctx lhs in
+        fun tid frame -> store tid frame (crhs tid frame)
+    | _ ->
+        let crhs = compile_expr ctx rhs in
+        let load, store = compile_store ctx lhs in
+        let bop = binop_of_assign op in
+        fun tid frame ->
+          let rv = crhs tid frame in
+          let old = load tid frame in
+          store tid frame (Value.binop bop old rv)
+  in
+  match lhs with
+  | Minic.Ast.Ident name when slot_of ctx name <> None -> (
+      let slot = Option.get (slot_of ctx name) in
+      let slot_is_float =
+        match slot_type ctx name with
+        | Some ty -> Value.is_float_type ty
+        | None -> false
+      in
+      let rhs_is_float = expr_is_float ctx rhs in
+      match op with
+      | Minic.Ast.A_set ->
+          if slot_is_float || rhs_is_float then
+            if rhs_is_float then begin
+              (* the generic path stores the rhs value unconverted, so a
+                 float rhs lands as V_float whatever the slot type *)
+              let cf = compile_expr_f ctx rhs in
+              fun tid frame -> frame.(slot) <- Value.V_float (cf tid frame)
+            end
+            else generic ()
+          else begin
+            let ci = compile_expr_i ctx rhs in
+            fun tid frame -> frame.(slot) <- Value.V_int (ci tid frame)
+          end
+      | _ ->
+          if slot_is_float || rhs_is_float then begin
+            (* Value.binop promotes to float when either side is *)
+            let cf = compile_expr_as_f ctx rhs in
+            let apply = float_fn_of (binop_of_assign op) in
+            if slot_is_float then
+              fun tid frame ->
+                let rv = cf tid frame in
+                frame.(slot) <-
+                  Value.V_float (apply (Value.to_float frame.(slot)) rv)
+            else generic ()
+          end
+          else begin
+            let ci = compile_expr_i ctx rhs in
+            let bop = binop_of_assign op in
+            fun tid frame ->
+              let rv = ci tid frame in
+              let old = Value.to_int frame.(slot) in
+              frame.(slot) <-
+                (match bop with
+                | Minic.Ast.Add -> Value.V_int (old + rv)
+                | Minic.Ast.Sub -> Value.V_int (old - rv)
+                | Minic.Ast.Mul -> Value.V_int (old * rv)
+                | _ ->
+                    if rv = 0 then raise Division_by_zero;
+                    Value.V_int (old / rv))
+          end)
+  | Minic.Ast.Ident _ | Minic.Ast.Index _ | Minic.Ast.Field _ -> (
+      match path_type ctx lhs with
+      | Some ((Minic.Ast.Tfloat | Minic.Ast.Tdouble) as ty) ->
+          let addr, _ = compile_addr ctx lhs in
+          let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+          let rt = ctx.rt in
+          (match op with
+          | Minic.Ast.A_set ->
+              let cf = compile_expr_as_f ctx rhs in
+              fun tid frame ->
+                let v = cf tid frame in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:true;
+                Mem.store_float rt.mem ~ty ~addr:a v
+          | _ ->
+              let cf = compile_expr_as_f ctx rhs in
+              let apply = float_fn_of (binop_of_assign op) in
+              (* the address is computed once per access, like the
+                 generic load/store pair — an index expression that
+                 itself reads memory must hit the sink twice *)
+              fun tid frame ->
+                let rv = cf tid frame in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+                let old = Mem.load_float rt.mem ~ty ~addr:a in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:true;
+                Mem.store_float rt.mem ~ty ~addr:a (apply old rv))
+      | Some ((Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong) as ty)
+        when not (expr_is_float ctx rhs) -> (
+          let addr, _ = compile_addr ctx lhs in
+          let size = Minic.Ctypes.sizeof (structs ctx.rt) ty in
+          let rt = ctx.rt in
+          match op with
+          | Minic.Ast.A_set ->
+              let ci = compile_expr_i ctx rhs in
+              fun tid frame ->
+                let v = ci tid frame in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:true;
+                Mem.store_int rt.mem ~ty ~addr:a v
+          | _ ->
+              let ci = compile_expr_i ctx rhs in
+              let bop = binop_of_assign op in
+              fun tid frame ->
+                let rv = ci tid frame in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:false;
+                let old = Mem.load_int rt.mem ~ty ~addr:a in
+                let res =
+                  match bop with
+                  | Minic.Ast.Add -> old + rv
+                  | Minic.Ast.Sub -> old - rv
+                  | Minic.Ast.Mul -> old * rv
+                  | _ ->
+                      if rv = 0 then raise Division_by_zero;
+                      old / rv
+                in
+                let a = addr tid frame in
+                rt.sink.mem_access ~tid ~addr:a ~size ~write:true;
+                Mem.store_int rt.mem ~ty ~addr:a res)
+      | _ -> generic ())
+  | _ -> generic ()
 
 (* estimated CPU cost of one execution of a statement, from the processor
    model (computed once at compile time) *)
@@ -247,25 +702,20 @@ let rec compile_stmt ctx stmt : compiled_stmt =
     | Minic.Ast.Sexpr e ->
         let ce = compile_expr ctx e in
         fun _ tid frame -> ignore (ce tid frame)
-    | Minic.Ast.Sassign (lhs, Minic.Ast.A_set, rhs) ->
-        let crhs = compile_expr ctx rhs in
-        let _, store = compile_store ctx lhs in
-        fun _ tid frame -> store tid frame (crhs tid frame)
     | Minic.Ast.Sassign (lhs, op, rhs) ->
-        let crhs = compile_expr ctx rhs in
-        let load, store = compile_store ctx lhs in
-        let op = binop_of_assign op in
-        fun _ tid frame ->
-          let rv = crhs tid frame in
-          let old = load tid frame in
-          store tid frame (Value.binop op old rv)
+        let ca = compile_assign ctx lhs op rhs in
+        fun _ tid frame -> ca tid frame
     | Minic.Ast.Sdecl (ty, name, init) -> (
         add_slot ctx name ty;
         let slot = Option.get (slot_of ctx name) in
         match init with
+        | Some e when Value.is_float_type ty ->
+            let cf = compile_expr_as_f ctx e in
+            fun _ tid frame -> frame.(slot) <- Value.V_float (cf tid frame)
         | Some e ->
-            let ce = compile_expr ctx e in
-            fun _ tid frame -> frame.(slot) <- Value.convert ty (ce tid frame)
+            (* Value.convert to a non-float type is to_int *)
+            let ci = compile_expr_i ctx e in
+            fun _ tid frame -> frame.(slot) <- Value.V_int (ci tid frame)
         | None ->
             let zero = Value.zero_of ty in
             fun _ _ frame -> frame.(slot) <- zero)
@@ -277,27 +727,25 @@ let rec compile_stmt ctx stmt : compiled_stmt =
             arr.(i) rt tid frame
           done
     | Minic.Ast.Sif (c, then_, else_) -> (
-        let cc = compile_expr ctx c in
+        let cc = compile_cond ctx c in
         let ct = compile_stmt ctx then_ in
         match else_ with
         | Some e ->
             let ce = compile_stmt ctx e in
             fun rt tid frame ->
-              if Value.truthy (cc tid frame) then ct rt tid frame
-              else ce rt tid frame
+              if cc tid frame then ct rt tid frame else ce rt tid frame
         | None ->
-            fun rt tid frame ->
-              if Value.truthy (cc tid frame) then ct rt tid frame)
+            fun rt tid frame -> if cc tid frame then ct rt tid frame)
     | Minic.Ast.Sfor loop -> (
         match loop.Minic.Ast.pragma with
         | Some pragma -> compile_parallel_for ctx loop pragma
         | None -> compile_seq_for ctx loop)
     | Minic.Ast.Swhile (c, body) ->
-        let cc = compile_expr ctx c in
+        let cc = compile_cond ctx c in
         let cbody = compile_stmt ctx body in
         fun rt tid frame ->
           (try
-             while Value.truthy (cc tid frame) do
+             while cc tid frame do
                rt.sink.cpu ~tid rt.loop_iter_cost;
                try cbody rt tid frame with Continue_exc -> ()
              done
@@ -321,34 +769,33 @@ and induction_slot ctx loop =
 
 and compile_seq_for ctx loop : compiled_stmt =
   let slot = induction_slot ctx loop in
-  let cinit = compile_expr ctx loop.Minic.Ast.init_expr in
-  let ccond = compile_expr ctx loop.Minic.Ast.cond in
-  let cstep = compile_expr ctx loop.Minic.Ast.step.Minic.Ast.step_by in
+  let cinit = compile_expr_i ctx loop.Minic.Ast.init_expr in
+  let ccond = compile_cond ctx loop.Minic.Ast.cond in
+  let cstep = compile_expr_i ctx loop.Minic.Ast.step.Minic.Ast.step_by in
   let cbody = compile_stmt ctx loop.Minic.Ast.body in
   fun rt tid frame ->
-    frame.(slot) <- cinit tid frame;
+    frame.(slot) <- Value.V_int (cinit tid frame);
     (try
-       while Value.truthy (ccond tid frame) do
+       while ccond tid frame do
          rt.sink.cpu ~tid rt.loop_iter_cost;
          (try cbody rt tid frame with Continue_exc -> ());
          frame.(slot) <-
-           Value.binop Minic.Ast.Add frame.(slot) (cstep tid frame)
+           Value.V_int (Value.to_int frame.(slot) + cstep tid frame)
        done
      with Break_exc -> ())
 
 and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
   let slot = induction_slot ctx loop in
-  let cinit = compile_expr ctx loop.Minic.Ast.init_expr in
-  let cstep = compile_expr ctx loop.Minic.Ast.step.Minic.Ast.step_by in
+  let cinit = compile_expr_i ctx loop.Minic.Ast.init_expr in
+  let cstep = compile_expr_i ctx loop.Minic.Ast.step.Minic.Ast.step_by in
   let var = loop.Minic.Ast.init_var in
   let cupper =
     match loop.Minic.Ast.cond with
     | Minic.Ast.Binop (Minic.Ast.Lt, Minic.Ast.Ident v, e) when v = var ->
-        let ce = compile_expr ctx e in
-        fun tid frame -> Value.to_int (ce tid frame)
+        compile_expr_i ctx e
     | Minic.Ast.Binop (Minic.Ast.Le, Minic.Ast.Ident v, e) when v = var ->
-        let ce = compile_expr ctx e in
-        fun tid frame -> Value.to_int (ce tid frame) + 1
+        let ce = compile_expr_i ctx e in
+        fun tid frame -> ce tid frame + 1
     | _ ->
         err "parallel loop condition must be 'var < bound' or 'var <= bound'"
   in
@@ -364,8 +811,8 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
       reduction
   in
   fun rt tid0 frame ->
-    let lower = Value.to_int (cinit tid0 frame) in
-    let step = Value.to_int (cstep tid0 frame) in
+    let lower = cinit tid0 frame in
+    let step = cstep tid0 frame in
     if step <= 0 then err "parallel loop with non-positive step";
     let upper = cupper tid0 frame in
     let total = if upper <= lower then 0 else (upper - lower + step - 1) / step in
@@ -390,8 +837,8 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
     in
     rt.sink.region_begin ~threads;
     let chunks_grabbed = Array.make threads 0 in
-    (* next_iter tid: the iteration a thread executes next, or None; each
-       kind deals chunks its own way *)
+    (* next_iter tid: the iteration a thread executes next, or -1 when the
+       thread is out of work; each kind deals chunks its own way *)
     let next_iter =
       match kind with
       | `Static ->
@@ -404,15 +851,13 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
           let cursors = Array.make threads 0 in
           fun tid ->
             let k = cursors.(tid) in
-            (match
-               Ompsched.Schedule.nth_iter_of_thread sched ~tid k
-             with
-            | Some q ->
-                if k mod chunk = 0 then
-                  chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
-                cursors.(tid) <- k + 1;
-                Some q
-            | None -> None)
+            let q = Ompsched.Schedule.nth_iter_int sched ~tid k in
+            if q >= 0 then begin
+              if k mod chunk = 0 then
+                chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
+              cursors.(tid) <- k + 1
+            end;
+            q
       | `Dynamic ->
           (* threads grab the next [chunk] iterations from a shared
              counter whenever their current chunk is exhausted *)
@@ -424,9 +869,9 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
             if pos.(tid) < stop.(tid) then begin
               let q = pos.(tid) in
               pos.(tid) <- q + 1;
-              Some q
+              q
             end
-            else if !next >= total then None
+            else if !next >= total then -1
             else begin
               let s = !next in
               let len = min chunk (total - s) in
@@ -434,7 +879,7 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
               chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
               pos.(tid) <- s + 1;
               stop.(tid) <- s + len;
-              Some s
+              s
             end
       | `Guided ->
           (* chunk ~ remaining/threads, decaying, bounded below by the
@@ -447,9 +892,9 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
             if pos.(tid) < stop.(tid) then begin
               let q = pos.(tid) in
               pos.(tid) <- q + 1;
-              Some q
+              q
             end
-            else if !next >= total then None
+            else if !next >= total then -1
             else begin
               let s = !next in
               let remaining = total - s in
@@ -461,7 +906,7 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
               chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
               pos.(tid) <- s + 1;
               stop.(tid) <- s + len;
-              Some s
+              s
             end
     in
     (* firstprivate-style frames *)
@@ -483,19 +928,20 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
           let w = ref 0 in
           let continue_ = ref true in
           while !continue_ && !w < rt.window do
-            match next_iter tid with
-            | Some q -> (
-                frames.(tid).(slot) <- Value.V_int (lower + (q * step));
-                rt.sink.cpu ~tid rt.loop_iter_cost;
-                (try cbody rt tid frames.(tid) with
-                | Continue_exc -> ()
-                | Break_exc ->
-                    err "break out of an OpenMP worksharing loop");
-                incr w)
-            | None ->
-                done_.(tid) <- true;
-                decr live;
-                continue_ := false
+            let q = next_iter tid in
+            if q >= 0 then begin
+              frames.(tid).(slot) <- Value.V_int (lower + (q * step));
+              rt.sink.cpu ~tid rt.loop_iter_cost;
+              (try cbody rt tid frames.(tid) with
+              | Continue_exc -> ()
+              | Break_exc -> err "break out of an OpenMP worksharing loop");
+              incr w
+            end
+            else begin
+              done_.(tid) <- true;
+              decr live;
+              continue_ := false
+            end
           done
         end
       done

@@ -12,3 +12,14 @@ val load : t -> ty:Minic.Ast.ctype -> addr:int -> Value.t
 (** @raise Invalid_argument for non-scalar types or out-of-bounds access. *)
 
 val store : t -> ty:Minic.Ast.ctype -> addr:int -> Value.t -> unit
+
+(** Unboxed accessors for the interpreter's typed fast paths: no
+    {!Value.t} is constructed per access.  [load_float]/[store_float]
+    accept only [Tfloat]/[Tdouble]; [load_int]/[store_int] only
+    [Tchar]/[Tint]/[Tlong] ([Tchar] stores mask to one byte).
+    @raise Invalid_argument on a type outside the accessor's class. *)
+
+val load_float : t -> ty:Minic.Ast.ctype -> addr:int -> float
+val store_float : t -> ty:Minic.Ast.ctype -> addr:int -> float -> unit
+val load_int : t -> ty:Minic.Ast.ctype -> addr:int -> int
+val store_int : t -> ty:Minic.Ast.ctype -> addr:int -> int -> unit

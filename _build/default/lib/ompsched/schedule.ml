@@ -14,14 +14,17 @@ let chunk_index t q = q / t.chunk
 let owner t q = chunk_index t q mod t.threads
 let chunk_run_of_iter t q = chunk_index t q / t.threads
 
-let nth_iter_of_thread t ~tid k =
-  if k < 0 || tid < 0 || tid >= t.threads then None
+let nth_iter_int t ~tid k =
+  if k < 0 || tid < 0 || tid >= t.threads then -1
   else begin
     let run = k / t.chunk in
     let pos = k mod t.chunk in
     let q = (((run * t.threads) + tid) * t.chunk) + pos in
-    if q < t.total then Some q else None
+    if q < t.total then q else -1
   end
+
+let nth_iter_of_thread t ~tid k =
+  match nth_iter_int t ~tid k with -1 -> None | q -> Some q
 
 let count_of_thread t ~tid =
   (* full chunks owned by [tid] plus the possibly-partial last one *)

@@ -34,6 +34,9 @@ val nth_iter_of_thread : t -> tid:int -> int -> int option
     own position [k] (0-based, in its execution order), or [None] past the
     thread's last iteration. *)
 
+val nth_iter_int : t -> tid:int -> int -> int
+(** Allocation-free {!nth_iter_of_thread}: [-1] instead of [None]. *)
+
 val count_of_thread : t -> tid:int -> int
 (** Number of iterations thread [tid] executes in total. *)
 

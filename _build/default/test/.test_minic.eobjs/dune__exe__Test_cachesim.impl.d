@@ -1,1 +1,1 @@
-test/test_cachesim.ml: Alcotest Archspec Cachesim Coherence Format Fun List Lru_stack Private_cache QCheck2 QCheck_alcotest Set_assoc Stats String
+test/test_cachesim.ml: Alcotest Archspec Array Bitset Cachesim Coherence Format Fun Hashtbl Int_table List Lru_stack Option Private_cache QCheck2 QCheck_alcotest Set_assoc Stats String

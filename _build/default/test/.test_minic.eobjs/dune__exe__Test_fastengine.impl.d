@@ -1,0 +1,1 @@
+test/test_fastengine.ml: Alcotest Format Fsmodel Fun Kernels List Loopir Minic Model Par_sweep Printf QCheck2 QCheck_alcotest

@@ -378,6 +378,126 @@ let test_upgrade_latency_charged () =
   check Alcotest.bool "upgrade costs more than a plain hit" true
     (upg.Coherence.latency > hit.Coherence.latency)
 
+(* ------------------------------------------------------------------ *)
+(* Int_table vs Hashtbl                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_int_table_matches_hashtbl =
+  (* random set/remove/get workloads, keys from a small range so probes
+     collide and deletions exercise the backward shift *)
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Set (k, v)) (int_range 0 40) (int_range 0 1000);
+          map (fun k -> `Remove k) (int_range 0 40);
+          map (fun k -> `Get k) (int_range 0 40);
+        ])
+  in
+  QCheck2.Test.make ~name:"Int_table matches Hashtbl" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 120) op_gen)
+    (fun ops ->
+      let t = Int_table.create ~initial:2 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (function
+          | `Set (k, v) ->
+              Int_table.set t k v;
+              Hashtbl.replace h k v
+          | `Remove k ->
+              let was = Int_table.remove t k in
+              if was <> Hashtbl.mem h k then
+                QCheck2.Test.fail_report "remove presence disagrees";
+              Hashtbl.remove h k
+          | `Get k ->
+              if
+                Int_table.find_opt t k <> Hashtbl.find_opt h k
+                || Int_table.mem t k <> Hashtbl.mem h k
+                || Int_table.get t k ~default:(-1)
+                   <> Option.value (Hashtbl.find_opt h k) ~default:(-1)
+              then QCheck2.Test.fail_report "lookup disagrees")
+        ops;
+      if Int_table.length t <> Hashtbl.length h then
+        QCheck2.Test.fail_report "length disagrees";
+      let sum = Int_table.fold (fun k v acc -> (k * 31) + v + acc) t 0 in
+      let hsum = Hashtbl.fold (fun k v acc -> (k * 31) + v + acc) h 0 in
+      sum = hsum)
+
+let test_int_table_slots () =
+  let t = Int_table.create () in
+  Int_table.set t 7 "a";
+  Int_table.set t 12 "b";
+  let s = Int_table.find_slot t 7 in
+  check Alcotest.bool "slot found" true (s >= 0);
+  check Alcotest.int "key at slot" 7 (Int_table.key_at t s);
+  check Alcotest.string "value at slot" "a" (Int_table.value_at t s);
+  Int_table.set_at t s "c";
+  check Alcotest.(option string) "set_at visible" (Some "c")
+    (Int_table.find_opt t 7);
+  check Alcotest.int "absent is -1" (-1) (Int_table.find_slot t 99);
+  Int_table.clear t;
+  check Alcotest.int "clear empties" 0 (Int_table.length t)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset / popcount                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let naive_popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let prop_popcount_matches_naive =
+  (* spread bits across the full 63-bit word: the SWAR byte-sum only
+     breaks when high bytes are populated, so small ints never catch the
+     missing 32-bit mask *)
+  QCheck2.Test.make ~name:"SWAR popcount matches the bit loop" ~count:500
+    QCheck2.Gen.(
+      map2
+        (fun hi lo -> (hi lsl 31) lxor lo)
+        (int_bound ((1 lsl 31) - 1))
+        (int_bound ((1 lsl 31) - 1)))
+    (fun x -> Bitset.popcount x = naive_popcount x)
+
+let test_popcount_edges () =
+  check Alcotest.int "0" 0 (Bitset.popcount 0);
+  check Alcotest.int "max_int" 62 (Bitset.popcount max_int);
+  check Alcotest.int "single high bit" 1 (Bitset.popcount (1 lsl 62));
+  check Alcotest.int "62-thread mask" 62 (Bitset.popcount ((1 lsl 62) - 1))
+
+let prop_bitset_matches_bool_array =
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun i -> `Set i) (int_range 0 99);
+          map (fun i -> `Unset i) (int_range 0 99);
+        ])
+  in
+  QCheck2.Test.make ~name:"Bitset matches a bool array" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 80) op_gen)
+    (fun ops ->
+      let b = Bitset.create ~bits:100 in
+      let a = Array.make 100 false in
+      List.iter
+        (function
+          | `Set i ->
+              Bitset.set b i;
+              a.(i) <- true
+          | `Unset i ->
+              Bitset.unset b i;
+              a.(i) <- false)
+        ops;
+      let count = Array.fold_left (fun n x -> if x then n + 1 else n) 0 a in
+      Bitset.count b = count
+      && Bitset.is_empty b = (count = 0)
+      && Array.for_all (fun i -> Bitset.mem b i = a.(i))
+           (Array.init 100 Fun.id)
+      && Array.for_all
+           (fun i ->
+             Bitset.count_excluding b i
+             = count - (if a.(i) then 1 else 0))
+           (Array.init 100 Fun.id))
+
 let test_stats_sum_sub () =
   let a = Stats.create () in
   a.Stats.loads <- 5;
@@ -436,6 +556,17 @@ let () =
             test_writeback_on_eviction;
           Alcotest.test_case "upgrade latency" `Quick
             test_upgrade_latency_charged;
+        ] );
+      ( "int_table",
+        [
+          QCheck_alcotest.to_alcotest prop_int_table_matches_hashtbl;
+          Alcotest.test_case "slot API" `Quick test_int_table_slots;
+        ] );
+      ( "bitset",
+        [
+          QCheck_alcotest.to_alcotest prop_popcount_matches_naive;
+          Alcotest.test_case "popcount edges" `Quick test_popcount_edges;
+          QCheck_alcotest.to_alcotest prop_bitset_matches_bool_array;
         ] );
       ("stats", [ Alcotest.test_case "sum/sub" `Quick test_stats_sum_sub ]);
     ]

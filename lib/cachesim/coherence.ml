@@ -5,7 +5,7 @@ type result = { latency : int; source : source; miss : miss_kind option }
 
 type dir_entry = {
   mutable holders : int;  (* bitmask over cores *)
-  mutable dirty : int option;  (* core owning a Modified copy *)
+  mutable dirty : int;  (* core owning a Modified copy; -1 = none *)
   mutable dirty_words : int;
       (* words written by the current dirty owner since it acquired the
          line in Modified state; used to classify first-access misses that
@@ -23,7 +23,7 @@ type t = {
   line_bytes : int;
   priv : Private_cache.t array;
   l3 : unit Lru_stack.t array;  (* one per socket *)
-  dir : (int, dir_entry) Hashtbl.t;
+  dir : dir_entry Int_table.t;
   stats : Stats.t array;
 }
 
@@ -48,7 +48,7 @@ let create ?cores (arch : Archspec.Arch.t) =
       Array.init sockets (fun _ ->
           Lru_stack.create
             ~capacity:(Archspec.Cache_geom.lines arch.Archspec.Arch.l3));
-    dir = Hashtbl.create 4096;
+    dir = Int_table.create ~initial:4096 ();
     stats = Array.init cores (fun _ -> Stats.create ());
   }
 
@@ -58,20 +58,16 @@ let word_mask ~line_bytes ~addr ~size =
   let off = addr mod line_bytes in
   let first = off / word_bytes in
   let last = (off + size - 1) / word_bytes in
-  let rec go m w = if w > last then m else go (m lor (1 lsl w)) (w + 1) in
-  go 0 first
+  ((1 lsl (last - first + 1)) - 1) lsl first
 
-let entry_of t line =
-  match Hashtbl.find_opt t.dir line with
-  | Some e -> Some e
-  | None -> None
+let entry_of t line = Int_table.find_opt t.dir line
 
 let new_entry t line =
   let e =
-    { holders = 0; dirty = None; dirty_words = 0;
+    { holders = 0; dirty = -1; dirty_words = 0;
       pending = Array.make t.cores 0 }
   in
-  Hashtbl.replace t.dir line e;
+  Int_table.set t.dir line e;
   e
 
 let bit core = 1 lsl core
@@ -80,22 +76,21 @@ let others_holding e core = e.holders land lnot (bit core)
 (* A core's private hierarchy dropped a line (capacity eviction):
    directory forgets it; a dirty copy is written back. *)
 let handle_eviction t core victim =
-  match entry_of t victim with
-  | None -> ()
-  | Some e ->
-      e.holders <- e.holders land lnot (bit core);
-      (match e.dirty with
-      | Some o when o = core ->
-          e.dirty <- None;
-          e.dirty_words <- 0;
-          t.stats.(core).Stats.writebacks <-
-            t.stats.(core).Stats.writebacks + 1;
-          (* the written-back line lands in the evictor's socket L3 *)
-          ignore (Lru_stack.access t.l3.(socket_of t core) victim ())
-      | Some _ | None -> ());
-      (* a voluntary eviction means the next miss is a capacity miss, not a
-         coherence miss *)
-      e.pending.(core) <- 0
+  let s = Int_table.find_slot t.dir victim in
+  if s >= 0 then begin
+    let e = Int_table.value_at t.dir s in
+    e.holders <- e.holders land lnot (bit core);
+    if e.dirty = core then begin
+      e.dirty <- -1;
+      e.dirty_words <- 0;
+      t.stats.(core).Stats.writebacks <- t.stats.(core).Stats.writebacks + 1;
+      (* the written-back line lands in the evictor's socket L3 *)
+      ignore (Lru_stack.access_int t.l3.(socket_of t core) victim ())
+    end;
+    (* a voluntary eviction means the next miss is a capacity miss, not a
+       coherence miss *)
+    e.pending.(core) <- 0
+  end
 
 (* Invalidate every other holder of [line]; record the written words in
    their pending masks for later true/false-sharing classification. *)
@@ -121,49 +116,45 @@ let access_line t ~core ~addr ~size ~write =
   else st.Stats.loads <- st.Stats.loads + 1;
   let line = addr / t.line_bytes in
   let mask = word_mask ~line_bytes:t.line_bytes ~addr ~size in
-  let hit, evicted = Private_cache.access t.priv.(core) line in
-  Option.iter (handle_eviction t core) evicted;
+  let code = Private_cache.access_fast t.priv.(core) line in
+  if code >= 0 then handle_eviction t core code;
   let finish_write e =
     if write then begin
       (* write-invalidate: drop all other copies, become Modified *)
       if others_holding e core <> 0 then invalidate_others t core line e mask;
-      (match e.dirty with
-      | Some o when o = core -> e.dirty_words <- e.dirty_words lor mask
-      | Some _ | None -> e.dirty_words <- mask);
-      e.dirty <- Some core
+      if e.dirty = core then e.dirty_words <- e.dirty_words lor mask
+      else e.dirty_words <- mask;
+      e.dirty <- core
     end
   in
-  match hit with
-  | Private_cache.L1_hit | Private_cache.L2_hit ->
-      let base_latency, source =
-        match hit with
-        | Private_cache.L1_hit ->
-            st.Stats.l1_hits <- st.Stats.l1_hits + 1;
-            (t.arch.Archspec.Arch.l1.Archspec.Cache_geom.hit_latency, L1)
-        | Private_cache.L2_hit ->
-            st.Stats.l2_hits <- st.Stats.l2_hits + 1;
-            (t.arch.Archspec.Arch.l2.Archspec.Cache_geom.hit_latency, L2)
-        | Private_cache.Priv_miss -> assert false
-      in
-      if not write then begin
-        (* read hit: no coherence state can change, skip the directory *)
-        st.Stats.stall_cycles <- st.Stats.stall_cycles + base_latency;
-        { latency = base_latency; source; miss = None }
+  if code = Private_cache.hit_l1 || code = Private_cache.hit_l2 then begin
+    let base_latency, source =
+      if code = Private_cache.hit_l1 then begin
+        st.Stats.l1_hits <- st.Stats.l1_hits + 1;
+        (t.arch.Archspec.Arch.l1.Archspec.Cache_geom.hit_latency, L1)
       end
       else begin
+        st.Stats.l2_hits <- st.Stats.l2_hits + 1;
+        (t.arch.Archspec.Arch.l2.Archspec.Cache_geom.hit_latency, L2)
+      end
+    in
+    if not write then begin
+      (* read hit: no coherence state can change, skip the directory *)
+      st.Stats.stall_cycles <- st.Stats.stall_cycles + base_latency;
+      { latency = base_latency; source; miss = None }
+    end
+    else begin
       let e =
-        match entry_of t line with
-        | Some e -> e
-        | None ->
-            (* holding a line the directory does not know cannot happen *)
-            assert false
+        let s = Int_table.find_slot t.dir line in
+        (* holding a line the directory does not know cannot happen *)
+        assert (s >= 0);
+        Int_table.value_at t.dir s
       in
       let latency =
-        if write && not (Line_state.writable
-                           (if e.dirty = Some core then Line_state.Modified
-                            else if others_holding e core = 0 then
-                              Line_state.Exclusive
-                            else Line_state.Shared))
+        if not (Line_state.writable
+                  (if e.dirty = core then Line_state.Modified
+                   else if others_holding e core = 0 then Line_state.Exclusive
+                   else Line_state.Shared))
         then begin
           (* write hit on a Shared line: upgrade *)
           st.Stats.upgrades <- st.Stats.upgrades + 1;
@@ -174,63 +165,64 @@ let access_line t ~core ~addr ~size ~write =
       finish_write e;
       st.Stats.stall_cycles <- st.Stats.stall_cycles + latency;
       { latency; source; miss = None }
-      end
-  | Private_cache.Priv_miss ->
+    end
+  end
+  else begin
       let e, kind, fetch_latency, source =
-        match entry_of t line with
-        | None ->
-            let e = new_entry t line in
-            st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
-            ignore (Lru_stack.access t.l3.(socket_of t core) line ());
-            (e, Cold, t.arch.Archspec.Arch.mem_latency, Memory)
-        | Some e ->
+        let slot = Int_table.find_slot t.dir line in
+        if slot < 0 then begin
+          let e = new_entry t line in
+          st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
+          ignore (Lru_stack.access_int t.l3.(socket_of t core) line ());
+          (e, Cold, t.arch.Archspec.Arch.mem_latency, Memory)
+        end
+        else begin
+            let e = Int_table.value_at t.dir slot in
             (* words dirtied by a remote Modified copy, captured before the
-               fetch downgrades it *)
+               fetch downgrades it; -1 = no remote dirty owner *)
             let remote_dirty_words =
-              match e.dirty with
-              | Some o when o <> core -> Some e.dirty_words
-              | Some _ | None -> None
+              if e.dirty >= 0 && e.dirty <> core then e.dirty_words else -1
             in
             let fetch_latency, source =
-              match e.dirty with
-              | Some o when o <> core ->
-                  (* remote dirty copy: cache-to-cache transfer; the owner
-                     keeps a Shared copy on a read, loses it on a write
-                     (handled by finish_write) *)
-                  st.Stats.c2c_transfers <- st.Stats.c2c_transfers + 1;
-                  e.dirty <- None;
-                  e.dirty_words <- 0;
-                  t.stats.(o).Stats.writebacks <-
-                    t.stats.(o).Stats.writebacks + 1;
-                  ignore (Lru_stack.access t.l3.(socket_of t o) line ());
-                  (t.arch.Archspec.Arch.coherence_latency, C2C)
-              | Some _ | None ->
-                  let l3 = t.l3.(socket_of t core) in
-                  if Lru_stack.mem l3 line then begin
-                    ignore (Lru_stack.access l3 line ());
-                    st.Stats.l3_hits <- st.Stats.l3_hits + 1;
-                    (t.arch.Archspec.Arch.l3.Archspec.Cache_geom.hit_latency, L3)
-                  end
-                  else begin
-                    st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
-                    ignore (Lru_stack.access l3 line ());
-                    (t.arch.Archspec.Arch.mem_latency, Memory)
-                  end
+              if e.dirty >= 0 && e.dirty <> core then begin
+                (* remote dirty copy: cache-to-cache transfer; the owner
+                   keeps a Shared copy on a read, loses it on a write
+                   (handled by finish_write) *)
+                let o = e.dirty in
+                st.Stats.c2c_transfers <- st.Stats.c2c_transfers + 1;
+                e.dirty <- -1;
+                e.dirty_words <- 0;
+                t.stats.(o).Stats.writebacks <-
+                  t.stats.(o).Stats.writebacks + 1;
+                ignore (Lru_stack.access_int t.l3.(socket_of t o) line ());
+                (t.arch.Archspec.Arch.coherence_latency, C2C)
+              end
+              else begin
+                let l3 = t.l3.(socket_of t core) in
+                if Lru_stack.touch l3 line then begin
+                  st.Stats.l3_hits <- st.Stats.l3_hits + 1;
+                  (t.arch.Archspec.Arch.l3.Archspec.Cache_geom.hit_latency, L3)
+                end
+                else begin
+                  st.Stats.mem_fetches <- st.Stats.mem_fetches + 1;
+                  ignore (Lru_stack.access_int l3 line ());
+                  (t.arch.Archspec.Arch.mem_latency, Memory)
+                end
+              end
             in
             let kind =
               let p = e.pending.(core) in
               if p <> 0 then
                 if p land mask <> 0 then Coherence_true else Coherence_false
-              else
-                match remote_dirty_words with
-                | Some w ->
-                    (* stealing a dirty line: sharing miss even on the
-                       core's first access *)
-                    if w land mask <> 0 then Coherence_true
-                    else Coherence_false
-                | None -> Capacity
+              else if remote_dirty_words >= 0 then
+                (* stealing a dirty line: sharing miss even on the core's
+                   first access *)
+                if remote_dirty_words land mask <> 0 then Coherence_true
+                else Coherence_false
+              else Capacity
             in
             (e, kind, fetch_latency, source)
+        end
       in
       (match kind with
       | Cold -> st.Stats.cold_misses <- st.Stats.cold_misses + 1
@@ -243,10 +235,15 @@ let access_line t ~core ~addr ~size ~write =
       finish_write e;
       st.Stats.stall_cycles <- st.Stats.stall_cycles + fetch_latency;
       { latency = fetch_latency; source; miss = Some kind }
+  end
 
 let access t ~core ~addr ~size ~write =
   if core < 0 || core >= t.cores then invalid_arg "Coherence.access: bad core";
   if size <= 0 then invalid_arg "Coherence.access: size <= 0";
+  if addr / t.line_bytes = (addr + size - 1) / t.line_bytes then
+    (* common case: the access sits inside one line *)
+    access_line t ~core ~addr ~size ~write
+  else
   (* split accesses that straddle a line boundary *)
   let rec go addr size acc_latency worst =
     let line_end = ((addr / t.line_bytes) + 1) * t.line_bytes in
@@ -282,4 +279,6 @@ let holders_of_line t line =
       go (t.cores - 1) []
 
 let dirty_owner_of_line t line =
-  match entry_of t line with None -> None | Some e -> e.dirty
+  match entry_of t line with
+  | None -> None
+  | Some e -> if e.dirty >= 0 then Some e.dirty else None

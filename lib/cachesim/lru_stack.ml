@@ -1,103 +1,176 @@
-(* Doubly-linked list threaded through a hash table: O(1) insert, move-to-
-   front, and bottom eviction. *)
+(* Circular doubly-linked list threaded through an open-addressing int
+   table (Int_table): O(1) insert, move-to-front, and bottom eviction.
+
+   The list uses a sentinel node (created lazily at the first insertion,
+   when a value of type 'a is available), so links are plain mutable
+   fields — no options on the hot path.  Once the stack is at capacity,
+   every insertion reuses the evicted bottom node in place, so the
+   steady-state {!access_int} path allocates nothing. *)
 
 type 'a node = {
-  key : int;
+  mutable key : int;
   mutable value : 'a;
-  mutable prev : 'a node option;  (* toward the top (MRU) *)
-  mutable next : 'a node option;  (* toward the bottom (LRU) *)
+  mutable prev : 'a node;  (* toward the top (MRU) *)
+  mutable next : 'a node;  (* toward the bottom (LRU) *)
 }
 
 type 'a t = {
-  mutable head : 'a node option;
-  mutable tail : 'a node option;
-  tbl : (int, 'a node) Hashtbl.t;
+  mutable sent : 'a node option;
+      (* sentinel: [sent.next] is the MRU entry, [sent.prev] the LRU *)
+  tbl : 'a node Int_table.t;
   cap : int;
 }
 
+let no_key = min_int
+
 let create ~capacity =
   if capacity < 1 then invalid_arg "Lru_stack.create: capacity < 1";
-  { head = None; tail = None; tbl = Hashtbl.create 64; cap = capacity }
+  { sent = None; tbl = Int_table.create (); cap = capacity }
 
 let capacity t = t.cap
-let size t = Hashtbl.length t.tbl
-let mem t key = Hashtbl.mem t.tbl key
+let size t = Int_table.length t.tbl
+let mem t key = Int_table.mem t.tbl key
 
 let find t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n -> Some n.value
-  | None -> None
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then None else Some (Int_table.value_at t.tbl s).value
 
-let unlink t n =
-  (match n.prev with
-  | Some p -> p.next <- n.next
-  | None -> t.head <- n.next);
-  (match n.next with
-  | Some nx -> nx.prev <- n.prev
-  | None -> t.tail <- n.prev);
-  n.prev <- None;
-  n.next <- None
+let get t key ~default =
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then default else (Int_table.value_at t.tbl s).value
 
-let push_front t n =
-  n.next <- t.head;
-  n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
 
-let access t key value =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      n.value <- value;
-      unlink t n;
-      push_front t n;
-      None
+let push_front sent n =
+  n.next <- sent.next;
+  n.prev <- sent;
+  sent.next.prev <- n;
+  sent.next <- n
+
+let sentinel t value =
+  match t.sent with
+  | Some s -> s
   | None ->
-      let n = { key; value; prev = None; next = None } in
-      Hashtbl.replace t.tbl key n;
-      push_front t n;
-      if Hashtbl.length t.tbl > t.cap then begin
-        match t.tail with
-        | Some bottom ->
-            unlink t bottom;
-            Hashtbl.remove t.tbl bottom.key;
-            Some (bottom.key, bottom.value)
-        | None -> assert false
-      end
-      else None
+      let rec s = { key = no_key; value; prev = s; next = s } in
+      t.sent <- Some s;
+      s
 
-let update t key f =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      n.value <- f n.value;
-      true
-  | None -> false
-
-let remove t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.tbl key;
-      Some n.value
-  | None -> None
-
-let distance t key =
-  if not (Hashtbl.mem t.tbl key) then None
+(* Insert a fresh key, evicting (and reusing) the bottom node when at
+   capacity; returns the reused node's old key, or [no_key]. *)
+let insert_new t sent key value =
+  if Int_table.length t.tbl >= t.cap then begin
+    let bottom = sent.prev in
+    let evicted = bottom.key in
+    ignore (Int_table.remove t.tbl evicted);
+    bottom.key <- key;
+    bottom.value <- value;
+    unlink bottom;
+    push_front sent bottom;
+    Int_table.set t.tbl key bottom;
+    evicted
+  end
   else begin
-    let rec go d = function
-      | None -> None
-      | Some n -> if n.key = key then Some d else go (d + 1) n.next
-    in
-    go 0 t.head
+    let n = { key; value; prev = sent; next = sent } in
+    push_front sent n;
+    Int_table.set t.tbl key n;
+    no_key
   end
 
+let touch t key =
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then false
+  else begin
+    let n = Int_table.value_at t.tbl s in
+    let sent = Option.get t.sent in
+    if sent.next != n then begin
+      unlink n;
+      push_front sent n
+    end;
+    true
+  end
+
+let access_int t key value =
+  let s = Int_table.find_slot t.tbl key in
+  if s >= 0 then begin
+    let n = Int_table.value_at t.tbl s in
+    n.value <- value;
+    let sent = Option.get t.sent in
+    if sent.next != n then begin
+      unlink n;
+      push_front sent n
+    end;
+    no_key
+  end
+  else insert_new t (sentinel t value) key value
+
+let access t key value =
+  let s = Int_table.find_slot t.tbl key in
+  if s >= 0 then begin
+    ignore (access_int t key value);
+    None
+  end
+  else begin
+    let sent = sentinel t value in
+    let full = Int_table.length t.tbl >= t.cap in
+    let bottom_value = if full then Some sent.prev.value else None in
+    let evicted = insert_new t sent key value in
+    match bottom_value with
+    | Some v when evicted <> no_key -> Some (evicted, v)
+    | _ -> None
+  end
+
+let update t key f =
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then false
+  else begin
+    let n = Int_table.value_at t.tbl s in
+    n.value <- f n.value;
+    true
+  end
+
+let remove_key t key =
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then false
+  else begin
+    unlink (Int_table.value_at t.tbl s);
+    ignore (Int_table.remove t.tbl key);
+    true
+  end
+
+let remove t key =
+  let s = Int_table.find_slot t.tbl key in
+  if s < 0 then None
+  else begin
+    let n = Int_table.value_at t.tbl s in
+    unlink n;
+    ignore (Int_table.remove t.tbl key);
+    Some n.value
+  end
+
+let distance t key =
+  if not (Int_table.mem t.tbl key) then None
+  else
+    match t.sent with
+    | None -> None
+    | Some sent ->
+        let rec go d n = if n.key = key then Some d else go (d + 1) n.next in
+        go 0 sent.next
+
 let to_alist t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some n -> go ((n.key, n.value) :: acc) n.next
-  in
-  go [] t.head
+  match t.sent with
+  | None -> []
+  | Some sent ->
+      let rec go acc n =
+        if n == sent then List.rev acc else go ((n.key, n.value) :: acc) n.next
+      in
+      go [] sent.next
 
 let clear t =
-  Hashtbl.reset t.tbl;
-  t.head <- None;
-  t.tail <- None
+  Int_table.clear t.tbl;
+  match t.sent with
+  | Some s ->
+      s.next <- s;
+      s.prev <- s
+  | None -> ()

@@ -5,9 +5,17 @@
     (§III-C): most-recently-used on top, least-recently-used at the bottom,
     eviction from the bottom when capacity is exceeded — i.e. a fully
     associative LRU cache.  All operations are O(1) except {!distance} and
-    {!to_alist}. *)
+    {!to_alist}.
+
+    The index is an open-addressing {!Int_table} and a stack at capacity
+    reuses the evicted node for the incoming line, so the {!access_int} /
+    {!get} / {!remove_key} fast paths allocate nothing in steady state. *)
 
 type 'a t
+
+val no_key : int
+(** Sentinel ([min_int]) returned by {!access_int} when nothing was
+    evicted; never a valid key. *)
 
 val create : capacity:int -> 'a t
 (** [capacity] is the maximum number of entries; use [max_int] for an
@@ -23,6 +31,20 @@ val access : 'a t -> int -> 'a -> (int * 'a) option
 (** [access t key payload] inserts [key] at the top (or moves it to the top,
     replacing its payload).  Returns the evicted bottom entry if the insert
     overflowed capacity. *)
+
+val access_int : 'a t -> int -> 'a -> int
+(** Allocation-free {!access}: returns the evicted key, or {!no_key}. *)
+
+val touch : 'a t -> int -> bool
+(** [touch t key] moves [key] to the top if present (payload unchanged);
+    [false] when absent.  One table probe, against two for
+    [mem]-then-{!access_int}. *)
+
+val get : 'a t -> int -> default:'a -> 'a
+(** Allocation-free {!find}; does not touch recency. *)
+
+val remove_key : 'a t -> int -> bool
+(** Allocation-free {!remove}; [true] when the key was present. *)
 
 val update : 'a t -> int -> ('a -> 'a) -> bool
 (** Update the payload in place without touching recency; returns [false]

@@ -1,22 +1,25 @@
 type t = bool Cachesim.Lru_stack.t
 
+let no_line = Cachesim.Lru_stack.no_key
+
 let create ~capacity : t = Cachesim.Lru_stack.create ~capacity
 
 let of_cache geom =
   create ~capacity:(Archspec.Cache_geom.lines geom)
 
-let insert (t : t) ~line ~written =
-  let written =
-    written
-    || match Cachesim.Lru_stack.find t line with Some w -> w | None -> false
-  in
-  Cachesim.Lru_stack.access t line written
-
 let holds (t : t) line = Cachesim.Lru_stack.mem t line
 
 let holds_modified (t : t) line =
-  match Cachesim.Lru_stack.find t line with Some w -> w | None -> false
+  Cachesim.Lru_stack.get t line ~default:false
 
-let invalidate (t : t) line = Cachesim.Lru_stack.remove t line <> None
+let insert_fast (t : t) ~line ~written =
+  let written = written || holds_modified t line in
+  Cachesim.Lru_stack.access_int t line written
+
+let insert (t : t) ~line ~written =
+  let written = written || holds_modified t line in
+  Cachesim.Lru_stack.access t line written
+
+let invalidate (t : t) line = Cachesim.Lru_stack.remove_key t line
 let size (t : t) = Cachesim.Lru_stack.size t
 let clear (t : t) = Cachesim.Lru_stack.clear t

@@ -1,31 +1,66 @@
-type t = Bytes.t
+(* Doubles are the hot scalar type; going through Bytes costs a boxed
+   Int64 plus bit-twiddling per access.  An aliased floatarray view over
+   the same storage serves 8-aligned double accesses unboxed.  Any given
+   address is only ever accessed at one type/alignment (globals are
+   accessed through their declared type), so the two views never need
+   reconciling: aligned doubles live in [dbl], everything else in
+   [bytes]. *)
 
-let create n = Bytes.make n '\000'
-let size = Bytes.length
+type t = { bytes : Bytes.t; dbl : floatarray }
+
+let create n =
+  { bytes = Bytes.make n '\000'; dbl = Float.Array.make ((n + 7) / 8) 0. }
+
+let size t = Bytes.length t.bytes
+
+(* unboxed accessors — the typed fast paths in Interp call these directly
+   so no Value.t is constructed per memory access *)
+
+let load_float t ~ty ~addr =
+  match ty with
+  | Minic.Ast.Tdouble when addr land 7 = 0 -> Float.Array.get t.dbl (addr lsr 3)
+  | Minic.Ast.Tdouble -> Int64.float_of_bits (Bytes.get_int64_le t.bytes addr)
+  | Minic.Ast.Tfloat -> Int32.float_of_bits (Bytes.get_int32_le t.bytes addr)
+  | _ -> invalid_arg "Mem.load_float: non-float type"
+
+let store_float t ~ty ~addr f =
+  match ty with
+  | Minic.Ast.Tdouble when addr land 7 = 0 ->
+      Float.Array.set t.dbl (addr lsr 3) f
+  | Minic.Ast.Tdouble ->
+      Bytes.set_int64_le t.bytes addr (Int64.bits_of_float f)
+  | Minic.Ast.Tfloat ->
+      Bytes.set_int32_le t.bytes addr (Int32.bits_of_float f)
+  | _ -> invalid_arg "Mem.store_float: non-float type"
+
+let load_int t ~ty ~addr =
+  match ty with
+  | Minic.Ast.Tchar -> Char.code (Bytes.get t.bytes addr)
+  | Minic.Ast.Tint -> Int32.to_int (Bytes.get_int32_le t.bytes addr)
+  | Minic.Ast.Tlong -> Int64.to_int (Bytes.get_int64_le t.bytes addr)
+  | _ -> invalid_arg "Mem.load_int: non-integer type"
+
+let store_int t ~ty ~addr n =
+  match ty with
+  | Minic.Ast.Tchar -> Bytes.set t.bytes addr (Char.chr (n land 0xff))
+  | Minic.Ast.Tint -> Bytes.set_int32_le t.bytes addr (Int32.of_int n)
+  | Minic.Ast.Tlong -> Bytes.set_int64_le t.bytes addr (Int64.of_int n)
+  | _ -> invalid_arg "Mem.store_int: non-integer type"
 
 let load t ~ty ~addr =
   match ty with
-  | Minic.Ast.Tchar -> Value.V_int (Char.code (Bytes.get t addr))
-  | Minic.Ast.Tint -> Value.V_int (Int32.to_int (Bytes.get_int32_le t addr))
-  | Minic.Ast.Tlong -> Value.V_int (Int64.to_int (Bytes.get_int64_le t addr))
-  | Minic.Ast.Tfloat ->
-      Value.V_float (Int32.float_of_bits (Bytes.get_int32_le t addr))
-  | Minic.Ast.Tdouble ->
-      Value.V_float (Int64.float_of_bits (Bytes.get_int64_le t addr))
+  | Minic.Ast.Tfloat | Minic.Ast.Tdouble ->
+      Value.V_float (load_float t ~ty ~addr)
+  | Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong ->
+      Value.V_int (load_int t ~ty ~addr)
   | Minic.Ast.Tvoid | Minic.Ast.Tstruct _ | Minic.Ast.Tarray _ ->
       invalid_arg "Mem.load: non-scalar type"
 
 let store t ~ty ~addr v =
   match ty with
-  | Minic.Ast.Tchar ->
-      Bytes.set t addr (Char.chr (Value.to_int v land 0xff))
-  | Minic.Ast.Tint ->
-      Bytes.set_int32_le t addr (Int32.of_int (Value.to_int v))
-  | Minic.Ast.Tlong ->
-      Bytes.set_int64_le t addr (Int64.of_int (Value.to_int v))
-  | Minic.Ast.Tfloat ->
-      Bytes.set_int32_le t addr (Int32.bits_of_float (Value.to_float v))
-  | Minic.Ast.Tdouble ->
-      Bytes.set_int64_le t addr (Int64.bits_of_float (Value.to_float v))
+  | Minic.Ast.Tfloat | Minic.Ast.Tdouble ->
+      store_float t ~ty ~addr (Value.to_float v)
+  | Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong ->
+      store_int t ~ty ~addr (Value.to_int v)
   | Minic.Ast.Tvoid | Minic.Ast.Tstruct _ | Minic.Ast.Tarray _ ->
       invalid_arg "Mem.store: non-scalar type"

@@ -273,13 +273,18 @@ let test_model_block_schedule_default () =
 let test_model_thread_guard () =
   let checked = checked_of writer_src in
   let nest = lower ~threads:2 ~func:"f" checked in
-  match
-    Model.run
-      { (Model.default_config ~threads:2 ()) with Model.threads = 63 }
-      ~nest ~checked
-  with
+  (* thread counts above the single-word bitmask width (62) now run on the
+     Bitset path; results must agree with the reference engine *)
+  let cfg = { (Model.default_config ~threads:2 ()) with Model.threads = 63 } in
+  let fast = Model.run ~engine:`Fast cfg ~nest ~checked in
+  let slow = Model.run ~engine:`Reference cfg ~nest ~checked in
+  check Alcotest.int "63-thread fast = reference" slow.Model.fs_cases
+    fast.Model.fs_cases;
+  check Alcotest.int "steps agree" slow.Model.thread_steps
+    fast.Model.thread_steps;
+  match Model.run { cfg with Model.threads = 0 } ~nest ~checked with
   | exception Invalid_argument _ -> ()
-  | _ -> fail "63 threads must be rejected"
+  | _ -> fail "0 threads must be rejected"
 
 (* ------------------------------------------------------------------ *)
 (* Linreg                                                              *)
@@ -529,9 +534,15 @@ let test_fs_counter_invalidate_others () =
   (* re-insert by thread 0 sees nobody *)
   check Alcotest.int "clean after invalidation" 0
     (Fs_counter.process c ~me:0 ~line:5 ~written:false);
-  match Fs_counter.create ~threads:70 ~capacity:4 with
+  (* wide thread counts use the Bitset masks; φ still counts correctly *)
+  let w = Fs_counter.create ~threads:70 ~capacity:4 in
+  ignore (Fs_counter.process w ~me:65 ~line:3 ~written:true);
+  ignore (Fs_counter.process w ~me:69 ~line:3 ~written:true);
+  check Alcotest.int "wide counter sees both writers" 2
+    (Fs_counter.process w ~me:0 ~line:3 ~written:false);
+  match Fs_counter.create ~threads:0 ~capacity:4 with
   | exception Invalid_argument _ -> ()
-  | _ -> fail "more than 62 threads must be rejected"
+  | _ -> fail "0 threads must be rejected"
 
 let test_eliminate_unsupported () =
   (* a 2-D array element is neither struct nor scalar only if victims were
