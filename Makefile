@@ -5,10 +5,14 @@ all: build
 build:
 	dune build
 
-# Tier-1 gate: full build + the whole alcotest/qcheck suite.
+# Tier-1 gate: full build + the whole alcotest/qcheck suite, then the
+# lint self-check: clean kernels must pass, the racy fixture must fail.
 verify:
 	dune build
 	dune runtest
+	./_build/default/bin/fsdetect.exe lint --no-fixits -k saxpy > /dev/null
+	./_build/default/bin/fsdetect.exe lint --no-fixits -k linear_regression > /dev/null
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/racy_stencil.c > /dev/null
 
 # Full reproduction harness (all figures/tables + bechamel micros).
 bench: build

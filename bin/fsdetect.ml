@@ -2,6 +2,7 @@
 
    Subcommands:
      analyze    run the FS cost model on a mini-C file or a bundled kernel
+     lint       static race / false-sharing diagnostics with fix-its
      simulate   execute on the simulated multicore and report measured times
      advise     chunk-size / padding advice to eliminate false sharing
      eliminate  rewrite the program (padding / spreading) and print it
@@ -148,6 +149,57 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run the compile-time FS cost model")
     Term.(const analyze $ file_arg $ kernel_arg $ func_arg $ threads_arg
           $ fs_chunk $ nfs_chunk $ predict $ contention)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint file kernel threads chunk json no_fixits =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src ->
+      let checked = checked_of src in
+      let uri =
+        match src with
+        | From_file f -> f
+        | From_kernel k -> "kernel:" ^ k.Kernels.Kernel.name
+      in
+      let opts =
+        {
+          Analysis.Lint.default_options with
+          threads;
+          chunk;
+          fixits = not no_fixits;
+        }
+      in
+      let report = Analysis.Lint.run ~opts ~uri checked in
+      if json then
+        print_string (Analysis.Json.to_string (Analysis.Diag.to_json report))
+      else print_string (Analysis.Diag.to_text report);
+      if Analysis.Diag.error_count report > 0 then exit 1
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit a SARIF-shaped JSON report.")
+  in
+  let chunk =
+    Arg.(value & opt (some int) None
+         & info [ "chunk"; "c" ] ~docv:"C"
+             ~doc:"Schedule chunk-size override for the cost model.")
+  in
+  let no_fixits =
+    Arg.(value & flag
+         & info [ "no-fixits" ] ~doc:"Skip advisor-based fix-it search.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static data-race and false-sharing diagnostics over every omp \
+          parallel for nest (exit 1 on any error-severity finding)")
+    Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
+          $ no_fixits)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -309,5 +361,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; simulate_cmd; advise_cmd; eliminate_cmd;
+          [ analyze_cmd; lint_cmd; simulate_cmd; advise_cmd; eliminate_cmd;
             compare_cmd; kernels_cmd; dump_cmd ]))

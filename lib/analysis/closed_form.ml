@@ -1,0 +1,650 @@
+open Loopir
+
+type info = { fs_cases : int; lines_analyzed : int; regions : int }
+type result = Exact of info | Inapplicable of string
+
+exception Fallback of string
+
+let bail fmt = Format.kasprintf (fun s -> raise (Fallback s)) fmt
+
+let popcount =
+  let rec go n acc = if n = 0 then acc else go (n land (n - 1)) (acc + 1) in
+  fun n -> go n 0
+
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* A reference resolved within one region: at parallel iteration [q]
+   (0-based) it touches bytes [addr0 + stride*q, addr0 + stride*q + size). *)
+type rref = { addr0 : int; stride : int; size : int; write : bool }
+
+(* Countable references of one base sharing a stride: at any fixed
+   iteration their addresses stay within [spread + maxsz] bytes of each
+   other, which bounds the distinct lines they insert over a gap. *)
+type sgroup = { s : int; spread : int; maxsz : int }
+
+type binfo = {
+  bname : string;
+  brefs : rref list;  (* resolved refs; [] when not countable *)
+  bwritten : bool;
+  countable : bool;  (* every ref affine in the parallel variable only *)
+  nrefs_b : int;  (* reference count, including unresolved ones *)
+  linespan : int;  (* cache lines the base's refs can reach this region *)
+  groups : sgroup list;
+}
+
+type region = {
+  rn : int;  (* parallel trip count *)
+  rchunk : int;
+  rip : int;  (* inner iterations per parallel iteration *)
+  rsteps : int;  (* lockstep steps: max_steps_per_thread * rip *)
+  rbases : binfo list;
+  rall_countable : bool;
+}
+
+(* Per-line simulation state carried across regions: which threads hold
+   the line modified (the engine's sticky written bit) and the global
+   lockstep step of each thread's last touch. *)
+type lstate = { mutable writers : int; last : int array }
+
+let estimate (cfg : Fsmodel.Model.config) ~(nest : Loop_nest.t) ~checked =
+  try
+    (match Loop_nest.schedule_kind nest with
+    | `Static -> ()
+    | `Dynamic | `Guided -> bail "only schedule(static) is round-robin");
+    if cfg.Fsmodel.Model.invalidate_on_write then
+      bail "the invalidate-on-write ablation is not modeled in closed form";
+    let threads = cfg.Fsmodel.Model.threads in
+    if threads < 1 then bail "thread count %d < 1" threads;
+    if threads > 62 then bail "more than 62 threads (writer-set bitmask)";
+    let arch = cfg.Fsmodel.Model.arch in
+    let capacity =
+      match cfg.Fsmodel.Model.stack with
+      | Fsmodel.Model.Level_l1 -> Archspec.Cache_geom.lines arch.Archspec.Arch.l1
+      | Fsmodel.Model.Level_l2 -> Archspec.Cache_geom.lines arch.Archspec.Arch.l2
+      | Fsmodel.Model.Lines n -> n
+      | Fsmodel.Model.Unbounded -> max_int
+    in
+    if capacity < 1 then bail "stack capacity %d < 1" capacity;
+    let params = cfg.Fsmodel.Model.params in
+    let lb = Archspec.Arch.line_bytes arch in
+    let layout = Layout.make ~line_bytes:lb checked in
+    let loops = Array.of_list nest.Loop_nest.loops in
+    let nloops = Array.length loops in
+    let d = nest.Loop_nest.parallel_depth in
+    let ploop = loops.(d) in
+    let pvar = ploop.Loop_nest.var in
+    let pstep = ploop.Loop_nest.step in
+    let idx = Array.make nloops 0 in
+    (* same environment the engine uses: parameters shadow loop variables *)
+    let env : (string, [ `Param of int | `Slot of int ]) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Array.iteri
+      (fun i (l : Loop_nest.loop) -> Hashtbl.replace env l.Loop_nest.var (`Slot i))
+      loops;
+    List.iter (fun (v, k) -> Hashtbl.replace env v (`Param k)) (List.rev params);
+    let lookup v =
+      match Hashtbl.find_opt env v with
+      | Some (`Param k) -> Some k
+      | Some (`Slot i) -> Some idx.(i)
+      | None -> None
+    in
+    (* analysis work budget: the estimator must stay cheap next to the
+       engine it replaces *)
+    let ops = ref 0 in
+    let tick n =
+      ops := !ops + n;
+      if !ops > 60_000_000 then bail "analysis budget exceeded"
+    in
+    let lines_seen = ref 0 in
+    (* fold parameters into every offset and shift by the base address *)
+    let folded =
+      List.map
+        (fun (r : Array_ref.t) ->
+          let a =
+            Affine.subst
+              (fun v ->
+                match List.assoc_opt v params with
+                | Some k -> Some (Affine.const k)
+                | None -> None)
+              r.Array_ref.offset
+          in
+          let base_addr =
+            try Layout.addr_of layout r.Array_ref.base
+            with Not_found -> bail "unknown base %s" r.Array_ref.base
+          in
+          List.iter
+            (fun v ->
+              if not (Array.exists (fun (l : Loop_nest.loop) -> l.Loop_nest.var = v) loops)
+              then bail "free variable %s in subscript of %s" v r.Array_ref.repr)
+            (Affine.vars a);
+          (r, Affine.add a (Affine.const base_addr)))
+        nest.Loop_nest.refs
+    in
+    let base_names =
+      List.fold_left
+        (fun acc (r : Array_ref.t) ->
+          if List.mem r.Array_ref.base acc then acc else r.Array_ref.base :: acc)
+        [] nest.Loop_nest.refs
+      |> List.rev
+    in
+    (* global per-base address interval, for the line-disjointness check *)
+    let extent : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+    let widen name lo hi =
+      match Hashtbl.find_opt extent name with
+      | None -> Hashtbl.replace extent name (lo, hi)
+      | Some (l0, h0) -> Hashtbl.replace extent name (min l0 lo, max h0 hi)
+    in
+    (* ---- region construction (mirrors Model.run's outer walk) ---- *)
+    let regions = ref [] in
+    let n_regions = ref 0 in
+    let add_region () =
+      let par_lower = Expr_eval.eval lookup ploop.Loop_nest.lower in
+      let par_trip = Loop_nest.trip_count ploop ~env:lookup in
+      if par_trip > 0 then begin
+        idx.(d) <- par_lower;
+        let inner = Array.sub loops (d + 1) (nloops - d - 1) in
+        let inner_lowers =
+          Array.map
+            (fun (l : Loop_nest.loop) -> Expr_eval.eval lookup l.Loop_nest.lower)
+            inner
+        in
+        let inner_trips =
+          Array.map (fun l -> Loop_nest.trip_count l ~env:lookup) inner
+        in
+        let ip = Array.fold_left ( * ) 1 inner_trips in
+        if ip > 0 then begin
+          incr n_regions;
+          if !n_regions > 4096 then bail "too many sequential regions";
+          let chunk =
+            match cfg.Fsmodel.Model.chunk with
+            | Some c -> c
+            | None -> (
+                match Loop_nest.chunk_spec nest with
+                | Some c -> c
+                | None ->
+                    Ompsched.Schedule.block_chunk ~threads ~total:par_trip)
+          in
+          let sched = Ompsched.Schedule.make ~threads ~chunk ~total:par_trip in
+          let steps = Ompsched.Schedule.max_steps_per_thread sched * ip in
+          let inner_index v =
+            let r = ref (-1) in
+            Array.iteri
+              (fun j (l : Loop_nest.loop) -> if l.Loop_nest.var = v then r := j)
+              inner;
+            !r
+          in
+          let rng v =
+            if v = pvar then (par_lower, par_lower + ((par_trip - 1) * pstep))
+            else
+              let j = inner_index v in
+              if j < 0 then bail "free variable %s in a subscript" v
+              else
+                ( inner_lowers.(j),
+                  inner_lowers.(j)
+                  + ((inner_trips.(j) - 1) * inner.(j).Loop_nest.step) )
+          in
+          let interval_of a size =
+            let c = Affine.const_part a in
+            let mn, mx =
+              List.fold_left
+                (fun (mn, mx) v ->
+                  let k = Affine.coeff a v in
+                  let vlo, vhi = rng v in
+                  if k >= 0 then (mn + (k * vlo), mx + (k * vhi))
+                  else (mn + (k * vhi), mx + (k * vlo)))
+                (c, c) (Affine.vars a)
+            in
+            (mn, mx + size - 1)
+          in
+          let bases =
+            List.map
+              (fun name ->
+                let brs =
+                  List.filter
+                    (fun ((r : Array_ref.t), _) -> r.Array_ref.base = name)
+                    folded
+                in
+                let written =
+                  List.exists (fun (r, _) -> Array_ref.is_write r) brs
+                in
+                let resolved =
+                  List.map
+                    (fun ((r : Array_ref.t), a) ->
+                      (* fold the current outer-loop values *)
+                      let a2 =
+                        Affine.subst
+                          (fun v ->
+                            match Hashtbl.find_opt env v with
+                            | Some (`Slot i) when i < d ->
+                                Some (Affine.const idx.(i))
+                            | _ -> None)
+                          a
+                      in
+                      let lo, hi = interval_of a2 r.Array_ref.size_bytes in
+                      widen name lo hi;
+                      let par_only =
+                        List.for_all (fun v -> v = pvar) (Affine.vars a2)
+                      in
+                      (r, a2, par_only))
+                    brs
+                in
+                let countable = List.for_all (fun (_, _, p) -> p) resolved in
+                if written && not countable then
+                  bail
+                    "a reference to written base %s depends on an inner loop \
+                     variable"
+                    name;
+                let rrefs =
+                  if not countable then []
+                  else
+                    List.map
+                      (fun ((r : Array_ref.t), a2, _) ->
+                        let k = Affine.coeff a2 pvar in
+                        let stride = k * pstep in
+                        let write = Array_ref.is_write r in
+                        if write && stride <= 0 then
+                          bail
+                            "write %s does not advance by a positive stride"
+                            r.Array_ref.repr;
+                        if stride < 0 then
+                          bail "%s sweeps backwards" r.Array_ref.repr;
+                        {
+                          addr0 = Affine.const_part a2 + (k * par_lower);
+                          stride;
+                          size = r.Array_ref.size_bytes;
+                          write;
+                        })
+                      resolved
+                in
+                let groups =
+                  (* stride groups with addr0 spread *)
+                  let tbl = Hashtbl.create 4 in
+                  List.iter
+                    (fun (rf : rref) ->
+                      match Hashtbl.find_opt tbl rf.stride with
+                      | None ->
+                          Hashtbl.replace tbl rf.stride
+                            (rf.addr0, rf.addr0, rf.size)
+                      | Some (lo, hi, ms) ->
+                          Hashtbl.replace tbl rf.stride
+                            (min lo rf.addr0, max hi rf.addr0, max ms rf.size))
+                    rrefs;
+                  Hashtbl.fold
+                    (fun s (lo, hi, ms) acc ->
+                      { s; spread = hi - lo; maxsz = ms } :: acc)
+                    tbl []
+                  |> List.sort (fun a b -> compare a.s b.s)
+                in
+                let lo_b, hi_b =
+                  List.fold_left
+                    (fun (l, h) ((r : Array_ref.t), a2, _) ->
+                      let rl, rh = interval_of a2 r.Array_ref.size_bytes in
+                      (min l rl, max h rh))
+                    (max_int, min_int) resolved
+                in
+                {
+                  bname = name;
+                  brefs = rrefs;
+                  bwritten = written;
+                  countable;
+                  nrefs_b = List.length brs;
+                  linespan = fdiv hi_b lb - fdiv lo_b lb + 1;
+                  groups;
+                })
+              base_names
+          in
+          regions :=
+            {
+              rn = par_trip;
+              rchunk = chunk;
+              rip = ip;
+              rsteps = steps;
+              rbases = bases;
+              rall_countable = List.for_all (fun b -> b.countable) bases;
+            }
+            :: !regions
+        end
+      end
+    in
+    let rec walk level =
+      if level = d then add_region ()
+      else begin
+        let l = loops.(level) in
+        let lo = Expr_eval.eval lookup l.Loop_nest.lower in
+        let hi = Expr_eval.eval lookup l.Loop_nest.upper_excl in
+        let v = ref lo in
+        while !v < hi do
+          idx.(level) <- !v;
+          walk (level + 1);
+          v := !v + l.Loop_nest.step
+        done
+      end
+    in
+    walk 0;
+    let rs = Array.of_list (List.rev !regions) in
+    let r_count = Array.length rs in
+    if r_count = 0 then Exact { fs_cases = 0; lines_analyzed = 0; regions = 0 }
+    else begin
+      (* distinct bases must occupy distinct cache lines, or per-base
+         line accounting breaks (only out-of-bounds code violates this) *)
+      let names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) extent [] in
+      List.iteri
+        (fun i (na, (la, ha)) ->
+          List.iteri
+            (fun j (nb, (lbo, hb)) ->
+              if j > i && fdiv ha lb >= fdiv lbo lb && fdiv hb lb >= fdiv la lb
+              then bail "bases %s and %s may share cache lines" na nb)
+            names)
+        names;
+      (* Upper bound on the distinct cache lines one thread can insert
+         over [w] lockstep steps inside region [r].  Lockstep means the
+         thread advances at most [w/ip + 1] parallel-level positions, so
+         a stride-[s] group of references stays within a computable byte
+         span; inner-dependent references are bounded by their whole-
+         region footprint; everything is capped by two lines per
+         reference per executed iteration. *)
+      let bound (r : region) w =
+        let dk = (w / r.rip) + 1 in
+        let qspan = (dk + r.rchunk) * threads in
+        List.fold_left
+          (fun acc b ->
+            let by_steps = (w + 1) * 2 * b.nrefs_b in
+            let m = min by_steps b.linespan in
+            let m =
+              if b.countable then
+                min m
+                  (List.fold_left
+                     (fun a g ->
+                       a + (((g.s * qspan) + g.spread + g.maxsz) / lb) + 2)
+                     0 b.groups)
+              else m
+            in
+            acc + m)
+          0 r.rbases
+      in
+      (* enumerate the lines of one countable base in one region; calls
+         [f line events] with events sorted by (parallel step, thread) *)
+      let iter_lines (r : region) (b : binfo) f =
+        let refs = Array.of_list b.brefs in
+        let nr = Array.length refs in
+        if nr > 0 then begin
+          let lo =
+            Array.fold_left (fun m (rf : rref) -> min m rf.addr0) max_int refs
+          in
+          let hi =
+            Array.fold_left
+              (fun m (rf : rref) ->
+                max m (rf.addr0 + (rf.stride * (r.rn - 1)) + rf.size - 1))
+              min_int refs
+          in
+          let wins = Array.make nr (1, 0) in
+          for line = fdiv lo lb to fdiv hi lb do
+            let lbyte = line * lb in
+            let q0 = ref max_int and q1 = ref min_int in
+            for k = 0 to nr - 1 do
+              let rf = refs.(k) in
+              let w =
+                if rf.stride > 0 then
+                  ( max 0 (cdiv (lbyte - rf.addr0 - rf.size + 1) rf.stride),
+                    min (r.rn - 1) (fdiv (lbyte + lb - 1 - rf.addr0) rf.stride)
+                  )
+                else if rf.addr0 <= lbyte + lb - 1 && rf.addr0 + rf.size - 1 >= lbyte
+                then (0, r.rn - 1)
+                else (1, 0)
+              in
+              wins.(k) <- w;
+              let a, z = w in
+              if a <= z then begin
+                if a < !q0 then q0 := a;
+                if z > !q1 then q1 := z
+              end
+            done;
+            if !q0 <= !q1 then begin
+              tick (!q1 - !q0 + 1);
+              let evs = ref [] in
+              for q = !q0 to !q1 do
+                let cov = ref false and w = ref false in
+                for k = 0 to nr - 1 do
+                  let a, z = wins.(k) in
+                  if q >= a && q <= z then begin
+                    cov := true;
+                    if refs.(k).write then w := true
+                  end
+                done;
+                if !cov then begin
+                  let cidx = q / r.rchunk in
+                  let t = cidx mod threads in
+                  let kpar =
+                    ((cidx / threads) * r.rchunk) + (q mod r.rchunk)
+                  in
+                  evs := (kpar, t, !w) :: !evs
+                end
+              done;
+              match !evs with
+              | [] -> ()
+              | evs ->
+                  let arr = Array.of_list (List.rev evs) in
+                  Array.sort
+                    (fun (k1, t1, _) (k2, t2, _) ->
+                      if k1 <> k2 then compare k1 k2 else compare t1 t2)
+                    arr;
+                  f line arr
+            end
+          done
+        end
+      in
+      (* ---- exact counting with per-line state carried across regions ---- *)
+      let global_fs (sel : region array) =
+        let tbl : (int, lstate) Hashtbl.t = Hashtbl.create 1024 in
+        let starts = Array.make (Array.length sel) 0 in
+        let fs = ref 0 in
+        let base_step = ref 0 in
+        Array.iteri
+          (fun ri r ->
+            starts.(ri) <- !base_step;
+            let region_of step =
+              let i = ref ri in
+              while !i > 0 && starts.(!i) > step do decr i done;
+              !i
+            in
+            (* the holder last touched the line at global step [lt]; its
+               residency through [step_end] must be certain *)
+            let certify lt step_end =
+              let w = step_end - lt in
+              let lo_r = region_of lt in
+              let need = ref 0 in
+              for i = lo_r to ri do
+                need := !need + bound sel.(i) (min w sel.(i).rsteps)
+              done;
+              if !need > capacity - 1 then
+                bail "line residency across a %d-step gap is uncertain" w
+            in
+            List.iter
+              (fun b ->
+                if b.bwritten then
+                  iter_lines r b (fun line events ->
+                    let st =
+                      match Hashtbl.find_opt tbl line with
+                      | Some s -> s
+                      | None ->
+                          incr lines_seen;
+                          let s =
+                            { writers = 0; last = Array.make threads (-1) }
+                          in
+                          Hashtbl.add tbl line s;
+                          s
+                    in
+                    let nev = Array.length events in
+                    let i = ref 0 in
+                    while !i < nev do
+                      let kpar, _, _ = events.(!i) in
+                      let j = ref !i in
+                      while
+                        !j < nev
+                        && (let k, _, _ = events.(!j) in
+                            k = kpar)
+                      do
+                        incr j
+                      done;
+                      let step_end =
+                        !base_step + (kpar * r.rip) + r.rip - 1
+                      in
+                      let gmask = ref 0 in
+                      for e = !i to !j - 1 do
+                        let _, t, _ = events.(e) in
+                        gmask := !gmask lor (1 lsl t)
+                      done;
+                      tick (!j - !i);
+                      let s0 = ref 0 in
+                      for e = !i to !j - 1 do
+                        let _, t, w = events.(e) in
+                        let bit = 1 lsl t in
+                        (* every thread whose sticky written bit we rely
+                           on — holders counted now, and the toucher's own
+                           chain — must certainly still be resident *)
+                        let check h =
+                          if !gmask land (1 lsl h) <> 0 then
+                            (* touched at every step of this group *)
+                            certify (step_end - 1) step_end
+                          else begin
+                            let lt = st.last.(h) in
+                            if lt < 0 then
+                              bail "internal: holder without a prior touch";
+                            certify lt step_end
+                          end
+                        in
+                        if st.writers land bit <> 0 then check t;
+                        let others = st.writers land lnot bit in
+                        if others <> 0 then begin
+                          for h = 0 to threads - 1 do
+                            if others land (1 lsl h) <> 0 then check h
+                          done;
+                          s0 := !s0 + popcount others
+                        end;
+                        if w then st.writers <- st.writers lor bit
+                      done;
+                      (* inner steps 2..ip repeat the group against the
+                         settled mask *)
+                      if r.rip > 1 then begin
+                        let s1 = ref 0 in
+                        for e = !i to !j - 1 do
+                          let _, t, _ = events.(e) in
+                          s1 := !s1 + popcount (st.writers land lnot (1 lsl t))
+                        done;
+                        fs := !fs + !s0 + ((r.rip - 1) * !s1)
+                      end
+                      else fs := !fs + !s0;
+                      for e = !i to !j - 1 do
+                        let _, t, _ = events.(e) in
+                        st.last.(t) <- step_end
+                      done;
+                      i := !j
+                    done))
+              r.rbases;
+            base_step := !base_step + r.rsteps)
+          sel;
+        !fs
+      in
+      (* ---- hold regime: nothing is ever evicted ---- *)
+      let hold_fs (r : region) rc =
+        let fs = ref 0 in
+        List.iter
+          (fun b ->
+            if b.bwritten then
+              iter_lines r b (fun _line events ->
+                incr lines_seen;
+                let writers = ref 0 in
+                let first = ref 0 in
+                let nev = Array.length events in
+                let i = ref 0 in
+                while !i < nev do
+                  let kpar, _, _ = events.(!i) in
+                  let j = ref !i in
+                  while
+                    !j < nev
+                    && (let k, _, _ = events.(!j) in
+                        k = kpar)
+                  do
+                    incr j
+                  done;
+                  let s0 = ref 0 in
+                  for e = !i to !j - 1 do
+                    let _, t, w = events.(e) in
+                    s0 := !s0 + popcount (!writers land lnot (1 lsl t));
+                    if w then writers := !writers lor (1 lsl t)
+                  done;
+                  if r.rip > 1 then begin
+                    let s1 = ref 0 in
+                    for e = !i to !j - 1 do
+                      let _, t, _ = events.(e) in
+                      s1 := !s1 + popcount (!writers land lnot (1 lsl t))
+                    done;
+                    first := !first + !s0 + ((r.rip - 1) * !s1)
+                  end
+                  else first := !first + !s0;
+                  i := !j
+                done;
+                (* steady-state regions: the writer set is complete from
+                   region one and never decays *)
+                let steady = ref 0 in
+                Array.iter
+                  (fun (_, t, _) ->
+                    steady := !steady + popcount (!writers land lnot (1 lsl t)))
+                  events;
+                fs := !fs + !first + ((rc - 1) * r.rip * !steady)))
+          r.rbases;
+        !fs
+      in
+      (* ---- per-thread distinct-line footprint of one region ---- *)
+      let footprint (r : region) =
+        let dj = Array.make threads 0 in
+        List.iter
+          (fun b ->
+            if b.countable then
+              iter_lines r b (fun _line events ->
+                let m = ref 0 in
+                Array.iter (fun (_, t, _) -> m := !m lor (1 lsl t)) events;
+                for t = 0 to threads - 1 do
+                  if !m land (1 lsl t) <> 0 then dj.(t) <- dj.(t) + 1
+                done))
+          r.rbases;
+        dj
+      in
+      let identical =
+        r_count > 1 && Array.for_all (fun r -> r = rs.(0)) rs
+      in
+      let fs_total =
+        if identical then begin
+          let r0 = rs.(0) in
+          let dj = footprint r0 in
+          let sched =
+            Ompsched.Schedule.make ~threads ~chunk:r0.rchunk ~total:r0.rn
+          in
+          let reset_ok = ref true and hold_ok = ref r0.rall_countable in
+          for t = 0 to threads - 1 do
+            if Ompsched.Schedule.count_of_thread sched ~tid:t > 0
+               && dj.(t) - 1 < capacity
+            then reset_ok := false;
+            if dj.(t) > capacity then hold_ok := false
+          done;
+          if !reset_ok then
+            (* every thread floods its stack with at least capacity+1
+               distinct lines per region, so every line is certainly
+               evicted between two regions: regions count independently *)
+            r_count * global_fs [| r0 |]
+          else if !hold_ok then
+            (* no thread ever exceeds the stack: nothing is evicted *)
+            hold_fs r0 r_count
+          else
+            bail
+              "cross-region cache residency is uncertain (per-thread \
+               footprint straddles the stack capacity)"
+        end
+        else global_fs rs
+      in
+      Exact
+        { fs_cases = fs_total; lines_analyzed = !lines_seen; regions = r_count }
+    end
+  with Fallback m -> Inapplicable m

@@ -1,0 +1,42 @@
+(** Closed-form false-sharing estimator for constant-stride nests.
+
+    For loop nests whose written references advance by a constant byte
+    stride per parallel iteration, the number of FS cases {!Fsmodel.Model}
+    would count can be computed analytically: every cache line of a written
+    array is touched by a short, contiguous window of parallel iterations
+    (the chunk-boundary-crossing window), the static schedule maps each of
+    those iterations to a (thread, lockstep-step) pair in closed form, and
+    the model's 1-to-All comparison reduces to prefix counting of distinct
+    earlier writers per line — no cache state is simulated.
+
+    The estimator is {e certifying}: it returns [Exact] only when it can
+    prove its count equals [Model.run]'s, and otherwise reports why not so
+    the caller can fall back to the engine.  The certificates are:
+
+    - {e in-window residency}: between a holder's consecutive touches of a
+      line, fewer distinct lines are inserted than the stack capacity, so
+      no holder is evicted while a line's window is live;
+    - {e cross-region eviction} (sequential outer loops): every thread
+      touches at least [capacity + 1] distinct lines per region, so lines
+      are always evicted between regions and regions contribute
+      independently; or
+    - {e cross-region residency}: every thread touches at most [capacity]
+      distinct lines, so nothing is ever evicted and steady-state regions
+      count full writer sets.
+
+    Irregular nests — non-affine or inner-variable-dependent writes,
+    non-constant strides, dynamic schedules — are [Inapplicable]. *)
+
+type info = {
+  fs_cases : int;  (** provably equal to [Model.run]'s [fs_cases] *)
+  lines_analyzed : int;  (** cache lines enumerated *)
+  regions : int;  (** sequential outer-loop regions *)
+}
+
+type result = Exact of info | Inapplicable of string
+
+val estimate :
+  Fsmodel.Model.config ->
+  nest:Loopir.Loop_nest.t ->
+  checked:Minic.Typecheck.checked ->
+  result

@@ -1,0 +1,266 @@
+open Loopir
+
+type verdict =
+  | Independent
+  | Loop_carried
+  | Line_conflict
+  | Unknown of string
+
+type pair = { a : Array_ref.t; b : Array_ref.t; verdict : verdict }
+
+let verdict_name = function
+  | Independent -> "independent"
+  | Loop_carried -> "loop-carried"
+  | Line_conflict -> "line-conflict"
+  | Unknown _ -> "unknown"
+
+(* ---------------------------------------------------------------- *)
+(* Interval arithmetic over the iteration box                        *)
+(* ---------------------------------------------------------------- *)
+
+exception Not_analyzable of string
+
+type interval = { lo : int; hi : int }  (* inclusive *)
+
+(* Banerjee bounds of an affine expression over per-variable intervals. *)
+let bounds ranges a =
+  let c = Affine.const_part a in
+  List.fold_left
+    (fun (mn, mx) v ->
+      let k = Affine.coeff a v in
+      let r =
+        match List.assoc_opt v ranges with
+        | Some r -> r
+        | None -> raise (Not_analyzable ("unbounded variable " ^ v))
+      in
+      if k >= 0 then (mn + (k * r.lo), mx + (k * r.hi))
+      else (mn + (k * r.hi), mx + (k * r.lo)))
+    (c, c) (Affine.vars a)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* extended gcd: egcd a b = (g, u, v) with a*u + b*v = g *)
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, u, v = egcd b (a mod b) in
+    (g, v, u - (a / b * v))
+
+let range_of ranges v =
+  match List.assoc_opt v ranges with
+  | Some r -> r
+  | None -> raise (Not_analyzable ("unbounded variable " ^ v))
+
+(* The k interval with x0 <= xp + sx*k <= x1 (empty when lo > hi). *)
+let k_interval ~xp ~sx ~x0 ~x1 =
+  if sx > 0 then (cdiv (x0 - xp) sx, fdiv (x1 - xp) sx)
+  else (cdiv (xp - x1) (-sx), fdiv (xp - x0) (-sx))
+
+(* Can [a] take a value in [tlo, thi] over the box?  With at most two
+   variables the test is exact (interval intersection, or a bounded
+   linear Diophantine solve along the solution line); otherwise the
+   classical sufficient-for-impossibility pair — Banerjee interval
+   disjointness and GCD inadmissibility — makes [false] a must-not. *)
+let feasible ranges a ~tlo ~thi =
+  let c = Affine.const_part a in
+  match Affine.vars a with
+  | [] -> tlo <= c && c <= thi
+  | [ v ] ->
+      let k = Affine.coeff a v in
+      let r = range_of ranges v in
+      let lo, hi =
+        if k > 0 then (cdiv (tlo - c) k, fdiv (thi - c) k)
+        else (cdiv (c - thi) (-k), fdiv (c - tlo) (-k))
+      in
+      max lo r.lo <= min hi r.hi
+  | [ v1; v2 ] ->
+      let k1 = Affine.coeff a v1 and k2 = Affine.coeff a v2 in
+      let r1 = range_of ranges v1 and r2 = range_of ranges v2 in
+      let g, u, w = egcd k1 k2 in
+      let g = abs g
+      and u = if g < 0 then -u else u
+      and w = if g < 0 then -w else w in
+      let ok = ref false in
+      let t = ref tlo in
+      while (not !ok) && !t <= thi do
+        let rhs = !t - c in
+        if rhs mod g = 0 then begin
+          (* particular solution of k1*x + k2*y = rhs, then walk the
+             solution line x = xp + (k2/g)k, y = yp - (k1/g)k *)
+          let xp = u * (rhs / g) and yp = w * (rhs / g) in
+          let klo1, khi1 = k_interval ~xp ~sx:(k2 / g) ~x0:r1.lo ~x1:r1.hi in
+          let klo2, khi2 =
+            k_interval ~xp:yp ~sx:(-(k1 / g)) ~x0:r2.lo ~x1:r2.hi
+          in
+          if max klo1 klo2 <= min khi1 khi2 then ok := true
+        end;
+        incr t
+      done;
+      !ok
+  | vars ->
+      let bmin, bmax = bounds ranges a in
+      let lo = max tlo bmin and hi = min thi bmax in
+      if lo > hi then false
+      else
+        let g = List.fold_left (fun g v -> gcd g (Affine.coeff a v)) 0 vars in
+        if g = 0 then true (* constant, already inside the window *)
+        else fdiv (hi - c) g >= cdiv (lo - c) g
+
+(* ---------------------------------------------------------------- *)
+(* Building the iteration box                                        *)
+(* ---------------------------------------------------------------- *)
+
+let prime v = v ^ "'"
+
+(* Evaluate loop bounds outermost-in, each as an affine expression over
+   parameters (folded to constants) and enclosing loop variables
+   (interval-propagated).  Returns the per-variable value intervals plus a
+   per-loop upper bound on the trip count; [None] when the nest certainly
+   runs nothing. *)
+let box ~params (nest : Loop_nest.t) =
+  let ranges = ref [] in
+  let lookup v =
+    match List.assoc_opt v params with
+    | Some k -> Some (Affine.const k)
+    | None ->
+        if List.mem_assoc v !ranges then Some (Affine.var v) else None
+  in
+  let trips =
+    List.map
+      (fun (l : Loop_nest.loop) ->
+        let aff_of e =
+          match Affine.of_expr lookup e with
+          | Some a -> a
+          | None ->
+              raise
+                (Not_analyzable
+                   (Printf.sprintf "bound of loop %s is not affine"
+                      l.Loop_nest.var))
+        in
+        let lo_lo, _ = bounds !ranges (aff_of l.Loop_nest.lower) in
+        let _, up_hi = bounds !ranges (aff_of l.Loop_nest.upper_excl) in
+        if up_hi - 1 < lo_lo then raise Exit (* certainly empty nest *)
+        else begin
+          (* conservative value interval: smallest lower to largest last *)
+          ranges := (l.Loop_nest.var, { lo = lo_lo; hi = up_hi - 1 }) :: !ranges;
+          (* largest possible trip count *)
+          max 0 ((up_hi - lo_lo + l.Loop_nest.step - 1) / l.Loop_nest.step)
+        end)
+      nest.Loop_nest.loops
+  in
+  (!ranges, trips)
+
+(* ---------------------------------------------------------------- *)
+(* Pair classification                                               *)
+(* ---------------------------------------------------------------- *)
+
+let fold_params params a =
+  Affine.subst
+    (fun v ->
+      match List.assoc_opt v params with
+      | Some k -> Some (Affine.const k)
+      | None -> None)
+    a
+
+let classify ~line_bytes ~params ~ranges ~trips (nest : Loop_nest.t)
+    (ra : Array_ref.t) (rb : Array_ref.t) =
+  let pvar = (Loop_nest.parallel_loop nest).Loop_nest.var in
+  let pstep = (Loop_nest.parallel_loop nest).Loop_nest.step in
+  let ptrip = List.nth trips nest.Loop_nest.parallel_depth in
+  if ptrip <= 1 then Independent (* at most one parallel iteration *)
+  else begin
+    let offa = fold_params params ra.Array_ref.offset in
+    let offb = fold_params params rb.Array_ref.offset in
+    (* the second iteration's variables, renamed *)
+    let offb' =
+      Affine.subst (fun v -> Some (Affine.var (prime v))) offb
+    in
+    let d = Affine.sub offa offb' in
+    (* primed variables share the unprimed intervals *)
+    let ranges2 =
+      ranges @ List.map (fun (v, r) -> (prime v, r)) ranges
+    in
+    let dist = "+dist" in
+    (* substitute pvar' = pvar +/- step*dist with dist >= 1: the two
+       iterations differ at the parallel level *)
+    let subst_dir sign =
+      Affine.subst
+        (fun v ->
+          if v = prime pvar then
+            Some
+              (Affine.add (Affine.var pvar)
+                 (Affine.scale (sign * pstep) (Affine.var dist)))
+          else None)
+        d
+    in
+    let ranges3 = (dist, { lo = 1; hi = max 1 (ptrip - 1) }) :: ranges2 in
+    (* Coupling reduction: when a variable and its primed copy occur with
+       opposite coefficients k*v - k*v', collapse them into a single
+       difference variable over the symmetric interval.  This often drops
+       the expression to <= 2 variables, where [feasible] is exact. *)
+    let couple a =
+      let rs = ref ranges3 in
+      let a =
+        List.fold_left
+          (fun a (v, (r : interval)) ->
+            let kv = Affine.coeff a v and kp = Affine.coeff a (prime v) in
+            if kv <> 0 && kp = -kv then begin
+              let dv = "+d" ^ v in
+              let w = r.hi - r.lo in
+              rs := (dv, { lo = -w; hi = w }) :: !rs;
+              Affine.subst
+                (fun u ->
+                  if u = v then Some (Affine.var dv)
+                  else if u = prime v then Some (Affine.const 0)
+                  else None)
+                a
+            end
+            else a)
+          a ranges
+      in
+      (!rs, a)
+    in
+    let feasible_window ~tlo ~thi =
+      let check sign =
+        let rs, a = couple (subst_dir sign) in
+        feasible rs a ~tlo ~thi
+      in
+      check 1 || check (-1)
+    in
+    let sza = ra.Array_ref.size_bytes and szb = rb.Array_ref.size_bytes in
+    if feasible_window ~tlo:(-(szb - 1)) ~thi:(sza - 1) then Loop_carried
+    else if
+      feasible_window ~tlo:(-(line_bytes - 1)) ~thi:(line_bytes - 1)
+    then Line_conflict
+    else Independent
+  end
+
+let pairs ~line_bytes ~params (nest : Loop_nest.t) =
+  let refs = Array.of_list nest.Loop_nest.refs in
+  let n = Array.length refs in
+  let interesting i j =
+    let a = refs.(i) and b = refs.(j) in
+    a.Array_ref.base = b.Array_ref.base
+    && (Array_ref.is_write a || Array_ref.is_write b)
+  in
+  let make verdict_of =
+    let acc = ref [] in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        if interesting i j then
+          acc := { a = refs.(i); b = refs.(j); verdict = verdict_of refs.(i) refs.(j) }
+                 :: !acc
+      done
+    done;
+    List.rev !acc
+  in
+  match box ~params nest with
+  | ranges, trips ->
+      make (fun a b ->
+          try classify ~line_bytes ~params ~ranges ~trips nest a b
+          with Not_analyzable m -> Unknown m)
+  | exception Exit -> make (fun _ _ -> Independent)
+  | exception Not_analyzable m -> make (fun _ _ -> Unknown m)

@@ -1,0 +1,51 @@
+(** Affine dependence analysis over the reference pairs of one loop nest.
+
+    For every pair of references to the same base with at least one write,
+    the analyzer decides whether two {e distinct iterations of the parallel
+    loop} can touch overlapping bytes (a loop-carried dependence — a data
+    race under [omp parallel for]), can touch the same cache line without
+    overlapping bytes (a false-sharing candidate), or can do neither
+    (independent).
+
+    The machinery is the classical GCD + Banerjee pair: the difference of
+    the two byte offsets is formed as an affine expression over the loop
+    variables of both iterations (the second iteration's variables renamed),
+    the parallel distance is introduced as an explicit variable constrained
+    away from zero, and a conflict is declared {e impossible} when either
+    the Banerjee interval of the difference misses the overlap window or the
+    coefficient GCD admits no solution inside it.  Both tests are sufficient
+    conditions for independence, so conflict verdicts are {e may} results
+    and [Independent] is a {e must} result. *)
+
+type verdict =
+  | Independent
+      (** no two distinct parallel iterations can touch the same cache
+          line through this pair *)
+  | Loop_carried
+      (** distinct parallel iterations may touch overlapping bytes: a
+          loop-carried dependence, i.e. a potential data race *)
+  | Line_conflict
+      (** bytes never overlap across parallel iterations, but the same
+          cache line may be touched: a false-sharing candidate *)
+  | Unknown of string
+      (** the pair could not be analyzed (non-affine or unbounded loop
+          bounds); no verdict is implied *)
+
+type pair = {
+  a : Loopir.Array_ref.t;
+  b : Loopir.Array_ref.t;
+  verdict : verdict;
+}
+
+val pairs :
+  line_bytes:int ->
+  params:(string * int) list ->
+  Loopir.Loop_nest.t ->
+  pair list
+(** All unordered same-base pairs with at least one write (a reference is
+    also paired with itself: a write that different parallel iterations
+    aim at the same address is a write-write race).  Loop bounds are
+    interval-evaluated outermost-in; bounds that are not affine in
+    parameters and outer loop variables yield [Unknown]. *)
+
+val verdict_name : verdict -> string

@@ -1,0 +1,152 @@
+type severity = Error | Warning | Info
+
+type fixit = { title : string; detail : string }
+
+type finding = {
+  rule : string;
+  severity : severity;
+  span : Minic.Span.t;
+  func : string;
+  message : string;
+  fixits : fixit list;
+}
+
+type report = { uri : string; findings : finding list }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort findings =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (rank a.severity) (rank b.severity) in
+      if c <> 0 then c
+      else
+        let c =
+          compare
+            (a.span.Minic.Span.line, a.span.Minic.Span.col)
+            (b.span.Minic.Span.line, b.span.Minic.Span.col)
+        in
+        if c <> 0 then c else compare a.rule b.rule)
+    findings
+
+let error_count r =
+  List.length (List.filter (fun f -> f.severity = Error) r.findings)
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  let nerr = ref 0 and nwarn = ref 0 and nnote = ref 0 in
+  List.iter
+    (fun f ->
+      (match f.severity with
+      | Error -> incr nerr
+      | Warning -> incr nwarn
+      | Info -> incr nnote);
+      let pos =
+        if Minic.Span.is_none f.span then ""
+        else Minic.Span.to_string f.span ^ ":"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%s %s[%s]: %s\n" r.uri pos
+           (severity_name f.severity) f.rule f.message);
+      List.iter
+        (fun fx ->
+          Buffer.add_string buf
+            (Printf.sprintf "  fix: %s — %s\n" fx.title fx.detail))
+        f.fixits)
+    r.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d error(s), %d warning(s), %d note(s)\n" r.uri
+       !nerr !nwarn !nnote);
+  Buffer.contents buf
+
+let to_json r =
+  let open Json in
+  let rules =
+    List.sort_uniq compare (List.map (fun f -> f.rule) r.findings)
+  in
+  let region (s : Minic.Span.t) =
+    Obj
+      [
+        ("startLine", Int s.line);
+        ("startColumn", Int s.col);
+        ("endLine", Int s.end_line);
+        ("endColumn", Int s.end_col);
+      ]
+  in
+  let result f =
+    let location =
+      Obj
+        [
+          ( "physicalLocation",
+            Obj
+              ([ ("artifactLocation", Obj [ ("uri", Str r.uri) ]) ]
+              @
+              if Minic.Span.is_none f.span then []
+              else [ ("region", region f.span) ]) );
+        ]
+    in
+    Obj
+      ([
+         ("ruleId", Str f.rule);
+         ("level", Str (severity_name f.severity));
+         ("message", Obj [ ("text", Str f.message) ]);
+         ("locations", List [ location ]);
+       ]
+      @ (if f.func = "" then []
+         else
+           [
+             ( "properties",
+               Obj [ ("function", Str f.func) ] );
+           ])
+      @
+      if f.fixits = [] then []
+      else
+        [
+          ( "fixes",
+            List
+              (List.map
+                 (fun fx ->
+                   Obj
+                     [
+                       ( "description",
+                         Obj
+                           [ ("text", Str (fx.title ^ " — " ^ fx.detail)) ]
+                       );
+                     ])
+                 f.fixits) );
+        ])
+  in
+  Obj
+    [
+      ("version", Str "2.1.0");
+      ( "$schema",
+        Str
+          "https://json.schemastore.org/sarif-2.1.0.json" );
+      ( "runs",
+        List
+          [
+            Obj
+              [
+                ( "tool",
+                  Obj
+                    [
+                      ( "driver",
+                        Obj
+                          [
+                            ("name", Str "fslint");
+                            ( "rules",
+                              List
+                                (List.map
+                                   (fun id -> Obj [ ("id", Str id) ])
+                                   rules) );
+                          ] );
+                    ] );
+                ("results", List (List.map result r.findings));
+              ];
+          ] );
+    ]

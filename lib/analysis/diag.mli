@@ -1,0 +1,33 @@
+(** Diagnostics: severity-ranked findings with source spans, fix-it
+    suggestions, and deterministic text / SARIF-shaped JSON renderers. *)
+
+type severity = Error | Warning | Info
+
+type fixit = { title : string; detail : string }
+(** A suggested remediation, e.g. a schedule chunk or struct padding. *)
+
+type finding = {
+  rule : string;  (** e.g. ["race/loop-carried"], ["fs/line-conflict"] *)
+  severity : severity;
+  span : Minic.Span.t;
+  func : string;  (** enclosing function, [""] if program-level *)
+  message : string;
+  fixits : fixit list;
+}
+
+type report = { uri : string; findings : finding list }
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["note"] — SARIF level names. *)
+
+val sort : finding list -> finding list
+(** Stable order: severity (errors first), then span, then rule. *)
+
+val error_count : report -> int
+
+val to_text : report -> string
+(** One ["uri:line:col: severity[rule]: message"] line per finding,
+    fix-its indented beneath, and a trailing summary line. *)
+
+val to_json : report -> Json.t
+(** SARIF 2.1.0-shaped document: one run, one result per finding. *)

@@ -1,0 +1,21 @@
+(** Minimal JSON tree and deterministic printer for the lint reports.
+
+    The repository deliberately avoids external JSON dependencies; this is
+    just enough to emit the SARIF-shaped diagnostics of {!Diag} with stable,
+    golden-testable output (two-space indentation, object keys in insertion
+    order, no trailing whitespace). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+
+val escape : string -> string
+(** JSON string-literal escaping (without the surrounding quotes). *)

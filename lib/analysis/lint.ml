@@ -1,0 +1,231 @@
+open Loopir
+
+type options = {
+  arch : Archspec.Arch.t;
+  threads : int;
+  chunk : int option;
+  fixits : bool;
+}
+
+let default_options =
+  {
+    arch = Archspec.Arch.paper_machine;
+    threads = 8;
+    chunk = None;
+    fixits = true;
+  }
+
+let access_word r = if Array_ref.is_write r then "write" else "read"
+
+let span_of_pair (p : Depend.pair) =
+  Minic.Span.join p.Depend.a.Array_ref.span p.Depend.b.Array_ref.span
+
+(* One finding per racy pair. *)
+let race_finding ~func (p : Depend.pair) =
+  {
+    Diag.rule = "race/loop-carried";
+    severity = Diag.Error;
+    span = span_of_pair p;
+    func;
+    message =
+      Printf.sprintf
+        "loop-carried dependence: %s (%s) and %s (%s) may touch the same \
+         bytes in different iterations of the parallel loop"
+        p.Depend.a.Array_ref.repr (access_word p.Depend.a)
+        p.Depend.b.Array_ref.repr (access_word p.Depend.b);
+    fixits = [];
+  }
+
+(* Unknown verdicts collapse to one finding per distinct reason. *)
+let unknown_findings ~func pairs =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (p : Depend.pair) ->
+      match p.Depend.verdict with
+      | Depend.Unknown reason when not (Hashtbl.mem seen reason) ->
+          Hashtbl.add seen reason ();
+          Some
+            {
+              Diag.rule = "analysis/unknown";
+              severity = Diag.Warning;
+              span = span_of_pair p;
+              func;
+              message =
+                Printf.sprintf
+                  "cannot prove %s and %s independent: %s"
+                  p.Depend.a.Array_ref.repr p.Depend.b.Array_ref.repr reason;
+              fixits = [];
+            }
+      | _ -> None)
+    pairs
+
+(* Quantify a nest's false sharing: certified closed form when it
+   applies, the exact engine otherwise. *)
+let fs_count cfg ~nest ~checked =
+  match Closed_form.estimate cfg ~nest ~checked with
+  | Closed_form.Exact info -> (info.Closed_form.fs_cases, "closed form")
+  | Closed_form.Inapplicable _ ->
+      ((Fsmodel.Model.run cfg ~nest ~checked).Fsmodel.Model.fs_cases, "engine")
+
+let fixits_for ~opts ~checked ~base advice =
+  match advice with
+  | None -> []
+  | Some (a : Fsmodel.Advisor.advice) ->
+      let chunk_fix =
+        match a.Fsmodel.Advisor.best_chunk with
+        | Some c ->
+            [
+              {
+                Diag.title = Printf.sprintf "schedule(static, %d)" c;
+                detail =
+                  Printf.sprintf
+                    "smallest chunk whose predicted false sharing falls \
+                     below 5%% of the chunk-1 level at %d threads"
+                    opts.threads;
+              };
+            ]
+        | None -> []
+      in
+      let victims =
+        List.filter
+          (fun (v : Fsmodel.Advisor.victim) -> v.Fsmodel.Advisor.base = base)
+          a.Fsmodel.Advisor.victims
+      in
+      let line_bytes = Archspec.Arch.line_bytes opts.arch in
+      let pad_fix =
+        match Fsmodel.Eliminate.plan_for checked ~line_bytes victims with
+        | plan ->
+            List.map
+              (function
+                | Fsmodel.Eliminate.Pad_struct { struct_name; pad_bytes } ->
+                    {
+                      Diag.title =
+                        Printf.sprintf "pad struct %s by %d byte(s)"
+                          struct_name pad_bytes;
+                      detail =
+                        "a char tail field pushes consecutive elements onto \
+                         distinct cache lines";
+                    }
+                | Fsmodel.Eliminate.Spread_array { base; factor } ->
+                    {
+                      Diag.title =
+                        Printf.sprintf "spread %s by a factor of %d" base
+                          factor;
+                      detail =
+                        "inter-element padding: one element per cache line";
+                    })
+              plan.Fsmodel.Eliminate.rewrites
+        | exception Fsmodel.Eliminate.Unsupported _ -> []
+      in
+      pad_fix @ chunk_fix
+
+(* One finding per conflicting base of the nest. *)
+let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
+  if conflicts = [] then []
+  else
+    let fs, how = fs_count cfg ~nest ~checked in
+    let bases =
+      List.sort_uniq compare
+        (List.map (fun (p : Depend.pair) -> p.Depend.a.Array_ref.base)
+           conflicts)
+    in
+    List.map
+      (fun base ->
+        let ps =
+          List.filter
+            (fun (p : Depend.pair) -> p.Depend.a.Array_ref.base = base)
+            conflicts
+        in
+        let example = List.hd ps in
+        let span =
+          List.fold_left
+            (fun s p -> Minic.Span.join s (span_of_pair p))
+            Minic.Span.none ps
+        in
+        let severity = if fs > 0 then Diag.Warning else Diag.Info in
+        let quant =
+          if fs > 0 then
+            Printf.sprintf
+              "the cost model counts %d false-sharing case(s) in this nest \
+               at %d threads (%s)"
+              fs opts.threads how
+          else
+            Printf.sprintf
+              "but the cost model counts no false-sharing case at %d \
+               threads (%s)"
+              opts.threads how
+        in
+        let fixits =
+          if opts.fixits && races = [] && fs > 0 then
+            fixits_for ~opts ~checked ~base advice
+          else []
+        in
+        {
+          Diag.rule = "fs/line-conflict";
+          severity;
+          span;
+          func;
+          message =
+            Printf.sprintf
+              "%s and %s are byte-disjoint across parallel iterations but \
+               may share a cache line; %s"
+              example.Depend.a.Array_ref.repr
+              example.Depend.b.Array_ref.repr quant;
+          fixits;
+        })
+      bases
+
+let lint_nest ~opts ~checked ~func ~advice nest =
+  let line_bytes = Archspec.Arch.line_bytes opts.arch in
+  let params = [ ("num_threads", opts.threads) ] in
+  let pairs = Depend.pairs ~line_bytes ~params nest in
+  let with_verdict v =
+    List.filter (fun (p : Depend.pair) -> p.Depend.verdict = v) pairs
+  in
+  let races = with_verdict Depend.Loop_carried in
+  let conflicts = with_verdict Depend.Line_conflict in
+  let cfg =
+    { (Fsmodel.Model.default_config ~arch:opts.arch ~threads:opts.threads ())
+      with chunk = opts.chunk }
+  in
+  let advice = if races = [] then advice else None in
+  List.map (race_finding ~func) races
+  @ unknown_findings ~func pairs
+  @ fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest
+
+let lint_function ~opts ~checked func =
+  match
+    Lower.lower_all checked ~func
+      ~params:[ ("num_threads", opts.threads) ]
+  with
+  | exception Lower.Lower_error m ->
+      [
+        {
+          Diag.rule = "analysis/unknown";
+          severity = Diag.Warning;
+          span = Minic.Span.none;
+          func;
+          message = Printf.sprintf "cannot analyze %s: %s" func m;
+          fixits = [];
+        };
+      ]
+  | nests ->
+      (* the advisor sweep is per function; share it across its nests
+         and skip it entirely when fix-its are off *)
+      let advice =
+        if opts.fixits then
+          try
+            Some
+              (Fsmodel.Advisor.advise ~arch:opts.arch ~threads:opts.threads
+                 ~func checked)
+          with _ -> None
+        else None
+      in
+      List.concat_map (lint_nest ~opts ~checked ~func ~advice) nests
+
+let run ?(opts = default_options) ~uri checked =
+  let funcs =
+    Lower.find_parallel_functions checked.Minic.Typecheck.prog
+  in
+  let findings = List.concat_map (lint_function ~opts ~checked) funcs in
+  { Diag.uri; findings = Diag.sort findings }

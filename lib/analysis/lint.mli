@@ -1,0 +1,36 @@
+(** The whole-program lint pass: discover every [omp parallel for] nest,
+    classify reference pairs with {!Depend}, quantify false sharing with
+    {!Closed_form} (falling back to the {!Fsmodel.Model} engine), and
+    emit severity-ranked {!Diag} findings with fix-its from the advisor
+    and the elimination planner.
+
+    Rules:
+    - ["race/loop-carried"] (error): a write and another access to the
+      same base may touch the same bytes in different parallel
+      iterations — the loop is not safely parallel.
+    - ["fs/line-conflict"] (warning; note when the model counts zero
+      cases): accesses proven byte-disjoint across parallel iterations
+      may still share a cache line.
+    - ["analysis/unknown"] (warning): the nest or a dependence could not
+      be analyzed (non-affine bounds or subscripts).
+
+    Fix-its (a [schedule(static, c)] chunk from {!Fsmodel.Advisor} and
+    padding/spreading from {!Fsmodel.Eliminate}) are attached to
+    ["fs/line-conflict"] findings only when the nest has no race
+    findings: tuning the schedule of a racy loop would legitimize a
+    transformation that is unsound to begin with. *)
+
+type options = {
+  arch : Archspec.Arch.t;
+  threads : int;
+  chunk : int option;  (** overrides the pragma's [schedule] chunk *)
+  fixits : bool;  (** run the advisor / planner for remediations *)
+}
+
+val default_options : options
+(** Paper machine, 8 threads, pragma chunk, fix-its on. *)
+
+val run :
+  ?opts:options -> uri:string -> Minic.Typecheck.checked -> Diag.report
+(** Lint every parallel function of the program.  Findings are sorted
+    with {!Diag.sort}; [uri] is only used for rendering. *)

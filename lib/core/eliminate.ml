@@ -95,7 +95,8 @@ let rec spread_stmt ~base ~dims ~factor s =
   let rw_s = spread_stmt ~base ~dims ~factor in
   match s with
   | Minic.Ast.Sexpr e -> Minic.Ast.Sexpr (rw_e e)
-  | Minic.Ast.Sassign (l, op, r) -> Minic.Ast.Sassign (rw_e l, op, rw_e r)
+  | Minic.Ast.Sassign (sp, l, op, r) ->
+      Minic.Ast.Sassign (sp, rw_e l, op, rw_e r)
   | Minic.Ast.Sdecl (t, n, init) ->
       Minic.Ast.Sdecl (t, n, Option.map rw_e init)
   | Minic.Ast.Sblock ss -> Minic.Ast.Sblock (List.map rw_s ss)

@@ -118,7 +118,7 @@ let rec count_stmt ctx recur = function
   | Minic.Ast.Sexpr e ->
       count_expr ctx e;
       recur
-  | Minic.Ast.Sassign (lhs, op, rhs) ->
+  | Minic.Ast.Sassign (_, lhs, op, rhs) ->
       count_expr ctx rhs;
       (* the store (and, for compound assignment, the extra load + op) *)
       if is_memory_access lhs then begin

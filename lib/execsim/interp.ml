@@ -702,7 +702,7 @@ let rec compile_stmt ctx stmt : compiled_stmt =
     | Minic.Ast.Sexpr e ->
         let ce = compile_expr ctx e in
         fun _ tid frame -> ignore (ce tid frame)
-    | Minic.Ast.Sassign (lhs, op, rhs) ->
+    | Minic.Ast.Sassign (_, lhs, op, rhs) ->
         let ca = compile_assign ctx lhs op rhs in
         fun _ tid frame -> ca tid frame
     | Minic.Ast.Sdecl (ty, name, init) -> (

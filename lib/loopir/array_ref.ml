@@ -6,10 +6,11 @@ type t = {
   size_bytes : int;
   access : access;
   repr : string;
+  span : Minic.Span.t;
 }
 
-let v ~base ~offset ~size_bytes ~access ~repr =
-  { base; offset; size_bytes; access; repr }
+let v ?(span = Minic.Span.none) ~base ~offset ~size_bytes ~access ~repr () =
+  { base; offset; size_bytes; access; repr; span }
 
 let is_write r = r.access = Write
 let access_name = function Read -> "R" | Write -> "W"

@@ -13,14 +13,17 @@ type t = {
   size_bytes : int;  (** bytes touched (the scalar element size) *)
   access : access;
   repr : string;  (** source-level rendering, e.g. ["A[i][j+1]"] *)
+  span : Minic.Span.t;  (** statement the access occurs in; may be [none] *)
 }
 
 val v :
+  ?span:Minic.Span.t ->
   base:string ->
   offset:Affine.t ->
   size_bytes:int ->
   access:access ->
   repr:string ->
+  unit ->
   t
 
 val is_write : t -> bool

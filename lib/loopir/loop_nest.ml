@@ -3,6 +3,7 @@ type loop = {
   lower : Minic.Ast.expr;
   upper_excl : Minic.Ast.expr;
   step : int;
+  span : Minic.Span.t;
 }
 
 type t = {

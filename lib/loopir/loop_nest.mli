@@ -10,6 +10,7 @@ type loop = {
   lower : Minic.Ast.expr;  (** first value of [var] *)
   upper_excl : Minic.Ast.expr;  (** iteration continues while [var < upper] *)
   step : int;  (** positive constant *)
+  span : Minic.Span.t;  (** the source [for] header; may be [none] *)
 }
 
 type t = {

@@ -66,7 +66,13 @@ let normalize_loop params (loop : Ast.for_loop) : Loop_nest.loop =
         err "condition of loop %s must have the form '%s < bound' or '%s <= bound'"
           v v v
   in
-  { Loop_nest.var = v; lower = loop.Ast.init_expr; upper_excl; step }
+  {
+    Loop_nest.var = v;
+    lower = loop.Ast.init_expr;
+    upper_excl;
+    step;
+    span = loop.Ast.span;
+  }
 
 (* ---------------------------------------------------------------- *)
 (* Reference collection                                               *)
@@ -79,6 +85,7 @@ type ref_ctx = {
   loop_vars : string list;
   params : (string * int) list;
   acc : Array_ref.t list ref;
+  cur_span : Span.t ref;  (* span of the statement being collected *)
 }
 
 let affine_of_subscript ctx repr e =
@@ -141,8 +148,8 @@ let emit ctx access e =
         | t -> Ctypes.sizeof ctx.structs t
       in
       let r =
-        Array_ref.v ~base ~offset ~size_bytes:size ~access
-          ~repr:(Pretty.expr_to_string e)
+        Array_ref.v ~span:!(ctx.cur_span) ~base ~offset ~size_bytes:size
+          ~access ~repr:(Pretty.expr_to_string e) ()
       in
       ctx.acc := r :: !(ctx.acc);
       subs
@@ -176,9 +183,11 @@ let collect_write ctx lhs ~compound =
 
 let rec collect_stmt ctx = function
   | Ast.Sexpr e -> collect_reads ctx e
-  | Ast.Sassign (lhs, op, rhs) ->
+  | Ast.Sassign (sp, lhs, op, rhs) ->
+      ctx.cur_span := sp;
       collect_reads ctx rhs;
-      collect_write ctx lhs ~compound:(op <> Ast.A_set)
+      collect_write ctx lhs ~compound:(op <> Ast.A_set);
+      ctx.cur_span := Span.none
   | Ast.Sdecl (_, _, init) -> Option.iter (collect_reads ctx) init
   | Ast.Sblock stmts -> List.iter (collect_stmt ctx) stmts
   | Ast.Sif (c, then_, else_) ->
@@ -235,6 +244,7 @@ let lower_chain (checked : Typecheck.checked) ~func ~params (f : Ast.func)
       loop_vars;
       params;
       acc = ref [];
+      cur_span = ref Span.none;
     }
   in
   List.iter (collect_stmt ctx) innermost_body;

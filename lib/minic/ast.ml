@@ -63,7 +63,7 @@ type step = { step_var : string; step_by : expr }
 
 type stmt =
   | Sexpr of expr
-  | Sassign of expr * assign_op * expr
+  | Sassign of Span.t * expr * assign_op * expr
   | Sdecl of ctype * string * expr option
   | Sblock of stmt list
   | Sif of expr * stmt * stmt option
@@ -75,6 +75,7 @@ type stmt =
 
 and for_loop = {
   pragma : pragma option;
+  span : Span.t;
   init_var : string;
   init_expr : expr;
   cond : expr;
@@ -134,3 +135,24 @@ let funcs p =
     p.globals
 
 let find_func p name = List.find_opt (fun f -> f.fname = name) (funcs p)
+
+let rec erase_spans_stmt = function
+  | Sassign (_, l, op, r) -> Sassign (Span.none, l, op, r)
+  | Sblock ss -> Sblock (List.map erase_spans_stmt ss)
+  | Sif (c, t, e) ->
+      Sif (c, erase_spans_stmt t, Option.map erase_spans_stmt e)
+  | Sfor f -> Sfor { f with span = Span.none; body = erase_spans_stmt f.body }
+  | Swhile (c, b) -> Swhile (c, erase_spans_stmt b)
+  | (Sexpr _ | Sdecl _ | Sbreak | Scontinue | Sreturn _) as s -> s
+
+let erase_spans p =
+  {
+    p with
+    globals =
+      List.map
+        (function
+          | Gfunc f ->
+              Gfunc { f with body = List.map erase_spans_stmt f.body }
+          | g -> g)
+        p.globals;
+  }

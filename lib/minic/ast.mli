@@ -60,7 +60,8 @@ type step = { step_var : string; step_by : expr }
 
 type stmt =
   | Sexpr of expr
-  | Sassign of expr * assign_op * expr  (** lvalue, op, rvalue *)
+  | Sassign of Span.t * expr * assign_op * expr
+      (** source span, lvalue, op, rvalue; rewrites use {!Span.none} *)
   | Sdecl of ctype * string * expr option
   | Sblock of stmt list
   | Sif of expr * stmt * stmt option
@@ -72,6 +73,7 @@ type stmt =
 
 and for_loop = {
   pragma : pragma option;
+  span : Span.t;  (** the [for] keyword's position (or the pragma's) *)
   init_var : string;
   init_expr : expr;
   cond : expr;  (** must be [init_var < e], [<=], [>], or [>=] *)
@@ -95,6 +97,11 @@ type program = { macros : Preproc.macros; globals : global list }
 
 val binop_name : binop -> string
 val assign_op_name : assign_op -> string
+
+val erase_spans : program -> program
+(** Replace every statement/loop span by {!Span.none} — for structural
+    comparisons (e.g. pretty round-trips) where positions must not
+    participate in equality. *)
 
 val struct_defs : program -> (string * (ctype * string) list) list
 val global_vars : program -> (string * ctype) list

@@ -21,20 +21,30 @@ let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || is_digit c
 
-(* The lexer walks the string with an index and a current line counter.  A
-   leading '#' introduces a directive that consumes the rest of the line. *)
+(* The lexer walks the string with an index, a current line counter and the
+   index of the current line's first character (so 1-based columns are
+   [i - bol + 1]).  A leading '#' introduces a directive that consumes the
+   rest of the line. *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let emit tok = toks := { Token.tok; line = !line } :: !toks in
+  let bol = ref 0 in
   let i = ref 0 in
+  (* [start] is the index of the token's first character; the token ends
+     just before the current position *)
+  let emit ~start tok =
+    toks :=
+      { Token.tok; line = !line; col = start - !bol + 1;
+        end_col = !i - !bol + 1 }
+      :: !toks
+  in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   let rec skip_block_comment start_line =
     if !i + 1 >= n then raise (Error ("unterminated comment", start_line))
     else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
     else begin
-      if src.[!i] = '\n' then incr line;
+      if src.[!i] = '\n' then begin incr line; bol := !i + 1 end;
       incr i;
       skip_block_comment start_line
     end
@@ -62,19 +72,19 @@ let tokenize src =
         while !i < n && is_digit src.[!i] do incr i done
       end;
       let s = String.sub src start (!i - start) in
-      emit (Token.FLOAT_LIT (float_of_string s))
+      emit ~start (Token.FLOAT_LIT (float_of_string s))
     end
     else begin
       let s = String.sub src start (!i - start) in
       (* swallow integer suffixes: 100L, 100UL *)
       while !i < n && (src.[!i] = 'l' || src.[!i] = 'L' || src.[!i] = 'u'
                        || src.[!i] = 'U') do incr i done;
-      emit (Token.INT_LIT (int_of_string s))
+      emit ~start (Token.INT_LIT (int_of_string s))
     end
   in
   while !i < n do
     let c = src.[!i] in
-    if c = '\n' then begin incr line; incr i end
+    if c = '\n' then begin incr line; incr i; bol := !i end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && peek 1 = Some '/' then ignore (read_line_rest ())
     else if c = '/' && peek 1 = Some '*' then begin
@@ -83,11 +93,13 @@ let tokenize src =
       skip_block_comment start_line
     end
     else if c = '#' then begin
+      let start = !i in
       incr i;
       let rest = read_line_rest () in
       let rest = String.trim rest in
       if String.length rest >= 6 && String.sub rest 0 6 = "pragma" then
-        emit (Token.PRAGMA (String.trim (String.sub rest 6 (String.length rest - 6))))
+        emit ~start
+          (Token.PRAGMA (String.trim (String.sub rest 6 (String.length rest - 6))))
       else
         raise
           (Error
@@ -103,12 +115,13 @@ let tokenize src =
       while !i < n && is_ident_char src.[!i] do incr i done;
       let s = String.sub src start (!i - start) in
       match keyword_of s with
-      | Some kw -> emit kw
-      | None -> emit (Token.IDENT s)
+      | Some kw -> emit ~start kw
+      | None -> emit ~start (Token.IDENT s)
     end
     else begin
-      let two tok = emit tok; i := !i + 2 in
-      let one tok = emit tok; incr i in
+      let start = !i in
+      let two tok = i := !i + 2; emit ~start tok in
+      let one tok = incr i; emit ~start tok in
       match c, peek 1 with
       | '+', Some '+' -> two Token.PLUSPLUS
       | '+', Some '=' -> two Token.PLUSEQ
@@ -144,5 +157,5 @@ let tokenize src =
       | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
     end
   done;
-  emit Token.EOF;
+  emit ~start:!i Token.EOF;
   List.rev !toks

@@ -8,6 +8,8 @@ type state = {
 
 let cur st = st.toks.(st.pos).Token.tok
 let cur_line st = st.toks.(st.pos).Token.line
+let cur_span st = Token.span_of st.toks.(st.pos)
+let prev_span st = Token.span_of st.toks.(max 0 (st.pos - 1))
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
 let fail st msg = raise (Error (msg, cur_line st))
 
@@ -353,13 +355,14 @@ let rec parse_stmt st =
   match cur st with
   | Token.PRAGMA text ->
       let line = cur_line st in
+      let pragma_span = cur_span st in
       advance st;
       let pragma = parse_pragma st.macros text line in
       (match cur st with
       | Token.KW_FOR -> ()
       | _ -> fail st "an omp pragma must be followed by a for loop");
       let loop = parse_for st in
-      Ast.Sfor { loop with Ast.pragma = Some pragma }
+      Ast.Sfor { loop with Ast.pragma = Some pragma; span = pragma_span }
   | Token.KW_FOR -> Ast.Sfor (parse_for st)
   | Token.LBRACE ->
       advance st;
@@ -407,26 +410,35 @@ let rec parse_stmt st =
       expect st Token.SEMI;
       Ast.Sdecl (ty, name, init)
   | _ ->
+      let sp = cur_span st in
       let lhs = parse_expr st in
+      let assign op =
+        advance st;
+        let rhs = parse_expr st in
+        Ast.Sassign (Span.join sp (prev_span st), lhs, op, rhs)
+      in
       let stmt =
         match cur st with
-        | Token.ASSIGN -> advance st; Ast.Sassign (lhs, Ast.A_set, parse_expr st)
-        | Token.PLUSEQ -> advance st; Ast.Sassign (lhs, Ast.A_add, parse_expr st)
-        | Token.MINUSEQ -> advance st; Ast.Sassign (lhs, Ast.A_sub, parse_expr st)
-        | Token.STAREQ -> advance st; Ast.Sassign (lhs, Ast.A_mul, parse_expr st)
-        | Token.SLASHEQ -> advance st; Ast.Sassign (lhs, Ast.A_div, parse_expr st)
+        | Token.ASSIGN -> assign Ast.A_set
+        | Token.PLUSEQ -> assign Ast.A_add
+        | Token.MINUSEQ -> assign Ast.A_sub
+        | Token.STAREQ -> assign Ast.A_mul
+        | Token.SLASHEQ -> assign Ast.A_div
         | Token.PLUSPLUS ->
             advance st;
-            Ast.Sassign (lhs, Ast.A_add, Ast.Int_lit 1)
+            Ast.Sassign (Span.join sp (prev_span st), lhs, Ast.A_add,
+                         Ast.Int_lit 1)
         | Token.MINUSMINUS ->
             advance st;
-            Ast.Sassign (lhs, Ast.A_sub, Ast.Int_lit 1)
+            Ast.Sassign (Span.join sp (prev_span st), lhs, Ast.A_sub,
+                         Ast.Int_lit 1)
         | _ -> Ast.Sexpr lhs
       in
       expect st Token.SEMI;
       stmt
 
 and parse_for st =
+  let span = cur_span st in
   expect st Token.KW_FOR;
   expect st Token.LPAREN;
   (* init: 'i = e' or 'int i = e' *)
@@ -449,7 +461,7 @@ and parse_for st =
   let step = parse_step st in
   expect st Token.RPAREN;
   let body = parse_stmt st in
-  { Ast.pragma = None; init_var; init_expr; cond; step; body }
+  { Ast.pragma = None; span; init_var; init_expr; cond; step; body }
 
 (* ------------------------------------------------------------------ *)
 (* Top level                                                           *)

@@ -93,7 +93,7 @@ let pp_pragma ppf (p : Ast.pragma) =
 
 let rec pp_stmt ppf = function
   | Ast.Sexpr e -> fprintf ppf "%a;" pp_expr e
-  | Ast.Sassign (l, op, r) ->
+  | Ast.Sassign (_, l, op, r) ->
       fprintf ppf "%a %s %a;" pp_expr l (Ast.assign_op_name op) pp_expr r
   | Ast.Sdecl (t, name, init) -> (
       match init with

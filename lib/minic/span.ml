@@ -1,0 +1,30 @@
+type t = { line : int; col : int; end_line : int; end_col : int }
+
+let none = { line = 0; col = 0; end_line = 0; end_col = 0 }
+let is_none s = s.line = 0
+
+let point ~line ~col = { line; col; end_line = line; end_col = col }
+
+let make ~line ~col ~end_line ~end_col = { line; col; end_line; end_col }
+
+let join a b =
+  if is_none a then b
+  else if is_none b then a
+  else begin
+    let lo, lo_col =
+      if (a.line, a.col) <= (b.line, b.col) then (a.line, a.col)
+      else (b.line, b.col)
+    in
+    let hi, hi_col =
+      if (a.end_line, a.end_col) >= (b.end_line, b.end_col) then
+        (a.end_line, a.end_col)
+      else (b.end_line, b.end_col)
+    in
+    { line = lo; col = lo_col; end_line = hi; end_col = hi_col }
+  end
+
+let pp ppf s =
+  if is_none s then Format.pp_print_string ppf "?:?"
+  else Format.fprintf ppf "%d:%d" s.line s.col
+
+let to_string s = Format.asprintf "%a" pp s

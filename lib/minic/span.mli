@@ -1,0 +1,23 @@
+(** Source spans: 1-based line/column ranges attached to tokens, statements
+    and loops, and threaded through {!Typecheck} error messages and the
+    [Loopir] reference lists into the diagnostics of the lint pass.
+
+    The unknown span {!none} (line 0) marks nodes produced by program
+    rewrites ({!module:Ast} transformations) rather than by the parser. *)
+
+type t = { line : int; col : int; end_line : int; end_col : int }
+
+val none : t
+(** The unknown span; {!pp} renders it as ["?:?"]. *)
+
+val is_none : t -> bool
+val point : line:int -> col:int -> t
+val make : line:int -> col:int -> end_line:int -> end_col:int -> t
+
+val join : t -> t -> t
+(** Smallest span covering both; {!none} is the identity. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["line:col"] of the start position. *)
+
+val to_string : t -> string

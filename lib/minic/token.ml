@@ -102,4 +102,8 @@ let to_string = function
   | PRAGMA s -> "#pragma " ^ s
   | EOF -> "<eof>"
 
-type located = { tok : t; line : int }
+type located = { tok : t; line : int; col : int; end_col : int }
+
+let span_of { line; col; end_col; _ } =
+  if line = 0 then Span.none
+  else Span.make ~line ~col ~end_line:line ~end_col

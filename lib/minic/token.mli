@@ -60,4 +60,8 @@ type t =
 
 val to_string : t -> string
 
-type located = { tok : t; line : int }
+type located = { tok : t; line : int; col : int; end_col : int }
+(** [col] is the 1-based column of the token's first character,
+    [end_col] the column one past its last character. *)
+
+val span_of : located -> Span.t

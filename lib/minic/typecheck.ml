@@ -1,5 +1,10 @@
 exception Type_error of string
 
+(* A [Type_error] that has already been given a source position by the
+   nearest enclosing located statement; converted back to [Type_error] at
+   the [check_program] boundary so the public exception stays a string. *)
+exception Located_error of Span.t * string
+
 type checked = {
   prog : Ast.program;
   structs : Ctypes.struct_env;
@@ -15,6 +20,12 @@ let builtins =
 let implicit_params = [ ("num_threads", Ast.Tint) ]
 
 let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* Attach [sp] to any plain [Type_error] raised inside [f]: the innermost
+   span wins because an already-located error passes through untouched. *)
+let locate sp f =
+  if Span.is_none sp then f ()
+  else try f () with Type_error m -> raise (Located_error (sp, m))
 
 let numeric = function
   | Ast.Tchar | Ast.Tint | Ast.Tlong | Ast.Tfloat | Ast.Tdouble -> true
@@ -117,12 +128,13 @@ let rec check_stmt structs scope stmt =
   | Ast.Sexpr e ->
       ignore (typeof scope e);
       scope
-  | Ast.Sassign (lhs, _op, rhs) ->
-      if not (is_lvalue lhs) then err "assignment target is not an lvalue";
-      let tl = typeof scope lhs in
-      let tr = typeof scope rhs in
-      if not (numeric tl) then err "assignment target is not scalar";
-      if not (numeric tr) then err "assigned value is not scalar";
+  | Ast.Sassign (sp, lhs, _op, rhs) ->
+      locate sp (fun () ->
+          if not (is_lvalue lhs) then err "assignment target is not an lvalue";
+          let tl = typeof scope lhs in
+          let tr = typeof scope rhs in
+          if not (numeric tl) then err "assignment target is not scalar";
+          if not (numeric tr) then err "assigned value is not scalar");
       scope
   | Ast.Sdecl (ty, name, init) ->
       check_type_resolves structs ty;
@@ -145,22 +157,23 @@ let rec check_stmt structs scope stmt =
       | None -> ());
       scope
   | Ast.Sfor loop ->
-      let scope' =
-        match List.assoc_opt loop.Ast.init_var scope with
-        | Some t ->
-            if not (integral t) then
-              err "loop variable %s is not integral" loop.Ast.init_var;
-            scope
-        | None -> (loop.Ast.init_var, Ast.Tint) :: scope
-      in
-      ignore (typeof scope' loop.Ast.init_expr);
-      let tc = typeof scope' loop.Ast.cond in
-      if not (numeric tc) then err "loop condition is not numeric";
-      if loop.Ast.step.Ast.step_var <> loop.Ast.init_var then
-        err "loop step variable %s differs from induction variable %s"
-          loop.Ast.step.Ast.step_var loop.Ast.init_var;
-      ignore (typeof scope' loop.Ast.step.Ast.step_by);
-      ignore (check_stmt structs scope' loop.Ast.body);
+      locate loop.Ast.span (fun () ->
+          let scope' =
+            match List.assoc_opt loop.Ast.init_var scope with
+            | Some t ->
+                if not (integral t) then
+                  err "loop variable %s is not integral" loop.Ast.init_var;
+                scope
+            | None -> (loop.Ast.init_var, Ast.Tint) :: scope
+          in
+          ignore (typeof scope' loop.Ast.init_expr);
+          let tc = typeof scope' loop.Ast.cond in
+          if not (numeric tc) then err "loop condition is not numeric";
+          if loop.Ast.step.Ast.step_var <> loop.Ast.init_var then
+            err "loop step variable %s differs from induction variable %s"
+              loop.Ast.step.Ast.step_var loop.Ast.init_var;
+          ignore (typeof scope' loop.Ast.step.Ast.step_by);
+          ignore (check_stmt structs scope' loop.Ast.body));
       scope
   | Ast.Swhile (cond, body) ->
       let tc = typeof scope cond in
@@ -181,7 +194,7 @@ let check_func structs global_types (f : Ast.func) =
   in
   ignore (List.fold_left (check_stmt structs) scope f.Ast.body)
 
-let check_program prog =
+let check_program_exn prog =
   let structs = Ctypes.struct_env_of_program prog in
   (* struct field types must resolve (and not be recursive by construction:
      a struct can only reference structs defined before it) *)
@@ -204,6 +217,11 @@ let check_program prog =
   List.iter (fun (_, t) -> check_type_resolves structs t) global_types;
   List.iter (check_func structs global_types) (Ast.funcs prog);
   { prog; structs; global_types }
+
+let check_program prog =
+  try check_program_exn prog
+  with Located_error (sp, m) ->
+    raise (Type_error (Format.asprintf "%a: %s" Span.pp sp m))
 
 let locals_of_func checked (f : Ast.func) =
   let acc = ref (List.map (fun (t, n) -> (n, t)) f.Ast.params) in

@@ -1,0 +1,43 @@
+(* Golden-output generator for the lint pass: runs [Analysis.Lint] with
+   its default options on a bundled kernel or a fixture file and writes
+   the text and JSON renderings.  The dune rules diff the outputs against
+   the committed files under [test/golden/]; refresh with [dune promote]. *)
+
+let usage = "golden_gen (--kernel NAME | FILE.c) OUT.txt OUT.json"
+
+let fail msg =
+  prerr_endline msg;
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let () =
+  let (uri, checked), outs =
+    match Array.to_list Sys.argv with
+    | _ :: "--kernel" :: name :: rest -> (
+        match Kernels.Registry.find name with
+        | Some k -> ((("kernel:" ^ name), Kernels.Kernel.parse k), rest)
+        | None -> fail ("unknown kernel " ^ name))
+    | _ :: file :: rest ->
+        ( ( file,
+            Minic.Typecheck.check_program
+              (Minic.Parser.parse_program (read_file file)) ),
+          rest )
+    | _ -> fail usage
+  in
+  match outs with
+  | [ otxt; ojson ] ->
+      let report = Analysis.Lint.run ~uri checked in
+      write_file otxt (Analysis.Diag.to_text report);
+      write_file ojson (Analysis.Json.to_string (Analysis.Diag.to_json report))
+  | _ -> fail usage

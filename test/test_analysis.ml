@@ -1,0 +1,423 @@
+(* The closed-form FS estimator's contract is exactness: whenever it
+   answers [Exact n], [n] equals what [Model.run] counts.  This suite
+   enforces the contract on every registry kernel across several
+   (threads, chunk) configurations, pins which kernels must stay in
+   closed form, exercises the hold/reset cross-region regimes on sized-
+   down kernels, and property-checks the estimator and the dependence
+   analyzer on random small nests against brute force. *)
+
+open Fsmodel
+
+let check = Alcotest.check
+
+let parse src = Minic.Typecheck.check_program (Minic.Parser.parse_program src)
+
+let lower ~threads checked ~func =
+  Loopir.Lower.lower checked ~func ~params:[ ("num_threads", threads) ]
+
+let estimate_and_run cfg ~nest ~checked =
+  let est = Analysis.Closed_form.estimate cfg ~nest ~checked in
+  let eng = Model.run cfg ~nest ~checked in
+  (est, eng.Model.fs_cases)
+
+let assert_exact ~what cfg ~nest ~checked =
+  match estimate_and_run cfg ~nest ~checked with
+  | Analysis.Closed_form.Exact { fs_cases; _ }, engine ->
+      check Alcotest.int (what ^ ": fs = engine") engine fs_cases
+  | Analysis.Closed_form.Inapplicable reason, _ ->
+      Alcotest.failf "%s: expected closed form, got fallback: %s" what reason
+
+let assert_consistent ~what cfg ~nest ~checked =
+  match estimate_and_run cfg ~nest ~checked with
+  | Analysis.Closed_form.Exact { fs_cases; _ }, engine ->
+      check Alcotest.int (what ^ ": fs = engine") engine fs_cases
+  | Analysis.Closed_form.Inapplicable _, _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* registry kernels                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* which kernels must stay in closed form at their pragma schedule: the
+   acceptance bar for the estimator (transpose writes along columns, so
+   its write offsets depend on the inner variable by design) *)
+let pinned =
+  [
+    ("saxpy", true);
+    ("stencil1d", true);
+    ("linear_regression", true);
+    ("matvec", true);
+    ("dft", true);
+    ("heat", true);
+    ("transpose", false);
+  ]
+
+let test_registry_pinned_applicability () =
+  List.iter
+    (fun (kernel : Kernels.Kernel.t) ->
+      let name = kernel.Kernels.Kernel.name in
+      let expect_exact = List.assoc name pinned in
+      let checked = Kernels.Kernel.parse kernel in
+      let nest = lower ~threads:8 checked ~func:kernel.Kernels.Kernel.func in
+      let cfg = Model.default_config ~threads:8 () in
+      if expect_exact then assert_exact ~what:name cfg ~nest ~checked
+      else
+        match Analysis.Closed_form.estimate cfg ~nest ~checked with
+        | Analysis.Closed_form.Inapplicable _ -> ()
+        | Analysis.Closed_form.Exact _ ->
+            Alcotest.failf "%s: expected fallback" name)
+    (Kernels.Registry.all ())
+
+let test_registry_chunk_sweep () =
+  List.iter
+    (fun (kernel : Kernels.Kernel.t) ->
+      let checked = Kernels.Kernel.parse kernel in
+      List.iter
+        (fun (threads, chunk) ->
+          let nest =
+            lower ~threads checked ~func:kernel.Kernels.Kernel.func
+          in
+          let cfg =
+            { (Model.default_config ~threads ()) with Model.chunk }
+          in
+          let what =
+            Printf.sprintf "%s t=%d c=%s" kernel.Kernels.Kernel.name threads
+              (match chunk with Some c -> string_of_int c | None -> "pragma")
+          in
+          assert_consistent ~what cfg ~nest ~checked)
+        [
+          (2, None);
+          (8, Some kernel.Kernels.Kernel.nfs_chunk);
+          (5, Some 3);
+          (3, Some 1);
+        ])
+    (Kernels.Registry.all ())
+
+(* ------------------------------------------------------------------ *)
+(* cross-region regimes on sized-down kernels                          *)
+(* ------------------------------------------------------------------ *)
+
+(* small stencil: each thread's per-region footprint (~65 lines) fits in
+   the L1 stack, so nothing is ever evicted — the hold regime *)
+let test_hold_regime () =
+  let kernel = Kernels.Stencil1d.kernel ~n:258 ~steps:4 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest = lower ~threads:8 checked ~func:"stencil" in
+  assert_exact ~what:"stencil n=258 (hold)"
+    (Model.default_config ~threads:8 ())
+    ~nest ~checked
+
+(* full-size stencil floods the stack every region — the reset regime *)
+let test_reset_regime () =
+  let kernel = Kernels.Stencil1d.kernel () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest = lower ~threads:8 checked ~func:"stencil" in
+  assert_exact ~what:"stencil (reset)"
+    (Model.default_config ~threads:8 ())
+    ~nest ~checked
+
+(* an unbounded stack can never evict either: hold, at any size *)
+let test_unbounded_stack_is_hold () =
+  let kernel = Kernels.Dft.kernel ~freqs:5 ~samples:1920 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest = lower ~threads:6 checked ~func:"dft" in
+  let cfg =
+    { (Model.default_config ~threads:6 ()) with Model.stack = Model.Unbounded }
+  in
+  assert_exact ~what:"dft unbounded" cfg ~nest ~checked
+
+(* a tiny stack makes holder residency uncertain: the estimator must
+   refuse rather than guess *)
+let test_tiny_stack_falls_back () =
+  let kernel = Kernels.Saxpy.kernel ~n:768 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest = lower ~threads:8 checked ~func:"saxpy" in
+  let cfg =
+    { (Model.default_config ~threads:8 ()) with Model.stack = Model.Lines 4 }
+  in
+  match Analysis.Closed_form.estimate cfg ~nest ~checked with
+  | Analysis.Closed_form.Inapplicable _ -> ()
+  | Analysis.Closed_form.Exact _ ->
+      Alcotest.fail "4-line stack: expected fallback"
+
+let test_invalidate_ablation_falls_back () =
+  let kernel = Kernels.Saxpy.kernel ~n:768 () in
+  let checked = Kernels.Kernel.parse kernel in
+  let nest = lower ~threads:8 checked ~func:"saxpy" in
+  let cfg =
+    {
+      (Model.default_config ~threads:8 ()) with
+      Model.invalidate_on_write = true;
+    }
+  in
+  match Analysis.Closed_form.estimate cfg ~nest ~checked with
+  | Analysis.Closed_form.Inapplicable _ -> ()
+  | Analysis.Closed_form.Exact _ -> Alcotest.fail "expected fallback"
+
+(* ------------------------------------------------------------------ *)
+(* random small nests: estimator vs engine                             *)
+(* ------------------------------------------------------------------ *)
+
+type gen_nest = {
+  n : int;  (** parallel trip count *)
+  m : int;  (** inner trip count; 0 = no inner loop *)
+  outer : int;  (** sequential outer trip count; 0 = no outer loop *)
+  chunk : int;
+  threads : int;
+  stmt : int;  (** statement variant *)
+}
+
+let source_of g =
+  let body =
+    match g.stmt with
+    | 0 -> "a[i] = 1.0;"
+    | 1 -> "a[i] = a[i] + b[i];"
+    | 2 -> "a[2 * i] = b[i] + 1.0;"
+    | 3 -> "a[i + 1] = b[i] + 2.0;"
+    | 4 -> if g.m > 0 then "a[i] = a[i] + b[j];" else "a[i] = b[i];"
+    | _ -> if g.m > 0 then "c[4 * i + j] = a[i] + b[j];" else "c[i] = a[i];"
+  in
+  let inner =
+    if g.m > 0 then
+      Printf.sprintf "for (int j = 0; j < %d; j++) { %s }" g.m body
+    else body
+  in
+  let par =
+    Printf.sprintf
+      "#pragma omp parallel for schedule(static,%d)\n\
+       for (int i = 0; i < %d; i++) { %s }"
+      g.chunk g.n inner
+  in
+  let nest =
+    if g.outer > 0 then
+      Printf.sprintf "for (int t = 0; t < %d; t++) { %s }" g.outer par
+    else par
+  in
+  Printf.sprintf
+    "double a[128];\ndouble b[128];\ndouble c[256];\nvoid f(void) {\n%s }" nest
+
+let gen_nest_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((n, m, outer), (chunk, threads, stmt)) ->
+        { n; m; outer; chunk; threads; stmt })
+      (tup2
+         (tup3 (int_range 1 24) (int_range 0 5) (int_range 0 4))
+         (tup3 (int_range 1 4) (int_range 1 9) (int_range 0 5))))
+
+let prop_estimator_oracle =
+  QCheck2.Test.make ~name:"closed form = engine on random small nests"
+    ~count:150 ~print:source_of gen_nest_gen (fun g ->
+      let checked = parse (source_of g) in
+      let nest = lower ~threads:g.threads checked ~func:"f" in
+      let cfg = Model.default_config ~threads:g.threads () in
+      match Analysis.Closed_form.estimate cfg ~nest ~checked with
+      | Analysis.Closed_form.Inapplicable _ -> true
+      | Analysis.Closed_form.Exact { fs_cases; _ } ->
+          fs_cases = (Model.run cfg ~nest ~checked).Model.fs_cases)
+
+(* the random property must not pass vacuously: the estimator handles
+   the whole single-statement grid below in closed form *)
+let test_estimator_applicability_floor () =
+  let hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun stmt ->
+      List.iter
+        (fun threads ->
+          let g = { n = 16; m = 2; outer = 2; chunk = 1; threads; stmt } in
+          let checked = parse (source_of g) in
+          let nest = lower ~threads checked ~func:"f" in
+          let cfg = Model.default_config ~threads () in
+          incr total;
+          match Analysis.Closed_form.estimate cfg ~nest ~checked with
+          | Analysis.Closed_form.Exact _ -> incr hits
+          | Analysis.Closed_form.Inapplicable _ -> ())
+        [ 1; 3; 8 ])
+    (* stmt 4 reads b[j] through the inner variable, which is outside
+       the cross-region certificates — keep it to the random property *)
+    [ 0; 1; 2; 3 ];
+  check Alcotest.int "all grid points in closed form" !total !hits
+
+(* ------------------------------------------------------------------ *)
+(* dependence analysis vs brute force                                  *)
+(* ------------------------------------------------------------------ *)
+
+type gen_dep = {
+  dn : int;  (** parallel trip count *)
+  dm : int;  (** inner trip count; 0 = no inner loop *)
+  c1 : int;
+  k1 : int;
+  c2 : int;
+  k2 : int;
+  j_in_b : bool;  (** second subscript also uses the inner variable *)
+}
+
+let dep_source_of g =
+  let sub coeff off use_j =
+    let base =
+      if coeff = 0 then "0" else Printf.sprintf "%d * i" coeff
+    in
+    let base = if use_j && g.dm > 0 then base ^ " + j" else base in
+    if off = 0 then base else Printf.sprintf "%s + %d" base off
+  in
+  let body =
+    Printf.sprintf "a[%s] = a[%s] + 1.0;" (sub g.c1 g.k1 false)
+      (sub g.c2 g.k2 g.j_in_b)
+  in
+  let inner =
+    if g.dm > 0 then
+      Printf.sprintf "for (int j = 0; j < %d; j++) { %s }" g.dm body
+    else body
+  in
+  Printf.sprintf
+    "double a[512];\nvoid f(void) {\n\
+     #pragma omp parallel for schedule(static,1)\n\
+     for (int i = 0; i < %d; i++) { %s } }"
+    g.dn inner
+
+let gen_dep_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((dn, dm), (c1, k1), (c2, k2), j_in_b) ->
+        { dn; dm; c1; k1; c2; k2; j_in_b })
+      (tup4
+         (tup2 (int_range 2 12) (int_range 0 4))
+         (tup2 (int_range 0 3) (int_range 0 40))
+         (tup2 (int_range 0 3) (int_range 0 40))
+         bool))
+
+(* brute force over all pairs of distinct parallel iterations: do the two
+   references ever overlap in bytes, or share a cache line? *)
+let dep_oracle (nest : Loopir.Loop_nest.t) (a : Loopir.Array_ref.t)
+    (b : Loopir.Array_ref.t) ~n ~m =
+  let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
+  let eval_off (r : Loopir.Array_ref.t) ~i ~j =
+    Loopir.Affine.eval
+      (fun v ->
+        if v = "i" then i
+        else if v = "j" then j
+        else raise Not_found)
+      r.Loopir.Array_ref.offset
+  in
+  ignore nest;
+  let bytes = ref false and line = ref false in
+  let inner = if m > 0 then m else 1 in
+  for i1 = 0 to n - 1 do
+    for i2 = 0 to n - 1 do
+      if i1 <> i2 then
+        for j1 = 0 to inner - 1 do
+          for j2 = 0 to inner - 1 do
+            let oa = eval_off a ~i:i1 ~j:j1
+            and ob = eval_off b ~i:i2 ~j:j2 in
+            let ea = oa + a.Loopir.Array_ref.size_bytes - 1
+            and eb = ob + b.Loopir.Array_ref.size_bytes - 1 in
+            if oa <= eb && ob <= ea then bytes := true;
+            if fdiv oa 64 <= fdiv eb 64 && fdiv ob 64 <= fdiv ea 64 then
+              line := true
+          done
+        done
+    done
+  done;
+  (!bytes, !line)
+
+let prop_depend_oracle =
+  QCheck2.Test.make ~name:"dependence verdicts vs brute force" ~count:200
+    ~print:dep_source_of gen_dep_gen (fun g ->
+      let checked = parse (dep_source_of g) in
+      let nest =
+        Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 4) ]
+      in
+      let pairs =
+        Analysis.Depend.pairs ~line_bytes:64
+          ~params:[ ("num_threads", 4) ]
+          nest
+      in
+      List.for_all
+        (fun (p : Analysis.Depend.pair) ->
+          let bytes, line =
+            dep_oracle nest p.Analysis.Depend.a p.Analysis.Depend.b ~n:g.dn
+              ~m:g.dm
+          in
+          match p.Analysis.Depend.verdict with
+          | Analysis.Depend.Independent -> (not bytes) && not line
+          | Analysis.Depend.Line_conflict -> not bytes
+          | Analysis.Depend.Loop_carried | Analysis.Depend.Unknown _ -> true)
+        pairs)
+
+(* pin the headline verdicts the linter builds on *)
+let test_depend_verdict_examples () =
+  let verdicts src =
+    let checked = parse src in
+    let nest =
+      Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 8) ]
+    in
+    Analysis.Depend.pairs ~line_bytes:64 ~params:[ ("num_threads", 8) ] nest
+  in
+  let has v ps =
+    List.exists (fun (p : Analysis.Depend.pair) -> p.Analysis.Depend.verdict = v) ps
+  in
+  (* racy stencil: v[i] = v[i-1] + v[i+1] carries a dependence *)
+  let racy =
+    verdicts
+      "double v[256];\nvoid f(void) {\n\
+       #pragma omp parallel for schedule(static,1)\n\
+       for (int i = 1; i < 255; i++) { v[i] = v[i - 1] + v[i + 1]; } }"
+  in
+  check Alcotest.bool "racy stencil: loop-carried" true
+    (has Analysis.Depend.Loop_carried racy);
+  (* disjoint writes on the same line: the false-sharing shape *)
+  let fs =
+    verdicts
+      "double y[256];\ndouble x[256];\nvoid f(void) {\n\
+       #pragma omp parallel for schedule(static,1)\n\
+       for (int i = 0; i < 256; i++) { y[i] = 2.5 * x[i]; } }"
+  in
+  check Alcotest.bool "saxpy shape: line conflict" true
+    (has Analysis.Depend.Line_conflict fs);
+  check Alcotest.bool "saxpy shape: no race" false
+    (has Analysis.Depend.Loop_carried fs);
+  (* a non-affine inner bound degrades to unknown, not to a wrong
+     verdict (non-affine subscripts are rejected one layer down, by
+     Lower, and surface as unknown findings in the linter) *)
+  let unknown =
+    verdicts
+      "double a[600];\nvoid f(void) {\n\
+       #pragma omp parallel for schedule(static,1)\n\
+       for (int i = 0; i < 24; i++) {\n\
+       for (int j = 0; j < i * i; j++) { a[i] = a[i] + 1.0; } } }"
+  in
+  check Alcotest.bool "non-affine: unknown" true
+    (List.exists
+       (fun (p : Analysis.Depend.pair) ->
+         match p.Analysis.Depend.verdict with
+         | Analysis.Depend.Unknown _ -> true
+         | _ -> false)
+       unknown)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "closed_form",
+        [
+          Alcotest.test_case "registry pinned applicability" `Quick
+            test_registry_pinned_applicability;
+          Alcotest.test_case "registry chunk sweep" `Quick
+            test_registry_chunk_sweep;
+          Alcotest.test_case "hold regime" `Quick test_hold_regime;
+          Alcotest.test_case "reset regime" `Quick test_reset_regime;
+          Alcotest.test_case "unbounded stack" `Quick
+            test_unbounded_stack_is_hold;
+          Alcotest.test_case "tiny stack falls back" `Quick
+            test_tiny_stack_falls_back;
+          Alcotest.test_case "invalidate ablation falls back" `Quick
+            test_invalidate_ablation_falls_back;
+          Alcotest.test_case "applicability floor" `Quick
+            test_estimator_applicability_floor;
+          QCheck_alcotest.to_alcotest prop_estimator_oracle;
+        ] );
+      ( "depend",
+        [
+          Alcotest.test_case "verdict examples" `Quick
+            test_depend_verdict_examples;
+          QCheck_alcotest.to_alcotest prop_depend_oracle;
+        ] );
+    ]

@@ -132,7 +132,7 @@ let test_footprint () =
   let refs =
     [ Loopir.Array_ref.v ~base:"a"
         ~offset:(Loopir.Affine.scale 8 (Loopir.Affine.var "j"))
-        ~size_bytes:8 ~access:Loopir.Array_ref.Read ~repr:"a[j]" ]
+        ~size_bytes:8 ~access:Loopir.Array_ref.Read ~repr:"a[j]" () ]
   in
   check Alcotest.int "footprint" 512
     (Cache_model.footprint_bytes ~line_bytes:64 ~trips:[ ("j", 64) ]

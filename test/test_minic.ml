@@ -369,7 +369,7 @@ let test_locals_of_func () =
 (* Pretty round-trip                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let strip_prog (p : Ast.program) = p.Ast.globals
+let strip_prog (p : Ast.program) = (Ast.erase_spans p).Ast.globals
 
 let test_pretty_roundtrip () =
   List.iter
