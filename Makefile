@@ -6,13 +6,17 @@ build:
 	dune build
 
 # Tier-1 gate: full build + the whole alcotest/qcheck suite, then the
-# lint self-check: clean kernels must pass, the racy fixture must fail.
+# lint self-check: clean kernels must pass, the racy fixture must fail,
+# the parametric fixture must lint without -p and trip the FS gate.
 verify:
 	dune build
 	dune runtest
 	./_build/default/bin/fsdetect.exe lint --no-fixits -k saxpy > /dev/null
 	./_build/default/bin/fsdetect.exe lint --no-fixits -k linear_regression > /dev/null
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/racy_stencil.c > /dev/null
+	./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/parametric_stride.c > /dev/null
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on fs test/fixtures/parametric_stride.c > /dev/null
+	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never test/fixtures/racy_stencil.c > /dev/null
 
 # Full reproduction harness (all figures/tables + bechamel micros).
 bench: build

@@ -591,6 +591,7 @@ void f(void) {
           fs_chunk = 1;
           nfs_chunk = 8;
           pred_runs = 10;
+          parametric = None;
         }
       in
       let m = Execsim.Run.measure ~threads kernel in

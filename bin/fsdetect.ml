@@ -154,7 +154,7 @@ let analyze_cmd =
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let lint file kernel threads chunk json no_fixits =
+let lint file kernel threads chunk json no_fixits params fail_on =
   wrap @@ fun () ->
   match load ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -171,13 +171,26 @@ let lint file kernel threads chunk json no_fixits =
           threads;
           chunk;
           fixits = not no_fixits;
+          params;
         }
       in
       let report = Analysis.Lint.run ~opts ~uri checked in
       if json then
         print_string (Analysis.Json.to_string (Analysis.Diag.to_json report))
       else print_string (Analysis.Diag.to_text report);
-      if Analysis.Diag.error_count report > 0 then exit 1
+      let fail =
+        match fail_on with
+        | `Never -> false
+        | `Race -> Analysis.Diag.error_count report > 0
+        | `Fs ->
+            Analysis.Diag.error_count report > 0
+            || List.exists
+                 (fun (f : Analysis.Diag.finding) ->
+                   f.Analysis.Diag.rule = "fs/line-conflict"
+                   && f.Analysis.Diag.severity <> Analysis.Diag.Info)
+                 report.Analysis.Diag.findings
+      in
+      if fail then exit 1
 
 let lint_cmd =
   let json =
@@ -193,13 +206,31 @@ let lint_cmd =
     Arg.(value & flag
          & info [ "no-fixits" ] ~doc:"Skip advisor-based fix-it search.")
   in
+  let params =
+    Arg.(value & opt_all (pair ~sep:'=' string int) []
+         & info [ "param"; "p" ] ~docv:"NAME=VAL"
+             ~doc:
+               "Bind an identifier appearing in loop bounds (repeatable). \
+                Unbound identifiers are analyzed symbolically instead.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("race", `Race); ("fs", `Fs); ("never", `Never) ])
+             `Race
+         & info [ "fail-on" ] ~docv:"WHEN"
+             ~doc:
+               "When to exit non-zero: $(b,race) (default) on any \
+                error-severity finding, $(b,fs) also on any false-sharing \
+                warning, $(b,never) always exit 0.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static data-race and false-sharing diagnostics over every omp \
-          parallel for nest (exit 1 on any error-severity finding)")
+          parallel for nest (exit 1 per $(b,--fail-on), default: on any \
+          error-severity finding)")
     Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
-          $ no_fixits)
+          $ no_fixits $ params $ fail_on)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

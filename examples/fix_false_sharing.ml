@@ -17,6 +17,7 @@ let measure_kernel name checked ~func ~init ~threads =
       fs_chunk = 1;
       nfs_chunk = 8;
       pred_runs = 10;
+      parametric = None;
     }
   in
   Execsim.Run.measure ~threads kernel

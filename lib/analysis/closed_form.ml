@@ -1,6 +1,12 @@
 open Loopir
 
-type info = { fs_cases : int; lines_analyzed : int; regions : int }
+type info = {
+  fs_cases : int;
+  lines_analyzed : int;
+  regions : int;
+  regime : string;
+}
+
 type result = Exact of info | Inapplicable of string
 
 exception Fallback of string
@@ -325,7 +331,8 @@ let estimate (cfg : Fsmodel.Model.config) ~(nest : Loop_nest.t) ~checked =
     walk 0;
     let rs = Array.of_list (List.rev !regions) in
     let r_count = Array.length rs in
-    if r_count = 0 then Exact { fs_cases = 0; lines_analyzed = 0; regions = 0 }
+    if r_count = 0 then
+      Exact { fs_cases = 0; lines_analyzed = 0; regions = 0; regime = "empty" }
     else begin
       (* distinct bases must occupy distinct cache lines, or per-base
          line accounting breaks (only out-of-bounds code violates this) *)
@@ -615,7 +622,7 @@ let estimate (cfg : Fsmodel.Model.config) ~(nest : Loop_nest.t) ~checked =
       let identical =
         r_count > 1 && Array.for_all (fun r -> r = rs.(0)) rs
       in
-      let fs_total =
+      let fs_total, regime =
         if identical then begin
           let r0 = rs.(0) in
           let dj = footprint r0 in
@@ -633,18 +640,397 @@ let estimate (cfg : Fsmodel.Model.config) ~(nest : Loop_nest.t) ~checked =
             (* every thread floods its stack with at least capacity+1
                distinct lines per region, so every line is certainly
                evicted between two regions: regions count independently *)
-            r_count * global_fs [| r0 |]
+            (r_count * global_fs [| r0 |], "reset")
           else if !hold_ok then
             (* no thread ever exceeds the stack: nothing is evicted *)
-            hold_fs r0 r_count
+            (hold_fs r0 r_count, "hold")
           else
             bail
               "cross-region cache residency is uncertain (per-thread \
                footprint straddles the stack capacity)"
         end
-        else global_fs rs
+        else (global_fs rs, if r_count = 1 then "single" else "multi")
       in
       Exact
-        { fs_cases = fs_total; lines_analyzed = !lines_seen; regions = r_count }
+        {
+          fs_cases = fs_total;
+          lines_analyzed = !lines_seen;
+          regions = r_count;
+          regime;
+        }
     end
   with Fallback m -> Inapplicable m
+
+(* ---------------------------------------------------------------- *)
+(* Parametric certificates                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* With every parameter but one fixed, the exact count is a
+   quasi-polynomial in the free parameter [p]: for p = base + r + M*q
+   (0 <= r < M), a polynomial in q whose degree is the number of loops
+   whose bounds mention [p].  [M] is the least period of the schedule
+   round-robin pattern (chunk * threads) and of every countable stride's
+   cache-line phase (line_bytes / gcd(line_bytes, stride)), so shifting
+   [p] by [M] adds a fixed pattern of whole lines.  The certificate
+   stores the per-residue Newton forward differences; each was fitted on
+   degree+1 oracle samples and cross-checked against the oracle at up to
+   four further points including the domain's far end. *)
+type sym_cert = {
+  sc_param : string;
+  sc_base : int;  (* domain lower bound *)
+  sc_hi : int;  (* domain upper bound, inclusive *)
+  sc_modulus : int;
+  sc_coeffs : int array array;
+      (* [sc_coeffs.(r).(j)] = j-th forward difference for residue r *)
+  sc_tail : (int * int) list;
+      (* boundary corrections: points near [sc_hi] where the count
+         deviates from the quasi-polynomial (e.g. the written segments of
+         adjacent outer iterations close to within a line of each other),
+         tabulated exactly *)
+  sc_regime : string;
+}
+
+type sym_result = Sym of sym_cert | Sym_inapplicable of string
+
+(* binomial(q, j) for small j; exact in 63-bit for every q in a domain *)
+let binom q j =
+  let n = ref 1 and d = ref 1 in
+  for i = 0 to j - 1 do
+    n := !n * (q - i);
+    d := !d * (i + 1)
+  done;
+  !n / !d
+
+let newton_eval coeffs q =
+  let acc = ref 0 in
+  Array.iteri (fun j c -> acc := !acc + (c * binom q j)) coeffs;
+  !acc
+
+let sym_eval cert p =
+  if p < cert.sc_base || p > cert.sc_hi then
+    invalid_arg
+      (Printf.sprintf "Closed_form.sym_eval: %s = %d outside validated domain \
+                       [%d, %d]"
+         cert.sc_param p cert.sc_base cert.sc_hi);
+  match List.assoc_opt p cert.sc_tail with
+  | Some v -> v
+  | None ->
+      let x = p - cert.sc_base in
+      newton_eval cert.sc_coeffs.(x mod cert.sc_modulus) (x / cert.sc_modulus)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / gcd a b
+
+(* trim trailing zero differences so degrees compare meaningfully *)
+let trim c =
+  let n = ref (Array.length c) in
+  while !n > 0 && c.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub c 0 !n
+
+let estimate_sym (cfg : Fsmodel.Model.config) ~(nest : Loop_nest.t) ~checked
+    ~param ?(hi = 32768) () =
+  let mentions e =
+    let rec go (e : Minic.Ast.expr) =
+      match e with
+      | Minic.Ast.Ident v -> v = param
+      | Minic.Ast.Unop (_, a) -> go a
+      | Minic.Ast.Binop (_, a, b) -> go a || go b
+      | _ -> false
+    in
+    go e
+  in
+  let threads = cfg.Fsmodel.Model.threads in
+  let chunk =
+    match cfg.Fsmodel.Model.chunk with
+    | Some c -> Some c
+    | None -> Loop_nest.chunk_spec nest
+  in
+  match chunk with
+  | None ->
+      Sym_inapplicable
+        "schedule(static) without a chunk distributes parameter-dependent \
+         blocks"
+  | Some chunk -> (
+      (* modulus: schedule round-robin period, lcm'd with each countable
+         stride's line period *)
+      let lb = Archspec.Arch.line_bytes cfg.Fsmodel.Model.arch in
+      let pvar = (Loop_nest.parallel_loop nest).Loop_nest.var in
+      let pstep = (Loop_nest.parallel_loop nest).Loop_nest.step in
+      let modulus =
+        List.fold_left
+          (fun m (r : Array_ref.t) ->
+            let k =
+              Affine.coeff
+                (Affine.subst
+                   (fun v ->
+                     match List.assoc_opt v cfg.Fsmodel.Model.params with
+                     | Some c -> Some (Affine.const c)
+                     | None -> None)
+                   r.Array_ref.offset)
+                pvar
+            in
+            let stride = k * pstep in
+            if stride = 0 then m else lcm m (lb / gcd lb stride))
+          (chunk * threads) nest.Loop_nest.refs
+      in
+      if modulus <= 0 || modulus > 512 then
+        Sym_inapplicable
+          (Printf.sprintf "round-robin period %d is degenerate or too large"
+             modulus)
+      else
+        let degree =
+          let d =
+            List.fold_left
+              (fun d (l : Loop_nest.loop) ->
+                if mentions l.Loop_nest.lower || mentions l.Loop_nest.upper_excl
+                then d + 1
+                else d)
+              0 nest.Loop_nest.loops
+          in
+          min 3 (max 0 d)
+        in
+        let fail = ref "" in
+        (* oracle: the certifying analytic count where it applies, the
+           simulation engine otherwise (its count is the ground truth the
+           certificate promises to match, so fitting on it is sound —
+           just slower, hence only on analytic inapplicability) *)
+        let count_at p =
+          let cfg' =
+            {
+              cfg with
+              Fsmodel.Model.params = (param, p) :: cfg.Fsmodel.Model.params;
+            }
+          in
+          match estimate cfg' ~nest ~checked with
+          | Exact i -> Some (i.fs_cases, i.regime)
+          | Inapplicable m -> (
+              match
+                try
+                  Some
+                    (Fsmodel.Model.run cfg' ~nest ~checked)
+                      .Fsmodel.Model.fs_cases
+                with _ -> None
+              with
+              | Some c -> Some (c, "engine")
+              | None ->
+                  fail := Printf.sprintf "at %s = %d: %s" param p m;
+                  None)
+        in
+        let sample p regime_ref =
+          match count_at p with
+          | None -> None
+          | Some (c, regime) -> (
+              match !regime_ref with
+              | None ->
+                  regime_ref := Some regime;
+                  Some c
+              | Some rg when rg = regime -> Some c
+              | Some rg ->
+                  fail :=
+                    Printf.sprintf "regime changes from %s to %s at %s = %d"
+                      rg regime param p;
+                  None)
+        in
+        (* fit starting at [base]; the certificate then covers
+           [base, hi], so try small bases first and climb past regime
+           transitions *)
+        let attempt base =
+          let qmax = (hi - base - (modulus - 1)) / modulus in
+          if qmax < degree + 2 then None
+          else begin
+            let regime_ref = ref None in
+            let exception Stop in
+            try
+              let coeffs =
+                Array.init modulus (fun r ->
+                    let f =
+                      Array.init (degree + 1) (fun q ->
+                          match
+                            sample (base + r + (modulus * q)) regime_ref
+                          with
+                          | Some v -> v
+                          | None -> raise Stop)
+                    in
+                    (* forward differences in place *)
+                    let c = Array.copy f in
+                    for j = 1 to degree do
+                      for i = degree downto j do
+                        c.(i) <- c.(i) - c.(i - 1)
+                      done
+                    done;
+                    (* interior checks; the far end is covered by the
+                       boundary scan below *)
+                    let checks =
+                      List.sort_uniq compare
+                        [ degree + 1; degree + 2; qmax / 2; 3 * qmax / 4 ]
+                      |> List.filter (fun q -> q > degree && q <= qmax)
+                    in
+                    List.iter
+                      (fun q ->
+                        match sample (base + r + (modulus * q)) regime_ref with
+                        | None -> raise Stop
+                        | Some v ->
+                            if v <> newton_eval c q then begin
+                              fail :=
+                                Printf.sprintf
+                                  "fit check failed at %s = %d (residue %d)"
+                                  param
+                                  (base + r + (modulus * q))
+                                  r;
+                              raise Stop
+                            end)
+                      checks;
+                    c)
+              in
+              (* Boundary scan: near [hi] the fit can break even though
+                 the bulk is exactly quasi-polynomial — e.g. once the
+                 written segments of adjacent outer iterations come
+                 within a cache line of each other, lines are shared
+                 across rows and the count jumps.  Walk down from [hi]
+                 comparing the oracle against the polynomial; tabulate
+                 mismatches, and accept once a full period agrees in a
+                 row (the same window a +M shift reproduces).  More than
+                 two periods of corrections means the fit itself is
+                 wrong, not the boundary. *)
+              let predict p =
+                let x = p - base in
+                newton_eval coeffs.(x mod modulus) (x / modulus)
+              in
+              let tail = ref [] in
+              let consec = ref 0 in
+              let p = ref hi in
+              let floor_p = base + (modulus * (degree + 1)) in
+              while !consec < modulus && !p >= floor_p do
+                (match count_at !p with
+                | None -> raise Stop
+                | Some (c, _) ->
+                    if c = predict !p then incr consec
+                    else begin
+                      consec := 0;
+                      tail := (!p, c) :: !tail;
+                      if List.length !tail > 2 * modulus then begin
+                        fail :=
+                          Printf.sprintf
+                            "fit check failed at %s = %d and %d more points"
+                            param !p
+                            (List.length !tail - 1);
+                        raise Stop
+                      end
+                    end);
+                decr p
+              done;
+              if !consec < modulus then begin
+                fail :=
+                  Printf.sprintf
+                    "fit never stabilizes below %s = %d" param hi;
+                raise Stop
+              end;
+              Some
+                (Sym
+                   {
+                     sc_param = param;
+                     sc_base = base;
+                     sc_hi = hi;
+                     sc_modulus = modulus;
+                     sc_coeffs = coeffs;
+                     sc_tail = !tail;
+                     sc_regime =
+                       (match !regime_ref with Some r -> r | None -> "empty");
+                   })
+            with Stop -> None
+          end
+        in
+        let ladder =
+          List.filter
+            (fun b -> b < hi)
+            [ 64; 256; 1024; 4096; 8192; 12288; 16384; 20480; 24576; 28672 ]
+        in
+        let rec try_bases = function
+          | [] ->
+              Sym_inapplicable
+                (if !fail = "" then
+                   Printf.sprintf "domain [.., %d] too small to fit and check"
+                     hi
+                 else !fail)
+          | b :: rest -> (
+              match attempt b with Some s -> s | None -> try_bases rest)
+        in
+        try_bases ladder)
+
+let sym_to_string cert =
+  let m = cert.sc_modulus in
+  let coeffs = Array.map trim cert.sc_coeffs in
+  let q_def =
+    Printf.sprintf "q = (%s - %d) / %d" cert.sc_param cert.sc_base m
+  in
+  let r_def =
+    Printf.sprintf "r = (%s - %d) mod %d" cert.sc_param cert.sc_base m
+  in
+  let domain =
+    let base =
+      Printf.sprintf "for %d <= %s <= %d" cert.sc_base cert.sc_param
+        cert.sc_hi
+    in
+    match cert.sc_tail with
+    | [] -> base
+    | tail ->
+        let ps = List.map fst tail in
+        Printf.sprintf
+          "%s (exact values tabulated at %d boundary point(s) in [%d, %d])"
+          base (List.length tail)
+          (List.fold_left min max_int ps)
+          (List.fold_left max min_int ps)
+  in
+  let poly c =
+    let terms =
+      List.filter
+        (fun v -> v <> "")
+        (Array.to_list
+           (Array.mapi
+              (fun j v ->
+                if v = 0 then ""
+                else if j = 0 then string_of_int v
+                else if j = 1 then Printf.sprintf "%d*q" v
+                else Printf.sprintf "%d*C(q,%d)" v j)
+              c))
+    in
+    match terms with [] -> "0" | _ -> String.concat " + " terms
+  in
+  let all_same =
+    Array.for_all (fun c -> c = coeffs.(0)) coeffs
+  in
+  if m = 1 || all_same then
+    Printf.sprintf "%s  where %s, %s" (poly coeffs.(0)) q_def domain
+  else
+    (* common higher-order part, varying intercepts *)
+    let tails_same =
+      Array.for_all
+        (fun c ->
+          let t a = if Array.length a <= 1 then [||] else Array.sub a 1 (Array.length a - 1) in
+          t c = t coeffs.(0))
+        coeffs
+    in
+    if tails_same then
+      let tail =
+        let c0 = Array.copy coeffs.(0) in
+        if Array.length c0 > 0 then c0.(0) <- 0;
+        poly (trim c0)
+      in
+      let intercepts =
+        String.concat ", "
+          (Array.to_list
+             (Array.map (fun c -> string_of_int (if Array.length c > 0 then c.(0) else 0)) coeffs))
+      in
+      Printf.sprintf "%s + [%s][r]  where %s, %s, %s" tail intercepts q_def
+        r_def domain
+    else
+      let shown = min m 8 in
+      let rows =
+        String.concat "; "
+          (List.init shown (fun r -> Printf.sprintf "r=%d: %s" r (poly coeffs.(r))))
+      in
+      Printf.sprintf "piecewise (period %d): %s%s  where %s, %s, %s" m rows
+        (if shown < m then "; ..." else "")
+        q_def r_def domain

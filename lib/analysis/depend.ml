@@ -115,6 +115,33 @@ let feasible ranges a ~tlo ~thi =
 
 let prime v = v ^ "'"
 
+(* Identifiers of a bound expression, for actionable error messages:
+   recursion stops at constructs that are non-affine anyway. *)
+let rec expr_idents (e : Minic.Ast.expr) acc =
+  match e with
+  | Minic.Ast.Ident v -> if List.mem v acc then acc else v :: acc
+  | Minic.Ast.Unop (_, e) -> expr_idents e acc
+  | Minic.Ast.Binop (_, a, b) -> expr_idents a (expr_idents b acc)
+  | _ -> acc
+
+(* Why did a bound fail to convert?  If it mentions an identifier that is
+   neither a parameter nor an enclosing loop variable, name it and say
+   how to bind it; otherwise it is genuinely non-affine. *)
+let bound_error ~params ~known l e =
+  let unbound =
+    List.filter
+      (fun v -> (not (List.mem_assoc v params)) && not (known v))
+      (expr_idents e [])
+  in
+  match unbound with
+  | v :: _ ->
+      Printf.sprintf
+        "bound of loop %s references unbound identifier '%s' (bind it with \
+         -p %s=VAL)"
+        l.Loop_nest.var v v
+  | [] ->
+      Printf.sprintf "bound of loop %s is not affine" l.Loop_nest.var
+
 (* Evaluate loop bounds outermost-in, each as an affine expression over
    parameters (folded to constants) and enclosing loop variables
    (interval-propagated).  Returns the per-variable value intervals plus a
@@ -137,8 +164,9 @@ let box ~params (nest : Loop_nest.t) =
           | None ->
               raise
                 (Not_analyzable
-                   (Printf.sprintf "bound of loop %s is not affine"
-                      l.Loop_nest.var))
+                   (bound_error ~params
+                      ~known:(fun v -> List.mem_assoc v !ranges)
+                      l e))
         in
         let lo_lo, _ = bounds !ranges (aff_of l.Loop_nest.lower) in
         let _, up_hi = bounds !ranges (aff_of l.Loop_nest.upper_excl) in
@@ -264,3 +292,365 @@ let pairs ~line_bytes ~params (nest : Loop_nest.t) =
           with Not_analyzable m -> Unknown m)
   | exception Exit -> make (fun _ _ -> Independent)
   | exception Not_analyzable m -> make (fun _ _ -> Unknown m)
+
+(* ---------------------------------------------------------------- *)
+(* Parametric (symbolic) analysis                                    *)
+(* ---------------------------------------------------------------- *)
+
+type spair = {
+  sa : Array_ref.t;
+  sb : Array_ref.t;
+  scases : verdict Symbolic.cases;
+}
+
+(* A loop variable's value interval with affine-in-parameters endpoints. *)
+type sival = { slo : Affine.t; shi : Affine.t }
+
+(* Range of a mixed affine form (loop variables + parameters) over the
+   iteration box, as a pair of affine-in-parameters endpoints: loop
+   variables are interval-propagated through their symbolic ranges,
+   parameter terms pass through. *)
+let sbounds sranges a =
+  let is_loop v = List.mem_assoc v sranges in
+  let ppart, lpart = Affine.partition (fun v -> not (is_loop v)) a in
+  Affine.fold_terms
+    (fun v k (lo, hi) ->
+      let r = List.assoc v sranges in
+      if k >= 0 then
+        ( Affine.add lo (Affine.scale k r.slo),
+          Affine.add hi (Affine.scale k r.shi) )
+      else
+        ( Affine.add lo (Affine.scale k r.shi),
+          Affine.add hi (Affine.scale k r.slo) ))
+    lpart (ppart, ppart)
+
+(* The symbolic iteration box: like [box], but identifiers that are
+   neither parameters nor enclosing loop variables become free symbolic
+   parameters instead of errors.  Returns the per-loop-variable symbolic
+   value intervals (outermost first in reverse, as [box]) and the free
+   parameters encountered, in order of first appearance. *)
+let sbox ~params (nest : Loop_nest.t) =
+  let sranges = ref [] in
+  let free = ref [] in
+  let lookup v =
+    match List.assoc_opt v params with
+    | Some k -> Some (Affine.const k)
+    | None ->
+        if List.mem_assoc v !sranges then Some (Affine.var v)
+        else begin
+          if not (List.mem v !free) then free := v :: !free;
+          Some (Affine.var v)
+        end
+  in
+  List.iter
+    (fun (l : Loop_nest.loop) ->
+      let aff_of e =
+        match Affine.of_expr lookup e with
+        | Some a -> a
+        | None ->
+            raise
+              (Not_analyzable
+                 (Printf.sprintf "bound of loop %s is not affine"
+                    l.Loop_nest.var))
+      in
+      let lo_lo, _ = sbounds !sranges (aff_of l.Loop_nest.lower) in
+      let _, up_hi = sbounds !sranges (aff_of l.Loop_nest.upper_excl) in
+      sranges :=
+        (l.Loop_nest.var, { slo = lo_lo; shi = Affine.sub up_hi (Affine.const 1) })
+        :: !sranges)
+    nest.Loop_nest.loops;
+  (!sranges, List.rev !free)
+
+(* Can the mixed form [a] (over iteration-space variables whose ranges
+   have affine-in-parameters endpoints) take a value in [tlo, thi]?  The
+   answer is a [bool Symbolic.cases] tree over the free parameters.
+
+   - all ranges concrete: delegate to the concrete [feasible] (exact for
+     <= 2 variables);
+   - symbolic ranges: pick one symbolic variable (the parallel distance
+     when it qualifies), over-approximate every other symbolic range by
+     its hull under the parameter context, and exploit that feasibility
+     is monotone in the chosen variable's extent: a binary search with
+     concrete probes finds the threshold extent, and the answer is a
+     single affine atom.  [false] remains a must-result (the hulls only
+     grow the feasible set) and with a single free range the atom is
+     exact;
+   - when a hull is unbounded or a range's shape is unsupported:
+     symbolic Banerjee interval conditions plus the concrete GCD test
+     over the whole window (may-results, like the concrete fallback for
+     > 2 variables). *)
+let sfeasible ctx rs a ~tlo ~thi =
+  let c = Affine.const_part a in
+  match Affine.vars a with
+  | [] -> Symbolic.leaf (tlo <= c && c <= thi)
+  | vars -> (
+      let rng v =
+        match List.assoc_opt v rs with
+        | Some r -> r
+        | None -> raise (Not_analyzable ("unbounded variable " ^ v))
+      in
+      let conc v =
+        let r = rng v in
+        match (Affine.is_const r.slo, Affine.is_const r.shi) with
+        | Some lo, Some hi -> Some { lo; hi }
+        | _ -> None
+      in
+      (* hull of a symbolic range under the parameter context *)
+      let hull v =
+        let r = rng v in
+        match (fst (Symbolic.range ctx r.slo), snd (Symbolic.range ctx r.shi))
+        with
+        | Some lo, Some hi -> Some { lo; hi }
+        | _ -> None
+      in
+      let sym_vars = List.filter (fun v -> conc v = None) vars in
+      match sym_vars with
+      | [] ->
+          let cranges = List.map (fun v -> (v, Option.get (conc v))) vars in
+          Symbolic.leaf (feasible cranges a ~tlo ~thi)
+      | _ -> (
+          (* probe the parallel-distance variable when symbolic (it
+             carries the verdict's region structure), else the first *)
+          let vs =
+            if List.mem "+dist" sym_vars then "+dist" else List.hd sym_vars
+          in
+          let r = rng vs in
+          let ks = Affine.coeff a vs in
+          let others = List.filter (fun v -> v <> vs) vars in
+          let cothers =
+            List.map
+              (fun v ->
+                match conc v with
+                | Some i -> (v, i)
+                | None -> (
+                    match hull v with
+                    | Some i -> (v, i)
+                    | None -> raise Exit (* unbounded hull: Banerjee *)))
+              others
+          in
+          (* any solution has |vs| below this: the target window, the
+             constant and the other variables' reach bound |ks * vs| *)
+          let dmax =
+            let sum =
+              List.fold_left
+                (fun s (v, (r : interval)) ->
+                  s + (abs (Affine.coeff a v) * max (abs r.lo) (abs r.hi)))
+                0 cothers
+            in
+            ((sum + abs c + max (abs tlo) (abs thi)) / abs ks) + 2
+          in
+          let probe lo hi =
+            feasible ((vs, { lo; hi }) :: cothers) a ~tlo ~thi
+          in
+          (* binary search for the smallest saturating extent; [mk x]
+             builds the probe interval of extent [x], [atom x] the
+             condition "the symbolic extent reaches x" *)
+          let search x0 mk atom =
+            let xmax = max x0 dmax in
+            if not (let l, h = mk xmax in probe l h) then Symbolic.leaf false
+            else begin
+              let lo = ref x0 and hi = ref xmax in
+              while !lo < !hi do
+                let mid = !lo + ((!hi - !lo) / 2) in
+                if let l, h = mk mid in probe l h then hi := mid
+                else lo := mid + 1
+              done;
+              Symbolic.conj [ atom !lo ]
+            end
+          in
+          match (Affine.is_const r.slo, Affine.is_const r.shi) with
+          | Some lo_c, None ->
+              (* [lo_c, shi]: monotone in shi *)
+              search lo_c
+                (fun w -> (lo_c, w))
+                (fun w -> Affine.sub r.shi (Affine.const w))
+          | None, Some hi_c ->
+              (* [slo, hi_c]: monotone as slo decreases *)
+              search (-hi_c)
+                (fun w -> (-w, hi_c))
+                (fun w -> Affine.sub (Affine.const w) r.slo)
+          | None, None when Affine.equal r.slo (Affine.neg r.shi) ->
+              (* symmetric difference interval [-w, w]: monotone in w *)
+              search 0
+                (fun w -> (-w, w))
+                (fun w -> Affine.sub r.shi (Affine.const w))
+          | _ ->
+              (* asymmetric fully-symbolic range: Banerjee below *)
+              raise Exit))
+
+let sfeasible ctx rs a ~tlo ~thi =
+  try sfeasible ctx rs a ~tlo ~thi
+  with Exit ->
+    (* symbolic Banerjee bounds + the concrete GCD test over the window *)
+    let c = Affine.const_part a in
+    let bmin, bmax =
+      List.fold_left
+        (fun (lo, hi) v ->
+          let k = Affine.coeff a v in
+          let r =
+            match List.assoc_opt v rs with
+            | Some r -> r
+            | None -> raise (Not_analyzable ("unbounded variable " ^ v))
+          in
+          if k >= 0 then
+            ( Affine.add lo (Affine.scale k r.slo),
+              Affine.add hi (Affine.scale k r.shi) )
+          else
+            ( Affine.add lo (Affine.scale k r.shi),
+              Affine.add hi (Affine.scale k r.slo) ))
+        (Affine.const c, Affine.const c)
+        (Affine.vars a)
+    in
+    let g =
+      List.fold_left (fun g v -> gcd g (Affine.coeff a v)) 0 (Affine.vars a)
+    in
+    if g <> 0 && fdiv (thi - c) g < cdiv (tlo - c) g then Symbolic.leaf false
+    else
+      Symbolic.conj
+        [
+          Affine.sub (Affine.const thi) bmin; Affine.sub bmax (Affine.const tlo);
+        ]
+
+let classify_sym ~line_bytes ~params ~sranges ~ctx (nest : Loop_nest.t)
+    (ra : Array_ref.t) (rb : Array_ref.t) =
+  let pvar = (Loop_nest.parallel_loop nest).Loop_nest.var in
+  let pstep = (Loop_nest.parallel_loop nest).Loop_nest.step in
+  let spr = List.assoc pvar sranges in
+  (* parallel iterations apart; [shi - slo] equals ptrip - 1 for unit
+     steps and over-approximates it otherwise (which can only weaken
+     may-verdicts, never [Independent]) *)
+  let width = Affine.sub spr.shi spr.slo in
+  let offa = fold_params params ra.Array_ref.offset in
+  let offb = fold_params params rb.Array_ref.offset in
+  let offb' = Affine.subst (fun v -> Some (Affine.var (prime v))) offb in
+  let d = Affine.sub offa offb' in
+  let sranges2 = sranges @ List.map (fun (v, r) -> (prime v, r)) sranges in
+  let dist = "+dist" in
+  let subst_dir sign =
+    Affine.subst
+      (fun v ->
+        if v = prime pvar then
+          Some
+            (Affine.add (Affine.var pvar)
+               (Affine.scale (sign * pstep) (Affine.var dist)))
+        else None)
+      d
+  in
+  let sranges3 = (dist, { slo = Affine.const 1; shi = width }) :: sranges2 in
+  let couple a =
+    let rs = ref sranges3 in
+    let a =
+      List.fold_left
+        (fun a (v, (r : sival)) ->
+          let kv = Affine.coeff a v and kp = Affine.coeff a (prime v) in
+          if kv <> 0 && kp = -kv then begin
+            let dv = "+d" ^ v in
+            let w = Affine.sub r.shi r.slo in
+            rs := (dv, { slo = Affine.neg w; shi = w }) :: !rs;
+            Affine.subst
+              (fun u ->
+                if u = v then Some (Affine.var dv)
+                else if u = prime v then Some (Affine.const 0)
+                else None)
+              a
+          end
+          else a)
+        a sranges
+    in
+    (!rs, a)
+  in
+  let window ~tlo ~thi =
+    let check sign =
+      let rs, a = couple (subst_dir sign) in
+      sfeasible ctx rs a ~tlo ~thi
+    in
+    Symbolic.cor (check 1) (check (-1))
+  in
+  let sza = ra.Array_ref.size_bytes and szb = rb.Array_ref.size_bytes in
+  let race = window ~tlo:(-(szb - 1)) ~thi:(sza - 1) in
+  let tree =
+    Symbolic.bind race (function
+      | true -> Symbolic.leaf Loop_carried
+      | false ->
+          Symbolic.bind
+            (window ~tlo:(-(line_bytes - 1)) ~thi:(line_bytes - 1))
+            (function
+              | true -> Symbolic.leaf Line_conflict
+              | false -> Symbolic.leaf Independent))
+  in
+  Symbolic.simplify ctx tree
+
+(* Identifiers in loop bounds that are bound neither by [params] nor by
+   an enclosing loop: the nest is parametric exactly when this is
+   non-empty. *)
+let free_params ~params (nest : Loop_nest.t) =
+  match sbox ~params nest with
+  | _, free -> free
+  | exception Not_analyzable _ -> []
+
+let pairs_sym ~line_bytes ~params ?extent_of (nest : Loop_nest.t) =
+  let refs = Array.of_list nest.Loop_nest.refs in
+  let n = Array.length refs in
+  let interesting i j =
+    let a = refs.(i) and b = refs.(j) in
+    a.Array_ref.base = b.Array_ref.base
+    && (Array_ref.is_write a || Array_ref.is_write b)
+  in
+  let make verdict_of =
+    let acc = ref [] in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        if interesting i j then
+          acc :=
+            { sa = refs.(i); sb = refs.(j); scases = verdict_of refs.(i) refs.(j) }
+            :: !acc
+      done
+    done;
+    List.rev !acc
+  in
+  match sbox ~params nest with
+  | exception Not_analyzable m ->
+      (make (fun _ _ -> Symbolic.leaf (Unknown m)), Symbolic.empty, [])
+  | sranges, free ->
+      (* free size-like parameters are assumed non-negative *)
+      let ctx0 =
+        List.fold_left
+          (fun c p -> Symbolic.declare c p ~lo:(Some 0) ~hi:None)
+          Symbolic.empty free
+      in
+      (* in-bounds refinement: a subscript that stays inside its array's
+         declared extent for every executed iteration bounds the free
+         parameters (out-of-bounds executions are undefined anyway) *)
+      let ctx =
+        match extent_of with
+        | None -> ctx0
+        | Some ext ->
+            List.fold_left
+              (fun ctx (r : Array_ref.t) ->
+                match ext r.Array_ref.base with
+                | None -> ctx
+                | Some size ->
+                    let a = fold_params params r.Array_ref.offset in
+                    let lo, hi = sbounds sranges a in
+                    let ctx = Symbolic.assume ctx lo in
+                    Symbolic.assume ctx
+                      (Affine.sub
+                         (Affine.const (size - r.Array_ref.size_bytes))
+                         hi))
+              ctx0 nest.Loop_nest.refs
+      in
+      (* a loop certainly empty for every parameter value: no iterations *)
+      let certainly_empty =
+        List.exists
+          (fun (_, (r : sival)) ->
+            Symbolic.decide ctx (Affine.sub r.shi r.slo) = `False)
+          sranges
+      in
+      if certainly_empty then
+        (make (fun _ _ -> Symbolic.leaf Independent), ctx, free)
+      else
+        ( make (fun a b ->
+              try classify_sym ~line_bytes ~params ~sranges ~ctx nest a b
+              with Not_analyzable m -> Symbolic.leaf (Unknown m)),
+          ctx,
+          free )

@@ -49,3 +49,42 @@ val pairs :
     parameters and outer loop variables yield [Unknown]. *)
 
 val verdict_name : verdict -> string
+
+val free_params :
+  params:(string * int) list -> Loopir.Loop_nest.t -> string list
+(** Identifiers appearing in loop bounds that are bound neither by
+    [params] nor by an enclosing loop variable, in order of first
+    appearance — the nest is parametric exactly when this is non-empty.
+    Empty when the bounds are not affine at all. *)
+
+type spair = {
+  sa : Loopir.Array_ref.t;
+  sb : Loopir.Array_ref.t;
+  scases : verdict Symbolic.cases;
+      (** region-qualified verdict: a case-split tree over the free
+          parameters *)
+}
+
+val pairs_sym :
+  line_bytes:int ->
+  params:(string * int) list ->
+  ?extent_of:(string -> int option) ->
+  Loopir.Loop_nest.t ->
+  spair list * Symbolic.ctx * string list
+(** Parametric variant of {!pairs}: identifiers in loop bounds that are
+    bound neither by [params] nor by an enclosing loop become {e free
+    symbolic parameters}, and each pair's verdict is a case-split tree
+    over them, valid for {e every} non-negative value of the free
+    parameters.  Also returns the parameter constraint context (free
+    parameters assumed [>= 0], tightened by in-bounds reasoning when
+    [extent_of] reports an array's extent in bytes: iterations that index
+    outside a declared array are undefined behaviour, so bounds keeping
+    every subscript in bounds may be assumed) and the free parameters in
+    order of first appearance.
+
+    Soundness mirrors {!pairs} regionwise: in any region, [Independent]
+    is a must-result, conflict verdicts are may-results.  When every
+    range is concrete the tree is a single leaf equal to the {!pairs}
+    verdict; with a single free parameter the case split is {e exact} —
+    instantiating the tree at any parameter value agrees with the
+    concrete analysis at that value. *)

@@ -9,6 +9,10 @@ type finding = {
   func : string;
   message : string;
   fixits : fixit list;
+  region : string option;
+      (* parameter region the finding holds in, e.g. "n >= 2" *)
+  symbolic : string option;
+      (* closed-form count over the free parameter, when available *)
 }
 
 type report = { uri : string; findings : finding list }
@@ -53,6 +57,12 @@ let to_text r =
       Buffer.add_string buf
         (Printf.sprintf "%s:%s %s[%s]: %s\n" r.uri pos
            (severity_name f.severity) f.rule f.message);
+      (match f.region with
+      | Some c -> Buffer.add_string buf (Printf.sprintf "  where: %s\n" c)
+      | None -> ());
+      (match f.symbolic with
+      | Some s -> Buffer.add_string buf (Printf.sprintf "  count: %s\n" s)
+      | None -> ());
       List.iter
         (fun fx ->
           Buffer.add_string buf
@@ -97,12 +107,17 @@ let to_json r =
          ("message", Obj [ ("text", Str f.message) ]);
          ("locations", List [ location ]);
        ]
-      @ (if f.func = "" then []
-         else
-           [
-             ( "properties",
-               Obj [ ("function", Str f.func) ] );
-           ])
+      @ (let props =
+           (if f.func = "" then [] else [ ("function", Str f.func) ])
+           @ (match f.region with
+             | Some c -> [ ("parameterRegion", Str c) ]
+             | None -> [])
+           @
+           match f.symbolic with
+           | Some s -> [ ("symbolicCount", Str s) ]
+           | None -> []
+         in
+         if props = [] then [] else [ ("properties", Obj props) ])
       @
       if f.fixits = [] then []
       else

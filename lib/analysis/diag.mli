@@ -13,6 +13,12 @@ type finding = {
   func : string;  (** enclosing function, [""] if program-level *)
   message : string;
   fixits : fixit list;
+  region : string option;
+      (** parametric lint: the parameter region the finding holds in,
+          e.g. ["n >= 2"]; [None] for concrete findings *)
+  symbolic : string option;
+      (** parametric lint: the closed-form count over the free
+          parameter, when one was certified *)
 }
 
 type report = { uri : string; findings : finding list }

@@ -5,6 +5,7 @@ type options = {
   threads : int;
   chunk : int option;
   fixits : bool;
+  params : (string * int) list;  (* extra -p NAME=VAL bindings *)
 }
 
 let default_options =
@@ -13,27 +14,33 @@ let default_options =
     threads = 8;
     chunk = None;
     fixits = true;
+    params = [];
   }
+
+let all_params opts = ("num_threads", opts.threads) :: opts.params
 
 let access_word r = if Array_ref.is_write r then "write" else "read"
 
-let span_of_pair (p : Depend.pair) =
-  Minic.Span.join p.Depend.a.Array_ref.span p.Depend.b.Array_ref.span
+let span_of_refs (a : Array_ref.t) (b : Array_ref.t) =
+  Minic.Span.join a.Array_ref.span b.Array_ref.span
+
+let span_of_pair (p : Depend.pair) = span_of_refs p.Depend.a p.Depend.b
 
 (* One finding per racy pair. *)
-let race_finding ~func (p : Depend.pair) =
+let race_finding ~func ?region (a : Array_ref.t) (b : Array_ref.t) =
   {
     Diag.rule = "race/loop-carried";
     severity = Diag.Error;
-    span = span_of_pair p;
+    span = span_of_refs a b;
     func;
     message =
       Printf.sprintf
         "loop-carried dependence: %s (%s) and %s (%s) may touch the same \
          bytes in different iterations of the parallel loop"
-        p.Depend.a.Array_ref.repr (access_word p.Depend.a)
-        p.Depend.b.Array_ref.repr (access_word p.Depend.b);
+        a.Array_ref.repr (access_word a) b.Array_ref.repr (access_word b);
     fixits = [];
+    region;
+    symbolic = None;
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -55,6 +62,8 @@ let unknown_findings ~func pairs =
                   "cannot prove %s and %s independent: %s"
                   p.Depend.a.Array_ref.repr p.Depend.b.Array_ref.repr reason;
               fixits = [];
+              region = None;
+              symbolic = None;
             }
       | _ -> None)
     pairs
@@ -172,32 +181,259 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
               example.Depend.a.Array_ref.repr
               example.Depend.b.Array_ref.repr quant;
           fixits;
+          region = None;
+          symbolic = None;
         })
       bases
 
+(* ---------------------------------------------------------------- *)
+(* Parametric (symbolic) nests                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Human form of the parameter region a finding holds in: the
+   context-refined per-parameter bounds, plus any multi-parameter path
+   atoms that cannot be folded into a single bound. *)
+let region_string ~ctx ~free conds =
+  let refined = List.fold_left Symbolic.assume ctx conds in
+  let bounds =
+    List.filter_map
+      (fun p ->
+        match Symbolic.bounds_of refined p with
+        | Some (Some lo, Some hi) ->
+            Some (Printf.sprintf "%d <= %s <= %d" lo p hi)
+        | Some (Some lo, None) -> Some (Printf.sprintf "%s >= %d" p lo)
+        | Some (None, Some hi) -> Some (Printf.sprintf "%s <= %d" p hi)
+        | _ -> None)
+      free
+  in
+  let rest =
+    List.filter_map
+      (fun c ->
+        match Affine.vars c with
+        | [ _ ] -> None (* already folded into the bounds above *)
+        | _ -> Some (Symbolic.cond_to_string c))
+      conds
+  in
+  match bounds @ rest with
+  | [] -> "all parameter values"
+  | parts -> String.concat " and " parts
+
+(* Parametric count of a conflicting nest: a certified quasi-polynomial
+   when one free parameter remains, an actionable message otherwise. *)
+let sym_count ~opts ~checked ~ctx ~free cfg nest =
+  match free with
+  | [ p ] -> (
+      let hi =
+        match Symbolic.bounds_of ctx p with
+        | Some (_, Some hi) -> Some hi
+        | _ -> None
+      in
+      let est =
+        match hi with
+        | Some hi -> Closed_form.estimate_sym cfg ~nest ~checked ~param:p ~hi ()
+        | None -> Closed_form.estimate_sym cfg ~nest ~checked ~param:p ()
+      in
+      match est with
+      | Closed_form.Sym cert ->
+          let zero =
+            Array.for_all
+              (fun c -> Array.for_all (fun x -> x = 0) c)
+              cert.Closed_form.sc_coeffs
+          in
+          let formula = Closed_form.sym_to_string cert in
+          if zero then
+            ( Printf.sprintf
+                "and the cost model counts no false-sharing case for %d <= \
+                 %s <= %d at %d threads (parametric closed form)"
+                cert.Closed_form.sc_base p cert.Closed_form.sc_hi opts.threads,
+              Some formula,
+              false )
+          else
+            ( Printf.sprintf
+                "the cost model counts N_fs(%s) false-sharing case(s) in \
+                 closed form at %d threads (parametric, %s regime)"
+                p opts.threads cert.Closed_form.sc_regime,
+              Some formula,
+              true )
+      | Closed_form.Sym_inapplicable m ->
+          ( Printf.sprintf
+              "no parametric count (%s); bind %s with -p %s=VAL for an \
+               exact count"
+              m p p,
+            None,
+            true ))
+  | ps ->
+      let names = String.concat ", " ps in
+      ( Printf.sprintf
+          "no parametric count with %d free parameters (%s); bind them \
+           with -p NAME=VAL for an exact count"
+          (List.length ps) names,
+        None,
+        true )
+
+let lint_nest_sym ~opts ~checked ~func nest =
+  let line_bytes = Archspec.Arch.line_bytes opts.arch in
+  let params = all_params opts in
+  let layout = Layout.make ~line_bytes checked in
+  let extent_of base =
+    try Some (Layout.size_of layout base) with Not_found -> None
+  in
+  let spairs, ctx, free =
+    Depend.pairs_sym ~line_bytes ~params ~extent_of nest
+  in
+  let with_paths =
+    List.map
+      (fun (sp : Depend.spair) ->
+        (sp, Symbolic.paths ctx sp.Depend.scases))
+      spairs
+  in
+  let races =
+    List.concat_map
+      (fun ((sp : Depend.spair), paths) ->
+        List.filter_map
+          (fun (conds, v) ->
+            if v = Depend.Loop_carried then
+              Some
+                (race_finding ~func
+                   ~region:(region_string ~ctx ~free conds)
+                   sp.Depend.sa sp.Depend.sb)
+            else None)
+          paths)
+      with_paths
+  in
+  let unknowns =
+    let seen = Hashtbl.create 4 in
+    List.concat_map
+      (fun ((sp : Depend.spair), paths) ->
+        List.filter_map
+          (fun (conds, v) ->
+            match v with
+            | Depend.Unknown reason when not (Hashtbl.mem seen reason) ->
+                Hashtbl.add seen reason ();
+                Some
+                  {
+                    Diag.rule = "analysis/unknown";
+                    severity = Diag.Warning;
+                    span = span_of_refs sp.Depend.sa sp.Depend.sb;
+                    func;
+                    message =
+                      Printf.sprintf "cannot prove %s and %s independent: %s"
+                        sp.Depend.sa.Array_ref.repr
+                        sp.Depend.sb.Array_ref.repr reason;
+                    fixits = [];
+                    region = Some (region_string ~ctx ~free conds);
+                    symbolic = None;
+                  }
+            | _ -> None)
+          paths)
+      with_paths
+  in
+  (* conflicting pairs grouped by base, each with its region *)
+  let conflicts =
+    List.concat_map
+      (fun ((sp : Depend.spair), paths) ->
+        List.filter_map
+          (fun (conds, v) ->
+            if v = Depend.Line_conflict then Some (sp, conds) else None)
+          paths)
+      with_paths
+  in
+  let fs =
+    if conflicts = [] then []
+    else begin
+      let cfg =
+        {
+          (Fsmodel.Model.default_config ~arch:opts.arch ~threads:opts.threads
+             ())
+          with
+          chunk = opts.chunk;
+          params;
+        }
+      in
+      let quant, formula, warn = sym_count ~opts ~checked ~ctx ~free cfg nest in
+      let bases =
+        List.sort_uniq compare
+          (List.map
+             (fun ((sp : Depend.spair), _) -> sp.Depend.sa.Array_ref.base)
+             conflicts)
+      in
+      List.map
+        (fun base ->
+          let ps =
+            List.filter
+              (fun ((sp : Depend.spair), _) ->
+                sp.Depend.sa.Array_ref.base = base)
+              conflicts
+          in
+          let (example, _) = List.hd ps in
+          let span =
+            List.fold_left
+              (fun s ((sp : Depend.spair), _) ->
+                Minic.Span.join s (span_of_refs sp.Depend.sa sp.Depend.sb))
+              Minic.Span.none ps
+          in
+          (* the widest region among this base's conflicting paths *)
+          let region =
+            match ps with
+            | (_, conds) :: rest
+              when List.for_all (fun (_, c) -> c = conds) rest ->
+                region_string ~ctx ~free conds
+            | _ ->
+                String.concat "; or "
+                  (List.sort_uniq compare
+                     (List.map
+                        (fun (_, conds) -> region_string ~ctx ~free conds)
+                        ps))
+          in
+          {
+            Diag.rule = "fs/line-conflict";
+            severity = (if warn then Diag.Warning else Diag.Info);
+            span;
+            func;
+            message =
+              Printf.sprintf
+                "%s and %s are byte-disjoint across parallel iterations but \
+                 may share a cache line; %s"
+                example.Depend.sa.Array_ref.repr
+                example.Depend.sb.Array_ref.repr quant;
+            fixits = [];
+            region = Some region;
+            symbolic = formula;
+          })
+        bases
+    end
+  in
+  races @ unknowns @ fs
+
 let lint_nest ~opts ~checked ~func ~advice nest =
   let line_bytes = Archspec.Arch.line_bytes opts.arch in
-  let params = [ ("num_threads", opts.threads) ] in
-  let pairs = Depend.pairs ~line_bytes ~params nest in
-  let with_verdict v =
-    List.filter (fun (p : Depend.pair) -> p.Depend.verdict = v) pairs
-  in
-  let races = with_verdict Depend.Loop_carried in
-  let conflicts = with_verdict Depend.Line_conflict in
-  let cfg =
-    { (Fsmodel.Model.default_config ~arch:opts.arch ~threads:opts.threads ())
-      with chunk = opts.chunk }
-  in
-  let advice = if races = [] then advice else None in
-  List.map (race_finding ~func) races
-  @ unknown_findings ~func pairs
-  @ fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest
+  let params = all_params opts in
+  if Depend.free_params ~params nest <> [] then
+    lint_nest_sym ~opts ~checked ~func nest
+  else
+    let pairs = Depend.pairs ~line_bytes ~params nest in
+    let with_verdict v =
+      List.filter (fun (p : Depend.pair) -> p.Depend.verdict = v) pairs
+    in
+    let races = with_verdict Depend.Loop_carried in
+    let conflicts = with_verdict Depend.Line_conflict in
+    let cfg =
+      {
+        (Fsmodel.Model.default_config ~arch:opts.arch ~threads:opts.threads ())
+        with
+        chunk = opts.chunk;
+        params;
+      }
+    in
+    let advice = if races = [] then advice else None in
+    List.map
+      (fun (p : Depend.pair) -> race_finding ~func p.Depend.a p.Depend.b)
+      races
+    @ unknown_findings ~func pairs
+    @ fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest
 
 let lint_function ~opts ~checked func =
-  match
-    Lower.lower_all checked ~func
-      ~params:[ ("num_threads", opts.threads) ]
-  with
+  match Lower.lower_all checked ~func ~params:(all_params opts) with
   | exception Lower.Lower_error m ->
       [
         {
@@ -207,6 +443,8 @@ let lint_function ~opts ~checked func =
           func;
           message = Printf.sprintf "cannot analyze %s: %s" func m;
           fixits = [];
+          region = None;
+          symbolic = None;
         };
       ]
   | nests ->

@@ -18,17 +18,31 @@
     padding/spreading from {!Fsmodel.Eliminate}) are attached to
     ["fs/line-conflict"] findings only when the nest has no race
     findings: tuning the schedule of a racy loop would legitimize a
-    transformation that is unsound to begin with. *)
+    transformation that is unsound to begin with.
+
+    {b Parametric nests.}  A nest whose loop bounds mention identifiers
+    bound neither by [params] nor by a [#define] is analyzed
+    symbolically instead of rejected: verdicts come from
+    {!Depend.pairs_sym} and hold for {e every} admissible value of the
+    free parameters, findings carry the parameter region they hold in
+    ({!Diag.finding.region}), and when a single free parameter remains
+    the count is the certified quasi-polynomial of
+    {!Closed_form.estimate_sym} ({!Diag.finding.symbolic}).  Fix-its are
+    concrete-only. *)
 
 type options = {
   arch : Archspec.Arch.t;
   threads : int;
   chunk : int option;  (** overrides the pragma's [schedule] chunk *)
   fixits : bool;  (** run the advisor / planner for remediations *)
+  params : (string * int) list;
+      (** extra [-p NAME=VAL] bindings for identifiers in loop bounds;
+          ["num_threads"] is always bound to [threads] *)
 }
 
 val default_options : options
-(** Paper machine, 8 threads, pragma chunk, fix-its on. *)
+(** Paper machine, 8 threads, pragma chunk, fix-its on, no extra
+    parameters. *)
 
 val run :
   ?opts:options -> uri:string -> Minic.Typecheck.checked -> Diag.report

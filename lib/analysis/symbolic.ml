@@ -1,0 +1,185 @@
+open Loopir
+
+(* ---------------------------------------------------------------- *)
+(* Parameter constraint contexts                                     *)
+(* ---------------------------------------------------------------- *)
+
+type bound = int option * int option (* inclusive lo / hi; None = open *)
+type ctx = (string * bound) list
+
+let empty = []
+
+let declare ctx p ~lo ~hi =
+  (p, (lo, hi)) :: List.remove_assoc p ctx
+
+let bounds_of ctx p = List.assoc_opt p ctx
+let params ctx = List.map fst ctx
+
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* Interval of an affine expression over the parameters of [ctx];
+   [None] endpoints mean unbounded. *)
+let range ctx a =
+  Affine.fold_terms
+    (fun v k (lo, hi) ->
+      let vlo, vhi =
+        match bounds_of ctx v with Some b -> b | None -> (None, None)
+      in
+      let mul e = Option.map (fun x -> k * x) e in
+      if k >= 0 then
+        ( (match (lo, mul vlo) with Some l, Some m -> Some (l + m) | _ -> None),
+          match (hi, mul vhi) with Some h, Some m -> Some (h + m) | _ -> None )
+      else
+        ( (match (lo, mul vhi) with Some l, Some m -> Some (l + m) | _ -> None),
+          match (hi, mul vlo) with Some h, Some m -> Some (h + m) | _ -> None ))
+    a
+    (Some (Affine.const_part a), Some (Affine.const_part a))
+
+(* Three-valued truth of [a >= 0] over every parameter valuation
+   admitted by [ctx]. *)
+let decide ctx a =
+  match range ctx a with
+  | Some lo, _ when lo >= 0 -> `True
+  | _, Some hi when hi < 0 -> `False
+  | _ -> `Unknown
+
+(* ---------------------------------------------------------------- *)
+(* Conditions: affine atoms, meaning [a >= 0]                        *)
+(* ---------------------------------------------------------------- *)
+
+type cond = Affine.t
+
+(* integer negation: not (a >= 0)  <=>  -a - 1 >= 0 *)
+let cond_not a = Affine.sub (Affine.const (-1)) a
+
+(* Refine [ctx] under the assumption [a >= 0].  Only single-parameter
+   atoms tighten a bound; anything else leaves the context unchanged
+   (sound: the context only ever under-approximates what is known). *)
+let assume ctx a =
+  match Affine.vars a with
+  | [ v ] ->
+      let c = Affine.coeff a v and k = Affine.const_part a in
+      let lo, hi =
+        match bounds_of ctx v with Some b -> b | None -> (None, None)
+      in
+      let merged =
+        if c > 0 then
+          (* v >= ceil(-k / c) *)
+          let l = cdiv (-k) c in
+          ((match lo with Some l0 -> Some (max l0 l) | None -> Some l), hi)
+        else
+          (* v <= floor(k / -c) *)
+          let h = fdiv k (-c) in
+          (lo, match hi with Some h0 -> Some (min h0 h) | None -> Some h)
+      in
+      declare ctx v ~lo:(fst merged) ~hi:(snd merged)
+  | _ -> ctx
+
+(* A context is unsatisfiable when some parameter's bounds cross. *)
+let satisfiable ctx =
+  List.for_all
+    (fun (_, (lo, hi)) ->
+      match (lo, hi) with Some l, Some h -> l <= h | _ -> true)
+    ctx
+
+let eval_cond env a = Affine.eval env a >= 0
+
+let cond_to_string a =
+  match Affine.vars a with
+  | [ v ] ->
+      let c = Affine.coeff a v and k = Affine.const_part a in
+      if c > 0 then Printf.sprintf "%s >= %d" v (cdiv (-k) c)
+      else Printf.sprintf "%s <= %d" v (fdiv k (-c))
+  | _ -> Affine.to_string a ^ " >= 0"
+
+(* ---------------------------------------------------------------- *)
+(* Case-split trees                                                  *)
+(* ---------------------------------------------------------------- *)
+
+type 'a cases = Leaf of 'a | If of cond * 'a cases * 'a cases
+
+let leaf a = Leaf a
+
+let rec bind t f =
+  match t with
+  | Leaf a -> f a
+  | If (c, y, n) -> If (c, bind y f, bind n f)
+
+let map t f = bind t (fun a -> Leaf (f a))
+
+(* boolean combinators over [bool cases] *)
+let rec cor a b =
+  match a with
+  | Leaf true -> Leaf true
+  | Leaf false -> b
+  | If (c, y, n) -> If (c, cor y b, cor n b)
+
+let rec cand a b =
+  match a with
+  | Leaf false -> Leaf false
+  | Leaf true -> b
+  | If (c, y, n) -> If (c, cand y b, cand n b)
+
+let conj conds =
+  List.fold_left (fun acc c -> cand acc (If (c, Leaf true, Leaf false)))
+    (Leaf true) conds
+
+(* Prune a tree under [ctx]: decide each condition where possible,
+   refine the context along both branches, and merge branches that
+   become equal. *)
+let simplify ?(equal = ( = )) ctx t =
+  let rec go ctx t =
+    match t with
+    | Leaf _ -> t
+    | If (c, y, n) -> (
+        match decide ctx c with
+        | `True -> go ctx y
+        | `False -> go ctx n
+        | `Unknown ->
+            let cy = assume ctx c and cn = assume ctx (cond_not c) in
+            let y' = if satisfiable cy then Some (go cy y) else None in
+            let n' = if satisfiable cn then Some (go cn n) else None in
+            (match (y', n') with
+            | Some y', Some n' ->
+                let rec eq a b =
+                  match (a, b) with
+                  | Leaf x, Leaf z -> equal x z
+                  | If (c1, y1, n1), If (c2, y2, n2) ->
+                      Affine.equal c1 c2 && eq y1 y2 && eq n1 n2
+                  | _ -> false
+                in
+                if eq y' n' then y' else If (c, y', n')
+            | Some y', None -> y'
+            | None, Some n' -> n'
+            | None, None -> t))
+  in
+  go ctx t
+
+(* All satisfiable paths as (conditions, leaf) pairs, outer conditions
+   first. *)
+let paths ctx t =
+  let acc = ref [] in
+  let rec go ctx conds t =
+    match t with
+    | Leaf a -> acc := (List.rev conds, a) :: !acc
+    | If (c, y, n) ->
+        let cy = assume ctx c in
+        if satisfiable cy then go cy (c :: conds) y;
+        let nc = cond_not c in
+        let cn = assume ctx nc in
+        if satisfiable cn then go cn (nc :: conds) n
+  in
+  go ctx [] t;
+  List.rev !acc
+
+let collapse ?(equal = ( = )) ctx t =
+  match paths ctx (simplify ~equal ctx t) with
+  | [ (_, a) ] -> Some a
+  | (_, a) :: rest when List.for_all (fun (_, b) -> equal a b) rest -> Some a
+  | _ -> None
+
+let rec eval env t =
+  match t with
+  | Leaf a -> a
+  | If (c, y, n) -> if eval_cond env c then eval env y else eval env n

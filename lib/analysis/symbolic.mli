@@ -1,0 +1,86 @@
+(** Symbolic reasoning over free analysis parameters.
+
+    The parametric analyses ({!Depend.pairs_sym}, {!Closed_form.estimate_sym})
+    work with {!Loopir.Affine} linear polynomials whose variables are {e free
+    parameters} — identifiers such as a trip count [n] that appear in loop
+    bounds but are bound neither by [-p] nor by a [#define].  This module
+    supplies the three pieces they need:
+
+    - a {e constraint context} recording what is known about each parameter
+      (an inclusive interval, e.g. [n >= 0] by default, tightened to
+      [2 <= n <= 480] by path conditions and in-bounds assumptions);
+    - {e interval/sign reasoning}: the range of an affine form over a
+      context, and a three-valued decision procedure for atoms [a >= 0];
+    - {e case-split trees}: verdicts and counts that differ across parameter
+      regions are represented as binary decision trees over affine atoms,
+      with context-aware pruning, path enumeration and concrete evaluation.
+
+    Soundness: [decide] answers [`True]/[`False] only when the inequality
+    holds/fails for {e every} valuation admitted by the context, and
+    [assume] only ever tightens single-parameter atoms (anything else
+    leaves the context unchanged, which under-approximates the knowledge
+    and can only make [decide] answer [`Unknown] more often). *)
+
+type ctx
+(** Per-parameter inclusive bounds; missing parameters are unconstrained. *)
+
+val empty : ctx
+
+val declare : ctx -> string -> lo:int option -> hi:int option -> ctx
+(** Set (replace) a parameter's bounds; [None] means unbounded. *)
+
+val bounds_of : ctx -> string -> (int option * int option) option
+val params : ctx -> string list
+
+val range : ctx -> Loopir.Affine.t -> int option * int option
+(** Interval of an affine form over all valuations admitted by the
+    context ([None] = unbounded on that side). *)
+
+val decide : ctx -> Loopir.Affine.t -> [ `True | `False | `Unknown ]
+(** Three-valued truth of [a >= 0] over the whole context. *)
+
+type cond = Loopir.Affine.t
+(** An atom, meaning [cond >= 0]. *)
+
+val cond_not : cond -> cond
+(** Integer negation: [not (a >= 0)] is [-a - 1 >= 0]. *)
+
+val assume : ctx -> cond -> ctx
+(** Refine the context under an atom.  Only single-parameter atoms
+    tighten a bound; others are ignored (sound under-approximation). *)
+
+val satisfiable : ctx -> bool
+val eval_cond : (string -> int) -> cond -> bool
+
+val cond_to_string : cond -> string
+(** Human form: single-parameter atoms render as ["n >= 5"] / ["n <= 7"],
+    anything else as ["<affine> >= 0"]. *)
+
+type 'a cases = Leaf of 'a | If of cond * 'a cases * 'a cases
+(** A value that may differ across parameter regions: [If (c, y, n)] is
+    [y] where [c >= 0] holds and [n] elsewhere. *)
+
+val leaf : 'a -> 'a cases
+val bind : 'a cases -> ('a -> 'b cases) -> 'b cases
+val map : 'a cases -> ('a -> 'b) -> 'b cases
+
+val cor : bool cases -> bool cases -> bool cases
+val cand : bool cases -> bool cases -> bool cases
+
+val conj : cond list -> bool cases
+(** The conjunction of atoms as a [bool cases] tree. *)
+
+val simplify : ?equal:('a -> 'a -> bool) -> ctx -> 'a cases -> 'a cases
+(** Prune: conditions decided by the (path-refined) context disappear,
+    unsatisfiable branches are dropped, equal branches merge. *)
+
+val paths : ctx -> 'a cases -> (cond list * 'a) list
+(** All context-satisfiable root-to-leaf paths, each as the atoms that
+    hold along it (outermost first) with the leaf value. *)
+
+val collapse : ?equal:('a -> 'a -> bool) -> ctx -> 'a cases -> 'a option
+(** [Some v] when every satisfiable path yields (an [equal]) [v] — the
+    verdict holds for the whole parameter region. *)
+
+val eval : (string -> int) -> 'a cases -> 'a
+(** Evaluate the tree at one concrete parameter valuation. *)

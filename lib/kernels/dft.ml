@@ -33,6 +33,42 @@ void dft(void) {
 |}
     freqs samples
 
+(* Sample count left free.  The free global is named [m] because the
+   parallel induction variable is already called [n]. *)
+let parametric_source ?(freqs = 16) ?(samples = 30720) () =
+  Printf.sprintf
+    {|#define K %d
+#define N %d
+
+int m;
+
+double in_re[N];
+double tmp_re[N];
+double tmp_im[N];
+
+void init(void) {
+  int n;
+  for (n = 0; n < N; n++) {
+    in_re[n] = sin(0.05 * n) + 0.5 * sin(0.17 * n);
+    tmp_re[n] = 0.0;
+    tmp_im[n] = 0.0;
+  }
+}
+
+void dft(void) {
+  int k;
+  int n;
+  for (k = 0; k < K; k++) {
+    #pragma omp parallel for private(n) schedule(static,1)
+    for (n = 0; n < m; n++) {
+      tmp_re[n] = in_re[n] * cos(6.283185307179586 * k * n / N);
+      tmp_im[n] = 0.0 - in_re[n] * sin(6.283185307179586 * k * n / N);
+    }
+  }
+}
+|}
+    freqs samples
+
 let kernel ?freqs ?samples () =
   {
     Kernel.name = "dft";
@@ -43,4 +79,11 @@ let kernel ?freqs ?samples () =
     fs_chunk = 1;
     nfs_chunk = 16;
     pred_runs = 50;
+    parametric =
+      Some
+        {
+          Kernel.param = "m";
+          value = Option.value samples ~default:30720;
+          psource = parametric_source ?freqs ?samples ();
+        };
   }

@@ -36,6 +36,43 @@ void heat_step(void) {
 |}
     rows cols
 
+(* Interior width left free: the parallel column sweep runs to [n - 1]
+   for a global [n] while the row extent and array shapes stay
+   concrete. *)
+let parametric_source ?(rows = 18) ?(cols = 30722) () =
+  Printf.sprintf
+    {|#define ROWS %d
+#define COLS %d
+
+int n;
+
+double A[ROWS][COLS];
+double B[ROWS][COLS];
+
+void init(void) {
+  int i;
+  int j;
+  for (i = 0; i < ROWS; i++) {
+    for (j = 0; j < COLS; j++) {
+      A[i][j] = 0.001 * i + 0.002 * j;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void heat_step(void) {
+  int i;
+  int j;
+  for (i = 1; i < ROWS - 1; i++) {
+    #pragma omp parallel for private(j) schedule(static,1)
+    for (j = 1; j < n - 1; j++) {
+      B[i][j] = 0.25 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);
+    }
+  }
+}
+|}
+    rows cols
+
 let kernel ?rows ?cols () =
   {
     Kernel.name = "heat";
@@ -46,4 +83,11 @@ let kernel ?rows ?cols () =
     fs_chunk = 1;
     nfs_chunk = 64;
     pred_runs = 20;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value cols ~default:30722;
+          psource = parametric_source ?rows ?cols ();
+        };
   }

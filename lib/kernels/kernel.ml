@@ -1,3 +1,5 @@
+type parametric = { param : string; value : int; psource : string }
+
 type t = {
   name : string;
   description : string;
@@ -7,6 +9,10 @@ type t = {
   fs_chunk : int;
   nfs_chunk : int;
   pred_runs : int;
+  parametric : parametric option;
 }
 
 let parse t = Minic.Typecheck.check_program (Minic.Parser.parse_program t.source)
+
+let parse_parametric p =
+  Minic.Typecheck.check_program (Minic.Parser.parse_program p.psource)

@@ -1,6 +1,16 @@
 (** A benchmark kernel: mini-C source plus the paper's experiment
     parameters (FS-prone and optimized chunk sizes, prediction depth). *)
 
+type parametric = {
+  param : string;  (** the size identifier left free in [psource] *)
+  value : int;  (** its value in the concrete [source] *)
+  psource : string;
+      (** the kernel with that size unbound: same arrays and schedule,
+          but the parallel trip count reads the free global [param].
+          Instantiating the symbolic verdicts and counts at [value] must
+          reproduce the concrete analysis exactly. *)
+}
+
 type t = {
   name : string;
   description : string;
@@ -10,9 +20,15 @@ type t = {
   fs_chunk : int;  (** chunk size exhibiting false sharing *)
   nfs_chunk : int;  (** optimized chunk size (paper's non-FS case) *)
   pred_runs : int;  (** chunk runs the paper's prediction evaluates *)
+  parametric : parametric option;
+      (** size-free variant for the symbolic analyses; [None] when the
+          kernel was constructed with non-default sizes *)
 }
 
 val parse : t -> Minic.Typecheck.checked
 (** Parse and typecheck the kernel's source.
     @raise Minic.Parser.Error or Minic.Typecheck.Type_error on bad source —
     kernels ship with the library, so failures indicate a bug. *)
+
+val parse_parametric : parametric -> Minic.Typecheck.checked
+(** Parse and typecheck the size-free variant. *)

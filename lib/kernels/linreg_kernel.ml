@@ -47,6 +47,56 @@ void linear_regression(void) {
 |}
     nacc m
 
+(* Accumulator count left free: the parallel loop strides over [n]
+   40-byte struct slots of the concrete-capacity array. *)
+let parametric_source ?(nacc = 4800) ?(m = 512) () =
+  Printf.sprintf
+    {|#define NACC %d
+#define M %d
+
+int n;
+
+struct point {
+  double x;
+  double y;
+};
+
+struct acc {
+  double sx;
+  double sxx;
+  double sy;
+  double syy;
+  double sxy;
+};
+
+struct acc tid_args[NACC];
+struct point points[M];
+
+void init(void) {
+  int i;
+  for (i = 0; i < M; i++) {
+    points[i].x = 0.01 * i;
+    points[i].y = 3.0 + 0.5 * points[i].x;
+  }
+}
+
+void linear_regression(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (j = 0; j < n; j++) {
+    for (i = 0; i < M / num_threads; i++) {
+      tid_args[j].sx += points[i].x;
+      tid_args[j].sxx += points[i].x * points[i].x;
+      tid_args[j].sy += points[i].y;
+      tid_args[j].syy += points[i].y * points[i].y;
+      tid_args[j].sxy += points[i].x * points[i].y;
+    }
+  }
+}
+|}
+    nacc m
+
 let kernel ?nacc ?m () =
   {
     Kernel.name = "linear_regression";
@@ -58,4 +108,11 @@ let kernel ?nacc ?m () =
     fs_chunk = 1;
     nfs_chunk = 10;
     pred_runs = 10;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value nacc ~default:4800;
+          psource = parametric_source ?nacc ?m ();
+        };
   }

@@ -34,6 +34,46 @@ void matvec(void) {
 |}
     rows cols
 
+(* Row count left free: the parallel loop covers [n] rows of the
+   concrete-capacity matrix. *)
+let parametric_source ?(rows = 960) ?(cols = 256) () =
+  Printf.sprintf
+    {|#define ROWS %d
+#define COLS %d
+
+int n;
+
+double A[ROWS][COLS];
+double x[COLS];
+double y[ROWS];
+
+void init(void) {
+  int i;
+  int j;
+  for (j = 0; j < COLS; j++) {
+    x[j] = 1.0 / (1.0 + j);
+  }
+  for (i = 0; i < ROWS; i++) {
+    y[i] = 0.0;
+    for (j = 0; j < COLS; j++) {
+      A[i][j] = 0.25 * i - 0.125 * j;
+    }
+  }
+}
+
+void matvec(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < COLS; j++) {
+      y[i] += A[i][j] * x[j];
+    }
+  }
+}
+|}
+    rows cols
+
 let kernel ?rows ?cols () =
   {
     Kernel.name = "matvec";
@@ -44,4 +84,11 @@ let kernel ?rows ?cols () =
     fs_chunk = 1;
     nfs_chunk = 8;
     pred_runs = 12;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value rows ~default:960;
+          psource = parametric_source ?rows ?cols ();
+        };
   }

@@ -23,6 +23,36 @@ void saxpy(void) {
 |}
     n
 
+(* Same kernel with the trip count left free: arrays keep the concrete
+   capacity, but the parallel loop runs to a global [n] the analyses
+   must treat symbolically. *)
+let parametric_source ?(n = 30720) () =
+  Printf.sprintf
+    {|#define N %d
+
+int n;
+
+double x[N];
+double y[N];
+
+void init(void) {
+  int i;
+  for (i = 0; i < N; i++) {
+    x[i] = 1.0 * i;
+    y[i] = 0.5 * i;
+  }
+}
+
+void saxpy(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < n; i++) {
+    y[i] += 2.5 * x[i];
+  }
+}
+|}
+    n
+
 let kernel ?n () =
   {
     Kernel.name = "saxpy";
@@ -33,4 +63,11 @@ let kernel ?n () =
     fs_chunk = 1;
     nfs_chunk = 8;
     pred_runs = 16;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value n ~default:30720;
+          psource = parametric_source ?n ();
+        };
   }

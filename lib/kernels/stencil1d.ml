@@ -27,6 +27,40 @@ void stencil(void) {
 |}
     n steps
 
+(* Grid length left free: the parallel interior runs to [n - 1] for a
+   global [n], so the stencil's neighbour offsets must be reasoned about
+   for every admissible n. *)
+let parametric_source ?(n = 30722) ?(steps = 16) () =
+  Printf.sprintf
+    {|#define N %d
+#define STEPS %d
+
+int n;
+
+double u[N];
+double v[N];
+
+void init(void) {
+  int i;
+  for (i = 0; i < N; i++) {
+    u[i] = 0.0001 * i * i;
+    v[i] = 0.0;
+  }
+}
+
+void stencil(void) {
+  int t;
+  int i;
+  for (t = 0; t < STEPS; t++) {
+    #pragma omp parallel for private(i) schedule(static,1)
+    for (i = 1; i < n - 1; i++) {
+      v[i] = 0.5 * u[i] + 0.25 * (u[i-1] + u[i+1]);
+    }
+  }
+}
+|}
+    n steps
+
 let kernel ?n ?steps () =
   {
     Kernel.name = "stencil1d";
@@ -37,4 +71,11 @@ let kernel ?n ?steps () =
     fs_chunk = 1;
     nfs_chunk = 16;
     pred_runs = 20;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value n ~default:30722;
+          psource = parametric_source ?n ?steps ();
+        };
   }

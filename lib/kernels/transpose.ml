@@ -29,6 +29,42 @@ void transpose(void) {
 |}
     n
 
+(* Logical matrix order left free: both transpose loops run to a global
+   [n] over the concrete-capacity (row stride N) arrays, so the
+   column-write pattern must be classified for every n at once. *)
+let parametric_source ?(n = 480) () =
+  Printf.sprintf
+    {|#define N %d
+
+int n;
+
+double A[N][N];
+double B[N][N];
+
+void init(void) {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      A[i][j] = 1.0 * i * N + j;
+      B[i][j] = 0.0;
+    }
+  }
+}
+
+void transpose(void) {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      B[j][i] = A[i][j];
+    }
+  }
+}
+|}
+    n
+
 let kernel ?n () =
   {
     Kernel.name = "transpose";
@@ -39,4 +75,11 @@ let kernel ?n () =
     fs_chunk = 1;
     nfs_chunk = 8;
     pred_runs = 12;
+    parametric =
+      Some
+        {
+          Kernel.param = "n";
+          value = Option.value n ~default:480;
+          psource = parametric_source ?n ();
+        };
   }

@@ -46,6 +46,12 @@ let subst f a =
       | None -> add acc (scale c (var v)))
     a.terms (const a.const)
 
+let fold_terms f a init = Smap.fold f a.terms init
+
+let partition keep a =
+  let yes, no = Smap.partition (fun v _ -> keep v) a.terms in
+  ({ const = a.const; terms = yes }, { const = 0; terms = no })
+
 let equal a b = a.const = b.const && Smap.equal Int.equal a.terms b.terms
 
 let compare a b =

@@ -32,6 +32,17 @@ val eval : (string -> int) -> t -> int
 val subst : (string -> t option) -> t -> t
 (** Substitute variables by affine expressions. *)
 
+val fold_terms : (string -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the (variable, coefficient) terms; the constant is not
+    visited. *)
+
+val partition : (string -> bool) -> t -> t * t
+(** [partition keep a] splits [a] into the sub-expression over the
+    variables satisfying [keep] (which also receives the constant) and
+    the remaining terms (with constant [0]).  Adding the two halves
+    gives back [a].  Used by the symbolic layer to separate the
+    parameter-dependent part of a bound from its loop-variable part. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

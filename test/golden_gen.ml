@@ -3,7 +3,7 @@
    the text and JSON renderings.  The dune rules diff the outputs against
    the committed files under [test/golden/]; refresh with [dune promote]. *)
 
-let usage = "golden_gen (--kernel NAME | FILE.c) OUT.txt OUT.json"
+let usage = "golden_gen (--kernel NAME | --sym-kernel NAME | FILE.c) OUT.txt OUT.json"
 
 let fail msg =
   prerr_endline msg;
@@ -27,6 +27,15 @@ let () =
     | _ :: "--kernel" :: name :: rest -> (
         match Kernels.Registry.find name with
         | Some k -> ((("kernel:" ^ name), Kernels.Kernel.parse k), rest)
+        | None -> fail ("unknown kernel " ^ name))
+    | _ :: "--sym-kernel" :: name :: rest -> (
+        (* Lint the size-free variant: the free parameter forces the
+           symbolic analysis path. *)
+        match Kernels.Registry.find name with
+        | Some { Kernels.Kernel.parametric = Some p; _ } ->
+            ( (("kernel:" ^ name ^ ":parametric"), Kernels.Kernel.parse_parametric p),
+              rest )
+        | Some _ -> fail ("kernel " ^ name ^ " has no parametric variant")
         | None -> fail ("unknown kernel " ^ name))
     | _ :: file :: rest ->
         ( ( file,

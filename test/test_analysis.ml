@@ -393,6 +393,233 @@ let test_depend_verdict_examples () =
          | _ -> false)
        unknown)
 
+(* ------------------------------------------------------------------ *)
+(* parametric (symbolic) analyses                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance bar for the parametric certificates: every registry
+   kernel's size-free variant must produce a closed-form N_fs whose
+   value at the kernel's concrete size equals the engine's count
+   exactly. *)
+let test_sym_kernels_exact () =
+  List.iter
+    (fun kernel ->
+      let name = kernel.Kernels.Kernel.name in
+      let p = Option.get kernel.Kernels.Kernel.parametric in
+      let checked = Kernels.Kernel.parse_parametric p in
+      let nest = lower ~threads:8 checked ~func:kernel.Kernels.Kernel.func in
+      let cfg = Model.default_config ~threads:8 () in
+      match
+        Analysis.Closed_form.estimate_sym cfg ~nest ~checked
+          ~param:p.Kernels.Kernel.param ~hi:p.Kernels.Kernel.value ()
+      with
+      | Analysis.Closed_form.Sym_inapplicable reason ->
+          Alcotest.failf "%s: expected a parametric certificate, got: %s" name
+            reason
+      | Analysis.Closed_form.Sym cert ->
+          let cfg' =
+            {
+              cfg with
+              Model.params =
+                (p.Kernels.Kernel.param, p.Kernels.Kernel.value)
+                :: cfg.Model.params;
+            }
+          in
+          let engine = (Model.run cfg' ~nest ~checked).Model.fs_cases in
+          check Alcotest.int
+            (name ^ ": N_fs(" ^ string_of_int p.Kernels.Kernel.value
+           ^ ") = engine")
+            engine
+            (Analysis.Closed_form.sym_eval cert p.Kernels.Kernel.value))
+    (Kernels.Registry.all ())
+
+(* Definitive verdicts with the size left free: no kernel's symbolic
+   dependence tree may contain an Unknown or a spurious race region —
+   in-bounds reasoning must rule the race branches out even for
+   transpose's column writes. *)
+let test_sym_kernels_definitive () =
+  List.iter
+    (fun kernel ->
+      let name = kernel.Kernels.Kernel.name in
+      let p = Option.get kernel.Kernels.Kernel.parametric in
+      let checked = Kernels.Kernel.parse_parametric p in
+      let nest = lower ~threads:8 checked ~func:kernel.Kernels.Kernel.func in
+      let layout = Loopir.Layout.make checked in
+      let extent_of base =
+        match Loopir.Layout.size_of layout base with
+        | s -> Some s
+        | exception Not_found -> None
+      in
+      let spairs, ctx, free =
+        Analysis.Depend.pairs_sym ~line_bytes:64
+          ~params:[ ("num_threads", 8) ]
+          ~extent_of nest
+      in
+      check
+        Alcotest.(list string)
+        (name ^ ": free parameters")
+        [ p.Kernels.Kernel.param ] free;
+      List.iter
+        (fun (sp : Analysis.Depend.spair) ->
+          List.iter
+            (fun (_, v) ->
+              match v with
+              | Analysis.Depend.Unknown r ->
+                  Alcotest.failf "%s: unknown region (%s)" name r
+              | Analysis.Depend.Loop_carried ->
+                  Alcotest.failf "%s: race region with size free" name
+              | Analysis.Depend.Independent | Analysis.Depend.Line_conflict
+                ->
+                  ())
+            (Analysis.Symbolic.paths ctx sp.Analysis.Depend.scases))
+        spairs)
+    (Kernels.Registry.all ())
+
+(* parametric dependence: the verdict tree of a one-parameter nest,
+   instantiated at many concrete trip counts, must stay sound against
+   both the concrete analyzer and byte-level brute force *)
+type gen_sdep = { sc1 : int; sk1 : int; sc2 : int; sk2 : int; schunk : int }
+
+let sdep_source_of g =
+  let sub coeff off =
+    if coeff = 0 then string_of_int off
+    else if off = 0 then Printf.sprintf "%d * i" coeff
+    else Printf.sprintf "%d * i + %d" coeff off
+  in
+  Printf.sprintf
+    "int n;\ndouble a[512];\nvoid f(void) {\n\
+     #pragma omp parallel for schedule(static,%d)\n\
+     for (int i = 0; i < n; i++) { a[%s] = a[%s] + 1.0; } }"
+    g.schunk (sub g.sc1 g.sk1) (sub g.sc2 g.sk2)
+
+let gen_sdep_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((sc1, sk1), (sc2, sk2), schunk) ->
+        { sc1; sk1; sc2; sk2; schunk })
+      (tup3
+         (tup2 (int_range 0 3) (int_range 0 40))
+         (tup2 (int_range 0 3) (int_range 0 40))
+         (int_range 1 4)))
+
+let prop_sym_depend_sound =
+  (* 40 nest shapes x 8 instantiations = 320 parameter points *)
+  QCheck2.Test.make ~name:"symbolic verdicts sound at every instantiation"
+    ~count:40 ~print:sdep_source_of gen_sdep_gen (fun g ->
+      let checked = parse (sdep_source_of g) in
+      let nest =
+        Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 4) ]
+      in
+      let spairs, _ctx, free =
+        Analysis.Depend.pairs_sym ~line_bytes:64
+          ~params:[ ("num_threads", 4) ]
+          nest
+      in
+      free = [ "n" ]
+      && List.for_all
+           (fun nv ->
+             let cpairs =
+               Analysis.Depend.pairs ~line_bytes:64
+                 ~params:[ ("num_threads", 4); ("n", nv) ]
+                 nest
+             in
+             List.length cpairs = List.length spairs
+             && List.for_all2
+                  (fun (cp : Analysis.Depend.pair)
+                       (sp : Analysis.Depend.spair) ->
+                    let sv =
+                      Analysis.Symbolic.eval
+                        (fun _ -> nv)
+                        sp.Analysis.Depend.scases
+                    in
+                    let bytes, line =
+                      dep_oracle nest cp.Analysis.Depend.a
+                        cp.Analysis.Depend.b ~n:nv ~m:0
+                    in
+                    match sv with
+                    | Analysis.Depend.Independent ->
+                        (* must-result: brute force may find nothing,
+                           and the concrete analyzer must agree *)
+                        (not bytes) && (not line)
+                        && cp.Analysis.Depend.verdict
+                           = Analysis.Depend.Independent
+                    | Analysis.Depend.Line_conflict ->
+                        (* the race exclusion is a must-result *)
+                        (not bytes)
+                        && cp.Analysis.Depend.verdict
+                           <> Analysis.Depend.Loop_carried
+                    | Analysis.Depend.Loop_carried
+                    | Analysis.Depend.Unknown _ ->
+                        true)
+                  cpairs spairs)
+           [ 0; 1; 2; 3; 7; 16; 33; 50 ])
+
+(* parametric counts: certificates fitted on one-parameter nests must
+   evaluate to the engine's count at every sampled trip count *)
+type gen_scount = { gstride : int; goff : int; gchunk : int; gthreads : int }
+
+let scount_source_of g =
+  Printf.sprintf
+    "int n;\ndouble a[4096];\ndouble b[4096];\nvoid f(void) {\n\
+     #pragma omp parallel for schedule(static,%d)\n\
+     for (int i = 0; i < n; i++) { a[%d * i + %d] = b[i] + 1.0; } }"
+    g.gchunk g.gstride g.goff
+
+let gen_scount_gen =
+  QCheck2.Gen.(
+    map
+      (fun (gstride, goff, gchunk, gthreads) ->
+        { gstride; goff; gchunk; gthreads })
+      (tup4 (int_range 1 3) (int_range 0 8) (int_range 1 4) (int_range 2 8)))
+
+let prop_sym_count_exact =
+  (* 30 configurations x 9 instantiations = 270 parameter points *)
+  QCheck2.Test.make ~name:"symbolic counts = engine at every instantiation"
+    ~count:30 ~print:scount_source_of gen_scount_gen (fun g ->
+      let checked = parse (scount_source_of g) in
+      let nest =
+        Loopir.Lower.lower checked ~func:"f"
+          ~params:[ ("num_threads", g.gthreads) ]
+      in
+      let cfg = Model.default_config ~threads:g.gthreads () in
+      let hi = (4096 - g.goff) / g.gstride in
+      match
+        Analysis.Closed_form.estimate_sym cfg ~nest ~checked ~param:"n" ~hi
+          ()
+      with
+      | Analysis.Closed_form.Sym_inapplicable _ -> true
+      | Analysis.Closed_form.Sym cert ->
+          let lo = cert.Analysis.Closed_form.sc_base in
+          List.for_all
+            (fun frac ->
+              let nv = lo + ((hi - lo) * frac / 8) in
+              let cfg' =
+                { cfg with Model.params = ("n", nv) :: cfg.Model.params }
+              in
+              Analysis.Closed_form.sym_eval cert nv
+              = (Model.run cfg' ~nest ~checked).Model.fs_cases)
+            [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+(* the count property must not pass vacuously: the unit-stride shape
+   fits a certificate at every chunk in the generator's range *)
+let test_sym_count_applicability_floor () =
+  List.iter
+    (fun gchunk ->
+      let g = { gstride = 1; goff = 0; gchunk; gthreads = 8 } in
+      let checked = parse (scount_source_of g) in
+      let nest =
+        Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 8) ]
+      in
+      let cfg = Model.default_config ~threads:8 () in
+      match
+        Analysis.Closed_form.estimate_sym cfg ~nest ~checked ~param:"n"
+          ~hi:4096 ()
+      with
+      | Analysis.Closed_form.Sym _ -> ()
+      | Analysis.Closed_form.Sym_inapplicable r ->
+          Alcotest.failf "chunk %d: expected a certificate, got: %s" gchunk r)
+    [ 1; 2; 3; 4 ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -419,5 +646,16 @@ let () =
           Alcotest.test_case "verdict examples" `Quick
             test_depend_verdict_examples;
           QCheck_alcotest.to_alcotest prop_depend_oracle;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "registry kernels: parametric N_fs exact"
+            `Quick test_sym_kernels_exact;
+          Alcotest.test_case "registry kernels: definitive with size free"
+            `Quick test_sym_kernels_definitive;
+          Alcotest.test_case "count applicability floor" `Quick
+            test_sym_count_applicability_floor;
+          QCheck_alcotest.to_alcotest prop_sym_depend_sound;
+          QCheck_alcotest.to_alcotest prop_sym_count_exact;
         ] );
     ]
