@@ -1,4 +1,4 @@
-.PHONY: all build verify bench bench-smoke clean
+.PHONY: all build verify bench bench-smoke fuzz-smoke clean
 
 all: build
 
@@ -17,6 +17,15 @@ verify:
 	./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/parametric_stride.c > /dev/null
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on fs test/fixtures/parametric_stride.c > /dev/null
 	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never test/fixtures/racy_stencil.c > /dev/null
+	$(MAKE) fuzz-smoke
+
+# Sixty seconds of seeded differential fuzzing: replay the committed
+# corpus, then push freshly generated nests through the oracle matrix
+# until the budget runs out.  Deterministic per seed, so a CI failure
+# reproduces locally with the seed/case printed in the counterexample.
+fuzz-smoke: build
+	./_build/default/bin/fsdetect.exe fuzz --seed 42 --count 1000000 \
+	  --time-budget 60 --corpus test/corpus --out fuzz-failures
 
 # Full reproduction harness (all figures/tables + bechamel micros).
 bench: build

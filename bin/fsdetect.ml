@@ -7,6 +7,7 @@
      advise     chunk-size / padding advice to eliminate false sharing
      eliminate  rewrite the program (padding / spreading) and print it
      compare    model vs predictor vs runtime trace detector, per chunk
+     fuzz       differential fuzzing of the four analysis paths
      kernels    list bundled kernels
      dump       parse a file and dump the program and its loop nests *)
 
@@ -84,6 +85,11 @@ let wrap f = (try f () with
       Printf.eprintf "type error: %s\n" m; exit 1
   | Loopir.Lower.Lower_error m ->
       Printf.eprintf "analysis error: %s\n" m; exit 1
+  | Loopir.Expr_eval.Unbound v ->
+      Printf.eprintf
+        "analysis error: unbound identifier '%s' (bind it with -p %s=VAL)\n" v
+        v;
+      exit 1
   | Sys_error m -> Printf.eprintf "%s\n" m; exit 1)
 
 (* ------------------------------------------------------------------ *)
@@ -348,6 +354,99 @@ let compare_cmd =
     Term.(const compare_detectors $ kernel_pos $ threads_arg $ chunks)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz seed count time_budget jobs out corpus inject max_failures quiet =
+  wrap @@ fun () ->
+  let mutate =
+    match inject with
+    | None -> None
+    | Some name -> (
+        match Fuzz.Oracle.mutation_of_string name with
+        | Some _ as m -> m
+        | None ->
+            Printf.eprintf "unknown fault %S (one of: %s)\n" name
+              (String.concat ", " Fuzz.Oracle.mutation_names);
+            exit 2)
+  in
+  let cfg =
+    {
+      Fuzz.Driver.default with
+      seed;
+      count;
+      time_budget;
+      jobs;
+      mutate;
+      out_dir = Some out;
+      corpus;
+      max_failures;
+    }
+  in
+  let progress = if quiet then fun _ -> () else Printf.eprintf "%s\n%!" in
+  let s = Fuzz.Driver.run ~progress cfg in
+  print_string (Fuzz.Driver.summary_to_string s);
+  if s.Fuzz.Driver.failures <> [] then exit 1
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed"; "s" ] ~docv:"N" ~doc:"PRNG seed for the run.")
+  in
+  let count =
+    Arg.(value & opt int 1000
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of cases to generate.")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECONDS"
+             ~doc:"Stop generating new cases after this many seconds.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains (default: recommended for this machine). \
+                   The generated corpus is identical for any job count.")
+  in
+  let out =
+    Arg.(value & opt string "fuzz-failures"
+         & info [ "out"; "o" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk counterexamples.")
+  in
+  let corpus =
+    Arg.(value & opt (some dir) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Replay every .c file of DIR through the oracle matrix \
+                   before generating random cases.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Harness self-test: inject a known fault (one of \
+                   $(b,fast), $(b,closed), $(b,depend), $(b,sym)) and \
+                   expect the matrix to catch it.")
+  in
+  let max_failures =
+    Arg.(value & opt int 1
+         & info [ "max-failures" ] ~docv:"N"
+             ~doc:"Keep fuzzing until N distinct failures were shrunk.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random OpenMP loop nests and \
+          cross-check the reference engine, the fast engine, the \
+          closed-form and symbolic estimators, and the dependence \
+          analyzer against each other and against brute force (exit 1 \
+          on any disagreement, with a shrunk counterexample written to \
+          $(b,--out))")
+    Term.(const fuzz $ seed $ count $ time_budget $ jobs $ out $ corpus
+          $ inject $ max_failures $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* kernels, dump                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -393,4 +492,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; lint_cmd; simulate_cmd; advise_cmd; eliminate_cmd;
-            compare_cmd; kernels_cmd; dump_cmd ]))
+            compare_cmd; fuzz_cmd; kernels_cmd; dump_cmd ]))

@@ -578,6 +578,18 @@ let classify_sym ~line_bytes ~params ~sranges ~ctx (nest : Loop_nest.t)
               | true -> Symbolic.leaf Line_conflict
               | false -> Symbolic.leaf Independent))
   in
+  let tree =
+    (* the symbolic counterpart of [classify]'s [ptrip <= 1] shortcut: a
+       second parallel iteration exists only when [slo + pstep <= shi].
+       Below that threshold the distance range is empty, but the
+       per-atom Banerjee conditions cannot see that (each endpoint
+       inequality can hold even when the interval itself is empty), so
+       without the guard the tree reports conflicts for empty and
+       single-iteration loops.  (Found by fsfuzz at [n = 0] and, with
+       [i += 3], at [n = 2].) *)
+    Symbolic.If
+      (Affine.sub width (Affine.const pstep), tree, Symbolic.leaf Independent)
+  in
   Symbolic.simplify ctx tree
 
 (* Identifiers in loop bounds that are bound neither by [params] nor by

@@ -85,6 +85,16 @@ val pairs_sym :
     Soundness mirrors {!pairs} regionwise: in any region, [Independent]
     is a must-result, conflict verdicts are may-results.  When every
     range is concrete the tree is a single leaf equal to the {!pairs}
-    verdict; with a single free parameter the case split is {e exact} —
-    instantiating the tree at any parameter value agrees with the
-    concrete analysis at that value. *)
+    verdict.  With free parameters the tree {e refines} the concrete
+    analysis: instantiating it at any parameter value yields a verdict
+    at least as severe as {!pairs} at that value — never [Independent]
+    where the concrete analysis reports a conflict, never
+    [Line_conflict] where it reports [Loop_carried].  (Feasibility is
+    monotone in the variable ranges on every test path, and the
+    symbolic analysis only ever widens ranges: companion variables are
+    over-approximated by their parameter-context hulls during
+    feasibility probing, and with a non-unit parallel step the distance
+    range over-approximates the trip count, which is not affine in the
+    parameter.)  The symbolic analysis can therefore be conservative
+    where the concrete analysis proves independence, but the empty- and
+    single-iteration regions are always recognized exactly. *)

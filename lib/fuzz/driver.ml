@@ -1,0 +1,252 @@
+(* The fuzzing loop.  Cases are generated and checked in parallel
+   batches (Par_sweep keeps results in input order and bit-identical to
+   the sequential path); shrinking happens sequentially in the calling
+   domain because it is rare and needs the oracle many times on one
+   case. *)
+
+type config = {
+  seed : int;
+  count : int;
+  time_budget : float option;
+  jobs : int option;
+  mutate : Oracle.mutation option;
+  out_dir : string option;
+  corpus : string option;
+  max_failures : int;
+  brute_budget : int;
+}
+
+let default =
+  {
+    seed = 0;
+    count = 1000;
+    time_budget = None;
+    jobs = None;
+    mutate = None;
+    out_dir = None;
+    corpus = None;
+    max_failures = 1;
+    brute_budget = 300_000;
+  }
+
+type failure = {
+  f_origin : string;
+  f_check : string;
+  f_detail : string;
+  f_source : string;
+  f_path : string option;
+  f_shrink_evals : int;
+}
+
+type summary = {
+  cases_run : int;
+  corpus_run : int;
+  failures : failure list;
+  exercised : (string * int) list;
+  elapsed : float;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then (
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let run ?(progress = fun _ -> ()) cfg =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let exercised : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let bump cs =
+    List.iter
+      (fun c ->
+        Hashtbl.replace exercised c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt exercised c)))
+      cs
+  in
+  let over_budget () =
+    match cfg.time_budget with
+    | Some b -> Unix.gettimeofday () -. t0 > b
+    | None -> false
+  in
+  let saturated () = List.length !failures >= cfg.max_failures in
+  (* ---- corpus replay ---- *)
+  let corpus_run = ref 0 in
+  (match cfg.corpus with
+  | None -> ()
+  | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".c")
+        |> List.sort compare
+      in
+      List.iter
+        (fun f ->
+          if not (saturated ()) then (
+            let path = Filename.concat dir f in
+            let src = read_file path in
+            let threads, chunk = Oracle.scan_header src in
+            incr corpus_run;
+            let o =
+              Oracle.check_source ?mutate:cfg.mutate
+                ~brute_budget:cfg.brute_budget ~threads ~chunk src
+            in
+            bump o.Oracle.exercised;
+            match o.Oracle.failure with
+            | None -> ()
+            | Some (check, detail) ->
+                progress
+                  (Printf.sprintf "corpus %s: %s (%s)" f check detail);
+                failures :=
+                  {
+                    f_origin = "corpus " ^ f;
+                    f_check = check;
+                    f_detail = detail;
+                    f_source = src;
+                    f_path = Some path;
+                    f_shrink_evals = 0;
+                  }
+                  :: !failures))
+        files
+  | Some dir -> progress (Printf.sprintf "corpus directory %s not found" dir));
+  (* ---- random cases ---- *)
+  let domains =
+    match cfg.jobs with
+    | Some j -> max 1 j
+    | None -> Fsmodel.Par_sweep.recommended_domains ()
+  in
+  let batch = max 16 (domains * 16) in
+  let cases_run = ref 0 in
+  let next = ref 0 in
+  while (not (saturated ())) && (not (over_budget ())) && !next < cfg.count do
+    let hi = min cfg.count (!next + batch) in
+    let idxs = List.init (hi - !next) (fun k -> !next + k) in
+    let results =
+      Fsmodel.Par_sweep.map ~domains
+        (fun idx ->
+          let spec = Gen.spec ~seed:cfg.seed ~index:idx in
+          ( idx,
+            spec,
+            Oracle.check_spec ?mutate:cfg.mutate
+              ~brute_budget:cfg.brute_budget spec ))
+        idxs
+    in
+    List.iter
+      (fun (idx, spec, (o : Oracle.outcome)) ->
+        if not (saturated ()) then (
+          incr cases_run;
+          bump o.Oracle.exercised;
+          match o.Oracle.failure with
+          | None -> ()
+          | Some (check, detail) ->
+              progress
+                (Printf.sprintf "case %d: %s (%s), shrinking..." idx check
+                   detail);
+              let still_fails s =
+                match
+                  (Oracle.check_spec ?mutate:cfg.mutate
+                     ~brute_budget:cfg.brute_budget s)
+                    .Oracle.failure
+                with
+                | Some (c, _) -> c = check
+                | None -> false
+              in
+              let small, evals = Shrink.minimize ~fails:still_fails spec in
+              let detail' =
+                match
+                  (Oracle.check_spec ?mutate:cfg.mutate
+                     ~brute_budget:cfg.brute_budget small)
+                    .Oracle.failure
+                with
+                | Some (_, d) -> d
+                | None -> detail
+              in
+              let source =
+                Spec.header ~check ~detail:detail' small
+                ^ Spec.to_source small
+              in
+              let path =
+                match cfg.out_dir with
+                | None -> None
+                | Some dir ->
+                    mkdir_p dir;
+                    let slug =
+                      String.map (fun c -> if c = '/' then '-' else c) check
+                    in
+                    let p =
+                      Filename.concat dir
+                        (Printf.sprintf "seed%d-case%d-%s.c" cfg.seed idx slug)
+                    in
+                    write_file p source;
+                    Some p
+              in
+              failures :=
+                {
+                  f_origin = Printf.sprintf "case %d" idx;
+                  f_check = check;
+                  f_detail = detail';
+                  f_source = source;
+                  f_path = path;
+                  f_shrink_evals = evals;
+                }
+                :: !failures))
+      results;
+    next := hi
+  done;
+  {
+    cases_run = !cases_run;
+    corpus_run = !corpus_run;
+    failures = List.rev !failures;
+    exercised =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) exercised []
+      |> List.sort compare;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let summary_to_string s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fuzz: %d generated case%s, %d corpus file%s, %.1fs\n"
+       s.cases_run
+       (if s.cases_run = 1 then "" else "s")
+       s.corpus_run
+       (if s.corpus_run = 1 then "" else "s")
+       s.elapsed);
+  Buffer.add_string b "checks exercised:\n";
+  List.iter
+    (fun (c, n) -> Buffer.add_string b (Printf.sprintf "  %-22s %d\n" c n))
+    s.exercised;
+  (match s.failures with
+  | [] -> Buffer.add_string b "no oracle disagreements.\n"
+  | fs ->
+      Buffer.add_string b
+        (Printf.sprintf "%d oracle disagreement%s:\n" (List.length fs)
+           (if List.length fs = 1 then "" else "s"));
+      List.iter
+        (fun f ->
+          Buffer.add_string b
+            (Printf.sprintf "  %s: %s\n    %s\n" f.f_origin f.f_check
+               f.f_detail);
+          (match f.f_path with
+          | Some p ->
+              Buffer.add_string b
+                (Printf.sprintf "    counterexample: %s\n" p)
+          | None -> ());
+          if f.f_shrink_evals > 0 then
+            Buffer.add_string b
+              (Printf.sprintf "    (shrunk with %d oracle calls)\n"
+                 f.f_shrink_evals))
+        fs);
+  Buffer.contents b

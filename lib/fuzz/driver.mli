@@ -1,0 +1,42 @@
+(** The fuzzing loop: replay the seed corpus, then generate and check
+    [count] cases in parallel batches over {!Fsmodel.Par_sweep} domains.
+    Per-case RNG streams are derived from (seed, index), so the corpus
+    is identical whatever the domain count, and any failing case is
+    shrunk to a minimal counterexample and written to [out_dir]. *)
+
+type config = {
+  seed : int;
+  count : int;
+  time_budget : float option;  (** seconds; [None] = run all [count] *)
+  jobs : int option;  (** domains; [None] = recommended *)
+  mutate : Oracle.mutation option;  (** harness self-test fault injection *)
+  out_dir : string option;  (** where shrunk counterexamples are written *)
+  corpus : string option;  (** directory of [.c] seeds to replay first *)
+  max_failures : int;  (** stop after this many distinct failures *)
+  brute_budget : int;
+}
+
+val default : config
+(** seed 0, count 1000, no budget, recommended domains, no mutation,
+    no output directory, no corpus, stop at the first failure,
+    brute-force budget 300000. *)
+
+type failure = {
+  f_origin : string;  (** ["case 123"] or ["corpus foo.c"] *)
+  f_check : string;
+  f_detail : string;
+  f_source : string;  (** minimal counterexample, header included *)
+  f_path : string option;  (** where it was written, when [out_dir] set *)
+  f_shrink_evals : int;
+}
+
+type summary = {
+  cases_run : int;
+  corpus_run : int;
+  failures : failure list;
+  exercised : (string * int) list;  (** check -> cases it ran on, sorted *)
+  elapsed : float;
+}
+
+val run : ?progress:(string -> unit) -> config -> summary
+val summary_to_string : summary -> string

@@ -1,0 +1,147 @@
+(* Random mini-C loop nests, biased toward the places false-sharing
+   analyses get subtle: offsets straddling cache-line boundaries, trip
+   counts adjacent to chunk*threads multiples, struct fields packing
+   several writers onto one line, coupled and deliberately nonaffine
+   subscripts, and parametric bounds left for the symbolic layer. *)
+
+open Spec
+
+let line_bytes = 64
+
+(* constant element offsets, biased around the line boundary of the
+   element type (8 doubles or 16 floats/ints per 64-byte line) *)
+let pick_offset rng elem =
+  let le = line_bytes / elem_size elem in
+  Rng.weighted rng
+    [
+      (10, 0); (4, 1); (2, 2); (2, 3);
+      (3, le - 1); (3, le); (2, le + 1);
+      (2, (2 * le) - 1); (2, 2 * le); (1, (4 * le) + 1);
+      (1, Rng.range rng 0 (4 * le));
+    ]
+
+let pick_ci rng = Rng.weighted rng [ (2, 0); (10, 1); (4, 2); (2, 3); (1, 8) ]
+
+let pick_cj rng = Rng.weighted rng [ (6, 0); (6, 1); (2, 2); (1, -1) ]
+
+let pick_ct rng = Rng.weighted rng [ (10, 0); (3, 1); (1, 8) ]
+
+let pick_sub rng ~elem ~parametric =
+  let square = (not parametric) && Rng.int rng 100 < 5 in
+  {
+    ci = (if parametric then Rng.weighted rng [ (8, 1); (3, 2); (1, 3) ]
+          else pick_ci rng);
+    cj = pick_cj rng;
+    ct = pick_ct rng;
+    k = pick_offset rng elem;
+    square;
+  }
+
+let pick_elem rng =
+  Rng.weighted rng [ (6, Edouble); (2, Efloat); (2, Eint) ]
+
+let pick_array rng idx =
+  let elem = pick_elem rng in
+  let fields = if Rng.int rng 100 < 25 then Rng.range rng 2 4 else 0 in
+  {
+    arr_name = Printf.sprintf "a%d" idx;
+    arr_elem = elem;
+    arr_fields = fields;
+    arr_slack =
+      Rng.weighted rng [ (6, 0); (2, 1); (2, line_bytes / elem_size elem) ];
+  }
+
+let pick_rref rng arrays ~parametric =
+  let r_arr = Rng.int rng (List.length arrays) in
+  let arr = List.nth arrays r_arr in
+  let r_field =
+    if arr.arr_fields = 0 then None else Some (Rng.int rng arr.arr_fields)
+  in
+  { r_arr; r_sub = pick_sub rng ~elem:arr.arr_elem ~parametric; r_field }
+
+let pick_term rng arrays ~parametric =
+  Rng.weighted rng
+    [
+      (10, `Ref); (2, `Float); (1, `Int); (1, `Math);
+    ]
+  |> function
+  | `Ref -> Tref (pick_rref rng arrays ~parametric)
+  | `Float -> Tfloat (Rng.choose rng [| 0.5; 1.0; 2.5; 0.25; 3.0; 0.125 |])
+  | `Int -> Tint (Rng.range rng 0 7)
+  | `Math ->
+      Tmath
+        ( Rng.choose rng [| "sin"; "cos"; "sqrt" |],
+          pick_rref rng arrays ~parametric )
+
+let pick_stmt rng arrays ~parametric =
+  {
+    a_lhs = pick_rref rng arrays ~parametric;
+    a_op = Rng.weighted rng [ (8, Minic.Ast.A_set); (3, Minic.Ast.A_add);
+                              (1, Minic.Ast.A_mul) ];
+    a_rhs =
+      List.init (Rng.weighted rng [ (5, 1); (4, 2); (1, 3) ]) (fun _ ->
+          pick_term rng arrays ~parametric);
+    a_mul = Rng.int rng 100 < 10;
+  }
+
+let spec ~seed ~index =
+  let rng = Rng.stream ~seed ~index in
+  let threads = Rng.choose rng [| 1; 2; 2; 3; 4; 4; 5; 7; 8; 8; 9 |] in
+  let chunk =
+    Rng.weighted rng
+      [ (3, None); (4, Some 1); (3, Some 2); (2, Some 3); (2, Some 4);
+        (1, Some (Rng.range rng 5 9)) ]
+  in
+  let cval = match chunk with Some c -> c | None -> 1 in
+  let kind = Rng.weighted rng [ (7, `Const); (2, `Param); (1, `Threads) ] in
+  let parametric = kind = `Param in
+  (* trip counts hugging schedule and line boundaries *)
+  let round = cval * threads in
+  let pick_trip hi_cap =
+    min hi_cap
+      (max 0
+         (Rng.weighted rng
+            [
+              (3, Rng.range rng 0 6);
+              (2, round); (2, round + 1); (2, (2 * round) - 1);
+              (2, 8 * threads); (1, (8 * threads) + 1);
+              (2, Rng.range rng 7 40); (1, Rng.range rng 41 96);
+            ]))
+  in
+  let par_bound =
+    match kind with
+    | `Const -> Bconst (pick_trip 96)
+    | `Threads -> Bthreads
+    | `Param ->
+        (* cap chosen so even stride-3 subscripts stay in modest arrays *)
+        Bparam (max 8 (Rng.weighted rng
+                         [ (3, Rng.range rng 32 96);
+                           (2, (Rng.range rng 2 6 * round) + Rng.int rng 2);
+                           (1, Rng.range rng 97 192) ]))
+  in
+  let inner = Rng.weighted rng [ (5, 0); (2, 1); (2, Rng.range rng 2 6) ] in
+  let arrays =
+    List.init (Rng.weighted rng [ (5, 1); (4, 2); (1, 3) ]) (pick_array rng)
+  in
+  let stmts =
+    List.init (Rng.weighted rng [ (6, 1); (3, 2); (1, 3) ]) (fun _ ->
+        pick_stmt rng arrays ~parametric)
+  in
+  normalize
+    {
+      sp_seed = seed;
+      sp_index = index;
+      threads;
+      chunk;
+      outer = Rng.weighted rng [ (6, 0); (2, 1); (1, 2); (1, 3) ];
+      par_lo = Rng.weighted rng [ (8, 0); (1, 1); (1, 2) ];
+      par_bound;
+      par_step = Rng.weighted rng [ (8, 1); (1, 2); (1, 3) ];
+      le = (not parametric) && kind = `Const && Rng.int rng 100 < 10;
+      inner;
+      inner_tri = inner > 0 && Rng.int rng 100 < 15;
+      priv = Rng.int rng 100 < 30;
+      reduction = Rng.int rng 100 < 10;
+      arrays;
+      stmts;
+    }

@@ -1,0 +1,12 @@
+(** Seeded random case generation.
+
+    [spec ~seed ~index] is a pure function of its arguments (each case
+    owns an {!Rng} stream derived from both), so a run is reproducible
+    case-by-case and parallel sweeps generate the same corpus as
+    sequential ones.  Constants are biased toward cache-line and
+    chunk-boundary edge cases; about a fifth of the cases leave the
+    parallel trip count as a free parameter for the symbolic layer. *)
+
+val line_bytes : int
+
+val spec : seed:int -> index:int -> Spec.t

@@ -1,0 +1,24 @@
+(** Minimal JSON reader used only to validate the lint renderer's
+    output: {!Analysis.Json} is print-only by design, so the fuzzer
+    brings its own parser to prove the emitted SARIF is well-formed and
+    carries the required top-level shape. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    failing byte position. *)
+
+val member : string -> value -> value option
+(** Field lookup on an [Obj]; [None] on missing fields and non-objects. *)
+
+val validate_sarif : string -> (unit, string) result
+(** Parse and check the SARIF shape the lint renderer promises: a
+    top-level object with a ["version"] and a non-empty ["runs"] array
+    whose first run has a ["tool"] and a ["results"] array. *)

@@ -1,0 +1,539 @@
+(* The oracle matrix.  One generated case flows parse -> typecheck ->
+   lint -> lower and then through all four analysis paths, which are
+   cross-checked against each other and against brute force; the first
+   disagreement aborts the case with a (check, detail) pair the shrinker
+   and the driver key on. *)
+
+type mutation = Fast | Closed | Depend_m | Sym
+
+let mutation_of_string = function
+  | "fast" -> Some Fast
+  | "closed" -> Some Closed
+  | "depend" -> Some Depend_m
+  | "sym" -> Some Sym
+  | _ -> None
+
+let mutation_name = function
+  | Fast -> "fast"
+  | Closed -> "closed"
+  | Depend_m -> "depend"
+  | Sym -> "sym"
+
+let mutation_names = [ "fast"; "closed"; "depend"; "sym" ]
+
+type outcome = {
+  failure : (string * string) option;
+  exercised : string list;
+}
+
+exception Fail of string * string
+
+let line_bytes = 64
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force dependence oracle                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Too_big
+
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+
+(* Enumerate distinct iterations of the parallel loop (same values of
+   the sequential outer variables, inner variables free within their
+   real — possibly triangular — bounds) and look for byte overlap and
+   cache-line sharing between [a] in one and [b] in the other.  This is
+   the ground truth Depend's must-claims are judged against:
+   [Independent] forbids both, [Line_conflict] forbids byte overlap.
+   Gives up (returns [None]) past [budget] elementary steps. *)
+let brute_pair ~params ~budget (nest : Loopir.Loop_nest.t)
+    (a : Loopir.Array_ref.t) (b : Loopir.Array_ref.t) =
+  let loops = nest.Loopir.Loop_nest.loops in
+  let p = nest.Loopir.Loop_nest.parallel_depth in
+  let outer = List.filteri (fun i _ -> i < p) loops in
+  let par = List.nth loops p in
+  let inner = List.filteri (fun i _ -> i > p) loops in
+  let eval env e =
+    Loopir.Expr_eval.eval
+      (fun v ->
+        match List.assoc_opt v env with
+        | Some _ as r -> r
+        | None -> List.assoc_opt v params)
+      e
+  in
+  let values (l : Loopir.Loop_nest.loop) env =
+    let lo = eval env l.lower and hi = eval env l.upper_excl in
+    let rec go v acc =
+      if v >= hi then List.rev acc else go (v + l.step) (v :: acc)
+    in
+    go lo []
+  in
+  let rec envs ls env =
+    match ls with
+    | [] -> [ env ]
+    | (l : Loopir.Loop_nest.loop) :: rest ->
+        List.concat_map (fun v -> envs rest ((l.var, v) :: env)) (values l env)
+  in
+  let cost = ref 0 in
+  let bump () =
+    incr cost;
+    if !cost > budget then raise Too_big
+  in
+  let offsets (r : Loopir.Array_ref.t) env =
+    List.map
+      (fun e ->
+        bump ();
+        Loopir.Affine.eval (fun v -> List.assoc v e) r.Loopir.Array_ref.offset)
+      (envs inner env)
+  in
+  try
+    let bytes = ref false and line = ref false in
+    List.iter
+      (fun oenv ->
+        let tbl =
+          List.map
+            (fun v ->
+              let env = (par.Loopir.Loop_nest.var, v) :: oenv in
+              (v, offsets a env, offsets b env))
+            (values par oenv)
+        in
+        List.iter
+          (fun (v1, oa, _) ->
+            List.iter
+              (fun (v2, _, ob) ->
+                if v1 <> v2 && not (!bytes && !line) then
+                  List.iter
+                    (fun x ->
+                      List.iter
+                        (fun y ->
+                          bump ();
+                          let ex = x + a.Loopir.Array_ref.size_bytes - 1
+                          and ey = y + b.Loopir.Array_ref.size_bytes - 1 in
+                          if x <= ey && y <= ex then bytes := true;
+                          if
+                            fdiv x line_bytes <= fdiv ey line_bytes
+                            && fdiv y line_bytes <= fdiv ex line_bytes
+                          then line := true)
+                        ob)
+                    oa)
+              tbl)
+          tbl)
+      (envs outer []);
+    Some (!bytes, !line)
+  with Too_big -> None
+
+let apply_depend_mutation mutate pairs =
+  match mutate with
+  | Some Depend_m ->
+      let injected = ref false in
+      List.map
+        (fun (p : Analysis.Depend.pair) ->
+          if (not !injected) && p.verdict = Analysis.Depend.Line_conflict then (
+            injected := true;
+            { p with Analysis.Depend.verdict = Analysis.Depend.Independent })
+          else p)
+        pairs
+  | _ -> pairs
+
+(* ------------------------------------------------------------------ *)
+(* Per-nest analysis cross-checks                                      *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
+    (nest : Loopir.Loop_nest.t) (checked : Minic.Typecheck.checked) =
+  let base_params = [ ("num_threads", threads) ] in
+  let cfg =
+    { (Fsmodel.Model.default_config ~threads ()) with chunk; params = base_params }
+  in
+  let engines ps label =
+    let c = { cfg with Fsmodel.Model.params = ps } in
+    let fast = Fsmodel.Model.run ~engine:`Fast c ~nest ~checked in
+    let refr = Fsmodel.Model.run ~engine:`Reference c ~nest ~checked in
+    let fast_fs =
+      fast.Fsmodel.Model.fs_cases + (if mutate = Some Fast then 1 else 0)
+    in
+    mark "engine/fast-vs-ref";
+    if
+      fast_fs <> refr.Fsmodel.Model.fs_cases
+      || fast.thread_steps <> refr.thread_steps
+      || fast.iterations_evaluated <> refr.iterations_evaluated
+      || fast.chunk_runs <> refr.chunk_runs
+    then
+      fail "engine/fast-vs-ref"
+        (Printf.sprintf
+           "%s: fast fs=%d steps=%d iters=%d runs=%d, reference fs=%d \
+            steps=%d iters=%d runs=%d"
+           label fast_fs fast.thread_steps fast.iterations_evaluated
+           fast.chunk_runs refr.Fsmodel.Model.fs_cases refr.thread_steps
+           refr.iterations_evaluated refr.chunk_runs);
+    refr.Fsmodel.Model.fs_cases
+  in
+  (* check one must-claim against ground truth: [Independent] forbids
+     any sharing, [Line_conflict] forbids byte overlap *)
+  let brute_verdict ~check ~who ps a b v =
+    match v with
+    | Analysis.Depend.Loop_carried | Analysis.Depend.Unknown _ ->
+        (* may-results: any ground truth is consistent *)
+        ()
+    | _ -> (
+        match brute_pair ~params:ps ~budget:brute_budget nest a b with
+        | None -> ()
+        | Some (bytes, line) ->
+            mark check;
+            let bad =
+              match v with
+              | Analysis.Depend.Independent -> bytes || line
+              | Analysis.Depend.Line_conflict -> bytes
+              | _ -> false
+            in
+            if bad then
+              fail check
+                (Printf.sprintf "%s vs %s%s: verdict %s but brute force \
+                                 finds %s"
+                   a.Loopir.Array_ref.repr b.Loopir.Array_ref.repr who
+                   (Analysis.Depend.verdict_name v)
+                   (if bytes then "byte overlap" else "line sharing")))
+  in
+  let brute ps =
+    let pairs = Analysis.Depend.pairs ~line_bytes ~params:ps nest in
+    let pairs = apply_depend_mutation mutate pairs in
+    List.iter
+      (fun (p : Analysis.Depend.pair) ->
+        brute_verdict ~check:"depend/brute" ~who:"" ps p.a p.b p.verdict)
+      pairs
+  in
+  match Analysis.Depend.free_params ~params:base_params nest with
+  | [] ->
+      let fs = engines base_params "concrete" in
+      (match Analysis.Closed_form.estimate cfg ~nest ~checked with
+      | Analysis.Closed_form.Exact info ->
+          let c =
+            info.Analysis.Closed_form.fs_cases
+            + (if mutate = Some Closed then 1 else 0)
+          in
+          mark "closed/exact";
+          if c <> fs then
+            fail "closed/exact"
+              (Printf.sprintf "closed form %d (regime %s) vs engine %d" c
+                 info.Analysis.Closed_form.regime fs)
+      | Analysis.Closed_form.Inapplicable _ -> ());
+      brute base_params
+  | [ pname ] ->
+      let cap = max 0 sym_cap in
+      let clip v = v >= 0 && v <= cap in
+      let samples =
+        List.sort_uniq compare
+          (List.filter clip
+             [ 0; 1; 2; 3; threads; (2 * threads) + 1; cap - 1; cap ])
+      in
+      let engine_at = Hashtbl.create 8 in
+      let engine v =
+        match Hashtbl.find_opt engine_at v with
+        | Some fs -> fs
+        | None ->
+            let fs =
+              engines
+                ((pname, v) :: base_params)
+                (Printf.sprintf "%s=%d" pname v)
+            in
+            Hashtbl.add engine_at v fs;
+            fs
+      in
+      let engine_samples =
+        List.sort_uniq compare (List.filter clip [ 1; cap / 2; cap ])
+      in
+      List.iter (fun v -> ignore (engine v)) engine_samples;
+      brute ((pname, min cap (2 * threads)) :: base_params);
+      (* the symbolic case split refines the concrete analysis:
+         instantiated anywhere it must be at least as severe as the
+         concrete verdict (the symbolic side only ever widens variable
+         ranges, and feasibility is monotone in them), and its own
+         must-claims must survive brute force *)
+      let spairs, _ctx, _fp =
+        Analysis.Depend.pairs_sym ~line_bytes ~params:base_params nest
+      in
+      List.iter
+        (fun v ->
+          let conc =
+            Analysis.Depend.pairs ~line_bytes
+              ~params:((pname, v) :: base_params)
+              nest
+          in
+          if List.length conc <> List.length spairs then
+            fail "sym/depend"
+              (Printf.sprintf "%s=%d: %d symbolic pairs vs %d concrete" pname
+                 v (List.length spairs) (List.length conc));
+          List.iter2
+            (fun (sp : Analysis.Depend.spair) (cp : Analysis.Depend.pair) ->
+              let valuation x =
+                if x = pname then v else List.assoc x base_params
+              in
+              let inst = Analysis.Symbolic.eval valuation sp.scases in
+              let inst =
+                if mutate = Some Sym then Analysis.Depend.Independent
+                else inst
+              in
+              mark "sym/depend";
+              let rank = function
+                | Analysis.Depend.Independent -> 0
+                | Analysis.Depend.Line_conflict -> 1
+                | Analysis.Depend.Loop_carried -> 2
+                | Analysis.Depend.Unknown _ -> 3
+              in
+              let refines =
+                match (inst, cp.Analysis.Depend.verdict) with
+                | Analysis.Depend.Unknown _, Analysis.Depend.Unknown _ -> true
+                | Analysis.Depend.Unknown _, _ | _, Analysis.Depend.Unknown _
+                  ->
+                    false
+                | x, y -> rank x >= rank y
+              in
+              if not refines then
+                fail "sym/depend"
+                  (Printf.sprintf
+                     "%s vs %s at %s=%d: symbolic says %s, concrete says %s \
+                      (symbolic must be at least as severe)"
+                     sp.sa.Loopir.Array_ref.repr sp.sb.Loopir.Array_ref.repr
+                     pname v
+                     (Analysis.Depend.verdict_name inst)
+                     (Analysis.Depend.verdict_name cp.Analysis.Depend.verdict));
+              brute_verdict ~check:"sym/depend-sound"
+                ~who:(Printf.sprintf " at %s=%d" pname v)
+                ((pname, v) :: base_params)
+                sp.sa sp.sb inst)
+            spairs conc)
+        samples;
+      (* a certified quasi-polynomial must equal the engine count *)
+      (match
+         Analysis.Closed_form.estimate_sym cfg ~nest ~checked ~param:pname
+           ~hi:cap ()
+       with
+      | Analysis.Closed_form.Sym cert ->
+          List.iter
+            (fun v ->
+              if
+                v >= cert.Analysis.Closed_form.sc_base
+                && v <= cert.Analysis.Closed_form.sc_hi
+              then (
+                let predicted =
+                  Analysis.Closed_form.sym_eval cert v
+                  + (if mutate = Some Sym then 1 else 0)
+                in
+                let fs = engine v in
+                mark "sym/count";
+                if predicted <> fs then
+                  fail "sym/count"
+                    (Printf.sprintf
+                       "%s=%d: certificate gives %d, engine counts %d \
+                        (regime %s)"
+                       pname v predicted fs
+                       cert.Analysis.Closed_form.sc_regime)))
+            engine_samples
+      | Analysis.Closed_form.Sym_inapplicable _ -> ())
+  | _ :: _ :: _ ->
+      (* several free parameters: region-qualified verdicts must at
+         least come out without raising *)
+      ignore
+        (Analysis.Depend.pairs_sym ~line_bytes ~params:base_params nest);
+      mark "sym/multi-param"
+
+(* ------------------------------------------------------------------ *)
+(* Front end shared by spec and source checks                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_lint ~threads ~chunk ~fixits checked =
+  let opts =
+    {
+      Analysis.Lint.default_options with
+      threads;
+      chunk;
+      fixits;
+      params = [];
+    }
+  in
+  Analysis.Lint.run ~opts ~uri:"fuzz.c" checked
+
+let lint_checks ~threads ~chunk ~fixits ~mark ~fail checked =
+  let report =
+    match run_lint ~threads ~chunk ~fixits checked with
+    | r -> r
+    | exception e -> fail "lint/crash" (Printexc.to_string e); assert false
+  in
+  let text = Analysis.Diag.to_text report in
+  if String.length text = 0 then fail "lint/render" "empty text report";
+  mark "lint/render";
+  (match
+     Json_check.validate_sarif
+       (Analysis.Json.to_string (Analysis.Diag.to_json report))
+   with
+  | Ok () -> mark "lint/json"
+  | Error m -> fail "lint/json" m);
+  report
+
+let has_unknown_finding (report : Analysis.Diag.report) =
+  List.exists
+    (fun (f : Analysis.Diag.finding) -> f.rule = "analysis/unknown")
+    report.findings
+
+let outcome_of body =
+  let exercised = ref [] in
+  let mark c = if not (List.mem c !exercised) then exercised := c :: !exercised in
+  let fail c d = raise (Fail (c, d)) in
+  let failure =
+    try
+      body ~mark ~fail;
+      None
+    with
+    | Fail (c, d) -> Some (c, d)
+    | e -> Some ("oracle/exn", Printexc.to_string e)
+  in
+  { failure; exercised = List.rev !exercised }
+
+let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
+  outcome_of (fun ~mark ~fail ->
+      let src = Spec.to_source spec in
+      let ast =
+        match Minic.Parser.parse_program src with
+        | a -> a
+        | exception Minic.Parser.Error (m, l) ->
+            fail "pipeline/parse" (Printf.sprintf "%s (line %d)" m l);
+            assert false
+      in
+      mark "pipeline/parse";
+      let want = Minic.Ast.erase_spans (Spec.to_ast spec) in
+      if Minic.Ast.erase_spans ast <> want then
+        fail "roundtrip/pretty"
+          "pretty-printed program reparses to a different AST";
+      mark "roundtrip/pretty";
+      let checked =
+        match Minic.Typecheck.check_program ast with
+        | c -> c
+        | exception Minic.Typecheck.Type_error m ->
+            fail "pipeline/typecheck" m;
+            assert false
+      in
+      mark "pipeline/typecheck";
+      let threads = spec.Spec.threads in
+      let report =
+        lint_checks ~threads ~chunk:None
+          ~fixits:(spec.Spec.sp_index mod 7 = 0)
+          ~mark ~fail checked
+      in
+      let nonaffine =
+        List.exists
+          (fun (r : Spec.rref) -> r.r_sub.Spec.square)
+          (Spec.all_refs spec)
+      in
+      let params = [ ("num_threads", threads) ] in
+      (match Loopir.Lower.lower_all checked ~func:"f" ~params with
+      | exception Loopir.Lower.Lower_error m ->
+          if not nonaffine then
+            fail "pipeline/lower" ("unexpected lowering failure: " ^ m);
+          (* lowering rejections must surface to the user as findings *)
+          if not (has_unknown_finding report) then
+            fail "lower/lint-unknown"
+              "nonaffine nest produced no analysis/unknown finding";
+          mark "lower/nonaffine"
+      | [ nest ] when not nonaffine ->
+          mark "pipeline/lower";
+          analyze_nest ~mutate ~threads ~chunk:None ~brute_budget
+            ~sym_cap:(Spec.param_cap spec) ~mark ~fail nest checked
+      | nests ->
+          if nonaffine then
+            fail "lower/nonaffine"
+              "nonaffine subscript was lowered without error"
+          else
+            fail "pipeline/lower"
+              (Printf.sprintf "expected one nest, found %d" (List.length nests)));
+      (* a deterministic sliver of cases also runs end to end through the
+         instrumented interpreter (crash-freedom, not value checking) *)
+      if (not nonaffine) && spec.Spec.sp_index mod 61 = 0 then
+        match
+          let it = Execsim.Interp.create ~threads checked in
+          Execsim.Interp.exec it ~func:"f"
+        with
+        | () -> mark "execsim/run"
+        | exception Execsim.Interp.Runtime_error m -> fail "execsim/run" m)
+
+let check_source ?mutate ?(brute_budget = 300_000) ~threads ~chunk src =
+  outcome_of (fun ~mark ~fail ->
+      let ast =
+        match Minic.Parser.parse_program src with
+        | a -> a
+        | exception Minic.Parser.Error (m, l) ->
+            fail "pipeline/parse" (Printf.sprintf "%s (line %d)" m l);
+            assert false
+      in
+      mark "pipeline/parse";
+      (* printer/parser fixpoint: pretty output must reparse to the
+         same span-erased AST *)
+      (match Minic.Parser.parse_program (Minic.Pretty.program_to_string ast) with
+      | ast2 ->
+          if Minic.Ast.erase_spans ast2 <> Minic.Ast.erase_spans ast then
+            fail "roundtrip/pretty"
+              "pretty-printed program reparses to a different AST"
+      | exception Minic.Parser.Error (m, l) ->
+          fail "roundtrip/pretty"
+            (Printf.sprintf "pretty output does not reparse: %s (line %d)" m l));
+      mark "roundtrip/pretty";
+      let checked =
+        match Minic.Typecheck.check_program ast with
+        | c -> c
+        | exception Minic.Typecheck.Type_error m ->
+            fail "pipeline/typecheck" m;
+            assert false
+      in
+      mark "pipeline/typecheck";
+      let report = lint_checks ~threads ~chunk ~fixits:true ~mark ~fail checked in
+      let funcs = Loopir.Lower.find_parallel_functions ast in
+      let params = [ ("num_threads", threads) ] in
+      List.iter
+        (fun func ->
+          match Loopir.Lower.lower_all checked ~func ~params with
+          | exception Loopir.Lower.Lower_error _ ->
+              if not (has_unknown_finding report) then
+                fail "lower/lint-unknown"
+                  (func ^ ": lowering failed with no analysis/unknown finding");
+              mark "lower/nonaffine"
+          | nests ->
+              mark "pipeline/lower";
+              List.iter
+                (fun nest ->
+                  analyze_nest ~mutate ~threads ~chunk ~brute_budget
+                    ~sym_cap:16 ~mark ~fail nest checked)
+                nests)
+        funcs;
+      (* corpus files are few: always interpret them *)
+      List.iter
+        (fun func ->
+          match
+            let it = Execsim.Interp.create ~threads checked in
+            Execsim.Interp.exec it ~func
+          with
+          | () -> mark "execsim/run"
+          | exception Execsim.Interp.Runtime_error m ->
+              fail "execsim/run" (func ^ ": " ^ m))
+        funcs)
+
+let scan_header src =
+  let threads = ref 4 and chunk = ref None in
+  let strip_prefix p l =
+    if String.length l >= String.length p && String.sub l 0 (String.length p) = p
+    then Some (String.trim (String.sub l (String.length p) (String.length l - String.length p)))
+    else None
+  in
+  List.iter
+    (fun l ->
+      let l = String.trim l in
+      match strip_prefix "* threads:" l with
+      | Some v -> (
+          match int_of_string_opt v with Some t -> threads := t | None -> ())
+      | None -> (
+          match strip_prefix "* chunk:" l with
+          | Some "pragma" -> chunk := None
+          | Some v -> (
+              match int_of_string_opt v with
+              | Some c -> chunk := Some c
+              | None -> ())
+          | None -> ()))
+    (String.split_on_char '\n' src);
+  (!threads, !chunk)

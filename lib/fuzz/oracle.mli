@@ -1,0 +1,70 @@
+(** The oracle matrix: every generated nest is pushed through the whole
+    pipeline and the four analysis paths are cross-checked against each
+    other and against brute force.
+
+    Checks, in pipeline order:
+
+    - [pipeline/parse], [roundtrip/pretty]: the pretty-printed source
+      reparses, and to the same (span-erased) AST the generator built;
+    - [pipeline/typecheck]: generated programs are well-typed by
+      construction;
+    - [lint/render], [lint/json]: the lint pass and both renderers run
+      without raising, and the SARIF output is well-formed JSON of the
+      promised shape;
+    - [pipeline/lower] / [lower/nonaffine]: affine nests lower, nests
+      with a deliberately nonaffine subscript are rejected by {!Loopir.Lower}
+      {e and} surface as an [analysis/unknown] lint finding;
+    - [engine/fast-vs-ref]: the fast and reference model engines agree
+      exactly (FS count, lockstep steps, iterations, chunk runs);
+    - [closed/exact]: when {!Analysis.Closed_form.estimate} certifies a
+      count, it equals the engine's;
+    - [depend/brute]: [Independent] / [Line_conflict] must-claims hold
+      against brute-force enumeration of distinct parallel iterations
+      (skipped per pair when the iteration space exceeds the budget);
+    - [sym/depend], [sym/depend-sound], [sym/count]: on single-parameter
+      nests, instantiated symbolic verdicts refine the concrete analysis
+      at sampled values (at least as severe, per the {!Analysis.Depend}
+      contract), their own must-claims survive brute force, and a
+      certified quasi-polynomial matches the engine count;
+    - [execsim/run]: on a deterministic subset, the instrumented
+      interpreter executes the program without raising.
+
+    [mutate] injects a known fault into one of the four paths so the
+    harness itself can be tested: a run with a mutation must report a
+    disagreement and shrink it. *)
+
+type mutation =
+  | Fast  (** off-by-one the fast engine's FS count *)
+  | Closed  (** off-by-one the closed-form count *)
+  | Depend_m  (** demote a [Line_conflict] verdict to [Independent] *)
+  | Sym  (** corrupt symbolic verdicts and counts *)
+
+val mutation_of_string : string -> mutation option
+val mutation_name : mutation -> string
+val mutation_names : string list
+
+type outcome = {
+  failure : (string * string) option;  (** (check, detail); [None] = pass *)
+  exercised : string list;  (** checks that actually ran on this case *)
+}
+
+val check_spec : ?mutate:mutation -> ?brute_budget:int -> Spec.t -> outcome
+(** Run the whole matrix on one generated case.  [brute_budget] caps the
+    per-pair work of the brute-force dependence oracle (default 300000
+    elementary comparisons). *)
+
+val check_source :
+  ?mutate:mutation ->
+  ?brute_budget:int ->
+  threads:int ->
+  chunk:int option ->
+  string ->
+  outcome
+(** Source-level variant for corpus replay: the same matrix minus the
+    spec-specific checks (round-trip against the generating structure,
+    expected-nonaffine bookkeeping).  Every parallel function and nest
+    of the program is checked. *)
+
+val scan_header : string -> int * int option
+(** Parse the [threads:] / [chunk:] lines of a counterexample header
+    comment (see {!Spec.header}); defaults to [(4, None)]. *)

@@ -1,0 +1,49 @@
+(* splitmix64: a tiny, fast, statistically solid generator whose whole
+   state is one 64-bit word — ideal here because a per-case stream must
+   be derivable from (seed, index) alone. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let stream ~seed ~index =
+  (* decorrelate the per-case streams by running the index through the
+     finalizer before folding the seed in *)
+  let s = mix (Int64.add (mix (Int64.of_int index)) (Int64.of_int seed)) in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* 62 uniform bits; modulo bias is irrelevant at fuzzing bounds *)
+  Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty";
+  a.(int t (Array.length a))
+
+let weighted t l =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 l in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> assert false
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k l

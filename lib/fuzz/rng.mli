@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 stream for the fuzzer.
+
+    Every generated case draws from its own stream, derived from the run
+    seed and the case index, so cases are reproducible individually (no
+    shared cursor) and a parallel sweep generates exactly the same corpus
+    as a sequential one. *)
+
+type t
+
+val stream : seed:int -> index:int -> t
+(** An independent stream for case [index] of run [seed]. *)
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)].  @raise Invalid_argument when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in the inclusive range. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform element.  @raise Invalid_argument on an empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Element with probability proportional to its weight.
+    @raise Invalid_argument when all weights are [<= 0]. *)

@@ -1,0 +1,20 @@
+(* Greedy first-failing-candidate descent to a fixpoint.  Candidate
+   order (most aggressive first) comes from Spec.shrink_steps; taking
+   the first still-failing candidate and restarting keeps the cost at
+   O(depth * candidates) oracle calls while staying deterministic. *)
+
+let minimize ?(max_evals = 2000) ~fails spec0 =
+  let evals = ref 0 in
+  let rec descend spec =
+    let rec try_candidates = function
+      | [] -> spec
+      | c :: rest ->
+          if !evals >= max_evals then spec
+          else (
+            incr evals;
+            if fails c then descend c else try_candidates rest)
+    in
+    try_candidates (Spec.shrink_steps spec)
+  in
+  let result = descend spec0 in
+  (result, !evals)

@@ -1,0 +1,13 @@
+(** Greedy structural shrinking.
+
+    [minimize ~fails spec] repeatedly replaces [spec] by the first
+    {!Spec.shrink_steps} candidate that still satisfies [fails]
+    (normally "fails the same oracle check as the original"), until no
+    candidate does or the evaluation budget runs out.  The result is
+    locally minimal w.r.t. the step set when the budget was not
+    exhausted.  Returns the shrunk spec and the number of oracle
+    evaluations spent. *)
+
+val minimize :
+  ?max_evals:int -> fails:(Spec.t -> bool) -> Spec.t -> Spec.t * int
+(** [max_evals] defaults to 2000. *)

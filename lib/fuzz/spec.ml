@@ -1,0 +1,578 @@
+(* The structured description of one fuzz case.  The generator draws a
+   [t], the oracle matrix turns it into mini-C text through the real
+   pretty-printer, and the shrinker edits the structure (never the text),
+   so every reduction step stays well-formed by construction. *)
+
+open Minic
+
+type elem = Edouble | Efloat | Eint
+
+type array_decl = {
+  arr_name : string;
+  arr_elem : elem;
+  arr_fields : int;  (* 0 = scalar elements; else struct with f0..f<n-1> *)
+  arr_slack : int;  (* extra elements beyond the minimal in-bounds extent *)
+}
+
+type sub = {
+  ci : int;  (* coefficient of the parallel variable (ignored if square) *)
+  cj : int;  (* coefficient of the inner variable *)
+  ct : int;  (* coefficient of the sequential outer variable *)
+  k : int;  (* constant offset, in elements *)
+  square : bool;  (* nonaffine: the i-term is [i * i] *)
+}
+
+type rref = { r_arr : int; r_sub : sub; r_field : int option }
+
+type term = Tref of rref | Tint of int | Tfloat of float | Tmath of string * rref
+
+type assign = {
+  a_lhs : rref;
+  a_op : Ast.assign_op;
+  a_rhs : term list;  (* combined left to right *)
+  a_mul : bool;  (* combine with [*] instead of [+] *)
+}
+
+type bound =
+  | Bconst of int  (* i < c (exclusive) *)
+  | Bparam of int  (* i < n with n free; the int is the sampling cap *)
+  | Bthreads  (* i < num_threads *)
+
+type t = {
+  sp_seed : int;
+  sp_index : int;
+  threads : int;
+  chunk : int option;
+  outer : int;  (* sequential outer trip count; 0 = absent *)
+  par_lo : int;
+  par_bound : bound;
+  par_step : int;
+  le : bool;  (* render the condition as [i <= c-1] instead of [i < c] *)
+  inner : int;  (* inner trip count; 0 = absent *)
+  inner_tri : bool;  (* triangular inner bound [j < i + inner] *)
+  priv : bool;  (* emit private(i) on the pragma *)
+  reduction : bool;  (* reduction(+:acc) plus an [acc +=] statement *)
+  arrays : array_decl list;
+  stmts : assign list;
+}
+
+let elem_size = function Edouble -> 8 | Efloat | Eint -> 4
+
+let elem_ctype = function
+  | Edouble -> Ast.Tdouble
+  | Efloat -> Ast.Tfloat
+  | Eint -> Ast.Tint
+
+(* ------------------------------------------------------------------ *)
+(* Iteration-space bounds of a subscript                               *)
+(* ------------------------------------------------------------------ *)
+
+let max_threads = 9
+(* the generator never draws a larger team; [Bthreads] extents rely on it *)
+
+let par_hi_excl t =
+  match t.par_bound with Bconst c -> c | Bparam v -> v | Bthreads -> max_threads
+
+(* last value the parallel variable takes (par_lo when the loop is empty) *)
+let par_i_max t =
+  let hi = par_hi_excl t in
+  if hi <= t.par_lo then t.par_lo
+  else t.par_lo + ((hi - 1 - t.par_lo) / t.par_step * t.par_step)
+
+let inner_j_max_excl t =
+  if t.inner = 0 then 0
+  else if t.inner_tri then par_i_max t + t.inner
+  else t.inner
+
+(* inclusive (min, max) of a subscript over the whole iteration space *)
+let sub_bounds t (s : sub) =
+  let span c lo hi = if c >= 0 then (c * lo, c * hi) else (c * hi, c * lo) in
+  let i_lo, i_hi =
+    if s.square then
+      let m = par_i_max t in
+      (t.par_lo * t.par_lo, m * m)
+    else span s.ci t.par_lo (par_i_max t)
+  in
+  let j_lo, j_hi =
+    if t.inner = 0 then (0, 0) else span s.cj 0 (max 0 (inner_j_max_excl t - 1))
+  in
+  let t_lo, t_hi =
+    if t.outer = 0 then (0, 0) else span s.ct 0 (t.outer - 1)
+  in
+  (i_lo + j_lo + t_lo + s.k, i_hi + j_hi + t_hi + s.k)
+
+let refs_of_stmt (a : assign) =
+  a.a_lhs
+  :: List.filter_map
+       (function Tref r | Tmath (_, r) -> Some r | Tint _ | Tfloat _ -> None)
+       a.a_rhs
+
+let all_refs t = List.concat_map refs_of_stmt t.stmts
+
+(* Shift constant offsets so every subscript is provably >= 0, then size
+   each array to its minimal in-bounds extent plus the declared slack.
+   Every generated and every shrunk spec goes through this. *)
+let normalize t =
+  (* [i <= c-1] only makes sense for a positive constant bound *)
+  let t =
+    match t.par_bound with
+    | Bconst c when c >= 1 -> t
+    | _ -> { t with le = false }
+  in
+  let shift (r : rref) =
+    let lo, _ = sub_bounds t r.r_sub in
+    if lo < 0 then { r with r_sub = { r.r_sub with k = r.r_sub.k - lo } }
+    else r
+  in
+  let shift_term = function
+    | Tref r -> Tref (shift r)
+    | Tmath (f, r) -> Tmath (f, shift r)
+    | (Tint _ | Tfloat _) as x -> x
+  in
+  {
+    t with
+    stmts =
+      List.map
+        (fun a ->
+          { a with a_lhs = shift a.a_lhs; a_rhs = List.map shift_term a.a_rhs })
+        t.stmts;
+  }
+
+let array_len t idx =
+  let needed =
+    List.fold_left
+      (fun acc (r : rref) ->
+        if r.r_arr = idx then max acc (snd (sub_bounds t r.r_sub) + 1) else acc)
+      1 (all_refs t)
+  in
+  needed + (List.nth t.arrays idx).arr_slack
+
+(* largest value of the free parameter keeping every subscript inside its
+   declared array (= the sampling cap, by construction of [array_len]) *)
+let param_cap t = match t.par_bound with Bparam v -> v | _ -> par_hi_excl t
+
+let is_parametric t = match t.par_bound with Bparam _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* AST construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cvar = "i"
+let jvar = "j"
+let tvar = "t"
+
+(* magnitude only: [sub_expr] renders the sign via Add/Sub/Neg *)
+let term_expr c v =
+  if abs c = 1 then Ast.Ident v
+  else Ast.Binop (Ast.Mul, Ast.Int_lit (abs c), Ast.Ident v)
+
+(* c1*i (+|-) c2*j (+|-) c3*t (+|-) k, omitting zero terms *)
+let sub_expr t (s : sub) =
+  let terms = ref [] in
+  let push c e = if c <> 0 then terms := (c, e) :: !terms in
+  if s.square then
+    push 1 (Ast.Binop (Ast.Mul, Ast.Ident cvar, Ast.Ident cvar))
+  else push s.ci (term_expr s.ci cvar);
+  if t.inner > 0 then push s.cj (term_expr s.cj jvar);
+  if t.outer > 0 then push s.ct (term_expr s.ct tvar);
+  if s.k <> 0 then push s.k (Ast.Int_lit (abs s.k));
+  match List.rev !terms with
+  | [] -> Ast.Int_lit 0
+  | (c0, e0) :: rest ->
+      let first = if c0 < 0 then Ast.Unop (Ast.Neg, e0) else e0 in
+      List.fold_left
+        (fun acc (c, e) ->
+          if c < 0 then Ast.Binop (Ast.Sub, acc, e)
+          else Ast.Binop (Ast.Add, acc, e))
+        first rest
+
+let rref_expr t (r : rref) =
+  let arr = List.nth t.arrays r.r_arr in
+  let idx = Ast.Index (Ast.Ident arr.arr_name, sub_expr t r.r_sub) in
+  match r.r_field with
+  | Some f -> Ast.Field (idx, Printf.sprintf "f%d" f)
+  | None -> idx
+
+let term_expr_of t = function
+  | Tref r -> rref_expr t r
+  | Tint n -> Ast.Int_lit n
+  | Tfloat f -> Ast.Float_lit f
+  | Tmath (f, r) -> Ast.Call (f, [ rref_expr t r ])
+
+let assign_stmt t (a : assign) =
+  let rhs =
+    match List.map (term_expr_of t) a.a_rhs with
+    | [] -> Ast.Float_lit 1.0
+    | e0 :: rest ->
+        let op = if a.a_mul then Ast.Mul else Ast.Add in
+        List.fold_left (fun acc e -> Ast.Binop (op, acc, e)) e0 rest
+  in
+  Ast.Sassign (Span.none, rref_expr t a.a_lhs, a.a_op, rhs)
+
+let bound_expr t =
+  match t.par_bound with
+  | Bconst c -> if t.le then Ast.Int_lit (c - 1) else Ast.Int_lit c
+  | Bparam _ -> Ast.Ident "n"
+  | Bthreads -> Ast.Ident "num_threads"
+
+let to_ast t =
+  let t = normalize t in
+  let body_stmts =
+    List.map (assign_stmt t) t.stmts
+    @
+    if t.reduction then
+      [
+        Ast.Sassign
+          (Span.none, Ast.Ident "acc", Ast.A_add, Ast.Float_lit 0.5);
+      ]
+    else []
+  in
+  let innermost =
+    if t.inner = 0 then Ast.Sblock body_stmts
+    else
+      let upper =
+        if t.inner_tri then
+          Ast.Binop (Ast.Add, Ast.Ident cvar, Ast.Int_lit t.inner)
+        else Ast.Int_lit t.inner
+      in
+      Ast.Sblock
+        [
+          Ast.Sfor
+            {
+              Ast.pragma = None;
+              span = Span.none;
+              init_var = jvar;
+              init_expr = Ast.Int_lit 0;
+              cond = Ast.Binop (Ast.Lt, Ast.Ident jvar, upper);
+              step = { Ast.step_var = jvar; step_by = Ast.Int_lit 1 };
+              body = Ast.Sblock body_stmts;
+            };
+        ]
+  in
+  let pragma =
+    {
+      Ast.private_vars = (if t.priv then [ cvar ] else []);
+      shared_vars = [];
+      reduction = (if t.reduction then [ (Ast.Add, [ "acc" ]) ] else []);
+      schedule = Some (Ast.Sched_static t.chunk);
+      num_threads = None;
+    }
+  in
+  let par_loop =
+    Ast.Sfor
+      {
+        Ast.pragma = Some pragma;
+        span = Span.none;
+        init_var = cvar;
+        init_expr = Ast.Int_lit t.par_lo;
+        cond =
+          Ast.Binop ((if t.le then Ast.Le else Ast.Lt), Ast.Ident cvar,
+                     bound_expr t);
+        step = { Ast.step_var = cvar; step_by = Ast.Int_lit t.par_step };
+        body = innermost;
+      }
+  in
+  let outermost =
+    if t.outer = 0 then par_loop
+    else
+      Ast.Sfor
+        {
+          Ast.pragma = None;
+          span = Span.none;
+          init_var = tvar;
+          init_expr = Ast.Int_lit 0;
+          cond = Ast.Binop (Ast.Lt, Ast.Ident tvar, Ast.Int_lit t.outer);
+          step = { Ast.step_var = tvar; step_by = Ast.Int_lit 1 };
+          body = Ast.Sblock [ par_loop ];
+        }
+  in
+  let decls =
+    [ Ast.Sdecl (Ast.Tint, cvar, None) ]
+    @ (if t.inner > 0 then [ Ast.Sdecl (Ast.Tint, jvar, None) ] else [])
+    @ if t.outer > 0 then [ Ast.Sdecl (Ast.Tint, tvar, None) ] else []
+  in
+  let func =
+    Ast.Gfunc
+      {
+        Ast.ret = Ast.Tvoid;
+        fname = "f";
+        params = [];
+        body = decls @ [ outermost ];
+      }
+  in
+  let struct_defs =
+    List.filter_map
+      (fun a ->
+        if a.arr_fields = 0 then None
+        else
+          Some
+            (Ast.Gstruct_def
+               ( "s_" ^ a.arr_name,
+                 List.init a.arr_fields (fun i ->
+                     (elem_ctype a.arr_elem, Printf.sprintf "f%d" i)) )))
+      t.arrays
+  in
+  let param_decl =
+    if is_parametric t then [ Ast.Gvar (Ast.Tint, "n") ] else []
+  in
+  let acc_decl =
+    if t.reduction then [ Ast.Gvar (Ast.Tdouble, "acc") ] else []
+  in
+  let array_decls =
+    List.mapi
+      (fun i a ->
+        let ety =
+          if a.arr_fields = 0 then elem_ctype a.arr_elem
+          else Ast.Tstruct ("s_" ^ a.arr_name)
+        in
+        Ast.Gvar (Ast.Tarray (ety, array_len t i), a.arr_name))
+      t.arrays
+  in
+  {
+    Ast.macros = [];
+    globals = struct_defs @ param_decl @ acc_decl @ array_decls @ [ func ];
+  }
+
+let to_source t = Pretty.program_to_string (to_ast t)
+
+let describe t =
+  Printf.sprintf
+    "case %d/%d: threads=%d chunk=%s outer=%d par=[%d,%s) step=%d inner=%d%s \
+     stmts=%d%s%s"
+    t.sp_seed t.sp_index t.threads
+    (match t.chunk with Some c -> string_of_int c | None -> "static")
+    t.outer t.par_lo
+    (match t.par_bound with
+    | Bconst c -> string_of_int c
+    | Bparam v -> Printf.sprintf "n<=%d" v
+    | Bthreads -> "num_threads")
+    t.par_step t.inner
+    (if t.inner_tri then "(tri)" else "")
+    (List.length t.stmts)
+    (if t.reduction then " red" else "")
+    (if List.exists (fun (r : rref) -> r.r_sub.square) (all_refs t) then
+       " nonaffine"
+     else "")
+
+let header ~check ~detail t =
+  String.concat "\n"
+    [
+      "/* fsfuzz counterexample (replayed by the corpus regression runner)";
+      " * check: " ^ check;
+      " * detail: " ^ detail;
+      Printf.sprintf " * seed: %d case: %d" t.sp_seed t.sp_index;
+      Printf.sprintf " * threads: %d" t.threads;
+      Printf.sprintf " * chunk: %s"
+        (match t.chunk with Some c -> string_of_int c | None -> "pragma");
+      Printf.sprintf " * reproduce: fsdetect fuzz --seed %d --count %d"
+        t.sp_seed (t.sp_index + 1);
+      " */";
+      "";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* remove arrays no statement references, remapping indices *)
+let drop_unused_arrays t =
+  let used = List.sort_uniq compare (List.map (fun r -> r.r_arr) (all_refs t)) in
+  if List.length used = List.length t.arrays then None
+  else
+    let remap = List.mapi (fun nu old -> (old, nu)) used in
+    let fix (r : rref) = { r with r_arr = List.assoc r.r_arr remap } in
+    let fix_term = function
+      | Tref r -> Tref (fix r)
+      | Tmath (f, r) -> Tmath (f, fix r)
+      | x -> x
+    in
+    Some
+      {
+        t with
+        arrays = List.filteri (fun i _ -> List.mem i used) t.arrays;
+        stmts =
+          List.map
+            (fun a ->
+              { a with a_lhs = fix a.a_lhs; a_rhs = List.map fix_term a.a_rhs })
+            t.stmts;
+      }
+
+(* convert a struct array to plain elements, clearing field selectors *)
+let unstruct t idx =
+  let arr = List.nth t.arrays idx in
+  if arr.arr_fields = 0 then None
+  else
+    let fix (r : rref) =
+      if r.r_arr = idx then { r with r_field = None } else r
+    in
+    let fix_term = function
+      | Tref r -> Tref (fix r)
+      | Tmath (f, r) -> Tmath (f, fix r)
+      | x -> x
+    in
+    Some
+      {
+        t with
+        arrays =
+          List.mapi
+            (fun i a -> if i = idx then { a with arr_fields = 0 } else a)
+            t.arrays;
+        stmts =
+          List.map
+            (fun a ->
+              { a with a_lhs = fix a.a_lhs; a_rhs = List.map fix_term a.a_rhs })
+            t.stmts;
+      }
+
+let map_subs f t =
+  let fix (r : rref) = { r with r_sub = f r.r_sub } in
+  let fix_term = function
+    | Tref r -> Tref (fix r)
+    | Tmath (g, r) -> Tmath (g, fix r)
+    | x -> x
+  in
+  {
+    t with
+    stmts =
+      List.map
+        (fun a ->
+          { a with a_lhs = fix a.a_lhs; a_rhs = List.map fix_term a.a_rhs })
+        t.stmts;
+  }
+
+let shrink_steps t =
+  let cands = ref [] in
+  let add c = cands := c :: !cands in
+  (* structure first: fewer statements / loops beats smaller constants *)
+  if List.length t.stmts > 1 then
+    List.iteri (fun i _ -> add { t with stmts = drop_nth i t.stmts }) t.stmts;
+  List.iteri
+    (fun i (a : assign) ->
+      if List.length a.a_rhs > 1 then
+        List.iteri
+          (fun j _ ->
+            add
+              {
+                t with
+                stmts =
+                  List.mapi
+                    (fun i' a' ->
+                      if i' = i then { a' with a_rhs = drop_nth j a'.a_rhs }
+                      else a')
+                    t.stmts;
+              })
+          a.a_rhs;
+      List.iteri
+        (fun j term ->
+          match term with
+          | Tmath (_, r) ->
+              add
+                {
+                  t with
+                  stmts =
+                    List.mapi
+                      (fun i' a' ->
+                        if i' = i then
+                          {
+                            a' with
+                            a_rhs =
+                              List.mapi
+                                (fun j' x -> if j' = j then Tref r else x)
+                                a'.a_rhs;
+                          }
+                        else a')
+                      t.stmts;
+                }
+          | _ -> ())
+        a.a_rhs;
+      if a.a_op <> Ast.A_set then
+        add
+          {
+            t with
+            stmts =
+              List.mapi
+                (fun i' a' ->
+                  if i' = i then { a' with a_op = Ast.A_set } else a')
+                t.stmts;
+          };
+      if a.a_mul then
+        add
+          {
+            t with
+            stmts =
+              List.mapi
+                (fun i' a' -> if i' = i then { a' with a_mul = false } else a')
+                t.stmts;
+          })
+    t.stmts;
+  if t.reduction then add { t with reduction = false };
+  (match drop_unused_arrays t with Some t' -> add t' | None -> ());
+  List.iteri (fun i _ -> match unstruct t i with
+    | Some t' -> add t'
+    | None -> ()) t.arrays;
+  if t.outer > 0 then add { t with outer = 0 };
+  if t.outer > 1 then add { t with outer = t.outer / 2 };
+  if t.inner > 0 then add { t with inner = 0; inner_tri = false };
+  if t.inner > 1 then add { t with inner = t.inner / 2 };
+  if t.inner_tri then add { t with inner_tri = false };
+  (match t.par_bound with
+  | Bparam v ->
+      add { t with par_bound = Bconst v };
+      if v > 4 then add { t with par_bound = Bparam (v / 2) }
+  | Bthreads -> add { t with par_bound = Bconst t.threads }
+  | Bconst c ->
+      if c > 1 then add { t with par_bound = Bconst (c / 2) };
+      if c > 0 then add { t with par_bound = Bconst (c - 1) });
+  if t.le then add { t with le = false };
+  if t.par_lo > 0 then add { t with par_lo = 0 };
+  if t.par_step > 1 then add { t with par_step = 1 };
+  if t.threads > 1 then add { t with threads = t.threads / 2 };
+  if t.threads > 1 then add { t with threads = t.threads - 1 };
+  (match t.chunk with
+  | Some c ->
+      add { t with chunk = None };
+      if c > 1 then add { t with chunk = Some (c / 2) }
+  | None -> ());
+  if t.priv then add { t with priv = false };
+  List.iteri
+    (fun i a ->
+      if a.arr_slack > 0 then
+        add
+          {
+            t with
+            arrays =
+              List.mapi
+                (fun i' a' -> if i' = i then { a' with arr_slack = 0 } else a')
+                t.arrays;
+          };
+      if a.arr_elem <> Edouble then
+        add
+          {
+            t with
+            arrays =
+              List.mapi
+                (fun i' a' ->
+                  if i' = i then { a' with arr_elem = Edouble } else a')
+                t.arrays;
+          })
+    t.arrays;
+  (* subscript simplifications, applied to every reference at once; the
+     per-reference variants would explode the candidate list *)
+  let sub_cands =
+    [
+      (fun s -> if s.square then { s with square = false; ci = 1 } else s);
+      (fun s -> if s.ci > 1 then { s with ci = 1 } else s);
+      (fun s -> if s.cj <> 0 then { s with cj = 0 } else s);
+      (fun s -> if s.ct <> 0 then { s with ct = 0 } else s);
+      (fun s -> if s.k <> 0 then { s with k = 0 } else s);
+      (fun s -> if abs s.k > 1 then { s with k = s.k / 2 } else s);
+    ]
+  in
+  List.iter
+    (fun f ->
+      let t' = map_subs f t in
+      if t' <> t then add t')
+    sub_cands;
+  List.rev !cands

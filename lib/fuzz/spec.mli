@@ -1,0 +1,94 @@
+(** Structured fuzz cases.
+
+    A [t] describes one OpenMP loop nest — schedule, bounds, subscripts,
+    statement list — as plain data.  The oracle matrix renders it to
+    mini-C text through {!Minic.Pretty} (so the printer itself is under
+    test), and the shrinker edits the structure rather than the text, so
+    every reduction stays parseable and well-typed by construction. *)
+
+type elem = Edouble | Efloat | Eint
+
+type array_decl = {
+  arr_name : string;
+  arr_elem : elem;
+  arr_fields : int;
+      (** 0 = plain elements; else a struct with fields [f0..f<n-1>] *)
+  arr_slack : int;
+      (** extra elements declared beyond the minimal in-bounds extent *)
+}
+
+type sub = {
+  ci : int;  (** coefficient of the parallel variable (ignored if square) *)
+  cj : int;  (** coefficient of the inner variable *)
+  ct : int;  (** coefficient of the sequential outer variable *)
+  k : int;  (** constant element offset *)
+  square : bool;  (** deliberately nonaffine: the i-term is [i * i] *)
+}
+
+type rref = { r_arr : int; r_sub : sub; r_field : int option }
+
+type term = Tref of rref | Tint of int | Tfloat of float | Tmath of string * rref
+
+type assign = {
+  a_lhs : rref;
+  a_op : Minic.Ast.assign_op;
+  a_rhs : term list;
+  a_mul : bool;  (** combine the terms with [*] instead of [+] *)
+}
+
+type bound =
+  | Bconst of int  (** [i < c] *)
+  | Bparam of int  (** [i < n] with [n] free; the int caps the sampling *)
+  | Bthreads  (** [i < num_threads] *)
+
+type t = {
+  sp_seed : int;
+  sp_index : int;
+  threads : int;
+  chunk : int option;
+  outer : int;
+  par_lo : int;
+  par_bound : bound;
+  par_step : int;
+  le : bool;  (** render the condition as [i <= c-1] *)
+  inner : int;
+  inner_tri : bool;  (** triangular inner bound [j < i + inner] *)
+  priv : bool;
+  reduction : bool;
+  arrays : array_decl list;
+  stmts : assign list;
+}
+
+val elem_size : elem -> int
+val max_threads : int
+
+val normalize : t -> t
+(** Shift subscript offsets non-negative and drop an impossible [le]
+    rendering; [to_ast] applies it automatically. *)
+
+val par_hi_excl : t -> int
+(** Exclusive parallel upper bound (the sampling cap when parametric). *)
+
+val array_len : t -> int -> int
+(** Declared extent of array [idx]: minimal in-bounds elements + slack. *)
+
+val param_cap : t -> int
+(** Largest free-parameter value keeping every subscript in bounds. *)
+
+val is_parametric : t -> bool
+val all_refs : t -> rref list
+
+val to_ast : t -> Minic.Ast.program
+val to_source : t -> string
+
+val describe : t -> string
+(** One-line summary for progress and failure messages. *)
+
+val header : check:string -> detail:string -> t -> string
+(** Comment block prepended to a saved counterexample; the corpus
+    replayer parses the [threads:] and [chunk:] lines back out. *)
+
+val shrink_steps : t -> t list
+(** Single-step reductions, most aggressive first.  Every candidate is a
+    well-formed spec; the shrinker keeps a candidate only when it still
+    fails the oracle. *)

@@ -1,0 +1,32 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: full oracle matrix
+ * detail: adversarial fixture promoted from test/fixtures/nonaffine.c
+ * threads: 4
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --corpus test/corpus --count 0
+ */
+/* Two ways out of the affine world.  [scatter]'s quadratic subscript is
+   rejected by the lowering itself; [tri]'s quadratic inner bound lowers
+   fine but defeats the dependence analyzer's interval reasoning.  Both
+   must degrade to "unknown" findings, never to a silent pass. */
+
+double a[4096];
+
+void scatter() {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < 64; i += 1) {
+    a[i * i] = 2.0 * a[i * i];
+  }
+}
+
+void tri() {
+  int i;
+  int j;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < 64; i += 1) {
+    for (j = 0; j < i * i; j += 1) {
+      a[i] = a[i] + 1.0;
+    }
+  }
+}

@@ -1,0 +1,33 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: full oracle matrix
+ * detail: adversarial fixture promoted from test/fixtures/parametric_stride.c
+ * threads: 4
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --corpus test/corpus --count 0
+ */
+/* Parametric nests: [n] is bound neither by a #define nor by -p, so the
+   lint must analyze both loops symbolically.  [scale]'s unit-stride
+   writes are a false-sharing candidate for every n large enough that
+   two parallel iterations land on one line; [strided]'s stride-2 writes
+   conflict sooner per element but stay byte-disjoint all the same.
+   Neither nest may produce an "unknown" finding. */
+
+int n;
+double src[65536];
+double dst[65536];
+
+void scale() {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,2)
+  for (i = 0; i < n; i += 1) {
+    dst[i] = 2.0 * src[i];
+  }
+}
+
+void strided() {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < n; i += 1) {
+    dst[2 * i] = src[i] + 1.0;
+  }
+}

@@ -1,0 +1,28 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: full oracle matrix
+ * detail: adversarial fixture promoted from test/fixtures/racy_stencil.c
+ * threads: 4
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --corpus test/corpus --count 0
+ */
+/* In-place smoothing: every parallel iteration reads its neighbours'
+   slots while other iterations write them — a loop-carried dependence,
+   not (just) false sharing.  The lint must flag the race and must NOT
+   suggest schedule tuning for this nest. */
+
+double v[4096];
+
+void init() {
+  int i;
+  for (i = 0; i < 4096; i += 1) {
+    v[i] = 0.001 * i;
+  }
+}
+
+void smooth() {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 1; i < 4096 - 1; i += 1) {
+    v[i] = 0.5 * v[i - 1] + 0.5 * v[i + 1];
+  }
+}

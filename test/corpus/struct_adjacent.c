@@ -1,0 +1,39 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: full oracle matrix
+ * detail: adversarial fixture promoted from test/fixtures/struct_adjacent.c
+ * threads: 4
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --corpus test/corpus --count 0
+ */
+/* Per-thread accumulators packed back to back: 16-byte structs, four to
+   a 64-byte cache line, written by four different threads — the classic
+   false-sharing layout (race-free).  The lint should quantify the FS
+   and suggest struct padding. */
+
+struct tally {
+  double sum;
+  double sumsq;
+};
+
+double data[8192];
+
+struct tally tallies[64];
+
+void init() {
+  int i;
+  for (i = 0; i < 8192; i += 1) {
+    data[i] = 0.25 * i;
+  }
+}
+
+void reduce() {
+  int t;
+  int i;
+  #pragma omp parallel for private(t) schedule(static,1)
+  for (t = 0; t < num_threads; t += 1) {
+    for (i = 0; i < 8192 / num_threads; i += 1) {
+      tallies[t].sum += data[i];
+      tallies[t].sumsq += data[i] * data[i];
+    }
+  }
+}

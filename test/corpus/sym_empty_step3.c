@@ -1,0 +1,23 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: sym/depend
+ * detail: regression: symbolic analysis once reported line-conflict for this
+ * single-iteration step-3 loop (n=2 runs only i=0); fixed by the
+ * two-iteration guard in Depend.classify_sym
+ * seed: 42 case: 3
+ * threads: 1
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 42 --count 4
+ */
+int n;
+
+double a0[1];
+
+double a1[1];
+
+void f() {
+  int i;
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < n; i += 3) {
+    a1[i] = a0[i];
+  }
+}

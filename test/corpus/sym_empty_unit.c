@@ -1,0 +1,21 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: sym/depend
+ * detail: regression: symbolic analysis once reported line-conflict for this
+ * empty unit-step loop (n=0): per-atom Banerjee endpoints cannot see
+ * an empty distance interval; fixed by the two-iteration guard
+ * seed: 42 case: 24
+ * threads: 1
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 42 --count 25
+ */
+int n;
+
+double a0[5];
+
+void f() {
+  int i;
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < n; i += 1) {
+    a0[2 * i] = a0[i];
+  }
+}

@@ -1,0 +1,23 @@
+/* fsfuzz corpus entry (replayed by the corpus regression runner)
+ * check: sym/depend
+ * detail: regression: with unbounded companion hulls the Banerjee fallback
+ * reports loop-carried at n=2 where the concrete 2-variable solve
+ * proves line-conflict; the symbolic contract is refinement, so the
+ * oracle accepts the more severe verdict
+ * seed: 42 case: 191
+ * threads: 1
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 42 --count 192
+ */
+int n;
+
+double a0[10];
+
+void f() {
+  int i;
+  #pragma omp parallel for schedule(static)
+  for (i = 0; i < n; i += 1) {
+    a0[2 * i] = a0[3 * i];
+    a0[i] = 0.125;
+  }
+}

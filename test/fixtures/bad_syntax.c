@@ -1,0 +1,10 @@
+/* Deliberately malformed: missing semicolon and unbalanced brace — the
+   CLI must fail with a parse error and exit 1. */
+double a[64];
+
+void f() {
+  int i;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i += 1) {
+    a[i] = a[i] + 1.0
+}

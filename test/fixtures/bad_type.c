@@ -1,0 +1,11 @@
+/* Well-formed syntax, ill-typed body: [m] is never declared — the CLI
+   must fail with a type error naming the identifier and exit 1. */
+double a[64];
+
+void f() {
+  int i;
+  #pragma omp parallel for
+  for (i = 0; i < 64; i += 1) {
+    a[i] = a[m] + 1.0;
+  }
+}

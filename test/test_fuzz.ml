@@ -1,0 +1,196 @@
+(* The fuzzing subsystem's own tests: generator determinism, the
+   pretty-printer round-trip property, a clean oracle-matrix run with
+   non-vacuity floors on every check, fault injection (each mutation
+   must be caught and shrink to a locally minimal spec), and replay of
+   the committed counterexample corpus. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic () =
+  for i = 0 to 199 do
+    let a = Fuzz.Gen.spec ~seed:11 ~index:i
+    and b = Fuzz.Gen.spec ~seed:11 ~index:i in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d" i)
+      (Fuzz.Spec.to_source a) (Fuzz.Spec.to_source b)
+  done
+
+(* parse (pretty ast) = erase_spans ast, over generated nests: the
+   printed source must reparse to exactly the structure the generator
+   built, so every other oracle check sees the program it thinks it
+   sees *)
+let test_roundtrip () =
+  for i = 0 to 499 do
+    let s = Fuzz.Gen.spec ~seed:5 ~index:i in
+    let src = Fuzz.Spec.to_source s in
+    let reparsed =
+      try Minic.Parser.parse_program src
+      with Minic.Parser.Error (m, l) ->
+        Alcotest.failf "case %d does not reparse: %s (line %d)\n%s" i m l src
+    in
+    if
+      Minic.Ast.erase_spans reparsed
+      <> Minic.Ast.erase_spans (Fuzz.Spec.to_ast s)
+    then Alcotest.failf "round-trip mismatch at case %d:\n%s" i src
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracle matrix                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* floors are about half the observed rate at this seed, so drift in
+   the generator's mix fails loudly rather than silently devolving the
+   run into a parse-only smoke test *)
+let floors =
+  [
+    ("pipeline/parse", 300);
+    ("roundtrip/pretty", 300);
+    ("pipeline/typecheck", 300);
+    ("lint/render", 300);
+    ("lint/json", 300);
+    ("engine/fast-vs-ref", 130);
+    ("closed/exact", 50);
+    ("depend/brute", 120);
+    ("sym/depend", 25);
+    ("sym/depend-sound", 25);
+    ("lower/nonaffine", 15);
+    ("execsim/run", 2);
+  ]
+
+let test_clean_run () =
+  let cfg = { Fuzz.Driver.default with seed = 42; count = 300 } in
+  let s = Fuzz.Driver.run cfg in
+  (match s.Fuzz.Driver.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "oracle disagreement (%s, %s): %s\n%s"
+        f.Fuzz.Driver.f_origin f.Fuzz.Driver.f_check f.Fuzz.Driver.f_detail
+        f.Fuzz.Driver.f_source);
+  let count c =
+    match List.assoc_opt c s.Fuzz.Driver.exercised with
+    | Some n -> n
+    | None -> 0
+  in
+  List.iter
+    (fun (c, floor) ->
+      let n = count c in
+      if n < floor then
+        Alcotest.failf "check %s exercised on %d cases, expected >= %d" c n
+          floor)
+    floors
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find_failing ~mutate count =
+  let rec go i =
+    if i >= count then None
+    else
+      let sp = Fuzz.Gen.spec ~seed:42 ~index:i in
+      match (Fuzz.Oracle.check_spec ~mutate sp).Fuzz.Oracle.failure with
+      | Some (check, _) -> Some (sp, check)
+      | None -> go (i + 1)
+  in
+  go 0
+
+(* every injected fault must (a) be detected within a modest number of
+   cases, (b) trip one of the checks watching that path, and (c) shrink
+   to a local minimum: a spec that still fails while every single
+   shrink step of it passes *)
+let test_mutation m expected () =
+  match find_failing ~mutate:m 400 with
+  | None ->
+      Alcotest.failf "injected fault '%s' escaped 400 cases"
+        (Fuzz.Oracle.mutation_name m)
+  | Some (sp, check) ->
+      if not (List.mem check expected) then
+        Alcotest.failf "fault '%s' tripped %s, expected one of %s"
+          (Fuzz.Oracle.mutation_name m)
+          check (String.concat ", " expected);
+      let fails s =
+        match (Fuzz.Oracle.check_spec ~mutate:m s).Fuzz.Oracle.failure with
+        | Some (c, _) -> c = check
+        | None -> false
+      in
+      let small, _evals = Fuzz.Shrink.minimize ~fails sp in
+      if not (fails small) then
+        Alcotest.fail "shrunk spec no longer fails the same check";
+      List.iter
+        (fun cand ->
+          if fails cand then
+            Alcotest.failf
+              "shrunk spec is not locally minimal: a further step still \
+               fails\n%s"
+              (Fuzz.Spec.to_source small))
+        (Fuzz.Spec.shrink_steps small)
+
+let mutation_cases =
+  [
+    (Fuzz.Oracle.Fast, [ "engine/fast-vs-ref" ]);
+    (Fuzz.Oracle.Closed, [ "closed/exact" ]);
+    (Fuzz.Oracle.Depend_m, [ "depend/brute" ]);
+    (Fuzz.Oracle.Sym, [ "sym/depend"; "sym/depend-sound"; "sym/count" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scan_header () =
+  let src = read_file "corpus/sym_hull_refine.c" in
+  let threads, chunk = Fuzz.Oracle.scan_header src in
+  Alcotest.(check int) "threads" 1 threads;
+  Alcotest.(check (option int)) "chunk" None chunk;
+  Alcotest.(check (pair int (option int)))
+    "defaults" (4, None)
+    (Fuzz.Oracle.scan_header "int n;\n")
+
+let test_corpus () =
+  let files =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+  in
+  if List.length files < 7 then
+    Alcotest.failf "expected the committed corpus, found %d files"
+      (List.length files);
+  List.iter
+    (fun f ->
+      let src = read_file (Filename.concat "corpus" f) in
+      let threads, chunk = Fuzz.Oracle.scan_header src in
+      match (Fuzz.Oracle.check_source ~threads ~chunk src).Fuzz.Oracle.failure
+      with
+      | None -> ()
+      | Some (check, detail) -> Alcotest.failf "%s: %s: %s" f check detail)
+    files
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "pretty round-trip" `Quick test_roundtrip;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean run, non-vacuous" `Quick test_clean_run;
+          Alcotest.test_case "header scan" `Quick test_scan_header;
+          Alcotest.test_case "corpus replay" `Quick test_corpus;
+        ] );
+      ( "fault injection",
+        List.map
+          (fun (m, expected) ->
+            Alcotest.test_case (Fuzz.Oracle.mutation_name m) `Quick
+              (test_mutation m expected))
+          mutation_cases );
+    ]
