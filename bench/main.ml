@@ -677,6 +677,83 @@ let lines_section () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* attrib                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B guard for the attribution layer: the fast engine with no recorder
+   attached must stay at its zero-allocation baseline (attribution rides
+   a separate duplicated loop, so the plain path gains no branch), and
+   the recorder's aggregate-only overhead is reported for reference.
+   Timings land in BENCH.json so a perf regression is visible in CI. *)
+let attrib_times : (string * int * float * float) list ref = ref []
+
+let attrib_section () =
+  let threads = 8 in
+  let kernels =
+    [
+      (if !quick then Kernels.Heat.kernel ~rows:10 ~cols:3842 ()
+       else Kernels.Heat.kernel ());
+      (if !quick then Kernels.Dft.kernel ~freqs:8 ~samples:7680 ()
+       else Kernels.Dft.kernel ());
+    ]
+  in
+  Printf.printf
+    "Fast-engine wall-clock with attribution off vs on (%d threads,\n\
+     chunk 1, best of 3 after one warm-up).  \"off\" is the unmodified\n\
+     zero-allocation path; \"on\" attaches an aggregates-only recorder.\n\n"
+    threads;
+  let best_of_3 f =
+    ignore (f ());
+    let one () =
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      Unix.gettimeofday () -. t0
+    in
+    List.fold_left min (one ()) [ one (); one () ]
+  in
+  let rows =
+    List.map
+      (fun (kernel : Kernels.Kernel.t) ->
+        let checked = Kernels.Kernel.parse kernel in
+        let nest =
+          Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func
+            ~params:[ ("num_threads", threads) ]
+        in
+        let cfg =
+          { (Fsmodel.Model.default_config ~threads ()) with
+            Fsmodel.Model.chunk = Some 1 }
+        in
+        let nrefs = List.length nest.Loopir.Loop_nest.refs in
+        let fs = ref 0 in
+        let t_off =
+          best_of_3 (fun () ->
+              let r = Fsmodel.Model.run ~engine:`Fast cfg ~nest ~checked in
+              fs := r.Fsmodel.Model.fs_cases;
+              r)
+        in
+        let t_on =
+          best_of_3 (fun () ->
+              let sink =
+                Fsmodel.Attrib.create ~trace_cap:0 ~threads ~nrefs ()
+              in
+              Fsmodel.Model.run ~engine:`Fast ~attrib:sink cfg ~nest ~checked)
+        in
+        attrib_times :=
+          (kernel.Kernels.Kernel.name, !fs, t_off, t_on) :: !attrib_times;
+        [ kernel.Kernels.Kernel.name;
+          kcount !fs;
+          Printf.sprintf "%.4f" t_off;
+          Printf.sprintf "%.4f" t_on;
+          Printf.sprintf "%.1f%%" (100. *. (t_on -. t_off) /. Float.max 1e-9 t_off) ])
+      kernels
+  in
+  print_endline
+    (Fsmodel.Report.table
+       ~header:
+         [ "kernel"; "N_fs"; "attrib off (s)"; "attrib on (s)"; "overhead" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -812,6 +889,17 @@ let write_bench_json ~total path =
         (if i = List.length sections - 1 then "" else ","))
     sections;
   bpf "  ],\n";
+  bpf "  \"attrib_overhead\": [\n";
+  let at = List.rev !attrib_times in
+  List.iteri
+    (fun i (kernel, fs, t_off, t_on) ->
+      bpf
+        "    { \"kernel\": %S, \"model_fs\": %d, \"seconds_off\": %.4f, \
+         \"seconds_on\": %.4f }%s\n"
+        kernel fs t_off t_on
+        (if i = List.length at - 1 then "" else ","))
+    at;
+  bpf "  ],\n";
   bpf "  \"fs_counts\": [\n";
   let entries =
     Hashtbl.fold
@@ -865,6 +953,7 @@ let () =
   section "calib" "fs_cost_factor calibration" calib;
   section "lines" "false sharing vs cache-line size" lines_section;
   section "ablate" "design-choice ablations" ablate;
+  section "attrib" "attribution on/off engine A/B" attrib_section;
   section "compare" "compile-time model vs runtime detector" compare_section;
   section "micro" "bechamel micro-benchmarks" micro;
   let total = Unix.gettimeofday () -. t0 in

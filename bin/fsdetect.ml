@@ -3,6 +3,7 @@
    Subcommands:
      analyze    run the FS cost model on a mini-C file or a bundled kernel
      lint       static race / false-sharing diagnostics with fix-its
+     explain    attribute each FS case to its references/line/thread pair
      simulate   execute on the simulated multicore and report measured times
      advise     chunk-size / padding advice to eliminate false sharing
      eliminate  rewrite the program (padding / spreading) and print it
@@ -237,6 +238,110 @@ let lint_cmd =
           error-severity finding)")
     Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
           $ no_fixits $ params $ fail_on)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain file kernel func threads chunk params engine format top trace_cap
+    out =
+  wrap @@ fun () ->
+  match load ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok src -> (
+      match func_of src func with
+      | Error e -> Printf.eprintf "%s\n" e; exit 1
+      | Ok func ->
+          let checked = checked_of src in
+          let uri, source =
+            match src with
+            | From_file f -> (f, read_file f)
+            | From_kernel k ->
+                ("kernel:" ^ k.Kernels.Kernel.name, k.Kernels.Kernel.source)
+          in
+          let params = ("num_threads", threads) :: params in
+          let nest = Loopir.Lower.lower checked ~func ~params in
+          let cfg =
+            { (Fsmodel.Model.default_config ~threads ()) with chunk; params }
+          in
+          let a =
+            Explain.analyze ~engine ?trace_cap ~uri ~func cfg ~nest ~checked
+          in
+          let emit s =
+            match out with
+            | None -> print_string s
+            | Some path ->
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> output_string oc s)
+          in
+          (match format with
+          | `Text -> emit (Explain.to_text ~source ~top a)
+          | `Heatmap -> emit (Explain.heatmap a)
+          | `Trace -> emit (Analysis.Json.to_string (Explain.trace_json a)));
+          if not (Explain.conservation_ok a) then begin
+            Printf.eprintf
+              "internal error: attribution does not sum back to the engine \
+               count\n";
+            exit 3
+          end)
+
+let explain_cmd =
+  let chunk =
+    Arg.(value & opt (some int) None
+         & info [ "chunk"; "c" ] ~docv:"C"
+             ~doc:"Schedule chunk-size override for the cost model.")
+  in
+  let params =
+    Arg.(value & opt_all (pair ~sep:'=' string int) []
+         & info [ "param"; "p" ] ~docv:"NAME=VAL"
+             ~doc:"Bind an identifier appearing in loop bounds (repeatable).")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("fast", `Fast); ("reference", `Reference) ]) `Fast
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Engine to attribute: $(b,fast) (default) or \
+                   $(b,reference).  Both record identical provenance; the \
+                   option exists for cross-checking.")
+  in
+  let format =
+    Arg.(value
+         & opt
+             (enum [ ("text", `Text); ("heatmap", `Heatmap); ("trace", `Trace) ])
+             `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Renderer: $(b,text) (annotated source + top reference \
+                   pairs, default), $(b,heatmap) (ASCII cache-line x thread \
+                   map), or $(b,trace) (Chrome trace_event JSON for \
+                   Perfetto / chrome://tracing).")
+  in
+  let top =
+    Arg.(value & opt int 3
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Reference pairs to show in the text report.")
+  in
+  let trace_cap =
+    Arg.(value & opt (some int) None
+         & info [ "trace-cap" ] ~docv:"N"
+             ~doc:"Per-event ring capacity for the trace export (default \
+                   65536; aggregates always cover every case).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the report to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every false-sharing case the cost model counts to its \
+          (writer reference, victim reference, cache line, thread pair) \
+          provenance, and render the aggregation as an annotated-source \
+          report, a heatmap, or a loadable trace")
+    Term.(const explain $ file_arg $ kernel_arg $ func_arg $ threads_arg
+          $ chunk $ params $ engine $ format $ top $ trace_cap $ out)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -491,5 +596,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; lint_cmd; simulate_cmd; advise_cmd; eliminate_cmd;
-            compare_cmd; fuzz_cmd; kernels_cmd; dump_cmd ]))
+          [ analyze_cmd; lint_cmd; explain_cmd; simulate_cmd; advise_cmd;
+            eliminate_cmd; compare_cmd; fuzz_cmd; kernels_cmd; dump_cmd ]))

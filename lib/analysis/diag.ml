@@ -13,6 +13,8 @@ type finding = {
       (* parameter region the finding holds in, e.g. "n >= 2" *)
   symbolic : string option;
       (* closed-form count over the free parameter, when available *)
+  attribution : string list;
+      (* top reference-pair attribution sentences, heaviest first *)
 }
 
 type report = { uri : string; findings : finding list }
@@ -64,6 +66,9 @@ let to_text r =
       | Some s -> Buffer.add_string buf (Printf.sprintf "  count: %s\n" s)
       | None -> ());
       List.iter
+        (fun a -> Buffer.add_string buf (Printf.sprintf "  top: %s\n" a))
+        f.attribution;
+      List.iter
         (fun fx ->
           Buffer.add_string buf
             (Printf.sprintf "  fix: %s — %s\n" fx.title fx.detail))
@@ -112,10 +117,13 @@ let to_json r =
            @ (match f.region with
              | Some c -> [ ("parameterRegion", Str c) ]
              | None -> [])
+           @ (match f.symbolic with
+             | Some s -> [ ("symbolicCount", Str s) ]
+             | None -> [])
            @
-           match f.symbolic with
-           | Some s -> [ ("symbolicCount", Str s) ]
-           | None -> []
+           match f.attribution with
+           | [] -> []
+           | l -> [ ("topAttribution", List (List.map (fun s -> Str s) l)) ]
          in
          if props = [] then [] else [ ("properties", Obj props) ])
       @

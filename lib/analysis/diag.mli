@@ -19,6 +19,10 @@ type finding = {
   symbolic : string option;
       (** parametric lint: the closed-form count over the free
           parameter, when one was certified *)
+  attribution : string list;
+      (** concrete FS findings: the top reference-pair attribution
+          sentences ("X% of FS cases: ..."), heaviest first; empty when
+          the nest was not attributed (races, parametric mode) *)
 }
 
 type report = { uri : string; findings : finding list }
@@ -30,6 +34,7 @@ val sort : finding list -> finding list
 (** Stable order: severity (errors first), then span, then rule. *)
 
 val error_count : report -> int
+(** Findings at [Error] severity (the [--fail-on] gate counts these). *)
 
 val to_text : report -> string
 (** One ["uri:line:col: severity[rule]: message"] line per finding,

@@ -41,6 +41,7 @@ let race_finding ~func ?region (a : Array_ref.t) (b : Array_ref.t) =
     fixits = [];
     region;
     symbolic = None;
+    attribution = [];
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -64,6 +65,7 @@ let unknown_findings ~func pairs =
               fixits = [];
               region = None;
               symbolic = None;
+              attribution = [];
             }
       | _ -> None)
     pairs
@@ -128,11 +130,80 @@ let fixits_for ~opts ~checked ~base advice =
       in
       pad_fix @ chunk_fix
 
+(* Attribution for a concrete nest: rerun the engine with a recorder
+   (aggregates only, no trace ring) and collapse the (writer reference,
+   victim reference, thread pair) histogram to reference pairs, keeping
+   the heaviest thread pair of each as its representative.  Returns the
+   compiled references, the case total and the pairs sorted by
+   descending weight. *)
+let attribution_pairs ~checked cfg nest =
+  let refs = Array.of_list nest.Loop_nest.refs in
+  let sink =
+    Fsmodel.Attrib.create ~trace_cap:0 ~threads:cfg.Fsmodel.Model.threads
+      ~nrefs:(Array.length refs) ()
+  in
+  match Fsmodel.Model.run ~attrib:sink cfg ~nest ~checked with
+  | exception _ -> None
+  | _ ->
+      let total = Fsmodel.Attrib.total sink in
+      if total = 0 then None
+      else begin
+        let agg = Hashtbl.create 16 in
+        let order = ref [] in
+        List.iter
+          (fun (p : Fsmodel.Attrib.pair_stat) ->
+            let key = (p.writer_ref, p.victim_ref) in
+            match Hashtbl.find_opt agg key with
+            | Some (c, tp, wt, vt) ->
+                Hashtbl.replace agg key (c + p.count, tp + 1, wt, vt)
+            | None ->
+                order := key :: !order;
+                Hashtbl.add agg key (p.count, 1, p.writer_tid, p.victim_tid))
+          (Fsmodel.Attrib.top_pairs ~n:max_int sink);
+        let pairs =
+          List.sort
+            (fun (k1, (c1, _, _, _)) (k2, (c2, _, _, _)) ->
+              let c = compare c2 c1 in
+              if c <> 0 then c else compare k1 k2)
+            (List.rev_map (fun key -> (key, Hashtbl.find agg key)) !order)
+        in
+        Some (refs, total, pairs)
+      end
+
+(* The top-3 sentences for one base's finding, phrased exactly like
+   [fsdetect explain]'s reference-pair report. *)
+let attribution_sentences ~refs ~total ~base pairs =
+  let touches ((wr, vr), _) =
+    (wr >= 0 && refs.(wr).Array_ref.base = base)
+    || refs.(vr).Array_ref.base = base
+  in
+  List.filteri (fun i _ -> i < 3) (List.filter touches pairs)
+  |> List.map (fun ((wr, vr), (count, tps, wt, vt)) ->
+         let writer_part =
+           if wr >= 0 then
+             Printf.sprintf "%s written by T%d" refs.(wr).Array_ref.repr wt
+           else Printf.sprintf "a write by T%d" wt
+         in
+         let more =
+           if tps <= 1 then ""
+           else Printf.sprintf " and %d more thread pair(s)" (tps - 1)
+         in
+         let victim_word =
+           if Array_ref.is_write refs.(vr) then "written" else "read"
+         in
+         Printf.sprintf
+           "%.1f%% of FS cases: %s invalidates %s %s by T%d (%d case(s)%s)"
+           (100. *. float_of_int count /. float_of_int total)
+           writer_part refs.(vr).Array_ref.repr victim_word vt count more)
+
 (* One finding per conflicting base of the nest. *)
 let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
   if conflicts = [] then []
   else
     let fs, how = fs_count cfg ~nest ~checked in
+    let attrib =
+      if fs > 0 then attribution_pairs ~checked cfg nest else None
+    in
     let bases =
       List.sort_uniq compare
         (List.map (fun (p : Depend.pair) -> p.Depend.a.Array_ref.base)
@@ -183,6 +254,11 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
           fixits;
           region = None;
           symbolic = None;
+          attribution =
+            (match attrib with
+            | None -> []
+            | Some (refs, total, pairs) ->
+                attribution_sentences ~refs ~total ~base pairs);
         })
       bases
 
@@ -323,6 +399,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
                     fixits = [];
                     region = Some (region_string ~ctx ~free conds);
                     symbolic = None;
+                    attribution = [];
                   }
             | _ -> None)
           paths)
@@ -399,6 +476,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
             fixits = [];
             region = Some region;
             symbolic = formula;
+            attribution = [];
           })
         bases
     end
@@ -445,6 +523,7 @@ let lint_function ~opts ~checked func =
           fixits = [];
           region = None;
           symbolic = None;
+          attribution = [];
         };
       ]
   | nests ->

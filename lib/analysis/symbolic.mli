@@ -25,12 +25,16 @@ type ctx
 (** Per-parameter inclusive bounds; missing parameters are unconstrained. *)
 
 val empty : ctx
+(** No parameters declared: every valuation is admitted. *)
 
 val declare : ctx -> string -> lo:int option -> hi:int option -> ctx
 (** Set (replace) a parameter's bounds; [None] means unbounded. *)
 
 val bounds_of : ctx -> string -> (int option * int option) option
+(** The declared [(lo, hi)] of a parameter; [None] if never declared. *)
+
 val params : ctx -> string list
+(** Declared parameter names, in declaration order. *)
 
 val range : ctx -> Loopir.Affine.t -> int option * int option
 (** Interval of an affine form over all valuations admitted by the
@@ -50,7 +54,10 @@ val assume : ctx -> cond -> ctx
     tighten a bound; others are ignored (sound under-approximation). *)
 
 val satisfiable : ctx -> bool
+(** [false] iff some parameter's bounds have crossed ([lo > hi]). *)
+
 val eval_cond : (string -> int) -> cond -> bool
+(** Truth of the atom at one concrete valuation. *)
 
 val cond_to_string : cond -> string
 (** Human form: single-parameter atoms render as ["n >= 5"] / ["n <= 7"],
@@ -61,11 +68,21 @@ type 'a cases = Leaf of 'a | If of cond * 'a cases * 'a cases
     [y] where [c >= 0] holds and [n] elsewhere. *)
 
 val leaf : 'a -> 'a cases
+(** A region-independent value. *)
+
 val bind : 'a cases -> ('a -> 'b cases) -> 'b cases
+(** Graft a dependent case split under every leaf. *)
+
 val map : 'a cases -> ('a -> 'b) -> 'b cases
+(** Transform every leaf, keeping the split structure. *)
 
 val cor : bool cases -> bool cases -> bool cases
+(** Short-circuit disjunction: [false] leaves are replaced by the
+    second tree. *)
+
 val cand : bool cases -> bool cases -> bool cases
+(** Short-circuit conjunction: [true] leaves are replaced by the second
+    tree. *)
 
 val conj : cond list -> bool cases
 (** The conjunction of atoms as a [bool cases] tree. *)

@@ -11,6 +11,11 @@ type masks =
 type t = {
   states : Thread_cache_state.t array;
   masks : masks;
+  (* per-thread line -> index of the reference whose write last put the
+     line in written state there; only consulted for threads whose mask
+     bit is set, so stale entries after eviction are harmless (a set
+     mask bit implies a later written insert refreshed the entry) *)
+  wref : int Cachesim.Int_table.t array;
 }
 
 let small_limit = 62
@@ -23,6 +28,7 @@ let create ~threads ~capacity =
       (if threads <= small_limit then
          Small (Cachesim.Int_table.create ~initial:4096 ())
        else Big (Cachesim.Int_table.create ~initial:4096 ()));
+    wref = Array.init threads (fun _ -> Cachesim.Int_table.create ~initial:64 ());
   }
 
 let clear_bit t line tid =
@@ -72,6 +78,66 @@ let process t ~me ~line ~written =
         Cachesim.Bitset.set bs me
       end;
       fs
+
+(* [process] plus provenance: before inserting, each other thread
+   holding [line] in written state yields one FS case recorded into
+   [sink] as (that thread, its last writing reference) -> (me, ref_id).
+   Counting is bit-identical to [process]; the extra work is O(threads)
+   only on accesses that actually trigger FS cases. *)
+let process_attr t ~me ~line ~written ~ref_id ~step sink =
+  let prior_written = Thread_cache_state.holds_modified t.states.(me) line in
+  let evicted = Thread_cache_state.insert_fast t.states.(me) ~line ~written in
+  if evicted <> Thread_cache_state.no_line then clear_bit t evicted me;
+  let fs =
+    match t.masks with
+    | Small tbl ->
+        let s = Cachesim.Int_table.find_slot tbl line in
+        let mask = if s >= 0 then Cachesim.Int_table.value_at tbl s else 0 in
+        let others = mask land lnot (1 lsl me) in
+        let fs = Cachesim.Bitset.popcount others in
+        if fs > 0 then
+          for j = 0 to Array.length t.states - 1 do
+            if others land (1 lsl j) <> 0 then
+              Attrib.record sink ~step ~line ~writer_tid:j
+                ~writer_ref:(Cachesim.Int_table.get t.wref.(j) line ~default:(-1))
+                ~victim_tid:me ~victim_ref:ref_id
+          done;
+        if written || prior_written then
+          if s >= 0 then Cachesim.Int_table.set_at tbl s (mask lor (1 lsl me))
+          else Cachesim.Int_table.set tbl line (mask lor (1 lsl me));
+        fs
+    | Big tbl ->
+        let s = Cachesim.Int_table.find_slot tbl line in
+        let fs =
+          if s >= 0 then
+            Cachesim.Bitset.count_excluding (Cachesim.Int_table.value_at tbl s)
+              me
+          else 0
+        in
+        if fs > 0 then begin
+          let bs = Cachesim.Int_table.value_at tbl s in
+          for j = 0 to Array.length t.states - 1 do
+            if j <> me && Cachesim.Bitset.mem bs j then
+              Attrib.record sink ~step ~line ~writer_tid:j
+                ~writer_ref:(Cachesim.Int_table.get t.wref.(j) line ~default:(-1))
+                ~victim_tid:me ~victim_ref:ref_id
+          done
+        end;
+        if written || prior_written then begin
+          let bs =
+            if s >= 0 then Cachesim.Int_table.value_at tbl s
+            else begin
+              let bs = Cachesim.Bitset.create ~bits:(Array.length t.states) in
+              Cachesim.Int_table.set tbl line bs;
+              bs
+            end
+          in
+          Cachesim.Bitset.set bs me
+        end;
+        fs
+  in
+  if written then Cachesim.Int_table.set t.wref.(me) line ref_id;
+  fs
 
 let process_entries t ~me entries =
   List.fold_left

@@ -16,7 +16,26 @@ val process : t -> me:int -> line:int -> written:bool -> int
 (** Count the FS cases triggered by thread [me] inserting [line] (the φ
     comparison against all other states), then insert it. *)
 
+val process_attr :
+  t ->
+  me:int ->
+  line:int ->
+  written:bool ->
+  ref_id:int ->
+  step:int ->
+  Attrib.t ->
+  int
+(** {!process} with provenance: each counted FS case is also recorded
+    into the {!Attrib} sink as (writer thread, its last writing
+    reference) invalidating (thread [me], reference [ref_id]) at
+    lockstep [step].  The returned count is bit-identical to
+    {!process}; the recording overhead is paid only on accesses that
+    trigger cases.  A run must use either {!process} or {!process_attr}
+    consistently (both maintain the same counting state, but only this
+    one maintains writer provenance). *)
+
 val process_entries : t -> me:int -> Ownership.entry list -> int
+(** Fold {!process} over an ownership list. *)
 
 val invalidate_others : t -> me:int -> line:int -> unit
 (** Drop [line] from every other thread's state (write-invalidate

@@ -17,5 +17,11 @@ val fit_ols : (float * float) list -> line
     back to [fit_paper]'s. *)
 
 val predict : line -> float -> float
+(** [predict l x] is [l.a *. x +. l.b]. *)
+
 val residual_rms : line -> (float * float) list -> float
+(** Root-mean-square of [y - predict l x] over the points; [0.] on an
+    empty list. *)
+
 val pp : Format.formatter -> line -> unit
+(** Renders as ["y = <a> * x + <b>"]. *)

@@ -64,7 +64,7 @@ type region = {
 }
 
 let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
-    cfg ~(nest : Loopir.Loop_nest.t) ~checked =
+    ?attrib cfg ~(nest : Loopir.Loop_nest.t) ~checked =
   if cfg.threads < 1 then invalid_arg "Model.run: threads < 1";
   (match Loopir.Loop_nest.schedule_kind nest with
   | `Static -> ()
@@ -236,6 +236,69 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
         (* a trailing partial chunk run still counts as a run *)
         if max_steps mod run_span <> 0 then complete_chunk_run ()
   in
+  (* The fast region evaluator with an attribution sink attached: same
+     odometer and cursor, but FS counting goes through
+     [Fs_counter.process_attr] so every case lands in the recorder.
+     Kept as a separate loop so the plain path stays branch-free. *)
+  let eval_region_fast_attr sink counter cur buf =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let n_inner = Array.length r.inner in
+        let max_par_steps = Ompsched.Schedule.max_steps_per_thread r.sched in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = r.chunk * r.inner_per_par in
+        for l = 0 to d - 1 do
+          Ownership.cursor_set cur l idx.(l)
+        done;
+        let pos = Array.make (max 1 n_inner) 0 in
+        for j = 0 to n_inner - 1 do
+          Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j)
+        done;
+        let k_par = ref 0 in
+        for s = 0 to max_steps - 1 do
+          for t = 0 to cfg.threads - 1 do
+            let q = Ompsched.Schedule.nth_iter_int r.sched ~tid:t !k_par in
+            if q >= 0 then begin
+              Ownership.cursor_set cur d (r.par_lower + (q * r.par_step));
+              Ownership.fill cur buf;
+              for i = 0 to Ownership.buf_len buf - 1 do
+                let line = Ownership.buf_line buf i in
+                let written = Ownership.buf_written buf i in
+                let fs =
+                  Fs_counter.process_attr counter ~me:t ~line ~written
+                    ~ref_id:(Ownership.buf_ref buf i) ~step:st.steps sink
+                in
+                if cfg.invalidate_on_write && written then
+                  Fs_counter.invalidate_others counter ~me:t ~line;
+                st.fs <- st.fs + fs
+              done;
+              st.iters <- st.iters + 1
+            end
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ();
+          let rec bump j =
+            if j < 0 then incr k_par
+            else begin
+              let p = pos.(j) + 1 in
+              if p = r.inner_trips.(j) then begin
+                pos.(j) <- 0;
+                Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j);
+                bump (j - 1)
+              end
+              else begin
+                pos.(j) <- p;
+                Ownership.cursor_set cur (d + 1 + j)
+                  (r.inner_lowers.(j)
+                  + (p * r.inner.(j).Loopir.Loop_nest.step))
+              end
+            end
+          in
+          bump (n_inner - 1)
+        done;
+        if max_steps mod run_span <> 0 then complete_chunk_run ()
+  in
   (* Reference engine: the direct transcription of the paper's procedure —
      per-step div/mod index decomposition, freshly built ownership lists,
      and the 1-to-All φ comparison as a scan over all other thread states.
@@ -287,6 +350,68 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
         (* a trailing partial chunk run still counts as a run *)
         if max_steps mod run_span <> 0 then complete_chunk_run ()
   in
+  (* Reference-engine attribution: same traversal as [eval_region_ref],
+     with writer provenance carried in one [Hashtbl] per thread (line ->
+     last writing reference).  Events are recorded in the same order as
+     the fast path, so the two recorders end up identical. *)
+  let eval_region_ref_attr sink states wtbl =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let max_par_steps = Ompsched.Schedule.max_steps_per_thread r.sched in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = r.chunk * r.inner_per_par in
+        for s = 0 to max_steps - 1 do
+          let k_par = s / r.inner_per_par in
+          let k_in = s mod r.inner_per_par in
+          for t = 0 to cfg.threads - 1 do
+            match Ompsched.Schedule.nth_iter_of_thread r.sched ~tid:t k_par with
+            | None -> ()
+            | Some q ->
+                idx.(d) <- r.par_lower + (q * r.par_step);
+                let rem = ref k_in in
+                for j = Array.length r.inner - 1 downto 0 do
+                  let trip = r.inner_trips.(j) in
+                  let v = !rem mod trip in
+                  rem := !rem / trip;
+                  idx.(d + 1 + j) <-
+                    r.inner_lowers.(j)
+                    + (v * r.inner.(j).Loopir.Loop_nest.step)
+                done;
+                let entries = Ownership.lines_with_refs own idx in
+                List.iter
+                  (fun { Ownership.a_line = line; a_written = written;
+                         a_ref = rid } ->
+                    Array.iteri
+                      (fun j sj ->
+                        if j <> t && Thread_cache_state.holds_modified sj line
+                        then
+                          Attrib.record sink ~step:st.steps ~line
+                            ~writer_tid:j
+                            ~writer_ref:
+                              (Option.value ~default:(-1)
+                                 (Hashtbl.find_opt wtbl.(j) line))
+                            ~victim_tid:t ~victim_ref:rid)
+                      states;
+                    let fs = Detect.fs_cases_for_insert ~states ~me:t ~line in
+                    ignore
+                      (Thread_cache_state.insert states.(t) ~line ~written);
+                    if written then Hashtbl.replace wtbl.(t) line rid;
+                    if cfg.invalidate_on_write && written then
+                      Array.iteri
+                        (fun j s ->
+                          if j <> t then
+                            ignore (Thread_cache_state.invalidate s line))
+                        states;
+                    st.fs <- st.fs + fs)
+                  entries;
+                st.iters <- st.iters + 1
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ()
+        done;
+        if max_steps mod run_span <> 0 then complete_chunk_run ()
+  in
   (* enumerate the sequential outer loops *)
   let rec outer body level =
     if level = d then body ()
@@ -310,13 +435,22 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
          in
          let cur = Ownership.cursor own in
          let buf = Ownership.buffer () in
-         outer (fun () -> eval_region_fast counter cur buf) 0
+         (match attrib with
+         | None -> outer (fun () -> eval_region_fast counter cur buf) 0
+         | Some sink ->
+             outer (fun () -> eval_region_fast_attr sink counter cur buf) 0)
      | `Reference ->
          let states =
            Array.init cfg.threads (fun _ ->
                Thread_cache_state.create ~capacity:(capacity_of cfg))
          in
-         outer (fun () -> eval_region_ref states) 0
+         (match attrib with
+         | None -> outer (fun () -> eval_region_ref states) 0
+         | Some sink ->
+             let wtbl =
+               Array.init cfg.threads (fun _ -> Hashtbl.create 64)
+             in
+             outer (fun () -> eval_region_ref_attr sink states wtbl) 0)
    with Stop -> ());
   {
     fs_cases = st.fs;

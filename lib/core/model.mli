@@ -60,10 +60,18 @@ val run :
   ?max_chunk_runs:int ->
   ?record_samples:bool ->
   ?engine:engine ->
+  ?attrib:Attrib.t ->
   config ->
   nest:Loopir.Loop_nest.t ->
   checked:Minic.Typecheck.checked ->
   result
 (** Evaluate the model.  [max_chunk_runs] bounds the evaluation (used by
     the linear-regression predictor, §III-E); [record_samples] keeps the
-    per-chunk-run cumulative series (paper Fig. 6). *)
+    per-chunk-run cumulative series (paper Fig. 6).
+
+    [attrib], when given, receives per-event provenance for every FS
+    case — (writer thread, writing reference) invalidating (victim
+    thread, victim reference) on a cache line at a lockstep step — under
+    either engine, with identical event streams ({!Attrib.total} equals
+    the returned [fs_cases]).  Without it the engines run exactly the
+    pre-attribution code paths, so the fast path stays allocation-free. *)

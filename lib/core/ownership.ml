@@ -1,4 +1,5 @@
 type entry = { line : int; written : bool }
+type attr_entry = { a_line : int; a_written : bool; a_ref : int }
 
 type compiled_ref = {
   const_off : int;  (* base address + constant offset *)
@@ -7,7 +8,12 @@ type compiled_ref = {
   write : bool;
 }
 
-type t = { refs : compiled_ref array; line_bytes : int; nslots : int }
+type t = {
+  refs : compiled_ref array;
+  srcs : Loopir.Array_ref.t array;  (* same order as [refs] *)
+  line_bytes : int;
+  nslots : int;
+}
 
 let compile ~layout ~line_bytes ~params ~var_slots (nest : Loopir.Loop_nest.t)
     =
@@ -52,6 +58,7 @@ let compile ~layout ~line_bytes ~params ~var_slots (nest : Loopir.Loop_nest.t)
   in
   {
     refs = Array.of_list (List.map compile_ref nest.Loopir.Loop_nest.refs);
+    srcs = Array.of_list nest.Loopir.Loop_nest.refs;
     line_bytes;
     nslots = List.length var_slots;
   }
@@ -86,7 +93,41 @@ let lines_ref t idx =
 
 let lines = lines_ref
 
+(* [lines_ref] with per-entry provenance: each deduplicated line carries
+   the index of the reference it is attributed to — the first write
+   touching it, else the first touch.  Entry order and written flags are
+   exactly those of [lines_ref]. *)
+let lines_with_refs t idx =
+  let acc = ref [] in
+  let rec merge line written rid = function
+    | [] -> acc := { a_line = line; a_written = written; a_ref = rid } :: !acc
+    | e :: _ when e.a_line = line ->
+        if written && not e.a_written then
+          acc :=
+            List.map
+              (fun x ->
+                if x.a_line = line then
+                  { x with a_written = true; a_ref = rid }
+                else x)
+              !acc
+    | _ :: rest -> merge line written rid rest
+  in
+  Array.iteri
+    (fun rid r ->
+      let addr = ref r.const_off in
+      Array.iter
+        (fun (slot, coeff) -> addr := !addr + (coeff * idx.(slot)))
+        r.terms;
+      let first = !addr / t.line_bytes in
+      let last = (!addr + r.size - 1) / t.line_bytes in
+      for line = first to last do
+        merge line r.write rid !acc
+      done)
+    t.refs;
+  List.rev !acc
+
 let ref_count t = Array.length t.refs
+let source_ref t i = t.srcs.(i)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental evaluation: a cursor keeps one running address per
@@ -132,35 +173,48 @@ let cursor_set c slot v =
 type buffer = {
   mutable lin : int array;
   mutable wr : bool array;
+  mutable rid : int array;  (* attributed reference per entry *)
   mutable len : int;
 }
 
-let buffer () = { lin = Array.make 8 0; wr = Array.make 8 false; len = 0 }
+let buffer () =
+  { lin = Array.make 8 0; wr = Array.make 8 false; rid = Array.make 8 0;
+    len = 0 }
 
 let buf_len b = b.len
 let buf_line b i = b.lin.(i)
 let buf_written b i = b.wr.(i)
+let buf_ref b i = b.rid.(i)
 
-let push b line written =
+let push b line written r =
   (* linear-scan dedup with write domination; ownership lists are a
-     handful of entries, first-touch order is preserved *)
+     handful of entries, first-touch order is preserved.  The entry is
+     attributed to the first write touching the line (else the first
+     touch), mirroring [lines_with_refs]. *)
   let n = b.len in
   let rec seek i =
     if i >= n then begin
       if n = Array.length b.lin then begin
-        let lin = Array.make (2 * n) 0 and wr = Array.make (2 * n) false in
+        let lin = Array.make (2 * n) 0
+        and wr = Array.make (2 * n) false
+        and rid = Array.make (2 * n) 0 in
         Array.blit b.lin 0 lin 0 n;
         Array.blit b.wr 0 wr 0 n;
+        Array.blit b.rid 0 rid 0 n;
         b.lin <- lin;
-        b.wr <- wr
+        b.wr <- wr;
+        b.rid <- rid
       end;
       b.lin.(n) <- line;
       b.wr.(n) <- written;
+      b.rid.(n) <- r;
       b.len <- n + 1
     end
     else if Array.unsafe_get b.lin i = line then begin
-      if written && not (Array.unsafe_get b.wr i) then
-        Array.unsafe_set b.wr i true
+      if written && not (Array.unsafe_get b.wr i) then begin
+        Array.unsafe_set b.wr i true;
+        Array.unsafe_set b.rid i r
+      end
     end
     else seek (i + 1)
   in
@@ -175,7 +229,7 @@ let fill c b =
     let first = addr / t.line_bytes in
     let last = (addr + cref.size - 1) / t.line_bytes in
     for line = first to last do
-      push b line cref.write
+      push b line cref.write r
     done
   done
 

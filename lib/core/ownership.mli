@@ -9,6 +9,12 @@
 
 type entry = { line : int; written : bool }
 
+type attr_entry = { a_line : int; a_written : bool; a_ref : int }
+(** An ownership-list entry with provenance: [a_ref] is the index (in
+    compilation order, see {!source_ref}) of the reference the line is
+    attributed to — the first write touching it in the iteration, else
+    the first touch. *)
+
 type t
 
 val compile :
@@ -32,7 +38,19 @@ val lines_ref : t -> int array -> entry list
 (** Alias of {!lines}: the list-building reference implementation the
     incremental {!cursor}/{!fill} engine is checked against. *)
 
+val lines_with_refs : t -> int array -> attr_entry list
+(** {!lines_ref} with per-entry provenance; same entries, same order,
+    same write domination.  Used by the reference engine's attribution
+    path. *)
+
 val ref_count : t -> int
+(** Number of compiled references (the length of the nest's
+    [Loop_nest.refs]). *)
+
+val source_ref : t -> int -> Loopir.Array_ref.t
+(** The source-level reference a compiled index came from; indices are
+    in compilation order ([0 .. ref_count - 1]).
+    @raise Invalid_argument on an out-of-range index. *)
 
 (** {2 Incremental evaluation}
 
@@ -62,6 +80,10 @@ val buffer : unit -> buffer
 val buf_len : buffer -> int
 val buf_line : buffer -> int -> int
 val buf_written : buffer -> int -> bool
+
+val buf_ref : buffer -> int -> int
+(** Reference index entry [i] is attributed to (see {!attr_entry});
+    {!fill} computes the same attribution {!lines_with_refs} would. *)
 
 val fill : cursor -> buffer -> unit
 (** Replace [buffer]'s contents with the ownership list at the cursor's

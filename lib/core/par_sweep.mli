@@ -16,3 +16,4 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     sequential path.  @raise Invalid_argument when [domains < 1]. *)
 
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} with the element's input-order index. *)

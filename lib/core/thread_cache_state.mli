@@ -16,6 +16,7 @@ val create : capacity:int -> t
     [max_int] for the unbounded-stack ablation. *)
 
 val of_cache : Archspec.Cache_geom.t -> t
+(** {!create} with the geometry's line capacity (size / line bytes). *)
 
 val insert : t -> line:int -> written:bool -> (int * bool) option
 (** Insert or refresh a line; a line once written stays in written state
@@ -26,6 +27,8 @@ val insert_fast : t -> line:int -> written:bool -> int
 (** Allocation-free {!insert}: returns the evicted line, or {!no_line}. *)
 
 val holds : t -> int -> bool
+(** Does this state contain the line (in any state)? *)
+
 val holds_modified : t -> int -> bool
 (** The φ test: does this state contain the line in written state? *)
 
@@ -33,4 +36,7 @@ val invalidate : t -> int -> bool
 (** Drop a line (only used by the write-invalidate ablation). *)
 
 val size : t -> int
+(** Distinct lines currently held. *)
+
 val clear : t -> unit
+(** Empty the stack (between chunk runs / configurations). *)

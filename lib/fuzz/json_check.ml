@@ -175,3 +175,29 @@ let validate_sarif s =
               | _, _ -> Error "run missing \"results\" array")
           | Some (List []) -> Error "empty \"runs\""
           | _ -> Error "missing \"runs\" array"))
+
+(* the Chrome trace_event shape Explain.trace_json promises: an object
+   with a traceEvents array whose entries all carry a "ph" phase; every
+   instant event (ph = "i") needs ts/pid/tid numbers.  Returns the
+   instant-event count so callers can reconcile it with the recorder. *)
+let validate_trace s =
+  match parse s with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok v -> (
+      match member "traceEvents" v with
+      | Some (List events) ->
+          let rec go n = function
+            | [] -> Ok n
+            | e :: rest -> (
+                match member "ph" e with
+                | Some (Str "M") -> go n rest
+                | Some (Str "i") -> (
+                    match (member "ts" e, member "pid" e, member "tid" e) with
+                    | Some (Num _), Some (Num _), Some (Num _) ->
+                        go (n + 1) rest
+                    | _ -> Error "instant event missing ts/pid/tid")
+                | Some (Str ph) -> Error ("unexpected phase " ^ ph)
+                | _ -> Error "event missing \"ph\"")
+          in
+          go 0 events
+      | _ -> Error "missing \"traceEvents\" array")

@@ -4,13 +4,14 @@
    disagreement aborts the case with a (check, detail) pair the shrinker
    and the driver key on. *)
 
-type mutation = Fast | Closed | Depend_m | Sym
+type mutation = Fast | Closed | Depend_m | Sym | Attrib_m
 
 let mutation_of_string = function
   | "fast" -> Some Fast
   | "closed" -> Some Closed
   | "depend" -> Some Depend_m
   | "sym" -> Some Sym
+  | "attrib" -> Some Attrib_m
   | _ -> None
 
 let mutation_name = function
@@ -18,8 +19,9 @@ let mutation_name = function
   | Closed -> "closed"
   | Depend_m -> "depend"
   | Sym -> "sym"
+  | Attrib_m -> "attrib"
 
-let mutation_names = [ "fast"; "closed"; "depend"; "sym" ]
+let mutation_names = [ "fast"; "closed"; "depend"; "sym"; "attrib" ]
 
 type outcome = {
   failure : (string * string) option;
@@ -144,10 +146,23 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
   let cfg =
     { (Fsmodel.Model.default_config ~threads ()) with chunk; params = base_params }
   in
+  let nrefs = List.length nest.Loopir.Loop_nest.refs in
+  let pair_hist r =
+    List.sort compare
+      (Fsmodel.Attrib.fold_pairs r ~init:[]
+         ~f:(fun acc ~writer_ref ~victim_ref ~writer_tid ~victim_tid ~count ->
+           (writer_ref, victim_ref, writer_tid, victim_tid, count) :: acc))
+  in
   let engines ps label =
     let c = { cfg with Fsmodel.Model.params = ps } in
-    let fast = Fsmodel.Model.run ~engine:`Fast c ~nest ~checked in
-    let refr = Fsmodel.Model.run ~engine:`Reference c ~nest ~checked in
+    let fast_rec = Fsmodel.Attrib.create ~trace_cap:0 ~threads ~nrefs () in
+    let ref_rec = Fsmodel.Attrib.create ~trace_cap:0 ~threads ~nrefs () in
+    let fast =
+      Fsmodel.Model.run ~engine:`Fast ~attrib:fast_rec c ~nest ~checked
+    in
+    let refr =
+      Fsmodel.Model.run ~engine:`Reference ~attrib:ref_rec c ~nest ~checked
+    in
     let fast_fs =
       fast.Fsmodel.Model.fs_cases + (if mutate = Some Fast then 1 else 0)
     in
@@ -165,6 +180,34 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
            label fast_fs fast.thread_steps fast.iterations_evaluated
            fast.chunk_runs refr.Fsmodel.Model.fs_cases refr.thread_steps
            refr.iterations_evaluated refr.chunk_runs);
+    (* attribution conservation: each recorder's total and per-pair sum
+       must equal its engine's count *)
+    let fast_total =
+      Fsmodel.Attrib.total fast_rec
+      + (if mutate = Some Attrib_m then 1 else 0)
+    in
+    let pair_sum r =
+      List.fold_left (fun a (_, _, _, _, c) -> a + c) 0 (pair_hist r)
+    in
+    mark "attrib/conserve";
+    if
+      fast_total <> fast.Fsmodel.Model.fs_cases
+      || Fsmodel.Attrib.total ref_rec <> refr.Fsmodel.Model.fs_cases
+      || pair_sum fast_rec <> Fsmodel.Attrib.total fast_rec
+      || pair_sum ref_rec <> Fsmodel.Attrib.total ref_rec
+    then
+      fail "attrib/conserve"
+        (Printf.sprintf
+           "%s: fast recorded %d (pairs %d) of %d, reference recorded %d \
+            (pairs %d) of %d"
+           label fast_total (pair_sum fast_rec) fast.Fsmodel.Model.fs_cases
+           (Fsmodel.Attrib.total ref_rec)
+           (pair_sum ref_rec) refr.Fsmodel.Model.fs_cases);
+    (* both engines must attribute every case to the same provenance *)
+    mark "attrib/engines";
+    if pair_hist fast_rec <> pair_hist ref_rec then
+      fail "attrib/engines"
+        (label ^ ": fast and reference recorders disagree on a pair");
     refr.Fsmodel.Model.fs_cases
   in
   (* check one must-claim against ground truth: [Independent] forbids

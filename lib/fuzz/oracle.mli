@@ -16,6 +16,11 @@
       {e and} surface as an [analysis/unknown] lint finding;
     - [engine/fast-vs-ref]: the fast and reference model engines agree
       exactly (FS count, lockstep steps, iterations, chunk runs);
+    - [attrib/conserve], [attrib/engines]: an {!Fsmodel.Attrib}
+      recorder attached to each engine records exactly [fs_cases]
+      events whose per-pair histogram sums back to that total, and both
+      engines attribute every case to the same (writer reference,
+      victim reference, thread pair) provenance;
     - [closed/exact]: when {!Analysis.Closed_form.estimate} certifies a
       count, it equals the engine's;
     - [depend/brute]: [Independent] / [Line_conflict] must-claims hold
@@ -29,15 +34,16 @@
     - [execsim/run]: on a deterministic subset, the instrumented
       interpreter executes the program without raising.
 
-    [mutate] injects a known fault into one of the four paths so the
-    harness itself can be tested: a run with a mutation must report a
-    disagreement and shrink it. *)
+    [mutate] injects a known fault into one of the analysis paths so
+    the harness itself can be tested: a run with a mutation must report
+    a disagreement and shrink it. *)
 
 type mutation =
   | Fast  (** off-by-one the fast engine's FS count *)
   | Closed  (** off-by-one the closed-form count *)
   | Depend_m  (** demote a [Line_conflict] verdict to [Independent] *)
   | Sym  (** corrupt symbolic verdicts and counts *)
+  | Attrib_m  (** off-by-one the attribution recorder's total *)
 
 val mutation_of_string : string -> mutation option
 val mutation_name : mutation -> string

@@ -3,7 +3,9 @@
    the text and JSON renderings.  The dune rules diff the outputs against
    the committed files under [test/golden/]; refresh with [dune promote]. *)
 
-let usage = "golden_gen (--kernel NAME | --sym-kernel NAME | FILE.c) OUT.txt OUT.json"
+let usage =
+  "golden_gen (--kernel NAME | --sym-kernel NAME | FILE.c) OUT.txt OUT.json\n\
+   golden_gen (--explain NAME | --explain-file FILE.c) OUT.txt OUT.heatmap"
 
 let fail msg =
   prerr_endline msg;
@@ -21,9 +23,33 @@ let write_file path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc s)
 
-let () =
+(* Explain goldens: the first parallel function's first nest, default
+   lint configuration (8 threads), annotated text report plus the ASCII
+   heatmap. *)
+let explain_outputs ~uri ~source checked outs =
+  let func =
+    match
+      Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog
+    with
+    | f :: _ -> f
+    | [] -> fail ("no parallel function in " ^ uri)
+  in
+  let threads = 8 in
+  let params = [ ("num_threads", threads) ] in
+  let nest = Loopir.Lower.lower checked ~func ~params in
+  let cfg = { (Fsmodel.Model.default_config ~threads ()) with params } in
+  let a = Explain.analyze ~uri ~func cfg ~nest ~checked in
+  if not (Explain.conservation_ok a) then
+    fail ("attribution does not sum back to the engine count for " ^ uri);
+  match outs with
+  | [ otxt; oheat ] ->
+      write_file otxt (Explain.to_text ~source a);
+      write_file oheat (Explain.heatmap a)
+  | _ -> fail usage
+
+let lint_outputs argv =
   let (uri, checked), outs =
-    match Array.to_list Sys.argv with
+    match argv with
     | _ :: "--kernel" :: name :: rest -> (
         match Kernels.Registry.find name with
         | Some k -> ((("kernel:" ^ name), Kernels.Kernel.parse k), rest)
@@ -50,3 +76,19 @@ let () =
       write_file otxt (Analysis.Diag.to_text report);
       write_file ojson (Analysis.Json.to_string (Analysis.Diag.to_json report))
   | _ -> fail usage
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--explain" :: name :: rest -> (
+      match Kernels.Registry.find name with
+      | Some k ->
+          explain_outputs
+            ~uri:("kernel:" ^ name)
+            ~source:k.Kernels.Kernel.source (Kernels.Kernel.parse k) rest
+      | None -> fail ("unknown kernel " ^ name))
+  | _ :: "--explain-file" :: file :: rest ->
+      let src = read_file file in
+      explain_outputs ~uri:file ~source:src
+        (Minic.Typecheck.check_program (Minic.Parser.parse_program src))
+        rest
+  | argv -> lint_outputs argv

@@ -139,6 +139,7 @@ let mutation_cases =
     (Fuzz.Oracle.Closed, [ "closed/exact" ]);
     (Fuzz.Oracle.Depend_m, [ "depend/brute" ]);
     (Fuzz.Oracle.Sym, [ "sym/depend"; "sym/depend-sound"; "sym/count" ]);
+    (Fuzz.Oracle.Attrib_m, [ "attrib/conserve" ]);
   ]
 
 (* ------------------------------------------------------------------ *)
