@@ -1,4 +1,4 @@
-.PHONY: all build verify bench bench-smoke fuzz-smoke doc clean
+.PHONY: all build verify bench bench-smoke serve-smoke fuzz-smoke doc clean
 
 all: build
 
@@ -17,7 +17,16 @@ verify:
 	./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/parametric_stride.c > /dev/null
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on fs test/fixtures/parametric_stride.c > /dev/null
 	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never test/fixtures/racy_stencil.c > /dev/null
+	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
+
+# End-to-end smoke of the analysis service: one `fsdetect serve`
+# process gets the same mixed batch (lint + explain over every registry
+# kernel) twice; the warm pass must return byte-identical responses and
+# be at least 5x faster than the cold one, or the runner exits nonzero.
+serve-smoke: build
+	./_build/default/test/serve_runner.exe --smoke \
+	  ./_build/default/bin/fsdetect.exe
 
 # Sixty seconds of seeded differential fuzzing: replay the committed
 # corpus, then push freshly generated nests through the oracle matrix

@@ -14,9 +14,10 @@
      calib  the fs_cost_factor calibration fit
      ablate stack-policy / invalidation / associativity / predictor-depth
      compare  compile-time model vs runtime trace detector
+     serve  analysis-service cache: cold vs warm latency, batch scaling
      micro  bechamel micro-benchmarks (one per table/figure pipeline)
 
-   Usage: main.exe [--quick] [--only ID] [--no-micro] [--domains N]
+   Usage: main.exe [--quick] [--only ID] [--no-micro] [--jobs N]
 
    "Measured" columns come from the MESI execution simulator (the repo's
    stand-in for the paper's hardware testbed; see DESIGN.md), so absolute
@@ -26,9 +27,10 @@
 
    Independent configuration sweeps (per-thread-count studies, chunk
    sweeps) run through Fsmodel.Par_sweep, so they spread over OCaml
-   domains when more than one is available; --domains pins the count
-   (results are identical at any value).  Wall-clock per section and the
-   headline FS counts are also written to BENCH.json. *)
+   domains when more than one is available; --jobs pins the count
+   (--domains is the older spelling, kept as an alias; results are
+   identical at any value).  Wall-clock per section and the headline FS
+   counts are also written to BENCH.json (schema: DESIGN.md §12). *)
 
 let quick = ref false
 let only : string option ref = ref None
@@ -47,17 +49,17 @@ let () =
     | "--no-micro" :: rest ->
         micro_enabled := false;
         parse rest
-    | "--domains" :: n :: rest ->
+    | (("--jobs" | "-j" | "--domains") as flag) :: n :: rest ->
         (match int_of_string_opt n with
         | Some d when d >= 1 -> domains := d
         | _ ->
-            Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+            Printf.eprintf "%s expects a positive integer, got %s\n" flag n;
             exit 2);
         parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
-           usage: main.exe [--quick] [--only ID] [--no-micro] [--domains N]\n"
+           usage: main.exe [--quick] [--only ID] [--no-micro] [--jobs N]\n"
           arg;
         exit 2
   in
@@ -770,6 +772,109 @@ let compare_section () =
       Kernels.Linreg_kernel.kernel ~nacc:480 ~m:128 () ]
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Service-layer throughput: the same requests `fsdetect serve` answers,
+   executed in-process against a Service.Api store so the timings are
+   free of protocol and process noise.  Cold = empty cache, warm = the
+   identical request list again (every response a cache hit); batch =
+   cold request list shared across 1..N domains, fresh store per domain
+   count so every scaling point pays the same work. *)
+let serve_stats :
+    (int * float * float * (int * int * float) list) option ref =
+  ref None
+
+let serve_section () =
+  let names = Kernels.Registry.names () in
+  let lint_req ?(threads = 8) k =
+    Service.Req.v (Service.Req.Kernel k)
+      (Service.Req.Lint
+         {
+           threads;
+           chunk = None;
+           json = false;
+           fixits = true;
+           params = [];
+           fail_on = Service.Req.Race;
+         })
+  in
+  let explain_req k =
+    Service.Req.v (Service.Req.Kernel k)
+      (Service.Req.Explain
+         {
+           func = None;
+           threads = 8;
+           chunk = None;
+           params = [];
+           engine = `Fast;
+           format = `Text;
+           top = 3;
+           trace_cap = None;
+         })
+  in
+  let reqs =
+    if !quick then List.map lint_req names
+    else List.concat_map (fun k -> [ lint_req k; explain_req k ]) names
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let store = Service.Api.create_store () in
+  let pass () = List.iter (fun r -> ignore (Service.Api.exec store r)) reqs in
+  let cold = time pass in
+  let warm = time pass in
+  let n = List.length reqs in
+  Printf.printf
+    "Cold vs warm latency over %d requests (lint%s of every bundled\n\
+     kernel) on one shared store:\n\n\
+    \  cold  %.4f s  (%.1f ms/request)\n\
+    \  warm  %.6f s  (%.3f ms/request)\n\
+    \  warm speedup: %.0fx\n" n
+    (if !quick then "" else " + explain")
+    cold
+    (1000. *. cold /. float_of_int n)
+    warm
+    (1000. *. warm /. float_of_int n)
+    (cold /. Float.max 1e-9 warm);
+  (* batch scaling: distinct (kernel, threads) pairs so every request is
+     cold work, sharded over the domain pool like a serve batch *)
+  let threads_list = if !quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
+  let batch_reqs =
+    List.concat_map
+      (fun k -> List.map (fun t -> lint_req ~threads:t k) threads_list)
+      names
+  in
+  let bn = List.length batch_reqs in
+  let counts =
+    List.sort_uniq compare
+      (List.filter (fun d -> d <= !domains) [ 1; 2; 4; !domains ])
+  in
+  Printf.printf
+    "\nBatch throughput, %d cold lint requests sharded across domains\n\
+     (fresh store per row):\n\n" bn;
+  let batch =
+    List.map
+      (fun d ->
+        let store = Service.Api.create_store () in
+        let dt =
+          time (fun () ->
+              ignore
+                (Fsmodel.Par_sweep.map ~domains:d (Service.Api.exec store)
+                   batch_reqs))
+        in
+        Printf.printf "  %2d domain%s  %.3f s  (%.1f requests/s)\n" d
+          (if d = 1 then " " else "s")
+          dt
+          (float_of_int bn /. dt);
+        (d, bn, dt))
+      counts
+  in
+  serve_stats := Some (n, cold, warm, batch)
+
+(* ------------------------------------------------------------------ *)
 (* micro (bechamel)                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -889,17 +994,42 @@ let write_bench_json ~total path =
         (if i = List.length sections - 1 then "" else ","))
     sections;
   bpf "  ],\n";
-  bpf "  \"attrib_overhead\": [\n";
+  (* sections that did not run leave no key at all (an --only run used
+     to emit "attrib_overhead": [], which readers took for a regression
+     to zero coverage) *)
   let at = List.rev !attrib_times in
-  List.iteri
-    (fun i (kernel, fs, t_off, t_on) ->
-      bpf
-        "    { \"kernel\": %S, \"model_fs\": %d, \"seconds_off\": %.4f, \
-         \"seconds_on\": %.4f }%s\n"
-        kernel fs t_off t_on
-        (if i = List.length at - 1 then "" else ","))
-    at;
-  bpf "  ],\n";
+  if at <> [] then begin
+    bpf "  \"attrib_overhead\": [\n";
+    List.iteri
+      (fun i (kernel, fs, t_off, t_on) ->
+        bpf
+          "    { \"kernel\": %S, \"model_fs\": %d, \"seconds_off\": %.4f, \
+           \"seconds_on\": %.4f }%s\n"
+          kernel fs t_off t_on
+          (if i = List.length at - 1 then "" else ","))
+      at;
+    bpf "  ],\n"
+  end;
+  (match !serve_stats with
+  | None -> ()
+  | Some (n, cold, warm, batch) ->
+      bpf "  \"serve\": {\n";
+      bpf "    \"requests\": %d,\n" n;
+      bpf "    \"cold_seconds\": %.4f,\n" cold;
+      bpf "    \"warm_seconds\": %.6f,\n" warm;
+      bpf "    \"warm_speedup\": %.1f,\n" (cold /. Float.max 1e-9 warm);
+      bpf "    \"batch\": [\n";
+      List.iteri
+        (fun i (d, bn, dt) ->
+          bpf
+            "      { \"domains\": %d, \"requests\": %d, \"seconds\": %.4f, \
+             \"rps\": %.1f }%s\n"
+            d bn dt
+            (float_of_int bn /. Float.max 1e-9 dt)
+            (if i = List.length batch - 1 then "" else ","))
+        batch;
+      bpf "    ]\n";
+      bpf "  },\n");
   bpf "  \"fs_counts\": [\n";
   let entries =
     Hashtbl.fold
@@ -955,6 +1085,7 @@ let () =
   section "ablate" "design-choice ablations" ablate;
   section "attrib" "attribution on/off engine A/B" attrib_section;
   section "compare" "compile-time model vs runtime detector" compare_section;
+  section "serve" "analysis service: cold vs warm, batch scaling" serve_section;
   section "micro" "bechamel micro-benchmarks" micro;
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~total "BENCH.json";

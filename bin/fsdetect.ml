@@ -9,8 +9,15 @@
      eliminate  rewrite the program (padding / spreading) and print it
      compare    model vs predictor vs runtime trace detector, per chunk
      fuzz       differential fuzzing of the four analysis paths
+     serve      long-running JSON-RPC analysis service with a memo cache
      kernels    list bundled kernels
-     dump       parse a file and dump the program and its loop nests *)
+     dump       parse a file and dump the program and its loop nests
+
+   Every analysis subcommand is a thin wrapper over [Service.Api]: the
+   CLI builds a typed request, executes it, prints the payload's stdout/
+   stderr bytes and exits with its code.  [fsdetect serve] runs the same
+   requests against a long-lived store, so a warm serve response is
+   byte-identical to the one-shot CLI run. *)
 
 open Cmdliner
 
@@ -20,40 +27,19 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-type source = From_file of string | From_kernel of Kernels.Kernel.t
-
-let load ~file ~kernel =
+let source_of ~file ~kernel =
   match (file, kernel) with
-  | Some f, None -> Ok (From_file f)
-  | None, Some k -> (
-      match Kernels.Registry.find k with
-      | Some kern -> Ok (From_kernel kern)
-      | None ->
-          Error
-            (Printf.sprintf "unknown kernel %S (try: %s)" k
-               (String.concat ", " (Kernels.Registry.names ()))))
+  | Some f, None -> Ok (Service.Req.Text { name = f; content = read_file f })
+  | None, Some k -> Ok (Service.Req.Kernel k)
   | Some _, Some _ -> Error "give either FILE or --kernel, not both"
   | None, None -> Error "give a FILE or --kernel NAME"
 
-let checked_of = function
-  | From_file f ->
-      Minic.Typecheck.check_program (Minic.Parser.parse_program (read_file f))
-  | From_kernel k -> Kernels.Kernel.parse k
+let emit_payload (p : Service.Api.payload) =
+  print_string p.Service.Api.output;
+  prerr_string p.Service.Api.err;
+  if p.Service.Api.code <> 0 then exit p.Service.Api.code
 
-let func_of src func =
-  match (func, src) with
-  | Some f, _ -> Ok f
-  | None, From_kernel k -> Ok k.Kernels.Kernel.func
-  | None, From_file f -> (
-      let checked = checked_of (From_file f) in
-      match Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog
-      with
-      | [ one ] -> Ok one
-      | [] -> Error "no function with an omp parallel for; use --func"
-      | several ->
-          Error
-            (Printf.sprintf "several parallel functions (%s); use --func"
-               (String.concat ", " several)))
+let exec req = emit_payload (Service.Api.exec (Service.Api.create_store ()) req)
 
 (* ------------------------------------------------------------------ *)
 (* Common options                                                      *)
@@ -74,6 +60,12 @@ let func_arg =
 let threads_arg =
   Arg.(value & opt int 8
        & info [ "threads"; "t" ] ~docv:"N" ~doc:"OpenMP team size.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j"; "domains" ] ~docv:"N"
+           ~doc:"Worker domains (default: recommended for this machine). \
+                 Results are identical for any job count.")
 
 let wrap f = (try f () with
   | Minic.Parser.Error (m, l) ->
@@ -99,38 +91,13 @@ let wrap f = (try f () with
 
 let analyze file kernel func threads fs_chunk nfs_chunk predict contention =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src -> (
-      match func_of src func with
-      | Error e -> Printf.eprintf "%s\n" e; exit 1
-      | Ok func ->
-          let checked = checked_of src in
-          let fs_chunk, nfs_chunk =
-            match src with
-            | From_kernel k ->
-                ( Option.value ~default:k.Kernels.Kernel.fs_chunk fs_chunk,
-                  Option.value ~default:k.Kernels.Kernel.nfs_chunk nfs_chunk )
-            | From_file _ ->
-                ( Option.value ~default:1 fs_chunk,
-                  Option.value ~default:16 nfs_chunk )
-          in
-          let nest =
-            Loopir.Lower.lower checked ~func
-              ~params:[ ("num_threads", threads) ]
-          in
-          Format.printf "%a@." Loopir.Loop_nest.pp nest;
-          let mode =
-            match predict with
-            | Some runs -> Fsmodel.Overhead_percent.Predicted runs
-            | None -> Fsmodel.Overhead_percent.Full
-          in
-          let a =
-            Fsmodel.Overhead_percent.analyze ~mode ~contention ~threads
-              ~fs_chunk ~nfs_chunk ~func checked
-          in
-          Format.printf "%a@.%a@." Fsmodel.Overhead_percent.pp a
-            Costmodel.Total_cost.pp a.Fsmodel.Overhead_percent.breakdown)
+  | Ok source ->
+      exec
+        (Service.Req.v source
+           (Service.Req.Analyze
+              { func; threads; fs_chunk; nfs_chunk; predict; contention }))
 
 let analyze_cmd =
   let fs_chunk =
@@ -163,41 +130,13 @@ let analyze_cmd =
 
 let lint file kernel threads chunk json no_fixits params fail_on =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src ->
-      let checked = checked_of src in
-      let uri =
-        match src with
-        | From_file f -> f
-        | From_kernel k -> "kernel:" ^ k.Kernels.Kernel.name
-      in
-      let opts =
-        {
-          Analysis.Lint.default_options with
-          threads;
-          chunk;
-          fixits = not no_fixits;
-          params;
-        }
-      in
-      let report = Analysis.Lint.run ~opts ~uri checked in
-      if json then
-        print_string (Analysis.Json.to_string (Analysis.Diag.to_json report))
-      else print_string (Analysis.Diag.to_text report);
-      let fail =
-        match fail_on with
-        | `Never -> false
-        | `Race -> Analysis.Diag.error_count report > 0
-        | `Fs ->
-            Analysis.Diag.error_count report > 0
-            || List.exists
-                 (fun (f : Analysis.Diag.finding) ->
-                   f.Analysis.Diag.rule = "fs/line-conflict"
-                   && f.Analysis.Diag.severity <> Analysis.Diag.Info)
-                 report.Analysis.Diag.findings
-      in
-      if fail then exit 1
+  | Ok source ->
+      exec
+        (Service.Req.v source
+           (Service.Req.Lint
+              { threads; chunk; json; fixits = not no_fixits; params; fail_on }))
 
 let lint_cmd =
   let json =
@@ -222,8 +161,11 @@ let lint_cmd =
   in
   let fail_on =
     Arg.(value
-         & opt (enum [ ("race", `Race); ("fs", `Fs); ("never", `Never) ])
-             `Race
+         & opt
+             (enum
+                [ ("race", Service.Req.Race); ("fs", Service.Req.Fs);
+                  ("never", Service.Req.Never) ])
+             Service.Req.Race
          & info [ "fail-on" ] ~docv:"WHEN"
              ~doc:
                "When to exit non-zero: $(b,race) (default) on any \
@@ -246,46 +188,30 @@ let lint_cmd =
 let explain file kernel func threads chunk params engine format top trace_cap
     out =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src -> (
-      match func_of src func with
-      | Error e -> Printf.eprintf "%s\n" e; exit 1
-      | Ok func ->
-          let checked = checked_of src in
-          let uri, source =
-            match src with
-            | From_file f -> (f, read_file f)
-            | From_kernel k ->
-                ("kernel:" ^ k.Kernels.Kernel.name, k.Kernels.Kernel.source)
-          in
-          let params = ("num_threads", threads) :: params in
-          let nest = Loopir.Lower.lower checked ~func ~params in
-          let cfg =
-            { (Fsmodel.Model.default_config ~threads ()) with chunk; params }
-          in
-          let a =
-            Explain.analyze ~engine ?trace_cap ~uri ~func cfg ~nest ~checked
-          in
-          let emit s =
-            match out with
-            | None -> print_string s
-            | Some path ->
-                let oc = open_out_bin path in
-                Fun.protect
-                  ~finally:(fun () -> close_out_noerr oc)
-                  (fun () -> output_string oc s)
-          in
-          (match format with
-          | `Text -> emit (Explain.to_text ~source ~top a)
-          | `Heatmap -> emit (Explain.heatmap a)
-          | `Trace -> emit (Analysis.Json.to_string (Explain.trace_json a)));
-          if not (Explain.conservation_ok a) then begin
-            Printf.eprintf
-              "internal error: attribution does not sum back to the engine \
-               count\n";
-            exit 3
-          end)
+  | Ok source ->
+      let p =
+        Service.Api.exec
+          (Service.Api.create_store ())
+          (Service.Req.v source
+             (Service.Req.Explain
+                { func; threads; chunk; params; engine; format; top;
+                  trace_cap }))
+      in
+      (* The report goes to --out only when one was produced (code 0, or
+         3: report emitted but conservation failed) — analysis errors
+         must not create the file, exactly as the one-shot path. *)
+      (match out with
+      | None -> print_string p.Service.Api.output
+      | Some path when p.Service.Api.code = 0 || p.Service.Api.code = 3 ->
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc p.Service.Api.output)
+      | Some _ -> ());
+      prerr_string p.Service.Api.err;
+      if p.Service.Api.code <> 0 then exit p.Service.Api.code
 
 let explain_cmd =
   let chunk =
@@ -347,16 +273,19 @@ let explain_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let kernel_or_die k =
+  match Kernels.Registry.find k with
+  | Some kern -> kern
+  | None ->
+      Printf.eprintf "unknown kernel %S (try: %s)\n" k
+        (String.concat ", " (Kernels.Registry.names ()));
+      exit 1
+
 let simulate kernel threads chunk window =
   wrap @@ fun () ->
-  match load ~file:None ~kernel:(Some kernel) with
-  | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok (From_kernel k) ->
-      let m =
-        Execsim.Run.measure ?chunk ~interleave_window:window ~threads k
-      in
-      Format.printf "%a@." Execsim.Run.pp_measurement m
-  | Ok (From_file _) -> assert false
+  let k = kernel_or_die kernel in
+  let m = Execsim.Run.measure ?chunk ~interleave_window:window ~threads k in
+  Format.printf "%a@." Execsim.Run.pp_measurement m
 
 let simulate_cmd =
   let kernel_pos =
@@ -380,22 +309,19 @@ let simulate_cmd =
 (* advise                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let advise file kernel func threads =
+let advise file kernel func threads jobs =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src -> (
-      match func_of src func with
-      | Error e -> Printf.eprintf "%s\n" e; exit 1
-      | Ok func ->
-          let checked = checked_of src in
-          let a = Fsmodel.Advisor.advise ~threads ~func checked in
-          Format.printf "%a@." Fsmodel.Advisor.pp a)
+  | Ok source ->
+      exec
+        (Service.Req.v source (Service.Req.Advise { func; threads; jobs }))
 
 let advise_cmd =
   Cmd.v
     (Cmd.info "advise" ~doc:"Chunk-size and padding advice to eliminate FS")
-    Term.(const advise $ file_arg $ kernel_arg $ func_arg $ threads_arg)
+    Term.(const advise $ file_arg $ kernel_arg $ func_arg $ threads_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* eliminate                                                           *)
@@ -403,21 +329,10 @@ let advise_cmd =
 
 let eliminate file kernel func threads =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src -> (
-      match func_of src func with
-      | Error e -> Printf.eprintf "%s\n" e; exit 1
-      | Ok func -> (
-          let checked = checked_of src in
-          match Fsmodel.Eliminate.eliminate ~threads ~func checked with
-          | after, plan ->
-              Format.printf "/* fsdetect: %a*/@.%s"
-                Fsmodel.Eliminate.pp_plan plan
-                (Minic.Pretty.program_to_string after.Minic.Typecheck.prog)
-          | exception Fsmodel.Eliminate.Unsupported m ->
-              Printf.eprintf "cannot eliminate: %s\n" m;
-              exit 1))
+  | Ok source ->
+      exec (Service.Req.v source (Service.Req.Eliminate { func; threads }))
 
 let eliminate_cmd =
   Cmd.v
@@ -433,13 +348,10 @@ let eliminate_cmd =
 
 let compare_detectors kernel threads chunks =
   wrap @@ fun () ->
-  match load ~file:None ~kernel:(Some kernel) with
-  | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok (From_kernel k) ->
-      let chunks = match chunks with [] -> [ 1; 2; 4; 8; 16; 32 ] | l -> l in
-      let c = Baseline.Compare.run ~chunks ~threads k in
-      Format.printf "%a@." Baseline.Compare.pp c
-  | Ok (From_file _) -> assert false
+  let k = kernel_or_die kernel in
+  let chunks = match chunks with [] -> [ 1; 2; 4; 8; 16; 32 ] | l -> l in
+  let c = Baseline.Compare.run ~chunks ~threads k in
+  Format.printf "%a@." Baseline.Compare.pp c
 
 let compare_cmd =
   let kernel_pos =
@@ -507,12 +419,6 @@ let fuzz_cmd =
          & info [ "time-budget" ] ~docv:"SECONDS"
              ~doc:"Stop generating new cases after this many seconds.")
   in
-  let jobs =
-    Arg.(value & opt (some int) None
-         & info [ "jobs"; "j" ] ~docv:"N"
-             ~doc:"Worker domains (default: recommended for this machine). \
-                   The generated corpus is identical for any job count.")
-  in
   let out =
     Arg.(value & opt string "fuzz-failures"
          & info [ "out"; "o" ] ~docv:"DIR"
@@ -548,8 +454,34 @@ let fuzz_cmd =
           analyzer against each other and against brute force (exit 1 \
           on any disagreement, with a shrunk counterexample written to \
           $(b,--out))")
-    Term.(const fuzz $ seed $ count $ time_budget $ jobs $ out $ corpus
+    Term.(const fuzz $ seed $ count $ time_budget $ jobs_arg $ out $ corpus
           $ inject $ max_failures $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve jobs capacity = Service.Serve.run ?jobs ?capacity ()
+
+let serve_cmd =
+  let capacity =
+    Arg.(value & opt (some int) None
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Memo-cache entry bound across all stages (default 1024); \
+                   least-recently-used entries are evicted beyond it.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Analysis as a service: read newline-delimited JSON-RPC requests \
+          from stdin, answer one response per line on stdout.  Analyses \
+          share a content-addressed memo cache (parse / typecheck / loop IR \
+          / response stages), so repeated or incrementally-edited requests \
+          are answered from cache; $(b,batch) requests shard across \
+          $(b,--jobs) worker domains and stream per-item results.  Methods: \
+          analyze, lint, explain, advise, eliminate, dump, batch, ping, \
+          version, kernels, cache_stats, shutdown.")
+    Term.(const serve $ jobs_arg $ capacity)
 
 (* ------------------------------------------------------------------ *)
 (* kernels, dump                                                       *)
@@ -570,19 +502,10 @@ let kernels_cmd =
 
 let dump file kernel threads =
   wrap @@ fun () ->
-  match load ~file ~kernel with
+  match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
-  | Ok src ->
-      let checked = checked_of src in
-      Format.printf "%s@."
-        (Minic.Pretty.program_to_string checked.Minic.Typecheck.prog);
-      List.iter
-        (fun f ->
-          List.iter
-            (fun nest -> Format.printf "%a@." Loopir.Loop_nest.pp nest)
-            (Loopir.Lower.lower_all checked ~func:f
-               ~params:[ ("num_threads", threads) ]))
-        (Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog)
+  | Ok source ->
+      exec (Service.Req.v source (Service.Req.Dump { threads }))
 
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Parse and dump a program and its loop nests")
@@ -597,4 +520,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; lint_cmd; explain_cmd; simulate_cmd; advise_cmd;
-            eliminate_cmd; compare_cmd; fuzz_cmd; kernels_cmd; dump_cmd ]))
+            eliminate_cmd; compare_cmd; fuzz_cmd; serve_cmd; kernels_cmd;
+            dump_cmd ]))

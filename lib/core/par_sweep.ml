@@ -48,3 +48,143 @@ let map ?domains f xs =
 
 let mapi ?domains f xs =
   map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let map_stream ?domains ~on_result f xs =
+  let items = Array.of_list xs in
+  let len = Array.length items in
+  let n =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Par_sweep.map_stream: domains < 1";
+        d
+    | None -> recommended_domains ()
+  in
+  if n <= 1 || len <= 1 then
+    List.mapi
+      (fun i x ->
+        let r = f x in
+        on_result i r;
+        r)
+      xs
+  else begin
+    let results = Array.make len None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < len then begin
+          let r = try Ok (f items.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          (match r with Ok v -> on_result i v | Error _ -> ());
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = Array.init (min n len - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Long-lived worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A server wants its domains up before the first request and alive
+   after the last: Pool keeps [domains] workers blocked on a condition
+   variable, jobs are closures run FIFO.  With one worker the pool is a
+   deterministic serial executor (the serve protocol goldens rely on
+   this); job exceptions are swallowed after [on_error] so a poisoned
+   request can never kill a worker. *)
+
+module Pool = struct
+  type t = {
+    jobs : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    have_work : Condition.t;
+    idle : Condition.t;
+    mutable running : int;  (* jobs currently executing *)
+    mutable closed : bool;
+    mutable workers : unit Domain.t array;
+    on_error : exn -> unit;
+  }
+
+  let worker t () =
+    let rec go () =
+      Mutex.lock t.lock;
+      while Queue.is_empty t.jobs && not t.closed do
+        Condition.wait t.have_work t.lock
+      done;
+      if Queue.is_empty t.jobs && t.closed then Mutex.unlock t.lock
+      else begin
+        let job = Queue.pop t.jobs in
+        t.running <- t.running + 1;
+        Mutex.unlock t.lock;
+        (try job () with e -> t.on_error e);
+        Mutex.lock t.lock;
+        t.running <- t.running - 1;
+        if Queue.is_empty t.jobs && t.running = 0 then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.lock;
+        go ()
+      end
+    in
+    go ()
+
+  let create ?domains ?(on_error = fun _ -> ()) () =
+    let n =
+      match domains with
+      | Some d ->
+          if d < 1 then invalid_arg "Par_sweep.Pool.create: domains < 1";
+          d
+      | None -> recommended_domains ()
+    in
+    let t =
+      {
+        jobs = Queue.create ();
+        lock = Mutex.create ();
+        have_work = Condition.create ();
+        idle = Condition.create ();
+        running = 0;
+        closed = false;
+        workers = [||];
+        on_error;
+      }
+    in
+    t.workers <- Array.init n (fun _ -> Domain.spawn (worker t));
+    t
+
+  let size t = Array.length t.workers
+
+  let submit t job =
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Par_sweep.Pool.submit: pool is shut down"
+    end;
+    Queue.push job t.jobs;
+    Condition.signal t.have_work;
+    Mutex.unlock t.lock
+
+  let wait t =
+    Mutex.lock t.lock;
+    while not (Queue.is_empty t.jobs && t.running = 0) do
+      Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.closed <- true;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+end

@@ -17,3 +17,45 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** {!map} with the element's input-order index. *)
+
+val map_stream :
+  ?domains:int ->
+  on_result:(int -> 'b -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map}, but [on_result i r] fires as soon as element [i]'s result
+    exists — from whichever domain computed it, concurrently with other
+    callbacks — so a server can stream per-item results of a sharded
+    batch while the rest is still running.  The callback must do its own
+    locking.  The returned list is in input order, identical to
+    {!map}'s; with [domains = 1] callbacks fire sequentially in input
+    order.  A raised exception is re-raised in the calling domain after
+    all domains join (no callback fires for the failed element). *)
+
+(** Long-lived worker domains consuming a FIFO job queue — the serving
+    counterpart to the one-shot {!map}: domains are up before the first
+    request and stay warm between requests. *)
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> ?on_error:(exn -> unit) -> unit -> t
+  (** Spawn [domains] workers (default {!recommended_domains}).  A job
+      that raises reports to [on_error] (default: ignore) and never
+      kills its worker.  @raise Invalid_argument when [domains < 1]. *)
+
+  val size : t -> int
+  (** Worker count. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a job; jobs start in submission order.  With one worker
+      the pool is a deterministic serial executor.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val wait : t -> unit
+  (** Block until the queue is empty and no job is running. *)
+
+  val shutdown : t -> unit
+  (** Drain remaining jobs, then join every worker.  Idempotent in
+      effect; [submit] afterwards raises. *)
+end

@@ -1,0 +1,310 @@
+(* Request execution over the staged cache.
+
+   The output-byte contract with bin/fsdetect.ml is load-bearing: the
+   golden CLI transcripts and lint goldens must not change when the
+   subcommands become wrappers over this module.  Where the CLI printed
+   through Format.printf, the same format strings run through
+   Format.asprintf here (fresh formatters share the default margin, so
+   the rendering is identical); where it printed errors and exited, the
+   same message lands in [err] with the same exit code. *)
+
+type payload = { output : string; err : string; code : int }
+
+type value =
+  | V_ast of Minic.Ast.program
+  | V_checked of Minic.Typecheck.checked
+  | V_nest of Loopir.Loop_nest.t
+  | V_nests of Loopir.Loop_nest.t list
+  | V_payload of payload
+
+type store = value Cache.t
+
+let create_store ?capacity () : store = Cache.create ?capacity ()
+let stats = Cache.stats
+let stage_stats = Cache.stage_stats
+let clear = Cache.clear
+
+let params_key params =
+  String.concat ";"
+    (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) params)
+
+(* Stage accessors.  The expect_* mismatches are unreachable: every
+   stage writes exactly one constructor and stage names partition the
+   key space. *)
+
+let expect_ast = function V_ast a -> a | _ -> assert false
+let expect_checked = function V_checked c -> c | _ -> assert false
+let expect_nest = function V_nest n -> n | _ -> assert false
+let expect_nests = function V_nests n -> n | _ -> assert false
+let expect_payload = function V_payload p -> p | _ -> assert false
+
+let ast store ~digest ~text =
+  expect_ast
+    (Cache.find_or_add store ~stage:"parse" ~key:digest (fun () ->
+         V_ast (Minic.Parser.parse_program text)))
+
+let checked store ~digest ~text =
+  expect_checked
+    (Cache.find_or_add store ~stage:"typecheck" ~key:digest (fun () ->
+         V_checked (Minic.Typecheck.check_program (ast store ~digest ~text))))
+
+let lower store ~digest ~checked ~func ~params =
+  let key = Printf.sprintf "%s:%s:%s" digest func (params_key params) in
+  expect_nest
+    (Cache.find_or_add store ~stage:"lower" ~key (fun () ->
+         V_nest (Loopir.Lower.lower checked ~func ~params)))
+
+let lower_all store ~digest ~checked ~func ~params =
+  let key = Printf.sprintf "%s:%s:%s" digest func (params_key params) in
+  expect_nests
+    (Cache.find_or_add store ~stage:"lower_all" ~key (fun () ->
+         V_nests (Loopir.Lower.lower_all checked ~func ~params)))
+
+(* ------------------------------------------------------------------ *)
+(* Error translation (the CLI's `wrap`, as data)                       *)
+(* ------------------------------------------------------------------ *)
+
+let fail buf msg = { output = Buffer.contents buf; err = msg; code = 1 }
+
+let guard buf f =
+  try f () with
+  | Minic.Parser.Error (m, l) ->
+      fail buf (Printf.sprintf "parse error (line %d): %s\n" l m)
+  | Minic.Lexer.Error (m, l) ->
+      fail buf (Printf.sprintf "lex error (line %d): %s\n" l m)
+  | Minic.Preproc.Error (m, l) ->
+      fail buf (Printf.sprintf "preprocessor error (line %d): %s\n" l m)
+  | Minic.Typecheck.Type_error m ->
+      fail buf (Printf.sprintf "type error: %s\n" m)
+  | Loopir.Lower.Lower_error m ->
+      fail buf (Printf.sprintf "analysis error: %s\n" m)
+  | Loopir.Expr_eval.Unbound v ->
+      fail buf
+        (Printf.sprintf
+           "analysis error: unbound identifier '%s' (bind it with -p \
+            %s=VAL)\n"
+           v v)
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_of_source = function
+  | Req.Kernel k | Req.Sym_kernel k -> Kernels.Registry.find k
+  | Req.Text _ -> None
+
+let func_for store ~digest ~text req = function
+  | Some f -> Ok f
+  | None -> (
+      match kernel_of_source req.Req.source with
+      | Some k -> Ok k.Kernels.Kernel.func
+      | None -> (
+          let c = checked store ~digest ~text in
+          match
+            Loopir.Lower.find_parallel_functions c.Minic.Typecheck.prog
+          with
+          | [ one ] -> Ok one
+          | [] -> Error "no function with an omp parallel for; use --func"
+          | several ->
+              Error
+                (Printf.sprintf "several parallel functions (%s); use --func"
+                   (String.concat ", " several))))
+
+let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
+    ~predict ~contention =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  match func_for store ~digest ~text req func with
+  | Error e -> fail buf (e ^ "\n")
+  | Ok func ->
+      let c = checked store ~digest ~text in
+      let fs_chunk, nfs_chunk =
+        match kernel_of_source req.Req.source with
+        | Some k ->
+            ( Option.value ~default:k.Kernels.Kernel.fs_chunk fs_chunk,
+              Option.value ~default:k.Kernels.Kernel.nfs_chunk nfs_chunk )
+        | None ->
+            (Option.value ~default:1 fs_chunk,
+             Option.value ~default:16 nfs_chunk)
+      in
+      let nest =
+        lower store ~digest ~checked:c ~func
+          ~params:[ ("num_threads", threads) ]
+      in
+      Buffer.add_string buf
+        (Format.asprintf "%a@." Loopir.Loop_nest.pp nest);
+      let mode =
+        match predict with
+        | Some runs -> Fsmodel.Overhead_percent.Predicted runs
+        | None -> Fsmodel.Overhead_percent.Full
+      in
+      let a =
+        Fsmodel.Overhead_percent.analyze ~mode ~arch:req.Req.arch ~contention
+          ~threads ~fs_chunk ~nfs_chunk ~func c
+      in
+      Buffer.add_string buf
+        (Format.asprintf "%a@.%a@." Fsmodel.Overhead_percent.pp a
+           Costmodel.Total_cost.pp a.Fsmodel.Overhead_percent.breakdown);
+      { output = Buffer.contents buf; err = ""; code = 0 }
+
+let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
+    ~params ~fail_on =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  let c = checked store ~digest ~text in
+  let opts =
+    { Analysis.Lint.arch = req.Req.arch; threads; chunk; fixits; params }
+  in
+  let report = Analysis.Lint.run ~opts ~uri c in
+  let output =
+    if json then Analysis.Json.to_string (Analysis.Diag.to_json report)
+    else Analysis.Diag.to_text report
+  in
+  let gate =
+    match fail_on with
+    | Req.Never -> false
+    | Req.Race -> Analysis.Diag.error_count report > 0
+    | Req.Fs ->
+        Analysis.Diag.error_count report > 0
+        || List.exists
+             (fun (f : Analysis.Diag.finding) ->
+               f.Analysis.Diag.rule = "fs/line-conflict"
+               && f.Analysis.Diag.severity <> Analysis.Diag.Info)
+             report.Analysis.Diag.findings
+  in
+  { output; err = ""; code = (if gate then 1 else 0) }
+
+let run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params
+    ~engine ~format ~top ~trace_cap =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  match func_for store ~digest ~text req func with
+  | Error e -> fail buf (e ^ "\n")
+  | Ok func ->
+      let c = checked store ~digest ~text in
+      let params = ("num_threads", threads) :: params in
+      let nest = lower store ~digest ~checked:c ~func ~params in
+      let cfg =
+        {
+          (Fsmodel.Model.default_config ~arch:req.Req.arch ~threads ()) with
+          chunk;
+          params;
+        }
+      in
+      let a =
+        Explain.analyze ~engine ?trace_cap ~uri ~func cfg ~nest ~checked:c
+      in
+      let output =
+        match format with
+        | `Text -> Explain.to_text ~source:text ~top a
+        | `Heatmap -> Explain.heatmap a
+        | `Trace -> Analysis.Json.to_string (Explain.trace_json a)
+      in
+      if not (Explain.conservation_ok a) then
+        {
+          output;
+          err =
+            "internal error: attribution does not sum back to the engine \
+             count\n";
+          code = 3;
+        }
+      else { output; err = ""; code = 0 }
+
+let run_advise store ~digest ~text req ~func ~threads ~jobs =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  match func_for store ~digest ~text req func with
+  | Error e -> fail buf (e ^ "\n")
+  | Ok func ->
+      let c = checked store ~digest ~text in
+      let a =
+        Fsmodel.Advisor.advise ~arch:req.Req.arch ?domains:jobs ~threads
+          ~func c
+      in
+      {
+        output = Format.asprintf "%a@." Fsmodel.Advisor.pp a;
+        err = "";
+        code = 0;
+      }
+
+let run_eliminate store ~digest ~text req ~func ~threads =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  match func_for store ~digest ~text req func with
+  | Error e -> fail buf (e ^ "\n")
+  | Ok func -> (
+      let c = checked store ~digest ~text in
+      match Fsmodel.Eliminate.eliminate ~arch:req.Req.arch ~threads ~func c with
+      | after, plan ->
+          {
+            output =
+              Format.asprintf "/* fsdetect: %a*/@.%s"
+                Fsmodel.Eliminate.pp_plan plan
+                (Minic.Pretty.program_to_string after.Minic.Typecheck.prog);
+            err = "";
+            code = 0;
+          }
+      | exception Fsmodel.Eliminate.Unsupported m ->
+          fail buf (Printf.sprintf "cannot eliminate: %s\n" m))
+
+let run_dump store ~digest ~text ~threads =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  let c = checked store ~digest ~text in
+  Buffer.add_string buf
+    (Format.asprintf "%s@."
+       (Minic.Pretty.program_to_string c.Minic.Typecheck.prog));
+  List.iter
+    (fun f ->
+      List.iter
+        (fun nest ->
+          Buffer.add_string buf
+            (Format.asprintf "%a@." Loopir.Loop_nest.pp nest))
+        (lower_all store ~digest ~checked:c ~func:f
+           ~params:[ ("num_threads", threads) ]))
+    (Loopir.Lower.find_parallel_functions c.Minic.Typecheck.prog);
+  { output = Buffer.contents buf; err = ""; code = 0 }
+
+let compute store (req : Req.t) ~uri ~text =
+  let digest = Digest.to_hex (Digest.string text) in
+  match req.Req.kind with
+  | Req.Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention }
+    ->
+      run_analyze store ~digest ~text req ~func ~threads ~fs_chunk
+        ~nfs_chunk ~predict ~contention
+  | Req.Lint { threads; chunk; json; fixits; params; fail_on } ->
+      run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
+        ~params ~fail_on
+  | Req.Explain { func; threads; chunk; params; engine; format; top; trace_cap }
+    ->
+      run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params
+        ~engine ~format ~top ~trace_cap
+  | Req.Advise { func; threads; jobs } ->
+      run_advise store ~digest ~text req ~func ~threads ~jobs
+  | Req.Eliminate { func; threads } ->
+      run_eliminate store ~digest ~text req ~func ~threads
+  | Req.Dump { threads } -> run_dump store ~digest ~text ~threads
+
+let exec store (req : Req.t) =
+  match Req.cache_key req with
+  | Error msg -> { output = ""; err = msg ^ "\n"; code = 1 }
+  | Ok key ->
+      expect_payload
+        (Cache.find_or_add store ~stage:"resp" ~key (fun () ->
+             let uri, text =
+               match Req.source_text req.Req.source with
+               | Ok ut -> ut
+               | Error _ -> assert false (* cache_key already resolved it *)
+             in
+             V_payload (compute store req ~uri ~text)))
+
+let stats_json store =
+  let s = stats store in
+  Analysis.Json.Obj
+    [
+      ("hits", Analysis.Json.Int s.Cache.hits);
+      ("misses", Analysis.Json.Int s.Cache.misses);
+      ("evictions", Analysis.Json.Int s.Cache.evictions);
+      ("entries", Analysis.Json.Int s.Cache.entries);
+      ("capacity", Analysis.Json.Int s.Cache.capacity);
+    ]

@@ -1,0 +1,142 @@
+(* Hashtbl + intrusive doubly-linked recency list, one mutex.  The DLL
+   uses a sentinel node so link/unlink have no edge cases; most-recent
+   entries sit right after the sentinel, eviction pops the node right
+   before it. *)
+
+type 'v node = {
+  full_key : string;
+  value : 'v;
+  mutable prev : 'v node;
+  mutable next : 'v node;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type 'v t = {
+  capacity : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable sentinel : 'v node option;  (* allocated lazily: 'v has no zero *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  per_stage : (string, int ref * int ref) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    sentinel = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    per_stage = Hashtbl.create 8;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let full_key ~stage ~key = stage ^ "\x00" ^ key
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let link_front sentinel node =
+  node.prev <- sentinel;
+  node.next <- sentinel.next;
+  sentinel.next.prev <- node;
+  sentinel.next <- node
+
+let sentinel_for t value =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      (* self-linked dummy carrying an arbitrary value; never looked up *)
+      let rec s = { full_key = ""; value; prev = s; next = s } in
+      t.sentinel <- Some s;
+      s
+
+let stage_counters t stage =
+  match Hashtbl.find_opt t.per_stage stage with
+  | Some c -> c
+  | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace t.per_stage stage c;
+      c
+
+let find_or_add t ~stage ~key f =
+  let fk = full_key ~stage ~key in
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table fk with
+        | Some node ->
+            t.hits <- t.hits + 1;
+            incr (fst (stage_counters t stage));
+            (match t.sentinel with
+            | Some s ->
+                unlink node;
+                link_front s node
+            | None -> assert false);
+            Some node.value
+        | None ->
+            t.misses <- t.misses + 1;
+            incr (snd (stage_counters t stage));
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      locked t (fun () ->
+          if not (Hashtbl.mem t.table fk) then begin
+            let s = sentinel_for t v in
+            let node = { full_key = fk; value = v; prev = s; next = s } in
+            link_front s node;
+            Hashtbl.replace t.table fk node;
+            if Hashtbl.length t.table > t.capacity then begin
+              let victim = s.prev in
+              unlink victim;
+              Hashtbl.remove t.table victim.full_key;
+              t.evictions <- t.evictions + 1
+            end
+          end);
+      v
+
+let mem t ~stage ~key =
+  locked t (fun () -> Hashtbl.mem t.table (full_key ~stage ~key))
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let stage_stats t stage =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.per_stage stage with
+      | Some (h, m) -> (!h, !m)
+      | None -> (0, 0))
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      match t.sentinel with
+      | Some s ->
+          s.next <- s;
+          s.prev <- s
+      | None -> ())

@@ -1,0 +1,51 @@
+(** Bounded, domain-safe, content-addressed memo cache.
+
+    One cache holds every pipeline stage of the service: entries are
+    keyed by [(stage, key)] where [key] is built from content digests
+    (source text, arch spec, parameter bindings), so two requests that
+    share upstream work — the same source linted twice, the same file
+    analyzed under a new arch — meet in the same entry.
+
+    Eviction is LRU over {e all} stages with a bounded entry count: a
+    long-running [fsdetect serve] holds the hottest parse trees, lowered
+    nests and responses and lets cold corpora age out.  Hits, misses and
+    evictions are counted globally and per stage (the per-stage counters
+    are how the invalidation tests pin down {e which} stages a given
+    digest change re-runs).
+
+    All operations are guarded by one mutex; [find_or_add] computes
+    misses {e outside} the lock, so concurrent domains never serialize
+    on each other's analyses.  Two domains racing on the same missing
+    key may both compute it — both results are identical by construction
+    (the pipeline is deterministic), the second insert is dropped. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'v t
+(** [capacity] (default [1024]) bounds the entry count across all
+    stages.  @raise Invalid_argument when [capacity < 1]. *)
+
+val find_or_add : 'v t -> stage:string -> key:string -> (unit -> 'v) -> 'v
+(** Return the cached value for [(stage, key)], or compute, insert and
+    return it.  The computation runs unlocked; an exception it raises
+    propagates and caches nothing. *)
+
+val mem : 'v t -> stage:string -> key:string -> bool
+(** Presence test (does not touch recency or counters). *)
+
+val stats : 'v t -> stats
+
+val stage_stats : 'v t -> string -> int * int
+(** [(hits, misses)] recorded for one stage name ([(0, 0)] for a stage
+    never seen). *)
+
+val clear : 'v t -> unit
+(** Drop every entry (counters keep accumulating). *)

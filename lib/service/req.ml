@@ -1,0 +1,320 @@
+type source =
+  | Text of { name : string; content : string }
+  | Kernel of string
+  | Sym_kernel of string
+
+type fail_on = Race | Fs | Never
+
+type kind =
+  | Analyze of {
+      func : string option;
+      threads : int;
+      fs_chunk : int option;
+      nfs_chunk : int option;
+      predict : int option;
+      contention : bool;
+    }
+  | Lint of {
+      threads : int;
+      chunk : int option;
+      json : bool;
+      fixits : bool;
+      params : (string * int) list;
+      fail_on : fail_on;
+    }
+  | Explain of {
+      func : string option;
+      threads : int;
+      chunk : int option;
+      params : (string * int) list;
+      engine : Fsmodel.Model.engine;
+      format : [ `Text | `Heatmap | `Trace ];
+      top : int;
+      trace_cap : int option;
+    }
+  | Advise of { func : string option; threads : int; jobs : int option }
+  | Eliminate of { func : string option; threads : int }
+  | Dump of { threads : int }
+
+type t = { source : source; arch : Archspec.Arch.t; kind : kind }
+
+let v ?(arch = Archspec.Arch.paper_machine) source kind =
+  { source; arch; kind }
+
+let lint_defaults source =
+  v source
+    (Lint
+       {
+         threads = 8;
+         chunk = None;
+         json = false;
+         fixits = true;
+         params = [];
+         fail_on = Race;
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Latency.t holds per-class functions, so the arch cannot be keyed by
+   marshalling; spell out every field that can steer an analysis. *)
+let arch_key (a : Archspec.Arch.t) =
+  let buf = Buffer.create 256 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let geom (g : Archspec.Cache_geom.t) =
+    bpf "%s/%d/%d/%d/%d;" g.Archspec.Cache_geom.name
+      g.Archspec.Cache_geom.size_bytes g.Archspec.Cache_geom.line_bytes
+      g.Archspec.Cache_geom.associativity g.Archspec.Cache_geom.hit_latency
+  in
+  bpf "%s;%d;%d;%h;" a.Archspec.Arch.name a.Archspec.Arch.cores
+    a.Archspec.Arch.cores_per_socket a.Archspec.Arch.freq_ghz;
+  bpf "%s/%d" a.Archspec.Arch.core.Archspec.Latency.name
+    a.Archspec.Arch.core.Archspec.Latency.issue_width;
+  List.iter
+    (fun c ->
+      bpf "/%d:%d"
+        (a.Archspec.Arch.core.Archspec.Latency.latency c)
+        (a.Archspec.Arch.core.Archspec.Latency.units_per_cycle c))
+    Archspec.Latency.all_classes;
+  bpf ";";
+  geom a.Archspec.Arch.l1;
+  geom a.Archspec.Arch.l2;
+  geom a.Archspec.Arch.l3;
+  bpf "%d;%h;%d;%d;%d;%d" a.Archspec.Arch.mem_latency
+    a.Archspec.Arch.mem_bandwidth_bytes_per_cycle
+    a.Archspec.Arch.coherence_latency a.Archspec.Arch.tlb_entries
+    a.Archspec.Arch.page_bytes a.Archspec.Arch.tlb_miss_latency;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let unknown_kernel k =
+  Printf.sprintf "unknown kernel %S (try: %s)" k
+    (String.concat ", " (Kernels.Registry.names ()))
+
+let source_text source =
+  match source with
+  | Text { name; content } -> Ok (name, content)
+  | Kernel k -> (
+      match Kernels.Registry.find k with
+      | Some kern -> Ok ("kernel:" ^ k, kern.Kernels.Kernel.source)
+      | None -> Error (unknown_kernel k))
+  | Sym_kernel k -> (
+      match Kernels.Registry.find k with
+      | Some { Kernels.Kernel.parametric = Some p; _ } ->
+          Ok ("kernel:" ^ k ^ ":parametric", p.Kernels.Kernel.psource)
+      | Some _ ->
+          Error (Printf.sprintf "kernel %s has no parametric variant" k)
+      | None -> Error (unknown_kernel k))
+
+let source_digest source =
+  Result.map
+    (fun (_, content) -> Digest.to_hex (Digest.string content))
+    (source_text source)
+
+let params_key params =
+  String.concat ";"
+    (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) params)
+
+let opt_int = function None -> "-" | Some i -> string_of_int i
+let opt_str = function None -> "-" | Some s -> s
+
+let kind_key = function
+  | Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention } ->
+      Printf.sprintf "analyze:%s:%d:%s:%s:%s:%b" (opt_str func) threads
+        (opt_int fs_chunk) (opt_int nfs_chunk) (opt_int predict) contention
+  | Lint { threads; chunk; json; fixits; params; fail_on } ->
+      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s" threads (opt_int chunk) json
+        fixits (params_key params)
+        (match fail_on with Race -> "race" | Fs -> "fs" | Never -> "never")
+  | Explain { func; threads; chunk; params; engine; format; top; trace_cap }
+    ->
+      Printf.sprintf "explain:%s:%d:%s:%s:%s:%s:%d:%s" (opt_str func)
+        threads (opt_int chunk) (params_key params)
+        (match engine with `Fast -> "fast" | `Reference -> "reference")
+        (match format with
+        | `Text -> "text"
+        | `Heatmap -> "heatmap"
+        | `Trace -> "trace")
+        top (opt_int trace_cap)
+  | Advise { func; threads; jobs = _ } ->
+      (* jobs only parallelizes the sweep; results are identical *)
+      Printf.sprintf "advise:%s:%d" (opt_str func) threads
+  | Eliminate { func; threads } ->
+      Printf.sprintf "eliminate:%s:%d" (opt_str func) threads
+  | Dump { threads } -> Printf.sprintf "dump:%d" threads
+
+(* The lint report URI renders into the output text, so two sources with
+   equal content but different display names must not share a response
+   entry; fold the URI in alongside the content digest. *)
+let cache_key t =
+  Result.map
+    (fun (uri, content) ->
+      Printf.sprintf "%s|%s|%s|%s"
+        (Digest.to_hex (Digest.string content))
+        (Digest.to_hex (Digest.string uri))
+        (arch_key t.arch) (kind_key t.kind))
+    (source_text t.source)
+
+let method_name = function
+  | Analyze _ -> "analyze"
+  | Lint _ -> "lint"
+  | Explain _ -> "explain"
+  | Advise _ -> "advise"
+  | Eliminate _ -> "eliminate"
+  | Dump _ -> "dump"
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field_int params name default =
+  match Jsonp.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match Jsonp.to_int_opt j with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_int_opt params name =
+  match Jsonp.member name params with
+  | None | Some Analysis.Json.Null -> Ok None
+  | Some j -> (
+      match Jsonp.to_int_opt j with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_bool params name default =
+  match Jsonp.member name params with
+  | None -> Ok default
+  | Some j -> (
+      match Jsonp.to_bool_opt j with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S must be a boolean" name))
+
+let field_str_opt params name =
+  match Jsonp.member name params with
+  | None | Some Analysis.Json.Null -> Ok None
+  | Some j -> (
+      match Jsonp.to_string_opt j with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+
+let field_enum params name default table =
+  let* s = field_str_opt params name in
+  match s with
+  | None -> Ok default
+  | Some s -> (
+      match List.assoc_opt s table with
+      | Some v -> Ok v
+      | None ->
+          Error
+            (Printf.sprintf "field %S must be one of: %s" name
+               (String.concat ", " (List.map fst table))))
+
+(* {"n": 1024, "m": 8} -> [("n", 1024); ("m", 8)] *)
+let field_params params name =
+  match Jsonp.member name params with
+  | None -> Ok []
+  | Some (Analysis.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Jsonp.to_int_opt v with
+          | Some i -> Ok (acc @ [ (k, i) ])
+          | None ->
+              Error
+                (Printf.sprintf "field %S: binding %S must be an integer"
+                   name k))
+        (Ok []) fields
+  | Some _ ->
+      Error (Printf.sprintf "field %S must be an object of integers" name)
+
+let decode_source params =
+  let* src = field_str_opt params "source" in
+  let* kern = field_str_opt params "kernel" in
+  let* parametric = field_bool params "parametric" false in
+  match (src, kern) with
+  | Some content, None ->
+      let* name = field_str_opt params "name" in
+      Ok (Text { name = Option.value ~default:"<request>" name; content })
+  | None, Some k -> Ok (if parametric then Sym_kernel k else Kernel k)
+  | Some _, Some _ -> Error "give either \"source\" or \"kernel\", not both"
+  | None, None -> Error "missing \"source\" or \"kernel\""
+
+let decode_arch params =
+  let* base =
+    field_enum params "arch" Archspec.Arch.paper_machine
+      [
+        ("paper", Archspec.Arch.paper_machine);
+        ("small_test", Archspec.Arch.small_test_machine);
+      ]
+  in
+  let* line = field_int_opt params "line_bytes" in
+  match line with
+  | None -> Ok base
+  | Some b -> (
+      try Ok (Archspec.Arch.with_line_bytes base b)
+      with Invalid_argument m -> Error m)
+
+let of_json ~meth params =
+  let* source = decode_source params in
+  let* arch = decode_arch params in
+  let* threads = field_int params "threads" 8 in
+  let* kind =
+    match meth with
+    | "analyze" ->
+        let* func = field_str_opt params "func" in
+        let* fs_chunk = field_int_opt params "fs_chunk" in
+        let* nfs_chunk = field_int_opt params "nfs_chunk" in
+        let* predict = field_int_opt params "predict" in
+        let* contention = field_bool params "contention" false in
+        Ok (Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention })
+    | "lint" ->
+        let* chunk = field_int_opt params "chunk" in
+        let* json = field_bool params "json" false in
+        let* fixits = field_bool params "fixits" true in
+        let* bindings = field_params params "params" in
+        let* fail_on =
+          field_enum params "fail_on" Race
+            [ ("race", Race); ("fs", Fs); ("never", Never) ]
+        in
+        Ok (Lint { threads; chunk; json; fixits; params = bindings; fail_on })
+    | "explain" ->
+        let* func = field_str_opt params "func" in
+        let* chunk = field_int_opt params "chunk" in
+        let* bindings = field_params params "params" in
+        let* engine =
+          field_enum params "engine" `Fast
+            [ ("fast", `Fast); ("reference", `Reference) ]
+        in
+        let* format =
+          field_enum params "format" `Text
+            [ ("text", `Text); ("heatmap", `Heatmap); ("trace", `Trace) ]
+        in
+        let* top = field_int params "top" 3 in
+        let* trace_cap = field_int_opt params "trace_cap" in
+        Ok
+          (Explain
+             {
+               func;
+               threads;
+               chunk;
+               params = bindings;
+               engine;
+               format;
+               top;
+               trace_cap;
+             })
+    | "advise" ->
+        let* func = field_str_opt params "func" in
+        let* jobs = field_int_opt params "jobs" in
+        Ok (Advise { func; threads; jobs })
+    | "eliminate" ->
+        let* func = field_str_opt params "func" in
+        Ok (Eliminate { func; threads })
+    | "dump" -> Ok (Dump { threads })
+    | m -> Error (Printf.sprintf "unknown method %S" m)
+  in
+  Ok { source; arch; kind }

@@ -1,0 +1,34 @@
+(** [fsdetect serve] — analysis as a long-running service.
+
+    Newline-delimited JSON-RPC over stdin/stdout: one request object per
+    line in, one response object per line out.  Requests are
+    [{"id": ..., "method": ..., "params": {...}}]; responses echo the
+    id with either a ["result"] or an ["error"] object.  Every analysis
+    method shares one {!Api.store}, so repeated and incremental queries
+    hit the content-addressed cache and return without re-running the
+    pipeline.
+
+    Methods: the six analyses ({!Req.of_json} decodes their params),
+    ["batch"] (shard a request list across domains, streaming one
+    [{"id", "item": i, "result": ...}] line per entry as it completes,
+    then a final [{"id", "done": true, "items": n}]), plus ["ping"],
+    ["version"], ["kernels"], ["cache_stats"] and ["shutdown"].
+
+    Requests are handled by a {!Fsmodel.Par_sweep.Pool} of [jobs]
+    worker domains; responses are emitted in completion order (with
+    [jobs = 1] the server is fully deterministic: FIFO handling, batch
+    items streamed in list order).  Malformed JSON, unknown methods and
+    bad params produce JSON-RPC error responses — the server never
+    crashes on input. *)
+
+val run :
+  ?jobs:int ->
+  ?capacity:int ->
+  ?ic:in_channel ->
+  ?oc:out_channel ->
+  unit ->
+  unit
+(** Serve until [ic] (default stdin) reaches EOF or a ["shutdown"]
+    request arrives; in-flight requests drain before returning.
+    [jobs] defaults to {!Fsmodel.Par_sweep.recommended_domains};
+    [capacity] is the cache bound of {!Api.create_store}. *)

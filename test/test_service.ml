@@ -1,0 +1,408 @@
+(* The service layer's contract: cached responses are byte-identical to
+   cold ones for every analysis kind, digests invalidate exactly the
+   stages they should, the LRU stays bounded, and one store is safe to
+   share across domains.  Plus the protocol's JSON codec round-trips. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let text_source path =
+  Service.Req.Text { name = path; content = read_file path }
+
+let payload =
+  Alcotest.testable
+    (fun ppf (p : Service.Api.payload) ->
+      Format.fprintf ppf "{code=%d; out=%dB; err=%S}" p.Service.Api.code
+        (String.length p.Service.Api.output)
+        p.Service.Api.err)
+    ( = )
+
+(* Every analysis kind over every interesting source: registry kernels,
+   their parametric variants, and the adversarial fixtures (races,
+   parse / type errors, unbound size parameters). *)
+let requests () =
+  let kinds_for source =
+    let open Service.Req in
+    [
+      Analyze
+        {
+          func = None;
+          threads = 8;
+          fs_chunk = None;
+          nfs_chunk = None;
+          predict = None;
+          contention = false;
+        };
+      Lint
+        {
+          threads = 8;
+          chunk = None;
+          json = false;
+          fixits = true;
+          params = [];
+          fail_on = Race;
+        };
+      Lint
+        {
+          threads = 4;
+          chunk = Some 16;
+          json = true;
+          fixits = false;
+          params = [ ("n", 4096) ];
+          fail_on = Fs;
+        };
+      Explain
+        {
+          func = None;
+          threads = 8;
+          chunk = None;
+          params = [];
+          engine = `Fast;
+          format = `Text;
+          top = 3;
+          trace_cap = None;
+        };
+      Explain
+        {
+          func = None;
+          threads = 8;
+          chunk = None;
+          params = [];
+          engine = `Reference;
+          format = `Heatmap;
+          top = 3;
+          trace_cap = Some 64;
+        };
+      Advise { func = None; threads = 8; jobs = Some 1 };
+      Eliminate { func = None; threads = 8 };
+      Dump { threads = 8 };
+    ]
+    |> List.map (fun k -> Service.Req.v source k)
+  in
+  let sources =
+    [
+      Service.Req.Kernel "saxpy";
+      Service.Req.Kernel "stencil1d";
+      Service.Req.Sym_kernel "saxpy";
+      Service.Req.Kernel "no_such_kernel";
+      text_source "fixtures/racy_stencil.c";
+      text_source "fixtures/struct_adjacent.c";
+      text_source "fixtures/bad_syntax.c";
+      text_source "fixtures/bad_type.c";
+      text_source "fixtures/parametric_stride.c";
+    ]
+  in
+  List.concat_map kinds_for sources
+
+(* -- cache hits return the cold bytes ------------------------------- *)
+
+let test_warm_equals_cold () =
+  let shared = Service.Api.create_store () in
+  List.iter
+    (fun req ->
+      let cold = Service.Api.exec (Service.Api.create_store ()) req in
+      let first = Service.Api.exec shared req in
+      let warm = Service.Api.exec shared req in
+      Alcotest.check payload "cold store = shared store" cold first;
+      Alcotest.check payload "warm hit = cold response" cold warm)
+    (requests ())
+
+let test_warm_is_hit () =
+  let store = Service.Api.create_store () in
+  let req = Service.Req.lint_defaults (Service.Req.Kernel "saxpy") in
+  ignore (Service.Api.exec store req);
+  let h0, m0 = Service.Api.stage_stats store "resp" in
+  ignore (Service.Api.exec store req);
+  let h1, m1 = Service.Api.stage_stats store "resp" in
+  Alcotest.(check int) "one more resp hit" (h0 + 1) h1;
+  Alcotest.(check int) "no new resp miss" m0 m1
+
+(* -- digest changes invalidate exactly the right stages ------------- *)
+
+let stage_delta store f =
+  let stages = [ "parse"; "typecheck"; "lower"; "resp" ] in
+  let before = List.map (Service.Api.stage_stats store) stages in
+  f ();
+  let after = List.map (Service.Api.stage_stats store) stages in
+  List.map2
+    (fun (h0, m0) (h1, m1) -> (h1 - h0, m1 - m0))
+    before after
+
+let analyze_req ?(threads = 8) ?(arch = Archspec.Arch.paper_machine) source =
+  Service.Req.v ~arch source
+    (Service.Req.Analyze
+       {
+         func = None;
+         threads;
+         fs_chunk = None;
+         nfs_chunk = None;
+         predict = None;
+         contention = false;
+       })
+
+let check_deltas what expected got =
+  List.iter2
+    (fun (stage, exp_) got ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%s: %s (hits, misses)" what stage)
+        exp_ got)
+    (List.combine [ "parse"; "typecheck"; "lower"; "resp" ] expected)
+    got
+
+let test_invalidation () =
+  let store = Service.Api.create_store () in
+  let src = text_source "fixtures/struct_adjacent.c" in
+  (* cold: every stage misses once (the typecheck hit is the parallel-
+     function discovery re-reading the entry it just created) *)
+  check_deltas "cold" [ (0, 1); (1, 1); (0, 1); (0, 1) ]
+    (stage_delta store (fun () ->
+         ignore (Service.Api.exec store (analyze_req src))));
+  (* schedule-parameter change: parse/typecheck reused, lower+resp redo *)
+  check_deltas "threads change" [ (0, 0); (2, 0); (0, 1); (0, 1) ]
+    (stage_delta store (fun () ->
+         ignore (Service.Api.exec store (analyze_req ~threads:4 src))));
+  (* arch change: everything upstream of the response reused *)
+  check_deltas "arch change" [ (0, 0); (2, 0); (1, 0); (0, 1) ]
+    (stage_delta store (fun () ->
+         ignore
+           (Service.Api.exec store
+              (analyze_req ~arch:Archspec.Arch.small_test_machine src))));
+  (* source edit: new content digest misses every stage *)
+  let edited =
+    match src with
+    | Service.Req.Text { name; content } ->
+        Service.Req.Text { name; content = content ^ "\n" }
+    | _ -> assert false
+  in
+  check_deltas "source edit" [ (0, 1); (1, 1); (0, 1); (0, 1) ]
+    (stage_delta store (fun () ->
+         ignore (Service.Api.exec store (analyze_req edited))))
+
+(* -- bounded LRU ---------------------------------------------------- *)
+
+let test_eviction () =
+  let store = Service.Api.create_store ~capacity:4 () in
+  let reqs =
+    List.init 6 (fun i ->
+        Service.Req.v
+          (Service.Req.Text
+             {
+               name = Printf.sprintf "mem%d.c" i;
+               content =
+                 Printf.sprintf
+                   "int a[1024];\n\
+                    void f%d() {\n\
+                    #pragma omp parallel for\n\
+                    for (int i = 0; i < 64; i++) a[i] = %d;\n\
+                    }\n"
+                   i i;
+             })
+          (Service.Req.Dump { threads = 8 }))
+  in
+  List.iter (fun r -> ignore (Service.Api.exec store r)) reqs;
+  let s = Service.Api.stats store in
+  Alcotest.(check bool) "evicted something" true (s.Service.Cache.evictions > 0);
+  Alcotest.(check bool)
+    "entries bounded by capacity" true
+    (s.Service.Cache.entries <= 4);
+  (* an evicted response recomputes to the same bytes *)
+  let r0 = List.hd reqs in
+  let recomputed = Service.Api.exec store r0 in
+  let fresh = Service.Api.exec (Service.Api.create_store ()) r0 in
+  Alcotest.check payload "recomputed after eviction" fresh recomputed
+
+(* -- one store shared across domains -------------------------------- *)
+
+let test_cross_domain () =
+  let reqs = requests () in
+  let expected = List.map (Service.Api.exec (Service.Api.create_store ())) reqs in
+  let store = Service.Api.create_store () in
+  (* two rounds over the same shared store: misses then hits, any
+     interleaving across 4 domains *)
+  let round () =
+    Fsmodel.Par_sweep.map ~domains:4 (Service.Api.exec store) reqs
+  in
+  let first = round () and second = round () in
+  List.iter2
+    (Alcotest.check payload "parallel cold = sequential")
+    expected first;
+  List.iter2 (Alcotest.check payload "parallel warm = sequential") expected
+    second
+
+(* -- Pool and map_stream -------------------------------------------- *)
+
+let test_pool_fifo () =
+  let pool = Fsmodel.Par_sweep.Pool.create ~domains:1 () in
+  let seen = ref [] in
+  for i = 0 to 99 do
+    Fsmodel.Par_sweep.Pool.submit pool (fun () -> seen := i :: !seen)
+  done;
+  Fsmodel.Par_sweep.Pool.wait pool;
+  Alcotest.(check (list int))
+    "one worker runs FIFO"
+    (List.init 100 (fun i -> 99 - i))
+    !seen;
+  Fsmodel.Par_sweep.Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Par_sweep.Pool.submit: pool is shut down") (fun () ->
+      Fsmodel.Par_sweep.Pool.submit pool (fun () -> ()))
+
+let test_pool_survives_exceptions () =
+  let errors = Atomic.make 0 in
+  let pool =
+    Fsmodel.Par_sweep.Pool.create ~domains:2
+      ~on_error:(fun _ -> Atomic.incr errors)
+      ()
+  in
+  let ok = Atomic.make 0 in
+  for i = 0 to 49 do
+    Fsmodel.Par_sweep.Pool.submit pool (fun () ->
+        if i mod 5 = 0 then failwith "poisoned" else Atomic.incr ok)
+  done;
+  Fsmodel.Par_sweep.Pool.wait pool;
+  Fsmodel.Par_sweep.Pool.shutdown pool;
+  Alcotest.(check int) "failures reported" 10 (Atomic.get errors);
+  Alcotest.(check int) "other jobs unaffected" 40 (Atomic.get ok)
+
+let test_map_stream () =
+  let xs = List.init 40 (fun i -> i) in
+  let fired = Array.make 40 0 in
+  let m = Mutex.create () in
+  let results =
+    Fsmodel.Par_sweep.map_stream ~domains:4
+      ~on_result:(fun i r ->
+        Mutex.lock m;
+        fired.(i) <- fired.(i) + r;
+        Mutex.unlock m)
+      (fun x -> x * x)
+      xs
+  in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    results;
+  Alcotest.(check (list int))
+    "every callback fired exactly once"
+    (List.map (fun x -> x * x) xs)
+    (Array.to_list fired)
+
+(* -- protocol JSON codec -------------------------------------------- *)
+
+let rec json_eq a b =
+  let open Analysis.Json in
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Str x, Str y -> x = y
+  | List x, List y ->
+      List.length x = List.length y && List.for_all2 json_eq x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_eq v1 v2)
+           x y
+  | _ -> false
+
+let json_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Analysis.Json.Null;
+        map (fun b -> Analysis.Json.Bool b) bool;
+        map (fun i -> Analysis.Json.Int i) int;
+        map (fun s -> Analysis.Json.Str s) (string_size (0 -- 12));
+        map
+          (fun i -> Analysis.Json.Float (float_of_int i /. 16.))
+          (-1000 -- 1000);
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map
+              (fun l -> Analysis.Json.List l)
+              (list_size (0 -- 4) (self (n / 2)));
+            map
+              (fun l ->
+                Analysis.Json.Obj
+                  (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) l))
+              (list_size (0 -- 4) (self (n / 2)));
+          ])
+
+let prop_jsonp_roundtrip =
+  QCheck2.Test.make ~name:"to_line/parse round-trip" ~count:500 json_gen
+    (fun j ->
+      let line = Service.Jsonp.to_line j in
+      (not (String.contains line '\n'))
+      &&
+      match Service.Jsonp.parse line with
+      | Ok j' -> json_eq j j'
+      | Error _ -> false)
+
+let test_jsonp_errors () =
+  List.iter
+    (fun s ->
+      match Service.Jsonp.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse %S should fail" s)
+    [
+      ""; "{"; "[1,"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2";
+      "{\"a\":1,}"; "nul"; "\"bad \\x escape\"";
+    ]
+
+let test_jsonp_examples () =
+  let check s expected =
+    match Service.Jsonp.parse s with
+    | Ok j ->
+        Alcotest.(check bool) (Printf.sprintf "parse %S" s) true
+          (json_eq j expected)
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  let open Analysis.Json in
+  check "  {\"a\": [1, -2.5, true, null], \"b\\n\": \"\\u00e9\"}  "
+    (Obj
+       [
+         ("a", List [ Int 1; Float (-2.5); Bool true; Null ]);
+         ("b\n", Str "\xc3\xa9");
+       ]);
+  check "\"\\ud83d\\ude00\"" (Str "\xf0\x9f\x98\x80")
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "warm = cold for every kind" `Slow
+            test_warm_equals_cold;
+          Alcotest.test_case "second exec is a resp hit" `Quick
+            test_warm_is_hit;
+          Alcotest.test_case "stage-exact invalidation" `Quick
+            test_invalidation;
+          Alcotest.test_case "LRU eviction bounded" `Quick test_eviction;
+          Alcotest.test_case "shared across domains" `Slow test_cross_domain;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "single worker is FIFO" `Quick test_pool_fifo;
+          Alcotest.test_case "exceptions don't kill workers" `Quick
+            test_pool_survives_exceptions;
+          Alcotest.test_case "map_stream streams every result" `Quick
+            test_map_stream;
+        ] );
+      ( "jsonp",
+        [
+          QCheck_alcotest.to_alcotest prop_jsonp_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick
+            test_jsonp_errors;
+          Alcotest.test_case "examples" `Quick test_jsonp_examples;
+        ] );
+    ]
