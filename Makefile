@@ -8,6 +8,9 @@ build:
 # Tier-1 gate: full build + the whole alcotest/qcheck suite, then the
 # lint self-check: clean kernels must pass, the racy fixture must fail,
 # the parametric fixture must lint without -p and trip the FS gate.
+# The adversarial exact-tier fixtures must get definite verdicts: their
+# certified races gate the exit code, and even under --exact on no
+# analysis/unknown or analysis/exact-budget finding may remain.
 verify:
 	dune build
 	dune runtest
@@ -17,6 +20,10 @@ verify:
 	./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/parametric_stride.c > /dev/null
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on fs test/fixtures/parametric_stride.c > /dev/null
 	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never test/fixtures/racy_stencil.c > /dev/null
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/coupled_subscript.c > /dev/null 2>&1
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/divided_bound.c > /dev/null 2>&1
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never --exact on test/fixtures/coupled_subscript.c 2>&1 | grep 'analysis/'
+	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never --exact on test/fixtures/divided_bound.c 2>&1 | grep 'analysis/'
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
 

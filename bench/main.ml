@@ -797,6 +797,8 @@ let serve_section () =
            fixits = true;
            params = [];
            fail_on = Service.Req.Race;
+           exact = `Auto;
+           exact_budget = Analysis.Depend.default_exact_budget;
          })
   in
   let explain_req k =
@@ -873,6 +875,82 @@ let serve_section () =
       counts
   in
   serve_stats := Some (n, cold, warm, batch)
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Decisiveness and cost of the exact dependence tier: every registry
+   kernel's reference pairs classified with the tier off (Banerjee
+   only), then with the default budget.  "upgraded" counts pairs whose
+   Banerjee verdict was Unknown and became definite; "promoted" counts
+   pairs whose may-claim was certified as a must with a witness. *)
+let exact_stats : (string * int * int * int * float * float) list ref = ref []
+
+let exact_section () =
+  let threads = 8 in
+  let params = [ ("num_threads", threads) ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf
+    "Two-tier dependence analysis over every bundled kernel: Banerjee\n\
+     only (--exact off) vs the default exact tier.  \"upgraded\" pairs\n\
+     went from Unknown to a definite verdict; \"promoted\" pairs had a\n\
+     may-claim certified as a must-conflict with a witness.\n\n";
+  let rows =
+    List.map
+      (fun (kernel : Kernels.Kernel.t) ->
+        let checked = Kernels.Kernel.parse kernel in
+        let nest =
+          Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func ~params
+        in
+        let off, t_off =
+          time (fun () ->
+              Analysis.Depend.pairs ~line_bytes:64 ~params ~exact:`Off nest)
+        in
+        let on, t_on =
+          time (fun () -> Analysis.Depend.pairs ~line_bytes:64 ~params nest)
+        in
+        let unknown (p : Analysis.Depend.pair) =
+          match p.Analysis.Depend.verdict with
+          | Analysis.Depend.Unknown _ -> true
+          | _ -> false
+        in
+        let count2 f = List.fold_left2 (fun n a b -> if f a b then n + 1 else n) 0 off on in
+        let upgraded = count2 (fun po pe -> unknown po && not (unknown pe)) in
+        let promoted =
+          count2
+            (fun (po : Analysis.Depend.pair) (pe : Analysis.Depend.pair) ->
+              (not po.Analysis.Depend.ev.Analysis.Depend.ev_must)
+              && pe.Analysis.Depend.ev.Analysis.Depend.ev_must)
+        in
+        exact_stats :=
+          ( kernel.Kernels.Kernel.name,
+            List.length on,
+            upgraded,
+            promoted,
+            t_off,
+            t_on )
+          :: !exact_stats;
+        [
+          kernel.Kernels.Kernel.name;
+          string_of_int (List.length on);
+          string_of_int upgraded;
+          string_of_int promoted;
+          Printf.sprintf "%.4f" t_off;
+          Printf.sprintf "%.4f" t_on;
+        ])
+      (Kernels.Registry.all ())
+  in
+  print_endline
+    (Fsmodel.Report.table
+       ~header:
+         [ "kernel"; "pairs"; "upgraded"; "promoted"; "banerjee (s)";
+           "exact (s)" ]
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* micro (bechamel)                                                    *)
@@ -1030,6 +1108,20 @@ let write_bench_json ~total path =
         batch;
       bpf "    ]\n";
       bpf "  },\n");
+  let ex = List.rev !exact_stats in
+  if ex <> [] then begin
+    bpf "  \"exact\": [\n";
+    List.iteri
+      (fun i (kernel, pairs, upgraded, promoted, t_off, t_on) ->
+        bpf
+          "    { \"kernel\": %S, \"pairs\": %d, \"upgraded\": %d, \
+           \"promoted\": %d, \"seconds_banerjee\": %.4f, \"seconds_exact\": \
+           %.4f }%s\n"
+          kernel pairs upgraded promoted t_off t_on
+          (if i = List.length ex - 1 then "" else ","))
+      ex;
+    bpf "  ],\n"
+  end;
   bpf "  \"fs_counts\": [\n";
   let entries =
     Hashtbl.fold
@@ -1086,6 +1178,8 @@ let () =
   section "attrib" "attribution on/off engine A/B" attrib_section;
   section "compare" "compile-time model vs runtime detector" compare_section;
   section "serve" "analysis service: cold vs warm, batch scaling" serve_section;
+  section "exact" "two-tier dependence: Banerjee vs the exact tier"
+    exact_section;
   section "micro" "bechamel micro-benchmarks" micro;
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~total "BENCH.json";

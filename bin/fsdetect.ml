@@ -67,6 +67,24 @@ let jobs_arg =
            ~doc:"Worker domains (default: recommended for this machine). \
                  Results are identical for any job count.")
 
+let exact_arg =
+  Arg.(value
+       & opt
+           (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ])
+           `Auto
+       & info [ "exact" ] ~docv:"MODE"
+           ~doc:
+             "Exact (Omega-test) dependence tier: $(b,auto) (default) runs \
+              it and falls back to Banerjee silently on budget exhaustion, \
+              $(b,on) additionally reports every fallback as a finding, \
+              $(b,off) disables it.")
+
+let exact_budget_arg =
+  Arg.(value & opt int Analysis.Depend.default_exact_budget
+       & info [ "exact-budget" ] ~docv:"N"
+           ~doc:"Solver step allowance per reference pair for the exact \
+                 dependence tier.")
+
 let wrap f = (try f () with
   | Minic.Parser.Error (m, l) ->
       Printf.eprintf "parse error (line %d): %s\n" l m; exit 1
@@ -89,7 +107,8 @@ let wrap f = (try f () with
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze file kernel func threads fs_chunk nfs_chunk predict contention =
+let analyze file kernel func threads fs_chunk nfs_chunk predict contention
+    exact exact_budget =
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -97,7 +116,16 @@ let analyze file kernel func threads fs_chunk nfs_chunk predict contention =
       exec
         (Service.Req.v source
            (Service.Req.Analyze
-              { func; threads; fs_chunk; nfs_chunk; predict; contention }))
+              {
+                func;
+                threads;
+                fs_chunk;
+                nfs_chunk;
+                predict;
+                contention;
+                exact;
+                exact_budget;
+              }))
 
 let analyze_cmd =
   let fs_chunk =
@@ -122,13 +150,15 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-time FS cost model")
     Term.(const analyze $ file_arg $ kernel_arg $ func_arg $ threads_arg
-          $ fs_chunk $ nfs_chunk $ predict $ contention)
+          $ fs_chunk $ nfs_chunk $ predict $ contention $ exact_arg
+          $ exact_budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let lint file kernel threads chunk json no_fixits params fail_on =
+let lint file kernel threads chunk json no_fixits params fail_on exact
+    exact_budget =
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -136,7 +166,16 @@ let lint file kernel threads chunk json no_fixits params fail_on =
       exec
         (Service.Req.v source
            (Service.Req.Lint
-              { threads; chunk; json; fixits = not no_fixits; params; fail_on }))
+              {
+                threads;
+                chunk;
+                json;
+                fixits = not no_fixits;
+                params;
+                fail_on;
+                exact;
+                exact_budget;
+              }))
 
 let lint_cmd =
   let json =
@@ -179,7 +218,7 @@ let lint_cmd =
           parallel for nest (exit 1 per $(b,--fail-on), default: on any \
           error-severity finding)")
     Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
-          $ no_fixits $ params $ fail_on)
+          $ no_fixits $ params $ fail_on $ exact_arg $ exact_budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

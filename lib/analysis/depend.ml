@@ -6,13 +6,43 @@ type verdict =
   | Line_conflict
   | Unknown of string
 
-type pair = { a : Array_ref.t; b : Array_ref.t; verdict : verdict }
+type backend = Banerjee | Exact | Fallback of string
+
+type witness = {
+  w_params : (string * int) list;
+  w_a : (string * int) list;
+  w_b : (string * int) list;
+}
+
+type evidence = {
+  ev_backend : backend;
+  ev_must : bool;
+  ev_witness : witness option;
+}
+
+type exact_mode = [ `Auto | `On | `Off ]
+
+let default_exact_budget = 50_000
+
+type pair = {
+  a : Array_ref.t;
+  b : Array_ref.t;
+  verdict : verdict;
+  ev : evidence;
+}
 
 let verdict_name = function
   | Independent -> "independent"
   | Loop_carried -> "loop-carried"
   | Line_conflict -> "line-conflict"
   | Unknown _ -> "unknown"
+
+let backend_name = function
+  | Banerjee -> "banerjee"
+  | Exact -> "exact"
+  | Fallback m -> "banerjee (fallback: " ^ m ^ ")"
+
+let banerjee_ev ~must = { ev_backend = Banerjee; ev_must = must; ev_witness = None }
 
 (* ---------------------------------------------------------------- *)
 (* Interval arithmetic over the iteration box                        *)
@@ -266,7 +296,309 @@ let classify ~line_bytes ~params ~ranges ~trips (nest : Loop_nest.t)
     else Independent
   end
 
-let pairs ~line_bytes ~params (nest : Loop_nest.t) =
+(* ---------------------------------------------------------------- *)
+(* Exact backend: Omega-test feasibility over the iteration polyhedron *)
+(* ---------------------------------------------------------------- *)
+
+let witness_to_string w =
+  let binds l =
+    String.concat ", "
+      (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) l)
+  in
+  let core =
+    binds w.w_a ^ " vs " ^ binds (List.map (fun (v, x) -> (prime v, x)) w.w_b)
+  in
+  match w.w_params with [] -> core | ps -> binds ps ^ ": " ^ core
+
+exception Free_ident of string
+
+(* The exact encoding of one nest's pair of iterations: every loop
+   variable [v] with step [s] is normalized as [v = lo + s*k] with a
+   fresh counter [k >= 0], so strides and lower bounds are built into
+   the rows exactly.  Loops outside the parallel one are {e shared}
+   between the two iterations (the brute-force ground truth compares
+   two iterations of the parallel loop within one execution of the
+   outer sequential loops); the parallel loop and everything inside it
+   get an independent primed copy.  Loop bounds may divide by positive
+   constants: [e / c] introduces an auxiliary [q] with
+   [c*q <= e <= c*q + c - 1] (exact when [e] is provably non-negative,
+   where C truncation and floor agree).  Identifiers bound neither by
+   [params] nor by an enclosing loop become shared non-negative solver
+   variables when [free_ok], so the backend can decide nests the
+   interval box rejects. *)
+type xbox = {
+  mutable xrows : Affine.t list;
+  xval_a : (string * Affine.t) list;  (* loop var -> value, iteration A *)
+  xval_b : (string * Affine.t) list;  (* loop var -> value, iteration B *)
+  mutable xfree : string list;  (* free identifiers, most recent first *)
+  xka : string;  (* parallel counter, iteration A *)
+  xkb : string;  (* parallel counter, iteration B *)
+  mutable xfresh : int;
+  xfree_ok : bool;
+  xparams : (string * int) list;
+}
+
+let kvar v = "k:" ^ v
+let kvar' v = "k:" ^ v ^ "'"
+
+(* Counters and division quotients are the solver's own; source
+   identifiers can never collide with them ([:] and [+] are not ident
+   characters). *)
+let xsolver_var v =
+  String.length v >= 1
+  && (v.[0] = '+' || (String.length v >= 2 && v.[0] = 'k' && v.[1] = ':'))
+
+(* All solver variables here are non-negative (counters, free size
+   parameters, floor quotients of non-negative forms), so non-negative
+   coefficients and constant suffice. *)
+let provably_nonneg a =
+  Affine.const_part a >= 0 && Affine.fold_terms (fun _ k ok -> ok && k >= 0) a true
+
+let xregister xb v =
+  if not (List.mem v xb.xfree) then begin
+    if not xb.xfree_ok then raise (Free_ident v);
+    xb.xfree <- v :: xb.xfree;
+    xb.xrows <- Affine.var v :: xb.xrows
+  end
+
+let xfreshv xb tag =
+  xb.xfresh <- xb.xfresh + 1;
+  Printf.sprintf "+%s%d" tag xb.xfresh
+
+(* Compile a bound expression to an affine form over counters and free
+   parameters, emitting division rows as needed. *)
+let rec xcomp xb ~params env (e : Minic.Ast.expr) =
+  let add r = xb.xrows <- r :: xb.xrows in
+  match e with
+  | Minic.Ast.Int_lit k -> Affine.const k
+  | Minic.Ast.Ident v -> (
+      match List.assoc_opt v params with
+      | Some k -> Affine.const k
+      | None -> (
+          match List.assoc_opt v env with
+          | Some a -> a
+          | None ->
+              xregister xb v;
+              Affine.var v))
+  | Minic.Ast.Unop (Minic.Ast.Neg, e) -> Affine.neg (xcomp xb ~params env e)
+  | Minic.Ast.Binop (op, e1, e2) -> (
+      match op with
+      | Minic.Ast.Add ->
+          Affine.add (xcomp xb ~params env e1) (xcomp xb ~params env e2)
+      | Minic.Ast.Sub ->
+          Affine.sub (xcomp xb ~params env e1) (xcomp xb ~params env e2)
+      | Minic.Ast.Mul -> (
+          match
+            Affine.mul (xcomp xb ~params env e1) (xcomp xb ~params env e2)
+          with
+          | Some a -> a
+          | None -> raise (Not_analyzable "non-affine bound"))
+      | Minic.Ast.Div | Minic.Ast.Mod -> (
+          let a1 = xcomp xb ~params env e1 in
+          match Affine.is_const (xcomp xb ~params env e2) with
+          | Some c when c > 0 -> (
+              match Affine.is_const a1 with
+              | Some x ->
+                  (* C truncating semantics, as Expr_eval folds it *)
+                  Affine.const
+                    (if op = Minic.Ast.Div then x / c else x mod c)
+              | None ->
+                  if not (provably_nonneg a1) then
+                    raise
+                      (Not_analyzable
+                         "division of a possibly negative bound expression")
+                  else begin
+                    let q = xfreshv xb "q" in
+                    let qv = Affine.var q in
+                    add qv;
+                    add (Affine.sub a1 (Affine.scale c qv));
+                    add
+                      (Affine.sub
+                         (Affine.add (Affine.scale c qv) (Affine.const (c - 1)))
+                         a1);
+                    if op = Minic.Ast.Div then qv
+                    else Affine.sub a1 (Affine.scale c qv)
+                  end)
+          | _ -> raise (Not_analyzable "non-constant divisor"))
+      | _ -> raise (Not_analyzable "non-affine bound"))
+  | _ -> raise (Not_analyzable "non-affine bound")
+
+let exact_box ~params ~free_ok (nest : Loop_nest.t) =
+  let pvar = (Loop_nest.parallel_loop nest).Loop_nest.var in
+  let xb =
+    {
+      xrows = [];
+      xval_a = [];
+      xval_b = [];
+      xfree = [];
+      xka = kvar pvar;
+      xkb = kvar' pvar;
+      xfresh = 0;
+      xfree_ok = free_ok;
+      xparams = params;
+    }
+  in
+  let env_a = ref [] and env_b = ref [] in
+  let p = nest.Loop_nest.parallel_depth in
+  let xb =
+    List.iteri
+      (fun d (l : Loop_nest.loop) ->
+        let v = l.Loop_nest.var in
+        let bound env k =
+          let lo = xcomp xb ~params !env l.Loop_nest.lower in
+          let hi = xcomp xb ~params !env l.Loop_nest.upper_excl in
+          let value =
+            Affine.add lo (Affine.scale l.Loop_nest.step (Affine.var k))
+          in
+          xb.xrows <- Affine.var k :: xb.xrows;
+          xb.xrows <-
+            Affine.sub (Affine.sub hi (Affine.const 1)) value :: xb.xrows;
+          value
+        in
+        if d < p then begin
+          let value = bound env_a (kvar v) in
+          env_a := (v, value) :: !env_a;
+          env_b := (v, value) :: !env_b
+        end
+        else begin
+          let va = bound env_a (kvar v) in
+          env_a := (v, va) :: !env_a;
+          let vb = bound env_b (kvar' v) in
+          env_b := (v, vb) :: !env_b
+        end)
+      nest.Loop_nest.loops;
+    { xb with xval_a = !env_a; xval_b = !env_b }
+  in
+  xb
+
+(* A reference's byte offset over one iteration's counters.  Leftover
+   variables (subscripts mentioning identifiers bound by neither
+   [params] nor a loop) become shared free parameters. *)
+let xoffset xb ~params env (r : Array_ref.t) =
+  let a =
+    Affine.subst
+      (fun v -> List.assoc_opt v env)
+      (fold_params params r.Array_ref.offset)
+  in
+  List.iter
+    (fun v -> if not (xsolver_var v) then xregister xb v)
+    (Affine.vars a);
+  a
+
+let xvalue m v = match List.assoc_opt v m with Some x -> x | None -> 0
+
+let xwitness xb m =
+  let f = xvalue m in
+  let at env = List.rev_map (fun (v, a) -> (v, Affine.eval f a)) env in
+  {
+    w_params = List.rev_map (fun p -> (p, f p)) xb.xfree;
+    w_a = at xb.xval_a;
+    w_b = at xb.xval_b;
+  }
+
+(* Defense in depth: never emit a must-claim whose witness does not
+   check out byte-for-byte. *)
+let xvalidate ~line_bytes xb ~kind m offa offb sza szb =
+  let f = xvalue m in
+  let oa = Affine.eval f offa and ob = Affine.eval f offb in
+  let byte_overlap = oa <= ob + szb - 1 && ob <= oa + sza - 1 in
+  let la0 = fdiv oa line_bytes and la1 = fdiv (oa + sza - 1) line_bytes in
+  let lb0 = fdiv ob line_bytes and lb1 = fdiv (ob + szb - 1) line_bytes in
+  let line_share = max la0 lb0 <= min la1 lb1 in
+  f xb.xka <> f xb.xkb
+  &&
+  match kind with
+  | `Byte -> byte_overlap
+  | `Line -> line_share && not byte_overlap
+
+(* The exact decision ladder for one pair: byte-overlap feasibility in
+   both parallel directions, then exact line-sharing (an existential
+   line index, not a distance window).  [v0] is the Banerjee verdict to
+   keep when the backend cannot run to completion. *)
+let exact_classify ~line_bytes ~exact_budget xb ~region_rows
+    (ra : Array_ref.t) (rb : Array_ref.t) v0 =
+  let fallback msg =
+    (v0, { ev_backend = Fallback msg; ev_must = false; ev_witness = None })
+  in
+  match
+    let b = Exact.budget exact_budget in
+    let offa = xoffset xb ~params:xb.xparams xb.xval_a ra in
+    let offb = xoffset xb ~params:xb.xparams xb.xval_b rb in
+    let sza = ra.Array_ref.size_bytes and szb = rb.Array_ref.size_bytes in
+    let base = List.rev_append region_rows xb.xrows in
+    let dir_pos =
+      Affine.sub (Affine.sub (Affine.var xb.xkb) (Affine.var xb.xka))
+        (Affine.const 1)
+    and dir_neg =
+      Affine.sub (Affine.sub (Affine.var xb.xka) (Affine.var xb.xkb))
+        (Affine.const 1)
+    in
+    let solve_dirs extra =
+      match Exact.solve b { Exact.eqs = []; geqs = dir_pos :: (extra @ base) } with
+      | Some m -> Some m
+      | None ->
+          Exact.solve b { Exact.eqs = []; geqs = dir_neg :: (extra @ base) }
+    in
+    let overlap =
+      [
+        Affine.sub (Affine.add offb (Affine.const (szb - 1))) offa;
+        Affine.sub (Affine.add offa (Affine.const (sza - 1))) offb;
+      ]
+    in
+    let must = xb.xfree = [] in
+    match solve_dirs overlap with
+    | Some m ->
+        if xvalidate ~line_bytes xb ~kind:`Byte m offa offb sza szb then
+          ( Loop_carried,
+            {
+              ev_backend = Exact;
+              ev_must = must;
+              ev_witness = Some (xwitness xb m);
+            } )
+        else fallback "witness validation failed"
+    | None -> (
+        let l = Affine.var (xfreshv xb "L") in
+        let x = Affine.var (xfreshv xb "x") in
+        let y = Affine.var (xfreshv xb "y") in
+        let line_rows =
+          [
+            Affine.sub x offa;
+            Affine.sub (Affine.add offa (Affine.const (sza - 1))) x;
+            Affine.sub y offb;
+            Affine.sub (Affine.add offb (Affine.const (szb - 1))) y;
+            Affine.sub x (Affine.scale line_bytes l);
+            Affine.sub
+              (Affine.add (Affine.scale line_bytes l)
+                 (Affine.const (line_bytes - 1)))
+              x;
+            Affine.sub y (Affine.scale line_bytes l);
+            Affine.sub
+              (Affine.add (Affine.scale line_bytes l)
+                 (Affine.const (line_bytes - 1)))
+              y;
+          ]
+        in
+        match solve_dirs line_rows with
+        | Some m ->
+            if xvalidate ~line_bytes xb ~kind:`Line m offa offb sza szb then
+              ( Line_conflict,
+                {
+                  ev_backend = Exact;
+                  ev_must = must;
+                  ev_witness = Some (xwitness xb m);
+                } )
+            else fallback "witness validation failed"
+        | None ->
+            (Independent, { ev_backend = Exact; ev_must = true; ev_witness = None }))
+  with
+  | result -> result
+  | exception Exact.Out_of_budget ->
+      fallback (Printf.sprintf "budget exhausted after %d steps" exact_budget)
+  | exception Not_analyzable m -> fallback m
+  | exception Free_ident v -> fallback ("unbound identifier '" ^ v ^ "'")
+
+let pairs ~line_bytes ~params ?(exact : exact_mode = `Auto)
+    ?(exact_budget = default_exact_budget) (nest : Loop_nest.t) =
   let refs = Array.of_list nest.Loop_nest.refs in
   let n = Array.length refs in
   let interesting i j =
@@ -278,20 +610,48 @@ let pairs ~line_bytes ~params (nest : Loop_nest.t) =
     let acc = ref [] in
     for i = 0 to n - 1 do
       for j = i to n - 1 do
-        if interesting i j then
-          acc := { a = refs.(i); b = refs.(j); verdict = verdict_of refs.(i) refs.(j) }
-                 :: !acc
+        if interesting i j then begin
+          let verdict, ev = verdict_of refs.(i) refs.(j) in
+          acc := { a = refs.(i); b = refs.(j); verdict; ev } :: !acc
+        end
       done
     done;
     List.rev !acc
   in
-  match box ~params nest with
-  | ranges, trips ->
-      make (fun a b ->
-          try classify ~line_bytes ~params ~ranges ~trips nest a b
-          with Not_analyzable m -> Unknown m)
-  | exception Exit -> make (fun _ _ -> Independent)
-  | exception Not_analyzable m -> make (fun _ _ -> Unknown m)
+  let concrete =
+    match box ~params nest with
+    | ranges, trips -> `Box (ranges, trips)
+    | exception Exit -> `Empty
+    | exception Not_analyzable m -> `Fail m
+  in
+  let xb =
+    lazy
+      (if exact = `Off then None
+       else
+         match exact_box ~params ~free_ok:true nest with
+         | xb -> Some xb
+         | exception (Not_analyzable _ | Free_ident _) -> None)
+  in
+  make (fun a b ->
+      let banerjee =
+        match concrete with
+        | `Empty -> (Independent, banerjee_ev ~must:true)
+        | `Fail m -> (Unknown m, banerjee_ev ~must:false)
+        | `Box (ranges, trips) -> (
+            match classify ~line_bytes ~params ~ranges ~trips nest a b with
+            | Independent -> (Independent, banerjee_ev ~must:true)
+            | v -> (v, banerjee_ev ~must:false)
+            | exception Not_analyzable m ->
+                (Unknown m, banerjee_ev ~must:false))
+      in
+      match banerjee with
+      | Independent, _ -> banerjee
+      | v0, _ -> (
+          match Lazy.force xb with
+          | None -> banerjee
+          | Some xb ->
+              exact_classify ~line_bytes ~exact_budget xb ~region_rows:[] a b
+                v0))
 
 (* ---------------------------------------------------------------- *)
 (* Parametric (symbolic) analysis                                    *)
@@ -300,8 +660,10 @@ let pairs ~line_bytes ~params (nest : Loop_nest.t) =
 type spair = {
   sa : Array_ref.t;
   sb : Array_ref.t;
-  scases : verdict Symbolic.cases;
+  scases : (verdict * evidence) Symbolic.cases;
 }
+
+let sverdicts sp = Symbolic.map sp.scases fst
 
 (* A loop variable's value interval with affine-in-parameters endpoints. *)
 type sival = { slo : Affine.t; shi : Affine.t }
@@ -598,9 +960,72 @@ let classify_sym ~line_bytes ~params ~sranges ~ctx (nest : Loop_nest.t)
 let free_params ~params (nest : Loop_nest.t) =
   match sbox ~params nest with
   | _, free -> free
-  | exception Not_analyzable _ -> []
+  | exception Not_analyzable _ ->
+      (* bounds the symbolic box cannot express (e.g. [n / 2]): the
+         unbound identifiers are still what [-p] would bind, and the
+         exact backend can often still decide such nests, so report
+         them instead of silently going concrete *)
+      let loop_vars =
+        List.map (fun (l : Loop_nest.loop) -> l.Loop_nest.var)
+          nest.Loop_nest.loops
+      in
+      let acc = ref [] in
+      List.iter
+        (fun (l : Loop_nest.loop) ->
+          List.iter
+            (fun v ->
+              if
+                (not (List.mem_assoc v params))
+                && (not (List.mem v loop_vars))
+                && not (List.mem v !acc)
+              then acc := v :: !acc)
+            (List.rev (expr_idents l.Loop_nest.lower [])
+            @ List.rev (expr_idents l.Loop_nest.upper_excl [])))
+        nest.Loop_nest.loops;
+      List.rev !acc
 
-let pairs_sym ~line_bytes ~params ?extent_of (nest : Loop_nest.t) =
+(* Rows a parameter context contributes to an exact system: each
+   declared bound becomes an inequality over the parameter. *)
+let ctx_rows ctx =
+  List.concat_map
+    (fun p ->
+      match Symbolic.bounds_of ctx p with
+      | None -> []
+      | Some (lo, hi) ->
+          (match lo with
+          | Some lo -> [ Affine.sub (Affine.var p) (Affine.const lo) ]
+          | None -> [])
+          @
+          (match hi with
+          | Some hi -> [ Affine.sub (Affine.const hi) (Affine.var p) ]
+          | None -> []))
+    (Symbolic.params ctx)
+
+(* Region-wise exact refinement of a symbolic verdict tree: under every
+   satisfiable path, the path atoms plus the context bounds constrain
+   the free parameters, and the exact backend re-decides the leaf.  An
+   unsatisfiable region over the whole path upgrades the leaf all the
+   way to [Independent] (a must for every parameter value in the
+   region); a satisfiable one yields a witness with explicit parameter
+   values (realizable, not universal, so [ev_must] stays false). *)
+let refine_sym ~line_bytes ~exact_budget ~ctx xb ra rb tree =
+  let base_rows = ctx_rows ctx in
+  let rec go conds tree =
+    match tree with
+    | Symbolic.If (c, y, n) ->
+        Symbolic.If
+          (c, go (c :: conds) y, go (Symbolic.cond_not c :: conds) n)
+    | Symbolic.Leaf Independent ->
+        Symbolic.Leaf (Independent, banerjee_ev ~must:true)
+    | Symbolic.Leaf v0 ->
+        Symbolic.Leaf
+          (exact_classify ~line_bytes ~exact_budget xb
+             ~region_rows:(conds @ base_rows) ra rb v0)
+  in
+  go [] tree
+
+let pairs_sym ~line_bytes ~params ?(exact : exact_mode = `Auto)
+    ?(exact_budget = default_exact_budget) ?extent_of (nest : Loop_nest.t) =
   let refs = Array.of_list nest.Loop_nest.refs in
   let n = Array.length refs in
   let interesting i j =
@@ -620,9 +1045,38 @@ let pairs_sym ~line_bytes ~params ?extent_of (nest : Loop_nest.t) =
     done;
     List.rev !acc
   in
+  let mk_xb () =
+    if exact = `Off then None
+    else
+      match exact_box ~params ~free_ok:true nest with
+      | xb -> Some xb
+      | exception (Not_analyzable _ | Free_ident _) -> None
+  in
+  let plain m = Symbolic.map m (fun v -> (v, banerjee_ev ~must:(v = Independent))) in
   match sbox ~params nest with
-  | exception Not_analyzable m ->
-      (make (fun _ _ -> Symbolic.leaf (Unknown m)), Symbolic.empty, [])
+  | exception Not_analyzable m -> (
+      (* the symbolic box cannot express the bounds; the exact backend
+         may still decide the nest with the unbound identifiers as free
+         non-negative parameters *)
+      match mk_xb () with
+      | None ->
+          ( make (fun _ _ -> Symbolic.leaf (Unknown m, banerjee_ev ~must:false)),
+            Symbolic.empty,
+            [] )
+      | Some xb ->
+          let ps =
+            make (fun a b ->
+                Symbolic.Leaf
+                  (exact_classify ~line_bytes ~exact_budget xb ~region_rows:[]
+                     a b (Unknown m)))
+          in
+          let free = List.rev xb.xfree in
+          let ctx0 =
+            List.fold_left
+              (fun c p -> Symbolic.declare c p ~lo:(Some 0) ~hi:None)
+              Symbolic.empty free
+          in
+          (ps, ctx0, free))
   | sranges, free ->
       (* free size-like parameters are assumed non-negative *)
       let ctx0 =
@@ -659,10 +1113,22 @@ let pairs_sym ~line_bytes ~params ?extent_of (nest : Loop_nest.t) =
           sranges
       in
       if certainly_empty then
-        (make (fun _ _ -> Symbolic.leaf Independent), ctx, free)
+        ( make (fun _ _ -> Symbolic.leaf (Independent, banerjee_ev ~must:true)),
+          ctx,
+          free )
       else
+        let xb = lazy (mk_xb ()) in
         ( make (fun a b ->
-              try classify_sym ~line_bytes ~params ~sranges ~ctx nest a b
-              with Not_analyzable m -> Symbolic.leaf (Unknown m)),
+              let tree =
+                try classify_sym ~line_bytes ~params ~sranges ~ctx nest a b
+                with Not_analyzable m -> Symbolic.leaf (Unknown m)
+              in
+              match Lazy.force xb with
+              | None -> plain tree
+              | Some xb ->
+                  Symbolic.simplify
+                    ~equal:(fun (v1, _) (v2, _) -> v1 = v2)
+                    ctx
+                    (refine_sym ~line_bytes ~exact_budget ~ctx xb a b tree)),
           ctx,
           free )

@@ -15,6 +15,12 @@ type finding = {
       (* closed-form count over the free parameter, when available *)
   attribution : string list;
       (* top reference-pair attribution sentences, heaviest first *)
+  backend : string option;
+      (* dependence backend that decided the finding, when noteworthy *)
+  witness : string option;
+      (* conflicting iteration pair certified by the exact backend *)
+  reason : string option;
+      (* for analysis/unknown findings: the raw reason string *)
 }
 
 type report = { uri : string; findings : finding list }
@@ -65,6 +71,13 @@ let to_text r =
       (match f.symbolic with
       | Some s -> Buffer.add_string buf (Printf.sprintf "  count: %s\n" s)
       | None -> ());
+      (match f.witness with
+      | Some w -> Buffer.add_string buf (Printf.sprintf "  witness: %s\n" w)
+      | None -> ());
+      (match f.backend with
+      | Some b when b <> "exact" && b <> "banerjee" ->
+          Buffer.add_string buf (Printf.sprintf "  backend: %s\n" b)
+      | _ -> ());
       List.iter
         (fun a -> Buffer.add_string buf (Printf.sprintf "  top: %s\n" a))
         f.attribution;
@@ -119,6 +132,15 @@ let to_json r =
              | None -> [])
            @ (match f.symbolic with
              | Some s -> [ ("symbolicCount", Str s) ]
+             | None -> [])
+           @ (match f.backend with
+             | Some b -> [ ("dependenceBackend", Str b) ]
+             | None -> [])
+           @ (match f.witness with
+             | Some w -> [ ("witness", Str w) ]
+             | None -> [])
+           @ (match f.reason with
+             | Some m -> [ ("unknownReason", Str m) ]
              | None -> [])
            @
            match f.attribution with

@@ -23,6 +23,18 @@ type finding = {
       (** concrete FS findings: the top reference-pair attribution
           sentences ("X% of FS cases: ..."), heaviest first; empty when
           the nest was not attributed (races, parametric mode) *)
+  backend : string option;
+      (** dependence backend that decided the finding
+          ("exact", "banerjee", "banerjee (fallback: ...)"); rendered
+          as a SARIF [dependenceBackend] property, and as a text
+          [backend:] line only for fallbacks *)
+  witness : string option;
+      (** conflicting iteration pair certified by the exact backend,
+          e.g. ["i=0, j=477 vs i'=1, j'=0"]; SARIF [witness] property
+          and a text [witness:] line *)
+  reason : string option;
+      (** for [analysis/unknown] findings: the raw reason string,
+          surfaced as a SARIF [unknownReason] property *)
 }
 
 type report = { uri : string; findings : finding list }

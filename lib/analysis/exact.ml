@@ -1,0 +1,338 @@
+open Loopir
+
+type sys = { eqs : Affine.t list; geqs : Affine.t list }
+
+type budget = { mutable left : int; limit : int; mutable fresh : int }
+
+exception Out_of_budget
+
+let budget n = { left = n; limit = n; fresh = 0 }
+let spent b = b.limit - b.left
+
+let spend b n =
+  b.left <- b.left - n;
+  if b.left < 0 then raise Out_of_budget
+
+(* Coefficients past this magnitude signal a blowup that would overflow
+   long before it decided anything; treat it as budget exhaustion. *)
+let coeff_cap = 1 lsl 44
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+module SM = Map.Make (String)
+
+type model = int SM.t
+
+let value (m : model) v = match SM.find_opt v m with Some x -> x | None -> 0
+let meval m a = Affine.eval (value m) a
+
+(* Rebuild [a] with every coefficient and the constant mapped. *)
+let map_coeffs fc fk a =
+  Affine.fold_terms
+    (fun v k acc -> Affine.add acc (Affine.scale (fk k) (Affine.var v)))
+    a
+    (Affine.const (fc (Affine.const_part a)))
+
+let var_gcd a = Affine.fold_terms (fun _ k g -> gcd g k) a 0
+
+let check_cap a =
+  Affine.fold_terms
+    (fun _ k () -> if abs k > coeff_cap then raise Out_of_budget)
+    a ();
+  if abs (Affine.const_part a) > coeff_cap then raise Out_of_budget
+
+exception Unsat
+
+(* Normalize an inequality [g >= 0]: divide by the coefficient GCD,
+   floor-dividing the constant (integer tightening).  [None] for a
+   trivially true ground row; raises [Unsat] for a false one. *)
+let norm_geq a =
+  check_cap a;
+  let g = var_gcd a in
+  if g = 0 then begin
+    if Affine.const_part a >= 0 then None else raise Unsat
+  end
+  else if g = 1 then Some a
+  else Some (map_coeffs (fun c -> fdiv c g) (fun k -> k / g) a)
+
+(* Normalize an equality [e = 0].  [None] for the trivial [0 = 0];
+   raises [Unsat] when the constant is not divisible by the GCD. *)
+let norm_eq a =
+  check_cap a;
+  let g = var_gcd a in
+  if g = 0 then begin
+    if Affine.const_part a = 0 then None else raise Unsat
+  end
+  else if Affine.const_part a mod g <> 0 then raise Unsat
+  else if g = 1 then Some a
+  else Some (map_coeffs (fun c -> c / g) (fun k -> k / g) a)
+
+(* Drop duplicate / dominated rows: among rows with the same variable
+   part, only the smallest constant constrains. *)
+let dedup_geqs rows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let c = Affine.const_part r in
+      let key = Affine.to_string (Affine.sub r (Affine.const c)) in
+      match Hashtbl.find_opt tbl key with
+      | Some (_, c0) -> if c < c0 then Hashtbl.replace tbl key (r, c)
+      | None ->
+          order := key :: !order;
+          Hashtbl.add tbl key (r, c))
+    rows;
+  List.rev_map (fun key -> fst (Hashtbl.find tbl key)) !order
+
+(* modhat a m: the representative of [a mod m] in (-m/2, m/2]. *)
+let modhat a m = a - (m * fdiv ((2 * a) + m) (2 * m))
+
+(* Eliminate all equalities by substitution, returning the residual
+   inequalities and the back-substitution stack (most recent first;
+   each entry's expression mentions only variables still alive at its
+   elimination time). *)
+let rec elim_eqs b eqs geqs back =
+  match eqs with
+  | [] -> Some (geqs, back)
+  | e :: rest -> (
+      spend b 1;
+      match norm_eq e with
+      | None -> elim_eqs b rest geqs back
+      | Some e ->
+          (* variable with the smallest |coefficient| *)
+          let k, ak =
+            Affine.fold_terms
+              (fun v kv (bv, bk) ->
+                if bk = 0 || abs kv < abs bk then (v, kv) else (bv, bk))
+              e ("", 0)
+          in
+          if abs ak = 1 then begin
+            (* ak*x + r = 0  =>  x = -ak*r  (|ak| = 1) *)
+            let r = Affine.sub e (Affine.scale ak (Affine.var k)) in
+            let repl = Affine.scale (-ak) r in
+            let sub v = if v = k then Some repl else None in
+            elim_eqs b
+              (List.map (Affine.subst sub) rest)
+              (List.map (Affine.subst sub) geqs)
+              ((k, repl) :: back)
+          end
+          else begin
+            (* mod-hat reduction: with m = |ak| + 1, the fresh sigma
+               satisfies  sum modhat(ai,m) xi + modhat(c,m) - m*sigma = 0
+               for any integer solution, and x_k's coefficient in that
+               equation is -sign(ak) = +-1, so x_k can be substituted
+               out; the original equality survives with a smaller
+               coefficient on the fresh variable. *)
+            let m = abs ak + 1 in
+            let sigma =
+              b.fresh <- b.fresh + 1;
+              Printf.sprintf "+sig%d" b.fresh
+            in
+            let ehat =
+              Affine.add
+                (map_coeffs (fun c -> modhat c m) (fun c -> modhat c m) e)
+                (Affine.scale (-m) (Affine.var sigma))
+            in
+            let akh = Affine.coeff ehat k in
+            let r = Affine.sub ehat (Affine.scale akh (Affine.var k)) in
+            let repl = Affine.scale (-akh) r in
+            let sub v = if v = k then Some repl else None in
+            elim_eqs b
+              (List.map (Affine.subst sub) (e :: rest))
+              (List.map (Affine.subst sub) geqs)
+              ((k, repl) :: back)
+          end)
+
+let var_union rows =
+  List.sort_uniq compare (List.concat_map Affine.vars rows)
+
+(* max over lower bounds [a x + L >= 0] of ceil(-L/a) at model [m] — the
+   smallest admissible x; 0 when there is no lower bound. *)
+let lowest_at m lowers =
+  List.fold_left
+    (fun acc (a, row) ->
+      let l = meval m row in
+      (* row evaluates L only: x is absent from the model (defaults 0) *)
+      max acc (cdiv (-l) a))
+    min_int lowers
+  |> fun x -> if x = min_int then 0 else x
+
+let highest_at m uppers =
+  List.fold_left
+    (fun acc (bq, row) ->
+      let u = meval m row in
+      min acc (fdiv u bq))
+    max_int uppers
+  |> fun x -> if x = max_int then 0 else x
+
+let rec solve_sys (b : budget) (s : sys) : model option =
+  spend b 1;
+  match
+    let eqs = List.filter_map norm_eq s.eqs in
+    let geqs = List.filter_map norm_geq s.geqs in
+    elim_eqs b eqs geqs []
+  with
+  | exception Unsat -> None
+  | None -> None
+  | Some (geqs, back) -> (
+      match solve_geqs b geqs with
+      | None -> None
+      | Some m ->
+          (* rebuild eliminated variables, most recently eliminated
+             first: each expression mentions only later-assigned vars *)
+          Some
+            (List.fold_left
+               (fun m (v, e) -> SM.add v (meval m e) m)
+               m back))
+
+and solve_geqs b geqs : model option =
+  spend b 1;
+  match List.filter_map norm_geq geqs with
+  | exception Unsat -> None
+  | rows -> (
+      let rows = dedup_geqs rows in
+      match var_union rows with
+      | [] -> Some SM.empty
+      | vars ->
+          (* pick the variable to eliminate: one-sided variables are
+             free to project away; otherwise prefer an exact shadow and
+             the fewest combinations *)
+          let classified =
+            List.map
+              (fun x ->
+                let lowers = ref [] and uppers = ref [] and rest = ref [] in
+                List.iter
+                  (fun r ->
+                    let k = Affine.coeff r x in
+                    if k > 0 then lowers := (k, r) :: !lowers
+                    else if k < 0 then uppers := (-k, r) :: !uppers
+                    else rest := r :: !rest)
+                  rows;
+                (x, List.rev !lowers, List.rev !uppers, List.rev !rest))
+              vars
+          in
+          let one_sided =
+            List.find_opt
+              (fun (_, lo, up, _) -> lo = [] || up = [])
+              classified
+          in
+          let x, lowers, uppers, rest =
+            match one_sided with
+            | Some c -> c
+            | None ->
+                let cost (_, lo, up, _) =
+                  let nl = List.length lo and nu = List.length up in
+                  (nl * nu) - nl - nu
+                in
+                let exact (_, lo, up, _) =
+                  List.for_all (fun (a, _) -> a = 1) lo
+                  || List.for_all (fun (bq, _) -> bq = 1) up
+                in
+                List.fold_left
+                  (fun best c ->
+                    match (exact best, exact c) with
+                    | true, false -> best
+                    | false, true -> c
+                    | _ -> if cost c < cost best then c else best)
+                  (List.hd classified) (List.tl classified)
+          in
+          if lowers = [] || uppers = [] then begin
+            (* unbounded on one side: the projection drops every row
+               mentioning x, and x is set to its tightest finite bound *)
+            match solve_geqs b rest with
+            | None -> None
+            | Some m ->
+                let xv =
+                  if uppers = [] then lowest_at m lowers
+                  else highest_at m uppers
+                in
+                Some (SM.add x xv m)
+          end
+          else begin
+            let combine extra (a, row_l) (bq, row_u) =
+              spend b 1;
+              (* a*(upper part) + b*(lower part): x cancels *)
+              Affine.add
+                (Affine.add (Affine.scale a row_u) (Affine.scale bq row_l))
+                (Affine.const extra)
+            in
+            let pairs_with extra =
+              List.concat_map
+                (fun l -> List.map (fun u -> combine extra l u) uppers)
+                lowers
+            in
+            let is_exact =
+              List.for_all (fun (a, _) -> a = 1) lowers
+              || List.for_all (fun (bq, _) -> bq = 1) uppers
+            in
+            let with_x m = SM.add x (lowest_at m lowers) m in
+            if is_exact then
+              match solve_geqs b (rest @ pairs_with 0) with
+              | None -> None
+              | Some m -> Some (with_x m)
+            else begin
+              (* dark shadow: a U + b L >= (a-1)(b-1) *)
+              let darks =
+                List.concat_map
+                  (fun (a, rl) ->
+                    List.map
+                      (fun (bq, ru) ->
+                        combine (-((a - 1) * (bq - 1))) (a, rl) (bq, ru))
+                      uppers)
+                  lowers
+              in
+              match solve_geqs b (rest @ darks) with
+              | Some m -> Some (with_x m)
+              | None ->
+                  if solve_geqs b (rest @ pairs_with 0) = None then None
+                  else begin
+                    (* real shadow holds but the dark shadow does not:
+                       enumerate the splinters a x + L = i *)
+                    let bmax =
+                      List.fold_left (fun acc (bq, _) -> max acc bq) 1 uppers
+                    in
+                    let all_rows =
+                      List.concat
+                        [
+                          rest;
+                          List.map snd lowers;
+                          List.map snd uppers;
+                        ]
+                    in
+                    let rec try_lowers = function
+                      | [] -> None
+                      | (a, row_l) :: tl ->
+                          let hi = fdiv ((a * bmax) - a - bmax) bmax in
+                          let rec try_i i =
+                            if i > hi then None
+                            else begin
+                              spend b 1;
+                              match
+                                solve_sys b
+                                  {
+                                    eqs =
+                                      [ Affine.add row_l (Affine.const (-i)) ];
+                                    geqs = all_rows;
+                                  }
+                              with
+                              | Some m -> Some m
+                              | None -> try_i (i + 1)
+                            end
+                          in
+                          (match try_i 0 with
+                          | Some m -> Some m
+                          | None -> try_lowers tl)
+                    in
+                    try_lowers lowers
+                  end
+            end
+          end)
+
+let solve b s =
+  match solve_sys b s with
+  | None -> None
+  | Some m -> Some (SM.bindings m)
+
+let decide b s = solve_sys b s <> None

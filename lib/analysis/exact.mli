@@ -1,0 +1,61 @@
+(** Exact integer feasibility of affine constraint systems — the Omega
+    test.
+
+    A system is a conjunction of equalities [e = 0] and inequalities
+    [g >= 0] over {!Loopir.Affine} forms; variables range over all of
+    [Z] (callers add explicit non-negativity rows where needed).  The
+    decision procedure is Fourier–Motzkin elimination with Pugh's
+    integer tightenings:
+
+    - every row is normalized by the GCD of its coefficients (the
+      constant of an inequality is floor-divided — integer tightening;
+      an equality whose constant is not divisible is immediately
+      unsatisfiable);
+    - equalities are eliminated first, by substitution when some
+      coefficient is [±1] and otherwise by the mod-hat reduction that
+      introduces a fresh variable with a unit coefficient;
+    - eliminating a variable [x] from lower bounds [a x + L >= 0] and
+      upper bounds [-b x + U >= 0] takes the {e dark shadow}
+      [a U + b L >= (a-1)(b-1)] when it differs from the {e real
+      shadow} [a U + b L >= 0]; when [a = 1] for all lower bounds or
+      [b = 1] for all upper bounds the two coincide and the projection
+      is exact;
+    - when the real shadow is satisfiable but the dark shadow is not,
+      the remaining {e splinters} are enumerated: for each lower bound
+      [(a, L)] and each [i] in [0 .. (a*bmax - a - bmax)/bmax] the
+      equality [a x + L = i] is added and the system re-solved.
+
+    The procedure is a complete decision procedure for integer linear
+    arithmetic conjunctions, so both answers are {e must} results — and
+    a satisfiable system yields a concrete integer witness, rebuilt by
+    back-substitution through the eliminations.  Work is metered by a
+    {!budget}: every normalization, combination and splinter costs a
+    step, and {!Out_of_budget} escapes when the allowance is spent, so
+    callers can fall back to a conservative answer on blowup. *)
+
+type sys = {
+  eqs : Loopir.Affine.t list;  (** each constraint [e = 0] *)
+  geqs : Loopir.Affine.t list;  (** each constraint [g >= 0] *)
+}
+
+type budget
+(** Mutable step allowance, shared across the solver calls of one
+    analysis so a pathological pair cannot stall the pipeline. *)
+
+exception Out_of_budget
+
+val budget : int -> budget
+(** A fresh allowance of [n] elementary steps. *)
+
+val spent : budget -> int
+(** Steps consumed so far. *)
+
+val solve : budget -> sys -> (string * int) list option
+(** [Some model] with a satisfying integer assignment (variables that
+    vanished during elimination default to [0] and may be absent), or
+    [None] when the system has no integer solution.  Exact in both
+    directions.
+    @raise Out_of_budget when the allowance runs out. *)
+
+val decide : budget -> sys -> bool
+(** [solve b s <> None]. *)

@@ -6,6 +6,8 @@ type options = {
   chunk : int option;
   fixits : bool;
   params : (string * int) list;  (* extra -p NAME=VAL bindings *)
+  exact : Depend.exact_mode;
+  exact_budget : int;
 }
 
 let default_options =
@@ -15,6 +17,8 @@ let default_options =
     chunk = None;
     fixits = true;
     params = [];
+    exact = `Auto;
+    exact_budget = Depend.default_exact_budget;
   }
 
 let all_params opts = ("num_threads", opts.threads) :: opts.params
@@ -26,8 +30,51 @@ let span_of_refs (a : Array_ref.t) (b : Array_ref.t) =
 
 let span_of_pair (p : Depend.pair) = span_of_refs p.Depend.a p.Depend.b
 
+(* Diag backend/witness fields from a pair's evidence: the backend is
+   only noteworthy past the default tier. *)
+let ev_fields (ev : Depend.evidence) =
+  let backend =
+    match ev.Depend.ev_backend with
+    | Depend.Banerjee -> None
+    | b -> Some (Depend.backend_name b)
+  in
+  (backend, Option.map Depend.witness_to_string ev.Depend.ev_witness)
+
+(* With --exact on (not auto), budget fallbacks become findings of
+   their own instead of silent SARIF properties. *)
+let fallback_findings ~opts ~func pairs_ev =
+  if opts.exact <> `On then []
+  else
+    List.filter_map
+      (fun (span, repr_a, repr_b, (ev : Depend.evidence)) ->
+        match ev.Depend.ev_backend with
+        | Depend.Fallback msg ->
+            Some
+              {
+                Diag.rule = "analysis/exact-budget";
+                severity = Diag.Warning;
+                span;
+                func;
+                message =
+                  Printf.sprintf
+                    "exact backend fell back to banerjee for %s vs %s: %s \
+                     (raise --exact-budget)"
+                    repr_a repr_b msg;
+                fixits = [];
+                region = None;
+                symbolic = None;
+                attribution = [];
+                backend = Some (Depend.backend_name ev.Depend.ev_backend);
+                witness = None;
+                reason = None;
+              }
+        | _ -> None)
+      pairs_ev
+
 (* One finding per racy pair. *)
-let race_finding ~func ?region (a : Array_ref.t) (b : Array_ref.t) =
+let race_finding ~func ?region ?(ev = Depend.banerjee_ev ~must:false)
+    (a : Array_ref.t) (b : Array_ref.t) =
+  let backend, witness = ev_fields ev in
   {
     Diag.rule = "race/loop-carried";
     severity = Diag.Error;
@@ -35,13 +82,17 @@ let race_finding ~func ?region (a : Array_ref.t) (b : Array_ref.t) =
     func;
     message =
       Printf.sprintf
-        "loop-carried dependence: %s (%s) and %s (%s) may touch the same \
-         bytes in different iterations of the parallel loop"
-        a.Array_ref.repr (access_word a) b.Array_ref.repr (access_word b);
+        "loop-carried dependence: %s (%s) and %s (%s) %s the same bytes in \
+         different iterations of the parallel loop"
+        a.Array_ref.repr (access_word a) b.Array_ref.repr (access_word b)
+        (if ev.Depend.ev_must then "provably touch" else "may touch");
     fixits = [];
     region;
     symbolic = None;
     attribution = [];
+    backend;
+    witness;
+    reason = None;
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -52,6 +103,7 @@ let unknown_findings ~func pairs =
       match p.Depend.verdict with
       | Depend.Unknown reason when not (Hashtbl.mem seen reason) ->
           Hashtbl.add seen reason ();
+          let backend, witness = ev_fields p.Depend.ev in
           Some
             {
               Diag.rule = "analysis/unknown";
@@ -66,6 +118,9 @@ let unknown_findings ~func pairs =
               region = None;
               symbolic = None;
               attribution = [];
+              backend;
+              witness;
+              reason = Some reason;
             }
       | _ -> None)
     pairs
@@ -200,7 +255,11 @@ let attribution_sentences ~refs ~total ~base pairs =
 let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
   if conflicts = [] then []
   else
-    let fs, how = fs_count cfg ~nest ~checked in
+    (* a nest rescued by the exact backend (unbound identifiers treated
+       as free parameters) has no concrete count to run *)
+    let fs, how =
+      try fs_count cfg ~nest ~checked with _ -> (-1, "unavailable")
+    in
     let attrib =
       if fs > 0 then attribution_pairs ~checked cfg nest else None
     in
@@ -222,24 +281,28 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
             (fun s p -> Minic.Span.join s (span_of_pair p))
             Minic.Span.none ps
         in
-        let severity = if fs > 0 then Diag.Warning else Diag.Info in
+        let severity = if fs <> 0 then Diag.Warning else Diag.Info in
         let quant =
           if fs > 0 then
             Printf.sprintf
               "the cost model counts %d false-sharing case(s) in this nest \
                at %d threads (%s)"
               fs opts.threads how
-          else
+          else if fs = 0 then
             Printf.sprintf
               "but the cost model counts no false-sharing case at %d \
                threads (%s)"
               opts.threads how
+          else
+            "no concrete count (the nest references identifiers not bound \
+             by -p)"
         in
         let fixits =
           if opts.fixits && races = [] && fs > 0 then
             fixits_for ~opts ~checked ~base advice
           else []
         in
+        let backend, witness = ev_fields example.Depend.ev in
         {
           Diag.rule = "fs/line-conflict";
           severity;
@@ -247,10 +310,13 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
           func;
           message =
             Printf.sprintf
-              "%s and %s are byte-disjoint across parallel iterations but \
-               may share a cache line; %s"
+              "%s and %s are byte-disjoint across parallel iterations %s; %s"
               example.Depend.a.Array_ref.repr
-              example.Depend.b.Array_ref.repr quant;
+              example.Depend.b.Array_ref.repr
+              (if example.Depend.ev.Depend.ev_must then
+                 "and provably share a cache line"
+               else "but may share a cache line")
+              quant;
           fixits;
           region = None;
           symbolic = None;
@@ -259,6 +325,9 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
             | None -> []
             | Some (refs, total, pairs) ->
                 attribution_sentences ~refs ~total ~base pairs);
+          backend;
+          witness;
+          reason = None;
         })
       bases
 
@@ -355,7 +424,8 @@ let lint_nest_sym ~opts ~checked ~func nest =
     try Some (Layout.size_of layout base) with Not_found -> None
   in
   let spairs, ctx, free =
-    Depend.pairs_sym ~line_bytes ~params ~extent_of nest
+    Depend.pairs_sym ~line_bytes ~params ~exact:opts.exact
+      ~exact_budget:opts.exact_budget ~extent_of nest
   in
   let with_paths =
     List.map
@@ -367,12 +437,12 @@ let lint_nest_sym ~opts ~checked ~func nest =
     List.concat_map
       (fun ((sp : Depend.spair), paths) ->
         List.filter_map
-          (fun (conds, v) ->
+          (fun (conds, (v, ev)) ->
             if v = Depend.Loop_carried then
               Some
                 (race_finding ~func
                    ~region:(region_string ~ctx ~free conds)
-                   sp.Depend.sa sp.Depend.sb)
+                   ~ev sp.Depend.sa sp.Depend.sb)
             else None)
           paths)
       with_paths
@@ -382,10 +452,11 @@ let lint_nest_sym ~opts ~checked ~func nest =
     List.concat_map
       (fun ((sp : Depend.spair), paths) ->
         List.filter_map
-          (fun (conds, v) ->
+          (fun (conds, (v, ev)) ->
             match v with
             | Depend.Unknown reason when not (Hashtbl.mem seen reason) ->
                 Hashtbl.add seen reason ();
+                let backend, witness = ev_fields ev in
                 Some
                   {
                     Diag.rule = "analysis/unknown";
@@ -400,6 +471,9 @@ let lint_nest_sym ~opts ~checked ~func nest =
                     region = Some (region_string ~ctx ~free conds);
                     symbolic = None;
                     attribution = [];
+                    backend;
+                    witness;
+                    reason = Some reason;
                   }
             | _ -> None)
           paths)
@@ -410,8 +484,8 @@ let lint_nest_sym ~opts ~checked ~func nest =
     List.concat_map
       (fun ((sp : Depend.spair), paths) ->
         List.filter_map
-          (fun (conds, v) ->
-            if v = Depend.Line_conflict then Some (sp, conds) else None)
+          (fun (conds, (v, ev)) ->
+            if v = Depend.Line_conflict then Some (sp, conds, ev) else None)
           paths)
       with_paths
   in
@@ -431,37 +505,38 @@ let lint_nest_sym ~opts ~checked ~func nest =
       let bases =
         List.sort_uniq compare
           (List.map
-             (fun ((sp : Depend.spair), _) -> sp.Depend.sa.Array_ref.base)
+             (fun ((sp : Depend.spair), _, _) -> sp.Depend.sa.Array_ref.base)
              conflicts)
       in
       List.map
         (fun base ->
           let ps =
             List.filter
-              (fun ((sp : Depend.spair), _) ->
+              (fun ((sp : Depend.spair), _, _) ->
                 sp.Depend.sa.Array_ref.base = base)
               conflicts
           in
-          let (example, _) = List.hd ps in
+          let (example, _, ev) = List.hd ps in
           let span =
             List.fold_left
-              (fun s ((sp : Depend.spair), _) ->
+              (fun s ((sp : Depend.spair), _, _) ->
                 Minic.Span.join s (span_of_refs sp.Depend.sa sp.Depend.sb))
               Minic.Span.none ps
           in
           (* the widest region among this base's conflicting paths *)
           let region =
             match ps with
-            | (_, conds) :: rest
-              when List.for_all (fun (_, c) -> c = conds) rest ->
+            | (_, conds, _) :: rest
+              when List.for_all (fun (_, c, _) -> c = conds) rest ->
                 region_string ~ctx ~free conds
             | _ ->
                 String.concat "; or "
                   (List.sort_uniq compare
                      (List.map
-                        (fun (_, conds) -> region_string ~ctx ~free conds)
+                        (fun (_, conds, _) -> region_string ~ctx ~free conds)
                         ps))
           in
+          let backend, witness = ev_fields ev in
           {
             Diag.rule = "fs/line-conflict";
             severity = (if warn then Diag.Warning else Diag.Info);
@@ -477,11 +552,27 @@ let lint_nest_sym ~opts ~checked ~func nest =
             region = Some region;
             symbolic = formula;
             attribution = [];
+            backend;
+            witness;
+            reason = None;
           })
         bases
     end
   in
-  races @ unknowns @ fs
+  let fallbacks =
+    fallback_findings ~opts ~func
+      (List.concat_map
+         (fun ((sp : Depend.spair), paths) ->
+           List.map
+             (fun (_, (_, ev)) ->
+               ( span_of_refs sp.Depend.sa sp.Depend.sb,
+                 sp.Depend.sa.Array_ref.repr,
+                 sp.Depend.sb.Array_ref.repr,
+                 ev ))
+             paths)
+         with_paths)
+  in
+  races @ unknowns @ fs @ fallbacks
 
 let lint_nest ~opts ~checked ~func ~advice nest =
   let line_bytes = Archspec.Arch.line_bytes opts.arch in
@@ -489,7 +580,10 @@ let lint_nest ~opts ~checked ~func ~advice nest =
   if Depend.free_params ~params nest <> [] then
     lint_nest_sym ~opts ~checked ~func nest
   else
-    let pairs = Depend.pairs ~line_bytes ~params nest in
+    let pairs =
+      Depend.pairs ~line_bytes ~params ~exact:opts.exact
+        ~exact_budget:opts.exact_budget nest
+    in
     let with_verdict v =
       List.filter (fun (p : Depend.pair) -> p.Depend.verdict = v) pairs
     in
@@ -505,10 +599,17 @@ let lint_nest ~opts ~checked ~func ~advice nest =
     in
     let advice = if races = [] then advice else None in
     List.map
-      (fun (p : Depend.pair) -> race_finding ~func p.Depend.a p.Depend.b)
+      (fun (p : Depend.pair) ->
+        race_finding ~func ~ev:p.Depend.ev p.Depend.a p.Depend.b)
       races
     @ unknown_findings ~func pairs
     @ fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest
+    @ fallback_findings ~opts ~func
+        (List.map
+           (fun (p : Depend.pair) ->
+             (span_of_pair p, p.Depend.a.Array_ref.repr,
+              p.Depend.b.Array_ref.repr, p.Depend.ev))
+           pairs)
 
 let lint_function ~opts ~checked func =
   match Lower.lower_all checked ~func ~params:(all_params opts) with
@@ -524,6 +625,9 @@ let lint_function ~opts ~checked func =
           region = None;
           symbolic = None;
           attribution = [];
+          backend = None;
+          witness = None;
+          reason = Some m;
         };
       ]
   | nests ->

@@ -13,6 +13,9 @@
       may still share a cache line.
     - ["analysis/unknown"] (warning): the nest or a dependence could not
       be analyzed (non-affine bounds or subscripts).
+    - ["analysis/exact-budget"] (warning, [`On] mode only): the exact
+      dependence tier gave up on a pair (budget exhaustion or an
+      unsupported construct) and the Banerjee verdict was kept.
 
     Fix-its (a [schedule(static, c)] chunk from {!Fsmodel.Advisor} and
     padding/spreading from {!Fsmodel.Eliminate}) are attached to
@@ -38,6 +41,11 @@ type options = {
   params : (string * int) list;
       (** extra [-p NAME=VAL] bindings for identifiers in loop bounds;
           ["num_threads"] is always bound to [threads] *)
+  exact : Depend.exact_mode;
+      (** exact dependence tier: [`Auto] (default) runs it and reports
+          fallbacks silently, [`On] additionally emits
+          ["analysis/exact-budget"] warnings, [`Off] disables it *)
+  exact_budget : int;  (** solver step allowance per reference pair *)
 }
 
 val default_options : options

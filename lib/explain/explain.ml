@@ -32,6 +32,7 @@ type t = {
   line_bytes : int;
   layout : Loopir.Layout.t;
   recorder : Fsmodel.Attrib.t;
+  verdicts : string list;
 }
 
 let ref_info_of i (r : Loopir.Array_ref.t) =
@@ -126,6 +127,7 @@ let aggregate ~uri ~func ~threads ~chunk ~engine ~engine_fs ~refs ~line_bytes
     line_bytes;
     layout;
     recorder;
+    verdicts = [];
   }
 
 let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
@@ -141,9 +143,33 @@ let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
   let r = Fsmodel.Model.run ~engine ~attrib:recorder cfg ~nest ~checked in
   let line_bytes = Archspec.Arch.line_bytes cfg.Fsmodel.Model.arch in
   let layout = Loopir.Layout.make ~line_bytes checked in
-  aggregate ~uri ~func ~threads:cfg.Fsmodel.Model.threads
-    ~chunk:cfg.Fsmodel.Model.chunk ~engine
-    ~engine_fs:r.Fsmodel.Model.fs_cases ~refs ~line_bytes ~layout recorder
+  let verdicts =
+    try
+      List.map
+        (fun (p : Analysis.Depend.pair) ->
+          Printf.sprintf "%s vs %s: %s [%s%s]%s"
+            p.Analysis.Depend.a.Loopir.Array_ref.repr
+            p.Analysis.Depend.b.Loopir.Array_ref.repr
+            (Analysis.Depend.verdict_name p.Analysis.Depend.verdict)
+            (Analysis.Depend.backend_name
+               p.Analysis.Depend.ev.Analysis.Depend.ev_backend)
+            (if p.Analysis.Depend.ev.Analysis.Depend.ev_must then ", must"
+             else "")
+            (match p.Analysis.Depend.ev.Analysis.Depend.ev_witness with
+            | Some w ->
+                ", witness " ^ Analysis.Depend.witness_to_string w
+            | None -> ""))
+        (Analysis.Depend.pairs ~line_bytes ~params:cfg.Fsmodel.Model.params
+           nest)
+    with _ -> []
+  in
+  {
+    (aggregate ~uri ~func ~threads:cfg.Fsmodel.Model.threads
+       ~chunk:cfg.Fsmodel.Model.chunk ~engine
+       ~engine_fs:r.Fsmodel.Model.fs_cases ~refs ~line_bytes ~layout recorder)
+    with
+    verdicts;
+  }
 
 let conservation_ok t =
   t.total = t.engine_fs
@@ -225,6 +251,12 @@ let take n l = List.filteri (fun i _ -> i < n) l
 let to_text ?source ?(top = 3) t =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf (header t);
+  if t.verdicts <> [] then begin
+    Buffer.add_string buf "\ndependence verdicts:\n";
+    List.iter
+      (fun v -> Buffer.add_string buf ("  " ^ v ^ "\n"))
+      t.verdicts
+  end;
   if t.total = 0 then
     Buffer.add_string buf
       "no false sharing recorded: every access stays on thread-private \

@@ -55,6 +55,11 @@ type t = {
   line_bytes : int;
   layout : Loopir.Layout.t;
   recorder : Fsmodel.Attrib.t;  (** the raw recorder, for the trace *)
+  verdicts : string list;
+      (** one rendered {!Analysis.Depend} line per reference pair —
+          verdict, deciding backend, must-ness, witness iteration pair —
+          shown as the [dependence verdicts] section of {!to_text};
+          empty when the nest's pairs cannot be formed *)
 }
 
 val analyze :

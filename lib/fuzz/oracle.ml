@@ -4,7 +4,7 @@
    disagreement aborts the case with a (check, detail) pair the shrinker
    and the driver key on. *)
 
-type mutation = Fast | Closed | Depend_m | Sym | Attrib_m
+type mutation = Fast | Closed | Depend_m | Sym | Attrib_m | Exact_m
 
 let mutation_of_string = function
   | "fast" -> Some Fast
@@ -12,6 +12,7 @@ let mutation_of_string = function
   | "depend" -> Some Depend_m
   | "sym" -> Some Sym
   | "attrib" -> Some Attrib_m
+  | "exact" -> Some Exact_m
   | _ -> None
 
 let mutation_name = function
@@ -20,8 +21,9 @@ let mutation_name = function
   | Depend_m -> "depend"
   | Sym -> "sym"
   | Attrib_m -> "attrib"
+  | Exact_m -> "exact"
 
-let mutation_names = [ "fast"; "closed"; "depend"; "sym"; "attrib" ]
+let mutation_names = [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact" ]
 
 type outcome = {
   failure : (string * string) option;
@@ -122,6 +124,35 @@ let brute_pair ~params ~budget (nest : Loopir.Loop_nest.t)
       (envs outer []);
     Some (!bytes, !line)
   with Too_big -> None
+
+(* Corrupt the first exact witness so the witness-replay check has a
+   bug to catch under --mutate exact. *)
+let apply_exact_mutation mutate pairs =
+  match mutate with
+  | Some Exact_m ->
+      let injected = ref false in
+      List.map
+        (fun (p : Analysis.Depend.pair) ->
+          match p.Analysis.Depend.ev.Analysis.Depend.ev_witness with
+          | Some w when not !injected ->
+              injected := true;
+              let w_b =
+                match List.rev w.Analysis.Depend.w_b with
+                | (v, x) :: tl -> List.rev ((v, x + 1) :: tl)
+                | [] -> []
+              in
+              {
+                p with
+                Analysis.Depend.ev =
+                  {
+                    p.Analysis.Depend.ev with
+                    Analysis.Depend.ev_witness =
+                      Some { w with Analysis.Depend.w_b };
+                  };
+              }
+          | _ -> p)
+        pairs
+  | _ -> pairs
 
 let apply_depend_mutation mutate pairs =
   match mutate with
@@ -236,13 +267,125 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
                    (Analysis.Depend.verdict_name v)
                    (if bytes then "byte overlap" else "line sharing")))
   in
+  (* replay an exact witness: distinct parallel iterations, and the
+     claimed byte overlap / line sharing must hold at those values *)
+  let witness_ok ps (p : Analysis.Depend.pair)
+      (w : Analysis.Depend.witness) =
+    let par =
+      (List.nth nest.Loopir.Loop_nest.loops
+         nest.Loopir.Loop_nest.parallel_depth)
+        .Loopir.Loop_nest.var
+    in
+    let env side v =
+      match List.assoc_opt v side with
+      | Some x -> x
+      | None -> (
+          match List.assoc_opt v w.Analysis.Depend.w_params with
+          | Some x -> x
+          | None -> List.assoc v ps)
+    in
+    match
+      ( List.assoc_opt par w.Analysis.Depend.w_a,
+        List.assoc_opt par w.Analysis.Depend.w_b )
+    with
+    | Some ka, Some kb when ka <> kb -> (
+        let oa =
+          Loopir.Affine.eval (env w.Analysis.Depend.w_a)
+            p.Analysis.Depend.a.Loopir.Array_ref.offset
+        and ob =
+          Loopir.Affine.eval (env w.Analysis.Depend.w_b)
+            p.Analysis.Depend.b.Loopir.Array_ref.offset
+        in
+        let ea = oa + p.Analysis.Depend.a.Loopir.Array_ref.size_bytes - 1
+        and eb = ob + p.Analysis.Depend.b.Loopir.Array_ref.size_bytes - 1 in
+        let bytes = oa <= eb && ob <= ea in
+        let line =
+          max (fdiv oa line_bytes) (fdiv ob line_bytes)
+          <= min (fdiv ea line_bytes) (fdiv eb line_bytes)
+        in
+        match p.Analysis.Depend.verdict with
+        | Analysis.Depend.Loop_carried -> bytes
+        | Analysis.Depend.Line_conflict -> line && not bytes
+        | _ -> false)
+    | _ -> false
+  in
+  let rank = function
+    | Analysis.Depend.Independent -> 0
+    | Analysis.Depend.Line_conflict -> 1
+    | Analysis.Depend.Loop_carried -> 2
+    | Analysis.Depend.Unknown _ -> 3
+  in
   let brute ps =
-    let pairs = Analysis.Depend.pairs ~line_bytes ~params:ps nest in
-    let pairs = apply_depend_mutation mutate pairs in
+    (* legacy invariants on the first tier alone *)
+    let banerjee =
+      Analysis.Depend.pairs ~line_bytes ~params:ps ~exact:`Off nest
+    in
+    let banerjee = apply_depend_mutation mutate banerjee in
     List.iter
       (fun (p : Analysis.Depend.pair) ->
         brute_verdict ~check:"depend/brute" ~who:"" ps p.a p.b p.verdict)
-      pairs
+      banerjee;
+    let exact = Analysis.Depend.pairs ~line_bytes ~params:ps nest in
+    let exact = apply_exact_mutation mutate exact in
+    List.iter2
+      (fun (bp : Analysis.Depend.pair) (xp : Analysis.Depend.pair) ->
+        (* the exact tier only tightens the Banerjee verdict *)
+        mark "exact/refines";
+        (match (xp.verdict, bp.verdict) with
+        | _, Analysis.Depend.Unknown _ -> ()
+        | Analysis.Depend.Unknown _, _ ->
+            fail "exact/refines"
+              (Printf.sprintf "%s vs %s: exact says unknown, banerjee says %s"
+                 xp.a.Loopir.Array_ref.repr xp.b.Loopir.Array_ref.repr
+                 (Analysis.Depend.verdict_name bp.verdict))
+        | x, y ->
+            if rank x > rank y then
+              fail "exact/refines"
+                (Printf.sprintf
+                   "%s vs %s: exact says %s, strictly worse than banerjee %s"
+                   xp.a.Loopir.Array_ref.repr xp.b.Loopir.Array_ref.repr
+                   (Analysis.Depend.verdict_name x)
+                   (Analysis.Depend.verdict_name y)));
+        (* exact must-verdicts are exact in both directions *)
+        (match (xp.ev.Analysis.Depend.ev_backend, xp.ev.ev_must) with
+        | Analysis.Depend.Exact, true -> (
+            match brute_pair ~params:ps ~budget:brute_budget nest xp.a xp.b with
+            | None -> ()
+            | Some (bytes, line) ->
+                mark "exact/brute";
+                let want =
+                  match xp.verdict with
+                  | Analysis.Depend.Independent -> (false, false)
+                  | Analysis.Depend.Line_conflict -> (false, true)
+                  | Analysis.Depend.Loop_carried -> (bytes, line)
+                  | Analysis.Depend.Unknown _ -> (bytes, line)
+                in
+                let bad =
+                  match xp.verdict with
+                  | Analysis.Depend.Loop_carried -> not bytes
+                  | _ -> (bytes, line) <> want
+                in
+                if bad then
+                  fail "exact/brute"
+                    (Printf.sprintf
+                       "%s vs %s: exact must-verdict %s but brute force sees \
+                        bytes=%b line=%b"
+                       xp.a.Loopir.Array_ref.repr xp.b.Loopir.Array_ref.repr
+                       (Analysis.Depend.verdict_name xp.verdict)
+                       bytes line))
+        | _ -> ());
+        (* every emitted witness must replay *)
+        match xp.ev.Analysis.Depend.ev_witness with
+        | Some w ->
+            mark "exact/witness";
+            if not (witness_ok ps xp w) then
+              fail "exact/witness"
+                (Printf.sprintf "%s vs %s: witness %s does not replay for %s"
+                   xp.a.Loopir.Array_ref.repr xp.b.Loopir.Array_ref.repr
+                   (Analysis.Depend.witness_to_string w)
+                   (Analysis.Depend.verdict_name xp.verdict))
+        | None -> ())
+      banerjee exact
   in
   match Analysis.Depend.free_params ~params:base_params nest with
   | [] ->
@@ -294,6 +437,10 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
       let spairs, _ctx, _fp =
         Analysis.Depend.pairs_sym ~line_bytes ~params:base_params nest
       in
+      let spairs_off, _, _ =
+        Analysis.Depend.pairs_sym ~line_bytes ~params:base_params ~exact:`Off
+          nest
+      in
       List.iter
         (fun v ->
           let conc =
@@ -310,24 +457,17 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
               let valuation x =
                 if x = pname then v else List.assoc x base_params
               in
-              let inst = Analysis.Symbolic.eval valuation sp.scases in
+              let inst, _ = Analysis.Symbolic.eval valuation sp.scases in
               let inst =
                 if mutate = Some Sym then Analysis.Depend.Independent
                 else inst
               in
               mark "sym/depend";
-              let rank = function
-                | Analysis.Depend.Independent -> 0
-                | Analysis.Depend.Line_conflict -> 1
-                | Analysis.Depend.Loop_carried -> 2
-                | Analysis.Depend.Unknown _ -> 3
-              in
               let refines =
                 match (inst, cp.Analysis.Depend.verdict) with
-                | Analysis.Depend.Unknown _, Analysis.Depend.Unknown _ -> true
-                | Analysis.Depend.Unknown _, _ | _, Analysis.Depend.Unknown _
-                  ->
-                    false
+                (* concrete Unknown: the symbolic exact tier may decide *)
+                | _, Analysis.Depend.Unknown _ -> true
+                | Analysis.Depend.Unknown _, _ -> false
                 | x, y -> rank x >= rank y
               in
               if not refines then
@@ -343,7 +483,31 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
                 ~who:(Printf.sprintf " at %s=%d" pname v)
                 ((pname, v) :: base_params)
                 sp.sa sp.sb inst)
-            spairs conc)
+            spairs conc;
+          (* the refined symbolic tree only tightens the unrefined one *)
+          List.iter2
+            (fun (sp : Analysis.Depend.spair) (so : Analysis.Depend.spair) ->
+              let valuation x =
+                if x = pname then v else List.assoc x base_params
+              in
+              let xi, _ = Analysis.Symbolic.eval valuation sp.scases in
+              let oi, _ = Analysis.Symbolic.eval valuation so.scases in
+              mark "exact/sym";
+              let ok =
+                match (xi, oi) with
+                | _, Analysis.Depend.Unknown _ -> true
+                | Analysis.Depend.Unknown _, _ -> false
+                | x, y -> rank x <= rank y
+              in
+              if not ok then
+                fail "exact/sym"
+                  (Printf.sprintf
+                     "%s vs %s at %s=%d: refined tree says %s, unrefined %s"
+                     sp.sa.Loopir.Array_ref.repr sp.sb.Loopir.Array_ref.repr
+                     pname v
+                     (Analysis.Depend.verdict_name xi)
+                     (Analysis.Depend.verdict_name oi)))
+            spairs spairs_off)
         samples;
       (* a certified quasi-polynomial must equal the engine count *)
       (match

@@ -23,9 +23,19 @@
       victim reference, thread pair) provenance;
     - [closed/exact]: when {!Analysis.Closed_form.estimate} certifies a
       count, it equals the engine's;
-    - [depend/brute]: [Independent] / [Line_conflict] must-claims hold
-      against brute-force enumeration of distinct parallel iterations
-      (skipped per pair when the iteration space exceeds the budget);
+    - [depend/brute]: first-tier ([~exact:`Off]) [Independent] /
+      [Line_conflict] must-claims hold against brute-force enumeration
+      of distinct parallel iterations (skipped per pair when the
+      iteration space exceeds the budget);
+    - [exact/refines], [exact/brute], [exact/witness]: the exact tier's
+      verdict is never strictly worse than the Banerjee verdict for the
+      same pair, its must-verdicts match the brute-force byte/line
+      classification {e exactly} (both directions, not just soundness),
+      and every emitted witness replays: distinct parallel iterations
+      whose evaluated offsets exhibit exactly the claimed overlap;
+    - [exact/sym]: on single-parameter nests, the exact-refined
+      symbolic tree instantiated at sampled values is never strictly
+      worse than the unrefined ([~exact:`Off]) tree;
     - [sym/depend], [sym/depend-sound], [sym/count]: on single-parameter
       nests, instantiated symbolic verdicts refine the concrete analysis
       at sampled values (at least as severe, per the {!Analysis.Depend}
@@ -44,6 +54,7 @@ type mutation =
   | Depend_m  (** demote a [Line_conflict] verdict to [Independent] *)
   | Sym  (** corrupt symbolic verdicts and counts *)
   | Attrib_m  (** off-by-one the attribution recorder's total *)
+  | Exact_m  (** corrupt the first exact witness's iteration values *)
 
 val mutation_of_string : string -> mutation option
 val mutation_name : mutation -> string

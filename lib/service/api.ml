@@ -110,8 +110,37 @@ let func_for store ~digest ~text req = function
                 (Printf.sprintf "several parallel functions (%s); use --func"
                    (String.concat ", " several))))
 
+(* One line per reference pair: verdict, deciding backend, witness. *)
+let dependence_summary ~line_bytes ~threads ~exact ~exact_budget nest =
+  match
+    Analysis.Depend.pairs ~line_bytes
+      ~params:[ ("num_threads", threads) ]
+      ~exact ~exact_budget nest
+  with
+  | [] -> ""
+  | pairs ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b "dependence:\n";
+      List.iter
+        (fun (p : Analysis.Depend.pair) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %s vs %s: %s [%s%s]%s\n"
+               p.Analysis.Depend.a.Loopir.Array_ref.repr
+               p.Analysis.Depend.b.Loopir.Array_ref.repr
+               (Analysis.Depend.verdict_name p.Analysis.Depend.verdict)
+               (Analysis.Depend.backend_name
+                  p.Analysis.Depend.ev.Analysis.Depend.ev_backend)
+               (if p.Analysis.Depend.ev.Analysis.Depend.ev_must then ", must"
+                else "")
+               (match p.Analysis.Depend.ev.Analysis.Depend.ev_witness with
+               | Some w ->
+                   " witness " ^ Analysis.Depend.witness_to_string w
+               | None -> "")))
+        pairs;
+      Buffer.contents b
+
 let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
-    ~predict ~contention =
+    ~predict ~contention ~exact ~exact_budget =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   match func_for store ~digest ~text req func with
@@ -133,6 +162,13 @@ let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
       in
       Buffer.add_string buf
         (Format.asprintf "%a@." Loopir.Loop_nest.pp nest);
+      (try
+         Buffer.add_string buf
+           (dependence_summary
+              ~line_bytes:
+                req.Req.arch.Archspec.Arch.l1.Archspec.Cache_geom.line_bytes
+              ~threads ~exact ~exact_budget nest)
+       with _ -> ());
       let mode =
         match predict with
         | Some runs -> Fsmodel.Overhead_percent.Predicted runs
@@ -148,12 +184,20 @@ let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
       { output = Buffer.contents buf; err = ""; code = 0 }
 
 let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-    ~params ~fail_on =
+    ~params ~fail_on ~exact ~exact_budget =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   let c = checked store ~digest ~text in
   let opts =
-    { Analysis.Lint.arch = req.Req.arch; threads; chunk; fixits; params }
+    {
+      Analysis.Lint.arch = req.Req.arch;
+      threads;
+      chunk;
+      fixits;
+      params;
+      exact;
+      exact_budget;
+    }
   in
   let report = Analysis.Lint.run ~opts ~uri c in
   let output =
@@ -268,13 +312,23 @@ let run_dump store ~digest ~text ~threads =
 let compute store (req : Req.t) ~uri ~text =
   let digest = Digest.to_hex (Digest.string text) in
   match req.Req.kind with
-  | Req.Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention }
-    ->
+  | Req.Analyze
+      {
+        func;
+        threads;
+        fs_chunk;
+        nfs_chunk;
+        predict;
+        contention;
+        exact;
+        exact_budget;
+      } ->
       run_analyze store ~digest ~text req ~func ~threads ~fs_chunk
-        ~nfs_chunk ~predict ~contention
-  | Req.Lint { threads; chunk; json; fixits; params; fail_on } ->
+        ~nfs_chunk ~predict ~contention ~exact ~exact_budget
+  | Req.Lint { threads; chunk; json; fixits; params; fail_on; exact; exact_budget }
+    ->
       run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-        ~params ~fail_on
+        ~params ~fail_on ~exact ~exact_budget
   | Req.Explain { func; threads; chunk; params; engine; format; top; trace_cap }
     ->
       run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params

@@ -5,6 +5,10 @@ type source =
 
 type fail_on = Race | Fs | Never
 
+type exact_mode = Analysis.Depend.exact_mode
+
+let exact_name = function `Auto -> "auto" | `On -> "on" | `Off -> "off"
+
 type kind =
   | Analyze of {
       func : string option;
@@ -13,6 +17,8 @@ type kind =
       nfs_chunk : int option;
       predict : int option;
       contention : bool;
+      exact : exact_mode;
+      exact_budget : int;
     }
   | Lint of {
       threads : int;
@@ -21,6 +27,8 @@ type kind =
       fixits : bool;
       params : (string * int) list;
       fail_on : fail_on;
+      exact : exact_mode;
+      exact_budget : int;
     }
   | Explain of {
       func : string option;
@@ -51,6 +59,8 @@ let lint_defaults source =
          fixits = true;
          params = [];
          fail_on = Race;
+         exact = `Auto;
+         exact_budget = Analysis.Depend.default_exact_budget;
        })
 
 (* ------------------------------------------------------------------ *)
@@ -119,13 +129,26 @@ let opt_int = function None -> "-" | Some i -> string_of_int i
 let opt_str = function None -> "-" | Some s -> s
 
 let kind_key = function
-  | Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention } ->
-      Printf.sprintf "analyze:%s:%d:%s:%s:%s:%b" (opt_str func) threads
+  | Analyze
+      {
+        func;
+        threads;
+        fs_chunk;
+        nfs_chunk;
+        predict;
+        contention;
+        exact;
+        exact_budget;
+      } ->
+      Printf.sprintf "analyze:%s:%d:%s:%s:%s:%b:%s:%d" (opt_str func) threads
         (opt_int fs_chunk) (opt_int nfs_chunk) (opt_int predict) contention
-  | Lint { threads; chunk; json; fixits; params; fail_on } ->
-      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s" threads (opt_int chunk) json
-        fixits (params_key params)
+        (exact_name exact) exact_budget
+  | Lint { threads; chunk; json; fixits; params; fail_on; exact; exact_budget }
+    ->
+      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s:%s:%d" threads (opt_int chunk)
+        json fixits (params_key params)
         (match fail_on with Race -> "race" | Fs -> "fs" | Never -> "never")
+        (exact_name exact) exact_budget
   | Explain { func; threads; chunk; params; engine; format; top; trace_cap }
     ->
       Printf.sprintf "explain:%s:%d:%s:%s:%s:%s:%d:%s" (opt_str func)
@@ -258,6 +281,16 @@ let decode_arch params =
       try Ok (Archspec.Arch.with_line_bytes base b)
       with Invalid_argument m -> Error m)
 
+let decode_exact params =
+  let* exact =
+    field_enum params "exact" `Auto
+      [ ("auto", `Auto); ("on", `On); ("off", `Off) ]
+  in
+  let* exact_budget =
+    field_int params "exact_budget" Analysis.Depend.default_exact_budget
+  in
+  Ok (exact, exact_budget)
+
 let of_json ~meth params =
   let* source = decode_source params in
   let* arch = decode_arch params in
@@ -270,7 +303,19 @@ let of_json ~meth params =
         let* nfs_chunk = field_int_opt params "nfs_chunk" in
         let* predict = field_int_opt params "predict" in
         let* contention = field_bool params "contention" false in
-        Ok (Analyze { func; threads; fs_chunk; nfs_chunk; predict; contention })
+        let* exact, exact_budget = decode_exact params in
+        Ok
+          (Analyze
+             {
+               func;
+               threads;
+               fs_chunk;
+               nfs_chunk;
+               predict;
+               contention;
+               exact;
+               exact_budget;
+             })
     | "lint" ->
         let* chunk = field_int_opt params "chunk" in
         let* json = field_bool params "json" false in
@@ -280,7 +325,19 @@ let of_json ~meth params =
           field_enum params "fail_on" Race
             [ ("race", Race); ("fs", Fs); ("never", Never) ]
         in
-        Ok (Lint { threads; chunk; json; fixits; params = bindings; fail_on })
+        let* exact, exact_budget = decode_exact params in
+        Ok
+          (Lint
+             {
+               threads;
+               chunk;
+               json;
+               fixits;
+               params = bindings;
+               fail_on;
+               exact;
+               exact_budget;
+             })
     | "explain" ->
         let* func = field_str_opt params "func" in
         let* chunk = field_int_opt params "chunk" in

@@ -18,6 +18,11 @@ type source =
 
 type fail_on = Race | Fs | Never
 
+type exact_mode = Analysis.Depend.exact_mode
+
+val exact_name : exact_mode -> string
+(** ["auto"], ["on"], ["off"] — the CLI/JSON spelling. *)
+
 type kind =
   | Analyze of {
       func : string option;
@@ -26,6 +31,8 @@ type kind =
       nfs_chunk : int option;  (** default: kernel's, or 16 for sources *)
       predict : int option;
       contention : bool;
+      exact : exact_mode;
+      exact_budget : int;
     }
   | Lint of {
       threads : int;
@@ -34,6 +41,8 @@ type kind =
       fixits : bool;
       params : (string * int) list;
       fail_on : fail_on;
+      exact : exact_mode;  (** exact dependence tier (see {!Analysis.Lint}) *)
+      exact_budget : int;
     }
   | Explain of {
       func : string option;

@@ -1,0 +1,29 @@
+/* Coupled subscripts: the write A[i][j] and the read A[j][i + 1] mix
+   both loop variables in both dimensions, so dimension-by-dimension
+   reasoning only establishes a may-conflict.  The exact tier solves
+   the coupled system and certifies the loop-carried dependence with a
+   concrete witness pair (e.g. iteration (0, 2) writes the byte that
+   iteration (1, 0) reads). */
+
+double A[64][64];
+
+void seed() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i += 1) {
+    for (j = 0; j < 64; j += 1) {
+      A[i][j] = 0.5 * i + 0.25 * j;
+    }
+  }
+}
+
+void fold() {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < 63; i += 1) {
+    for (j = 0; j < 63; j += 1) {
+      A[i][j] = A[j][i + 1] * 0.5;
+    }
+  }
+}

@@ -1,0 +1,41 @@
+/* Bounds that divide: both nests bound an inner loop by a quotient of
+   the outer variable, which falls outside the affine fragment -- the
+   Banerjee tier reports analysis/unknown for every pair here.  The
+   exact tier models each quotient with an auxiliary variable and its
+   two remainder inequalities, so both nests get definite verdicts:
+
+   - thirds: the 3-variable subscript 32*i + 8*j + k reaches 256 bytes
+     past the start of row i once j >= 4 (admitted when i >= 7), which
+     is exactly where row i + 1 starts -- a certified loop-carried
+     race, with witness.
+   - pads: each iteration i touches bytes [512*i, 512*i + 63], exactly
+     one cache line of its own -- certified independent, so a nest
+     that used to lint as unknown now lints clean. */
+
+double w[2048];
+double z[4096];
+
+void thirds() {
+  int i;
+  int j;
+  int k;
+  #pragma omp parallel for private(i,j,k) schedule(static,1)
+  for (i = 0; i < 12; i += 1) {
+    for (j = 0; j < (i + 2) / 2; j += 1) {
+      for (k = 0; k < 4; k += 1) {
+        w[32 * i + 8 * j + k] = 1.0;
+      }
+    }
+  }
+}
+
+void pads() {
+  int i;
+  int j;
+  #pragma omp parallel for private(i,j) schedule(static,1)
+  for (i = 0; i < 32; i += 1) {
+    for (j = 0; j < (i + 1) / 4; j += 1) {
+      z[64 * i + j] = 0.5;
+    }
+  }
+}

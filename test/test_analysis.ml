@@ -394,6 +394,205 @@ let test_depend_verdict_examples () =
        unknown)
 
 (* ------------------------------------------------------------------ *)
+(* exact integer feasibility (the Omega test)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* c + k1*v1 + ... as an affine row *)
+let af terms c =
+  List.fold_left
+    (fun acc (k, v) ->
+      Loopir.Affine.add acc (Loopir.Affine.scale k (Loopir.Affine.var v)))
+    (Loopir.Affine.const c) terms
+
+let exact_model_holds (s : Analysis.Exact.sys) model =
+  let env v = match List.assoc_opt v model with Some n -> n | None -> 0 in
+  List.for_all (fun e -> Loopir.Affine.eval env e = 0) s.Analysis.Exact.eqs
+  && List.for_all (fun g -> Loopir.Affine.eval env g >= 0) s.Analysis.Exact.geqs
+
+(* hand-picked systems covering each tightening: GCD normalization,
+   equality elimination, dark vs real shadow, and splinters *)
+let test_exact_solver_examples () =
+  let solve s = Analysis.Exact.solve (Analysis.Exact.budget 1_000_000) s in
+  let sat name s =
+    match solve s with
+    | None -> Alcotest.failf "%s: expected satisfiable" name
+    | Some m ->
+        check Alcotest.bool (name ^ ": model holds") true (exact_model_holds s m)
+  and unsat name s =
+    match solve s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s: expected unsatisfiable" name
+  in
+  (* GCD: 6x + 10y = 1 has no integer solution, 6x + 10y = 2 does *)
+  unsat "gcd" { Analysis.Exact.eqs = [ af [ (6, "x"); (10, "y") ] (-1) ]; geqs = [] };
+  sat "gcd ok" { Analysis.Exact.eqs = [ af [ (6, "x"); (10, "y") ] (-2) ]; geqs = [] };
+  (* no integer in the rational interval [3/11, 8/11] *)
+  unsat "empty interval"
+    { Analysis.Exact.eqs = []; geqs = [ af [ (11, "x") ] (-3); af [ (-11, "x") ] 8 ] };
+  sat "wide interval"
+    { Analysis.Exact.eqs = []; geqs = [ af [ (11, "x") ] (-3); af [ (-11, "x") ] 19 ] };
+  (* Pugh's running example: 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4
+     has no integer solution though the real shadow is non-empty *)
+  unsat "pugh dark shadow"
+    {
+      Analysis.Exact.eqs = [];
+      geqs =
+        [
+          af [ (11, "x"); (13, "y") ] (-27);
+          af [ (-11, "x"); (-13, "y") ] 45;
+          af [ (7, "x"); (-9, "y") ] 10;
+          af [ (-7, "x"); (9, "y") ] 4;
+        ];
+    };
+  (* same shape, relaxed enough to admit (3, 1) *)
+  sat "pugh relaxed"
+    {
+      Analysis.Exact.eqs = [];
+      geqs =
+        [
+          af [ (11, "x"); (13, "y") ] (-27);
+          af [ (-11, "x"); (-13, "y") ] 46;
+          af [ (7, "x"); (-9, "y") ] 10;
+          af [ (-7, "x"); (9, "y") ] 12;
+        ];
+    };
+  (* coupled equalities forcing mod-hat elimination *)
+  sat "mod-hat"
+    {
+      Analysis.Exact.eqs = [ af [ (7, "x"); (12, "y"); (31, "z") ] (-50) ];
+      geqs = [ af [ (1, "x") ] 0; af [ (1, "y") ] 0; af [ (1, "z") ] 0 ];
+    };
+  unsat "coupled parity"
+    {
+      Analysis.Exact.eqs = [ af [ (2, "x"); (-2, "y") ] (-1) ];
+      geqs = [];
+    }
+
+(* the solver against brute force over a small box: both the decision
+   and, when satisfiable, the returned model *)
+let prop_exact_vs_brute =
+  let gen =
+    QCheck2.Gen.(
+      let row =
+        map
+          (fun (c, k1, k2, k3) -> (c, k1, k2, k3))
+          (tup4 (int_range (-10) 10) (int_range (-4) 4) (int_range (-4) 4)
+             (int_range (-4) 4))
+      in
+      tup2 (list_size (int_range 0 1) row) (list_size (int_range 1 4) row))
+  in
+  let print (eqs, geqs) =
+    let row (c, k1, k2, k3) = Printf.sprintf "%d + %dx + %dy + %dz" c k1 k2 k3 in
+    Printf.sprintf "eqs: %s; geqs: %s"
+      (String.concat ", " (List.map row eqs))
+      (String.concat ", " (List.map row geqs))
+  in
+  QCheck2.Test.make ~name:"exact solver = brute force on boxed systems"
+    ~count:300 ~print gen (fun (eqs, geqs) ->
+      let mk (c, k1, k2, k3) = af [ (k1, "x"); (k2, "y"); (k3, "z") ] c in
+      let box =
+        List.concat_map
+          (fun v -> [ af [ (1, v) ] 5; af [ (-1, v) ] 5 ])
+          [ "x"; "y"; "z" ]
+      in
+      let sys =
+        {
+          Analysis.Exact.eqs = List.map mk eqs;
+          geqs = List.map mk geqs @ box;
+        }
+      in
+      let brute = ref false in
+      for x = -5 to 5 do
+        for y = -5 to 5 do
+          for z = -5 to 5 do
+            let env = function "x" -> x | "y" -> y | _ -> z in
+            if
+              List.for_all (fun e -> Loopir.Affine.eval env e = 0)
+                sys.Analysis.Exact.eqs
+              && List.for_all (fun g -> Loopir.Affine.eval env g >= 0)
+                   sys.Analysis.Exact.geqs
+            then brute := true
+          done
+        done
+      done;
+      match Analysis.Exact.solve (Analysis.Exact.budget 2_000_000) sys with
+      | None -> not !brute
+      | Some m -> !brute && exact_model_holds sys m)
+
+(* Acceptance gate for the exact tier: the default two-tier analysis
+   leaves no affine pair of any registry kernel undecided — no Unknown
+   verdicts, no budget fallbacks — and every must-conflict carries a
+   witness that replays: distinct parallel iterations whose evaluated
+   offsets exhibit exactly the claimed overlap. *)
+let test_registry_exact_gate () =
+  let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
+  List.iter
+    (fun kernel ->
+      let name = kernel.Kernels.Kernel.name in
+      let checked = Kernels.Kernel.parse kernel in
+      let nest = lower ~threads:8 checked ~func:kernel.Kernels.Kernel.func in
+      let pv = (Loopir.Loop_nest.parallel_loop nest).Loopir.Loop_nest.var in
+      let pairs =
+        Analysis.Depend.pairs ~line_bytes:64
+          ~params:[ ("num_threads", 8) ]
+          nest
+      in
+      List.iter
+        (fun (p : Analysis.Depend.pair) ->
+          let ev = p.Analysis.Depend.ev in
+          (match p.Analysis.Depend.verdict with
+          | Analysis.Depend.Unknown r ->
+              Alcotest.failf "%s: unknown affine pair (%s)" name r
+          | _ -> ());
+          (match ev.Analysis.Depend.ev_backend with
+          | Analysis.Depend.Fallback r ->
+              Alcotest.failf "%s: exact tier fell back (%s)" name r
+          | _ -> ());
+          match (p.Analysis.Depend.verdict, ev.Analysis.Depend.ev_witness) with
+          | (Analysis.Depend.Loop_carried | Analysis.Depend.Line_conflict), None
+            when ev.Analysis.Depend.ev_must ->
+              Alcotest.failf "%s: must-conflict without a witness" name
+          | v, Some w ->
+              let env side x =
+                match List.assoc_opt x side with
+                | Some n -> n
+                | None -> (
+                    match List.assoc_opt x w.Analysis.Depend.w_params with
+                    | Some n -> n
+                    | None -> List.assoc x [ ("num_threads", 8) ])
+              in
+              if
+                List.assoc_opt pv w.Analysis.Depend.w_a
+                = List.assoc_opt pv w.Analysis.Depend.w_b
+              then
+                Alcotest.failf "%s: witness does not separate %s" name pv;
+              let offset side (r : Loopir.Array_ref.t) =
+                Loopir.Affine.eval (env side) r.Loopir.Array_ref.offset
+              in
+              let oa = offset w.Analysis.Depend.w_a p.Analysis.Depend.a
+              and ob = offset w.Analysis.Depend.w_b p.Analysis.Depend.b in
+              let ea = oa + p.Analysis.Depend.a.Loopir.Array_ref.size_bytes - 1
+              and eb =
+                ob + p.Analysis.Depend.b.Loopir.Array_ref.size_bytes - 1
+              in
+              let bytes = oa <= eb && ob <= ea in
+              let line =
+                fdiv oa 64 <= fdiv eb 64 && fdiv ob 64 <= fdiv ea 64
+              in
+              let ok =
+                match v with
+                | Analysis.Depend.Loop_carried -> bytes
+                | Analysis.Depend.Line_conflict -> line && not bytes
+                | _ -> false
+              in
+              if not ok then
+                Alcotest.failf "%s: witness does not replay (%s)" name
+                  (Analysis.Depend.witness_to_string w)
+          | _ -> ())
+        pairs)
+    (Kernels.Registry.all ())
+
+(* ------------------------------------------------------------------ *)
 (* parametric (symbolic) analyses                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -462,7 +661,7 @@ let test_sym_kernels_definitive () =
       List.iter
         (fun (sp : Analysis.Depend.spair) ->
           List.iter
-            (fun (_, v) ->
+            (fun (_, (v, _)) ->
               match v with
               | Analysis.Depend.Unknown r ->
                   Alcotest.failf "%s: unknown region (%s)" name r
@@ -527,7 +726,7 @@ let prop_sym_depend_sound =
              && List.for_all2
                   (fun (cp : Analysis.Depend.pair)
                        (sp : Analysis.Depend.spair) ->
-                    let sv =
+                    let sv, _ =
                       Analysis.Symbolic.eval
                         (fun _ -> nv)
                         sp.Analysis.Depend.scases
@@ -646,6 +845,14 @@ let () =
           Alcotest.test_case "verdict examples" `Quick
             test_depend_verdict_examples;
           QCheck_alcotest.to_alcotest prop_depend_oracle;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "solver examples" `Quick
+            test_exact_solver_examples;
+          Alcotest.test_case "registry kernels: no unknown, witnesses replay"
+            `Quick test_registry_exact_gate;
+          QCheck_alcotest.to_alcotest prop_exact_vs_brute;
         ] );
       ( "symbolic",
         [

@@ -59,6 +59,10 @@ let floors =
     ("engine/fast-vs-ref", 130);
     ("closed/exact", 50);
     ("depend/brute", 120);
+    ("exact/refines", 120);
+    ("exact/brute", 50);
+    ("exact/witness", 50);
+    ("exact/sym", 25);
     ("sym/depend", 25);
     ("sym/depend-sound", 25);
     ("lower/nonaffine", 15);
@@ -140,6 +144,7 @@ let mutation_cases =
     (Fuzz.Oracle.Depend_m, [ "depend/brute" ]);
     (Fuzz.Oracle.Sym, [ "sym/depend"; "sym/depend-sound"; "sym/count" ]);
     (Fuzz.Oracle.Attrib_m, [ "attrib/conserve" ]);
+    (Fuzz.Oracle.Exact_m, [ "exact/witness" ]);
   ]
 
 (* ------------------------------------------------------------------ *)

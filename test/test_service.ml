@@ -35,6 +35,8 @@ let requests () =
           nfs_chunk = None;
           predict = None;
           contention = false;
+          exact = `Auto;
+          exact_budget = Analysis.Depend.default_exact_budget;
         };
       Lint
         {
@@ -44,6 +46,8 @@ let requests () =
           fixits = true;
           params = [];
           fail_on = Race;
+          exact = `Auto;
+          exact_budget = Analysis.Depend.default_exact_budget;
         };
       Lint
         {
@@ -53,6 +57,8 @@ let requests () =
           fixits = false;
           params = [ ("n", 4096) ];
           fail_on = Fs;
+          exact = `On;
+          exact_budget = 2000;
         };
       Explain
         {
@@ -141,6 +147,8 @@ let analyze_req ?(threads = 8) ?(arch = Archspec.Arch.paper_machine) source =
          nfs_chunk = None;
          predict = None;
          contention = false;
+         exact = `Auto;
+         exact_budget = Analysis.Depend.default_exact_budget;
        })
 
 let check_deltas what expected got =
