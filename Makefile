@@ -24,8 +24,19 @@ verify:
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits test/fixtures/divided_bound.c > /dev/null 2>&1
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never --exact on test/fixtures/coupled_subscript.c 2>&1 | grep 'analysis/'
 	! ./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never --exact on test/fixtures/divided_bound.c 2>&1 | grep 'analysis/'
+	./_build/default/bin/fsdetect.exe --version | grep -q '+arch\.'
+	./_build/default/bin/fsdetect.exe lint --fail-on never --cost-model analytic -k heat | grep -q 'cost: Total_c'
+	./_build/default/bin/fsdetect.exe analyze --cost-model analytic --format json -k heat | grep -q '"costModel": "analytic"'
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
+
+# Analytic-vs-simulator accuracy gate: every registry kernel's reuse
+# prediction must land inside the per-kernel tolerances pinned in
+# test/test_reuse.ml, and the analytic lint path must make zero engine
+# evaluations.  (Also part of `dune runtest`; exposed as its own target
+# so CI can run and report it separately.)
+cost-model-accuracy: build
+	./_build/default/test/test_reuse.exe
 
 # End-to-end smoke of the analysis service: one `fsdetect serve`
 # process gets the same mixed batch (lint + explain over every registry

@@ -799,6 +799,7 @@ let serve_section () =
            fail_on = Service.Req.Race;
            exact = `Auto;
            exact_budget = Analysis.Depend.default_exact_budget;
+           cost_model = `Sim;
          })
   in
   let explain_req k =
@@ -950,6 +951,93 @@ let exact_section () =
        ~header:
          [ "kernel"; "pairs"; "upgraded"; "promoted"; "banerjee (s)";
            "exact (s)" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* cost model: analytic reuse-distance prediction vs the simulator      *)
+(* ------------------------------------------------------------------ *)
+
+(* kernel, threads, predicted/simulated beyond-L1 traffic and DRAM
+   fetches, decision wall time of each path *)
+let cost_model_stats :
+    (string * int * float * float * float * float * float * float) list ref =
+  ref []
+
+let cost_model_section () =
+  let arch = Archspec.Arch.small_test_machine in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf
+    "Static reuse-distance prediction (Analysis.Reuse, zero simulation)\n\
+     vs the execution-driven cache simulator on every bundled kernel at\n\
+     the small test machine.  \"beyond-L1\" is the predicted traffic the\n\
+     Eq. 1 cache term prices; the seconds columns compare the cost of\n\
+     reaching a verdict each way.\n\n";
+  let rows =
+    List.concat_map
+      (fun (kernel : Kernels.Kernel.t) ->
+        let checked = Kernels.Kernel.parse kernel in
+        List.map
+          (fun threads ->
+            let params = [ ("num_threads", threads) ] in
+            let nest =
+              Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func
+                ~params
+            in
+            let p, t_an =
+              time (fun () ->
+                  Analysis.Reuse.predict ~arch ~threads
+                    ~env:(fun v -> List.assoc_opt v params)
+                    nest)
+            in
+            let m, t_sim =
+              time (fun () -> Execsim.Run.measure ~arch ~threads kernel)
+            in
+            let st = m.Execsim.Run.stats in
+            let sim_acc = float_of_int (Cachesim.Stats.accesses st) in
+            let sim_beyond =
+              sim_acc -. float_of_int st.Cachesim.Stats.l1_hits
+            in
+            let sim_mem = float_of_int st.Cachesim.Stats.mem_fetches in
+            let pred_beyond =
+              p.Analysis.Reuse.accesses -. p.Analysis.Reuse.l1_hits
+            in
+            cost_model_stats :=
+              ( kernel.Kernels.Kernel.name,
+                threads,
+                pred_beyond,
+                sim_beyond,
+                p.Analysis.Reuse.mem_fetches,
+                sim_mem,
+                t_an,
+                t_sim )
+              :: !cost_model_stats;
+            let err p s =
+              if s <= 0. then "-"
+              else Printf.sprintf "%+.1f%%" (100. *. (p -. s) /. s)
+            in
+            [
+              kernel.Kernels.Kernel.name;
+              string_of_int threads;
+              Printf.sprintf "%.0f" pred_beyond;
+              Printf.sprintf "%.0f" sim_beyond;
+              err pred_beyond sim_beyond;
+              Printf.sprintf "%.0f" p.Analysis.Reuse.mem_fetches;
+              Printf.sprintf "%.0f" sim_mem;
+              Printf.sprintf "%.4f" t_an;
+              Printf.sprintf "%.4f" t_sim;
+            ])
+          [ 2; 4 ])
+      (Kernels.Registry.all ())
+  in
+  print_endline
+    (Fsmodel.Report.table
+       ~header:
+         [ "kernel"; "t"; "pred >L1"; "sim >L1"; "err"; "pred mem";
+           "sim mem"; "analytic (s)"; "sim (s)" ]
        rows)
 
 (* ------------------------------------------------------------------ *)
@@ -1108,6 +1196,24 @@ let write_bench_json ~total path =
         batch;
       bpf "    ]\n";
       bpf "  },\n");
+  (* cost_model: analytic reuse-distance model vs the simulator.  Schema
+     per entry: kernel, threads, pred/sim beyond-L1 accesses, pred/sim
+     DRAM fetches, and the wall seconds each path took to decide. *)
+  let cm = List.rev !cost_model_stats in
+  if cm <> [] then begin
+    bpf "  \"cost_model\": [\n";
+    List.iteri
+      (fun i (kernel, threads, pb, sb, pm, sm, t_an, t_sim) ->
+        bpf
+          "    { \"kernel\": %S, \"threads\": %d, \"pred_beyond_l1\": \
+           %.0f, \"sim_beyond_l1\": %.0f, \"pred_mem\": %.0f, \
+           \"sim_mem\": %.0f, \"seconds_analytic\": %.4f, \
+           \"seconds_sim\": %.4f }%s\n"
+          kernel threads pb sb pm sm t_an t_sim
+          (if i = List.length cm - 1 then "" else ","))
+      cm;
+    bpf "  ],\n"
+  end;
   let ex = List.rev !exact_stats in
   if ex <> [] then begin
     bpf "  \"exact\": [\n";
@@ -1180,6 +1286,8 @@ let () =
   section "serve" "analysis service: cold vs warm, batch scaling" serve_section;
   section "exact" "two-tier dependence: Banerjee vs the exact tier"
     exact_section;
+  section "costmodel" "analytic reuse-distance model vs the simulator"
+    cost_model_section;
   section "micro" "bechamel micro-benchmarks" micro;
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~total "BENCH.json";

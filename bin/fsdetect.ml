@@ -107,8 +107,22 @@ let wrap f = (try f () with
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let cost_model_arg =
+  let open Cmdliner in
+  Arg.(value
+       & opt
+           (enum [ ("sim", `Sim); ("analytic", `Analytic); ("both", `Both) ])
+           `Sim
+       & info [ "cost-model" ] ~docv:"MODEL"
+           ~doc:
+             "How to quantify and cost findings: $(b,sim) (default) uses \
+              the lockstep engine where no closed form applies, \
+              $(b,analytic) uses only the static reuse-distance model \
+              (zero engine or simulator evaluations), $(b,both) reports \
+              engine counts with the analytic Eq. 1 context attached.")
+
 let analyze file kernel func threads fs_chunk nfs_chunk predict contention
-    exact exact_budget =
+    exact exact_budget cost_model format =
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -125,6 +139,8 @@ let analyze file kernel func threads fs_chunk nfs_chunk predict contention
                 contention;
                 exact;
                 exact_budget;
+                cost_model;
+                json = (format = `Json);
               }))
 
 let analyze_cmd =
@@ -147,18 +163,27 @@ let analyze_cmd =
              ~doc:"Include the shared-cache/bandwidth contention extension \
                    in the Eq. 1 total.")
   in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:
+               "Output format: $(b,text) (default) or $(b,json) (one \
+                structured document with the nest, dependence verdicts \
+                and cost breakdown).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-time FS cost model")
     Term.(const analyze $ file_arg $ kernel_arg $ func_arg $ threads_arg
           $ fs_chunk $ nfs_chunk $ predict $ contention $ exact_arg
-          $ exact_budget_arg)
+          $ exact_budget_arg $ cost_model_arg $ format)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let lint file kernel threads chunk json no_fixits params fail_on exact
-    exact_budget =
+    exact_budget cost_model =
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -175,6 +200,7 @@ let lint file kernel threads chunk json no_fixits params fail_on exact
                 fail_on;
                 exact;
                 exact_budget;
+                cost_model;
               }))
 
 let lint_cmd =
@@ -218,7 +244,8 @@ let lint_cmd =
           parallel for nest (exit 1 per $(b,--fail-on), default: on any \
           error-severity finding)")
     Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
-          $ no_fixits $ params $ fail_on $ exact_arg $ exact_budget_arg)
+          $ no_fixits $ params $ fail_on $ exact_arg $ exact_budget_arg
+          $ cost_model_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -552,7 +579,7 @@ let dump_cmd =
 
 let () =
   let info =
-    Cmd.info "fsdetect" ~version:"1.0.0"
+    Cmd.info "fsdetect" ~version:Service.Api.version_string
       ~doc:"Compile-time detection of false sharing via loop cost modeling"
   in
   exit

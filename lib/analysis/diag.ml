@@ -21,6 +21,16 @@ type finding = {
       (* conflicting iteration pair certified by the exact backend *)
   reason : string option;
       (* for analysis/unknown findings: the raw reason string *)
+  cost : cost option;
+      (* analytic Eq. 1 cost context, when the lint ran with a cost model *)
+}
+
+and cost = {
+  cost_model : string;  (* "analytic" or "sim" *)
+  eq1 : Costmodel.Total_cost.eq1;
+  fs_percent : float;
+  miss_rate : float;  (* predicted beyond-L1 miss share, in [0,1] *)
+  mem_fetches : float;
 }
 
 type report = { uri : string; findings : finding list }
@@ -78,6 +88,17 @@ let to_text r =
       | Some b when b <> "exact" && b <> "banerjee" ->
           Buffer.add_string buf (Printf.sprintf "  backend: %s\n" b)
       | _ -> ());
+      (match f.cost with
+      | Some c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  cost: %s\n"
+               (Format.asprintf "%a" Costmodel.Total_cost.pp_eq1 c.eq1));
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  miss: %.2f%% predicted miss rate, %.0f memory fetches \
+                [%s]\n"
+               (100. *. c.miss_rate) c.mem_fetches c.cost_model)
+      | None -> ());
       List.iter
         (fun a -> Buffer.add_string buf (Printf.sprintf "  top: %s\n" a))
         f.attribution;
@@ -141,6 +162,26 @@ let to_json r =
              | None -> [])
            @ (match f.reason with
              | Some m -> [ ("unknownReason", Str m) ]
+             | None -> [])
+           @ (match f.cost with
+             | Some c ->
+                 [
+                   ("predictedMissRate", Float c.miss_rate);
+                   ( "costBreakdown",
+                     Obj
+                       [
+                         ("model", Str c.cost_model);
+                         ("loopCycles", Float c.eq1.Costmodel.Total_cost.loop_c);
+                         ( "cacheCycles",
+                           Float c.eq1.Costmodel.Total_cost.cache_c );
+                         ( "machineCycles",
+                           Float c.eq1.Costmodel.Total_cost.machine_c );
+                         ("fsCycles", Float c.eq1.Costmodel.Total_cost.fs_c);
+                         ("totalCycles", Float c.eq1.Costmodel.Total_cost.total);
+                         ("fsPercent", Float c.fs_percent);
+                         ("memFetches", Float c.mem_fetches);
+                       ] );
+                 ]
              | None -> [])
            @
            match f.attribution with

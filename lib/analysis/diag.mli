@@ -35,6 +35,18 @@ type finding = {
   reason : string option;
       (** for [analysis/unknown] findings: the raw reason string,
           surfaced as a SARIF [unknownReason] property *)
+  cost : cost option;
+      (** analytic cost context attached when the lint ran with
+          [--cost-model analytic|both]: rendered as text [cost:]/[miss:]
+          lines and SARIF [predictedMissRate]/[costBreakdown] properties *)
+}
+
+and cost = {
+  cost_model : string;  (** ["analytic"] (or ["sim"] for engine-backed) *)
+  eq1 : Costmodel.Total_cost.eq1;  (** the four reported Eq. 1 terms *)
+  fs_percent : float;  (** FS share of the predicted total, in percent *)
+  miss_rate : float;  (** predicted beyond-L1 miss share, in [0,1] *)
+  mem_fetches : float;  (** predicted DRAM line fetches, machine-wide *)
 }
 
 type report = { uri : string; findings : finding list }

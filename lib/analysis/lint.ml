@@ -1,5 +1,18 @@
 open Loopir
 
+type cost_model = [ `Sim | `Analytic | `Both ]
+
+let cost_model_name = function
+  | `Sim -> "sim"
+  | `Analytic -> "analytic"
+  | `Both -> "both"
+
+let cost_model_of_string = function
+  | "sim" -> Some `Sim
+  | "analytic" -> Some `Analytic
+  | "both" -> Some `Both
+  | _ -> None
+
 type options = {
   arch : Archspec.Arch.t;
   threads : int;
@@ -8,6 +21,7 @@ type options = {
   params : (string * int) list;  (* extra -p NAME=VAL bindings *)
   exact : Depend.exact_mode;
   exact_budget : int;
+  cost_model : cost_model;
 }
 
 let default_options =
@@ -19,6 +33,7 @@ let default_options =
     params = [];
     exact = `Auto;
     exact_budget = Depend.default_exact_budget;
+    cost_model = `Sim;
   }
 
 let all_params opts = ("num_threads", opts.threads) :: opts.params
@@ -67,6 +82,7 @@ let fallback_findings ~opts ~func pairs_ev =
                 backend = Some (Depend.backend_name ev.Depend.ev_backend);
                 witness = None;
                 reason = None;
+                cost = None;
               }
         | _ -> None)
       pairs_ev
@@ -93,6 +109,7 @@ let race_finding ~func ?region ?(ev = Depend.banerjee_ev ~must:false)
     backend;
     witness;
     reason = None;
+    cost = None;
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -121,17 +138,48 @@ let unknown_findings ~func pairs =
               backend;
               witness;
               reason = Some reason;
+              cost = None;
             }
       | _ -> None)
     pairs
 
 (* Quantify a nest's false sharing: certified closed form when it
-   applies, the exact engine otherwise. *)
-let fs_count cfg ~nest ~checked =
+   applies, the exact engine otherwise — except under [--cost-model
+   analytic], which promises zero engine evaluations and reports the
+   certificate gap instead of falling back. *)
+let fs_count ~cost_model cfg ~nest ~checked =
   match Closed_form.estimate cfg ~nest ~checked with
   | Closed_form.Exact info -> (info.Closed_form.fs_cases, "closed form")
+  | Closed_form.Inapplicable reason when cost_model = `Analytic ->
+      ( -1,
+        Printf.sprintf
+          "no closed-form certificate (%s); rerun with --cost-model sim for \
+           an engine count"
+          reason )
   | Closed_form.Inapplicable _ ->
       ((Fsmodel.Model.run cfg ~nest ~checked).Fsmodel.Model.fs_cases, "engine")
+
+(* The analytic Eq. 1 context attached to findings under [--cost-model
+   analytic|both]; [None] when the nest's parameters are incomplete. *)
+let cost_of ~opts ~checked nest =
+  match opts.cost_model with
+  | `Sim -> None
+  | `Analytic | `Both -> (
+      match
+        Reuse.analyze ~arch:opts.arch ?chunk:opts.chunk ~threads:opts.threads
+          ~params:(all_params opts) ~checked nest
+      with
+      | a ->
+          Some
+            {
+              Diag.cost_model = "analytic";
+              eq1 = a.Reuse.eq1;
+              fs_percent =
+                Costmodel.Total_cost.fs_percent ~fs:a.Reuse.breakdown;
+              miss_rate = a.Reuse.prediction.Reuse.miss_rate;
+              mem_fetches = a.Reuse.prediction.Reuse.mem_fetches;
+            }
+      | exception _ -> None)
 
 let fixits_for ~opts ~checked ~base advice =
   match advice with
@@ -258,11 +306,17 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
     (* a nest rescued by the exact backend (unbound identifiers treated
        as free parameters) has no concrete count to run *)
     let fs, how =
-      try fs_count cfg ~nest ~checked with _ -> (-1, "unavailable")
+      try fs_count ~cost_model:opts.cost_model cfg ~nest ~checked
+      with _ ->
+        (-1, "the nest references identifiers not bound by -p")
     in
+    (* the analytic path never touches the engine, so no attribution *)
     let attrib =
-      if fs > 0 then attribution_pairs ~checked cfg nest else None
+      if fs > 0 && opts.cost_model <> `Analytic then
+        attribution_pairs ~checked cfg nest
+      else None
     in
+    let cost = cost_of ~opts ~checked nest in
     let bases =
       List.sort_uniq compare
         (List.map (fun (p : Depend.pair) -> p.Depend.a.Array_ref.base)
@@ -293,9 +347,7 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
               "but the cost model counts no false-sharing case at %d \
                threads (%s)"
               opts.threads how
-          else
-            "no concrete count (the nest references identifiers not bound \
-             by -p)"
+          else Printf.sprintf "no concrete count (%s)" how
         in
         let fixits =
           if opts.fixits && races = [] && fs > 0 then
@@ -328,6 +380,7 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
           backend;
           witness;
           reason = None;
+          cost;
         })
       bases
 
@@ -474,6 +527,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
                     backend;
                     witness;
                     reason = Some reason;
+                    cost = None;
                   }
             | _ -> None)
           paths)
@@ -555,6 +609,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
             backend;
             witness;
             reason = None;
+            cost = None;
           })
         bases
     end
@@ -628,13 +683,16 @@ let lint_function ~opts ~checked func =
           backend = None;
           witness = None;
           reason = Some m;
+          cost = None;
         };
       ]
   | nests ->
       (* the advisor sweep is per function; share it across its nests
-         and skip it entirely when fix-its are off *)
+         and skip it entirely when fix-its are off.  The sweep runs the
+         engine per candidate chunk, so the analytic cost model (zero
+         engine evaluations) skips it too. *)
       let advice =
-        if opts.fixits then
+        if opts.fixits && opts.cost_model <> `Analytic then
           try
             Some
               (Fsmodel.Advisor.advise ~arch:opts.arch ~threads:opts.threads

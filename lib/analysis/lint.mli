@@ -33,6 +33,20 @@
     {!Closed_form.estimate_sym} ({!Diag.finding.symbolic}).  Fix-its are
     concrete-only. *)
 
+type cost_model = [ `Sim | `Analytic | `Both ]
+(** How findings are quantified and costed:
+    - [`Sim] (default): closed form when certified, the
+      {!Fsmodel.Model} engine otherwise; no Eq. 1 context attached.
+    - [`Analytic]: zero engine evaluations — FS counts come only from
+      {!Closed_form} certificates, the Eq. 1 breakdown from
+      {!Reuse.analyze}, and findings report why when no certificate
+      applies.  Fix-its lose the advisor's chunk sweep (engine-backed).
+    - [`Both]: engine-backed counts {e and} the analytic Eq. 1 context.
+*)
+
+val cost_model_name : cost_model -> string
+val cost_model_of_string : string -> cost_model option
+
 type options = {
   arch : Archspec.Arch.t;
   threads : int;
@@ -46,11 +60,12 @@ type options = {
           fallbacks silently, [`On] additionally emits
           ["analysis/exact-budget"] warnings, [`Off] disables it *)
   exact_budget : int;  (** solver step allowance per reference pair *)
+  cost_model : cost_model;
 }
 
 val default_options : options
 (** Paper machine, 8 threads, pragma chunk, fix-its on, no extra
-    parameters. *)
+    parameters, [`Sim] cost model. *)
 
 val run :
   ?opts:options -> uri:string -> Minic.Typecheck.checked -> Diag.report

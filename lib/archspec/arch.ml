@@ -80,6 +80,14 @@ let line_bytes t =
     invalid_arg "Arch.line_bytes: cache levels disagree on line size";
   b
 
+let l3_sharers t ~threads =
+  if threads < 1 then invalid_arg "Arch.l3_sharers: threads < 1";
+  max 1 (min threads t.cores_per_socket)
+
+let capacity_lines t level =
+  let g = match level with `L1 -> t.l1 | `L2 -> t.l2 | `L3 -> t.l3 in
+  Cache_geom.lines g
+
 let cycles_to_seconds t cycles = cycles /. (t.freq_ghz *. 1e9)
 
 let pp ppf t =

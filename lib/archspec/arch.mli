@@ -41,6 +41,17 @@ val with_line_bytes : t -> int -> t
     size is not a power of two or does not divide the cache capacities. *)
 
 val sockets : t -> int
+
+val l3_sharers : t -> threads:int -> int
+(** Number of active cores sharing one L3 when a team of [threads] fills
+    cores in order: [min threads cores_per_socket], at least 1.  The
+    shared-cache reuse-distance model scales private stack distances by
+    this factor.  @raise Invalid_argument if [threads < 1]. *)
+
+val capacity_lines : t -> [ `L1 | `L2 | `L3 ] -> int
+(** Capacity of one cache at that level, in lines — the stack width [W]
+    a reuse distance is compared against. *)
+
 val line_bytes : t -> int
 (** Line size shared by all levels. @raise Invalid_argument if levels
     disagree (the paper's model assumes one line size, §IV-B). *)

@@ -63,9 +63,13 @@ type region = {
   sched : Ompsched.Schedule.t;
 }
 
+let runs = ref 0
+let run_count () = !runs
+
 let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     ?attrib cfg ~(nest : Loopir.Loop_nest.t) ~checked =
   if cfg.threads < 1 then invalid_arg "Model.run: threads < 1";
+  incr runs;
   (match Loopir.Loop_nest.schedule_kind nest with
   | `Static -> ()
   | `Dynamic | `Guided ->

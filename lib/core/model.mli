@@ -56,6 +56,11 @@ type result = {
   truncated : bool;  (** stopped early by [max_chunk_runs] *)
 }
 
+val run_count : unit -> int
+(** Number of {!run} invocations so far in this process.  The analytic
+    cost path ([--cost-model analytic]) promises zero engine evaluations;
+    tests snapshot this counter around it to enforce the promise. *)
+
 val run :
   ?max_chunk_runs:int ->
   ?record_samples:bool ->

@@ -19,8 +19,8 @@ let default_fs_cost_factor = 0.6
 
 let compute ?(overhead = Ompsched.Overhead.default)
     ?(fs_cost_factor = default_fs_cost_factor) ?(contention = false)
-    ~(arch : Archspec.Arch.t) ~threads ~fs_cases ~env ~checked
-    (nest : Loopir.Loop_nest.t) =
+    ?cache_cycles:provided_cache_cycles ~(arch : Archspec.Arch.t) ~threads
+    ~fs_cases ~env ~checked (nest : Loopir.Loop_nest.t) =
   let trips = Cache_model.trips_of_nest ~env nest in
   let d = nest.Loopir.Loop_nest.parallel_depth in
   let trip_at i = snd (List.nth trips i) in
@@ -46,11 +46,14 @@ let compute ?(overhead = Ompsched.Overhead.default)
   let proc =
     Processor_model.of_nest checked ~core:arch.Archspec.Arch.core nest
   in
-  let cache = Cache_model.analyze ~arch ~env nest in
   let tlb = Tlb_model.analyze ~arch ~env nest in
   let fpt = float_of_int iters_per_thread in
   let machine_cycles = proc.Processor_model.cycles_per_iter *. fpt in
-  let cache_cycles = cache.Cache_model.cycles_per_iter *. fpt in
+  let cache_cycles =
+    match provided_cache_cycles with
+    | Some c -> c
+    | None -> (Cache_model.analyze ~arch ~env nest).Cache_model.cycles_per_iter *. fpt
+  in
   let tlb_cycles = tlb.Tlb_model.cycles_per_iter *. fpt in
   let contention_cycles =
     if not contention then 0.
@@ -99,6 +102,33 @@ let compute ?(overhead = Ompsched.Overhead.default)
 let fs_percent ~fs =
   if fs.total_cycles <= 0. then 0.
   else 100. *. fs.false_sharing_cycles /. fs.total_cycles
+
+type eq1 = {
+  loop_c : float;
+  cache_c : float;
+  machine_c : float;
+  fs_c : float;
+  total : float;
+}
+
+let eq1_of b =
+  {
+    loop_c = b.parallel_overhead_cycles +. b.loop_overhead_cycles;
+    cache_c = b.cache_cycles +. b.tlb_cycles +. b.contention_cycles;
+    machine_c = b.machine_cycles;
+    fs_c = b.false_sharing_cycles;
+    total = b.total_cycles;
+  }
+
+let eq1_percent e term = if e.total <= 0. then 0. else 100. *. term /. e.total
+
+let pp_eq1 ppf e =
+  Format.fprintf ppf
+    "@[<v>Total_c %.0f cy = Loop_c %.0f (%.1f%%) + Cache_c %.0f (%.1f%%) + \
+     Machine_c %.0f (%.1f%%) + FS_c %.0f (%.1f%%)@]"
+    e.total e.loop_c (eq1_percent e e.loop_c) e.cache_c
+    (eq1_percent e e.cache_c) e.machine_c (eq1_percent e e.machine_c) e.fs_c
+    (eq1_percent e e.fs_c)
 
 let pp ppf b =
   Format.fprintf ppf

@@ -39,6 +39,7 @@ val compute :
   ?overhead:Ompsched.Overhead.t ->
   ?fs_cost_factor:float ->
   ?contention:bool ->
+  ?cache_cycles:float ->
   arch:Archspec.Arch.t ->
   threads:int ->
   fs_cases:int ->
@@ -47,9 +48,28 @@ val compute :
   Loopir.Loop_nest.t ->
   breakdown
 (** [env] must bind every parameter in the nest's bounds; bind
-    ["num_threads"] to [threads] yourself if the source uses it. *)
+    ["num_threads"] to [threads] yourself if the source uses it.
+    [cache_cycles], when given, replaces the {!Cache_model} heuristic's
+    per-thread cache-stall total — the hook {!Analysis.Reuse} folds its
+    reuse-distance miss prediction through (total cycles for the busiest
+    thread, beyond-L1 penalties only). *)
 
 val fs_percent : fs:breakdown -> float
 (** Share of the total time attributed to false sharing, in percent. *)
+
+type eq1 = {
+  loop_c : float;  (** parallel + loop overhead *)
+  cache_c : float;  (** cache + TLB + contention stalls *)
+  machine_c : float;  (** in-core execution *)
+  fs_c : float;  (** false-sharing coherence stalls *)
+  total : float;
+}
+(** Paper Eq. 1 folded to its four reported terms:
+    [Total_c = Loop_c + Cache_c + Machine_c + FS_c]. *)
+
+val eq1_of : breakdown -> eq1
+
+val pp_eq1 : Format.formatter -> eq1 -> unit
+(** One line: each term with its share of the total in percent. *)
 
 val pp : Format.formatter -> breakdown -> unit

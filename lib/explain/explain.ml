@@ -33,6 +33,7 @@ type t = {
   layout : Loopir.Layout.t;
   recorder : Fsmodel.Attrib.t;
   verdicts : string list;
+  cost : string list;
 }
 
 let ref_info_of i (r : Loopir.Array_ref.t) =
@@ -128,6 +129,7 @@ let aggregate ~uri ~func ~threads ~chunk ~engine ~engine_fs ~refs ~line_bytes
     layout;
     recorder;
     verdicts = [];
+    cost = [];
   }
 
 let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
@@ -163,12 +165,33 @@ let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
            nest)
     with _ -> []
   in
+  let cost =
+    try
+      let a =
+        Analysis.Reuse.analyze ~arch:cfg.Fsmodel.Model.arch
+          ?chunk:cfg.Fsmodel.Model.chunk ~threads:cfg.Fsmodel.Model.threads
+          ~params:cfg.Fsmodel.Model.params ~checked nest
+      in
+      let p = a.Analysis.Reuse.prediction in
+      [
+        Format.asprintf "%a" Costmodel.Total_cost.pp_eq1
+          a.Analysis.Reuse.eq1;
+        Printf.sprintf
+          "FS share %.1f%% of predicted total; miss rate %.2f%%, %.0f \
+           memory fetches"
+          (Costmodel.Total_cost.fs_percent ~fs:a.Analysis.Reuse.breakdown)
+          (100. *. p.Analysis.Reuse.miss_rate)
+          p.Analysis.Reuse.mem_fetches;
+      ]
+    with _ -> []
+  in
   {
     (aggregate ~uri ~func ~threads:cfg.Fsmodel.Model.threads
        ~chunk:cfg.Fsmodel.Model.chunk ~engine
        ~engine_fs:r.Fsmodel.Model.fs_cases ~refs ~line_bytes ~layout recorder)
     with
     verdicts;
+    cost;
   }
 
 let conservation_ok t =
@@ -256,6 +279,12 @@ let to_text ?source ?(top = 3) t =
     List.iter
       (fun v -> Buffer.add_string buf ("  " ^ v ^ "\n"))
       t.verdicts
+  end;
+  if t.cost <> [] then begin
+    Buffer.add_string buf "\nanalytic cost (Eq. 1):\n";
+    List.iter
+      (fun v -> Buffer.add_string buf ("  " ^ v ^ "\n"))
+      t.cost
   end;
   if t.total = 0 then
     Buffer.add_string buf

@@ -60,6 +60,11 @@ type t = {
           verdict, deciding backend, must-ness, witness iteration pair —
           shown as the [dependence verdicts] section of {!to_text};
           empty when the nest's pairs cannot be formed *)
+  cost : string list;
+      (** the analytic Eq. 1 view from {!Analysis.Reuse.analyze} — the
+          one-line breakdown plus the FS share / predicted miss-rate
+          sentence — shown as the [analytic cost] section of {!to_text};
+          empty when the reuse model cannot evaluate the nest *)
 }
 
 val analyze :

@@ -4,7 +4,7 @@
    disagreement aborts the case with a (check, detail) pair the shrinker
    and the driver key on. *)
 
-type mutation = Fast | Closed | Depend_m | Sym | Attrib_m | Exact_m
+type mutation = Fast | Closed | Depend_m | Sym | Attrib_m | Exact_m | Reuse_m
 
 let mutation_of_string = function
   | "fast" -> Some Fast
@@ -13,6 +13,7 @@ let mutation_of_string = function
   | "sym" -> Some Sym
   | "attrib" -> Some Attrib_m
   | "exact" -> Some Exact_m
+  | "reuse" -> Some Reuse_m
   | _ -> None
 
 let mutation_name = function
@@ -22,8 +23,10 @@ let mutation_name = function
   | Sym -> "sym"
   | Attrib_m -> "attrib"
   | Exact_m -> "exact"
+  | Reuse_m -> "reuse"
 
-let mutation_names = [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact" ]
+let mutation_names =
+  [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact"; "reuse" ]
 
 type outcome = {
   failure : (string * string) option;
@@ -390,6 +393,32 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
   match Analysis.Depend.free_params ~params:base_params nest with
   | [] ->
       let fs = engines base_params "concrete" in
+      (* the static reuse model must conserve accesses across its hit
+         buckets on every nest it can evaluate *)
+      (match
+         Analysis.Reuse.predict ~arch:cfg.Fsmodel.Model.arch ~threads
+           ~env:(fun v -> List.assoc_opt v base_params)
+           nest
+       with
+      | p ->
+          mark "reuse/conserve";
+          let open Analysis.Reuse in
+          let sum =
+            p.l1_hits +. p.l2_hits +. p.l3_hits +. p.c2c_transfers
+            +. p.mem_fetches
+            +. (if mutate = Some Reuse_m then 1. else 0.)
+          in
+          if
+            Float.abs (sum -. p.accesses) > 1e-3
+            || p.miss_rate < 0. || p.miss_rate > 1.
+            || p.cache_cycles < 0.
+          then
+            fail "reuse/conserve"
+              (Printf.sprintf
+                 "buckets sum to %.3f of %.0f accesses (miss %.3f, stall \
+                  %.0f)"
+                 sum p.accesses p.miss_rate p.cache_cycles)
+      | exception _ -> ());
       (match Analysis.Closed_form.estimate cfg ~nest ~checked with
       | Analysis.Closed_form.Exact info ->
           let c =
@@ -631,6 +660,7 @@ let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
           (Spec.all_refs spec)
       in
       let params = [ ("num_threads", threads) ] in
+      let lowered = ref None in
       (match Loopir.Lower.lower_all checked ~func:"f" ~params with
       | exception Loopir.Lower.Lower_error m ->
           if not nonaffine then
@@ -642,6 +672,7 @@ let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
           mark "lower/nonaffine"
       | [ nest ] when not nonaffine ->
           mark "pipeline/lower";
+          lowered := Some nest;
           analyze_nest ~mutate ~threads ~chunk:None ~brute_budget
             ~sym_cap:(Spec.param_cap spec) ~mark ~fail nest checked
       | nests ->
@@ -653,13 +684,81 @@ let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
               (Printf.sprintf "expected one nest, found %d" (List.length nests)));
       (* a deterministic sliver of cases also runs end to end through the
          instrumented interpreter (crash-freedom, not value checking) *)
-      if (not nonaffine) && spec.Spec.sp_index mod 61 = 0 then
-        match
-          let it = Execsim.Interp.create ~threads checked in
-          Execsim.Interp.exec it ~func:"f"
-        with
+      if (not nonaffine) && spec.Spec.sp_index mod 61 = 0 then begin
+        (match
+           let it = Execsim.Interp.create ~threads checked in
+           Execsim.Interp.exec it ~func:"f"
+         with
         | () -> mark "execsim/run"
-        | exception Execsim.Interp.Runtime_error m -> fail "execsim/run" m)
+        | exception Execsim.Interp.Runtime_error m -> fail "execsim/run" m);
+        (* and, when the nest is concrete, the reuse model's beyond-L1
+           traffic must land within a loose band of the instrumented
+           cache simulator's — a drift tripwire, not an accuracy gate *)
+        match !lowered with
+        | Some nest
+          when Analysis.Depend.free_params ~params nest = [] -> (
+            let arch = Archspec.Arch.small_test_machine in
+            match
+              Analysis.Reuse.predict ~arch ~threads
+                ~env:(fun v -> List.assoc_opt v params)
+                nest
+            with
+            | exception _ -> ()
+            | p -> (
+                let coherence =
+                  Cachesim.Coherence.create ~cores:threads arch
+                in
+                let sink =
+                  {
+                    Execsim.Interp.mem_access =
+                      (fun ~tid ~addr ~size ~write ->
+                        ignore
+                          (Cachesim.Coherence.access coherence ~core:tid
+                             ~addr ~size ~write));
+                    cpu = (fun ~tid:_ _ -> ());
+                    region_begin = (fun ~threads:_ -> ());
+                    region_end = (fun ~chunks_per_thread:_ -> ());
+                  }
+                in
+                match
+                  let it =
+                    Execsim.Interp.create ~threads ~sink checked
+                  in
+                  Execsim.Interp.exec it ~func:"f"
+                with
+                | exception Execsim.Interp.Runtime_error _ -> ()
+                | () ->
+                    let st =
+                      Cachesim.Coherence.aggregate_stats coherence
+                    in
+                    let sim_acc =
+                      float_of_int (Cachesim.Stats.accesses st)
+                    in
+                    let sim_beyond =
+                      sim_acc
+                      -. float_of_int st.Cachesim.Stats.l1_hits
+                    in
+                    let pred_beyond =
+                      p.Analysis.Reuse.accesses
+                      -. p.Analysis.Reuse.l1_hits
+                    in
+                    mark "reuse/sim";
+                    (* the interpreter also counts scalar-global traffic
+                       the nest IR does not model, hence one-sided on
+                       accesses and a factor-8 + slack band on misses *)
+                    if
+                      p.Analysis.Reuse.accesses > sim_acc +. 0.5
+                      || pred_beyond > (8. *. sim_beyond) +. 256.
+                      || sim_beyond > (8. *. pred_beyond) +. 256.
+                    then
+                      fail "reuse/sim"
+                        (Printf.sprintf
+                           "predicted %.0f accesses / %.0f beyond-L1 vs \
+                            simulated %.0f / %.0f"
+                           p.Analysis.Reuse.accesses pred_beyond sim_acc
+                           sim_beyond)))
+        | _ -> ()
+      end)
 
 let check_source ?mutate ?(brute_budget = 300_000) ~threads ~chunk src =
   outcome_of (fun ~mark ~fail ->

@@ -41,6 +41,14 @@
       at sampled values (at least as severe, per the {!Analysis.Depend}
       contract), their own must-claims survive brute force, and a
       certified quasi-polynomial matches the engine count;
+    - [reuse/conserve]: on concrete nests, the static reuse-distance
+      model's hit buckets sum exactly back to its access count, and its
+      miss rate and stall estimate are well-formed;
+    - [reuse/sim]: on the same deterministic subset as [execsim/run],
+      the reuse model's beyond-L1 traffic agrees with the instrumented
+      cache simulator within a loose factor-of-eight band — a drift
+      tripwire, not an accuracy gate (the pinned per-kernel tolerances
+      in the test suite are the accuracy gate);
     - [execsim/run]: on a deterministic subset, the instrumented
       interpreter executes the program without raising.
 
@@ -55,6 +63,7 @@ type mutation =
   | Sym  (** corrupt symbolic verdicts and counts *)
   | Attrib_m  (** off-by-one the attribution recorder's total *)
   | Exact_m  (** corrupt the first exact witness's iteration values *)
+  | Reuse_m  (** off-by-one the reuse model's bucket conservation *)
 
 val mutation_of_string : string -> mutation option
 val mutation_name : mutation -> string

@@ -59,6 +59,8 @@ let max_steps_per_thread t =
   in
   go 0 0
 
+let chunks_per_thread t = (max_steps_per_thread t + t.chunk - 1) / t.chunk
+
 let pp ppf t =
   Format.fprintf ppf "static(chunk=%d) over %d iters on %d threads" t.chunk
     t.total t.threads

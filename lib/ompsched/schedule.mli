@@ -50,4 +50,9 @@ val chunk_runs_total : t -> int
 val max_steps_per_thread : t -> int
 (** Maximum over threads of [count_of_thread]; the lockstep-evaluation depth. *)
 
+val chunks_per_thread : t -> int
+(** Chunks the busiest thread executes:
+    [ceil (max_steps_per_thread / chunk)].  Each is one dealt share, so
+    this is also that thread's count of cross-chunk jumps plus one. *)
+
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,15 @@
 
 type payload = { output : string; err : string; code : int }
 
+(* Tool identity: surfaced by [fsdetect --version] and the serve
+   "version" method.  The arch key pins the default machine model the
+   reported numbers are computed against. *)
+let version = "1.0.0"
+
+let version_string =
+  version ^ "+arch."
+  ^ String.sub (Req.arch_key Archspec.Arch.paper_machine) 0 12
+
 type value =
   | V_ast of Minic.Ast.program
   | V_checked of Minic.Typecheck.checked
@@ -139,8 +148,132 @@ let dependence_summary ~line_bytes ~threads ~exact ~exact_budget nest =
         pairs;
       Buffer.contents b
 
+(* JSON views of the analyze pieces (the [--format json] path). *)
+
+let breakdown_json (b : Costmodel.Total_cost.breakdown) =
+  let open Analysis.Json in
+  Obj
+    [
+      ("machineCycles", Float b.Costmodel.Total_cost.machine_cycles);
+      ("cacheCycles", Float b.Costmodel.Total_cost.cache_cycles);
+      ("tlbCycles", Float b.Costmodel.Total_cost.tlb_cycles);
+      ("contentionCycles", Float b.Costmodel.Total_cost.contention_cycles);
+      ( "parallelOverheadCycles",
+        Float b.Costmodel.Total_cost.parallel_overhead_cycles );
+      ("loopOverheadCycles", Float b.Costmodel.Total_cost.loop_overhead_cycles);
+      ( "falseSharingCycles",
+        Float b.Costmodel.Total_cost.false_sharing_cycles );
+      ("totalCycles", Float b.Costmodel.Total_cost.total_cycles);
+      ("seconds", Float b.Costmodel.Total_cost.seconds);
+      ("itersPerThread", Int b.Costmodel.Total_cost.iters_per_thread);
+      ("regions", Int b.Costmodel.Total_cost.regions);
+    ]
+
+let eq1_json (e : Costmodel.Total_cost.eq1) =
+  let open Analysis.Json in
+  Obj
+    [
+      ("loopCycles", Float e.Costmodel.Total_cost.loop_c);
+      ("cacheCycles", Float e.Costmodel.Total_cost.cache_c);
+      ("machineCycles", Float e.Costmodel.Total_cost.machine_c);
+      ("fsCycles", Float e.Costmodel.Total_cost.fs_c);
+      ("totalCycles", Float e.Costmodel.Total_cost.total);
+    ]
+
+let prediction_json (p : Analysis.Reuse.prediction) =
+  let open Analysis.Json in
+  Obj
+    [
+      ("threads", Int p.Analysis.Reuse.threads);
+      ("accesses", Float p.Analysis.Reuse.accesses);
+      ("l1Hits", Float p.Analysis.Reuse.l1_hits);
+      ("l2Hits", Float p.Analysis.Reuse.l2_hits);
+      ("l3Hits", Float p.Analysis.Reuse.l3_hits);
+      ("c2cTransfers", Float p.Analysis.Reuse.c2c_transfers);
+      ("memFetches", Float p.Analysis.Reuse.mem_fetches);
+      ("missRate", Float p.Analysis.Reuse.miss_rate);
+      ("cacheCyclesPerThread", Float p.Analysis.Reuse.cache_cycles);
+      ( "groups",
+        List
+          (List.map
+             (fun (g : Analysis.Reuse.group_profile) ->
+               Obj
+                 [
+                   ("leader", Str g.Analysis.Reuse.leader_repr);
+                   ("members", Int g.Analysis.Reuse.members);
+                   ("hasWrite", Bool g.Analysis.Reuse.has_write);
+                   ("sigma", Int g.Analysis.Reuse.sigma);
+                   ( "bins",
+                     List
+                       (List.map
+                          (fun (b : Analysis.Reuse.bin) ->
+                            Obj
+                              [
+                                ("label", Str b.Analysis.Reuse.label);
+                                ( "distance",
+                                  match b.Analysis.Reuse.distance with
+                                  | Some d -> Int d
+                                  | None -> Null );
+                                ("count", Float b.Analysis.Reuse.count);
+                                ( "level",
+                                  Str
+                                    (Analysis.Reuse.level_name
+                                       b.Analysis.Reuse.level) );
+                              ])
+                          g.Analysis.Reuse.bins) );
+                 ])
+             p.Analysis.Reuse.groups) );
+    ]
+
+let analytic_json (a : Analysis.Reuse.analytic) =
+  let open Analysis.Json in
+  Obj
+    [
+      ("prediction", prediction_json a.Analysis.Reuse.prediction);
+      ("breakdown", breakdown_json a.Analysis.Reuse.breakdown);
+      ("eq1", eq1_json a.Analysis.Reuse.eq1);
+      ( "fsCases",
+        match a.Analysis.Reuse.fs_cases with Some n -> Int n | None -> Null );
+      ("fsNote", Str a.Analysis.Reuse.fs_note);
+      ( "fsPercent",
+        Float
+          (Costmodel.Total_cost.fs_percent ~fs:a.Analysis.Reuse.breakdown) );
+    ]
+
+let dependence_json ~line_bytes ~threads ~exact ~exact_budget nest =
+  let open Analysis.Json in
+  match
+    Analysis.Depend.pairs ~line_bytes
+      ~params:[ ("num_threads", threads) ]
+      ~exact ~exact_budget nest
+  with
+  | pairs ->
+      List
+        (List.map
+           (fun (p : Analysis.Depend.pair) ->
+             Obj
+               [
+                 ("a", Str p.Analysis.Depend.a.Loopir.Array_ref.repr);
+                 ("b", Str p.Analysis.Depend.b.Loopir.Array_ref.repr);
+                 ( "verdict",
+                   Str
+                     (Analysis.Depend.verdict_name p.Analysis.Depend.verdict)
+                 );
+                 ( "backend",
+                   Str
+                     (Analysis.Depend.backend_name
+                        p.Analysis.Depend.ev.Analysis.Depend.ev_backend) );
+                 ("must", Bool p.Analysis.Depend.ev.Analysis.Depend.ev_must);
+                 ( "witness",
+                   match p.Analysis.Depend.ev.Analysis.Depend.ev_witness with
+                   | Some w -> Str (Analysis.Depend.witness_to_string w)
+                   | None -> Null );
+               ])
+           pairs)
+  | exception _ -> List []
+
 let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
-    ~predict ~contention ~exact ~exact_budget =
+    ~predict ~contention ~exact ~exact_budget ~cost_model ~json =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   match func_for store ~digest ~text req func with
@@ -160,31 +293,136 @@ let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
         lower store ~digest ~checked:c ~func
           ~params:[ ("num_threads", threads) ]
       in
-      Buffer.add_string buf
-        (Format.asprintf "%a@." Loopir.Loop_nest.pp nest);
-      (try
-         Buffer.add_string buf
-           (dependence_summary
-              ~line_bytes:
-                req.Req.arch.Archspec.Arch.l1.Archspec.Cache_geom.line_bytes
-              ~threads ~exact ~exact_budget nest)
-       with _ -> ());
-      let mode =
-        match predict with
-        | Some runs -> Fsmodel.Overhead_percent.Predicted runs
-        | None -> Fsmodel.Overhead_percent.Full
+      let line_bytes =
+        req.Req.arch.Archspec.Arch.l1.Archspec.Cache_geom.line_bytes
       in
-      let a =
+      (* engine-backed Eq. 5 comparison; never run under [`Analytic] *)
+      let sim_overhead () =
+        let mode =
+          match predict with
+          | Some runs -> Fsmodel.Overhead_percent.Predicted runs
+          | None -> Fsmodel.Overhead_percent.Full
+        in
         Fsmodel.Overhead_percent.analyze ~mode ~arch:req.Req.arch ~contention
           ~threads ~fs_chunk ~nfs_chunk ~func c
       in
-      Buffer.add_string buf
-        (Format.asprintf "%a@.%a@." Fsmodel.Overhead_percent.pp a
-           Costmodel.Total_cost.pp a.Fsmodel.Overhead_percent.breakdown);
-      { output = Buffer.contents buf; err = ""; code = 0 }
+      let analytic () =
+        match
+          Analysis.Reuse.overhead ~arch:req.Req.arch ~contention ~threads
+            ~fs_chunk ~nfs_chunk ~func c
+        with
+        | Some o -> (Some o, o.Analysis.Reuse.analytic)
+        | None ->
+            ( None,
+              Analysis.Reuse.analyze ~arch:req.Req.arch ~contention
+                ~chunk:fs_chunk ~threads
+                ~params:[ ("num_threads", threads) ]
+                ~checked:c nest )
+        | exception _ ->
+            ( None,
+              Analysis.Reuse.analyze ~arch:req.Req.arch ~contention
+                ~chunk:fs_chunk ~threads
+                ~params:[ ("num_threads", threads) ]
+                ~checked:c nest )
+      in
+      if json then begin
+        let open Analysis.Json in
+        let deps =
+          dependence_json ~line_bytes ~threads ~exact ~exact_budget nest
+        in
+        let sim_fields =
+          match cost_model with
+          | `Analytic -> []
+          | `Sim | `Both ->
+              let a = sim_overhead () in
+              [
+                ( "overhead",
+                  Obj
+                    [
+                      ("threads", Int a.Fsmodel.Overhead_percent.threads);
+                      ("fsChunk", Int a.Fsmodel.Overhead_percent.fs_chunk);
+                      ("nfsChunk", Int a.Fsmodel.Overhead_percent.nfs_chunk);
+                      ("nFs", Int a.Fsmodel.Overhead_percent.n_fs);
+                      ("nNfs", Int a.Fsmodel.Overhead_percent.n_nfs);
+                      ("percent", Float a.Fsmodel.Overhead_percent.percent);
+                    ] );
+                ("breakdown", breakdown_json a.Fsmodel.Overhead_percent.breakdown);
+                ( "eq1",
+                  eq1_json
+                    (Costmodel.Total_cost.eq1_of
+                       a.Fsmodel.Overhead_percent.breakdown) );
+              ]
+        in
+        let analytic_fields =
+          match cost_model with
+          | `Sim -> []
+          | `Analytic | `Both ->
+              let o, a = analytic () in
+              [
+                ( "analytic",
+                  Obj
+                    ((match o with
+                     | Some o ->
+                         [
+                           ("nFs", Int o.Analysis.Reuse.n_fs);
+                           ("nNfs", Int o.Analysis.Reuse.n_nfs);
+                           ("percent", Float o.Analysis.Reuse.percent);
+                         ]
+                     | None -> [])
+                    @ [ ("cost", analytic_json a) ]) );
+              ]
+        in
+        let doc =
+          Obj
+            ([
+               ("func", Str func);
+               ("threads", Int threads);
+               ("fsChunk", Int fs_chunk);
+               ("nfsChunk", Int nfs_chunk);
+               ("costModel", Str (Analysis.Lint.cost_model_name cost_model));
+               ("nest", Str (Format.asprintf "%a" Loopir.Loop_nest.pp nest));
+               ("dependence", deps);
+             ]
+            @ sim_fields @ analytic_fields)
+        in
+        { output = Analysis.Json.to_string doc; err = ""; code = 0 }
+      end
+      else begin
+        Buffer.add_string buf
+          (Format.asprintf "%a@." Loopir.Loop_nest.pp nest);
+        (try
+           Buffer.add_string buf
+             (dependence_summary ~line_bytes ~threads ~exact ~exact_budget
+                nest)
+         with _ -> ());
+        (match cost_model with
+        | `Sim | `Both ->
+            let a = sim_overhead () in
+            Buffer.add_string buf
+              (Format.asprintf "%a@.%a@." Fsmodel.Overhead_percent.pp a
+                 Costmodel.Total_cost.pp a.Fsmodel.Overhead_percent.breakdown)
+        | `Analytic -> ());
+        (match cost_model with
+        | `Sim -> ()
+        | `Analytic | `Both -> (
+            let o, a = analytic () in
+            (match o with
+            | Some o ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "threads=%d chunk %d vs %d: N_fs=%d N_nfs=%d -> %.1f%% \
+                      of loop time (analytic)\n"
+                     o.Analysis.Reuse.threads o.Analysis.Reuse.fs_chunk
+                     o.Analysis.Reuse.nfs_chunk o.Analysis.Reuse.n_fs
+                     o.Analysis.Reuse.n_nfs o.Analysis.Reuse.percent)
+            | None -> ());
+            Buffer.add_string buf
+              (Format.asprintf "%a@." Analysis.Reuse.pp_analytic a)));
+        { output = Buffer.contents buf; err = ""; code = 0 }
+      end
 
 let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-    ~params ~fail_on ~exact ~exact_budget =
+    ~params ~fail_on ~exact ~exact_budget ~cost_model =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   let c = checked store ~digest ~text in
@@ -197,6 +435,7 @@ let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
       params;
       exact;
       exact_budget;
+      cost_model;
     }
   in
   let report = Analysis.Lint.run ~opts ~uri c in
@@ -322,13 +561,26 @@ let compute store (req : Req.t) ~uri ~text =
         contention;
         exact;
         exact_budget;
+        cost_model;
+        json;
       } ->
       run_analyze store ~digest ~text req ~func ~threads ~fs_chunk
-        ~nfs_chunk ~predict ~contention ~exact ~exact_budget
-  | Req.Lint { threads; chunk; json; fixits; params; fail_on; exact; exact_budget }
-    ->
+        ~nfs_chunk ~predict ~contention ~exact ~exact_budget ~cost_model
+        ~json
+  | Req.Lint
+      {
+        threads;
+        chunk;
+        json;
+        fixits;
+        params;
+        fail_on;
+        exact;
+        exact_budget;
+        cost_model;
+      } ->
       run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-        ~params ~fail_on ~exact ~exact_budget
+        ~params ~fail_on ~exact ~exact_budget ~cost_model
   | Req.Explain { func; threads; chunk; params; engine; format; top; trace_cap }
     ->
       run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params

@@ -30,6 +30,15 @@ val stage_stats : store -> string -> int * int
 
 val clear : store -> unit
 
+val version : string
+(** Tool version, e.g. ["1.0.0"]; printed by [fsdetect --version] and
+    returned by the serve ["version"] method. *)
+
+val version_string : string
+(** [version] plus the active default arch key
+    (["1.0.0+arch.<digest12>"]) — pins which machine model the reported
+    numbers default to. *)
+
 type payload = { output : string; err : string; code : int }
 (** [output]/[err] are the exact stdout/stderr bytes of the equivalent
     CLI invocation; [code] its exit code ([0] success, [1] analysis or

@@ -9,6 +9,8 @@ type exact_mode = Analysis.Depend.exact_mode
 
 let exact_name = function `Auto -> "auto" | `On -> "on" | `Off -> "off"
 
+type cost_model = Analysis.Lint.cost_model
+
 type kind =
   | Analyze of {
       func : string option;
@@ -19,6 +21,8 @@ type kind =
       contention : bool;
       exact : exact_mode;
       exact_budget : int;
+      cost_model : cost_model;
+      json : bool;
     }
   | Lint of {
       threads : int;
@@ -29,6 +33,7 @@ type kind =
       fail_on : fail_on;
       exact : exact_mode;
       exact_budget : int;
+      cost_model : cost_model;
     }
   | Explain of {
       func : string option;
@@ -61,6 +66,7 @@ let lint_defaults source =
          fail_on = Race;
          exact = `Auto;
          exact_budget = Analysis.Depend.default_exact_budget;
+         cost_model = `Sim;
        })
 
 (* ------------------------------------------------------------------ *)
@@ -139,16 +145,31 @@ let kind_key = function
         contention;
         exact;
         exact_budget;
+        cost_model;
+        json;
       } ->
-      Printf.sprintf "analyze:%s:%d:%s:%s:%s:%b:%s:%d" (opt_str func) threads
-        (opt_int fs_chunk) (opt_int nfs_chunk) (opt_int predict) contention
-        (exact_name exact) exact_budget
-  | Lint { threads; chunk; json; fixits; params; fail_on; exact; exact_budget }
-    ->
-      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s:%s:%d" threads (opt_int chunk)
+      Printf.sprintf "analyze:%s:%d:%s:%s:%s:%b:%s:%d:%s:%b" (opt_str func)
+        threads (opt_int fs_chunk) (opt_int nfs_chunk) (opt_int predict)
+        contention (exact_name exact) exact_budget
+        (Analysis.Lint.cost_model_name cost_model)
+        json
+  | Lint
+      {
+        threads;
+        chunk;
+        json;
+        fixits;
+        params;
+        fail_on;
+        exact;
+        exact_budget;
+        cost_model;
+      } ->
+      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s:%s:%d:%s" threads (opt_int chunk)
         json fixits (params_key params)
         (match fail_on with Race -> "race" | Fs -> "fs" | Never -> "never")
         (exact_name exact) exact_budget
+        (Analysis.Lint.cost_model_name cost_model)
   | Explain { func; threads; chunk; params; engine; format; top; trace_cap }
     ->
       Printf.sprintf "explain:%s:%d:%s:%s:%s:%s:%d:%s" (opt_str func)
@@ -281,6 +302,10 @@ let decode_arch params =
       try Ok (Archspec.Arch.with_line_bytes base b)
       with Invalid_argument m -> Error m)
 
+let decode_cost_model params =
+  field_enum params "cost_model" `Sim
+    [ ("sim", `Sim); ("analytic", `Analytic); ("both", `Both) ]
+
 let decode_exact params =
   let* exact =
     field_enum params "exact" `Auto
@@ -304,6 +329,8 @@ let of_json ~meth params =
         let* predict = field_int_opt params "predict" in
         let* contention = field_bool params "contention" false in
         let* exact, exact_budget = decode_exact params in
+        let* cost_model = decode_cost_model params in
+        let* json = field_bool params "json" false in
         Ok
           (Analyze
              {
@@ -315,6 +342,8 @@ let of_json ~meth params =
                contention;
                exact;
                exact_budget;
+               cost_model;
+               json;
              })
     | "lint" ->
         let* chunk = field_int_opt params "chunk" in
@@ -326,6 +355,7 @@ let of_json ~meth params =
             [ ("race", Race); ("fs", Fs); ("never", Never) ]
         in
         let* exact, exact_budget = decode_exact params in
+        let* cost_model = decode_cost_model params in
         Ok
           (Lint
              {
@@ -337,6 +367,7 @@ let of_json ~meth params =
                fail_on;
                exact;
                exact_budget;
+               cost_model;
              })
     | "explain" ->
         let* func = field_str_opt params "func" in

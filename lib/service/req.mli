@@ -23,6 +23,11 @@ type exact_mode = Analysis.Depend.exact_mode
 val exact_name : exact_mode -> string
 (** ["auto"], ["on"], ["off"] — the CLI/JSON spelling. *)
 
+type cost_model = Analysis.Lint.cost_model
+(** [`Sim] (engine-backed, default), [`Analytic] (reuse-distance +
+    closed form, zero simulator calls) or [`Both]; part of the cache
+    key. *)
+
 type kind =
   | Analyze of {
       func : string option;
@@ -33,6 +38,8 @@ type kind =
       contention : bool;
       exact : exact_mode;
       exact_budget : int;
+      cost_model : cost_model;
+      json : bool;  (** structured (JSON) report instead of text *)
     }
   | Lint of {
       threads : int;
@@ -43,6 +50,7 @@ type kind =
       fail_on : fail_on;
       exact : exact_mode;  (** exact dependence tier (see {!Analysis.Lint}) *)
       exact_budget : int;
+      cost_model : cost_model;
     }
   | Explain of {
       func : string option;

@@ -119,6 +119,11 @@ let run ?jobs ?capacity ?(ic = stdin) ?(oc = stdout) () =
                               J.Obj
                                 [
                                   ("name", J.Str "fsdetect");
+                                  ("version", J.Str Api.version);
+                                  ( "arch",
+                                    J.Str
+                                      (Req.arch_key
+                                         Archspec.Arch.paper_machine) );
                                   ("protocol", J.Int 1);
                                 ] );
                           ])

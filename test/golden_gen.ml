@@ -5,6 +5,7 @@
 
 let usage =
   "golden_gen (--kernel NAME | --sym-kernel NAME | FILE.c) OUT.txt OUT.json\n\
+   golden_gen --analytic NAME OUT.txt OUT.json\n\
    golden_gen (--explain NAME | --explain-file FILE.c) OUT.txt OUT.heatmap"
 
 let fail msg =
@@ -77,8 +78,31 @@ let lint_outputs argv =
       write_file ojson (Analysis.Json.to_string (Analysis.Diag.to_json report))
   | _ -> fail usage
 
+(* Analytic lint goldens: same pass, [`Analytic] cost model — zero
+   engine evaluations, findings carry the Eq. 1 cost context. *)
+let analytic_outputs name outs =
+  match Kernels.Registry.find name with
+  | None -> fail ("unknown kernel " ^ name)
+  | Some k -> (
+      let uri = "kernel:" ^ name in
+      let checked = Kernels.Kernel.parse k in
+      let opts =
+        { Analysis.Lint.default_options with cost_model = `Analytic }
+      in
+      let before = Fsmodel.Model.run_count () in
+      let report = Analysis.Lint.run ~opts ~uri checked in
+      if Fsmodel.Model.run_count () <> before then
+        fail "analytic lint ran the engine";
+      match outs with
+      | [ otxt; ojson ] ->
+          write_file otxt (Analysis.Diag.to_text report);
+          write_file ojson
+            (Analysis.Json.to_string (Analysis.Diag.to_json report))
+      | _ -> fail usage)
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--analytic" :: name :: rest -> analytic_outputs name rest
   | _ :: "--explain" :: name :: rest -> (
       match Kernels.Registry.find name with
       | Some k ->

@@ -141,6 +141,78 @@ let prop_lru_matches_reference =
               r1 = r2 && Lru_stack.to_alist s = Ref_lru.to_alist r)
         ops)
 
+(* Targeted properties against the naive oracle: capacity eviction,
+   re-reference promotion, and distance saturation. *)
+
+let trace_gen =
+  QCheck2.Gen.(
+    pair (int_range 1 8) (list_size (int_range 1 80) (int_range 0 15)))
+
+let prop_capacity_eviction =
+  QCheck2.Test.make ~name:"capacity eviction is LRU and bounded" ~count:300
+    trace_gen (fun (cap, keys) ->
+      let s = Lru_stack.create ~capacity:cap in
+      let r = Ref_lru.create cap in
+      List.for_all
+        (fun k ->
+          (* the incoming key must never be the eviction victim, the
+             victim is the oracle's bottom entry, and size stays
+             within capacity *)
+          let expect =
+            if Ref_lru.distance r k <> None then None
+            else if List.length (Ref_lru.to_alist r) < cap then None
+            else
+              match List.rev (Ref_lru.to_alist r) with
+              | (victim, _) :: _ -> Some victim
+              | [] -> None
+          in
+          let evicted = Lru_stack.access s k k in
+          ignore (Ref_lru.access r k k);
+          Option.map fst evicted = expect
+          && (match evicted with
+             | Some (victim, _) -> victim <> k
+             | None -> true)
+          && Lru_stack.size s <= cap)
+        keys)
+
+let prop_rereference_promotion =
+  QCheck2.Test.make ~name:"re-reference promotes to MRU" ~count:300
+    trace_gen (fun (cap, keys) ->
+      let s = Lru_stack.create ~capacity:cap in
+      List.for_all
+        (fun k ->
+          ignore (Lru_stack.access s k k);
+          (* the just-touched key is at distance 0, and a second access
+             (or touch) keeps the stack unchanged *)
+          Lru_stack.distance s k = Some 0
+          &&
+          let before = Lru_stack.to_alist s in
+          Lru_stack.touch s k && Lru_stack.to_alist s = before)
+        keys)
+
+let prop_distance_saturation =
+  QCheck2.Test.make ~name:"distances saturate below capacity" ~count:300
+    trace_gen (fun (cap, keys) ->
+      let s = Lru_stack.create ~capacity:cap in
+      List.iter (fun k -> ignore (Lru_stack.access s k k)) keys;
+      (* every resident distance is a distinct value in [0, size) —
+         eviction keeps distances strictly below capacity, so an LRU
+         cache of [cap] lines hits exactly distance < cap *)
+      let ds =
+        List.filter_map
+          (fun (k, _) -> Lru_stack.distance s k)
+          (Lru_stack.to_alist s)
+      in
+      List.length ds = Lru_stack.size s
+      && List.for_all (fun d -> d >= 0 && d < cap) ds
+      && List.sort_uniq compare ds = List.init (List.length ds) Fun.id
+      && List.for_all
+           (fun k ->
+             match Lru_stack.distance s k with
+             | Some d -> d < cap
+             | None -> not (Lru_stack.mem s k))
+           (List.init 16 Fun.id))
+
 (* ------------------------------------------------------------------ *)
 (* Set_assoc                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -525,6 +597,9 @@ let () =
           Alcotest.test_case "basic" `Quick test_lru_basic;
           Alcotest.test_case "update/remove" `Quick test_lru_update_remove;
           QCheck_alcotest.to_alcotest prop_lru_matches_reference;
+          QCheck_alcotest.to_alcotest prop_capacity_eviction;
+          QCheck_alcotest.to_alcotest prop_rereference_promotion;
+          QCheck_alcotest.to_alcotest prop_distance_saturation;
         ] );
       ("set_assoc", [ Alcotest.test_case "sets" `Quick test_set_assoc ]);
       ( "private_cache",

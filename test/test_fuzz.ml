@@ -67,6 +67,8 @@ let floors =
     ("sym/depend-sound", 25);
     ("lower/nonaffine", 15);
     ("execsim/run", 2);
+    ("reuse/conserve", 100);
+    ("reuse/sim", 2);
   ]
 
 let test_clean_run () =
@@ -145,6 +147,7 @@ let mutation_cases =
     (Fuzz.Oracle.Sym, [ "sym/depend"; "sym/depend-sound"; "sym/count" ]);
     (Fuzz.Oracle.Attrib_m, [ "attrib/conserve" ]);
     (Fuzz.Oracle.Exact_m, [ "exact/witness" ]);
+    (Fuzz.Oracle.Reuse_m, [ "reuse/conserve" ]);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -37,6 +37,8 @@ let requests () =
           contention = false;
           exact = `Auto;
           exact_budget = Analysis.Depend.default_exact_budget;
+          cost_model = `Sim;
+          json = false;
         };
       Lint
         {
@@ -48,6 +50,7 @@ let requests () =
           fail_on = Race;
           exact = `Auto;
           exact_budget = Analysis.Depend.default_exact_budget;
+          cost_model = `Sim;
         };
       Lint
         {
@@ -59,6 +62,7 @@ let requests () =
           fail_on = Fs;
           exact = `On;
           exact_budget = 2000;
+          cost_model = `Analytic;
         };
       Explain
         {
@@ -149,6 +153,8 @@ let analyze_req ?(threads = 8) ?(arch = Archspec.Arch.paper_machine) source =
          contention = false;
          exact = `Auto;
          exact_budget = Analysis.Depend.default_exact_budget;
+         cost_model = `Sim;
+         json = false;
        })
 
 let check_deltas what expected got =
