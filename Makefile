@@ -1,4 +1,4 @@
-.PHONY: all build verify bench bench-smoke serve-smoke fuzz-smoke doc clean
+.PHONY: all build verify bench bench-smoke serve-smoke fuzz-smoke sched-smoke doc clean
 
 all: build
 
@@ -29,6 +29,7 @@ verify:
 	./_build/default/bin/fsdetect.exe analyze --cost-model analytic --format json -k heat | grep -q '"costModel": "analytic"'
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) sched-smoke
 
 # Analytic-vs-simulator accuracy gate: every registry kernel's reuse
 # prediction must land inside the per-kernel tolerances pinned in
@@ -53,6 +54,18 @@ serve-smoke: build
 fuzz-smoke: build
 	./_build/default/bin/fsdetect.exe fuzz --seed 42 --count 1000000 \
 	  --time-budget 60 --corpus test/corpus --out fuzz-failures
+
+# The seeded-schedule tier: the statistical test binary (replay
+# determinism, per-seed cross-engine equality on both engines, static
+# equivalence, the 32-seed Cole-Ramachandran steal bound on every
+# registry kernel), then a distributional lint over K=8 seeds on each
+# engine-facing schedule kind as a CLI-level check.
+sched-smoke: build
+	./_build/default/test/test_sched.exe
+	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never \
+	  -k heat --schedule dynamic --seeds 8 | grep -q 'fs-dist: mean'
+	./_build/default/bin/fsdetect.exe lint --no-fixits --fail-on never \
+	  -k heat --schedule ws,2 --seeds 8 | grep -q 'steal(s)/seed'
 
 # API reference via odoc.  The root `dune` file promotes every odoc
 # comment problem (broken {!reference}, bad markup, missing @param) to

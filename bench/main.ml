@@ -800,6 +800,8 @@ let serve_section () =
            exact = `Auto;
            exact_budget = Analysis.Depend.default_exact_budget;
            cost_model = `Sim;
+           sched = None;
+           seeds = 8;
          })
   in
   let explain_req k =
@@ -814,6 +816,8 @@ let serve_section () =
            format = `Text;
            top = 3;
            trace_cap = None;
+           sched = None;
+           seeds = 8;
          })
   in
   let reqs =
@@ -1041,6 +1045,98 @@ let cost_model_section () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* sched: distributional FS verdicts under seeded schedules            *)
+(* ------------------------------------------------------------------ *)
+
+(* kernel, schedule kind, seed count, mean/stddev/p95/max of the
+   per-seed engine N_fs, mean steals per seed, sweep wall seconds *)
+let sched_stats :
+    (string * string * int * float * float * int * int * float * float)
+    list ref =
+  ref []
+
+let sched_section () =
+  let threads = 8 in
+  let nseeds = if !quick then 8 else 16 in
+  let seeds = Analysis.Dist.seeds_upto nseeds in
+  let kinds =
+    [
+      Ompsched.Dispatch.Dynamic { chunk = 1 };
+      Ompsched.Dispatch.Guided { min_chunk = 2 };
+      Ompsched.Dispatch.Work_stealing { chunk = 2 };
+    ]
+  in
+  let kernels =
+    if !quick then
+      [
+        Kernels.Heat.kernel ~rows:6 ~cols:520 ();
+        Kernels.Saxpy.kernel ~n:640 ();
+        Kernels.Transpose.kernel ~n:48 ();
+      ]
+    else
+      [
+        Kernels.Heat.kernel ~rows:10 ~cols:2050 ();
+        Kernels.Saxpy.kernel ~n:4096 ();
+        Kernels.Transpose.kernel ~n:96 ();
+      ]
+  in
+  Printf.printf
+    "Distributional verdicts: each nondeterministic schedule kind is\n\
+     replayed over %d seeds per kernel (%d threads) and the per-seed\n\
+     engine N_fs summarized.  The spread (stddev, p95 vs mean) is what\n\
+     the seeded statistical tier quantifies; steals/seed is nonzero only\n\
+     under work stealing.\n\n"
+    nseeds threads;
+  let rows =
+    List.concat_map
+      (fun (kernel : Kernels.Kernel.t) ->
+        let checked = Kernels.Kernel.parse kernel in
+        let nest =
+          Loopir.Lower.lower checked ~func:kernel.Kernels.Kernel.func
+            ~params:[ ("num_threads", threads) ]
+        in
+        let cfg = Fsmodel.Model.default_config ~threads () in
+        List.map
+          (fun kind ->
+            let t0 = Unix.gettimeofday () in
+            let d =
+              Analysis.Dist.run ~domains:!domains ~seeds ~kind cfg ~nest
+                ~checked
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            sched_stats :=
+              ( kernel.Kernels.Kernel.name,
+                Ompsched.Dispatch.kind_name kind,
+                nseeds,
+                d.Analysis.Dist.mean,
+                d.Analysis.Dist.stddev,
+                d.Analysis.Dist.p95,
+                d.Analysis.Dist.max_fs,
+                d.Analysis.Dist.mean_steals,
+                dt )
+              :: !sched_stats;
+            [
+              kernel.Kernels.Kernel.name;
+              Ompsched.Dispatch.kind_name kind;
+              Printf.sprintf "%.1f" d.Analysis.Dist.mean;
+              Printf.sprintf "%.1f" d.Analysis.Dist.stddev;
+              string_of_int d.Analysis.Dist.p95;
+              Printf.sprintf "%d..%d" d.Analysis.Dist.min_fs
+                d.Analysis.Dist.max_fs;
+              Printf.sprintf "%.1f" d.Analysis.Dist.mean_steals;
+              Printf.sprintf "%.4f" dt;
+            ])
+          kinds)
+      kernels
+  in
+  print_endline
+    (Fsmodel.Report.table
+       ~header:
+         [ "kernel"; "schedule"; "mean fs"; "stddev"; "p95"; "range";
+           "steals/seed"; "sweep (s)" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* micro (bechamel)                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1228,6 +1324,24 @@ let write_bench_json ~total path =
       ex;
     bpf "  ],\n"
   end;
+  (* sched: distributional verdicts under seeded schedules.  Schema per
+     entry: kernel, schedule kind, seed count, mean/stddev/p95/max of
+     the per-seed engine N_fs, mean steals per seed, and the wall
+     seconds the whole seed sweep took. *)
+  let sc = List.rev !sched_stats in
+  if sc <> [] then begin
+    bpf "  \"sched\": [\n";
+    List.iteri
+      (fun i (kernel, kind, nseeds, mean, stddev, p95, mx, msteals, dt) ->
+        bpf
+          "    { \"kernel\": %S, \"schedule\": %S, \"seeds\": %d, \
+           \"mean_fs\": %.1f, \"stddev_fs\": %.1f, \"p95_fs\": %d, \
+           \"max_fs\": %d, \"mean_steals\": %.1f, \"seconds\": %.4f }%s\n"
+          kernel kind nseeds mean stddev p95 mx msteals dt
+          (if i = List.length sc - 1 then "" else ","))
+      sc;
+    bpf "  ],\n"
+  end;
   bpf "  \"fs_counts\": [\n";
   let entries =
     Hashtbl.fold
@@ -1288,6 +1402,8 @@ let () =
     exact_section;
   section "costmodel" "analytic reuse-distance model vs the simulator"
     cost_model_section;
+  section "sched" "distributional FS verdicts under seeded schedules"
+    sched_section;
   section "micro" "bechamel micro-benchmarks" micro;
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~total "BENCH.json";

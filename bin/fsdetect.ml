@@ -85,6 +85,47 @@ let exact_budget_arg =
            ~doc:"Solver step allowance per reference pair for the exact \
                  dependence tier.")
 
+let schedule_arg =
+  Arg.(value & opt (some string) None
+       & info [ "schedule" ] ~docv:"KIND[,C]"
+           ~doc:
+             "Schedule to analyze under: $(b,static)[,C] (the default \
+              pragma path; C is a chunk override), $(b,dynamic)[,C], \
+              $(b,guided)[,C] or $(b,ws)[,C] (randomized work stealing).  \
+              Nondeterministic kinds are replayed once per seed and the \
+              verdict becomes a distribution over $(b,--seeds) seeds.")
+
+let seeds_arg =
+  Arg.(value & opt int 8
+       & info [ "seeds" ] ~docv:"K"
+           ~doc:"Seed-set size for distribution-valued verdicts under a \
+                 nondeterministic $(b,--schedule).")
+
+(* --schedule/--seeds are validated by hand so a bad value exits 2 with
+   an actionable message instead of cmdliner's generic conversion error.
+   Returns (replayed kind, chunk override). *)
+let sched_of_flags ~schedule ~seeds ~chunk =
+  if seeds < 1 then begin
+    Printf.eprintf "--seeds must be at least 1 (got %d)\n" seeds;
+    exit 2
+  end;
+  match schedule with
+  | None -> (None, chunk)
+  | Some s -> (
+      match Ompsched.Dispatch.of_string s with
+      | Ok (`Kind k) -> (Some k, chunk)
+      | Ok (`Static None) -> (None, chunk)
+      | Ok (`Static (Some c)) ->
+          if chunk <> None then begin
+            Printf.eprintf
+              "give --chunk or --schedule static,C, not both\n";
+            exit 2
+          end;
+          (None, Some c)
+      | Error m ->
+          Printf.eprintf "--schedule: %s\n" m;
+          exit 2)
+
 let wrap f = (try f () with
   | Minic.Parser.Error (m, l) ->
       Printf.eprintf "parse error (line %d): %s\n" l m; exit 1
@@ -183,7 +224,8 @@ let analyze_cmd =
 (* ------------------------------------------------------------------ *)
 
 let lint file kernel threads chunk json no_fixits params fail_on exact
-    exact_budget cost_model =
+    exact_budget cost_model schedule seeds =
+  let sched, chunk = sched_of_flags ~schedule ~seeds ~chunk in
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -201,6 +243,8 @@ let lint file kernel threads chunk json no_fixits params fail_on exact
                 exact;
                 exact_budget;
                 cost_model;
+                sched;
+                seeds;
               }))
 
 let lint_cmd =
@@ -245,14 +289,15 @@ let lint_cmd =
           error-severity finding)")
     Term.(const lint $ file_arg $ kernel_arg $ threads_arg $ chunk $ json
           $ no_fixits $ params $ fail_on $ exact_arg $ exact_budget_arg
-          $ cost_model_arg)
+          $ cost_model_arg $ schedule_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let explain file kernel func threads chunk params engine format top trace_cap
-    out =
+    out schedule seeds =
+  let sched, chunk = sched_of_flags ~schedule ~seeds ~chunk in
   wrap @@ fun () ->
   match source_of ~file ~kernel with
   | Error e -> Printf.eprintf "%s\n" e; exit 1
@@ -263,7 +308,7 @@ let explain file kernel func threads chunk params engine format top trace_cap
           (Service.Req.v source
              (Service.Req.Explain
                 { func; threads; chunk; params; engine; format; top;
-                  trace_cap }))
+                  trace_cap; sched; seeds }))
       in
       (* The report goes to --out only when one was produced (code 0, or
          3: report emitted but conservation failed) — analysis errors
@@ -333,7 +378,8 @@ let explain_cmd =
           provenance, and render the aggregation as an annotated-source \
           report, a heatmap, or a loadable trace")
     Term.(const explain $ file_arg $ kernel_arg $ func_arg $ threads_arg
-          $ chunk $ params $ engine $ format $ top $ trace_cap $ out)
+          $ chunk $ params $ engine $ format $ top $ trace_cap $ out
+          $ schedule_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -347,10 +393,17 @@ let kernel_or_die k =
         (String.concat ", " (Kernels.Registry.names ()));
       exit 1
 
-let simulate kernel threads chunk window =
+let simulate kernel threads chunk window schedule seed =
+  let sched, chunk =
+    match sched_of_flags ~schedule ~seeds:1 ~chunk with
+    | Some k, chunk -> (Some (k, seed), chunk)
+    | None, chunk -> (None, chunk)
+  in
   wrap @@ fun () ->
   let k = kernel_or_die kernel in
-  let m = Execsim.Run.measure ?chunk ~interleave_window:window ~threads k in
+  let m =
+    Execsim.Run.measure ?chunk ?sched ~interleave_window:window ~threads k
+  in
   Format.printf "%a@." Execsim.Run.pp_measurement m
 
 let simulate_cmd =
@@ -366,10 +419,16 @@ let simulate_cmd =
     Arg.(value & opt int 4
          & info [ "window" ] ~docv:"W" ~doc:"Thread interleave window.")
   in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Replay seed for a nondeterministic $(b,--schedule).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a kernel on the simulated coherent multicore")
-    Term.(const simulate $ kernel_pos $ threads_arg $ chunk $ window)
+    Term.(const simulate $ kernel_pos $ threads_arg $ chunk $ window
+          $ schedule_arg $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* advise                                                              *)

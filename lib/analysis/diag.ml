@@ -23,6 +23,11 @@ type finding = {
       (* for analysis/unknown findings: the raw reason string *)
   cost : cost option;
       (* analytic Eq. 1 cost context, when the lint ran with a cost model *)
+  sched : string option;
+      (* replayed schedule kind (e.g. "dynamic,1"), when not static *)
+  dist : Dist.t option;
+      (* FS distribution over the replayed seed set, when the lint ran a
+         nondeterministic schedule *)
 }
 
 and cost = {
@@ -80,6 +85,14 @@ let to_text r =
       | None -> ());
       (match f.symbolic with
       | Some s -> Buffer.add_string buf (Printf.sprintf "  count: %s\n" s)
+      | None -> ());
+      (match f.sched with
+      | Some s -> Buffer.add_string buf (Printf.sprintf "  schedule: %s\n" s)
+      | None -> ());
+      (match f.dist with
+      | Some d ->
+          Buffer.add_string buf
+            (Printf.sprintf "  fs-dist: %s\n" (Dist.summary d))
       | None -> ());
       (match f.witness with
       | Some w -> Buffer.add_string buf (Printf.sprintf "  witness: %s\n" w)
@@ -162,6 +175,25 @@ let to_json r =
              | None -> [])
            @ (match f.reason with
              | Some m -> [ ("unknownReason", Str m) ]
+             | None -> [])
+           @ (match f.sched with
+             | Some s -> [ ("scheduleKind", Str s) ]
+             | None -> [])
+           @ (match f.dist with
+             | Some d ->
+                 [
+                   ( "fsDistribution",
+                     Obj
+                       [
+                         ("seeds", Int (Array.length d.Dist.seeds));
+                         ("mean", Float d.Dist.mean);
+                         ("stddev", Float d.Dist.stddev);
+                         ("p95", Int d.Dist.p95);
+                         ("min", Int d.Dist.min_fs);
+                         ("max", Int d.Dist.max_fs);
+                         ("meanSteals", Float d.Dist.mean_steals);
+                       ] );
+                 ]
              | None -> [])
            @ (match f.cost with
              | Some c ->

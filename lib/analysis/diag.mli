@@ -39,6 +39,13 @@ type finding = {
       (** analytic cost context attached when the lint ran with
           [--cost-model analytic|both]: rendered as text [cost:]/[miss:]
           lines and SARIF [predictedMissRate]/[costBreakdown] properties *)
+  sched : string option;
+      (** the replayed schedule kind (e.g. ["dynamic,1"], ["ws,2"]) when
+          the lint drove a nondeterministic schedule: a text [schedule:]
+          line and the SARIF [scheduleKind] property *)
+  dist : Dist.t option;
+      (** the FS distribution over the replayed seed set: a text
+          [fs-dist:] line and the SARIF [fsDistribution] property *)
 }
 
 and cost = {

@@ -1,0 +1,94 @@
+(* Distribution-valued FS verdicts for nondeterministic schedules.
+
+   A dynamic, guided or work-stealing schedule makes the engine's N_fs a
+   random variable; one replayed seed is one sample.  This layer runs K
+   seeds (domain-parallel through Par_sweep — every sample is an
+   independent Model.run) and summarizes the empirical distribution.
+   Seeds are replayed in order, so the same (kind, seed set, config)
+   always produces the same summary, which is what lets distribution
+   text land in goldens and service cache keys. *)
+
+type t = {
+  kind : Ompsched.Dispatch.kind;
+  seeds : int array;
+  fs : int array;  (* per-seed engine N_fs, in seed order *)
+  steals : int array;  (* per-seed steal events (0 for dynamic/guided) *)
+  mean : float;
+  stddev : float;
+  p95 : int;
+  min_fs : int;
+  max_fs : int;
+  mean_steals : float;
+}
+
+let seeds_upto k =
+  if k < 1 then invalid_arg "Dist.seeds_upto: k < 1";
+  Array.init k (fun i -> i)
+
+(* the smallest sample value at or above the 95th percentile rank
+   (nearest-rank definition: element ceil(0.95 n) of the sorted order) *)
+let percentile_95 sorted =
+  let n = Array.length sorted in
+  let rank = ((95 * n) + 99) / 100 in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let of_samples ~kind ~seeds ~fs ~steals =
+  let n = Array.length fs in
+  if n = 0 then invalid_arg "Dist.of_samples: no samples";
+  let fn = float_of_int n in
+  let mean = Array.fold_left (fun a x -> a +. float_of_int x) 0. fs /. fn in
+  let var =
+    Array.fold_left
+      (fun a x ->
+        let d = float_of_int x -. mean in
+        a +. (d *. d))
+      0. fs
+    /. fn
+  in
+  let sorted = Array.copy fs in
+  Array.sort compare sorted;
+  {
+    kind;
+    seeds;
+    fs;
+    steals;
+    mean;
+    stddev = sqrt var;
+    p95 = percentile_95 sorted;
+    min_fs = sorted.(0);
+    max_fs = sorted.(n - 1);
+    mean_steals =
+      Array.fold_left (fun a x -> a +. float_of_int x) 0. steals /. fn;
+  }
+
+let run ?(engine = (`Fast : Fsmodel.Model.engine)) ?domains
+    ?(seeds = seeds_upto 8) ~kind cfg ~nest ~checked =
+  if Array.length seeds = 0 then invalid_arg "Dist.run: empty seed set";
+  let samples =
+    Fsmodel.Par_sweep.map ?domains
+      (fun seed ->
+        let r =
+          Fsmodel.Model.run ~engine
+            { cfg with Fsmodel.Model.sched = Some (kind, seed) }
+            ~nest ~checked
+        in
+        (r.Fsmodel.Model.fs_cases, r.Fsmodel.Model.steals))
+      (Array.to_list seeds)
+  in
+  let fs = Array.of_list (List.map fst samples) in
+  let steals = Array.of_list (List.map snd samples) in
+  of_samples ~kind ~seeds ~fs ~steals
+
+let summary t =
+  let steal_part =
+    match t.kind with
+    | Ompsched.Dispatch.Work_stealing _ ->
+        Printf.sprintf ", %.1f steal(s)/seed" t.mean_steals
+    | Ompsched.Dispatch.Dynamic _ | Ompsched.Dispatch.Guided _ -> ""
+  in
+  Printf.sprintf
+    "mean %.1f, stddev %.1f, p95 %d, range %d..%d over %d seed(s)%s" t.mean
+    t.stddev t.p95 t.min_fs t.max_fs (Array.length t.seeds) steal_part
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s" (Ompsched.Dispatch.kind_name t.kind) (summary t)

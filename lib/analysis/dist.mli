@@ -1,0 +1,56 @@
+(** Distribution-valued false-sharing verdicts.
+
+    Under a nondeterministic schedule the engine's [N_fs] is a random
+    variable; each seed replays one concrete execution
+    ({!Ompsched.Dispatch}).  [run] draws K seeds domain-parallel and
+    summarizes the empirical distribution — the mean/p95 numbers quoted
+    in lint text, SARIF [fsDistribution] properties and the bench's
+    [sched] section.  Everything is deterministic in the seed set, so
+    summaries are stable enough for goldens and cache keys. *)
+
+type t = {
+  kind : Ompsched.Dispatch.kind;
+  seeds : int array;  (** the replayed seed set, in order *)
+  fs : int array;  (** per-seed engine [N_fs] *)
+  steals : int array;  (** per-seed steal events (0 unless work stealing) *)
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  p95 : int;  (** nearest-rank 95th percentile of [fs] *)
+  min_fs : int;
+  max_fs : int;
+  mean_steals : float;
+}
+
+val seeds_upto : int -> int array
+(** [seeds_upto k] is the canonical seed set [0 .. k-1].
+    @raise Invalid_argument when [k < 1]. *)
+
+val run :
+  ?engine:Fsmodel.Model.engine ->
+  ?domains:int ->
+  ?seeds:int array ->
+  kind:Ompsched.Dispatch.kind ->
+  Fsmodel.Model.config ->
+  nest:Loopir.Loop_nest.t ->
+  checked:Minic.Typecheck.checked ->
+  t
+(** Replay every seed (default [seeds_upto 8]) with
+    [cfg.sched = Some (kind, seed)] and summarize.  Samples are
+    independent {!Fsmodel.Model.run} calls, fanned over domains.
+    @raise Invalid_argument on an empty seed set. *)
+
+val of_samples :
+  kind:Ompsched.Dispatch.kind ->
+  seeds:int array ->
+  fs:int array ->
+  steals:int array ->
+  t
+(** Summarize already-collected samples (exposed for tests and bench).
+    @raise Invalid_argument when [fs] is empty. *)
+
+val summary : t -> string
+(** One-line summary: ["mean 12.3, stddev 1.2, p95 14, range 10..15 over
+    8 seed(s)"], plus a steals rate under work stealing.  This exact
+    string appears in lint text output. *)
+
+val pp : Format.formatter -> t -> unit

@@ -22,6 +22,9 @@ type options = {
   exact : Depend.exact_mode;
   exact_budget : int;
   cost_model : cost_model;
+  sched : Ompsched.Dispatch.kind option;
+      (* replay a nondeterministic schedule instead of the static deal *)
+  seeds : int;  (* seed-set size for distribution-valued FS verdicts *)
 }
 
 let default_options =
@@ -34,7 +37,28 @@ let default_options =
     exact = `Auto;
     exact_budget = Depend.default_exact_budget;
     cost_model = `Sim;
+    sched = None;
+    seeds = 8;
   }
+
+(* The dispatcher kind a nest is analyzed under: an explicit --schedule
+   wins; otherwise a dynamic/guided pragma in the source is replayed
+   with its own chunk (or --chunk).  Static stays on the closed-form
+   round-robin path. *)
+let sched_kind_of ~opts nest =
+  let granule default =
+    match opts.chunk with
+    | Some c -> c
+    | None -> (
+        match Loop_nest.chunk_spec nest with Some c -> c | None -> default)
+  in
+  match opts.sched with
+  | Some k -> Some k
+  | None -> (
+      match Loop_nest.schedule_kind nest with
+      | `Static -> None
+      | `Dynamic -> Some (Ompsched.Dispatch.Dynamic { chunk = granule 1 })
+      | `Guided -> Some (Ompsched.Dispatch.Guided { min_chunk = granule 1 }))
 
 let all_params opts = ("num_threads", opts.threads) :: opts.params
 
@@ -83,6 +107,8 @@ let fallback_findings ~opts ~func pairs_ev =
                 witness = None;
                 reason = None;
                 cost = None;
+                sched = None;
+                dist = None;
               }
         | _ -> None)
       pairs_ev
@@ -110,6 +136,8 @@ let race_finding ~func ?region ?(ev = Depend.banerjee_ev ~must:false)
     witness;
     reason = None;
     cost = None;
+    sched = None;
+    dist = None;
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -139,6 +167,8 @@ let unknown_findings ~func pairs =
               witness;
               reason = Some reason;
               cost = None;
+              sched = None;
+              dist = None;
             }
       | _ -> None)
     pairs
@@ -303,20 +333,80 @@ let attribution_sentences ~refs ~total ~base pairs =
 let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
   if conflicts = [] then []
   else
-    (* a nest rescued by the exact backend (unbound identifiers treated
-       as free parameters) has no concrete count to run *)
-    let fs, how =
-      try fs_count ~cost_model:opts.cost_model cfg ~nest ~checked
-      with _ ->
-        (-1, "the nest references identifiers not bound by -p")
+    (* a nondeterministic schedule (from --schedule or a
+       dynamic/guided pragma) turns the count into a distribution over
+       the replayed seed set; the static path keeps the closed
+       form/engine split *)
+    let replayed =
+      match sched_kind_of ~opts nest with
+      | None -> None
+      | Some kind -> (
+          match
+            Dist.run ~seeds:(Dist.seeds_upto opts.seeds) ~kind cfg ~nest
+              ~checked
+          with
+          | d -> Some (kind, d)
+          | exception _ -> None)
     in
-    (* the analytic path never touches the engine, so no attribution *)
-    let attrib =
-      if fs > 0 && opts.cost_model <> `Analytic then
-        attribution_pairs ~checked cfg nest
-      else None
+    let warn, fix, quant, attrib, cost, sched_name, dist =
+      match replayed with
+      | Some (kind, d) ->
+          let name = Ompsched.Dispatch.kind_name kind in
+          let nseeds = Array.length d.Dist.seeds in
+          let quant =
+            if d.Dist.max_fs > 0 then
+              Printf.sprintf
+                "replaying schedule(%s) over %d seed(s) at %d threads, the \
+                 engine counts %.1f false-sharing case(s) on average (p95 %d)"
+                name nseeds opts.threads d.Dist.mean d.Dist.p95
+            else
+              Printf.sprintf
+                "but replaying schedule(%s) over %d seed(s) at %d threads \
+                 the engine counts no false-sharing case"
+                name nseeds opts.threads
+          in
+          (* attribution is per-execution; seed 0 is the canonical
+             representative.  The analytic cost model is static-schedule
+             semantics, so no Eq. 1 context here. *)
+          let attrib =
+            if d.Dist.max_fs > 0 && opts.cost_model <> `Analytic then
+              attribution_pairs ~checked
+                { cfg with Fsmodel.Model.sched = Some (kind, 0) }
+                nest
+            else None
+          in
+          let hot = d.Dist.max_fs > 0 in
+          (hot, hot, quant, attrib, None, Some name, Some d)
+      | None ->
+          (* a nest rescued by the exact backend (unbound identifiers
+             treated as free parameters) has no concrete count to run *)
+          let fs, how =
+            try fs_count ~cost_model:opts.cost_model cfg ~nest ~checked
+            with _ -> (-1, "the nest references identifiers not bound by -p")
+          in
+          (* the analytic path never touches the engine, so no
+             attribution *)
+          let attrib =
+            if fs > 0 && opts.cost_model <> `Analytic then
+              attribution_pairs ~checked cfg nest
+            else None
+          in
+          let cost = cost_of ~opts ~checked nest in
+          let quant =
+            if fs > 0 then
+              Printf.sprintf
+                "the cost model counts %d false-sharing case(s) in this \
+                 nest at %d threads (%s)"
+                fs opts.threads how
+            else if fs = 0 then
+              Printf.sprintf
+                "but the cost model counts no false-sharing case at %d \
+                 threads (%s)"
+                opts.threads how
+            else Printf.sprintf "no concrete count (%s)" how
+          in
+          (fs <> 0, fs > 0, quant, attrib, cost, None, None)
     in
-    let cost = cost_of ~opts ~checked nest in
     let bases =
       List.sort_uniq compare
         (List.map (fun (p : Depend.pair) -> p.Depend.a.Array_ref.base)
@@ -335,22 +425,9 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
             (fun s p -> Minic.Span.join s (span_of_pair p))
             Minic.Span.none ps
         in
-        let severity = if fs <> 0 then Diag.Warning else Diag.Info in
-        let quant =
-          if fs > 0 then
-            Printf.sprintf
-              "the cost model counts %d false-sharing case(s) in this nest \
-               at %d threads (%s)"
-              fs opts.threads how
-          else if fs = 0 then
-            Printf.sprintf
-              "but the cost model counts no false-sharing case at %d \
-               threads (%s)"
-              opts.threads how
-          else Printf.sprintf "no concrete count (%s)" how
-        in
+        let severity = if warn then Diag.Warning else Diag.Info in
         let fixits =
-          if opts.fixits && races = [] && fs > 0 then
+          if opts.fixits && races = [] && fix then
             fixits_for ~opts ~checked ~base advice
           else []
         in
@@ -381,6 +458,8 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
           witness;
           reason = None;
           cost;
+          sched = sched_name;
+          dist;
         })
       bases
 
@@ -528,6 +607,8 @@ let lint_nest_sym ~opts ~checked ~func nest =
                     witness;
                     reason = Some reason;
                     cost = None;
+                    sched = None;
+                    dist = None;
                   }
             | _ -> None)
           paths)
@@ -610,6 +691,8 @@ let lint_nest_sym ~opts ~checked ~func nest =
             witness;
             reason = None;
             cost = None;
+            sched = None;
+            dist = None;
           })
         bases
     end
@@ -684,6 +767,8 @@ let lint_function ~opts ~checked func =
           witness = None;
           reason = Some m;
           cost = None;
+          sched = None;
+          dist = None;
         };
       ]
   | nests ->

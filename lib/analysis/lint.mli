@@ -61,11 +61,18 @@ type options = {
           ["analysis/exact-budget"] warnings, [`Off] disables it *)
   exact_budget : int;  (** solver step allowance per reference pair *)
   cost_model : cost_model;
+  sched : Ompsched.Dispatch.kind option;
+      (** replay a nondeterministic schedule instead of the static
+          round-robin deal: FS counts become a {!Dist} distribution over
+          the seed set.  [None] follows the pragma — a
+          [schedule(dynamic)]/[(guided)] pragma is replayed too; only
+          [schedule(static)] stays on the closed-form path *)
+  seeds : int;  (** seed-set size for distribution-valued verdicts *)
 }
 
 val default_options : options
 (** Paper machine, 8 threads, pragma chunk, fix-its on, no extra
-    parameters, [`Sim] cost model. *)
+    parameters, [`Sim] cost model, pragma schedule, 8 seeds. *)
 
 val run :
   ?opts:options -> uri:string -> Minic.Typecheck.checked -> Diag.report

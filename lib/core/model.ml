@@ -7,6 +7,7 @@ type config = {
   params : (string * int) list;
   stack : stack_policy;
   invalidate_on_write : bool;
+  sched : (Ompsched.Dispatch.kind * int) option;
 }
 
 let default_config ?(arch = Archspec.Arch.paper_machine) ~threads () =
@@ -17,6 +18,7 @@ let default_config ?(arch = Archspec.Arch.paper_machine) ~threads () =
     params = [ ("num_threads", threads) ];
     stack = Level_l1;
     invalidate_on_write = false;
+    sched = None;
   }
 
 type run_sample = { chunk_run : int; cumulative_fs : int }
@@ -28,6 +30,7 @@ type result = {
   chunk_runs : int;
   samples : run_sample list;
   truncated : bool;
+  steals : int;
 }
 
 type engine = [ `Fast | `Reference ]
@@ -41,6 +44,7 @@ type state = {
   mutable runs : int;
   mutable samples : run_sample list;
   mutable truncated : bool;
+  mutable plan_steals : int;
 }
 
 let capacity_of cfg =
@@ -70,13 +74,6 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     ?attrib cfg ~(nest : Loopir.Loop_nest.t) ~checked =
   if cfg.threads < 1 then invalid_arg "Model.run: threads < 1";
   incr runs;
-  (match Loopir.Loop_nest.schedule_kind nest with
-  | `Static -> ()
-  | `Dynamic | `Guided ->
-      invalid_arg
-        "Model.run: the FS cost model covers schedule(static) only (the \
-         paper's round-robin assumption, §III); dynamic and guided \
-         assignments are execution-dependent");
   let arch = cfg.arch in
   let line_bytes = Archspec.Arch.line_bytes arch in
   let layout = Loopir.Layout.make ~line_bytes checked in
@@ -94,6 +91,27 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     match cfg.chunk with
     | Some c -> Some c
     | None -> Loopir.Loop_nest.chunk_spec nest
+  in
+  (* Which dispatcher drives the region: an explicit config override wins;
+     otherwise a dynamic/guided pragma is replayed at seed 0, and static
+     keeps the closed-form round-robin deal (the paper's §III path,
+     untouched). *)
+  let dispatch =
+    match cfg.sched with
+    | Some _ as s -> s
+    | None -> (
+        match Loopir.Loop_nest.schedule_kind nest with
+        | `Static -> None
+        | `Dynamic ->
+            Some
+              ( Ompsched.Dispatch.Dynamic
+                  { chunk = Option.value ~default:1 chunk_spec },
+                0 )
+        | `Guided ->
+            Some
+              ( Ompsched.Dispatch.Guided
+                  { min_chunk = Option.value ~default:1 chunk_spec },
+                0 ))
   in
   let idx = Array.make nloops 0 in
   (* variable lookup, precompiled: each name resolves once to either a
@@ -116,7 +134,15 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     | None -> None
   in
   let st =
-    { fs = 0; steps = 0; iters = 0; runs = 0; samples = []; truncated = false }
+    {
+      fs = 0;
+      steps = 0;
+      iters = 0;
+      runs = 0;
+      samples = [];
+      truncated = false;
+      plan_steals = 0;
+    }
   in
   let run_limit = Option.value ~default:max_int max_chunk_runs in
   let complete_chunk_run () =
@@ -416,6 +442,168 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
         done;
         if max_steps mod run_span <> 0 then complete_chunk_run ()
   in
+  (* Plan-driven fast engine: the static evaluator with the round-robin
+     deal swapped for a seed-replayed {!Ompsched.Dispatch.plan} (dynamic,
+     guided or work-stealing iteration order).  The attribution branch is
+     folded in — replayed plans are test/sweep-scale, so the static
+     path's branch-free duplication is not warranted here. *)
+  let eval_region_plan_fast kind seed attrib counter cur buf =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let total = r.sched.Ompsched.Schedule.total in
+        let plan =
+          Ompsched.Dispatch.plan ~threads:cfg.threads ~total ~seed kind
+        in
+        st.plan_steals <- st.plan_steals + Ompsched.Dispatch.steals plan;
+        let n_inner = Array.length r.inner in
+        let max_par_steps = Ompsched.Dispatch.max_steps_per_thread plan in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = Ompsched.Dispatch.window plan * r.inner_per_par in
+        for l = 0 to d - 1 do
+          Ownership.cursor_set cur l idx.(l)
+        done;
+        let pos = Array.make (max 1 n_inner) 0 in
+        for j = 0 to n_inner - 1 do
+          Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j)
+        done;
+        let k_par = ref 0 in
+        for s = 0 to max_steps - 1 do
+          for t = 0 to cfg.threads - 1 do
+            let q = Ompsched.Dispatch.nth_iter_int plan ~tid:t !k_par in
+            if q >= 0 then begin
+              Ownership.cursor_set cur d (r.par_lower + (q * r.par_step));
+              Ownership.fill cur buf;
+              for i = 0 to Ownership.buf_len buf - 1 do
+                let line = Ownership.buf_line buf i in
+                let written = Ownership.buf_written buf i in
+                let fs =
+                  match attrib with
+                  | None -> Fs_counter.process counter ~me:t ~line ~written
+                  | Some sink ->
+                      Fs_counter.process_attr counter ~me:t ~line ~written
+                        ~ref_id:(Ownership.buf_ref buf i) ~step:st.steps sink
+                in
+                if cfg.invalidate_on_write && written then
+                  Fs_counter.invalidate_others counter ~me:t ~line;
+                st.fs <- st.fs + fs
+              done;
+              st.iters <- st.iters + 1
+            end
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ();
+          let rec bump j =
+            if j < 0 then incr k_par
+            else begin
+              let p = pos.(j) + 1 in
+              if p = r.inner_trips.(j) then begin
+                pos.(j) <- 0;
+                Ownership.cursor_set cur (d + 1 + j) r.inner_lowers.(j);
+                bump (j - 1)
+              end
+              else begin
+                pos.(j) <- p;
+                Ownership.cursor_set cur (d + 1 + j)
+                  (r.inner_lowers.(j)
+                  + (p * r.inner.(j).Loopir.Loop_nest.step))
+              end
+            end
+          in
+          bump (n_inner - 1)
+        done;
+        if max_steps > 0 && max_steps mod run_span <> 0 then
+          complete_chunk_run ()
+  in
+  (* Plan-driven reference engine: the paper-transcription traversal over
+     the same replayed plan, with the attribution recorder fed in the
+     same event order as the fast path so the two recorders match. *)
+  let eval_region_plan_ref kind seed attrib states wtbl =
+    match region_geometry () with
+    | None -> ()
+    | Some r ->
+        let total = r.sched.Ompsched.Schedule.total in
+        let plan =
+          Ompsched.Dispatch.plan ~threads:cfg.threads ~total ~seed kind
+        in
+        st.plan_steals <- st.plan_steals + Ompsched.Dispatch.steals plan;
+        let max_par_steps = Ompsched.Dispatch.max_steps_per_thread plan in
+        let max_steps = max_par_steps * r.inner_per_par in
+        let run_span = Ompsched.Dispatch.window plan * r.inner_per_par in
+        for s = 0 to max_steps - 1 do
+          let k_par = s / r.inner_per_par in
+          let k_in = s mod r.inner_per_par in
+          for t = 0 to cfg.threads - 1 do
+            let q = Ompsched.Dispatch.nth_iter_int plan ~tid:t k_par in
+            if q >= 0 then begin
+              idx.(d) <- r.par_lower + (q * r.par_step);
+              let rem = ref k_in in
+              for j = Array.length r.inner - 1 downto 0 do
+                let trip = r.inner_trips.(j) in
+                let v = !rem mod trip in
+                rem := !rem / trip;
+                idx.(d + 1 + j) <-
+                  r.inner_lowers.(j) + (v * r.inner.(j).Loopir.Loop_nest.step)
+              done;
+              (match attrib with
+              | None ->
+                  let entries = Ownership.lines_ref own idx in
+                  List.iter
+                    (fun { Ownership.line; written } ->
+                      let fs =
+                        Detect.fs_cases_for_insert ~states ~me:t ~line
+                      in
+                      ignore
+                        (Thread_cache_state.insert states.(t) ~line ~written);
+                      if cfg.invalidate_on_write && written then
+                        Array.iteri
+                          (fun j s ->
+                            if j <> t then
+                              ignore (Thread_cache_state.invalidate s line))
+                          states;
+                      st.fs <- st.fs + fs)
+                    entries
+              | Some sink ->
+                  let entries = Ownership.lines_with_refs own idx in
+                  List.iter
+                    (fun { Ownership.a_line = line; a_written = written;
+                           a_ref = rid } ->
+                      Array.iteri
+                        (fun j sj ->
+                          if
+                            j <> t
+                            && Thread_cache_state.holds_modified sj line
+                          then
+                            Attrib.record sink ~step:st.steps ~line
+                              ~writer_tid:j
+                              ~writer_ref:
+                                (Option.value ~default:(-1)
+                                   (Hashtbl.find_opt wtbl.(j) line))
+                              ~victim_tid:t ~victim_ref:rid)
+                        states;
+                      let fs =
+                        Detect.fs_cases_for_insert ~states ~me:t ~line
+                      in
+                      ignore
+                        (Thread_cache_state.insert states.(t) ~line ~written);
+                      if written then Hashtbl.replace wtbl.(t) line rid;
+                      if cfg.invalidate_on_write && written then
+                        Array.iteri
+                          (fun j s ->
+                            if j <> t then
+                              ignore (Thread_cache_state.invalidate s line))
+                          states;
+                      st.fs <- st.fs + fs)
+                    entries);
+              st.iters <- st.iters + 1
+            end
+          done;
+          st.steps <- st.steps + 1;
+          if (s + 1) mod run_span = 0 then complete_chunk_run ()
+        done;
+        if max_steps > 0 && max_steps mod run_span <> 0 then
+          complete_chunk_run ()
+  in
   (* enumerate the sequential outer loops *)
   let rec outer body level =
     if level = d then body ()
@@ -432,8 +620,8 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     end
   in
   (try
-     match engine with
-     | `Fast ->
+     match (engine, dispatch) with
+     | `Fast, None ->
          let counter =
            Fs_counter.create ~threads:cfg.threads ~capacity:(capacity_of cfg)
          in
@@ -443,7 +631,16 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
          | None -> outer (fun () -> eval_region_fast counter cur buf) 0
          | Some sink ->
              outer (fun () -> eval_region_fast_attr sink counter cur buf) 0)
-     | `Reference ->
+     | `Fast, Some (kind, seed) ->
+         let counter =
+           Fs_counter.create ~threads:cfg.threads ~capacity:(capacity_of cfg)
+         in
+         let cur = Ownership.cursor own in
+         let buf = Ownership.buffer () in
+         outer
+           (fun () -> eval_region_plan_fast kind seed attrib counter cur buf)
+           0
+     | `Reference, None ->
          let states =
            Array.init cfg.threads (fun _ ->
                Thread_cache_state.create ~capacity:(capacity_of cfg))
@@ -455,6 +652,15 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
                Array.init cfg.threads (fun _ -> Hashtbl.create 64)
              in
              outer (fun () -> eval_region_ref_attr sink states wtbl) 0)
+     | `Reference, Some (kind, seed) ->
+         let states =
+           Array.init cfg.threads (fun _ ->
+               Thread_cache_state.create ~capacity:(capacity_of cfg))
+         in
+         let wtbl = Array.init cfg.threads (fun _ -> Hashtbl.create 64) in
+         outer
+           (fun () -> eval_region_plan_ref kind seed attrib states wtbl)
+           0
    with Stop -> ());
   {
     fs_cases = st.fs;
@@ -463,4 +669,5 @@ let run ?max_chunk_runs ?(record_samples = false) ?(engine = (`Fast : engine))
     chunk_runs = st.runs;
     samples = List.rev st.samples;
     truncated = st.truncated;
+    steals = st.plan_steals;
   }

@@ -26,6 +26,13 @@ type config = {
   invalidate_on_write : bool;
       (** ablation: remove a written line from other threads' states
           (the paper's model does not) *)
+  sched : (Ompsched.Dispatch.kind * int) option;
+      (** drive the parallel loop with a seed-replayed dynamic, guided or
+          work-stealing plan instead of the static deal.  The second
+          component is the replay seed.  [None] (the default) keeps the
+          paper's [schedule(static)] path, except that a
+          [schedule(dynamic)] / [schedule(guided)] pragma in the source
+          is replayed at seed 0. *)
 }
 
 val default_config :
@@ -54,6 +61,10 @@ type result = {
       (** cumulative FS after each chunk run (empty unless
           [record_samples]) *)
   truncated : bool;  (** stopped early by [max_chunk_runs] *)
+  steals : int;
+      (** steal events across all replayed work-stealing plans (0 for the
+          static deal and for dynamic/guided dispatch) — the per-seed
+          input to the Cole–Ramachandran steal-bound check *)
 }
 
 val run_count : unit -> int

@@ -23,10 +23,12 @@ type t = {
   mem : Mem.t;
   threads : int;
   chunk_override : int option;
+  sched_override : (Ompsched.Dispatch.kind * int) option;
   window : int;
   sink : sink;
   compiled : (string, compiled_func) Hashtbl.t;
   loop_iter_cost : float;
+  mutable steals : int;
 }
 
 (* Functions compile once into closures over (tid, frame); a frame is the
@@ -34,8 +36,8 @@ type t = {
 and frame = Value.t array
 and compiled_func = { nslots : int; body : t -> int -> frame -> unit }
 
-let create ?(threads = 1) ?chunk_override ?(interleave_window = 4)
-    ?(sink = null_sink) checked =
+let create ?(threads = 1) ?chunk_override ?sched_override
+    ?(interleave_window = 4) ?(sink = null_sink) checked =
   if threads < 1 then invalid_arg "Interp.create: threads < 1";
   if interleave_window < 1 then invalid_arg "Interp.create: window < 1";
   let layout = Loopir.Layout.make checked in
@@ -45,12 +47,16 @@ let create ?(threads = 1) ?chunk_override ?(interleave_window = 4)
     mem = Mem.create (Loopir.Layout.total_bytes layout);
     threads;
     chunk_override;
+    sched_override;
     window = interleave_window;
     sink;
     compiled = Hashtbl.create 8;
     loop_iter_cost =
       float_of_int Ompsched.Overhead.default.Ompsched.Overhead.loop_per_iter;
+    steals = 0;
   }
+
+let steals t = t.steals
 
 let layout t = t.layout
 let memory t = t.mem
@@ -840,6 +846,25 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
     (* next_iter tid: the iteration a thread executes next, or -1 when the
        thread is out of work; each kind deals chunks its own way *)
     let next_iter =
+      match rt.sched_override with
+      | Some (k, seed) ->
+          (* seeded replay: execute the exact per-thread iteration
+             sequences of the dispenser plan the cost model counts, so a
+             simulated run is comparable to a Model run seed for seed *)
+          let plan = Ompsched.Dispatch.plan ~threads ~total ~seed k in
+          rt.steals <- rt.steals + Ompsched.Dispatch.steals plan;
+          let granule = Ompsched.Dispatch.kind_chunk k in
+          let cursors = Array.make threads 0 in
+          fun tid ->
+            let kth = cursors.(tid) in
+            let q = Ompsched.Dispatch.nth_iter_int plan ~tid kth in
+            if q >= 0 then begin
+              if kth mod granule = 0 then
+                chunks_grabbed.(tid) <- chunks_grabbed.(tid) + 1;
+              cursors.(tid) <- kth + 1
+            end;
+            q
+      | None -> (
       match kind with
       | `Static ->
           let chunk =
@@ -907,7 +932,7 @@ and compile_parallel_for ctx loop (pragma : Minic.Ast.pragma) : compiled_stmt =
               pos.(tid) <- s + 1;
               stop.(tid) <- s + len;
               s
-            end
+            end)
     in
     (* firstprivate-style frames *)
     let frames = Array.init threads (fun _ -> Array.copy frame) in

@@ -33,11 +33,21 @@ type t
 val create :
   ?threads:int ->
   ?chunk_override:int ->
+  ?sched_override:Ompsched.Dispatch.kind * int ->
   ?interleave_window:int ->
   ?sink:sink ->
   Minic.Typecheck.checked ->
   t
-(** Defaults: 1 thread, pragma chunk, window 4, no instrumentation. *)
+(** Defaults: 1 thread, pragma chunk, window 4, no instrumentation.
+    [sched_override] replays a seeded {!Ompsched.Dispatch} plan
+    ((kind, seed)) instead of the pragma's schedule: every parallel loop
+    executes the exact per-thread iteration sequences of the plan, so a
+    simulated run is comparable to an {!Fsmodel.Model} run seed for
+    seed. *)
+
+val steals : t -> int
+(** Steal events accumulated across executed parallel regions (0 unless
+    a work-stealing [sched_override] ran). *)
 
 val layout : t -> Loopir.Layout.t
 val memory : t -> Mem.t

@@ -1,6 +1,8 @@
 type measurement = {
   threads : int;
   chunk : int option;
+  sched : (Ompsched.Dispatch.kind * int) option;
+  steals : int;
   wall_cycles : float;
   seconds : float;
   per_thread_cycles : float array;
@@ -10,7 +12,7 @@ type measurement = {
 let overhead = Ompsched.Overhead.default
 
 let measure ?(arch = Archspec.Arch.paper_machine) ?(interleave_window = 4)
-    ?(run_init = true) ?chunk ~threads (kernel : Kernels.Kernel.t) =
+    ?(run_init = true) ?chunk ?sched ~threads (kernel : Kernels.Kernel.t) =
   let checked = Kernels.Kernel.parse kernel in
   let coherence = Cachesim.Coherence.create ~cores:threads arch in
   let cycles = Array.make threads 0. in
@@ -48,8 +50,8 @@ let measure ?(arch = Archspec.Arch.paper_machine) ?(interleave_window = 4)
     }
   in
   let interp =
-    Interp.create ~threads ?chunk_override:chunk ~interleave_window ~sink
-      checked
+    Interp.create ~threads ?chunk_override:chunk ?sched_override:sched
+      ~interleave_window ~sink checked
   in
   (match (run_init, kernel.Kernels.Kernel.init_func) with
   | true, Some init -> Interp.exec interp ~func:init
@@ -65,6 +67,8 @@ let measure ?(arch = Archspec.Arch.paper_machine) ?(interleave_window = 4)
   {
     threads;
     chunk;
+    sched;
+    steals = Interp.steals interp;
     wall_cycles = wall;
     seconds = Archspec.Arch.cycles_to_seconds arch wall;
     per_thread_cycles = cycles;
@@ -90,7 +94,18 @@ let measured_fs_percent ?arch ?interleave_window ?fs_chunk ?nfs_chunk ~threads
   { fs; nfs; percent }
 
 let pp_measurement ppf m =
-  Format.fprintf ppf
-    "@[<v>%d threads, chunk %s: wall %.0f cycles (%.4f s)@,%a@]" m.threads
-    (match m.chunk with Some c -> string_of_int c | None -> "(pragma)")
-    m.wall_cycles m.seconds Cachesim.Stats.pp m.stats
+  match m.sched with
+  | Some (k, seed) ->
+      Format.fprintf ppf
+        "@[<v>%d threads, schedule(%s) seed %d%s: wall %.0f cycles (%.4f \
+         s)@,%a@]"
+        m.threads
+        (Ompsched.Dispatch.kind_name k)
+        seed
+        (if m.steals > 0 then Printf.sprintf ", %d steal(s)" m.steals else "")
+        m.wall_cycles m.seconds Cachesim.Stats.pp m.stats
+  | None ->
+      Format.fprintf ppf
+        "@[<v>%d threads, chunk %s: wall %.0f cycles (%.4f s)@,%a@]" m.threads
+        (match m.chunk with Some c -> string_of_int c | None -> "(pragma)")
+        m.wall_cycles m.seconds Cachesim.Stats.pp m.stats

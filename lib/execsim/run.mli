@@ -10,6 +10,9 @@
 type measurement = {
   threads : int;
   chunk : int option;  (** the override used; [None] = the pragma's clause *)
+  sched : (Ompsched.Dispatch.kind * int) option;
+      (** the seeded schedule replayed, when one overrode the pragma *)
+  steals : int;  (** steal events (0 unless work stealing ran) *)
   wall_cycles : float;
   seconds : float;
   per_thread_cycles : float array;
@@ -21,14 +24,18 @@ val measure :
   ?interleave_window:int ->
   ?run_init:bool ->
   ?chunk:int ->
+  ?sched:Ompsched.Dispatch.kind * int ->
   threads:int ->
   Kernels.Kernel.t ->
   measurement
 (** Run (optionally) the kernel's init function untimed-but-traced (warm
     caches, realistic first-touch), then the kernel function timed.
     [chunk] overrides the pragma's chunk size; omitted, the pragma's own
-    schedule clause applies unchanged.  [interleave_window] defaults to 4
-    parallel iterations between thread switches. *)
+    schedule clause applies unchanged.  [sched] replays a seeded
+    {!Ompsched.Dispatch} plan instead of the pragma's schedule — the
+    simulated coherence traffic then corresponds to the same execution
+    the cost model counts for that (kind, seed).  [interleave_window]
+    defaults to 4 parallel iterations between thread switches. *)
 
 type comparison = {
   fs : measurement;  (** the FS-prone chunk *)

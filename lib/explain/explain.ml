@@ -23,6 +23,8 @@ type t = {
   threads : int;
   chunk : int option;
   engine : Fsmodel.Model.engine;
+  sched : (string * int) option;
+      (* (replayed schedule kind, seed count) when nondeterministic *)
   engine_fs : int;
   total : int;
   refs : ref_info array;
@@ -52,8 +54,8 @@ let sum_desc tbl =
          let c = compare c2 c1 in
          if c <> 0 then c else compare k1 k2)
 
-let aggregate ~uri ~func ~threads ~chunk ~engine ~engine_fs ~refs ~line_bytes
-    ~layout recorder =
+let aggregate ~uri ~func ~threads ~chunk ~engine ~sched ~engine_fs ~refs
+    ~line_bytes ~layout recorder =
   let total = Fsmodel.Attrib.total recorder in
   if total <> engine_fs then
     failwith
@@ -119,6 +121,7 @@ let aggregate ~uri ~func ~threads ~chunk ~engine ~engine_fs ~refs ~line_bytes
     threads;
     chunk;
     engine;
+    sched;
     engine_fs;
     total;
     refs;
@@ -132,8 +135,8 @@ let aggregate ~uri ~func ~threads ~chunk ~engine ~engine_fs ~refs ~line_bytes
     cost = [];
   }
 
-let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
-    (cfg : Fsmodel.Model.config) ~nest ~checked =
+let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ?sched ~uri
+    ~func (cfg : Fsmodel.Model.config) ~nest ~checked =
   let refs =
     Array.of_list
       (List.mapi ref_info_of (nest : Loopir.Loop_nest.t).Loopir.Loop_nest.refs)
@@ -142,7 +145,28 @@ let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
     Fsmodel.Attrib.create ?trace_cap ~threads:cfg.Fsmodel.Model.threads
       ~nrefs:(Array.length refs) ()
   in
-  let r = Fsmodel.Model.run ~engine ~attrib:recorder cfg ~nest ~checked in
+  (* under a nondeterministic schedule every seed replays into the same
+     recorder, so the aggregates are the union over the seed set and
+     conservation holds against the summed engine count *)
+  let engine_fs, sched =
+    match sched with
+    | None ->
+        let r = Fsmodel.Model.run ~engine ~attrib:recorder cfg ~nest ~checked in
+        (r.Fsmodel.Model.fs_cases, None)
+    | Some (kind, seeds) ->
+        let sum =
+          Array.fold_left
+            (fun acc seed ->
+              let r =
+                Fsmodel.Model.run ~engine ~attrib:recorder
+                  { cfg with Fsmodel.Model.sched = Some (kind, seed) }
+                  ~nest ~checked
+              in
+              acc + r.Fsmodel.Model.fs_cases)
+            0 seeds
+        in
+        (sum, Some (Ompsched.Dispatch.kind_name kind, Array.length seeds))
+  in
   let line_bytes = Archspec.Arch.line_bytes cfg.Fsmodel.Model.arch in
   let layout = Loopir.Layout.make ~line_bytes checked in
   let verdicts =
@@ -166,12 +190,16 @@ let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
     with _ -> []
   in
   let cost =
-    try
-      let a =
-        Analysis.Reuse.analyze ~arch:cfg.Fsmodel.Model.arch
-          ?chunk:cfg.Fsmodel.Model.chunk ~threads:cfg.Fsmodel.Model.threads
-          ~params:cfg.Fsmodel.Model.params ~checked nest
-      in
+    (* the reuse model is static-schedule semantics; no Eq. 1 view for a
+       replayed nondeterministic schedule *)
+    if sched <> None then []
+    else
+      try
+        let a =
+          Analysis.Reuse.analyze ~arch:cfg.Fsmodel.Model.arch
+            ?chunk:cfg.Fsmodel.Model.chunk ~threads:cfg.Fsmodel.Model.threads
+            ~params:cfg.Fsmodel.Model.params ~checked nest
+        in
       let p = a.Analysis.Reuse.prediction in
       [
         Format.asprintf "%a" Costmodel.Total_cost.pp_eq1
@@ -187,8 +215,8 @@ let analyze ?(engine = (`Fast : Fsmodel.Model.engine)) ?trace_cap ~uri ~func
   in
   {
     (aggregate ~uri ~func ~threads:cfg.Fsmodel.Model.threads
-       ~chunk:cfg.Fsmodel.Model.chunk ~engine
-       ~engine_fs:r.Fsmodel.Model.fs_cases ~refs ~line_bytes ~layout recorder)
+       ~chunk:cfg.Fsmodel.Model.chunk ~engine ~sched ~engine_fs ~refs
+       ~line_bytes ~layout recorder)
     with
     verdicts;
     cost;
@@ -263,11 +291,18 @@ let pair_sentence t (p : pair_agg) =
 (* ------------------------------------------------------------------ *)
 
 let header t =
-  Printf.sprintf
-    "%s: %d false-sharing case(s) in %s at %d thread(s), chunk %s (%s \
-     engine)\n"
-    t.uri t.engine_fs t.func t.threads (chunk_str t.chunk)
-    (engine_name t.engine)
+  match t.sched with
+  | Some (name, seeds) ->
+      Printf.sprintf
+        "%s: %d false-sharing case(s) in %s at %d thread(s), schedule(%s) \
+         over %d seed(s) (%s engine)\n"
+        t.uri t.engine_fs t.func t.threads name seeds (engine_name t.engine)
+  | None ->
+      Printf.sprintf
+        "%s: %d false-sharing case(s) in %s at %d thread(s), chunk %s (%s \
+         engine)\n"
+        t.uri t.engine_fs t.func t.threads (chunk_str t.chunk)
+        (engine_name t.engine)
 
 let take n l = List.filteri (fun i _ -> i < n) l
 

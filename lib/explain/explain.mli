@@ -45,7 +45,11 @@ type t = {
   threads : int;
   chunk : int option;
   engine : Fsmodel.Model.engine;
-  engine_fs : int;  (** the engine's [fs_cases] *)
+  sched : (string * int) option;
+      (** (replayed schedule kind, seed count) when the analysis drove a
+          nondeterministic schedule; aggregates then cover the whole
+          seed set *)
+  engine_fs : int;  (** the engine's [fs_cases] (summed over seeds) *)
   total : int;  (** recorded events; equals [engine_fs] *)
   refs : ref_info array;
   pairs : pair_agg list;  (** descending count *)
@@ -70,6 +74,7 @@ type t = {
 val analyze :
   ?engine:Fsmodel.Model.engine ->
   ?trace_cap:int ->
+  ?sched:Ompsched.Dispatch.kind * int array ->
   uri:string ->
   func:string ->
   Fsmodel.Model.config ->
@@ -78,6 +83,10 @@ val analyze :
   t
 (** Run the model with a recorder attached and aggregate.  [trace_cap]
     bounds the per-event ring kept for {!trace_json} (default [65536]).
+    [sched] replays a nondeterministic schedule once per seed into the
+    same recorder, so pair/array/line aggregates cover the whole seed
+    set and [engine_fs] is the summed count (per-seed attribution
+    aggregation); runs are sequential — the recorder is not thread-safe.
     @raise Failure if the recorded total disagrees with the engine's
     count (a broken conservation invariant is a bug, not a result). *)
 

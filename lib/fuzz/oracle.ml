@@ -4,7 +4,15 @@
    disagreement aborts the case with a (check, detail) pair the shrinker
    and the driver key on. *)
 
-type mutation = Fast | Closed | Depend_m | Sym | Attrib_m | Exact_m | Reuse_m
+type mutation =
+  | Fast
+  | Closed
+  | Depend_m
+  | Sym
+  | Attrib_m
+  | Exact_m
+  | Reuse_m
+  | Sched_m
 
 let mutation_of_string = function
   | "fast" -> Some Fast
@@ -14,6 +22,7 @@ let mutation_of_string = function
   | "attrib" -> Some Attrib_m
   | "exact" -> Some Exact_m
   | "reuse" -> Some Reuse_m
+  | "sched" -> Some Sched_m
   | _ -> None
 
 let mutation_name = function
@@ -24,9 +33,10 @@ let mutation_name = function
   | Attrib_m -> "attrib"
   | Exact_m -> "exact"
   | Reuse_m -> "reuse"
+  | Sched_m -> "sched"
 
 let mutation_names =
-  [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact"; "reuse" ]
+  [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact"; "reuse"; "sched" ]
 
 type outcome = {
   failure : (string * string) option;
@@ -393,6 +403,93 @@ let analyze_nest ~mutate ~threads ~chunk ~brute_budget ~sym_cap ~mark ~fail
   match Analysis.Depend.free_params ~params:base_params nest with
   | [] ->
       let fs = engines base_params "concrete" in
+      (* seeded-schedule laws (concrete nests only): replay determinism
+         across runs and engines, the static-equivalence collapse, and
+         the Cole-Ramachandran steal bound against the block deal *)
+      let model ?(threads = threads) ?engine sched =
+        Fsmodel.Model.run ?engine
+          { cfg with Fsmodel.Model.threads; sched }
+          ~nest ~checked
+      in
+      let dyn1 = Ompsched.Dispatch.Dynamic { chunk = 1 } in
+      let r1 = model (Some (dyn1, 3)) in
+      let replay_fs =
+        (model (Some (dyn1, 3))).Fsmodel.Model.fs_cases
+        + (if mutate = Some Sched_m then 1 else 0)
+      in
+      let rref = model ~engine:`Reference (Some (dyn1, 3)) in
+      mark "sched/replay";
+      if
+        r1.Fsmodel.Model.fs_cases <> replay_fs
+        || r1.Fsmodel.Model.fs_cases <> rref.Fsmodel.Model.fs_cases
+      then
+        fail "sched/replay"
+          (Printf.sprintf
+             "dynamic,1 seed 3: fast counts %d then %d on replay, reference \
+              %d"
+             r1.Fsmodel.Model.fs_cases replay_fs rref.Fsmodel.Model.fs_cases);
+      (* a one-thread team, or one chunk covering the whole trip, must
+         reproduce the static deal exactly *)
+      let solo = (model ~threads:1 None).Fsmodel.Model.fs_cases in
+      let whole =
+        max 1
+          (Loopir.Loop_nest.total_iterations nest ~env:(fun v ->
+               List.assoc_opt v base_params))
+      in
+      let big =
+        (model (Some (Ompsched.Dispatch.Dynamic { chunk = whole }, 7)))
+          .Fsmodel.Model.fs_cases
+      in
+      let one = (model ~threads:1 (Some (dyn1, 9))).Fsmodel.Model.fs_cases in
+      mark "sched/static-equiv";
+      if big <> solo || one <> solo then
+        fail "sched/static-equiv"
+          (Printf.sprintf
+             "one-thread static counts %d, trip-chunk dynamic counts %d, \
+              one-thread dynamic counts %d"
+             solo big one);
+      (* work stealing departs from the block deal only at steals, and
+         each steal relocates one chunk: the extra FS cases are bounded
+         by (conflicting accesses per relocated iteration) * chunk per
+         steal *)
+      (if
+         Loopir.Loop_nest.schedule_kind nest = `Static
+         && Loopir.Loop_nest.chunk_spec nest = None
+         && chunk = None
+       then
+         let ws_chunk = 2 in
+         (* the O(chunk) of the bound is in innermost accesses: each
+            relocated parallel iteration expands to the nest's inner
+            work (loose when outer sequential loops exist — the factor
+            only ever widens the bound) *)
+         let par_trip =
+           match
+             Loopir.Loop_nest.trip_count
+               (Loopir.Loop_nest.parallel_loop nest)
+               ~env:(fun v -> List.assoc_opt v base_params)
+           with
+           | t -> max 1 t
+           | exception _ -> 1
+         in
+         let inner_per = max 1 (whole / par_trip) in
+         let per_steal = 2 * threads * nrefs * ws_chunk * inner_per in
+         List.iter
+           (fun seed ->
+             let r =
+               model
+                 (Some (Ompsched.Dispatch.Work_stealing { chunk = ws_chunk },
+                        seed))
+             in
+             mark "sched/steal-bound";
+             let bound = fs + (per_steal * r.Fsmodel.Model.steals) in
+             if r.Fsmodel.Model.fs_cases > bound then
+               fail "sched/steal-bound"
+                 (Printf.sprintf
+                    "ws,%d seed %d: %d FS case(s) with %d steal(s) exceeds \
+                     block deal %d + %d/steal"
+                    ws_chunk seed r.Fsmodel.Model.fs_cases
+                    r.Fsmodel.Model.steals fs per_steal))
+           [ 0; 1; 2 ]);
       (* the static reuse model must conserve accesses across its hit
          buckets on every nest it can evaluate *)
       (match

@@ -41,6 +41,14 @@
       at sampled values (at least as severe, per the {!Analysis.Depend}
       contract), their own must-claims survive brute force, and a
       certified quasi-polynomial matches the engine count;
+    - [sched/replay], [sched/static-equiv], [sched/steal-bound]: on
+      concrete nests, a seeded schedule replay is one value (two fast
+      runs and a reference run of [(dynamic,1)] at the same seed agree
+      exactly), a one-thread team or a chunk covering the whole trip
+      collapses dynamic dispatch back to the static deal, and — when
+      the pragma is the no-chunk static deal — every work-stealing
+      seed's FS count stays within the Cole–Ramachandran bound
+      (block-deal count plus O(chunk) extra cases per steal);
     - [reuse/conserve]: on concrete nests, the static reuse-distance
       model's hit buckets sum exactly back to its access count, and its
       miss rate and stall estimate are well-formed;
@@ -64,6 +72,7 @@ type mutation =
   | Attrib_m  (** off-by-one the attribution recorder's total *)
   | Exact_m  (** corrupt the first exact witness's iteration values *)
   | Reuse_m  (** off-by-one the reuse model's bucket conservation *)
+  | Sched_m  (** off-by-one a seeded-schedule replay's FS count *)
 
 val mutation_of_string : string -> mutation option
 val mutation_name : mutation -> string

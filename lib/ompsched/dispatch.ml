@@ -1,0 +1,240 @@
+(* Nondeterministic OpenMP schedules made deterministic by seed.
+
+   The engines evaluate a parallel region in lockstep: at step [k] every
+   thread executes the [k]-th iteration of its own sequence.  For
+   schedule(static) that sequence is the closed-form round-robin deal
+   ({!Schedule}); for dynamic, guided and work-stealing schedules it
+   depends on runtime timing, so we replay one concrete execution from a
+   seed: per-thread virtual clocks advance by a seeded jitter per grabbed
+   chunk, and the thread whose clock is lowest grabs next (ties to the
+   lowest tid, so the first round is the canonical round-robin and a
+   one-thread team or a trip-sized chunk reproduces the static deal
+   exactly).  Work stealing starts from the contiguous block partition
+   (the schedule(static) no-chunk deal), splits each block into
+   chunk-sized deque entries, pops owned work from the front and steals
+   from the back of a uniformly drawn non-empty victim. *)
+
+type kind =
+  | Dynamic of { chunk : int }
+  | Guided of { min_chunk : int }
+  | Work_stealing of { chunk : int }
+
+type plan = {
+  threads : int;
+  total : int;
+  window : int;
+  iters : int array array;
+  max_steps : int;
+  steals : int;
+}
+
+let kind_chunk = function
+  | Dynamic { chunk } | Work_stealing { chunk } -> chunk
+  | Guided { min_chunk } -> min_chunk
+
+let kind_name = function
+  | Dynamic { chunk } -> Printf.sprintf "dynamic,%d" chunk
+  | Guided { min_chunk } -> Printf.sprintf "guided,%d" min_chunk
+  | Work_stealing { chunk } -> Printf.sprintf "ws,%d" chunk
+
+(* Virtual-clock tick per iteration: 1024 plus a per-grab jitter drawn
+   from the grabbing thread's stream.  The absolute scale is arbitrary;
+   only the seeded relative drift between threads matters. *)
+let tick_base = 1024
+let tick_jitter = 512
+
+(* An extra fixed latency per steal, so stealing is never free and the
+   same seed cannot oscillate between two victims at equal clocks. *)
+let steal_latency = 257
+
+let pick_victim rng ~candidates =
+  let n = Array.length candidates in
+  if n = 0 then invalid_arg "Dispatch.pick_victim: no candidates";
+  candidates.(Prng.int rng n)
+
+(* Per-thread chunk sequences are accumulated as (lo, len) ranges, most
+   recent first, then expanded once into flat iteration arrays. *)
+let expand threads seqs counts =
+  Array.init threads (fun t ->
+      let a = Array.make counts.(t) 0 in
+      let pos = ref counts.(t) in
+      List.iter
+        (fun (lo, len) ->
+          for j = len - 1 downto 0 do
+            decr pos;
+            a.(!pos) <- lo + j
+          done)
+        seqs.(t);
+      a)
+
+let argmin_clock time =
+  let t = ref 0 in
+  for i = 1 to Array.length time - 1 do
+    if time.(i) < time.(!t) then t := i
+  done;
+  !t
+
+(* Shared-counter dispenser (dynamic and guided): the next chunk always
+   starts at the global counter; only which thread grabs it is random. *)
+let dispense ~threads ~total ~seed ~len_of =
+  let seqs = Array.make threads [] in
+  let counts = Array.make threads 0 in
+  let time = Array.make threads 0 in
+  let streams = Array.init threads (fun tid -> Prng.stream ~seed ~index:tid) in
+  let next = ref 0 in
+  while !next < total do
+    let t = argmin_clock time in
+    let remaining = total - !next in
+    let len = min remaining (len_of ~remaining) in
+    seqs.(t) <- (!next, len) :: seqs.(t);
+    counts.(t) <- counts.(t) + len;
+    next := !next + len;
+    time.(t) <- time.(t) + (len * (tick_base + Prng.int streams.(t) tick_jitter))
+  done;
+  (expand threads seqs counts, counts)
+
+let steal_run ~threads ~total ~seed ~chunk =
+  (* contiguous block partition, each block split into chunk-sized deque
+     entries; front/back indices give O(1) pop and steal *)
+  let block = Schedule.block_chunk ~threads ~total in
+  let deques =
+    Array.init threads (fun i ->
+        let lo = min total (i * block) in
+        let hi = min total ((i + 1) * block) in
+        let n = (hi - lo + chunk - 1) / chunk in
+        Array.init n (fun k ->
+            let s = lo + (k * chunk) in
+            (s, min chunk (hi - s))))
+  in
+  let front = Array.make threads 0 in
+  let back = Array.map Array.length deques in
+  let nonempty t = front.(t) < back.(t) in
+  let seqs = Array.make threads [] in
+  let counts = Array.make threads 0 in
+  let time = Array.make threads 0 in
+  let streams = Array.init threads (fun tid -> Prng.stream ~seed ~index:tid) in
+  let remaining = ref total in
+  let steals = ref 0 in
+  let victims = Array.make threads 0 in
+  while !remaining > 0 do
+    let t = argmin_clock time in
+    let lo, len, cost =
+      if nonempty t then begin
+        let r = deques.(t).(front.(t)) in
+        front.(t) <- front.(t) + 1;
+        (fst r, snd r, 0)
+      end
+      else begin
+        let n = ref 0 in
+        for v = 0 to threads - 1 do
+          if nonempty v then begin
+            victims.(!n) <- v;
+            incr n
+          end
+        done;
+        if !n = 0 then (* every deque drained mid-scan: impossible while
+                          remaining > 0, but keep the loop total *)
+          (0, 0, max_int / 2)
+        else begin
+          let v =
+            pick_victim streams.(t) ~candidates:(Array.sub victims 0 !n)
+          in
+          back.(v) <- back.(v) - 1;
+          incr steals;
+          let lo, len = deques.(v).(back.(v)) in
+          (lo, len, steal_latency)
+        end
+      end
+    in
+    if len > 0 then begin
+      seqs.(t) <- (lo, len) :: seqs.(t);
+      counts.(t) <- counts.(t) + len;
+      remaining := !remaining - len
+    end;
+    time.(t) <-
+      time.(t) + cost + (len * (tick_base + Prng.int streams.(t) tick_jitter))
+  done;
+  (expand threads seqs counts, counts, !steals)
+
+let plan ~threads ~total ~seed kind =
+  if threads < 1 then invalid_arg "Dispatch.plan: threads < 1";
+  if total < 0 then invalid_arg "Dispatch.plan: total < 0";
+  let window = kind_chunk kind in
+  if window < 1 then invalid_arg "Dispatch.plan: chunk < 1";
+  let iters, counts, steals =
+    match kind with
+    | Dynamic { chunk } ->
+        let iters, counts =
+          dispense ~threads ~total ~seed ~len_of:(fun ~remaining:_ -> chunk)
+        in
+        (iters, counts, 0)
+    | Guided { min_chunk } ->
+        let iters, counts =
+          dispense ~threads ~total ~seed ~len_of:(fun ~remaining ->
+              max min_chunk ((remaining + threads - 1) / threads))
+        in
+        (iters, counts, 0)
+    | Work_stealing { chunk } -> steal_run ~threads ~total ~seed ~chunk
+  in
+  let max_steps = Array.fold_left max 0 counts in
+  { threads; total; window; iters; max_steps; steals }
+
+let nth_iter_int p ~tid k =
+  if tid < 0 || tid >= p.threads || k < 0 then -1
+  else
+    let a = p.iters.(tid) in
+    if k < Array.length a then a.(k) else -1
+
+let max_steps_per_thread p = p.max_steps
+let window p = p.window
+let steals p = p.steals
+let iters_of_thread p ~tid = Array.to_list p.iters.(tid)
+
+let of_string s =
+  let name, chunk =
+    match String.index_opt s ',' with
+    | None -> (s, None)
+    | Some i ->
+        let c = String.sub s (i + 1) (String.length s - i - 1) in
+        (String.sub s 0 i, Some c)
+  in
+  let parse_chunk ~default =
+    match chunk with
+    | None -> Ok default
+    | Some c -> (
+        match int_of_string_opt (String.trim c) with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error (Printf.sprintf "chunk %S is not a positive integer" c))
+  in
+  match String.trim name with
+  | "static" -> (
+      match chunk with
+      | None -> Ok (`Static None)
+      | Some _ -> (
+          match parse_chunk ~default:1 with
+          | Ok c -> Ok (`Static (Some c))
+          | Error e -> Error e))
+  | "dynamic" -> (
+      match parse_chunk ~default:1 with
+      | Ok chunk -> Ok (`Kind (Dynamic { chunk }))
+      | Error e -> Error e)
+  | "guided" -> (
+      match parse_chunk ~default:1 with
+      | Ok min_chunk -> Ok (`Kind (Guided { min_chunk }))
+      | Error e -> Error e)
+  | "ws" | "work-stealing" -> (
+      match parse_chunk ~default:1 with
+      | Ok chunk -> Ok (`Kind (Work_stealing { chunk }))
+      | Error e -> Error e)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown schedule %S (one of: static, dynamic, guided, ws, each \
+            with an optional ,chunk)"
+           other)
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
+
+let pp ppf p =
+  Format.fprintf ppf "plan over %d iters on %d threads (window %d, %d steals)"
+    p.total p.threads p.window p.steals

@@ -1,0 +1,76 @@
+(** Deterministic replay of nondeterministic OpenMP schedules.
+
+    [schedule(dynamic)], [schedule(guided)] and randomized work stealing
+    assign iterations at runtime, so the false-sharing count of one
+    execution is a sample from a distribution, not a scalar.  This module
+    turns one execution into a value: a {!plan} is the per-thread
+    iteration order of a single run, fully determined by
+    [(kind, threads, total, seed)].
+
+    Dynamic and guided dispatch replay a shared chunk counter: the thread
+    whose seeded virtual clock is lowest grabs the next chunk (ties go to
+    the lowest tid, making the first round the canonical round-robin).
+    Consequently a one-thread team, or a chunk at least the trip count,
+    reproduces the schedule(static) deal exactly — the static-equivalence
+    laws the test tier pins.
+
+    Work stealing starts from the contiguous block partition (the
+    [schedule(static)] no-chunk deal) with each block split into
+    chunk-sized deque entries; owners pop from the front, and a thread
+    whose deque is empty steals the back entry of a victim drawn
+    uniformly from the non-empty deques using its own splitmix64 stream.
+    The number of steals is recorded so the Cole–Ramachandran bound
+    (extra FS misses per steal are O(chunk)) is checkable per seed. *)
+
+type kind =
+  | Dynamic of { chunk : int }  (** shared-counter chunks of fixed size *)
+  | Guided of { min_chunk : int }
+      (** shared-counter chunks of [max min_chunk (ceil (remaining/threads))] *)
+  | Work_stealing of { chunk : int }
+      (** per-thread deques over the block partition, seeded steal order *)
+
+type plan
+(** One replayed execution: per-thread iteration sequences plus the
+    steal count.  Iterations are normalized [0 .. total-1]. *)
+
+val plan : threads:int -> total:int -> seed:int -> kind -> plan
+(** @raise Invalid_argument unless [threads >= 1], [total >= 0] and the
+    kind's chunk is [>= 1]. *)
+
+val nth_iter_int : plan -> tid:int -> int -> int
+(** [nth_iter_int p ~tid k] is the iteration thread [tid] executes at its
+    own position [k], or [-1] past the thread's last iteration
+    (allocation-free, mirroring {!Schedule.nth_iter_int}). *)
+
+val max_steps_per_thread : plan -> int
+(** Longest per-thread sequence; the lockstep-evaluation depth. *)
+
+val window : plan -> int
+(** The dispatch granularity (chunk / min_chunk): the engines count one
+    chunk run per [window] lockstep steps, mirroring the static deal. *)
+
+val steals : plan -> int
+(** Steal events in this replay (always 0 for dynamic/guided). *)
+
+val iters_of_thread : plan -> tid:int -> int list
+(** A thread's iterations in execution order (test-sized inputs). *)
+
+val kind_chunk : kind -> int
+(** The kind's dispatch granularity (chunk or min_chunk). *)
+
+val kind_name : kind -> string
+(** Canonical spelling, e.g. ["dynamic,1"], ["guided,4"], ["ws,2"] —
+    used in diagnostics, SARIF and service cache keys. *)
+
+val pick_victim : Prng.t -> candidates:int array -> int
+(** Uniform draw from [candidates] (exposed for the uniformity test).
+    @raise Invalid_argument when [candidates] is empty. *)
+
+val of_string :
+  string -> ([ `Static of int option | `Kind of kind ], string) result
+(** Parse a [--schedule] argument: [static], [dynamic], [guided] or [ws]
+    ([work-stealing] accepted), each with an optional [,chunk].  The
+    error string names the valid spellings. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> plan -> unit

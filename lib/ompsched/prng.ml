@@ -1,0 +1,36 @@
+(* splitmix64: the schedule-replay generator.  The whole state is one
+   64-bit word and a stream is derivable from (seed, index) alone, which
+   is exactly the determinism-by-seed contract the dispatcher needs: a
+   (seed, thread) pair names one reproducible random sequence, and
+   distinct threads' streams are decorrelated by running the index
+   through the finalizer before folding the seed in. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let stream ~seed ~index =
+  let s = mix (Int64.add (mix (Int64.of_int index)) (Int64.of_int seed)) in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* 62 uniform bits; modulo bias is negligible at dispatcher bounds *)
+  Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound

@@ -1,0 +1,23 @@
+(** Seeded splitmix64 streams for schedule replay.
+
+    Nondeterministic schedules (dynamic/guided dispatch order, work-stealing
+    victim selection) are modeled as deterministic functions of a seed: every
+    random draw comes from a stream fully determined by [(seed, index)], so
+    the same seed always replays the same plan.  Distinct indices (one per
+    thread/deque) give statistically independent streams. *)
+
+type t
+
+val mix : int64 -> int64
+(** The splitmix64 finalizer (exposed for stream-independence tests). *)
+
+val next : t -> int64
+(** Advance the state by the golden-ratio gamma and finalize. *)
+
+val stream : seed:int -> index:int -> t
+(** The stream for [(seed, index)].  Distinct indices are decorrelated by
+    finalizing the index before folding the seed in. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)

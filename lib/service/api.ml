@@ -422,7 +422,7 @@ let run_analyze store ~digest ~text req ~func ~threads ~fs_chunk ~nfs_chunk
       end
 
 let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-    ~params ~fail_on ~exact ~exact_budget ~cost_model =
+    ~params ~fail_on ~exact ~exact_budget ~cost_model ~sched ~seeds =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   let c = checked store ~digest ~text in
@@ -436,6 +436,8 @@ let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
       exact;
       exact_budget;
       cost_model;
+      sched;
+      seeds;
     }
   in
   let report = Analysis.Lint.run ~opts ~uri c in
@@ -458,7 +460,7 @@ let run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
   { output; err = ""; code = (if gate then 1 else 0) }
 
 let run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params
-    ~engine ~format ~top ~trace_cap =
+    ~engine ~format ~top ~trace_cap ~sched ~seeds =
   let buf = Buffer.create 1024 in
   guard buf @@ fun () ->
   match func_for store ~digest ~text req func with
@@ -474,8 +476,12 @@ let run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params
           params;
         }
       in
+      let sched =
+        Option.map (fun k -> (k, Array.init seeds (fun i -> i))) sched
+      in
       let a =
-        Explain.analyze ~engine ?trace_cap ~uri ~func cfg ~nest ~checked:c
+        Explain.analyze ~engine ?trace_cap ?sched ~uri ~func cfg ~nest
+          ~checked:c
       in
       let output =
         match format with
@@ -578,13 +584,26 @@ let compute store (req : Req.t) ~uri ~text =
         exact;
         exact_budget;
         cost_model;
+        sched;
+        seeds;
       } ->
       run_lint store ~digest ~text ~uri req ~threads ~chunk ~json ~fixits
-        ~params ~fail_on ~exact ~exact_budget ~cost_model
-  | Req.Explain { func; threads; chunk; params; engine; format; top; trace_cap }
-    ->
+        ~params ~fail_on ~exact ~exact_budget ~cost_model ~sched ~seeds
+  | Req.Explain
+      {
+        func;
+        threads;
+        chunk;
+        params;
+        engine;
+        format;
+        top;
+        trace_cap;
+        sched;
+        seeds;
+      } ->
       run_explain store ~digest ~text ~uri req ~func ~threads ~chunk ~params
-        ~engine ~format ~top ~trace_cap
+        ~engine ~format ~top ~trace_cap ~sched ~seeds
   | Req.Advise { func; threads; jobs } ->
       run_advise store ~digest ~text req ~func ~threads ~jobs
   | Req.Eliminate { func; threads } ->

@@ -34,6 +34,8 @@ type kind =
       exact : exact_mode;
       exact_budget : int;
       cost_model : cost_model;
+      sched : Ompsched.Dispatch.kind option;
+      seeds : int;
     }
   | Explain of {
       func : string option;
@@ -44,6 +46,8 @@ type kind =
       format : [ `Text | `Heatmap | `Trace ];
       top : int;
       trace_cap : int option;
+      sched : Ompsched.Dispatch.kind option;
+      seeds : int;
     }
   | Advise of { func : string option; threads : int; jobs : int option }
   | Eliminate of { func : string option; threads : int }
@@ -67,6 +71,8 @@ let lint_defaults source =
          exact = `Auto;
          exact_budget = Analysis.Depend.default_exact_budget;
          cost_model = `Sim;
+         sched = None;
+         seeds = 8;
        })
 
 (* ------------------------------------------------------------------ *)
@@ -134,6 +140,15 @@ let params_key params =
 let opt_int = function None -> "-" | Some i -> string_of_int i
 let opt_str = function None -> "-" | Some s -> s
 
+(* the schedule component of a cache key: distribution output depends on
+   both the replayed kind and the seed-set size *)
+let sched_key sched seeds =
+  Printf.sprintf "%s/%d"
+    (match sched with
+    | None -> "-"
+    | Some k -> Ompsched.Dispatch.kind_name k)
+    seeds
+
 let kind_key = function
   | Analyze
       {
@@ -164,22 +179,36 @@ let kind_key = function
         exact;
         exact_budget;
         cost_model;
+        sched;
+        seeds;
       } ->
-      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s:%s:%d:%s" threads (opt_int chunk)
-        json fixits (params_key params)
+      Printf.sprintf "lint:%d:%s:%b:%b:%s:%s:%s:%d:%s:%s" threads
+        (opt_int chunk) json fixits (params_key params)
         (match fail_on with Race -> "race" | Fs -> "fs" | Never -> "never")
         (exact_name exact) exact_budget
         (Analysis.Lint.cost_model_name cost_model)
-  | Explain { func; threads; chunk; params; engine; format; top; trace_cap }
-    ->
-      Printf.sprintf "explain:%s:%d:%s:%s:%s:%s:%d:%s" (opt_str func)
+        (sched_key sched seeds)
+  | Explain
+      {
+        func;
+        threads;
+        chunk;
+        params;
+        engine;
+        format;
+        top;
+        trace_cap;
+        sched;
+        seeds;
+      } ->
+      Printf.sprintf "explain:%s:%d:%s:%s:%s:%s:%d:%s:%s" (opt_str func)
         threads (opt_int chunk) (params_key params)
         (match engine with `Fast -> "fast" | `Reference -> "reference")
         (match format with
         | `Text -> "text"
         | `Heatmap -> "heatmap"
         | `Trace -> "trace")
-        top (opt_int trace_cap)
+        top (opt_int trace_cap) (sched_key sched seeds)
   | Advise { func; threads; jobs = _ } ->
       (* jobs only parallelizes the sweep; results are identical *)
       Printf.sprintf "advise:%s:%d" (opt_str func) threads
@@ -306,6 +335,27 @@ let decode_cost_model params =
   field_enum params "cost_model" `Sim
     [ ("sim", `Sim); ("analytic", `Analytic); ("both", `Both) ]
 
+(* "schedule": "dynamic,2" | "guided" | "ws,4" | "static".  Static is
+   the default path (use "chunk" for a static chunk), so it maps to no
+   replayed kind. *)
+let decode_sched params =
+  let* s = field_str_opt params "schedule" in
+  match s with
+  | None -> Ok None
+  | Some s -> (
+      match Ompsched.Dispatch.of_string s with
+      | Ok (`Kind k) -> Ok (Some k)
+      | Ok (`Static None) -> Ok None
+      | Ok (`Static (Some _)) ->
+          Error
+            "field \"schedule\": use \"chunk\" for a static chunk \
+             (\"schedule\" takes static without one)"
+      | Error m -> Error (Printf.sprintf "field \"schedule\": %s" m))
+
+let decode_seeds params =
+  let* seeds = field_int params "seeds" 8 in
+  if seeds < 1 then Error "field \"seeds\" must be >= 1" else Ok seeds
+
 let decode_exact params =
   let* exact =
     field_enum params "exact" `Auto
@@ -356,6 +406,8 @@ let of_json ~meth params =
         in
         let* exact, exact_budget = decode_exact params in
         let* cost_model = decode_cost_model params in
+        let* sched = decode_sched params in
+        let* seeds = decode_seeds params in
         Ok
           (Lint
              {
@@ -368,6 +420,8 @@ let of_json ~meth params =
                exact;
                exact_budget;
                cost_model;
+               sched;
+               seeds;
              })
     | "explain" ->
         let* func = field_str_opt params "func" in
@@ -383,6 +437,8 @@ let of_json ~meth params =
         in
         let* top = field_int params "top" 3 in
         let* trace_cap = field_int_opt params "trace_cap" in
+        let* sched = decode_sched params in
+        let* seeds = decode_seeds params in
         Ok
           (Explain
              {
@@ -394,6 +450,8 @@ let of_json ~meth params =
                format;
                top;
                trace_cap;
+               sched;
+               seeds;
              })
     | "advise" ->
         let* func = field_str_opt params "func" in

@@ -51,6 +51,10 @@ type kind =
       exact : exact_mode;  (** exact dependence tier (see {!Analysis.Lint}) *)
       exact_budget : int;
       cost_model : cost_model;
+      sched : Ompsched.Dispatch.kind option;
+          (** replay a nondeterministic schedule ([--schedule]); [None]
+              follows the pragma *)
+      seeds : int;  (** seed-set size for distribution-valued verdicts *)
     }
   | Explain of {
       func : string option;
@@ -61,6 +65,10 @@ type kind =
       format : [ `Text | `Heatmap | `Trace ];
       top : int;
       trace_cap : int option;
+      sched : Ompsched.Dispatch.kind option;
+          (** replay a nondeterministic schedule; attribution aggregates
+              across the seed set *)
+      seeds : int;
     }
   | Advise of { func : string option; threads : int; jobs : int option }
   | Eliminate of { func : string option; threads : int }

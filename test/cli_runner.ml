@@ -28,6 +28,16 @@ let scenarios =
     (* cmdliner-level errors: missing file, invalid enum value *)
     (Code_only, "lint --no-fixits fixtures/no_such_file.c");
     (Code_only, "lint --fail-on bogus fixtures/racy_stencil.c");
+    (* schedule flags are validated by fsdetect itself: actionable
+       stderr and exit 2 *)
+    (With_stderr, "lint --no-fixits --schedule bogus fixtures/struct_adjacent.c");
+    (With_stderr,
+     "lint --no-fixits --schedule dynamic,0 fixtures/struct_adjacent.c");
+    (With_stderr, "lint --no-fixits --seeds 0 fixtures/struct_adjacent.c");
+    (With_stderr,
+     "lint --no-fixits --schedule static,4 --chunk 2 fixtures/struct_adjacent.c");
+    (With_stderr,
+     "explain --schedule work-stealing,nope fixtures/struct_adjacent.c");
   ]
 
 let () =

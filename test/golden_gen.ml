@@ -6,7 +6,9 @@
 let usage =
   "golden_gen (--kernel NAME | --sym-kernel NAME | FILE.c) OUT.txt OUT.json\n\
    golden_gen --analytic NAME OUT.txt OUT.json\n\
-   golden_gen (--explain NAME | --explain-file FILE.c) OUT.txt OUT.heatmap"
+   golden_gen --sched NAME KIND OUT.txt OUT.json\n\
+   golden_gen (--explain NAME | --explain-file FILE.c | --explain-sched NAME \
+   KIND) OUT.txt OUT.heatmap"
 
 let fail msg =
   prerr_endline msg;
@@ -24,10 +26,17 @@ let write_file path s =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc s)
 
+let parse_kind spec =
+  match Ompsched.Dispatch.of_string spec with
+  | Ok (`Kind k) -> k
+  | Ok (`Static _) -> fail "use the plain lint/explain modes for static"
+  | Error m -> fail m
+
 (* Explain goldens: the first parallel function's first nest, default
    lint configuration (8 threads), annotated text report plus the ASCII
-   heatmap. *)
-let explain_outputs ~uri ~source checked outs =
+   heatmap.  [sched] aggregates the attribution over the fixed seed set
+   0..7 of a replayed schedule. *)
+let explain_outputs ?sched ~uri ~source checked outs =
   let func =
     match
       Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog
@@ -39,7 +48,10 @@ let explain_outputs ~uri ~source checked outs =
   let params = [ ("num_threads", threads) ] in
   let nest = Loopir.Lower.lower checked ~func ~params in
   let cfg = { (Fsmodel.Model.default_config ~threads ()) with params } in
-  let a = Explain.analyze ~uri ~func cfg ~nest ~checked in
+  let sched =
+    Option.map (fun kind -> (kind, Array.init 8 (fun i -> i))) sched
+  in
+  let a = Explain.analyze ?sched ~uri ~func cfg ~nest ~checked in
   if not (Explain.conservation_ok a) then
     fail ("attribution does not sum back to the engine count for " ^ uri);
   match outs with
@@ -100,9 +112,42 @@ let analytic_outputs name outs =
             (Analysis.Json.to_string (Analysis.Diag.to_json report))
       | _ -> fail usage)
 
+(* Schedule-mode lint goldens: the same pass with a seeded replayed
+   schedule and the fixed seed set 0..7, pinning the distributional
+   verdict text (mean/p95) and the SARIF scheduleKind/fsDistribution
+   properties. *)
+let sched_outputs name spec outs =
+  match Kernels.Registry.find name with
+  | None -> fail ("unknown kernel " ^ name)
+  | Some k -> (
+      let uri = "kernel:" ^ name in
+      let checked = Kernels.Kernel.parse k in
+      let opts =
+        {
+          Analysis.Lint.default_options with
+          sched = Some (parse_kind spec);
+          seeds = 8;
+        }
+      in
+      let report = Analysis.Lint.run ~opts ~uri checked in
+      match outs with
+      | [ otxt; ojson ] ->
+          write_file otxt (Analysis.Diag.to_text report);
+          write_file ojson
+            (Analysis.Json.to_string (Analysis.Diag.to_json report))
+      | _ -> fail usage)
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--analytic" :: name :: rest -> analytic_outputs name rest
+  | _ :: "--sched" :: name :: spec :: rest -> sched_outputs name spec rest
+  | _ :: "--explain-sched" :: name :: spec :: rest -> (
+      match Kernels.Registry.find name with
+      | Some k ->
+          explain_outputs ~sched:(parse_kind spec)
+            ~uri:("kernel:" ^ name)
+            ~source:k.Kernels.Kernel.source (Kernels.Kernel.parse k) rest
+      | None -> fail ("unknown kernel " ^ name))
   | _ :: "--explain" :: name :: rest -> (
       match Kernels.Registry.find name with
       | Some k ->

@@ -335,15 +335,26 @@ void saxpy(void) {
   | Value.V_float f -> check (Alcotest.float 1e-9) "y[33]" (33. *. 3.0) f
   | _ -> fail "float"
 
-let test_model_rejects_dynamic () =
+let test_model_replays_dynamic () =
+  (* a schedule(dynamic) pragma is replayed at seed 0 instead of being
+     rejected: the run matches an explicit sched override at seed 0 *)
   let checked = checked_of (dyn_src "dynamic") in
   let nest =
     Loopir.Lower.lower checked ~func:"f" ~params:[ ("num_threads", 4) ]
   in
   let cfg = Fsmodel.Model.default_config ~threads:4 () in
-  match Fsmodel.Model.run cfg ~nest ~checked with
-  | exception Invalid_argument _ -> ()
-  | _ -> fail "the model must reject non-static schedules"
+  let pragma = Fsmodel.Model.run cfg ~nest ~checked in
+  let explicit =
+    Fsmodel.Model.run
+      {
+        cfg with
+        Fsmodel.Model.sched =
+          Some (Ompsched.Dispatch.Dynamic { chunk = 1 }, 0);
+      }
+      ~nest ~checked
+  in
+  check Alcotest.int "pragma replay = explicit seed 0"
+    explicit.Fsmodel.Model.fs_cases pragma.Fsmodel.Model.fs_cases
 
 let test_window_reduces_fs () =
   (* larger interleave window batches a thread's writes to a line, so FS
@@ -509,8 +520,8 @@ let () =
             test_dynamic_and_guided_schedules;
           Alcotest.test_case "dynamic compound update" `Quick
             test_dynamic_spreads_work;
-          Alcotest.test_case "model rejects dynamic" `Quick
-            test_model_rejects_dynamic;
+          Alcotest.test_case "model replays dynamic" `Quick
+            test_model_replays_dynamic;
           Alcotest.test_case "exec twice accumulates" `Quick
             test_exec_twice_accumulates;
           Alcotest.test_case "read_global errors" `Quick

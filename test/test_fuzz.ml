@@ -69,6 +69,9 @@ let floors =
     ("execsim/run", 2);
     ("reuse/conserve", 100);
     ("reuse/sim", 2);
+    ("sched/replay", 100);
+    ("sched/static-equiv", 100);
+    ("sched/steal-bound", 15);
   ]
 
 let test_clean_run () =
@@ -148,6 +151,7 @@ let mutation_cases =
     (Fuzz.Oracle.Attrib_m, [ "attrib/conserve" ]);
     (Fuzz.Oracle.Exact_m, [ "exact/witness" ]);
     (Fuzz.Oracle.Reuse_m, [ "reuse/conserve" ]);
+    (Fuzz.Oracle.Sched_m, [ "sched/replay" ]);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -122,6 +122,133 @@ let prop_nth_matches_list =
           && Schedule.nth_iter_of_thread s ~tid (List.length l) = None)
         (List.init s.Schedule.threads (fun t -> t)))
 
+(* ------------------------------------------------------------------ *)
+(* Seeded PRNG streams                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let draws () =
+    let t = Prng.stream ~seed:5 ~index:3 in
+    List.init 32 (fun _ -> Prng.next t)
+  in
+  check (Alcotest.list Alcotest.int64) "same (seed, index), same stream"
+    (draws ()) (draws ())
+
+(* distinct per-deque indices must give independent streams: across 16
+   indices x 256 draws, splitmix64's finalizer makes a collision
+   astronomically unlikely, so any repeat means the index folding is
+   broken (e.g. two deques sharing a stream) *)
+let test_prng_stream_independence () =
+  let tbl = Hashtbl.create 8192 in
+  for index = 0 to 15 do
+    let t = Prng.stream ~seed:42 ~index in
+    for draw = 0 to 255 do
+      let v = Prng.next t in
+      (match Hashtbl.find_opt tbl v with
+      | Some (i0, d0) ->
+          Alcotest.failf
+            "streams %d (draw %d) and %d (draw %d) collide on %Ld" i0 d0
+            index draw v
+      | None -> ());
+      Hashtbl.add tbl v (index, draw)
+    done
+  done;
+  (* and the finalizer itself is not the identity on small inputs *)
+  check Alcotest.bool "mix moves small inputs" true
+    (Prng.mix 1L <> 1L && Prng.mix 2L <> 2L && Prng.mix 1L <> Prng.mix 2L)
+
+(* victim selection draws uniformly from the candidate deques: over 10k
+   draws every candidate's frequency is within 20% of expectation *)
+let prop_pick_victim_uniform =
+  QCheck2.Test.make ~name:"pick_victim is uniform over 10k draws" ~count:30
+    QCheck2.Gen.(
+      pair (int_range 2 8) (int_range 0 1000))
+    (fun (ncand, seed) ->
+      let candidates = Array.init ncand (fun i -> (i * 3) + 1) in
+      let t = Prng.stream ~seed ~index:9 in
+      let counts = Hashtbl.create 8 in
+      let draws = 10_000 in
+      for _ = 1 to draws do
+        let v = Dispatch.pick_victim t ~candidates in
+        if not (Array.exists (( = ) v) candidates) then
+          QCheck2.Test.fail_reportf "drew %d, not a candidate" v;
+        Hashtbl.replace counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      done;
+      let expected = float_of_int draws /. float_of_int ncand in
+      Array.for_all
+        (fun c ->
+          let n =
+            float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts c))
+          in
+          Float.abs (n -. expected) <= 0.2 *. expected)
+        candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_kinds =
+  [
+    Dispatch.Dynamic { chunk = 1 };
+    Dispatch.Dynamic { chunk = 3 };
+    Dispatch.Guided { min_chunk = 2 };
+    Dispatch.Work_stealing { chunk = 1 };
+    Dispatch.Work_stealing { chunk = 4 };
+  ]
+
+let plan_gen =
+  QCheck2.Gen.(
+    map3
+      (fun threads total (kind, seed) ->
+        (1 + (threads mod 8), total mod 150, List.nth dispatch_kinds kind, seed))
+      (map abs small_int) (map abs small_int)
+      (pair (int_range 0 (List.length dispatch_kinds - 1)) (int_range 0 99)))
+
+let prop_plan_partitions =
+  QCheck2.Test.make ~name:"every plan partitions the iteration space"
+    ~count:300 plan_gen (fun (threads, total, kind, seed) ->
+      let p = Dispatch.plan ~threads ~total ~seed kind in
+      let all =
+        List.concat
+          (List.init threads (fun tid -> Dispatch.iters_of_thread p ~tid))
+      in
+      List.sort compare all = List.init total (fun i -> i))
+
+let prop_plan_replays =
+  QCheck2.Test.make ~name:"same (kind, seed), same plan" ~count:200 plan_gen
+    (fun (threads, total, kind, seed) ->
+      let seqs p =
+        List.init threads (fun tid -> Dispatch.iters_of_thread p ~tid)
+      in
+      let a = Dispatch.plan ~threads ~total ~seed kind
+      and b = Dispatch.plan ~threads ~total ~seed kind in
+      seqs a = seqs b && Dispatch.steals a = Dispatch.steals b)
+
+let prop_plan_static_equiv =
+  QCheck2.Test.make
+    ~name:"one thread, or one chunk covering the trip, is the static deal"
+    ~count:200 plan_gen (fun (threads, total, kind, seed) ->
+      let in_order = List.init total (fun i -> i) in
+      let solo = Dispatch.plan ~threads:1 ~total ~seed kind in
+      let whole =
+        Dispatch.plan ~threads ~total ~seed
+          (Dispatch.Dynamic { chunk = max 1 total })
+      in
+      Dispatch.iters_of_thread solo ~tid:0 = in_order
+      && Dispatch.steals solo = 0
+      && Dispatch.iters_of_thread whole ~tid:0 = in_order)
+
+let prop_no_steals_without_stealing =
+  QCheck2.Test.make ~name:"dynamic and guided plans never steal" ~count:200
+    plan_gen (fun (threads, total, _, seed) ->
+      Dispatch.steals (Dispatch.plan ~threads ~total ~seed
+                         (Dispatch.Dynamic { chunk = 2 }))
+      = 0
+      && Dispatch.steals (Dispatch.plan ~threads ~total ~seed
+                            (Dispatch.Guided { min_chunk = 1 }))
+         = 0)
+
 let test_team () =
   let t = Team.make ~threads:24 () in
   check Alcotest.int "socket of 0" 0 (Team.socket_of t 0);
@@ -162,6 +289,21 @@ let () =
           QCheck_alcotest.to_alcotest prop_owner_consistent;
           QCheck_alcotest.to_alcotest prop_counts_sum;
           QCheck_alcotest.to_alcotest prop_nth_matches_list;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic streams" `Quick
+            test_prng_deterministic;
+          Alcotest.test_case "stream independence" `Quick
+            test_prng_stream_independence;
+          QCheck_alcotest.to_alcotest prop_pick_victim_uniform;
+        ] );
+      ( "dispatch",
+        [
+          QCheck_alcotest.to_alcotest prop_plan_partitions;
+          QCheck_alcotest.to_alcotest prop_plan_replays;
+          QCheck_alcotest.to_alcotest prop_plan_static_equiv;
+          QCheck_alcotest.to_alcotest prop_no_steals_without_stealing;
         ] );
       ("team", [ Alcotest.test_case "sockets" `Quick test_team ]);
       ("overhead", [ Alcotest.test_case "formulas" `Quick test_overhead ]);

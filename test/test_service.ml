@@ -51,6 +51,8 @@ let requests () =
           exact = `Auto;
           exact_budget = Analysis.Depend.default_exact_budget;
           cost_model = `Sim;
+          sched = None;
+          seeds = 8;
         };
       Lint
         {
@@ -63,6 +65,8 @@ let requests () =
           exact = `On;
           exact_budget = 2000;
           cost_model = `Analytic;
+          sched = None;
+          seeds = 8;
         };
       Explain
         {
@@ -74,6 +78,8 @@ let requests () =
           format = `Text;
           top = 3;
           trace_cap = None;
+          sched = None;
+          seeds = 8;
         };
       Explain
         {
@@ -85,6 +91,8 @@ let requests () =
           format = `Heatmap;
           top = 3;
           trace_cap = Some 64;
+          sched = None;
+          seeds = 8;
         };
       Advise { func = None; threads = 8; jobs = Some 1 };
       Eliminate { func = None; threads = 8 };
