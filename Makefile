@@ -1,4 +1,4 @@
-.PHONY: all build verify bench bench-smoke serve-smoke fuzz-smoke sched-smoke doc clean
+.PHONY: all build verify bench bench-smoke serve-smoke fuzz-smoke fix-verify sched-smoke doc clean
 
 all: build
 
@@ -29,6 +29,7 @@ verify:
 	./_build/default/bin/fsdetect.exe analyze --cost-model analytic --format json -k heat | grep -q '"costModel": "analytic"'
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) fix-verify
 	$(MAKE) sched-smoke
 
 # Analytic-vs-simulator accuracy gate: every registry kernel's reuse
@@ -54,6 +55,18 @@ serve-smoke: build
 fuzz-smoke: build
 	./_build/default/bin/fsdetect.exe fuzz --seed 42 --count 1000000 \
 	  --time-budget 60 --corpus test/corpus --out fuzz-failures
+
+# The verified-fix gate: every registry and micro-pattern kernel with
+# attributed false sharing must get a materialized transformed program
+# that removes >= 90% of it with no analytic cost regression and a
+# simulator-confirmed drop in false invalidation misses; clean kernels
+# must report an explicitly empty plan.  Then a short seeded mining run:
+# generated nests whose materialized fix underdelivers are promoted into
+# test/corpus as content-addressed fix-<digest>.c regression seeds.
+fix-verify: build
+	./_build/default/test/fix_verify.exe
+	./_build/default/bin/fsdetect.exe fuzz --seed 7 --count 400 \
+	  --promote test/corpus --out fuzz-failures
 
 # The seeded-schedule tier: the statistical test binary (replay
 # determinism, per-seed cross-engine equality on both engines, static

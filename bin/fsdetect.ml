@@ -7,6 +7,7 @@
      simulate   execute on the simulated multicore and report measured times
      advise     chunk-size / padding advice to eliminate false sharing
      eliminate  rewrite the program (padding / spreading) and print it
+     fix        materialize the advised fix and verify it by re-analysis
      compare    model vs predictor vs runtime trace detector, per chunk
      fuzz       differential fuzzing of the four analysis paths
      serve      long-running JSON-RPC analysis service with a memo cache
@@ -468,6 +469,38 @@ let eliminate_cmd =
     Term.(const eliminate $ file_arg $ kernel_arg $ func_arg $ threads_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fix                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fix file kernel func threads jobs json =
+  wrap @@ fun () ->
+  match source_of ~file ~kernel with
+  | Error e -> Printf.eprintf "%s\n" e; exit 1
+  | Ok source ->
+      exec
+        (Service.Req.v source (Service.Req.Fix { func; threads; jobs; json }))
+
+let fix_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the verdict as one JSON object (including the \
+                   transformed source under $(b,transformedSource)).")
+  in
+  Cmd.v
+    (Cmd.info "fix"
+       ~doc:
+         "Materialize the advised fix (padding / spreading / privatization \
+          / chunk retuning) and verify it by re-analysis: re-run both \
+          model engines, the dependence analysis and the analytic cost \
+          model on the transformed program, and report the attributed-FS \
+          removal, cost ratio and verdict followed by the transformed \
+          source (exit 1 when the fix does not verify; a nest with no \
+          attributed false sharing reports nothing to fix and exits 0)")
+    Term.(const fix $ file_arg $ kernel_arg $ func_arg $ threads_arg
+          $ jobs_arg $ json)
+
+(* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -499,7 +532,8 @@ let compare_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz seed count time_budget jobs out corpus inject max_failures quiet =
+let fuzz seed count time_budget jobs out corpus promote inject max_failures
+    quiet =
   wrap @@ fun () ->
   let mutate =
     match inject with
@@ -522,6 +556,7 @@ let fuzz seed count time_budget jobs out corpus inject max_failures quiet =
       mutate;
       out_dir = Some out;
       corpus;
+      promote_dir = promote;
       max_failures;
     }
   in
@@ -555,12 +590,21 @@ let fuzz_cmd =
              ~doc:"Replay every .c file of DIR through the oracle matrix \
                    before generating random cases.")
   in
+  let promote =
+    Arg.(value & opt (some string) None
+         & info [ "promote" ] ~docv:"DIR"
+             ~doc:"Corpus mining: write any generated nest whose \
+                   materialized fix underdelivers (fails the \
+                   $(b,fix/verified) gate without being an oracle \
+                   disagreement) to DIR under a content-addressed name, \
+                   so the regression corpus grows from fuzzing runs.")
+  in
   let inject =
     Arg.(value & opt (some string) None
          & info [ "inject" ] ~docv:"FAULT"
              ~doc:"Harness self-test: inject a known fault (one of \
-                   $(b,fast), $(b,closed), $(b,depend), $(b,sym)) and \
-                   expect the matrix to catch it.")
+                   $(b,fast), $(b,closed), $(b,depend), $(b,sym), \
+                   $(b,fix), ...) and expect the matrix to catch it.")
   in
   let max_failures =
     Arg.(value & opt int 1
@@ -580,7 +624,7 @@ let fuzz_cmd =
           on any disagreement, with a shrunk counterexample written to \
           $(b,--out))")
     Term.(const fuzz $ seed $ count $ time_budget $ jobs_arg $ out $ corpus
-          $ inject $ max_failures $ quiet)
+          $ promote $ inject $ max_failures $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -604,8 +648,8 @@ let serve_cmd =
           / response stages), so repeated or incrementally-edited requests \
           are answered from cache; $(b,batch) requests shard across \
           $(b,--jobs) worker domains and stream per-item results.  Methods: \
-          analyze, lint, explain, advise, eliminate, dump, batch, ping, \
-          version, kernels, cache_stats, shutdown.")
+          analyze, lint, explain, advise, eliminate, fix, dump, batch, \
+          ping, version, kernels, cache_stats, shutdown.")
     Term.(const serve $ jobs_arg $ capacity)
 
 (* ------------------------------------------------------------------ *)
@@ -613,13 +657,15 @@ let serve_cmd =
 (* ------------------------------------------------------------------ *)
 
 let kernels () =
-  List.iter
-    (fun k ->
-      Printf.printf "%-18s %s (func %s, chunks %d vs %d)\n"
-        k.Kernels.Kernel.name k.Kernels.Kernel.description
-        k.Kernels.Kernel.func k.Kernels.Kernel.fs_chunk
-        k.Kernels.Kernel.nfs_chunk)
-    (Kernels.Registry.all ())
+  let line k =
+    Printf.printf "%-18s %s (func %s, chunks %d vs %d)\n"
+      k.Kernels.Kernel.name k.Kernels.Kernel.description
+      k.Kernels.Kernel.func k.Kernels.Kernel.fs_chunk
+      k.Kernels.Kernel.nfs_chunk
+  in
+  List.iter line (Kernels.Registry.all ());
+  Printf.printf "micro-patterns:\n";
+  List.iter line (Kernels.Registry.micros ())
 
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"List bundled kernels")
@@ -645,5 +691,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; lint_cmd; explain_cmd; simulate_cmd; advise_cmd;
-            eliminate_cmd; compare_cmd; fuzz_cmd; serve_cmd; kernels_cmd;
-            dump_cmd ]))
+            eliminate_cmd; fix_cmd; compare_cmd; fuzz_cmd; serve_cmd;
+            kernels_cmd; dump_cmd ]))

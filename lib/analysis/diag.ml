@@ -28,6 +28,18 @@ type finding = {
   dist : Dist.t option;
       (* FS distribution over the replayed seed set, when the lint ran a
          nondeterministic schedule *)
+  fix_verified : fix_verified option;
+      (* evidence from re-analyzing the materialized fix, when the lint
+         ran with fixits on a concrete static schedule *)
+}
+
+and fix_verified = {
+  fv_rewrites : string list;  (* Transform.describe, one per rewrite *)
+  fv_fs_before : int;
+  fv_fs_after : int;
+  fv_removal : float;  (* percent of attributed FS removed *)
+  fv_cost_ratio : float option;  (* after/before analytic Total_c *)
+  fv_ok : bool;  (* the full verification verdict *)
 }
 
 and cost = {
@@ -111,6 +123,19 @@ let to_text r =
                "  miss: %.2f%% predicted miss rate, %.0f memory fetches \
                 [%s]\n"
                (100. *. c.miss_rate) c.mem_fetches c.cost_model)
+      | None -> ());
+      (match f.fix_verified with
+      | Some v ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  fix-verified: %s; N_fs %d -> %d (%.1f%% removed), cost %s \
+                [%s]\n"
+               (String.concat "; " v.fv_rewrites)
+               v.fv_fs_before v.fv_fs_after v.fv_removal
+               (match v.fv_cost_ratio with
+               | Some r -> Printf.sprintf "%.2fx" r
+               | None -> "n/a")
+               (if v.fv_ok then "VERIFIED" else "UNVERIFIED"))
       | None -> ());
       List.iter
         (fun a -> Buffer.add_string buf (Printf.sprintf "  top: %s\n" a))
@@ -213,6 +238,24 @@ let to_json r =
                          ("fsPercent", Float c.fs_percent);
                          ("memFetches", Float c.mem_fetches);
                        ] );
+                 ]
+             | None -> [])
+           @ (match f.fix_verified with
+             | Some v ->
+                 [
+                   ( "fixVerified",
+                     Obj
+                       ([
+                          ( "rewrites",
+                            List (List.map (fun s -> Str s) v.fv_rewrites) );
+                          ("fsBefore", Int v.fv_fs_before);
+                          ("fsAfter", Int v.fv_fs_after);
+                          ("removalPercent", Float v.fv_removal);
+                        ]
+                       @ (match v.fv_cost_ratio with
+                         | Some r -> [ ("costRatio", Float r) ]
+                         | None -> [])
+                       @ [ ("verified", Bool v.fv_ok) ]) );
                  ]
              | None -> [])
            @

@@ -46,6 +46,22 @@ type finding = {
   dist : Dist.t option;
       (** the FS distribution over the replayed seed set: a text
           [fs-dist:] line and the SARIF [fsDistribution] property *)
+  fix_verified : fix_verified option;
+      (** evidence from re-analyzing the materialized fix (see
+          {!Fixer}), attached when the lint ran with fixits on a
+          concrete static schedule: a text [fix-verified:] line and the
+          SARIF [fixVerified] property *)
+}
+
+and fix_verified = {
+  fv_rewrites : string list;
+      (** one [Transform.describe] line per planned rewrite *)
+  fv_fs_before : int;  (** attributed FS cases before the fix *)
+  fv_fs_after : int;  (** after re-analyzing the transformed program *)
+  fv_removal : float;  (** percent of attributed FS removed *)
+  fv_cost_ratio : float option;
+      (** after/before analytic [Total_c]; [None] without certificates *)
+  fv_ok : bool;  (** the full {!Fixer} verification verdict *)
 }
 
 and cost = {

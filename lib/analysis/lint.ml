@@ -109,6 +109,7 @@ let fallback_findings ~opts ~func pairs_ev =
                 cost = None;
                 sched = None;
                 dist = None;
+                fix_verified = None;
               }
         | _ -> None)
       pairs_ev
@@ -138,6 +139,7 @@ let race_finding ~func ?region ?(ev = Depend.banerjee_ev ~must:false)
     cost = None;
     sched = None;
     dist = None;
+    fix_verified = None;
   }
 
 (* Unknown verdicts collapse to one finding per distinct reason. *)
@@ -169,6 +171,7 @@ let unknown_findings ~func pairs =
               cost = None;
               sched = None;
               dist = None;
+              fix_verified = None;
             }
       | _ -> None)
     pairs
@@ -329,8 +332,11 @@ let attribution_sentences ~refs ~total ~base pairs =
            (100. *. float_of_int count /. float_of_int total)
            writer_part refs.(vr).Array_ref.repr victim_word vt count more)
 
-(* One finding per conflicting base of the nest. *)
-let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
+(* One finding per conflicting base of the nest.  [fixv] is the lazy
+   function-level fix verification (Fixer.verify on the materialized
+   plan); it is forced only when a finding actually attaches fix-its,
+   so race-gated and fixits-off lints never pay for it. *)
+let fs_findings ~opts ~checked ~func ~advice ~fixv ~races conflicts cfg nest =
   if conflicts = [] then []
   else
     (* a nondeterministic schedule (from --schedule or a
@@ -431,6 +437,13 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
             fixits_for ~opts ~checked ~base advice
           else []
         in
+        (* fix verification is static-schedule semantics: attached only
+           where fix-its are, and never on a replayed schedule *)
+        let fix_verified =
+          if opts.fixits && races = [] && fix && sched_name = None then
+            Lazy.force fixv
+          else None
+        in
         let backend, witness = ev_fields example.Depend.ev in
         {
           Diag.rule = "fs/line-conflict";
@@ -460,6 +473,7 @@ let fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest =
           cost;
           sched = sched_name;
           dist;
+          fix_verified;
         })
       bases
 
@@ -609,6 +623,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
                     cost = None;
                     sched = None;
                     dist = None;
+                    fix_verified = None;
                   }
             | _ -> None)
           paths)
@@ -693,6 +708,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
             cost = None;
             sched = None;
             dist = None;
+            fix_verified = None;
           })
         bases
     end
@@ -712,7 +728,7 @@ let lint_nest_sym ~opts ~checked ~func nest =
   in
   races @ unknowns @ fs @ fallbacks
 
-let lint_nest ~opts ~checked ~func ~advice nest =
+let lint_nest ~opts ~checked ~func ~advice ~fixv nest =
   let line_bytes = Archspec.Arch.line_bytes opts.arch in
   let params = all_params opts in
   if Depend.free_params ~params nest <> [] then
@@ -741,7 +757,7 @@ let lint_nest ~opts ~checked ~func ~advice nest =
         race_finding ~func ~ev:p.Depend.ev p.Depend.a p.Depend.b)
       races
     @ unknown_findings ~func pairs
-    @ fs_findings ~opts ~checked ~func ~advice ~races conflicts cfg nest
+    @ fs_findings ~opts ~checked ~func ~advice ~fixv ~races conflicts cfg nest
     @ fallback_findings ~opts ~func
         (List.map
            (fun (p : Depend.pair) ->
@@ -769,6 +785,7 @@ let lint_function ~opts ~checked func =
           cost = None;
           sched = None;
           dist = None;
+          fix_verified = None;
         };
       ]
   | nests ->
@@ -785,7 +802,35 @@ let lint_function ~opts ~checked func =
           with _ -> None
         else None
       in
-      List.concat_map (lint_nest ~opts ~checked ~func ~advice) nests
+      (* the closed fix loop: materialize the advised fix and re-analyze
+         the transformed program (Fixer.verify).  Shares the advice
+         sweep; forced lazily from fs_findings only where fix-its
+         attach, so the analytic path (advice = None) never runs it. *)
+      let fixv =
+        lazy
+          (match advice with
+          | None -> None
+          | Some a -> (
+              match
+                Fixer.verify ~arch:opts.arch ~advice:a ?chunk:opts.chunk
+                  ~threads:opts.threads ~func checked
+              with
+              | Fixer.Fix v ->
+                  Some
+                    {
+                      Diag.fv_rewrites =
+                        List.map Fsmodel.Transform.describe
+                          v.Fixer.plan.Fsmodel.Transform.rewrites;
+                      fv_fs_before = v.Fixer.before.Fixer.fs_ref;
+                      fv_fs_after = v.Fixer.after.Fixer.fs_ref;
+                      fv_removal = 100. *. v.Fixer.removal;
+                      fv_cost_ratio = v.Fixer.cost_ratio;
+                      fv_ok = v.Fixer.verified;
+                    }
+              | Fixer.Nothing_to_fix _ -> None
+              | exception _ -> None))
+      in
+      List.concat_map (lint_nest ~opts ~checked ~func ~advice ~fixv) nests
 
 let run ?(opts = default_options) ~uri checked =
   let funcs =

@@ -25,6 +25,12 @@ type advice = {
   victims : victim list;  (** written refs whose stride < line size *)
 }
 
+val find_victims : line_bytes:int -> Loopir.Loop_nest.t -> victim list
+(** Syntactic victim scan over one lowered nest: written references whose
+    stride between consecutive parallel iterations is positive but below
+    [line_bytes], deduplicated by base array.  {!advise} runs this on the
+    function's first nest; [Transform.plan] runs it on every nest. *)
+
 val advise :
   ?arch:Archspec.Arch.t ->
   ?chunks:int list ->

@@ -22,11 +22,21 @@
 
 type rewrite =
   | Pad_struct of { struct_name : string; pad_bytes : int }
+      (** append [char _fs_pad[pad_bytes]] to [struct_name], growing its
+          elements to a cache-line multiple *)
   | Spread_array of { base : string; factor : int }
+      (** inflate array [base] by [factor] and scale every subscript on
+          its element dimension to match *)
 
 type plan = { rewrites : rewrite list }
+(** One layout rewrite per victim; empty means no false sharing was
+    attributed.  [Fsmodel.Transform] widens these layout-only plans
+    with privatization and schedule retuning and materializes them as
+    source. *)
 
 exception Unsupported of string
+(** Raised by {!plan_for} on a victim whose array element is neither a
+    struct nor a scalar. *)
 
 val plan_for :
   Minic.Typecheck.checked -> line_bytes:int -> Advisor.victim list -> plan
@@ -47,3 +57,6 @@ val eliminate :
 (** [eliminate ~threads ~func checked] = advise, plan, apply. *)
 
 val pp_plan : Format.formatter -> plan -> unit
+(** Render the plan, one line per rewrite, or an explicit "nothing to
+    fix" notice when empty (mirrored by the [fsdetect eliminate]
+    stderr notice). *)

@@ -1,0 +1,285 @@
+(* Materialize elimination advice as concrete mini-C.
+
+   Extends Eliminate's data-layout rewrites (struct padding, element
+   spreading) with the two pragma-level fixes the paper's related work
+   applies by hand: privatizing scalar reduction targets via a
+   reduction clause, and retuning schedule(static, c) to the advisor's
+   recommended chunk.  The result is a whole transformed program that
+   pretty-prints, re-parses and re-typechecks, so every downstream
+   analysis can be re-run on it unchanged. *)
+
+type rewrite =
+  | Layout of Eliminate.rewrite
+  | Privatize of { func : string; var : string; op : Minic.Ast.binop }
+  | Retune of { func : string; chunk : int }
+
+type plan = { func : string; rewrites : rewrite list }
+
+let describe = function
+  | Layout (Eliminate.Pad_struct { struct_name; pad_bytes }) ->
+      Printf.sprintf "pad struct %s with %d byte(s)" struct_name pad_bytes
+  | Layout (Eliminate.Spread_array { base; factor }) ->
+      Printf.sprintf "spread array %s by %dx" base factor
+  | Privatize { func; var; op } ->
+      Printf.sprintf "privatize %s in %s via reduction(%s:%s)" var func
+        (Minic.Ast.binop_name op) var
+  | Retune { func; chunk } ->
+      Printf.sprintf "retune %s to schedule(static,%d)" func chunk
+
+let pp_plan ppf (p : plan) =
+  Format.fprintf ppf "@[<v>";
+  (match p.rewrites with
+  | [] -> Format.fprintf ppf "no false sharing attributed in %s; nothing to fix@," p.func
+  | rs -> List.iter (fun r -> Format.fprintf ppf "%s@," (describe r)) rs);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Statement walking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold_stmts f acc s =
+  let acc = f acc s in
+  match s with
+  | Minic.Ast.Sblock ss -> List.fold_left (fold_stmts f) acc ss
+  | Minic.Ast.Sif (_, t, e) -> (
+      let acc = fold_stmts f acc t in
+      match e with Some s -> fold_stmts f acc s | None -> acc)
+  | Minic.Ast.Sfor l -> fold_stmts f acc l.Minic.Ast.body
+  | Minic.Ast.Swhile (_, b) -> fold_stmts f acc b
+  | _ -> acc
+
+(* Classify a scalar assignment [v op= rhs] as a reduction update.
+   [v = v + e] / [v = e + v] (and * / left-sided -) count as the
+   equivalent compound form; anything else disqualifies the variable. *)
+let reduction_op (op : Minic.Ast.assign_op) (lhs_var : string)
+    (rhs : Minic.Ast.expr) =
+  match op with
+  | Minic.Ast.A_add -> Some Minic.Ast.Add
+  | Minic.Ast.A_sub -> Some Minic.Ast.Sub
+  | Minic.Ast.A_mul -> Some Minic.Ast.Mul
+  | Minic.Ast.A_div -> None
+  | Minic.Ast.A_set -> (
+      match rhs with
+      | Minic.Ast.Binop
+          (((Minic.Ast.Add | Minic.Ast.Mul) as bop), Minic.Ast.Ident v, _)
+        when v = lhs_var ->
+          Some bop
+      | Minic.Ast.Binop
+          (((Minic.Ast.Add | Minic.Ast.Mul) as bop), _, Minic.Ast.Ident v)
+        when v = lhs_var ->
+          Some bop
+      | Minic.Ast.Binop (Minic.Ast.Sub, Minic.Ast.Ident v, _)
+        when v = lhs_var ->
+          Some Minic.Ast.Sub
+      | _ -> None)
+
+(* Every direct scalar write in a subtree, with its reduction class. *)
+let scalar_writes body =
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Minic.Ast.Sassign (_, Minic.Ast.Ident v, op, rhs) ->
+          (v, reduction_op op v rhs) :: acc
+      | _ -> acc)
+    [] body
+
+(* [var] is a pure reduction target of [body] under [op]: written at
+   least once, and every write is the same compound update. *)
+let reduces body var op =
+  let ws = List.filter (fun (v, _) -> v = var) (scalar_writes body) in
+  ws <> [] && List.for_all (fun (_, o) -> o = Some op) ws
+
+let is_global_scalar (checked : Minic.Typecheck.checked) v =
+  match List.assoc_opt v checked.Minic.Typecheck.global_types with
+  | Some
+      ( Minic.Ast.Tchar | Minic.Ast.Tint | Minic.Ast.Tlong | Minic.Ast.Tfloat
+      | Minic.Ast.Tdouble ) ->
+      true
+  | _ -> false
+
+let pragma_loops (f : Minic.Ast.func) =
+  List.rev
+    (List.fold_left
+       (fold_stmts (fun acc s ->
+            match s with
+            | Minic.Ast.Sfor ({ Minic.Ast.pragma = Some _; _ } as loop) ->
+                loop :: acc
+            | _ -> acc))
+       [] f.Minic.Ast.body)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let layout_rewrites checked ~line_bytes victims =
+  let rewrites =
+    List.concat_map
+      (fun v ->
+        match Eliminate.plan_for checked ~line_bytes [ v ] with
+        | p -> List.map (fun r -> Layout r) p.Eliminate.rewrites
+        | exception Eliminate.Unsupported _ -> [])
+      victims
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun r ->
+      let key =
+        match r with
+        | Layout (Eliminate.Pad_struct { struct_name; _ }) -> "s:" ^ struct_name
+        | Layout (Eliminate.Spread_array { base; _ }) -> "a:" ^ base
+        | _ -> assert false
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    rewrites
+
+let privatize_rewrites checked ~func =
+  match Minic.Ast.find_func checked.Minic.Typecheck.prog func with
+  | None -> []
+  | Some f ->
+      let candidates =
+        List.concat_map
+          (fun (loop : Minic.Ast.for_loop) ->
+            let p = Option.get loop.Minic.Ast.pragma in
+            let already =
+              p.Minic.Ast.private_vars
+              @ List.concat_map snd p.Minic.Ast.reduction
+            in
+            let vars =
+              List.sort_uniq compare
+                (List.map fst (scalar_writes loop.Minic.Ast.body))
+            in
+            List.filter_map
+              (fun v ->
+                if (not (is_global_scalar checked v)) || List.mem v already
+                then None
+                else
+                  match
+                    List.find_opt
+                      (fun op -> reduces loop.Minic.Ast.body v op)
+                      [ Minic.Ast.Add; Minic.Ast.Sub; Minic.Ast.Mul ]
+                  with
+                  | Some op -> Some (v, op)
+                  | None -> None)
+              vars)
+          (pragma_loops f)
+      in
+      let seen = Hashtbl.create 4 in
+      List.filter_map
+        (fun (var, op) ->
+          if Hashtbl.mem seen var then None
+          else begin
+            Hashtbl.replace seen var ();
+            Some (Privatize { func; var; op })
+          end)
+        candidates
+
+let plan ?advice ?(line_bytes = 64) ~threads ~func
+    (checked : Minic.Typecheck.checked) =
+  let params = [ ("num_threads", threads) ] in
+  let nests =
+    try Loopir.Lower.lower_all checked ~func ~params
+    with Loopir.Lower.Lower_error _ -> []
+  in
+  let victims =
+    let syntactic =
+      List.concat_map (fun n -> Advisor.find_victims ~line_bytes n) nests
+    in
+    let advised =
+      match advice with Some a -> a.Advisor.victims | None -> []
+    in
+    let seen = Hashtbl.create 4 in
+    List.filter
+      (fun (v : Advisor.victim) ->
+        if Hashtbl.mem seen v.Advisor.base then false
+        else begin
+          Hashtbl.replace seen v.Advisor.base ();
+          true
+        end)
+      (advised @ syntactic)
+  in
+  let layout = layout_rewrites checked ~line_bytes victims in
+  let privatize = privatize_rewrites checked ~func in
+  let retune =
+    match advice with
+    | Some a when layout = [] && privatize = [] -> (
+        let baseline = match a.Advisor.sweep with (_, fs) :: _ -> fs | [] -> 0 in
+        match a.Advisor.best_chunk with
+        | Some c when baseline > 0 -> [ Retune { func; chunk = c } ]
+        | _ -> [])
+    | _ -> []
+  in
+  { func; rewrites = layout @ privatize @ retune }
+
+(* ------------------------------------------------------------------ *)
+(* Materialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let apply_edit ~body (pr : Minic.Ast.pragma) = function
+  | Layout _ -> pr
+  | Privatize { var; op; _ } ->
+      let already =
+        List.mem var pr.Minic.Ast.private_vars
+        || List.exists (fun (_, vs) -> List.mem var vs) pr.Minic.Ast.reduction
+      in
+      if already || not (reduces body var op) then pr
+      else
+        {
+          pr with
+          Minic.Ast.reduction = pr.Minic.Ast.reduction @ [ (op, [ var ]) ];
+          Minic.Ast.shared_vars =
+            List.filter (fun v -> v <> var) pr.Minic.Ast.shared_vars;
+        }
+  | Retune { chunk; _ } ->
+      { pr with Minic.Ast.schedule = Some (Minic.Ast.Sched_static (Some chunk)) }
+
+let rec edit_stmt edits s =
+  match s with
+  | Minic.Ast.Sfor loop ->
+      let body = edit_stmt edits loop.Minic.Ast.body in
+      let pragma =
+        match loop.Minic.Ast.pragma with
+        | None -> None
+        | Some pr -> Some (List.fold_left (apply_edit ~body) pr edits)
+      in
+      Minic.Ast.Sfor { loop with Minic.Ast.pragma; Minic.Ast.body = body }
+  | Minic.Ast.Sblock ss -> Minic.Ast.Sblock (List.map (edit_stmt edits) ss)
+  | Minic.Ast.Sif (c, t, e) ->
+      Minic.Ast.Sif (c, edit_stmt edits t, Option.map (edit_stmt edits) e)
+  | Minic.Ast.Swhile (c, b) -> Minic.Ast.Swhile (c, edit_stmt edits b)
+  | s -> s
+
+let materialize (checked : Minic.Typecheck.checked) (p : plan) =
+  let layouts =
+    List.filter_map (function Layout r -> Some r | _ -> None) p.rewrites
+  in
+  let checked =
+    if layouts = [] then checked
+    else Eliminate.apply checked { Eliminate.rewrites = layouts }
+  in
+  let edits =
+    List.filter (function Layout _ -> false | _ -> true) p.rewrites
+  in
+  if edits = [] then checked
+  else begin
+    let prog = checked.Minic.Typecheck.prog in
+    let globals =
+      List.map
+        (function
+          | Minic.Ast.Gfunc f when f.Minic.Ast.fname = p.func ->
+              Minic.Ast.Gfunc
+                {
+                  f with
+                  Minic.Ast.body = List.map (edit_stmt edits) f.Minic.Ast.body;
+                }
+          | g -> g)
+        prog.Minic.Ast.globals
+    in
+    Minic.Typecheck.check_program { prog with Minic.Ast.globals }
+  end
+
+let to_source (checked : Minic.Typecheck.checked) =
+  Minic.Pretty.program_to_string checked.Minic.Typecheck.prog

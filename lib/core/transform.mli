@@ -1,0 +1,68 @@
+(** Fix materialization: turn elimination advice into a concrete
+    transformed mini-C program.
+
+    {!Eliminate} decides {e what} layout change removes the attributed
+    false sharing; this module widens the repertoire with the two
+    pragma-level fixes from the paper's related work and actually edits
+    the AST:
+
+    - {b layout}: {!Eliminate.rewrite} applied verbatim (struct padding
+      to a 64-byte multiple, element spreading of scalar arrays);
+    - {b privatization}: a shared scalar that every parallel write
+      updates with the same compound operator (a reduction target such
+      as [sum += a[i]]) gets a [reduction(op:var)] clause, so the
+      lowering pass treats it as thread-private;
+    - {b retuning}: when no layout or privatization fix applies but the
+      {!Advisor} sweep found a chunk that removes the predicted FS, the
+      loop's schedule is rewritten to [schedule(static, c)].
+
+    The transformed program round-trips through {!Minic.Pretty}: it
+    re-parses, re-typechecks, and re-lints, which is how {!module-Advisor}
+    consumers verify a fix (see [Analysis.Fixer]). *)
+
+type rewrite =
+  | Layout of Eliminate.rewrite  (** padding / spreading, applied program-wide *)
+  | Privatize of { func : string; var : string; op : Minic.Ast.binop }
+      (** add [reduction(op:var)] to the parallel pragmas of [func] whose
+          bodies reduce [var] with [op] *)
+  | Retune of { func : string; chunk : int }
+      (** set [schedule(static, chunk)] on the parallel pragmas of [func] *)
+
+type plan = { func : string; rewrites : rewrite list }
+(** An ordered fix plan for one function; empty [rewrites] means nothing
+    to fix. *)
+
+val describe : rewrite -> string
+(** One-line human-readable description (stable; used in reports,
+    lint evidence and goldens). *)
+
+val plan :
+  ?advice:Advisor.advice ->
+  ?line_bytes:int ->
+  threads:int ->
+  func:string ->
+  Minic.Typecheck.checked ->
+  plan
+(** Decide the fix plan for [func].  Victims come from [advice] when
+    given, unioned with a per-nest {!Advisor.find_victims} scan over
+    every parallel nest of the function ([line_bytes] defaults to 64).
+    Privatization candidates are found syntactically.  Retuning requires
+    [advice] with a baseline FS above zero and a recommended chunk, and
+    is only planned when no layout/privatization rewrite applies.
+    Functions that fail to lower still get privatization fixes; layout
+    planning is skipped for them. *)
+
+val materialize :
+  Minic.Typecheck.checked -> plan -> Minic.Typecheck.checked
+(** Apply the plan: layout rewrites through {!Eliminate.apply}, then the
+    pragma edits, then one final re-typecheck.  Idempotent on an empty
+    plan (returns the input unchanged). *)
+
+val to_source : Minic.Typecheck.checked -> string
+(** Pretty-print the (transformed) program back to mini-C source.  Note
+    that [#define] macros are already substituted at parse time, so the
+    output uses literal sizes. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** Render the plan, one {!describe} line per rewrite, or an explicit
+    "nothing to fix" notice when empty. *)

@@ -12,6 +12,7 @@ type config = {
   mutate : Oracle.mutation option;
   out_dir : string option;
   corpus : string option;
+  promote_dir : string option;
   max_failures : int;
   brute_budget : int;
 }
@@ -25,6 +26,7 @@ let default =
     mutate = None;
     out_dir = None;
     corpus = None;
+    promote_dir = None;
     max_failures = 1;
     brute_budget = 300_000;
   }
@@ -41,6 +43,7 @@ type failure = {
 type summary = {
   cases_run : int;
   corpus_run : int;
+  promoted : (string * string) list;
   failures : failure list;
   exercised : (string * int) list;
   elapsed : float;
@@ -68,6 +71,29 @@ let rec mkdir_p dir =
 let run ?(progress = fun _ -> ()) cfg =
   let t0 = Unix.gettimeofday () in
   let failures = ref [] in
+  let promoted = ref [] in
+  (* corpus mining: a generated nest whose fix underdelivers is itself a
+     regression case worth keeping.  Content-addressed filenames dedup
+     re-discoveries across runs and seeds. *)
+  let promote_case spec reason =
+    match cfg.promote_dir with
+    | None -> ()
+    | Some dir ->
+        let source =
+          Spec.header ~check:"fix/underdelivers" ~detail:reason spec
+          ^ Spec.to_source spec
+        in
+        let digest =
+          String.sub (Digest.to_hex (Digest.string (Spec.to_source spec))) 0 12
+        in
+        let path = Filename.concat dir ("fix-" ^ digest ^ ".c") in
+        if not (Sys.file_exists path) then begin
+          mkdir_p dir;
+          write_file path source;
+          progress (Printf.sprintf "promoted %s: %s" path reason);
+          promoted := (path, reason) :: !promoted
+        end
+  in
   let exercised : (string, int) Hashtbl.t = Hashtbl.create 32 in
   let bump cs =
     List.iter
@@ -148,6 +174,9 @@ let run ?(progress = fun _ -> ()) cfg =
         if not (saturated ()) then (
           incr cases_run;
           bump o.Oracle.exercised;
+          (match (o.Oracle.failure, o.Oracle.promote) with
+          | None, Some reason -> promote_case spec reason
+          | _ -> ());
           match o.Oracle.failure with
           | None -> ()
           | Some (check, detail) ->
@@ -208,6 +237,7 @@ let run ?(progress = fun _ -> ()) cfg =
   {
     cases_run = !cases_run;
     corpus_run = !corpus_run;
+    promoted = List.rev !promoted;
     failures = List.rev !failures;
     exercised =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) exercised []
@@ -228,6 +258,16 @@ let summary_to_string s =
   List.iter
     (fun (c, n) -> Buffer.add_string b (Printf.sprintf "  %-22s %d\n" c n))
     s.exercised;
+  (match s.promoted with
+  | [] -> ()
+  | ps ->
+      Buffer.add_string b
+        (Printf.sprintf "%d case%s promoted to the corpus:\n" (List.length ps)
+           (if List.length ps = 1 then "" else "s"));
+      List.iter
+        (fun (path, reason) ->
+          Buffer.add_string b (Printf.sprintf "  %s: %s\n" path reason))
+        ps);
   (match s.failures with
   | [] -> Buffer.add_string b "no oracle disagreements.\n"
   | fs ->

@@ -12,6 +12,11 @@ type config = {
   mutate : Oracle.mutation option;  (** harness self-test fault injection *)
   out_dir : string option;  (** where shrunk counterexamples are written *)
   corpus : string option;  (** directory of [.c] seeds to replay first *)
+  promote_dir : string option;
+      (** corpus mining: write any generated case whose materialized fix
+          underdelivers (see {!Oracle.outcome}[.promote]) here, under a
+          content-addressed [fix-<digest>.c] name so re-discoveries
+          dedup across runs *)
   max_failures : int;  (** stop after this many distinct failures *)
   brute_budget : int;
 }
@@ -33,6 +38,8 @@ type failure = {
 type summary = {
   cases_run : int;
   corpus_run : int;
+  promoted : (string * string) list;
+      (** [(path, reason)] per newly promoted corpus file *)
   failures : failure list;
   exercised : (string * int) list;  (** check -> cases it ran on, sorted *)
   elapsed : float;

@@ -13,6 +13,7 @@ type mutation =
   | Exact_m
   | Reuse_m
   | Sched_m
+  | Fix_m
 
 let mutation_of_string = function
   | "fast" -> Some Fast
@@ -23,6 +24,7 @@ let mutation_of_string = function
   | "exact" -> Some Exact_m
   | "reuse" -> Some Reuse_m
   | "sched" -> Some Sched_m
+  | "fix" -> Some Fix_m
   | _ -> None
 
 let mutation_name = function
@@ -34,13 +36,18 @@ let mutation_name = function
   | Exact_m -> "exact"
   | Reuse_m -> "reuse"
   | Sched_m -> "sched"
+  | Fix_m -> "fix"
 
 let mutation_names =
-  [ "fast"; "closed"; "depend"; "sym"; "attrib"; "exact"; "reuse"; "sched" ]
+  [
+    "fast"; "closed"; "depend"; "sym"; "attrib"; "exact"; "reuse"; "sched";
+    "fix";
+  ]
 
 type outcome = {
   failure : (string * string) option;
   exercised : string list;
+  promote : string option;
 }
 
 exception Fail of string * string
@@ -702,6 +709,84 @@ let lint_checks ~threads ~chunk ~fixits ~mark ~fail checked =
   | Error m -> fail "lint/json" m);
   report
 
+(* The fix loop's own laws.  [Fixer.verify] is called WITHOUT advice:
+   the advisor runs a Par_sweep internally, and nesting domain pools
+   inside the fuzzing pool is both slow and unnecessary here — the
+   layout/privatization rewrites do not depend on the chunk sweep.
+   Underdelivery (a materialized fix that does not verify) is NOT an
+   oracle failure: it is exactly the mining yield the continuous corpus
+   miner promotes into test/corpus/, so it lands in [promote]. *)
+let fix_checks ~mutate ~threads ~func ~mark ~fail ~promote checked =
+  match Analysis.Fixer.verify ~threads ~func checked with
+  | Analysis.Fixer.Nothing_to_fix _ -> ()
+  | Analysis.Fixer.Fix v ->
+      mark "fix/roundtrip";
+      if not v.Analysis.Fixer.roundtrip_ok then
+        fail "fix/roundtrip"
+          (func
+         ^ ": transformed source does not re-parse/re-typecheck to the \
+            same span-erased AST");
+      mark "fix/verified";
+      (* verdicts are a pure function of the program: a second run must
+         reproduce every claimed metric bit-for-bit *)
+      let again =
+        match Analysis.Fixer.verify ~threads ~func checked with
+        | Analysis.Fixer.Fix v2 -> v2
+        | Analysis.Fixer.Nothing_to_fix r ->
+            fail "fix/verified"
+              (func ^ ": second verify found nothing to fix: " ^ r);
+            assert false
+      in
+      let claimed_after =
+        v.Analysis.Fixer.after.Analysis.Fixer.fs_ref
+        + (if mutate = Some Fix_m then 1 else 0)
+      in
+      if
+        claimed_after <> again.Analysis.Fixer.after.Analysis.Fixer.fs_ref
+        || v.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+           <> again.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+        || v.Analysis.Fixer.verified <> again.Analysis.Fixer.verified
+      then
+        fail "fix/verified"
+          (Printf.sprintf
+             "%s: verdict not deterministic: N_fs %d->%d verified=%b, then \
+              %d->%d verified=%b"
+             func v.Analysis.Fixer.before.Analysis.Fixer.fs_ref claimed_after
+             v.Analysis.Fixer.verified
+             again.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+             again.Analysis.Fixer.after.Analysis.Fixer.fs_ref
+             again.Analysis.Fixer.verified);
+      if not v.Analysis.Fixer.engines_agree then
+        fail "fix/verified"
+          (func ^ ": fast and reference engines disagree across the fix");
+      (* the reported removal must be what the before/after counts say *)
+      (if v.Analysis.Fixer.before.Analysis.Fixer.fs_ref > 0 then
+         let want =
+           1.
+           -. float_of_int v.Analysis.Fixer.after.Analysis.Fixer.fs_ref
+              /. float_of_int v.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+         in
+         if Float.abs (want -. v.Analysis.Fixer.removal) > 1e-9 then
+           fail "fix/verified"
+             (Printf.sprintf "%s: removal %.6f inconsistent with N_fs %d->%d"
+                func v.Analysis.Fixer.removal
+                v.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+                v.Analysis.Fixer.after.Analysis.Fixer.fs_ref));
+      if
+        v.Analysis.Fixer.before.Analysis.Fixer.fs_ref > 0
+        && not v.Analysis.Fixer.verified
+      then
+        promote
+          (Printf.sprintf
+             "fix underdelivers in %s: N_fs %d -> %d (%.1f%% removed), cost \
+              %s"
+             func v.Analysis.Fixer.before.Analysis.Fixer.fs_ref
+             v.Analysis.Fixer.after.Analysis.Fixer.fs_ref
+             (100. *. v.Analysis.Fixer.removal)
+             (match v.Analysis.Fixer.cost_ratio with
+             | Some r -> Printf.sprintf "%.2fx" r
+             | None -> "n/a"))
+
 let has_unknown_finding (report : Analysis.Diag.report) =
   List.exists
     (fun (f : Analysis.Diag.finding) -> f.rule = "analysis/unknown")
@@ -711,18 +796,20 @@ let outcome_of body =
   let exercised = ref [] in
   let mark c = if not (List.mem c !exercised) then exercised := c :: !exercised in
   let fail c d = raise (Fail (c, d)) in
+  let promoted = ref None in
+  let promote reason = if !promoted = None then promoted := Some reason in
   let failure =
     try
-      body ~mark ~fail;
+      body ~mark ~fail ~promote;
       None
     with
     | Fail (c, d) -> Some (c, d)
     | e -> Some ("oracle/exn", Printexc.to_string e)
   in
-  { failure; exercised = List.rev !exercised }
+  { failure; exercised = List.rev !exercised; promote = !promoted }
 
 let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
-  outcome_of (fun ~mark ~fail ->
+  outcome_of (fun ~mark ~fail ~promote ->
       let src = Spec.to_source spec in
       let ast =
         match Minic.Parser.parse_program src with
@@ -779,6 +866,11 @@ let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
           else
             fail "pipeline/lower"
               (Printf.sprintf "expected one nest, found %d" (List.length nests)));
+      (* a deterministic sliver of cases also closes the fix loop:
+         materialize the advised rewrite and hold the verdict to the
+         Fixer laws (round-trip, determinism, engine agreement) *)
+      if (not nonaffine) && spec.Spec.sp_index mod 13 = 0 then
+        fix_checks ~mutate ~threads ~func:"f" ~mark ~fail ~promote checked;
       (* a deterministic sliver of cases also runs end to end through the
          instrumented interpreter (crash-freedom, not value checking) *)
       if (not nonaffine) && spec.Spec.sp_index mod 61 = 0 then begin
@@ -858,7 +950,7 @@ let check_spec ?mutate ?(brute_budget = 300_000) (spec : Spec.t) =
       end)
 
 let check_source ?mutate ?(brute_budget = 300_000) ~threads ~chunk src =
-  outcome_of (fun ~mark ~fail ->
+  outcome_of (fun ~mark ~fail ~promote ->
       let ast =
         match Minic.Parser.parse_program src with
         | a -> a
@@ -905,9 +997,11 @@ let check_source ?mutate ?(brute_budget = 300_000) ~threads ~chunk src =
                     ~sym_cap:16 ~mark ~fail nest checked)
                 nests)
         funcs;
-      (* corpus files are few: always interpret them *)
+      (* corpus files are few: always interpret them and always close
+         the fix loop *)
       List.iter
         (fun func ->
+          fix_checks ~mutate ~threads ~func ~mark ~fail ~promote checked;
           match
             let it = Execsim.Interp.create ~threads checked in
             Execsim.Interp.exec it ~func

@@ -52,6 +52,15 @@
     - [reuse/conserve]: on concrete nests, the static reuse-distance
       model's hit buckets sum exactly back to its access count, and its
       miss rate and stall estimate are well-formed;
+    - [fix/roundtrip], [fix/verified]: on a deterministic subset of
+      generated cases (and on every corpus file), the fix loop's laws:
+      when {!Analysis.Fixer.verify} materializes a fix, the transformed
+      source round-trips through the printer, a second verify reproduces
+      every claimed metric bit-for-bit, both engines agree across the
+      transformation, and the reported removal is consistent with the
+      before/after counts.  A fix that {e underdelivers} (does not
+      verify) is not an oracle failure — it lands in [promote] as
+      mining yield for the corpus;
     - [reuse/sim]: on the same deterministic subset as [execsim/run],
       the reuse model's beyond-L1 traffic agrees with the instrumented
       cache simulator within a loose factor-of-eight band — a drift
@@ -73,6 +82,7 @@ type mutation =
   | Exact_m  (** corrupt the first exact witness's iteration values *)
   | Reuse_m  (** off-by-one the reuse model's bucket conservation *)
   | Sched_m  (** off-by-one a seeded-schedule replay's FS count *)
+  | Fix_m  (** off-by-one the fix verdict's claimed after-count *)
 
 val mutation_of_string : string -> mutation option
 val mutation_name : mutation -> string
@@ -81,6 +91,10 @@ val mutation_names : string list
 type outcome = {
   failure : (string * string) option;  (** (check, detail); [None] = pass *)
   exercised : string list;  (** checks that actually ran on this case *)
+  promote : string option;
+      (** set when the case is promotion-worthy for the regression
+          corpus (a materialized fix underdelivered); the string says
+          why *)
 }
 
 val check_spec : ?mutate:mutation -> ?brute_budget:int -> Spec.t -> outcome

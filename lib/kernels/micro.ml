@@ -1,0 +1,269 @@
+(* Micro-pattern kernels: the canonical false-sharing shapes the fix
+   machinery is built to handle, each small enough that both engines run
+   it in milliseconds.  They live in their own registry tier
+   (Registry.micros) so the pinned seven-kernel registry goldens stay
+   untouched; `fsdetect -k <name>` finds them all the same. *)
+
+let counter_slots () =
+  {
+    Kernel.name = "counter_slots";
+    description =
+      "per-thread counters in adjacent 8-byte slots; every increment \
+       invalidates the whole team's line (fix: spread 8x)";
+    source =
+      {|long counters[8];
+
+void init(void) {
+  int t;
+  for (t = 0; t < 8; t++) {
+    counters[t] = 0;
+  }
+}
+
+void count(void) {
+  int t;
+  int r;
+  #pragma omp parallel for private(t,r) schedule(static,1)
+  for (t = 0; t < 8; t++) {
+    for (r = 0; r < 2048; r++) {
+      counters[t] += 1;
+    }
+  }
+}
+|};
+    func = "count";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 8;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let bytes_adjacent () =
+  {
+    Kernel.name = "bytes_adjacent";
+    description =
+      "adjacent 1-byte flags, 64 writers per line under schedule(static,1) \
+       (fix: spread 64x)";
+    source =
+      {|char flags[8192];
+
+void mark(void) {
+  int i;
+  int r;
+  #pragma omp parallel for private(i,r) schedule(static,1)
+  for (i = 0; i < 8192; i++) {
+    for (r = 0; r < 4; r++) {
+      flags[i] = 1;
+    }
+  }
+}
+|};
+    func = "mark";
+    init_func = None;
+    fs_chunk = 1;
+    nfs_chunk = 64;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let struct_xy () =
+  {
+    Kernel.name = "struct_xy";
+    description =
+      "16-byte {x,y} points, four per line; neighbour iterations write \
+       neighbour elements (fix: pad the struct to 64 bytes)";
+    source =
+      {|struct point {
+  double x;
+  double y;
+};
+
+struct point pts[4096];
+
+void init(void) {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    pts[i].x = 0.0;
+    pts[i].y = 1.0;
+  }
+}
+
+void move(void) {
+  int i;
+  int r;
+  #pragma omp parallel for private(i,r) schedule(static,1)
+  for (i = 0; i < 4096; i++) {
+    for (r = 0; r < 4; r++) {
+      pts[i].x += 0.5;
+    }
+  }
+}
+|};
+    func = "move";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 4;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let struct_xy_padded () =
+  {
+    Kernel.name = "struct_xy_padded";
+    description =
+      "the padded control for struct_xy: a 48-byte tail makes each point \
+       line-exclusive, so there is nothing to fix";
+    source =
+      {|struct ppoint {
+  double x;
+  double y;
+  char pad[48];
+};
+
+struct ppoint pts[4096];
+
+void init(void) {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    pts[i].x = 0.0;
+    pts[i].y = 1.0;
+  }
+}
+
+void move(void) {
+  int i;
+  int r;
+  #pragma omp parallel for private(i,r) schedule(static,1)
+  for (i = 0; i < 4096; i++) {
+    for (r = 0; r < 4; r++) {
+      pts[i].x += 0.5;
+    }
+  }
+}
+|};
+    func = "move";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 1;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let padded_slots () =
+  {
+    Kernel.name = "padded_slots";
+    description =
+      "the spread control for counter_slots: slots already 64 bytes apart, \
+       so there is nothing to fix";
+    source =
+      {|long slots[64];
+
+void init(void) {
+  int t;
+  for (t = 0; t < 64; t++) {
+    slots[t] = 0;
+  }
+}
+
+void bump(void) {
+  int t;
+  int r;
+  #pragma omp parallel for private(t,r) schedule(static,1)
+  for (t = 0; t < 8; t++) {
+    for (r = 0; r < 2048; r++) {
+      slots[t * 8] += 1;
+    }
+  }
+}
+|};
+    func = "bump";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 1;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let histogram () =
+  {
+    Kernel.name = "histogram";
+    description =
+      "histogram merge: each parallel task reduces its data segment into \
+       one adjacent 4-byte bin (fix: spread the bins a line apart)";
+    source =
+      {|int hist[32];
+int data[16384];
+
+void init(void) {
+  int i;
+  for (i = 0; i < 16384; i++) {
+    data[i] = i;
+  }
+  for (i = 0; i < 32; i++) {
+    hist[i] = 0;
+  }
+}
+
+void build(void) {
+  int s;
+  int r;
+  #pragma omp parallel for private(s,r) schedule(static,1)
+  for (s = 0; s < 32; s++) {
+    for (r = 0; r < 512; r++) {
+      hist[s] += data[512 * s + r];
+    }
+  }
+}
+|};
+    func = "build";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 16;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let reduction_sum () =
+  {
+    Kernel.name = "reduction_sum";
+    description =
+      "a shared scalar accumulator updated by every iteration — a race and \
+       line ping-pong in one (fix: privatize via reduction(+:total))";
+    source =
+      {|double total;
+double a[8192];
+
+void init(void) {
+  int i;
+  for (i = 0; i < 8192; i++) {
+    a[i] = 0.5 * i;
+  }
+}
+
+void reduce(void) {
+  int i;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < 8192; i++) {
+    total += a[i];
+  }
+}
+|};
+    func = "reduce";
+    init_func = Some "init";
+    fs_chunk = 1;
+    nfs_chunk = 8;
+    pred_runs = 16;
+    parametric = None;
+  }
+
+let all () =
+  [
+    counter_slots ();
+    bytes_adjacent ();
+    struct_xy ();
+    struct_xy_padded ();
+    padded_slots ();
+    histogram ();
+    reduction_sum ();
+  ]

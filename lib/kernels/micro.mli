@@ -1,0 +1,23 @@
+(** Micro-pattern kernels: one small kernel per canonical false-sharing
+    shape from the literature — a shared counter array, adjacent 1-byte
+    slots, unpadded/padded {x,y} structs, already-spread slots, a
+    segmented histogram, and a scalar reduction.  They form the
+    {!Registry.micros} tier: findable by name, exercised by the fix
+    verification gate, but excluded from {!Registry.all} so the pinned
+    seven-kernel goldens stay stable.
+
+    The FS members expect a specific fix: spreading ([counter_slots],
+    [bytes_adjacent], [histogram]), struct padding ([struct_xy]), or
+    privatization ([reduction_sum]); the [_padded]/[padded_] controls
+    expect an empty plan. *)
+
+val counter_slots : unit -> Kernel.t
+val bytes_adjacent : unit -> Kernel.t
+val struct_xy : unit -> Kernel.t
+val struct_xy_padded : unit -> Kernel.t
+val padded_slots : unit -> Kernel.t
+val histogram : unit -> Kernel.t
+val reduction_sum : unit -> Kernel.t
+
+val all : unit -> Kernel.t list
+(** The seven micro-pattern kernels, in the order above. *)

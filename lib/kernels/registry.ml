@@ -9,7 +9,9 @@ let all () =
     Transpose.kernel ();
   ]
 
+let micros () = Micro.all ()
+
 let find name =
-  List.find_opt (fun k -> k.Kernel.name = name) (all ())
+  List.find_opt (fun k -> k.Kernel.name = name) (all () @ micros ())
 
 let names () = List.map (fun k -> k.Kernel.name) (all ())

@@ -1,7 +1,16 @@
 (** All bundled kernels, by name. *)
 
 val all : unit -> Kernel.t list
-(** Default-sized instances of every kernel. *)
+(** Default-sized instances of every paper kernel.  The list (and its
+    order) is pinned by the registry goldens; new kernels go into
+    {!micros}. *)
+
+val micros : unit -> Kernel.t list
+(** The {!Micro} tier: one kernel per canonical FS micro-pattern, used by
+    the fix verification gate. *)
 
 val find : string -> Kernel.t option
+(** Look up by name across {!all} and {!micros}. *)
+
 val names : unit -> string list
+(** Names of {!all} only (pinned by the service goldens). *)

@@ -41,7 +41,13 @@ let rec pp_expr_prec prec ppf = function
   | Ast.Int_lit n -> pp_print_int ppf n
   | Ast.Float_lit f ->
       if Float.is_integer f && Float.abs f < 1e15 then fprintf ppf "%.1f" f
-      else fprintf ppf "%g" f
+      else begin
+        (* shortest decimal that parses back to the same float, so
+           transformed programs round-trip bit-exactly *)
+        let s = Printf.sprintf "%.15g" f in
+        let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+        pp_print_string ppf s
+      end
   | Ast.Ident v -> pp_print_string ppf v
   | Ast.Unop (Ast.Neg, (Ast.Unop (Ast.Neg, _) as e)) ->
       (* avoid "--x", which would lex as the decrement operator *)

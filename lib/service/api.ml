@@ -530,11 +530,48 @@ let run_eliminate store ~digest ~text req ~func ~threads =
               Format.asprintf "/* fsdetect: %a*/@.%s"
                 Fsmodel.Eliminate.pp_plan plan
                 (Minic.Pretty.program_to_string after.Minic.Typecheck.prog);
-            err = "";
+            err =
+              (* an empty plan is a result, not silence: say why the
+                 program came back unchanged *)
+              (if plan.Fsmodel.Eliminate.rewrites = [] then
+                 Printf.sprintf
+                   "fsdetect: no false sharing attributed in %s; nothing to \
+                    fix\n"
+                   func
+               else "");
             code = 0;
           }
       | exception Fsmodel.Eliminate.Unsupported m ->
           fail buf (Printf.sprintf "cannot eliminate: %s\n" m))
+
+let run_fix store ~digest ~text req ~func ~threads ~jobs ~json =
+  let buf = Buffer.create 1024 in
+  guard buf @@ fun () ->
+  match func_for store ~digest ~text req func with
+  | Error e -> fail buf (e ^ "\n")
+  | Ok func -> (
+      let c = checked store ~digest ~text in
+      let advice =
+        Fsmodel.Advisor.advise ~arch:req.Req.arch ?domains:jobs ~threads
+          ~func c
+      in
+      match
+        Analysis.Fixer.verify ~arch:req.Req.arch ~advice ~threads ~func c
+      with
+      | Analysis.Fixer.Nothing_to_fix reason ->
+          { output = ""; err = Printf.sprintf "fsdetect: %s\n" reason; code = 0 }
+      | Analysis.Fixer.Fix v ->
+          let output =
+            if json then Analysis.Json.to_string (Analysis.Fixer.to_json v)
+            else Analysis.Fixer.to_text v ^ "\n" ^ v.Analysis.Fixer.source
+          in
+          (* an unverified fix is still printed (the report says why), but
+             the exit code gates on the verdict so CI can rely on it *)
+          {
+            output;
+            err = "";
+            code = (if v.Analysis.Fixer.verified then 0 else 1);
+          })
 
 let run_dump store ~digest ~text ~threads =
   let buf = Buffer.create 1024 in
@@ -608,6 +645,8 @@ let compute store (req : Req.t) ~uri ~text =
       run_advise store ~digest ~text req ~func ~threads ~jobs
   | Req.Eliminate { func; threads } ->
       run_eliminate store ~digest ~text req ~func ~threads
+  | Req.Fix { func; threads; jobs; json } ->
+      run_fix store ~digest ~text req ~func ~threads ~jobs ~json
   | Req.Dump { threads } -> run_dump store ~digest ~text ~threads
 
 let exec store (req : Req.t) =

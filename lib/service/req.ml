@@ -51,6 +51,12 @@ type kind =
     }
   | Advise of { func : string option; threads : int; jobs : int option }
   | Eliminate of { func : string option; threads : int }
+  | Fix of {
+      func : string option;
+      threads : int;
+      jobs : int option;
+      json : bool;
+    }
   | Dump of { threads : int }
 
 type t = { source : source; arch : Archspec.Arch.t; kind : kind }
@@ -214,6 +220,9 @@ let kind_key = function
       Printf.sprintf "advise:%s:%d" (opt_str func) threads
   | Eliminate { func; threads } ->
       Printf.sprintf "eliminate:%s:%d" (opt_str func) threads
+  | Fix { func; threads; jobs = _; json } ->
+      (* jobs only parallelizes the advisor sweep; results are identical *)
+      Printf.sprintf "fix:%s:%d:%b" (opt_str func) threads json
   | Dump { threads } -> Printf.sprintf "dump:%d" threads
 
 (* The lint report URI renders into the output text, so two sources with
@@ -234,6 +243,7 @@ let method_name = function
   | Explain _ -> "explain"
   | Advise _ -> "advise"
   | Eliminate _ -> "eliminate"
+  | Fix _ -> "fix"
   | Dump _ -> "dump"
 
 (* ------------------------------------------------------------------ *)
@@ -460,6 +470,11 @@ let of_json ~meth params =
     | "eliminate" ->
         let* func = field_str_opt params "func" in
         Ok (Eliminate { func; threads })
+    | "fix" ->
+        let* func = field_str_opt params "func" in
+        let* jobs = field_int_opt params "jobs" in
+        let* json = field_bool params "json" false in
+        Ok (Fix { func; threads; jobs; json })
     | "dump" -> Ok (Dump { threads })
     | m -> Error (Printf.sprintf "unknown method %S" m)
   in

@@ -72,6 +72,15 @@ type kind =
     }
   | Advise of { func : string option; threads : int; jobs : int option }
   | Eliminate of { func : string option; threads : int }
+  | Fix of {
+      func : string option;
+      threads : int;
+      jobs : int option;
+          (** parallelizes the advisor sweep only; not in the cache key *)
+      json : bool;  (** structured verdict instead of the text report *)
+    }
+      (** materialize the advised fix and re-verify it (see
+          {!Analysis.Fixer}) *)
   | Dump of { threads : int }
 
 type t = { source : source; arch : Archspec.Arch.t; kind : kind }

@@ -2,7 +2,7 @@ module J = Analysis.Json
 module Pool = Fsmodel.Par_sweep.Pool
 
 let analysis_methods =
-  [ "analyze"; "lint"; "explain"; "advise"; "eliminate"; "dump" ]
+  [ "analyze"; "lint"; "explain"; "advise"; "eliminate"; "fix"; "dump" ]
 
 let payload_json (p : Api.payload) =
   J.Obj

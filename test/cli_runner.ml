@@ -38,6 +38,15 @@ let scenarios =
      "lint --no-fixits --schedule static,4 --chunk 2 fixtures/struct_adjacent.c");
     (With_stderr,
      "explain --schedule work-stealing,nope fixtures/struct_adjacent.c");
+    (* eliminate/fix on a nest with nothing to fix: explicit notice on
+       stderr, exit 0 (the bugfix pinned here: an empty plan is not
+       silence) *)
+    (With_stderr, "eliminate fixtures/padded_struct.c");
+    (With_stderr, "fix fixtures/padded_struct.c");
+    (* a verified fix exits 0; an unbound size parameter gets the same
+       clean diagnostic (and exit 1) as analyze *)
+    (With_stderr, "fix fixtures/struct_adjacent.c");
+    (With_stderr, "fix fixtures/parametric_stride.c --func scale");
   ]
 
 let () =

@@ -1,0 +1,27 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 12 -> 5 (58.3% removed), cost 1.00x
+ * seed: 7 case: 312
+ * threads: 8
+ * chunk: 1
+ * reproduce: fsdetect fuzz --seed 7 --count 313
+ */
+struct s_a0 {
+  double f0;
+  double f1;
+  double f2;
+};
+
+double acc;
+
+struct s_a0 a0[82];
+
+void f() {
+  int i;
+  #pragma omp parallel for reduction(+:acc) schedule(static,1)
+  for (i = 0; i < num_threads; i += 1) {
+    a0[i].f2 = a0[8 * i + 16].f0;
+    a0[3 * i + 2].f1 = a0[i + 1].f1;
+    acc += 0.5;
+  }
+}

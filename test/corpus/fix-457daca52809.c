@@ -1,0 +1,20 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 107 -> 12 (88.8% removed), cost 1.00x
+ * seed: 7 case: 78
+ * threads: 8
+ * chunk: 2
+ * reproduce: fsdetect fuzz --seed 7 --count 79
+ */
+double a0[63];
+
+void f() {
+  int i;
+  int t;
+  for (t = 0; t < 3; t += 1) {
+    #pragma omp parallel for schedule(static,2)
+    for (i = 0; i < 31; i += 2) {
+      a0[i + 3] += 1.0 + a0[2 * i + 1];
+    }
+  }
+}

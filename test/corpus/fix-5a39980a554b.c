@@ -1,0 +1,24 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 20 -> 12 (40.0% removed), cost 1.20x
+ * seed: 7 case: 182
+ * threads: 7
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 7 --count 183
+ */
+struct s_a0 {
+  float f0;
+  float f1;
+  float f2;
+  float f3;
+};
+
+struct s_a0 a0[176];
+
+void f() {
+  int i;
+  #pragma omp parallel for schedule(static)
+  for (i = 1; i < 95; i += 1) {
+    a0[i + 3].f2 += a0[i + 65].f1;
+  }
+}

@@ -1,0 +1,21 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 149 -> 8 (94.6% removed), cost 1.09x
+ * seed: 7 case: 260
+ * threads: 7
+ * chunk: 2
+ * reproduce: fsdetect fuzz --seed 7 --count 261
+ */
+double a0[122];
+
+void f() {
+  int i;
+  int j;
+  #pragma omp parallel for schedule(static,2)
+  for (i = 1; i < 15; i += 1) {
+    for (j = 0; j < i + 1; j += 1) {
+      a0[i + 7] += a0[8 * i + 8] + a0[i + j + 9];
+      a0[i + 33] += 0;
+    }
+  }
+}

@@ -1,0 +1,33 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 45 -> 15 (66.7% removed), cost 1.10x
+ * seed: 7 case: 299
+ * threads: 3
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 7 --count 300
+ */
+struct s_a0 {
+  double f0;
+  double f1;
+  double f2;
+  double f3;
+};
+
+struct s_a0 a0[41];
+
+double a1[26];
+
+void f() {
+  int i;
+  int j;
+  int t;
+  for (t = 0; t < 2; t += 1) {
+    #pragma omp parallel for private(i) schedule(static)
+    for (i = 2; i < 25; i += 1) {
+      for (j = 0; j < 1; j += 1) {
+        a0[i + j + 1].f0 += a0[i + 2 * j + 16].f1;
+        a1[i + j + 1] = 3.0 + 2;
+      }
+    }
+  }
+}

@@ -1,0 +1,27 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 14 -> 8 (42.9% removed), cost 1.06x
+ * seed: 7 case: 234
+ * threads: 5
+ * chunk: pragma
+ * reproduce: fsdetect fuzz --seed 7 --count 235
+ */
+struct s_a0 {
+  double f0;
+  double f1;
+  double f2;
+  double f3;
+};
+
+struct s_a0 a0[24];
+
+void f() {
+  int i;
+  int t;
+  for (t = 0; t < 2; t += 1) {
+    #pragma omp parallel for schedule(static)
+    for (i = 0; i < 21; i += 1) {
+      a0[i + t + 2].f1 += a0[i + 2].f2 * sqrt(a0[i + 1].f1);
+    }
+  }
+}

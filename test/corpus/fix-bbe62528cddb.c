@@ -1,0 +1,23 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 590 -> 186 (68.5% removed), cost 1.05x
+ * seed: 7 case: 286
+ * threads: 8
+ * chunk: 2
+ * reproduce: fsdetect fuzz --seed 7 --count 287
+ */
+double a0[140];
+
+void f() {
+  int i;
+  int j;
+  int t;
+  for (t = 0; t < 1; t += 1) {
+    #pragma omp parallel for private(i) schedule(static,2)
+    for (i = 0; i < 64; i += 1) {
+      for (j = 0; j < 6; j += 1) {
+        a0[2 * i + j] *= 4 + 0.125;
+      }
+    }
+  }
+}

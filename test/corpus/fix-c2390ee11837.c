@@ -1,0 +1,22 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 57 -> 31 (45.6% removed), cost 1.19x
+ * seed: 7 case: 91
+ * threads: 3
+ * chunk: 1
+ * reproduce: fsdetect fuzz --seed 7 --count 92
+ */
+int a0[26];
+
+int a1[75];
+
+void f() {
+  int i;
+  int j;
+  #pragma omp parallel for schedule(static,1)
+  for (i = 0; i < 5; i += 1) {
+    for (j = 0; j < 6; j += 1) {
+      a0[i + j] += a1[i + j + 65];
+    }
+  }
+}

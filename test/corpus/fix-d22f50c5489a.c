@@ -1,0 +1,23 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 339 -> 35 (89.7% removed), cost 1.19x
+ * seed: 7 case: 273
+ * threads: 7
+ * chunk: 4
+ * reproduce: fsdetect fuzz --seed 7 --count 274
+ */
+float a0[459];
+
+int a1[111];
+
+void f() {
+  int i;
+  int t;
+  for (t = 0; t < 1; t += 1) {
+    #pragma omp parallel for schedule(static,4)
+    for (i = 0; i < 56; i += 1) {
+      a0[i + 65] += a0[2 * i + 32] + a0[2 * i];
+      a1[2 * i] = a0[3 * i + 16] + 3.0 + a0[8 * i + 2];
+    }
+  }
+}

@@ -1,0 +1,23 @@
+/* fsfuzz counterexample (replayed by the corpus regression runner)
+ * check: fix/underdelivers
+ * detail: fix underdelivers in f: N_fs 48 -> 4 (91.7% removed), cost 1.09x
+ * seed: 7 case: 247
+ * threads: 4
+ * chunk: 1
+ * reproduce: fsdetect fuzz --seed 7 --count 248
+ */
+float a0[9];
+
+double a1[21];
+
+void f() {
+  int i;
+  int j;
+  #pragma omp parallel for private(i) schedule(static,1)
+  for (i = 0; i < 5; i += 1) {
+    for (j = 0; j < 2; j += 1) {
+      a0[i + 3] += 0.5;
+      a1[i + j] = a1[i + j + 15];
+    }
+  }
+}

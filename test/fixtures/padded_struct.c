@@ -1,0 +1,19 @@
+/* Already padded: each element owns a full cache line, so the advisor
+   attributes no false sharing and eliminate/fix report nothing to do. */
+struct slot {
+  double v;
+  char pad[56];
+};
+
+struct slot acc[256];
+
+void accumulate(void) {
+  int i;
+  int r;
+  #pragma omp parallel for private(i,r) schedule(static,1)
+  for (i = 0; i < 256; i++) {
+    for (r = 0; r < 8; r++) {
+      acc[i].v += 1.0;
+    }
+  }
+}

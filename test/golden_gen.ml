@@ -8,7 +8,8 @@ let usage =
    golden_gen --analytic NAME OUT.txt OUT.json\n\
    golden_gen --sched NAME KIND OUT.txt OUT.json\n\
    golden_gen (--explain NAME | --explain-file FILE.c | --explain-sched NAME \
-   KIND) OUT.txt OUT.heatmap"
+   KIND) OUT.txt OUT.heatmap\n\
+   golden_gen --fix NAME OUT.txt"
 
 let fail msg =
   prerr_endline msg;
@@ -137,9 +138,37 @@ let sched_outputs name spec outs =
             (Analysis.Json.to_string (Analysis.Diag.to_json report))
       | _ -> fail usage)
 
+(* Fix goldens: materialize and verify the elimination plan for a
+   bundled (registry or micro-pattern) kernel — verdict report followed
+   by the transformed source, or the explicit nothing-to-fix notice for
+   kernels with no attributed false sharing. *)
+let fix_outputs name outs =
+  match Kernels.Registry.find name with
+  | None -> fail ("unknown kernel " ^ name)
+  | Some k -> (
+      let checked = Kernels.Kernel.parse k in
+      let func =
+        match
+          Loopir.Lower.find_parallel_functions checked.Minic.Typecheck.prog
+        with
+        | f :: _ -> f
+        | [] -> fail ("no parallel function in kernel " ^ name)
+      in
+      let advice = Fsmodel.Advisor.advise ~threads:8 ~func checked in
+      let text =
+        match Analysis.Fixer.verify ~advice ~threads:8 ~func checked with
+        | Analysis.Fixer.Nothing_to_fix reason -> "fsdetect: " ^ reason ^ "\n"
+        | Analysis.Fixer.Fix v ->
+            Analysis.Fixer.to_text v ^ "\n" ^ v.Analysis.Fixer.source
+      in
+      match outs with
+      | [ otxt ] -> write_file otxt text
+      | _ -> fail usage)
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--analytic" :: name :: rest -> analytic_outputs name rest
+  | _ :: "--fix" :: name :: rest -> fix_outputs name rest
   | _ :: "--sched" :: name :: spec :: rest -> sched_outputs name spec rest
   | _ :: "--explain-sched" :: name :: spec :: rest -> (
       match Kernels.Registry.find name with

@@ -152,6 +152,7 @@ let mutation_cases =
     (Fuzz.Oracle.Exact_m, [ "exact/witness" ]);
     (Fuzz.Oracle.Reuse_m, [ "reuse/conserve" ]);
     (Fuzz.Oracle.Sched_m, [ "sched/replay" ]);
+    (Fuzz.Oracle.Fix_m, [ "fix/verified" ]);
   ]
 
 (* ------------------------------------------------------------------ *)
